@@ -1,0 +1,77 @@
+// Figure 7 reproduction: query time (ms) on the road-network family for
+// W-BFS, Dijkstra, C-BFS, Naïve, WC-INDEX, WC-INDEX+.
+//
+// Paper shape to reproduce: Dijkstra slowest (priority-queue overhead on
+// unit-length edges); C-BFS slightly faster than W-BFS; index methods 4-5
+// orders of magnitude faster than online search; Naïve INF where its index
+// cannot be built.
+
+#include "bench_common.h"
+#include "search/constrained_dijkstra.h"
+#include "search/partitioned_bfs.h"
+#include "search/wc_bfs.h"
+
+using namespace wcsd;
+using namespace wcsd::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig config = BenchConfig::FromFlags(argc, argv);
+  PrintPreamble("Figure 7: Querying time (ms) for road networks", config,
+                "series: W-BFS / Dijkstra / C-BFS / Naive / WC-INDEX / "
+                "WC-INDEX+ (online methods use the smaller workload)");
+
+  TablePrinter table("Query time (ms/query)",
+                     {"dataset", "W-BFS", "Dijkstra", "C-BFS", "Naive",
+                      "WC-INDEX", "WC-INDEX+"},
+                     {9, 11, 11, 11, 11, 11, 11});
+  for (const std::string& name : RoadDatasetNames()) {
+    Dataset d = MakeRoadDataset(name, config.scale);
+    auto online_workload =
+        MakeQueryWorkload(d.graph, config.online_queries, config.seed);
+    auto index_workload =
+        MakeQueryWorkload(d.graph, config.queries, config.seed);
+
+    PartitionedBfs w_bfs(d.graph);
+    double w_bfs_ms = TimeQueriesMs(
+        online_workload,
+        [&](Vertex s, Vertex t, Quality w) { return w_bfs.Query(s, t, w); });
+
+    PartitionedDijkstra dijkstra(d.graph);
+    double dijkstra_ms = TimeQueriesMs(
+        online_workload, [&](Vertex s, Vertex t, Quality w) {
+          return dijkstra.Query(s, t, w);
+        });
+
+    WcBfs c_bfs(&d.graph);
+    double c_bfs_ms = TimeQueriesMs(
+        online_workload,
+        [&](Vertex s, Vertex t, Quality w) { return c_bfs.Query(s, t, w); });
+
+    NaiveWcsdIndex::Options naive_options;
+    naive_options.memory_budget_bytes = config.budget_mb << 20;
+    auto naive = NaiveWcsdIndex::Build(d.graph, naive_options);
+    std::string naive_cell = InfCell();
+    if (naive.ok()) {
+      naive_cell = FormatMillis(TimeQueriesMs(
+          index_workload, [&](Vertex s, Vertex t, Quality w) {
+            return naive.value().Query(s, t, w);
+          }));
+    }
+
+    WcIndex wc = WcIndex::Build(d.graph, WcIndexOptions::Basic());
+    double wc_ms = TimeQueriesMs(
+        index_workload,
+        [&](Vertex s, Vertex t, Quality w) { return wc.Query(s, t, w); });
+
+    WcIndex wc_plus = WcIndex::Build(d.graph, WcIndexOptions::Plus());
+    double wc_plus_ms = TimeQueriesMs(
+        index_workload, [&](Vertex s, Vertex t, Quality w) {
+          return wc_plus.Query(s, t, w);
+        });
+
+    table.Row({name, FormatMillis(w_bfs_ms), FormatMillis(dijkstra_ms),
+               FormatMillis(c_bfs_ms), naive_cell, FormatMillis(wc_ms),
+               FormatMillis(wc_plus_ms)});
+  }
+  return 0;
+}

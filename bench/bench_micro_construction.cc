@@ -1,0 +1,76 @@
+// Google-benchmark microbenchmarks for index construction: WC-INDEX
+// variants and baselines on small fixed datasets, so per-build costs are
+// comparable run to run.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/datasets.h"
+#include "core/wc_index.h"
+#include "labeling/lcr_adapt.h"
+#include "labeling/naive_index.h"
+#include "labeling/pll.h"
+
+namespace wcsd {
+namespace {
+
+const Dataset& RoadDataset() {
+  static const Dataset d = MakeRoadDataset("NY", 0.25);
+  return d;
+}
+
+const Dataset& SocialDataset() {
+  static const Dataset d = MakeSocialDataset("MV-10", 0.25);
+  return d;
+}
+
+void BM_BuildWcIndexPlus_Road(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        WcIndex::Build(RoadDataset().graph, WcIndexOptions::Plus()));
+  }
+}
+BENCHMARK(BM_BuildWcIndexPlus_Road)->Unit(benchmark::kMillisecond);
+
+void BM_BuildWcIndexBasic_Road(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        WcIndex::Build(RoadDataset().graph, WcIndexOptions::Basic()));
+  }
+}
+BENCHMARK(BM_BuildWcIndexBasic_Road)->Unit(benchmark::kMillisecond);
+
+void BM_BuildNaive_Road(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NaiveWcsdIndex::Build(RoadDataset().graph));
+  }
+}
+BENCHMARK(BM_BuildNaive_Road)->Unit(benchmark::kMillisecond);
+
+void BM_BuildLcrAdapt_Road(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LcrAdaptIndex::Build(RoadDataset().graph));
+  }
+}
+BENCHMARK(BM_BuildLcrAdapt_Road)->Unit(benchmark::kMillisecond);
+
+void BM_BuildWcIndexPlus_Social(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        WcIndex::Build(SocialDataset().graph, WcIndexOptions::Plus()));
+  }
+}
+BENCHMARK(BM_BuildWcIndexPlus_Social)->Unit(benchmark::kMillisecond);
+
+void BM_BuildPllSingleLevel_Social(benchmark::State& state) {
+  // One classic PLL on the unfiltered graph: the per-level unit of work
+  // inside the Naïve baseline.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Pll::Build(SocialDataset().graph));
+  }
+}
+BENCHMARK(BM_BuildPllSingleLevel_Social)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wcsd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Google-benchmark microbenchmarks for the query paths: per-query latency
+// of each implementation and of the baselines, on a mid-size social graph.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/datasets.h"
+#include "bench/workload.h"
+#include "core/batch.h"
+#include "core/wc_index.h"
+#include "labeling/naive_index.h"
+#include "search/wc_bfs.h"
+
+namespace wcsd {
+namespace {
+
+// Shared fixtures, built once.
+const Dataset& SocialDataset() {
+  static const Dataset d = MakeSocialDataset("EU", 0.25);
+  return d;
+}
+
+const WcIndex& SharedIndex() {
+  static const WcIndex index =
+      WcIndex::Build(SocialDataset().graph, WcIndexOptions::Plus());
+  return index;
+}
+
+const std::vector<WcsdQuery>& SharedWorkload() {
+  static const std::vector<WcsdQuery> workload =
+      MakeQueryWorkload(SocialDataset().graph, 4096, 7);
+  return workload;
+}
+
+void BM_QueryImpl(benchmark::State& state) {
+  const WcIndex& index = SharedIndex();
+  const auto& workload = SharedWorkload();
+  QueryImpl impl = static_cast<QueryImpl>(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    const WcsdQuery& q = workload[i++ & 4095];
+    benchmark::DoNotOptimize(index.Query(q.s, q.t, q.w, impl));
+  }
+}
+BENCHMARK(BM_QueryImpl)
+    ->Arg(static_cast<int>(QueryImpl::kScan))
+    ->Arg(static_cast<int>(QueryImpl::kHubGrouped))
+    ->Arg(static_cast<int>(QueryImpl::kBinary))
+    ->Arg(static_cast<int>(QueryImpl::kMerge))
+    ->ArgNames({"impl"});
+
+void BM_QueryWithHub(benchmark::State& state) {
+  const WcIndex& index = SharedIndex();
+  const auto& workload = SharedWorkload();
+  size_t i = 0;
+  for (auto _ : state) {
+    const WcsdQuery& q = workload[i++ & 4095];
+    benchmark::DoNotOptimize(index.QueryWithHub(q.s, q.t, q.w));
+  }
+}
+BENCHMARK(BM_QueryWithHub);
+
+void BM_NaiveQuery(benchmark::State& state) {
+  static const auto naive = NaiveWcsdIndex::Build(SocialDataset().graph);
+  const auto& workload = SharedWorkload();
+  size_t i = 0;
+  for (auto _ : state) {
+    const WcsdQuery& q = workload[i++ & 4095];
+    benchmark::DoNotOptimize(naive.value().Query(q.s, q.t, q.w));
+  }
+}
+BENCHMARK(BM_NaiveQuery);
+
+void BM_ConstrainedBfs(benchmark::State& state) {
+  static WcBfs bfs(&SocialDataset().graph);
+  const auto& workload = SharedWorkload();
+  size_t i = 0;
+  for (auto _ : state) {
+    const WcsdQuery& q = workload[i++ & 4095];
+    benchmark::DoNotOptimize(bfs.Query(q.s, q.t, q.w));
+  }
+}
+BENCHMARK(BM_ConstrainedBfs);
+
+void BM_BatchQueryThroughput(benchmark::State& state) {
+  const WcIndex& index = SharedIndex();
+  const auto& workload = SharedWorkload();
+  std::vector<BatchQueryInput> batch;
+  batch.reserve(workload.size());
+  for (const WcsdQuery& q : workload) batch.push_back({q.s, q.t, q.w});
+  size_t threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BatchQuery(index, batch, threads));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_BatchQueryThroughput)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wcsd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// Tables III + V reproduction: road-network statistics (|V|, |E|) and the
+// memory required to store each network (the paper's Table V in GB).
+//
+// The synthetic family mirrors the paper's relative size progression at
+// ~1/40 scale (DESIGN.md §3.1).
+
+#include "bench_common.h"
+
+using namespace wcsd;
+using namespace wcsd::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig config = BenchConfig::FromFlags(argc, argv);
+  PrintPreamble("Tables III + V: road-network summary and storage size",
+                config, "");
+
+  TablePrinter table("Road networks",
+                     {"dataset", "|V(G)|", "|E(G)|", "|w|", "avg-deg",
+                      "size(GB)"},
+                     {9, 12, 12, 5, 9, 10});
+  for (const std::string& name : RoadDatasetNames()) {
+    Dataset d = MakeRoadDataset(name, config.scale);
+    char avg[16];
+    std::snprintf(avg, sizeof(avg), "%.2f",
+                  2.0 * static_cast<double>(d.graph.NumEdges()) /
+                      static_cast<double>(d.graph.NumVertices()));
+    table.Row({name, std::to_string(d.graph.NumVertices()),
+               std::to_string(d.graph.NumEdges()),
+               std::to_string(d.num_qualities), avg,
+               FormatGb(d.graph.MemoryBytes())});
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Tables IV + VI reproduction: social-network statistics (|V|, |E|, |w|)
+// and the memory required to store each network (the paper's Table VI).
+
+#include "bench_common.h"
+
+using namespace wcsd;
+using namespace wcsd::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig config = BenchConfig::FromFlags(argc, argv);
+  PrintPreamble("Tables IV + VI: social-network summary and storage size",
+                config, "");
+
+  TablePrinter table("Social networks",
+                     {"dataset", "|V(G)|", "|E(G)|", "|w|", "avg-deg",
+                      "max-deg", "size(GB)"},
+                     {9, 12, 12, 5, 9, 9, 10});
+  for (const std::string& name : SocialDatasetNames()) {
+    Dataset d = MakeSocialDataset(name, config.scale);
+    char avg[16];
+    std::snprintf(avg, sizeof(avg), "%.2f",
+                  2.0 * static_cast<double>(d.graph.NumEdges()) /
+                      static_cast<double>(d.graph.NumVertices()));
+    table.Row({name, std::to_string(d.graph.NumVertices()),
+               std::to_string(d.graph.NumEdges()),
+               std::to_string(d.num_qualities), avg,
+               std::to_string(d.graph.MaxDegree()),
+               FormatGb(d.graph.MemoryBytes())});
+  }
+  return 0;
+}

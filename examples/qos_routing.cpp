@@ -1,0 +1,71 @@
+// Communication-network QoS routing (paper §I, Application 1 and Figure 1):
+// links carry minimum-bandwidth guarantees; a quality constrained shortest
+// distance query finds the fewest-hop route that sustains a required
+// bandwidth end to end.
+//
+//   $ ./build/examples/qos_routing
+
+#include <cstdio>
+
+#include "core/path_index.h"
+#include "core/wc_index.h"
+#include "graph/builder.h"
+
+using namespace wcsd;
+
+namespace {
+const char* kNodeNames[] = {"R1", "R2", "R3", "R4", "S1", "S2"};
+}  // namespace
+
+int main() {
+  // Figure 1's network: routers R1-R4, switches S1-S2; qualities are link
+  // bandwidths in Mbps.
+  GraphBuilder builder(6);
+  builder.AddEdge(2, 4, 5);  // R3 - S1
+  builder.AddEdge(4, 1, 2);  // S1 - R2  (the 2 Mbps bottleneck)
+  builder.AddEdge(4, 3, 4);  // S1 - R4
+  builder.AddEdge(3, 5, 4);  // R4 - S2
+  builder.AddEdge(5, 1, 3);  // S2 - R2
+  builder.AddEdge(0, 4, 3);  // R1 - S1
+  QualityGraph network = builder.Build();
+
+  WcIndexOptions options;
+  options.record_parents = true;  // Quad labels: we want the actual route.
+  WcIndex index = WcIndex::Build(network, options);
+
+  std::printf("QoS routing on the Figure 1 network\n");
+  std::printf("links: R3-S1:5  S1-R2:2  S1-R4:4  R4-S2:4  S2-R2:3  R1-S1:3"
+              " (Mbps)\n\n");
+
+  // The paper's example: stream from R3 to R2 requiring 3 Mbps.
+  for (Quality mbps : {1.0f, 3.0f, 5.0f}) {
+    Distance d = index.Query(2, 1, mbps);
+    std::printf("R3 -> R2 with >= %.0f Mbps: ", mbps);
+    if (d == kInfDistance) {
+      std::printf("no feasible route\n");
+      continue;
+    }
+    std::printf("distance %u, route:", d);
+    for (Vertex hop : QueryConstrainedPath(index, network, 2, 1, mbps)) {
+      std::printf(" %s", kNodeNames[hop]);
+    }
+    std::printf("\n");
+  }
+
+  // Capacity planning: for every router pair, the best bandwidth class that
+  // still admits a route (sweep the distinct qualities).
+  std::printf("\nHighest sustainable bandwidth class per router pair:\n");
+  auto classes = network.DistinctQualities();
+  for (Vertex a : {0, 1, 2, 3}) {
+    for (Vertex b : {0, 1, 2, 3}) {
+      if (a >= b) continue;
+      Quality best = -1;
+      for (Quality c : classes) {
+        if (index.Reachable(a, b, c)) best = c;
+      }
+      std::printf("  %s <-> %s : %g Mbps (distance %u)\n", kNodeNames[a],
+                  kNodeNames[b], best, index.Query(a, b, best));
+    }
+  }
+  return 0;
+}

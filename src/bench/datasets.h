@@ -1,0 +1,44 @@
+// Named synthetic dataset registry mirroring the paper's Tables III/IV.
+//
+// The paper's datasets are public DIMACS road networks (NY ... CTR) and
+// KONECT/SNAP social networks (MV-10 ... SO-Y); this offline reproduction
+// regenerates each family synthetically at ~1/40 scale with the same
+// relative size progression and the same |w| (DESIGN.md §3.1). All datasets
+// are deterministic given (name, scale).
+
+#ifndef WCSD_BENCH_DATASETS_H_
+#define WCSD_BENCH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace wcsd {
+
+/// A generated benchmark graph plus its provenance.
+struct Dataset {
+  std::string name;
+  QualityGraph graph;
+  int num_qualities = 0;  // the paper's |w|
+};
+
+/// Road-family names, smallest to largest (the x-axis of Figures 5-9).
+const std::vector<std::string>& RoadDatasetNames();
+
+/// Social-family names (the x-axis of Figures 10-12).
+const std::vector<std::string>& SocialDatasetNames();
+
+/// Generates a road dataset. `scale` multiplies the default grid side
+/// (scale 1.0 = the sizes used in EXPERIMENTS.md); `num_qualities`
+/// overrides |w| (0 keeps the road default of 5 — Figures 8/9 pass 20).
+Dataset MakeRoadDataset(const std::string& name, double scale = 1.0,
+                        int num_qualities = 0);
+
+/// Generates a social dataset; |w| is fixed per name following Table IV
+/// (MV-10/MV-25: 5, SO-Y: 9, others: 3).
+Dataset MakeSocialDataset(const std::string& name, double scale = 1.0);
+
+}  // namespace wcsd
+
+#endif  // WCSD_BENCH_DATASETS_H_

@@ -1,0 +1,58 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace wcsd {
+
+namespace {
+void PrintCell(const std::string& text, int width) {
+  std::printf("%-*s", width, text.c_str());
+}
+}  // namespace
+
+TablePrinter::TablePrinter(const std::string& title,
+                           const std::vector<std::string>& columns,
+                           const std::vector<int>& widths)
+    : widths_(widths) {
+  std::printf("\n== %s ==\n", title.c_str());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    PrintCell(columns[i], i < widths_.size() ? widths_[i] : 12);
+  }
+  std::printf("\n");
+  int total = 0;
+  for (int w : widths_) total += w;
+  for (int i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+void TablePrinter::Row(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    PrintCell(cells[i], i < widths_.size() ? widths_[i] : 12);
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  return buf;
+}
+
+std::string FormatMillis(double millis) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", millis);
+  return buf;
+}
+
+std::string FormatGb(size_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f",
+                static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0));
+  return buf;
+}
+
+std::string InfCell() { return "INF"; }
+
+}  // namespace wcsd

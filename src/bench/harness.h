@@ -1,0 +1,42 @@
+// Output harness for the figure/table reproduction binaries: aligned tables
+// with the same rows/series the paper reports, plus INF cells for methods
+// that exceed their budget (as the paper renders Naïve on WST/CTR).
+
+#ifndef WCSD_BENCH_HARNESS_H_
+#define WCSD_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+namespace wcsd {
+
+/// Fixed-width console table writer.
+class TablePrinter {
+ public:
+  /// Columns with display widths; printing the header immediately.
+  TablePrinter(const std::string& title,
+               const std::vector<std::string>& columns,
+               const std::vector<int>& widths);
+
+  /// Prints one row; cells beyond `columns` are ignored.
+  void Row(const std::vector<std::string>& cells);
+
+ private:
+  std::vector<int> widths_;
+};
+
+/// Formats seconds with 3 significant decimals ("12.345").
+std::string FormatSeconds(double seconds);
+
+/// Formats a time-per-query in milliseconds ("0.0031").
+std::string FormatMillis(double millis);
+
+/// Formats bytes as fractional GB with enough precision for small indexes.
+std::string FormatGb(size_t bytes);
+
+/// The paper's INF cell.
+std::string InfCell();
+
+}  // namespace wcsd
+
+#endif  // WCSD_BENCH_HARNESS_H_

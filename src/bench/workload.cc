@@ -1,0 +1,26 @@
+#include "bench/workload.h"
+
+#include "util/random.h"
+
+namespace wcsd {
+
+std::vector<WcsdQuery> MakeQueryWorkload(const QualityGraph& g, size_t count,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Quality> thresholds = g.DistinctQualities();
+  std::vector<WcsdQuery> workload;
+  workload.reserve(count);
+  const size_t n = g.NumVertices();
+  for (size_t i = 0; i < count; ++i) {
+    WcsdQuery q;
+    q.s = static_cast<Vertex>(rng.NextBounded(n));
+    q.t = static_cast<Vertex>(rng.NextBounded(n));
+    q.w = thresholds.empty()
+              ? 1.0f
+              : thresholds[rng.NextBounded(thresholds.size())];
+    workload.push_back(q);
+  }
+  return workload;
+}
+
+}  // namespace wcsd

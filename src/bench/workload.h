@@ -1,0 +1,29 @@
+// Query workload generation for the benches (paper §VI: "10,000 random
+// queries were employed and the average time is reported").
+
+#ifndef WCSD_BENCH_WORKLOAD_H_
+#define WCSD_BENCH_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// One WCSD query instance.
+struct WcsdQuery {
+  Vertex s;
+  Vertex t;
+  Quality w;
+};
+
+/// Generates `count` queries: endpoints uniform over V, constraint uniform
+/// over the distinct quality values of `g`. Deterministic given the seed.
+std::vector<WcsdQuery> MakeQueryWorkload(const QualityGraph& g, size_t count,
+                                         uint64_t seed);
+
+}  // namespace wcsd
+
+#endif  // WCSD_BENCH_WORKLOAD_H_

@@ -1,0 +1,69 @@
+#include "core/batch.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace wcsd {
+
+std::vector<Distance> BatchQuery(const WcIndex& index,
+                                 const std::vector<BatchQueryInput>& queries,
+                                 size_t threads) {
+  std::vector<Distance> results(queries.size(), kInfDistance);
+  if (queries.empty()) return results;
+  threads = std::max<size_t>(1, std::min(threads, queries.size()));
+  if (threads == 1) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      results[i] = index.Query(queries[i].s, queries[i].t, queries[i].w);
+    }
+    return results;
+  }
+
+  // Contiguous chunking: queries are independent and the index is
+  // read-only, so plain threads suffice (no synchronization needed).
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  size_t chunk = (queries.size() + threads - 1) / threads;
+  for (size_t t = 0; t < threads; ++t) {
+    size_t begin = t * chunk;
+    size_t end = std::min(queries.size(), begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&index, &queries, &results, begin, end] {
+      for (size_t i = begin; i < end; ++i) {
+        results[i] = index.Query(queries[i].s, queries[i].t, queries[i].w);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  return results;
+}
+
+std::vector<RankedCandidate> TopKClosest(const WcIndex& index, Vertex source,
+                                         const std::vector<Vertex>& candidates,
+                                         Quality w, size_t k) {
+  std::vector<RankedCandidate> ranked;
+  ranked.reserve(candidates.size());
+  for (Vertex c : candidates) {
+    Distance d = index.Query(source, c, w);
+    if (d != kInfDistance) ranked.push_back({c, d});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedCandidate& a, const RankedCandidate& b) {
+              if (a.dist != b.dist) return a.dist < b.dist;
+              return a.vertex < b.vertex;
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+std::vector<ProfilePoint> QualityProfile(
+    const WcIndex& index, Vertex s, Vertex t,
+    const std::vector<Quality>& thresholds) {
+  std::vector<ProfilePoint> profile;
+  profile.reserve(thresholds.size());
+  for (Quality w : thresholds) {
+    profile.push_back({w, index.Query(s, t, w)});
+  }
+  return profile;
+}
+
+}  // namespace wcsd

@@ -1,0 +1,68 @@
+// Batch query evaluation and constraint-aware nearest-neighbor helpers.
+//
+// The paper's applications issue queries in bulk (search ranking evaluates
+// distances to many candidates; QoS admission checks whole flow sets).
+// These helpers amortize that pattern over the index:
+//   * BatchQuery      — evaluate a workload, optionally across threads
+//                       (queries are independent; labels are read-only);
+//   * TopKClosest     — rank a candidate set by w-constrained distance
+//                       (the §I social-search scenario);
+//   * QualityProfile  — for one pair, the full dominance frontier
+//                       (distance at every distinct threshold), extracted
+//                       from the labels without touching the graph.
+
+#ifndef WCSD_CORE_BATCH_H_
+#define WCSD_CORE_BATCH_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/wc_index.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// One batch query input.
+struct BatchQueryInput {
+  Vertex s;
+  Vertex t;
+  Quality w;
+};
+
+/// Evaluates all queries against `index`. With threads > 1, the workload is
+/// partitioned into contiguous chunks evaluated concurrently; results are
+/// positionally aligned with the inputs either way.
+std::vector<Distance> BatchQuery(const WcIndex& index,
+                                 const std::vector<BatchQueryInput>& queries,
+                                 size_t threads = 1);
+
+/// A ranked candidate.
+struct RankedCandidate {
+  Vertex vertex;
+  Distance dist;
+};
+
+/// Returns up to k candidates closest to `source` under constraint `w`,
+/// ascending by distance (ties by vertex id); unreachable candidates are
+/// omitted.
+std::vector<RankedCandidate> TopKClosest(const WcIndex& index, Vertex source,
+                                         const std::vector<Vertex>& candidates,
+                                         Quality w, size_t k);
+
+/// One point of a pair's quality/distance trade-off.
+struct ProfilePoint {
+  Quality quality;  // constraint threshold
+  Distance dist;    // w-constrained distance at that threshold
+};
+
+/// The full trade-off curve for (s, t): for each threshold in `thresholds`
+/// (ascending), the constrained distance. Points with infinite distance are
+/// included (callers often want to see where the curve breaks).
+std::vector<ProfilePoint> QualityProfile(const WcIndex& index, Vertex s,
+                                         Vertex t,
+                                         const std::vector<Quality>& thresholds);
+
+}  // namespace wcsd
+
+#endif  // WCSD_CORE_BATCH_H_

@@ -1,0 +1,123 @@
+#include "core/directed_wc_index.h"
+
+#include <limits>
+#include <vector>
+
+#include "util/epoch_array.h"
+
+namespace wcsd {
+
+namespace {
+
+constexpr Quality kNegInfQuality = -std::numeric_limits<Quality>::infinity();
+
+// Directed constrained-BFS labeler. One instance per direction-pair:
+// `forward` decides which arc set is traversed and which label side is
+// written. The pruning query for a candidate (root ~> u, d, w) intersects
+// the root's FROM-side labels with u's TO-side labels, mirroring the
+// undirected builder's L(root)/L(u) check.
+class DirectedBuilder {
+ public:
+  DirectedBuilder(const DirectedQualityGraph& g, const VertexOrder& order)
+      : g_(g),
+        order_(order),
+        in_labels_(g.NumVertices()),
+        out_labels_(g.NumVertices()),
+        max_quality_(g.NumVertices(), kNegInfQuality),
+        in_next_(g.NumVertices(), false) {}
+
+  // Runs all rounds; the label sets are then moved out by the caller.
+  void Run() {
+    const size_t n = g_.NumVertices();
+    for (Rank k = 0; k < n; ++k) {
+      // Forward pass: distances root -> u, recorded in L_in(u); covers are
+      // checked against L_out(root) x L_in(u).
+      Bfs(k, /*forward=*/true);
+      // Backward pass: distances u -> root, recorded in L_out(u).
+      Bfs(k, /*forward=*/false);
+    }
+  }
+
+  LabelSet TakeInLabels() { return std::move(in_labels_); }
+  LabelSet TakeOutLabels() { return std::move(out_labels_); }
+
+ private:
+  struct Frontier {
+    Vertex vertex;
+    Quality quality;
+  };
+
+  void Bfs(Rank k, bool forward) {
+    const Vertex root = order_.VertexAt(k);
+    LabelSet& target = forward ? in_labels_ : out_labels_;
+    const LabelSet& root_side = forward ? out_labels_ : in_labels_;
+    const LabelSet& u_side = forward ? in_labels_ : out_labels_;
+
+    max_quality_.Clear();
+    max_quality_.Set(root, kInfQuality);
+    cur_.clear();
+    cur_.push_back(Frontier{root, kInfQuality});
+
+    Distance d = 0;
+    while (!cur_.empty()) {
+      in_next_.Clear();
+      nxt_.clear();
+      for (const Frontier& f : cur_) {
+        // Prune if the partial index already certifies a w-path of length
+        // <= d between root and f.vertex in this direction.
+        if (QueryLabelsMerge(root_side.For(root), u_side.For(f.vertex),
+                             f.quality) <= d) {
+          continue;
+        }
+        target.Append(f.vertex, LabelEntry{k, d, f.quality});
+        auto arcs = forward ? g_.OutNeighbors(f.vertex)
+                            : g_.InNeighbors(f.vertex);
+        for (const Arc& a : arcs) {
+          if (order_.RankOf(a.to) <= k) continue;
+          Quality nq = std::min(a.quality, f.quality);
+          if (nq <= max_quality_.Get(a.to)) continue;
+          max_quality_.Set(a.to, nq);
+          if (!in_next_.Get(a.to)) {
+            in_next_.Set(a.to, true);
+            nxt_.push_back(a.to);
+          }
+        }
+      }
+      cur_.clear();
+      for (Vertex v : nxt_) {
+        cur_.push_back(Frontier{v, max_quality_.Get(v)});
+      }
+      ++d;
+    }
+  }
+
+  const DirectedQualityGraph& g_;
+  const VertexOrder& order_;
+  LabelSet in_labels_;
+  LabelSet out_labels_;
+  EpochArray<Quality> max_quality_;
+  EpochArray<bool> in_next_;
+  std::vector<Frontier> cur_;
+  std::vector<Vertex> nxt_;
+};
+
+}  // namespace
+
+DirectedWcIndex DirectedWcIndex::Build(const DirectedQualityGraph& g) {
+  return BuildWithOrder(g, DegreeOrder(g.AsUndirected()));
+}
+
+DirectedWcIndex DirectedWcIndex::BuildWithOrder(const DirectedQualityGraph& g,
+                                                VertexOrder order) {
+  DirectedBuilder builder(g, order);
+  builder.Run();
+  return DirectedWcIndex(builder.TakeInLabels(), builder.TakeOutLabels(),
+                         std::move(order));
+}
+
+Distance DirectedWcIndex::Query(Vertex s, Vertex t, Quality w) const {
+  if (s == t) return 0;
+  return QueryLabelsMerge(out_labels_.For(s), in_labels_.For(t), w);
+}
+
+}  // namespace wcsd

@@ -1,0 +1,58 @@
+// WC-INDEX on directed graphs (paper §V "Directed and Weighted Graphs").
+//
+// Each vertex keeps two label sets: L_out(u) holds (hub, dist(u -> hub), w)
+// entries built by constrained BFS over REVERSED arcs from each hub, and
+// L_in(u) holds (hub, dist(hub -> u), w) built over forward arcs. A query
+// (s, t, w) intersects L_out(s) with L_in(t) — exactly the paper's
+// prescription of one constrained BFS per direction per vertex.
+
+#ifndef WCSD_CORE_DIRECTED_WC_INDEX_H_
+#define WCSD_CORE_DIRECTED_WC_INDEX_H_
+
+#include "graph/directed_graph.h"
+#include "labeling/label_set.h"
+#include "labeling/query.h"
+#include "order/vertex_order.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// Directed WC-INDEX with in/out label sets.
+class DirectedWcIndex {
+ public:
+  /// Builds the index; the vertex order is the degree order of the
+  /// undirected view (in-degree + out-degree).
+  static DirectedWcIndex Build(const DirectedQualityGraph& g);
+
+  /// Builds with an explicit vertex order.
+  static DirectedWcIndex BuildWithOrder(const DirectedQualityGraph& g,
+                                        VertexOrder order);
+
+  /// w-constrained directed distance s -> t.
+  Distance Query(Vertex s, Vertex t, Quality w) const;
+
+  const LabelSet& in_labels() const { return in_labels_; }
+  const LabelSet& out_labels() const { return out_labels_; }
+  const VertexOrder& order() const { return order_; }
+
+  size_t MemoryBytes() const {
+    return in_labels_.MemoryBytes() + out_labels_.MemoryBytes();
+  }
+  size_t TotalEntries() const {
+    return in_labels_.TotalEntries() + out_labels_.TotalEntries();
+  }
+
+ private:
+  DirectedWcIndex(LabelSet in_labels, LabelSet out_labels, VertexOrder order)
+      : in_labels_(std::move(in_labels)),
+        out_labels_(std::move(out_labels)),
+        order_(std::move(order)) {}
+
+  LabelSet in_labels_;
+  LabelSet out_labels_;
+  VertexOrder order_;
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_CORE_DIRECTED_WC_INDEX_H_

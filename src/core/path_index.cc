@@ -1,0 +1,106 @@
+#include "core/path_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "labeling/query.h"
+
+namespace wcsd {
+
+namespace {
+
+// Finds the entry index in L(u) for hub `hub` whose quality is the first
+// >= w (Theorem 3: minimal distance for that hub under w). Returns SIZE_MAX
+// if absent.
+size_t FindHubEntry(const WcIndex& index, Vertex u, Rank hub, Quality w) {
+  auto lu = index.labels().For(u);
+  auto it = std::lower_bound(
+      lu.begin(), lu.end(), hub,
+      [](const LabelEntry& e, Rank h) { return e.hub < h; });
+  size_t i = static_cast<size_t>(it - lu.begin());
+  if (i == lu.size() || lu[i].hub != hub) return SIZE_MAX;
+  size_t ie = i;
+  while (ie < lu.size() && lu[ie].hub == hub) ++ie;
+  size_t found = FirstWithQuality(lu, i, ie, w);
+  return found == ie ? SIZE_MAX : found;
+}
+
+// Walks from `u` back to the hub vertex along a shortest w-path of length
+// `dist`, appending vertices u, p1, p2, ..., hub_vertex to `out`.
+// Fast path: follow the recorded quad-label parent when the current
+// vertex's entry for the hub is present with matching distance. Fallback:
+// index-guided neighbor step (any neighbor x with edge quality >= w and
+// Query(hub_vertex, x, w) == remaining - 1).
+bool UnwindToHub(const WcIndex& index, const QualityGraph& g, Vertex u,
+                 Rank hub, Distance dist, Quality w,
+                 std::vector<Vertex>* out) {
+  const Vertex hub_vertex = index.order().VertexAt(hub);
+  Vertex cur = u;
+  Distance remaining = dist;
+  out->push_back(cur);
+  while (remaining > 0) {
+    Vertex next = kNullVertex;
+    if (index.has_parents()) {
+      size_t i = FindHubEntry(index, cur, hub, w);
+      if (i != SIZE_MAX &&
+          index.labels().For(cur)[i].dist == remaining) {
+        next = index.Parents(cur)[i];
+      }
+    }
+    if (next == kNullVertex) {
+      // Entry pruned (covered via another hub) or parents unavailable:
+      // recursive hub decomposition degenerates to one index-guided step.
+      for (const Arc& a : g.Neighbors(cur)) {
+        if (a.quality < w) continue;
+        if (index.Query(hub_vertex, a.to, w) == remaining - 1) {
+          next = a.to;
+          break;
+        }
+      }
+    }
+    if (next == kNullVertex) return false;  // Index inconsistent with graph.
+    out->push_back(next);
+    cur = next;
+    --remaining;
+  }
+  return cur == hub_vertex;
+}
+
+}  // namespace
+
+std::vector<Vertex> QueryConstrainedPath(const WcIndex& index,
+                                         const QualityGraph& g, Vertex s,
+                                         Vertex t, Quality w) {
+  if (s == t) return {s};
+  HubQueryResult r = index.QueryWithHub(s, t, w);
+  if (r.dist == kInfDistance) return {};
+
+  // s-side: s ... hub (in travel order s -> hub).
+  std::vector<Vertex> s_side;
+  if (!UnwindToHub(index, g, s, r.via_hub, r.dist_from_s, w, &s_side)) {
+    return {};
+  }
+  // t-side: t ... hub; reversed it continues the route hub -> t.
+  std::vector<Vertex> t_side;
+  if (!UnwindToHub(index, g, t, r.via_hub, r.dist_to_t, w, &t_side)) {
+    return {};
+  }
+  std::vector<Vertex> path = std::move(s_side);
+  for (auto it = t_side.rbegin(); it != t_side.rend(); ++it) {
+    if (*it == path.back()) continue;  // Skip the shared hub vertex.
+    path.push_back(*it);
+  }
+  return path;
+}
+
+bool IsValidWPath(const QualityGraph& g, const std::vector<Vertex>& path,
+                  Quality w) {
+  if (path.empty()) return false;
+  for (size_t i = 1; i < path.size(); ++i) {
+    Quality q = g.EdgeQuality(path[i - 1], path[i]);
+    if (q < 0 || q < w) return false;
+  }
+  return true;
+}
+
+}  // namespace wcsd

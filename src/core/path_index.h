@@ -1,0 +1,38 @@
+// Quality-constrained shortest PATH queries (paper §V).
+//
+// The index stores quads (u, d_u, w_u, p_uv): each label entry keeps the
+// BFS predecessor recorded during construction (WcIndexOptions::
+// record_parents). A path is reconstructed by walking predecessors from
+// both endpoints toward the witnessing hub; where a predecessor's own entry
+// was pruned (covered by another hub), reconstruction falls back to the
+// recursive hub decomposition — pick any constraint-satisfying neighbor one
+// step closer to the hub according to the index.
+
+#ifndef WCSD_CORE_PATH_INDEX_H_
+#define WCSD_CORE_PATH_INDEX_H_
+
+#include <vector>
+
+#include "core/wc_index.h"
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// Reconstructs a shortest w-path from s to t. Returns the vertex sequence
+/// s ... t (inclusive), or an empty vector if t is unreachable under w.
+/// Requires an index built with record_parents = true (falls back to pure
+/// index-guided search otherwise — still correct, more queries).
+std::vector<Vertex> QueryConstrainedPath(const WcIndex& index,
+                                         const QualityGraph& g, Vertex s,
+                                         Vertex t, Quality w);
+
+/// Validates that `path` is a w-path in `g` from its front to its back
+/// (every consecutive pair is an edge with quality >= w). Used by tests and
+/// examples; an empty path is invalid.
+bool IsValidWPath(const QualityGraph& g, const std::vector<Vertex>& path,
+                  Quality w);
+
+}  // namespace wcsd
+
+#endif  // WCSD_CORE_PATH_INDEX_H_

@@ -1,0 +1,72 @@
+#include "core/reachability.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace wcsd {
+
+WcReachabilityIndex WcReachabilityIndex::FromWcIndex(const WcIndex& index) {
+  const LabelSet& full = index.labels();
+  LabelSet reduced(full.NumVertices());
+  for (Vertex v = 0; v < full.NumVertices(); ++v) {
+    auto lv = full.For(v);
+    auto* out = reduced.Mutable(v);
+    size_t i = 0;
+    while (i < lv.size()) {
+      size_t ie = i + 1;
+      while (ie < lv.size() && lv[ie].hub == lv[i].hub) ++ie;
+      // Theorem 3: the last entry of the group carries the group's maximum
+      // quality — the only value reachability needs. Distance is kept for
+      // diagnostics but unused by Reachable().
+      out->push_back(lv[ie - 1]);
+      i = ie;
+    }
+  }
+  return WcReachabilityIndex(std::move(reduced), index.order());
+}
+
+WcReachabilityIndex WcReachabilityIndex::Build(const QualityGraph& g,
+                                               const WcIndexOptions& options) {
+  return FromWcIndex(WcIndex::Build(g, options));
+}
+
+bool WcReachabilityIndex::Reachable(Vertex s, Vertex t, Quality w) const {
+  if (s == t) return true;
+  auto ls = labels_.For(s);
+  auto lt = labels_.For(t);
+  size_t i = 0, j = 0;
+  while (i < ls.size() && j < lt.size()) {
+    if (ls[i].hub < lt[j].hub) {
+      ++i;
+    } else if (lt[j].hub < ls[i].hub) {
+      ++j;
+    } else {
+      if (ls[i].quality >= w && lt[j].quality >= w) return true;
+      ++i;
+      ++j;
+    }
+  }
+  return false;
+}
+
+Quality WcReachabilityIndex::BestQuality(Vertex s, Vertex t) const {
+  if (s == t) return kInfQuality;
+  Quality best = -std::numeric_limits<Quality>::infinity();
+  auto ls = labels_.For(s);
+  auto lt = labels_.For(t);
+  size_t i = 0, j = 0;
+  while (i < ls.size() && j < lt.size()) {
+    if (ls[i].hub < lt[j].hub) {
+      ++i;
+    } else if (lt[j].hub < ls[i].hub) {
+      ++j;
+    } else {
+      best = std::max(best, std::min(ls[i].quality, lt[j].quality));
+      ++i;
+      ++j;
+    }
+  }
+  return best;
+}
+
+}  // namespace wcsd

@@ -1,0 +1,57 @@
+// Quality-constrained reachability: the boolean sibling of WCSD.
+//
+// The paper's related-work line (weight-constrained reachability, Qiao et
+// al.; the authors' label-constrained reachability systems) asks only
+// whether SOME w-path exists. That answer needs far less index than the
+// distance problem: per (vertex, hub) group only the maximum-quality entry
+// matters, because an entry pair certifies reachability at w iff both
+// qualities are >= w, and Theorem 3 places each group's maximum quality on
+// its last entry. Reducing WC-INDEX labels to that one entry per group
+// yields a reachability oracle several times smaller that shares the same
+// soundness/completeness argument.
+
+#ifndef WCSD_CORE_REACHABILITY_H_
+#define WCSD_CORE_REACHABILITY_H_
+
+#include "core/wc_index.h"
+#include "graph/graph.h"
+#include "labeling/label_set.h"
+#include "order/vertex_order.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// 2-hop oracle for "does a w-path from s to t exist?".
+class WcReachabilityIndex {
+ public:
+  /// Builds by reducing a full WC-INDEX (cheapest when one is already at
+  /// hand; the reduction itself is linear in the label size).
+  static WcReachabilityIndex FromWcIndex(const WcIndex& index);
+
+  /// Convenience: builds the WC-INDEX internally, then reduces it.
+  static WcReachabilityIndex Build(const QualityGraph& g,
+                                   const WcIndexOptions& options = {});
+
+  /// True iff some w-path connects s and t.
+  bool Reachable(Vertex s, Vertex t, Quality w) const;
+
+  /// The best (maximum) quality threshold under which t is reachable from
+  /// s, or -infinity if they are disconnected entirely. This is the
+  /// "highest sustainable bandwidth class" primitive of the QoS scenario.
+  Quality BestQuality(Vertex s, Vertex t) const;
+
+  const LabelSet& labels() const { return labels_; }
+  size_t MemoryBytes() const { return labels_.MemoryBytes(); }
+  size_t TotalEntries() const { return labels_.TotalEntries(); }
+
+ private:
+  WcReachabilityIndex(LabelSet labels, VertexOrder order)
+      : labels_(std::move(labels)), order_(std::move(order)) {}
+
+  LabelSet labels_;
+  VertexOrder order_;
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_CORE_REACHABILITY_H_

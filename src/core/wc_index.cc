@@ -1,0 +1,314 @@
+#include "core/wc_index.h"
+
+#include <cassert>
+#include <fstream>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "order/hybrid_order.h"
+#include "order/tree_decomposition.h"
+#include "util/epoch_array.h"
+#include "util/timer.h"
+
+namespace wcsd {
+
+namespace {
+constexpr Quality kNegInfQuality = -std::numeric_limits<Quality>::infinity();
+}  // namespace
+
+VertexOrder MakeOrder(const QualityGraph& g, const WcIndexOptions& options) {
+  switch (options.ordering) {
+    case WcIndexOptions::Ordering::kDegree:
+      return DegreeOrder(g);
+    case WcIndexOptions::Ordering::kTreeDecomposition:
+      return TreeDecompositionOrder(g);
+    case WcIndexOptions::Ordering::kHybrid: {
+      HybridOptions h;
+      h.degree_threshold = options.hybrid_degree_threshold != 0
+                               ? options.hybrid_degree_threshold
+                               : AutoDegreeThreshold(g);
+      return HybridOrder(g, h);
+    }
+    case WcIndexOptions::Ordering::kRandom:
+      return RandomOrder(g.NumVertices(), options.seed);
+    case WcIndexOptions::Ordering::kIdentity:
+      return IdentityOrder(g.NumVertices());
+  }
+  return DegreeOrder(g);
+}
+
+/// One-shot builder implementing Algorithm 3. Scratch state lives for the
+/// whole build and is epoch-reset between roots (§IV.C Efficient
+/// Initialization).
+class WcIndexBuilder {
+ public:
+  WcIndexBuilder(const QualityGraph& g, VertexOrder order,
+                 const WcIndexOptions& options)
+      : g_(g),
+        order_(std::move(order)),
+        options_(options),
+        labels_(g.NumVertices()),
+        max_quality_(g.NumVertices(), kNegInfQuality),
+        in_next_(g.NumVertices(), false),
+        memo_quality_(g.NumVertices(), kNegInfQuality),
+        hub_group_begin_(g.NumVertices(), 0),
+        hub_group_end_(g.NumVertices(), 0),
+        pred_(g.NumVertices(), kNullVertex) {
+    if (options.record_parents) parents_.resize(g.NumVertices());
+  }
+
+  WcIndex Run() {
+    Timer timer;
+    const size_t n = g_.NumVertices();
+    for (Rank k = 0; k < n; ++k) {
+      BfsFromRoot(k);
+    }
+    stats_.build_seconds = timer.Seconds();
+    WcIndex index(std::move(labels_), std::move(order_), stats_);
+    index.parents_ = std::move(parents_);
+    return index;
+  }
+
+ private:
+  // Frontier entry: the paper's queue tuple (u, d, w) with d implicit in
+  // the level structure, plus the BFS predecessor for §V quad labels.
+  struct Frontier {
+    Vertex vertex;
+    Quality quality;
+    Vertex parent;
+  };
+
+  // Constrained BFS from the k-th vertex in the order (Algorithm 3 lines
+  // 3-17).
+  void BfsFromRoot(Rank k) {
+    const Vertex root = order_.VertexAt(k);
+
+    // Per-root scratch reset (O(1) via epochs): R vector (line 4), the
+    // satisfied-query memo, and the root's hub lookup table.
+    max_quality_.Clear();
+    memo_quality_.Clear();
+    pred_.Clear();
+    if (options_.query_efficient) BuildHubTable(root);
+
+    max_quality_.Set(root, kInfQuality);
+    cur_.clear();
+    nxt_.clear();
+    cur_.push_back(Frontier{root, kInfQuality, kNullVertex});
+
+    Distance d = 0;
+    while (!cur_.empty()) {
+      in_next_.Clear();
+      nxt_.clear();
+      for (const Frontier& f : cur_) {
+        ++stats_.pops;
+        if (!ProcessPop(k, root, f.vertex, d, f.quality, f.parent)) continue;
+        Relax(k, f.vertex, f.quality);
+      }
+      // Line 17: only after the whole level is processed are the updated
+      // vertices pushed, each once, with the maximal quality seen (the
+      // quality-priority order at no extra cost).
+      cur_.clear();
+      for (Vertex v : nxt_) {
+        cur_.push_back(Frontier{v, max_quality_.Get(v), pred_.Get(v)});
+      }
+      ++d;
+    }
+  }
+
+  // Lines 11-12: dominance-prune against the partial index, else append the
+  // new entry. Returns true if the entry was added (and should expand).
+  bool ProcessPop(Rank k, Vertex root, Vertex u, Distance d, Quality w,
+                  Vertex parent) {
+    if (options_.further_pruning && memo_quality_.Get(u) >= w) {
+      ++stats_.pruned_by_memo;
+      return false;
+    }
+    bool covered = options_.query_efficient
+                       ? CoveredFast(root, u, d, w)
+                       : CoveredBasic(root, u, d, w);
+    if (covered) {
+      ++stats_.pruned_by_query;
+      if (options_.further_pruning) memo_quality_.Set(u, w);
+      return false;
+    }
+    labels_.Append(u, LabelEntry{k, d, w});
+    if (!parents_.empty()) parents_[u].push_back(parent);
+    ++stats_.entries_added;
+    return true;
+  }
+
+  // Lines 13-16: explore higher-ranked neighbors, keeping per vertex only
+  // the maximum-quality candidate for the next level (the R test).
+  void Relax(Rank k, Vertex u, Quality w) {
+    for (const Arc& a : g_.Neighbors(u)) {
+      if (order_.RankOf(a.to) <= k) continue;
+      ++stats_.relaxations;
+      Quality next_quality = std::min(a.quality, w);
+      if (next_quality <= max_quality_.Get(a.to)) continue;
+      max_quality_.Set(a.to, next_quality);
+      pred_.Set(a.to, u);
+      if (!in_next_.Get(a.to)) {
+        in_next_.Set(a.to, true);
+        nxt_.push_back(a.to);
+      }
+    }
+  }
+
+  // Per-root hub table T (§IV.C "Querying"): hub rank -> entry range in
+  // L(root). Built once per root in O(|L(root)|).
+  void BuildHubTable(Vertex root) {
+    hub_group_begin_.Clear();
+    hub_group_end_.Clear();
+    auto lr = labels_.For(root);
+    size_t i = 0;
+    while (i < lr.size()) {
+      size_t ie = i + 1;
+      while (ie < lr.size() && lr[ie].hub == lr[i].hub) ++ie;
+      hub_group_begin_.Set(lr[i].hub, static_cast<uint32_t>(i));
+      hub_group_end_.Set(lr[i].hub, static_cast<uint32_t>(ie));
+      i = ie;
+    }
+  }
+
+  // Query-efficient cover check: one pass over L(u), O(1) root-side group
+  // lookup through T, binary searches inside groups (Theorem 3).
+  bool CoveredFast(Vertex root, Vertex u, Distance d, Quality w) {
+    auto lr = labels_.For(root);
+    auto lu = labels_.For(u);
+    size_t i = 0;
+    while (i < lu.size()) {
+      size_t ie = i + 1;
+      Rank hub = lu[i].hub;
+      while (ie < lu.size() && lu[ie].hub == hub) ++ie;
+      if (hub_group_begin_.Contains(hub)) {
+        size_t rb = hub_group_begin_.Get(hub);
+        size_t re = hub_group_end_.Get(hub);
+        size_t ri = FirstWithQuality(lr, rb, re, w);
+        if (ri != re) {
+          size_t ui = FirstWithQuality(lu, i, ie, w);
+          if (ui != ie && lr[ri].dist + lu[ui].dist <= d) return true;
+        }
+      }
+      i = ie;
+    }
+    return false;
+  }
+
+  // Basic cover check (plain WC-INDEX): re-resolve hub groups with binary
+  // search over L(root) for every query — Algorithm 4 shape.
+  bool CoveredBasic(Vertex root, Vertex u, Distance d, Quality w) {
+    return QueryLabelsHubGrouped(labels_.For(root), labels_.For(u), w) <= d;
+  }
+
+  const QualityGraph& g_;
+  VertexOrder order_;
+  WcIndexOptions options_;
+  LabelSet labels_;
+  WcIndexBuildStats stats_;
+
+  EpochArray<Quality> max_quality_;  // the paper's R vector
+  EpochArray<bool> in_next_;
+  EpochArray<Quality> memo_quality_;
+  EpochArray<uint32_t> hub_group_begin_;
+  EpochArray<uint32_t> hub_group_end_;
+  EpochArray<Vertex> pred_;
+  std::vector<Frontier> cur_;
+  std::vector<Vertex> nxt_;
+  std::vector<std::vector<Vertex>> parents_;
+};
+
+WcIndex WcIndex::Build(const QualityGraph& g, const WcIndexOptions& options) {
+  return BuildWithOrder(g, MakeOrder(g, options), options);
+}
+
+WcIndex WcIndex::BuildWithOrder(const QualityGraph& g, VertexOrder order,
+                                const WcIndexOptions& options) {
+  assert(order.size() == g.NumVertices());
+  WcIndexBuilder builder(g, std::move(order), options);
+  return builder.Run();
+}
+
+Distance WcIndex::Query(Vertex s, Vertex t, Quality w) const {
+  if (s == t) return 0;
+  return QueryLabelsMerge(labels_.For(s), labels_.For(t), w);
+}
+
+Distance WcIndex::Query(Vertex s, Vertex t, Quality w, QueryImpl impl) const {
+  if (s == t) return 0;
+  return QueryLabels(labels_.For(s), labels_.For(t), w, impl);
+}
+
+HubQueryResult WcIndex::QueryWithHub(Vertex s, Vertex t, Quality w) const {
+  if (s == t) {
+    HubQueryResult r;
+    r.dist = 0;
+    r.via_hub = order_.RankOf(s);
+    r.dist_from_s = 0;
+    r.dist_to_t = 0;
+    return r;
+  }
+  return QueryLabelsMergeWithHub(labels_.For(s), labels_.For(t), w);
+}
+
+namespace {
+constexpr uint64_t kIndexMagic = 0x57435344'494e4458ULL;  // "WCSDINDX"
+}  // namespace
+
+Status WcIndex::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(&kIndexMagic), sizeof(kIndexMagic));
+  uint64_t n = labels_.NumVertices();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(order_.by_rank().data()),
+            static_cast<std::streamsize>(n * sizeof(Vertex)));
+  for (uint64_t v = 0; v < n; ++v) {
+    auto lv = labels_.For(static_cast<Vertex>(v));
+    uint64_t count = lv.size();
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    out.write(reinterpret_cast<const char*>(lv.data()),
+              static_cast<std::streamsize>(count * sizeof(LabelEntry)));
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<WcIndex> WcIndex::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  uint64_t magic = 0, n = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kIndexMagic) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in) return Status::Corruption("truncated header in " + path);
+  std::vector<Vertex> by_rank(n);
+  in.read(reinterpret_cast<char*>(by_rank.data()),
+          static_cast<std::streamsize>(n * sizeof(Vertex)));
+  if (!in) return Status::Corruption("truncated order in " + path);
+
+  WcIndex index;
+  index.order_ = VertexOrder(std::move(by_rank));
+  if (!index.order_.IsValid()) {
+    return Status::Corruption("order is not a permutation in " + path);
+  }
+  index.labels_ = LabelSet(n);
+  for (uint64_t v = 0; v < n; ++v) {
+    uint64_t count = 0;
+    in.read(reinterpret_cast<char*>(&count), sizeof(count));
+    if (!in) return Status::Corruption("truncated label count in " + path);
+    auto* lv = index.labels_.Mutable(static_cast<Vertex>(v));
+    lv->resize(count);
+    in.read(reinterpret_cast<char*>(lv->data()),
+            static_cast<std::streamsize>(count * sizeof(LabelEntry)));
+    if (!in) return Status::Corruption("truncated label entries in " + path);
+  }
+  if (!index.labels_.IsSorted()) {
+    return Status::Corruption("unsorted labels in " + path);
+  }
+  return index;
+}
+
+}  // namespace wcsd

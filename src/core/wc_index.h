@@ -1,0 +1,172 @@
+// WC-INDEX: the paper's primary contribution (§IV).
+//
+// A single 2-hop labeling answering w-constrained distance queries for
+// arbitrary real thresholds w. Construction (Algorithm 3) runs one
+// constrained BFS per vertex in a chosen vertex order, with:
+//   * distance-prioritized, quality-prioritized search (level-synchronous
+//     BFS whose per-level frontier keeps only the maximum-quality path per
+//     vertex via the R vector) — Lemma 1;
+//   * dominance pruning against the partial index (Line 11's QUERY), which
+//     yields a Sound, Complete, and Minimal index (Theorem 1);
+//   * the §IV.C engineering: O(1)-reset scratch arrays, a per-root hub
+//     table making each pruning query O(|L(u)|), and the "Further Pruning"
+//     memo of satisfied queries.
+
+#ifndef WCSD_CORE_WC_INDEX_H_
+#define WCSD_CORE_WC_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "labeling/label_set.h"
+#include "labeling/query.h"
+#include "order/vertex_order.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// Construction options.
+struct WcIndexOptions {
+  /// Vertex-ordering scheme (§IV.D).
+  enum class Ordering {
+    kDegree,             // canonical PLL order; paper's WC-INDEX basic
+    kTreeDecomposition,  // MDE hierarchy (roads)
+    kHybrid,             // degree core + MDE periphery; paper's WC-INDEX+
+    kRandom,             // ablation baseline
+    kIdentity,           // vertex-id order; golden tests vs. the paper
+  };
+
+  Ordering ordering = Ordering::kDegree;
+
+  /// Hybrid degree threshold delta; 0 = choose automatically.
+  size_t hybrid_degree_threshold = 0;
+
+  /// Seed for kRandom ordering.
+  uint64_t seed = 42;
+
+  /// Use the §IV.C query-efficient construction (per-root hub table +
+  /// binary search). False = re-resolve hub groups per pruning query, the
+  /// plain WC-INDEX of the experiments.
+  bool query_efficient = true;
+
+  /// Enable the "Further Pruning" memo of satisfied construction queries.
+  bool further_pruning = true;
+
+  /// Record BFS parents per label entry (the paper's §V quad labels
+  /// (u, d_u, w_u, p_uv)), enabling path reconstruction. Adds one Vertex of
+  /// storage per entry. Parents are not serialized.
+  bool record_parents = false;
+
+  /// Preset matching the paper's WC-INDEX: the basic construction query
+  /// (Algorithm 4 per pop), no memo. The ordering matches WC-INDEX+ — the
+  /// paper's Exp 2 notes both "use the same vertex ordering", which is why
+  /// their index sizes coincide; only construction time differs.
+  static WcIndexOptions Basic() {
+    WcIndexOptions o;
+    o.ordering = Ordering::kHybrid;
+    o.query_efficient = false;
+    o.further_pruning = false;
+    return o;
+  }
+
+  /// Preset matching the paper's WC-INDEX+: hybrid order, query-efficient.
+  static WcIndexOptions Plus() {
+    WcIndexOptions o;
+    o.ordering = Ordering::kHybrid;
+    o.query_efficient = true;
+    o.further_pruning = true;
+    return o;
+  }
+};
+
+/// Counters recorded during construction (reported by the benches).
+struct WcIndexBuildStats {
+  size_t entries_added = 0;
+  size_t pops = 0;
+  size_t pruned_by_query = 0;
+  size_t pruned_by_memo = 0;
+  size_t relaxations = 0;
+  double build_seconds = 0.0;
+};
+
+/// The WC-INDEX (Def. 6): per-vertex sets of (hub, distance, quality)
+/// entries describing minimal w-paths.
+class WcIndex {
+ public:
+  /// Builds the index for `g`, deriving the vertex order from options.
+  static WcIndex Build(const QualityGraph& g,
+                       const WcIndexOptions& options = {});
+
+  /// Builds with an explicit, caller-supplied vertex order.
+  static WcIndex BuildWithOrder(const QualityGraph& g, VertexOrder order,
+                                const WcIndexOptions& options = {});
+
+  /// w-constrained distance between s and t (Query+, Algorithm 5).
+  Distance Query(Vertex s, Vertex t, Quality w) const;
+
+  /// Same, with an explicit query implementation (ablation).
+  Distance Query(Vertex s, Vertex t, Quality w, QueryImpl impl) const;
+
+  /// Query that also reports the witnessing hub (path reconstruction).
+  HubQueryResult QueryWithHub(Vertex s, Vertex t, Quality w) const;
+
+  /// True if some w-path connects s and t.
+  bool Reachable(Vertex s, Vertex t, Quality w) const {
+    return Query(s, t, w) != kInfDistance;
+  }
+
+  const LabelSet& labels() const { return labels_; }
+  const VertexOrder& order() const { return order_; }
+  const WcIndexBuildStats& build_stats() const { return stats_; }
+
+  /// True if §V quad labels (BFS parents) were recorded at build time.
+  bool has_parents() const { return !parents_.empty(); }
+
+  /// Parents aligned with labels().For(v): parents(v)[i] is the predecessor
+  /// of v on the minimal path witnessing entry i (kNullVertex for self
+  /// entries). Empty unless built with record_parents.
+  std::span<const Vertex> Parents(Vertex v) const {
+    static const std::vector<Vertex> kEmpty;
+    const auto& pv = parents_.empty() ? kEmpty : parents_[v];
+    return {pv.data(), pv.size()};
+  }
+
+  /// Number of vertices indexed.
+  size_t NumVertices() const { return labels_.NumVertices(); }
+
+  /// Index size in bytes (Figures 6/9/11 report this).
+  size_t MemoryBytes() const { return labels_.MemoryBytes(); }
+
+  /// Total number of label entries.
+  size_t TotalEntries() const { return labels_.TotalEntries(); }
+
+  /// Serialization.
+  Status Save(const std::string& path) const;
+  static Result<WcIndex> Load(const std::string& path);
+
+ private:
+  friend class WcIndexBuilder;
+  friend class DynamicWcIndex;
+
+  WcIndex() = default;
+  WcIndex(LabelSet labels, VertexOrder order, WcIndexBuildStats stats)
+      : labels_(std::move(labels)),
+        order_(std::move(order)),
+        stats_(stats) {}
+
+  LabelSet labels_;
+  VertexOrder order_;
+  WcIndexBuildStats stats_;
+  std::vector<std::vector<Vertex>> parents_;
+};
+
+/// Resolves an Ordering scheme to a concrete vertex order for `g`.
+VertexOrder MakeOrder(const QualityGraph& g, const WcIndexOptions& options);
+
+}  // namespace wcsd
+
+#endif  // WCSD_CORE_WC_INDEX_H_

@@ -1,0 +1,91 @@
+#include "core/weighted_wc_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "util/epoch_array.h"
+
+namespace wcsd {
+
+namespace {
+
+constexpr Quality kNegInfQuality = -std::numeric_limits<Quality>::infinity();
+
+// Priority-queue candidate, ordered by (dist asc, quality desc): among
+// equal distances the best quality surfaces first, so it is inserted and
+// the rest are dominated — the Dijkstra form of the paper's quality order.
+struct Candidate {
+  Distance dist;
+  Quality quality;
+  Vertex vertex;
+
+  bool operator>(const Candidate& other) const {
+    if (dist != other.dist) return dist > other.dist;
+    return quality < other.quality;
+  }
+};
+
+VertexOrder WeightedDegreeOrder(const WeightedQualityGraph& g) {
+  std::vector<Vertex> by_rank(g.NumVertices());
+  std::iota(by_rank.begin(), by_rank.end(), 0);
+  std::stable_sort(by_rank.begin(), by_rank.end(), [&g](Vertex a, Vertex b) {
+    if (g.Degree(a) != g.Degree(b)) return g.Degree(a) > g.Degree(b);
+    return a < b;
+  });
+  return VertexOrder(std::move(by_rank));
+}
+
+}  // namespace
+
+WeightedWcIndex WeightedWcIndex::Build(const WeightedQualityGraph& g) {
+  return BuildWithOrder(g, WeightedDegreeOrder(g));
+}
+
+WeightedWcIndex WeightedWcIndex::BuildWithOrder(const WeightedQualityGraph& g,
+                                                VertexOrder order) {
+  const size_t n = g.NumVertices();
+  LabelSet labels(n);
+  // R vector: maximum quality among candidates already POPPED per vertex.
+  // Pops arrive in ascending distance, so a pop with quality <= R(v) is
+  // dominated (Def. 4) by an earlier pop.
+  EpochArray<Quality> max_quality(n, kNegInfQuality);
+
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>>
+      queue;
+  for (Rank k = 0; k < n; ++k) {
+    const Vertex root = order.VertexAt(k);
+    max_quality.Clear();
+    while (!queue.empty()) queue.pop();
+    queue.push(Candidate{0, kInfQuality, root});
+
+    while (!queue.empty()) {
+      Candidate c = queue.top();
+      queue.pop();
+      if (c.quality <= max_quality.Get(c.vertex)) continue;  // Dominated.
+      max_quality.Set(c.vertex, c.quality);
+      // Dominance-prune against the partial index.
+      if (QueryLabelsMerge(labels.For(root), labels.For(c.vertex),
+                           c.quality) <= c.dist) {
+        continue;
+      }
+      labels.Append(c.vertex, LabelEntry{k, c.dist, c.quality});
+      for (const WeightedArc& a : g.Neighbors(c.vertex)) {
+        if (order.RankOf(a.to) <= k) continue;
+        Quality nq = std::min(a.quality, c.quality);
+        if (nq <= max_quality.Get(a.to)) continue;  // Already dominated.
+        queue.push(Candidate{c.dist + a.length, nq, a.to});
+      }
+    }
+  }
+  return WeightedWcIndex(std::move(labels), std::move(order));
+}
+
+Distance WeightedWcIndex::Query(Vertex s, Vertex t, Quality w) const {
+  if (s == t) return 0;
+  return QueryLabelsMerge(labels_.For(s), labels_.For(t), w);
+}
+
+}  // namespace wcsd

@@ -1,0 +1,49 @@
+// WC-INDEX on weighted graphs (paper §V: "In cases where the length of an
+// edge is not 1 ... we can convert the constrained BFS to a constrained
+// Dijkstra").
+//
+// Construction pops candidates in (distance asc, quality desc) order — the
+// Dijkstra analogue of the distance-priority / quality-priority discipline —
+// so the per-(root, vertex) entry stream keeps the Theorem 3 monotonicity
+// and the dominance pruning carries over unchanged.
+
+#ifndef WCSD_CORE_WEIGHTED_WC_INDEX_H_
+#define WCSD_CORE_WEIGHTED_WC_INDEX_H_
+
+#include "graph/weighted_graph.h"
+#include "labeling/label_set.h"
+#include "labeling/query.h"
+#include "order/vertex_order.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// WC-INDEX over a weighted quality graph.
+class WeightedWcIndex {
+ public:
+  /// Builds with the degree order of `g`.
+  static WeightedWcIndex Build(const WeightedQualityGraph& g);
+
+  /// Builds with an explicit vertex order.
+  static WeightedWcIndex BuildWithOrder(const WeightedQualityGraph& g,
+                                        VertexOrder order);
+
+  /// w-constrained shortest summed-length distance between s and t.
+  Distance Query(Vertex s, Vertex t, Quality w) const;
+
+  const LabelSet& labels() const { return labels_; }
+  const VertexOrder& order() const { return order_; }
+  size_t MemoryBytes() const { return labels_.MemoryBytes(); }
+  size_t TotalEntries() const { return labels_.TotalEntries(); }
+
+ private:
+  WeightedWcIndex(LabelSet labels, VertexOrder order)
+      : labels_(std::move(labels)), order_(std::move(order)) {}
+
+  LabelSet labels_;
+  VertexOrder order_;
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_CORE_WEIGHTED_WC_INDEX_H_

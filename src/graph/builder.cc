@@ -1,0 +1,60 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wcsd {
+
+void GraphBuilder::AddEdge(Vertex u, Vertex v, Quality q) {
+  assert(u < num_vertices_ && v < num_vertices_);
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  edges_.push_back({u, v, q});
+}
+
+QualityGraph GraphBuilder::Build() const {
+  // Sort staged edges by endpoints so duplicates are adjacent, then merge
+  // duplicates keeping the maximum quality.
+  std::vector<StagedEdge> sorted = edges_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const StagedEdge& a, const StagedEdge& b) {
+              if (a.u != b.u) return a.u < b.u;
+              if (a.v != b.v) return a.v < b.v;
+              return a.quality > b.quality;
+            });
+  std::vector<StagedEdge> merged;
+  merged.reserve(sorted.size());
+  for (const StagedEdge& e : sorted) {
+    if (!merged.empty() && merged.back().u == e.u && merged.back().v == e.v) {
+      continue;  // Duplicate with lower-or-equal quality (sort order).
+    }
+    merged.push_back(e);
+  }
+
+  // Counting pass for CSR offsets (each undirected edge contributes two
+  // arcs), then a placement pass.
+  std::vector<size_t> offsets(num_vertices_ + 1, 0);
+  for (const StagedEdge& e : merged) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (size_t i = 1; i <= num_vertices_; ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<Arc> arcs(merged.size() * 2);
+  std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const StagedEdge& e : merged) {
+    arcs[cursor[e.u]++] = Arc{e.v, e.quality};
+    arcs[cursor[e.v]++] = Arc{e.u, e.quality};
+  }
+
+  // Neighbor lists sorted by target id: deterministic iteration and
+  // binary-searchable adjacency for tests.
+  for (size_t u = 0; u < num_vertices_; ++u) {
+    std::sort(arcs.begin() + static_cast<ptrdiff_t>(offsets[u]),
+              arcs.begin() + static_cast<ptrdiff_t>(offsets[u + 1]),
+              [](const Arc& a, const Arc& b) { return a.to < b.to; });
+  }
+  return QualityGraph(std::move(offsets), std::move(arcs));
+}
+
+}  // namespace wcsd

@@ -1,0 +1,82 @@
+#include "graph/directed_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+#include "graph/builder.h"
+
+namespace wcsd {
+
+namespace {
+
+// Compiles a directed arc list into CSR keyed by `key` (source for the out
+// view, target for the in view). The stored Arc.to is the opposite endpoint.
+void CompileCsr(size_t n,
+                const std::vector<std::tuple<Vertex, Vertex, Quality>>& arcs,
+                bool key_is_source, std::vector<size_t>* offsets,
+                std::vector<Arc>* out) {
+  offsets->assign(n + 1, 0);
+  for (const auto& [u, v, q] : arcs) {
+    (void)q;
+    ++(*offsets)[(key_is_source ? u : v) + 1];
+  }
+  for (size_t i = 1; i <= n; ++i) (*offsets)[i] += (*offsets)[i - 1];
+  out->resize(arcs.size());
+  std::vector<size_t> cursor(offsets->begin(), offsets->end() - 1);
+  for (const auto& [u, v, q] : arcs) {
+    Vertex key = key_is_source ? u : v;
+    Vertex other = key_is_source ? v : u;
+    (*out)[cursor[key]++] = Arc{other, q};
+  }
+  for (size_t u = 0; u < n; ++u) {
+    std::sort(out->begin() + static_cast<ptrdiff_t>((*offsets)[u]),
+              out->begin() + static_cast<ptrdiff_t>((*offsets)[u + 1]),
+              [](const Arc& a, const Arc& b) { return a.to < b.to; });
+  }
+}
+
+}  // namespace
+
+DirectedQualityGraph DirectedQualityGraph::FromEdges(
+    size_t num_vertices,
+    const std::vector<std::tuple<Vertex, Vertex, Quality>>& edges) {
+  // Normalize: drop self-loops, merge duplicate arcs keeping max quality.
+  std::vector<std::tuple<Vertex, Vertex, Quality>> arcs;
+  arcs.reserve(edges.size());
+  for (const auto& [u, v, q] : edges) {
+    assert(u < num_vertices && v < num_vertices);
+    if (u != v) arcs.emplace_back(u, v, q);
+  }
+  std::sort(arcs.begin(), arcs.end(),
+            [](const auto& a, const auto& b) {
+              if (std::get<0>(a) != std::get<0>(b))
+                return std::get<0>(a) < std::get<0>(b);
+              if (std::get<1>(a) != std::get<1>(b))
+                return std::get<1>(a) < std::get<1>(b);
+              return std::get<2>(a) > std::get<2>(b);
+            });
+  arcs.erase(std::unique(arcs.begin(), arcs.end(),
+                         [](const auto& a, const auto& b) {
+                           return std::get<0>(a) == std::get<0>(b) &&
+                                  std::get<1>(a) == std::get<1>(b);
+                         }),
+             arcs.end());
+
+  DirectedQualityGraph g;
+  CompileCsr(num_vertices, arcs, /*key_is_source=*/true, &g.out_offsets_,
+             &g.out_arcs_);
+  CompileCsr(num_vertices, arcs, /*key_is_source=*/false, &g.in_offsets_,
+             &g.in_arcs_);
+  return g;
+}
+
+QualityGraph DirectedQualityGraph::AsUndirected() const {
+  GraphBuilder builder(NumVertices());
+  for (Vertex u = 0; u < NumVertices(); ++u) {
+    for (const Arc& a : OutNeighbors(u)) builder.AddEdge(u, a.to, a.quality);
+  }
+  return builder.Build();
+}
+
+}  // namespace wcsd

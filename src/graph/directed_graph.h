@@ -1,0 +1,66 @@
+// DirectedQualityGraph: the directed-graph extension substrate (paper §V).
+//
+// WC-INDEX on a directed graph keeps two label sets per vertex (L_in/L_out)
+// and runs the constrained BFS in both edge directions from each hub; the
+// graph therefore exposes both out-adjacency and in-adjacency in CSR form.
+
+#ifndef WCSD_GRAPH_DIRECTED_GRAPH_H_
+#define WCSD_GRAPH_DIRECTED_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// Immutable directed graph with per-edge qualities; both directions of
+/// adjacency are materialized.
+class DirectedQualityGraph {
+ public:
+  DirectedQualityGraph() = default;
+
+  /// Builds from a directed edge list (u -> v with quality q). Self-loops
+  /// are dropped; duplicate arcs keep the max quality.
+  static DirectedQualityGraph FromEdges(
+      size_t num_vertices,
+      const std::vector<std::tuple<Vertex, Vertex, Quality>>& edges);
+
+  size_t NumVertices() const {
+    return out_offsets_.empty() ? 0 : out_offsets_.size() - 1;
+  }
+  size_t NumArcs() const { return out_arcs_.size(); }
+
+  /// Successors of `u` (arcs leaving u).
+  std::span<const Arc> OutNeighbors(Vertex u) const {
+    return {out_arcs_.data() + out_offsets_[u],
+            out_arcs_.data() + out_offsets_[u + 1]};
+  }
+
+  /// Predecessors of `u` (sources of arcs entering u).
+  std::span<const Arc> InNeighbors(Vertex u) const {
+    return {in_arcs_.data() + in_offsets_[u],
+            in_arcs_.data() + in_offsets_[u + 1]};
+  }
+
+  size_t OutDegree(Vertex u) const {
+    return out_offsets_[u + 1] - out_offsets_[u];
+  }
+  size_t InDegree(Vertex u) const {
+    return in_offsets_[u + 1] - in_offsets_[u];
+  }
+
+  /// Converts to the undirected view used by vertex-ordering heuristics.
+  QualityGraph AsUndirected() const;
+
+ private:
+  std::vector<size_t> out_offsets_;
+  std::vector<Arc> out_arcs_;
+  std::vector<size_t> in_offsets_;
+  std::vector<Arc> in_arcs_;
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_GRAPH_DIRECTED_GRAPH_H_

@@ -1,0 +1,40 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wcsd {
+
+QualityGraph::QualityGraph(std::vector<size_t> offsets, std::vector<Arc> arcs)
+    : offsets_(std::move(offsets)), arcs_(std::move(arcs)) {
+  assert(!offsets_.empty());
+  assert(offsets_.front() == 0);
+  assert(offsets_.back() == arcs_.size());
+}
+
+Quality QualityGraph::EdgeQuality(Vertex u, Vertex v) const {
+  for (const Arc& a : Neighbors(u)) {
+    if (a.to == v) return a.quality;
+  }
+  return -1.0f;
+}
+
+std::vector<Quality> QualityGraph::DistinctQualities() const {
+  std::vector<Quality> qualities;
+  qualities.reserve(arcs_.size());
+  for (const Arc& a : arcs_) qualities.push_back(a.quality);
+  std::sort(qualities.begin(), qualities.end());
+  qualities.erase(std::unique(qualities.begin(), qualities.end()),
+                  qualities.end());
+  return qualities;
+}
+
+size_t QualityGraph::MaxDegree() const {
+  size_t max_degree = 0;
+  for (size_t u = 0; u + 1 < offsets_.size(); ++u) {
+    max_degree = std::max(max_degree, offsets_[u + 1] - offsets_[u]);
+  }
+  return max_degree;
+}
+
+}  // namespace wcsd

@@ -1,0 +1,81 @@
+// QualityGraph: the undirected, unit-length, quality-annotated graph of the
+// WCSD problem (paper §II.A: G(V, E, Delta, delta)).
+//
+// Storage is CSR (compressed sparse row): each undirected edge {u, v} with
+// quality q appears as two directed arcs (u->v, q) and (v->u, q). CSR keeps
+// neighbor scans cache-friendly, which dominates both online search and the
+// |V| constrained-BFS rounds of index construction.
+
+#ifndef WCSD_GRAPH_GRAPH_H_
+#define WCSD_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/types.h"
+
+namespace wcsd {
+
+/// A directed arc in CSR adjacency: target vertex plus the edge quality.
+struct Arc {
+  Vertex to;
+  Quality quality;
+
+  friend bool operator==(const Arc&, const Arc&) = default;
+};
+
+/// Immutable undirected graph with per-edge qualities, in CSR form.
+/// Construct via GraphBuilder (graph/builder.h) or a generator.
+class QualityGraph {
+ public:
+  QualityGraph() = default;
+
+  /// Assembles a graph from raw CSR arrays. `offsets` has n+1 entries;
+  /// `arcs[offsets[u]..offsets[u+1])` are u's neighbors. Both directions of
+  /// every undirected edge must be present; GraphBuilder guarantees this.
+  QualityGraph(std::vector<size_t> offsets, std::vector<Arc> arcs);
+
+  /// Number of vertices.
+  size_t NumVertices() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Number of undirected edges (arc count / 2).
+  size_t NumEdges() const { return arcs_.size() / 2; }
+
+  /// Neighbors of `u` with their edge qualities.
+  std::span<const Arc> Neighbors(Vertex u) const {
+    return {arcs_.data() + offsets_[u], arcs_.data() + offsets_[u + 1]};
+  }
+
+  /// Degree of `u`.
+  size_t Degree(Vertex u) const { return offsets_[u + 1] - offsets_[u]; }
+
+  /// Quality of edge (u, v), or a negative value if absent. Linear in
+  /// deg(u); intended for tests and small-scale assertions, not hot paths.
+  Quality EdgeQuality(Vertex u, Vertex v) const;
+
+  /// Sorted unique quality values present in the graph (the paper's Delta;
+  /// its size is |w|).
+  std::vector<Quality> DistinctQualities() const;
+
+  /// Bytes used by the CSR arrays (the paper's Tables V / VI measure the
+  /// memory for storing each network).
+  size_t MemoryBytes() const {
+    return offsets_.size() * sizeof(size_t) + arcs_.size() * sizeof(Arc);
+  }
+
+  /// Maximum vertex degree (used in the complexity analysis of Alg. 3).
+  size_t MaxDegree() const;
+
+  friend bool operator==(const QualityGraph&, const QualityGraph&) = default;
+
+ private:
+  std::vector<size_t> offsets_;
+  std::vector<Arc> arcs_;
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_GRAPH_GRAPH_H_

@@ -1,0 +1,199 @@
+#include "graph/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace wcsd {
+
+namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool IsCommentOrBlank(const std::string& line) {
+  size_t i = line.find_first_not_of(" \t\r");
+  if (i == std::string::npos) return true;
+  return line[i] == '#' || line[i] == '%';
+}
+
+}  // namespace
+
+Result<QualityGraph> ParseEdgeList(const std::string& text,
+                                   size_t num_vertices_hint) {
+  struct Edge {
+    Vertex u, v;
+    Quality q;
+  };
+  std::vector<Edge> edges;
+  size_t max_id = 0;
+  std::istringstream stream(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream fields(line);
+    unsigned long long u = 0, v = 0;
+    double q = 0.0;
+    if (!(fields >> u >> v >> q)) {
+      return Status::Corruption("edge list line " + std::to_string(line_no) +
+                                ": expected 'u v q', got '" + line + "'");
+    }
+    edges.push_back({static_cast<Vertex>(u), static_cast<Vertex>(v),
+                     static_cast<Quality>(q)});
+    max_id = std::max<size_t>(max_id, std::max(u, v));
+  }
+  size_t n = edges.empty() ? num_vertices_hint
+                           : std::max(num_vertices_hint, max_id + 1);
+  GraphBuilder builder(n);
+  for (const Edge& e : edges) builder.AddEdge(e.u, e.v, e.q);
+  return builder.Build();
+}
+
+Result<QualityGraph> ReadEdgeListFile(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ParseEdgeList(text.value());
+}
+
+Status WriteEdgeListFile(const QualityGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "# wcsd quality edge list: u v quality\n";
+  for (Vertex u = 0; u < g.NumVertices(); ++u) {
+    for (const Arc& a : g.Neighbors(u)) {
+      if (u < a.to) out << u << ' ' << a.to << ' ' << a.quality << '\n';
+    }
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<QualityGraph> ParseDimacs(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  size_t n = 0;
+  bool saw_header = false;
+  struct Edge {
+    Vertex u, v;
+    Quality q;
+  };
+  std::vector<Edge> edges;
+  size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream fields(line);
+    char tag = 0;
+    fields >> tag;
+    if (tag == 'p') {
+      std::string kind;
+      unsigned long long nn = 0, mm = 0;
+      if (!(fields >> kind >> nn >> mm)) {
+        return Status::Corruption("bad DIMACS p-line at line " +
+                                  std::to_string(line_no));
+      }
+      n = nn;
+      saw_header = true;
+    } else if (tag == 'a') {
+      unsigned long long u = 0, v = 0;
+      double w = 0.0;
+      if (!(fields >> u >> v >> w)) {
+        return Status::Corruption("bad DIMACS a-line at line " +
+                                  std::to_string(line_no));
+      }
+      if (u == 0 || v == 0) {
+        return Status::Corruption("DIMACS ids are 1-based; got 0 at line " +
+                                  std::to_string(line_no));
+      }
+      edges.push_back({static_cast<Vertex>(u - 1), static_cast<Vertex>(v - 1),
+                       static_cast<Quality>(w)});
+    }
+  }
+  if (!saw_header) return Status::Corruption("missing DIMACS p-line");
+  GraphBuilder builder(n);
+  for (const Edge& e : edges) {
+    if (e.u >= n || e.v >= n) {
+      return Status::Corruption("DIMACS arc endpoint out of range");
+    }
+    builder.AddEdge(e.u, e.v, e.q);
+  }
+  return builder.Build();
+}
+
+Result<QualityGraph> ReadDimacsFile(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ParseDimacs(text.value());
+}
+
+namespace {
+constexpr uint64_t kBinaryMagic = 0x57435344'47525048ULL;  // "WCSDGRPH"
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+}  // namespace
+
+Status WriteBinaryGraph(const QualityGraph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  WritePod(out, kBinaryMagic);
+  uint64_t n = g.NumVertices();
+  uint64_t m = g.NumEdges();
+  WritePod(out, n);
+  WritePod(out, m);
+  for (Vertex u = 0; u < g.NumVertices(); ++u) {
+    for (const Arc& a : g.Neighbors(u)) {
+      if (u < a.to) {
+        WritePod(out, u);
+        WritePod(out, a.to);
+        WritePod(out, a.quality);
+      }
+    }
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<QualityGraph> ReadBinaryGraph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  uint64_t magic = 0, n = 0, m = 0;
+  if (!ReadPod(in, &magic) || magic != kBinaryMagic) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (!ReadPod(in, &n) || !ReadPod(in, &m)) {
+    return Status::Corruption("truncated header in " + path);
+  }
+  GraphBuilder builder(n);
+  for (uint64_t i = 0; i < m; ++i) {
+    Vertex u = 0, v = 0;
+    Quality q = 0;
+    if (!ReadPod(in, &u) || !ReadPod(in, &v) || !ReadPod(in, &q)) {
+      return Status::Corruption("truncated edge records in " + path);
+    }
+    if (u >= n || v >= n) return Status::Corruption("edge id out of range");
+    builder.AddEdge(u, v, q);
+  }
+  return builder.Build();
+}
+
+}  // namespace wcsd

@@ -1,0 +1,49 @@
+// Graph input/output.
+//
+// Three formats:
+//   * Quality edge-list text ("u v q" per line, '#' comments) — the natural
+//     interchange format for the paper's KONECT/SNAP-style datasets.
+//   * DIMACS .gr ("a u v w" arcs, 1-based) — the format of the USA road
+//     network instances the paper evaluates; the arc weight is read as the
+//     edge quality since WCSD edges are unit-length.
+//   * A binary snapshot (magic + CSR arrays) for fast reload in benches.
+
+#ifndef WCSD_GRAPH_IO_H_
+#define WCSD_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace wcsd {
+
+/// Parses a quality edge-list from text. Lines: "u v q" with 0-based vertex
+/// ids; blank lines and lines starting with '#' or '%' are skipped. The
+/// vertex count is 1 + max id unless `num_vertices_hint` is larger.
+Result<QualityGraph> ParseEdgeList(const std::string& text,
+                                   size_t num_vertices_hint = 0);
+
+/// Reads a quality edge-list file.
+Result<QualityGraph> ReadEdgeListFile(const std::string& path);
+
+/// Writes the graph as a quality edge-list file (one "u v q" line per
+/// undirected edge, u < v).
+Status WriteEdgeListFile(const QualityGraph& g, const std::string& path);
+
+/// Parses DIMACS .gr content ("p sp n m" header, "a u v w" arcs, 1-based
+/// ids). Arc weights become edge qualities.
+Result<QualityGraph> ParseDimacs(const std::string& text);
+
+/// Reads a DIMACS .gr file.
+Result<QualityGraph> ReadDimacsFile(const std::string& path);
+
+/// Writes a binary snapshot of the graph.
+Status WriteBinaryGraph(const QualityGraph& g, const std::string& path);
+
+/// Reads a binary snapshot written by WriteBinaryGraph.
+Result<QualityGraph> ReadBinaryGraph(const std::string& path);
+
+}  // namespace wcsd
+
+#endif  // WCSD_GRAPH_IO_H_

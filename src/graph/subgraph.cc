@@ -1,0 +1,39 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+
+namespace wcsd {
+
+QualityGraph FilterByQuality(const QualityGraph& g, Quality threshold) {
+  GraphBuilder builder(g.NumVertices());
+  for (Vertex u = 0; u < g.NumVertices(); ++u) {
+    for (const Arc& a : g.Neighbors(u)) {
+      if (u < a.to && a.quality >= threshold) {
+        builder.AddEdge(u, a.to, a.quality);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+QualityPartition::QualityPartition(const QualityGraph& g)
+    : thresholds_(g.DistinctQualities()) {
+  graphs_.reserve(thresholds_.size());
+  for (Quality t : thresholds_) graphs_.push_back(FilterByQuality(g, t));
+}
+
+std::optional<size_t> QualityPartition::LevelForConstraint(Quality w) const {
+  auto it = std::lower_bound(thresholds_.begin(), thresholds_.end(), w);
+  if (it == thresholds_.end()) return std::nullopt;
+  return static_cast<size_t>(it - thresholds_.begin());
+}
+
+size_t QualityPartition::MemoryBytes() const {
+  size_t total = 0;
+  for (const QualityGraph& g : graphs_) total += g.MemoryBytes();
+  return total;
+}
+
+}  // namespace wcsd

@@ -1,0 +1,57 @@
+// Quality-threshold filtering: the substrate of the partitioned baselines.
+//
+// The Naïve index (§III) and the W-BFS / per-partition Dijkstra baselines
+// (§VI) operate on the family of filtered graphs G_w = (V, {e : delta(e) >=
+// w}) for each distinct quality value w. A query threshold w0 maps to the
+// smallest distinct value >= w0 (filtering by w0 and by that value yield the
+// same edge set).
+
+#ifndef WCSD_GRAPH_SUBGRAPH_H_
+#define WCSD_GRAPH_SUBGRAPH_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// Returns the subgraph of `g` containing exactly the edges with quality
+/// >= `threshold` (vertex set unchanged).
+QualityGraph FilterByQuality(const QualityGraph& g, Quality threshold);
+
+/// The family of per-threshold filtered graphs, one per distinct quality.
+class QualityPartition {
+ public:
+  /// Builds all |w| filtered graphs of `g`. Memory is O(|w| * |E|) in the
+  /// worst case — exactly the blow-up the paper's Naïve analysis describes.
+  explicit QualityPartition(const QualityGraph& g);
+
+  /// Distinct quality values, ascending.
+  const std::vector<Quality>& thresholds() const { return thresholds_; }
+
+  /// Index into thresholds()/graphs() for query constraint `w`: the smallest
+  /// distinct value >= w. Returns nullopt if w exceeds every edge quality
+  /// (no edge is usable, so any s != t query is unreachable).
+  std::optional<size_t> LevelForConstraint(Quality w) const;
+
+  /// Filtered graph for thresholds()[level].
+  const QualityGraph& GraphAtLevel(size_t level) const {
+    return graphs_[level];
+  }
+
+  /// Number of distinct quality values (the paper's |w|).
+  size_t NumLevels() const { return thresholds_.size(); }
+
+  /// Total bytes across all filtered graphs.
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<Quality> thresholds_;
+  std::vector<QualityGraph> graphs_;
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,58 @@
+#include "graph/weighted_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wcsd {
+
+WeightedQualityGraph WeightedQualityGraph::FromEdges(
+    size_t num_vertices,
+    const std::vector<std::tuple<Vertex, Vertex, Distance, Quality>>& edges) {
+  struct E {
+    Vertex u, v;
+    Distance len;
+    Quality q;
+  };
+  std::vector<E> staged;
+  staged.reserve(edges.size());
+  for (const auto& [u, v, len, q] : edges) {
+    assert(u < num_vertices && v < num_vertices);
+    if (u == v) continue;
+    staged.push_back(u < v ? E{u, v, len, q} : E{v, u, len, q});
+  }
+  std::sort(staged.begin(), staged.end(), [](const E& a, const E& b) {
+    if (a.u != b.u) return a.u < b.u;
+    if (a.v != b.v) return a.v < b.v;
+    if (a.len != b.len) return a.len < b.len;
+    return a.q > b.q;
+  });
+  staged.erase(std::unique(staged.begin(), staged.end(),
+                           [](const E& a, const E& b) {
+                             return a.u == b.u && a.v == b.v;
+                           }),
+               staged.end());
+
+  WeightedQualityGraph g;
+  g.offsets_.assign(num_vertices + 1, 0);
+  for (const E& e : staged) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (size_t i = 1; i <= num_vertices; ++i) g.offsets_[i] += g.offsets_[i - 1];
+  g.arcs_.resize(staged.size() * 2);
+  std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const E& e : staged) {
+    g.arcs_[cursor[e.u]++] = WeightedArc{e.v, e.len, e.q};
+    g.arcs_[cursor[e.v]++] = WeightedArc{e.u, e.len, e.q};
+  }
+  for (size_t u = 0; u < num_vertices; ++u) {
+    std::sort(g.arcs_.begin() + static_cast<ptrdiff_t>(g.offsets_[u]),
+              g.arcs_.begin() + static_cast<ptrdiff_t>(g.offsets_[u + 1]),
+              [](const WeightedArc& a, const WeightedArc& b) {
+                return a.to < b.to;
+              });
+  }
+  return g;
+}
+
+}  // namespace wcsd

@@ -1,0 +1,59 @@
+// WeightedQualityGraph: the weighted-graph extension substrate (paper §V,
+// "In cases where the length of an edge is not 1 ... we can convert the
+// constrained BFS to a constrained Dijkstra").
+//
+// Edges carry both an integer length and a quality. Distances are summed
+// lengths; the quality constraint is unchanged (every edge on the path must
+// have quality >= w).
+
+#ifndef WCSD_GRAPH_WEIGHTED_GRAPH_H_
+#define WCSD_GRAPH_WEIGHTED_GRAPH_H_
+
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "util/types.h"
+
+namespace wcsd {
+
+/// A directed arc with an integer length and a quality.
+struct WeightedArc {
+  Vertex to;
+  Distance length;
+  Quality quality;
+
+  friend bool operator==(const WeightedArc&, const WeightedArc&) = default;
+};
+
+/// Immutable undirected graph whose edges have integer lengths and qualities.
+class WeightedQualityGraph {
+ public:
+  WeightedQualityGraph() = default;
+
+  /// Builds from an undirected edge list {u, v, length, quality}. Self-loops
+  /// are dropped. Duplicates keep the (shorter length, then higher quality)
+  /// copy; callers wanting full multi-edge semantics should pre-merge.
+  static WeightedQualityGraph FromEdges(
+      size_t num_vertices,
+      const std::vector<std::tuple<Vertex, Vertex, Distance, Quality>>& edges);
+
+  size_t NumVertices() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  size_t NumEdges() const { return arcs_.size() / 2; }
+
+  std::span<const WeightedArc> Neighbors(Vertex u) const {
+    return {arcs_.data() + offsets_[u], arcs_.data() + offsets_[u + 1]};
+  }
+
+  size_t Degree(Vertex u) const { return offsets_[u + 1] - offsets_[u]; }
+
+ private:
+  std::vector<size_t> offsets_;
+  std::vector<WeightedArc> arcs_;
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_GRAPH_WEIGHTED_GRAPH_H_

@@ -1,0 +1,169 @@
+#include "labeling/compressed_labels.h"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+
+#include "labeling/query.h"
+
+namespace wcsd {
+
+namespace {
+
+constexpr uint32_t kInfQualityCode = 0xFFFFFFFFu;
+
+void PutVarint(std::vector<uint8_t>* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+uint64_t GetVarint(const uint8_t* bytes, size_t* pos) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    uint8_t b = bytes[(*pos)++];
+    value |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return value;
+}
+
+}  // namespace
+
+CompressedLabelSet CompressedLabelSet::Compress(const LabelSet& labels) {
+  CompressedLabelSet out;
+
+  // Build the quality dictionary from the labels themselves.
+  std::vector<Quality> qualities;
+  for (Vertex v = 0; v < labels.NumVertices(); ++v) {
+    for (const LabelEntry& e : labels.For(v)) {
+      if (e.quality != kInfQuality) qualities.push_back(e.quality);
+    }
+  }
+  std::sort(qualities.begin(), qualities.end());
+  qualities.erase(std::unique(qualities.begin(), qualities.end()),
+                  qualities.end());
+  out.dictionary_ = std::move(qualities);
+
+  auto code_of = [&out](Quality q) -> uint32_t {
+    if (q == kInfQuality) return kInfQualityCode;
+    auto it = std::lower_bound(out.dictionary_.begin(),
+                               out.dictionary_.end(), q);
+    assert(it != out.dictionary_.end() && *it == q);
+    return static_cast<uint32_t>(it - out.dictionary_.begin());
+  };
+
+  out.offsets_.reserve(labels.NumVertices() + 1);
+  out.offsets_.push_back(0);
+  for (Vertex v = 0; v < labels.NumVertices(); ++v) {
+    auto lv = labels.For(v);
+    PutVarint(&out.bytes_, lv.size());
+    Rank prev_hub = 0;
+    for (size_t i = 0; i < lv.size(); ++i) {
+      // Hub delta (>= 0 by the sortedness invariant; 0 = same group).
+      Rank delta = lv[i].hub - prev_hub;
+      prev_hub = lv[i].hub;
+      PutVarint(&out.bytes_, delta);
+      PutVarint(&out.bytes_, lv[i].dist);
+      uint32_t qcode = code_of(lv[i].quality);
+      // +inf is frequent (one self entry per vertex): reserve code 0 for it
+      // and shift dictionary codes by one, so it encodes as a single byte.
+      PutVarint(&out.bytes_, qcode == kInfQualityCode ? 0 : qcode + 1);
+    }
+    out.offsets_.push_back(out.bytes_.size());
+  }
+  return out;
+}
+
+std::vector<LabelEntry> CompressedLabelSet::DecodeVertex(Vertex v) const {
+  std::vector<LabelEntry> entries;
+  size_t pos = offsets_[v];
+  size_t count = GetVarint(bytes_.data(), &pos);
+  entries.reserve(count);
+  Rank hub = 0;
+  for (size_t i = 0; i < count; ++i) {
+    hub += static_cast<Rank>(GetVarint(bytes_.data(), &pos));
+    Distance dist = static_cast<Distance>(GetVarint(bytes_.data(), &pos));
+    uint64_t qcode = GetVarint(bytes_.data(), &pos);
+    Quality quality = qcode == 0
+                          ? kInfQuality
+                          : dictionary_[static_cast<size_t>(qcode - 1)];
+    entries.push_back(LabelEntry{hub, dist, quality});
+  }
+  return entries;
+}
+
+LabelSet CompressedLabelSet::Decompress() const {
+  LabelSet labels(NumVertices());
+  for (Vertex v = 0; v < NumVertices(); ++v) {
+    *labels.Mutable(v) = DecodeVertex(v);
+  }
+  return labels;
+}
+
+Distance CompressedLabelSet::Query(Vertex s, Vertex t, Quality w) const {
+  if (s == t) return 0;
+  std::vector<LabelEntry> ls = DecodeVertex(s);
+  std::vector<LabelEntry> lt = DecodeVertex(t);
+  return QueryLabelsMerge({ls.data(), ls.size()}, {lt.data(), lt.size()}, w);
+}
+
+namespace {
+constexpr uint64_t kCompressedMagic = 0x57435344'434f4d50ULL;  // "WCSDCOMP"
+}  // namespace
+
+Status CompressedLabelSet::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(&kCompressedMagic),
+            sizeof(kCompressedMagic));
+  uint64_t n = NumVertices();
+  uint64_t dict = dictionary_.size();
+  uint64_t payload = bytes_.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&dict), sizeof(dict));
+  out.write(reinterpret_cast<const char*>(&payload), sizeof(payload));
+  out.write(reinterpret_cast<const char*>(dictionary_.data()),
+            static_cast<std::streamsize>(dict * sizeof(Quality)));
+  out.write(reinterpret_cast<const char*>(offsets_.data()),
+            static_cast<std::streamsize>((n + 1) * sizeof(uint64_t)));
+  out.write(reinterpret_cast<const char*>(bytes_.data()),
+            static_cast<std::streamsize>(payload));
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<CompressedLabelSet> CompressedLabelSet::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  uint64_t magic = 0, n = 0, dict = 0, payload = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kCompressedMagic) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&dict), sizeof(dict));
+  in.read(reinterpret_cast<char*>(&payload), sizeof(payload));
+  if (!in) return Status::Corruption("truncated header in " + path);
+  CompressedLabelSet set;
+  set.dictionary_.resize(dict);
+  set.offsets_.resize(n + 1);
+  set.bytes_.resize(payload);
+  in.read(reinterpret_cast<char*>(set.dictionary_.data()),
+          static_cast<std::streamsize>(dict * sizeof(Quality)));
+  in.read(reinterpret_cast<char*>(set.offsets_.data()),
+          static_cast<std::streamsize>((n + 1) * sizeof(uint64_t)));
+  in.read(reinterpret_cast<char*>(set.bytes_.data()),
+          static_cast<std::streamsize>(payload));
+  if (!in) return Status::Corruption("truncated body in " + path);
+  if (set.offsets_.front() != 0 || set.offsets_.back() != payload) {
+    return Status::Corruption("inconsistent offsets in " + path);
+  }
+  return set;
+}
+
+}  // namespace wcsd

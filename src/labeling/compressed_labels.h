@@ -1,0 +1,67 @@
+// Compressed label storage: byte-oriented delta/varint encoding.
+//
+// WC-INDEX labels are highly compressible: hubs are sorted ascending (small
+// deltas), distances are small integers rising within a hub group, and
+// qualities come from the |w| distinct values of the graph (an index into a
+// small dictionary). This module provides an at-rest representation — for
+// serialization and memory-constrained deployments — roughly 3-4x smaller
+// than the 12-byte-per-entry working form, plus exact round-tripping and a
+// direct (decode-on-the-fly) query path for spot lookups.
+
+#ifndef WCSD_LABELING_COMPRESSED_LABELS_H_
+#define WCSD_LABELING_COMPRESSED_LABELS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "labeling/label_set.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// Immutable compressed form of a LabelSet.
+class CompressedLabelSet {
+ public:
+  CompressedLabelSet() = default;
+
+  /// Compresses `labels`. All entry qualities must be either +inf (self
+  /// entries) or present in the graph's distinct-quality dictionary, which
+  /// is derived from the labels themselves.
+  static CompressedLabelSet Compress(const LabelSet& labels);
+
+  /// Exact inverse of Compress.
+  LabelSet Decompress() const;
+
+  /// Decodes only L(v) (for spot queries).
+  std::vector<LabelEntry> DecodeVertex(Vertex v) const;
+
+  /// w-constrained 2-hop query evaluated directly on the compressed form
+  /// (linear decode of both labels; no materialization).
+  Distance Query(Vertex s, Vertex t, Quality w) const;
+
+  size_t NumVertices() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+
+  /// Compressed payload bytes (what the paper's "index size" becomes after
+  /// encoding).
+  size_t MemoryBytes() const {
+    return bytes_.size() + offsets_.size() * sizeof(uint64_t) +
+           dictionary_.size() * sizeof(Quality);
+  }
+
+  /// Serialization.
+  Status Save(const std::string& path) const;
+  static Result<CompressedLabelSet> Load(const std::string& path);
+
+ private:
+  // Per-vertex byte ranges into bytes_.
+  std::vector<uint64_t> offsets_;
+  std::vector<uint8_t> bytes_;
+  // Sorted distinct finite qualities; index 0xFFFFFFFF encodes +inf.
+  std::vector<Quality> dictionary_;
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_LABELING_COMPRESSED_LABELS_H_

@@ -1,0 +1,95 @@
+#include "labeling/label_set.h"
+
+#include <cassert>
+#include <fstream>
+
+namespace wcsd {
+
+void LabelSet::Append(Vertex v, LabelEntry entry) {
+  auto& lv = labels_[v];
+  assert(lv.empty() || lv.back().hub < entry.hub ||
+         (lv.back().hub == entry.hub && lv.back().dist <= entry.dist));
+  lv.push_back(entry);
+}
+
+size_t LabelSet::TotalEntries() const {
+  size_t total = 0;
+  for (const auto& lv : labels_) total += lv.size();
+  return total;
+}
+
+double LabelSet::AverageLabelSize() const {
+  if (labels_.empty()) return 0.0;
+  return static_cast<double>(TotalEntries()) /
+         static_cast<double>(labels_.size());
+}
+
+size_t LabelSet::MaxLabelSize() const {
+  size_t max_size = 0;
+  for (const auto& lv : labels_) max_size = std::max(max_size, lv.size());
+  return max_size;
+}
+
+size_t LabelSet::MemoryBytes() const {
+  return TotalEntries() * sizeof(LabelEntry) +
+         labels_.size() * sizeof(std::vector<LabelEntry>);
+}
+
+bool LabelSet::IsSorted() const {
+  for (const auto& lv : labels_) {
+    for (size_t i = 1; i < lv.size(); ++i) {
+      if (lv[i - 1].hub > lv[i].hub) return false;
+      if (lv[i - 1].hub == lv[i].hub && lv[i - 1].dist > lv[i].dist) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+constexpr uint64_t kLabelMagic = 0x57435344'4c41424cULL;  // "WCSDLABL"
+}  // namespace
+
+Status LabelSet::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(&kLabelMagic), sizeof(kLabelMagic));
+  uint64_t n = labels_.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const auto& lv : labels_) {
+    uint64_t count = lv.size();
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    out.write(reinterpret_cast<const char*>(lv.data()),
+              static_cast<std::streamsize>(count * sizeof(LabelEntry)));
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<LabelSet> LabelSet::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  uint64_t magic = 0, n = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kLabelMagic) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in) return Status::Corruption("truncated header in " + path);
+  LabelSet set(n);
+  for (uint64_t v = 0; v < n; ++v) {
+    uint64_t count = 0;
+    in.read(reinterpret_cast<char*>(&count), sizeof(count));
+    if (!in) return Status::Corruption("truncated label count in " + path);
+    auto* lv = set.Mutable(static_cast<Vertex>(v));
+    lv->resize(count);
+    in.read(reinterpret_cast<char*>(lv->data()),
+            static_cast<std::streamsize>(count * sizeof(LabelEntry)));
+    if (!in) return Status::Corruption("truncated label entries in " + path);
+  }
+  if (!set.IsSorted()) return Status::Corruption("unsorted labels in " + path);
+  return set;
+}
+
+}  // namespace wcsd

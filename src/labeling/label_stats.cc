@@ -1,0 +1,73 @@
+#include "labeling/label_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace wcsd {
+
+std::string LabelStats::Summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "entries=%zu mean=%.1f median=%zu p95=%zu max=%zu "
+                "top1%%-hub-share=%.2f groups=%zu entries/group=%.2f",
+                total_entries, mean_label, median_label, p95_label, max_label,
+                top1pct_hub_share, hub_groups, mean_entries_per_group);
+  return buf;
+}
+
+LabelStats ComputeLabelStats(const LabelSet& labels) {
+  LabelStats stats;
+  stats.num_vertices = labels.NumVertices();
+  if (stats.num_vertices == 0) return stats;
+
+  std::vector<size_t> sizes;
+  sizes.reserve(stats.num_vertices);
+  size_t top_hub_entries = 0;
+  const Rank top_cutoff =
+      static_cast<Rank>(std::max<size_t>(1, stats.num_vertices / 100));
+  for (Vertex v = 0; v < stats.num_vertices; ++v) {
+    auto lv = labels.For(v);
+    sizes.push_back(lv.size());
+    stats.total_entries += lv.size();
+    Rank prev_hub = static_cast<Rank>(-1);
+    for (const LabelEntry& e : lv) {
+      if (e.hub < top_cutoff) ++top_hub_entries;
+      if (e.hub != prev_hub) {
+        ++stats.hub_groups;
+        prev_hub = e.hub;
+      }
+    }
+  }
+  std::sort(sizes.begin(), sizes.end());
+  stats.max_label = sizes.back();
+  stats.mean_label = static_cast<double>(stats.total_entries) /
+                     static_cast<double>(stats.num_vertices);
+  stats.median_label = sizes[sizes.size() / 2];
+  stats.p95_label = sizes[std::min(sizes.size() - 1,
+                                   sizes.size() * 95 / 100)];
+  stats.top1pct_hub_share =
+      stats.total_entries == 0
+          ? 0.0
+          : static_cast<double>(top_hub_entries) /
+                static_cast<double>(stats.total_entries);
+  stats.mean_entries_per_group =
+      stats.hub_groups == 0
+          ? 0.0
+          : static_cast<double>(stats.total_entries) /
+                static_cast<double>(stats.hub_groups);
+  return stats;
+}
+
+std::vector<size_t> LabelSizeHistogram(const LabelSet& labels) {
+  std::vector<size_t> histogram;
+  for (Vertex v = 0; v < labels.NumVertices(); ++v) {
+    size_t size = labels.For(v).size();
+    size_t bucket = 0;
+    while ((size_t{1} << (bucket + 1)) <= size) ++bucket;
+    if (histogram.size() <= bucket) histogram.resize(bucket + 1, 0);
+    ++histogram[bucket];
+  }
+  return histogram;
+}
+
+}  // namespace wcsd

@@ -1,0 +1,49 @@
+// Diagnostics over label sets: size distributions and hub concentration.
+//
+// The paper's complexity discussion is parameterized by zeta (the maximum
+// label size) and by how per-hub coverage concentrates on high-rank hubs;
+// these statistics make those quantities observable for any built index,
+// and the benches report them alongside the figure series.
+
+#ifndef WCSD_LABELING_LABEL_STATS_H_
+#define WCSD_LABELING_LABEL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "labeling/label_set.h"
+
+namespace wcsd {
+
+/// Aggregate statistics of one LabelSet.
+struct LabelStats {
+  size_t num_vertices = 0;
+  size_t total_entries = 0;
+  size_t max_label = 0;      // the paper's zeta
+  double mean_label = 0.0;
+  size_t median_label = 0;
+  size_t p95_label = 0;
+  /// Fraction of all entries whose hub rank is below 1% of n — how heavily
+  /// the labeling leans on the top of the vertex order.
+  double top1pct_hub_share = 0.0;
+  /// Number of distinct (vertex, hub) groups and the mean entries per
+  /// group: > 1 means the quality dimension multiplies the classic 2-hop
+  /// footprint.
+  size_t hub_groups = 0;
+  double mean_entries_per_group = 0.0;
+
+  /// One-line rendering for bench output.
+  std::string Summary() const;
+};
+
+/// Computes statistics for `labels`.
+LabelStats ComputeLabelStats(const LabelSet& labels);
+
+/// Histogram of label sizes with power-of-two buckets: bucket i counts
+/// vertices whose label size is in [2^i, 2^(i+1)).
+std::vector<size_t> LabelSizeHistogram(const LabelSet& labels);
+
+}  // namespace wcsd
+
+#endif  // WCSD_LABELING_LABEL_STATS_H_

@@ -1,0 +1,48 @@
+// LCR-adapt: the label-constrained-reachability baseline adapted to WCSD
+// (paper §VI lists it among the compared algorithms without pseudo-code;
+// DESIGN.md §3.2 documents this interpretation).
+//
+// LCR-style indexes build one pruned labeling pass per label (here: per
+// distinct quality threshold) under a single global vertex order and merge
+// the passes into one combined label set, discarding entries dominated
+// within their (vertex, hub) group. Queries then run exactly like
+// WC-INDEX's. The defining behaviour — correct and query-fast, but |w|
+// construction passes with transient dominated entries — is preserved.
+
+#ifndef WCSD_LABELING_LCR_ADAPT_H_
+#define WCSD_LABELING_LCR_ADAPT_H_
+
+#include "graph/graph.h"
+#include "labeling/label_set.h"
+#include "order/vertex_order.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// Combined per-threshold labeling with post-hoc dominance pruning.
+class LcrAdaptIndex {
+ public:
+  /// Builds |w| PLL passes over the quality partitions of `g` under the
+  /// degree order of the full graph, then merges.
+  static LcrAdaptIndex Build(const QualityGraph& g);
+
+  /// w-constrained distance between s and t.
+  Distance Query(Vertex s, Vertex t, Quality w) const;
+
+  const LabelSet& labels() const { return labels_; }
+  const VertexOrder& order() const { return order_; }
+
+  size_t MemoryBytes() const { return labels_.MemoryBytes(); }
+  size_t TotalEntries() const { return labels_.TotalEntries(); }
+
+ private:
+  LcrAdaptIndex(LabelSet labels, VertexOrder order)
+      : labels_(std::move(labels)), order_(std::move(order)) {}
+
+  LabelSet labels_;
+  VertexOrder order_;
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_LABELING_LCR_ADAPT_H_

@@ -1,0 +1,40 @@
+#include "labeling/naive_index.h"
+
+#include <string>
+
+namespace wcsd {
+
+Result<NaiveWcsdIndex> NaiveWcsdIndex::Build(const QualityGraph& g,
+                                             const Options& options) {
+  NaiveWcsdIndex index;
+  index.partition_ = std::make_unique<QualityPartition>(g);
+  size_t used = 0;
+  for (size_t level = 0; level < index.partition_->NumLevels(); ++level) {
+    const QualityGraph& filtered = index.partition_->GraphAtLevel(level);
+    auto pll = std::make_unique<Pll>(Pll::Build(filtered));
+    used += pll->MemoryBytes();
+    if (options.memory_budget_bytes != 0 &&
+        used > options.memory_budget_bytes) {
+      return Status::IoError(
+          "naive index exceeded memory budget at level " +
+          std::to_string(level) + " (" + std::to_string(used) + " bytes)");
+    }
+    index.indexes_.push_back(std::move(pll));
+  }
+  return index;
+}
+
+Distance NaiveWcsdIndex::Query(Vertex s, Vertex t, Quality w) const {
+  if (s == t) return 0;
+  auto level = partition_->LevelForConstraint(w);
+  if (!level.has_value()) return kInfDistance;
+  return indexes_[*level]->Query(s, t);
+}
+
+size_t NaiveWcsdIndex::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& pll : indexes_) total += pll->MemoryBytes();
+  return total;
+}
+
+}  // namespace wcsd

@@ -1,0 +1,62 @@
+// The Naïve 2-hop baseline for WCSD (paper §III).
+//
+// Filter the graph once per distinct quality value and build a classic PLL
+// on each filtered copy; answer (s, t, w) with the PLL whose threshold is
+// the smallest distinct value >= w. Query-fast but needs |w| full indexes —
+// O(|V|^2 |w|) space in the worst case, which is exactly why the paper's
+// Figures 5-6 show it losing on large graphs and why it goes to INF
+// (out of memory) on WST/CTR. A memory budget reproduces that behaviour.
+
+#ifndef WCSD_LABELING_NAIVE_INDEX_H_
+#define WCSD_LABELING_NAIVE_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/subgraph.h"
+#include "labeling/pll.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// Collection of per-threshold PLL indexes.
+class NaiveWcsdIndex {
+ public:
+  struct Options {
+    /// Abort construction with an error once the accumulated label memory
+    /// exceeds this budget (bytes). 0 disables the check. Mirrors the
+    /// paper's INF entries for Naïve on the largest road networks.
+    size_t memory_budget_bytes = 0;
+  };
+
+  /// Builds |w| PLL indexes over the quality partitions of `g`.
+  static Result<NaiveWcsdIndex> Build(const QualityGraph& g,
+                                      const Options& options);
+  static Result<NaiveWcsdIndex> Build(const QualityGraph& g) {
+    return Build(g, Options{});
+  }
+
+  /// w-constrained distance between s and t.
+  Distance Query(Vertex s, Vertex t, Quality w) const;
+
+  /// Total label bytes across all |w| indexes.
+  size_t MemoryBytes() const;
+
+  /// Number of per-threshold indexes (the paper's |w|).
+  size_t NumLevels() const { return indexes_.size(); }
+
+  const Pll& IndexAtLevel(size_t level) const { return *indexes_[level]; }
+  const QualityPartition& partition() const { return *partition_; }
+
+ private:
+  NaiveWcsdIndex() = default;
+
+  std::unique_ptr<QualityPartition> partition_;
+  std::vector<std::unique_ptr<Pll>> indexes_;
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_LABELING_NAIVE_INDEX_H_

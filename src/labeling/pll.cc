@@ -1,0 +1,83 @@
+#include "labeling/pll.h"
+
+#include <vector>
+
+#include "util/epoch_array.h"
+
+namespace wcsd {
+
+Pll Pll::Build(const QualityGraph& g, VertexOrder order) {
+  const size_t n = g.NumVertices();
+  LabelSet labels(n);
+
+  // tentative[h] = distance from the current root to hub h, for every hub in
+  // the root's own label; rebuilt per root in O(|L(root)|). This is the
+  // standard O(|L(u)|)-per-prune-query trick.
+  EpochArray<Distance> tentative(n, kInfDistance);
+  EpochArray<bool> visited(n, false);
+  std::vector<Vertex> queue;
+  queue.reserve(n);
+
+  for (Rank k = 0; k < n; ++k) {
+    Vertex root = order.VertexAt(k);
+    tentative.Clear();
+    for (const LabelEntry& e : labels.For(root)) {
+      tentative.Set(e.hub, e.dist);
+    }
+
+    visited.Clear();
+    queue.clear();
+    queue.push_back(root);
+    visited.Set(root, true);
+    Distance d = 0;
+    size_t level_begin = 0;
+    while (level_begin < queue.size()) {
+      size_t level_end = queue.size();
+      for (size_t i = level_begin; i < level_end; ++i) {
+        Vertex u = queue[i];
+        // Prune if some hub already certifies dist(root, u) <= d.
+        bool covered = false;
+        for (const LabelEntry& e : labels.For(u)) {
+          Distance via = tentative.Get(e.hub);
+          if (via != kInfDistance && via + e.dist <= d) {
+            covered = true;
+            break;
+          }
+        }
+        if (covered) continue;
+        labels.Append(u, LabelEntry{k, d, kInfQuality});
+        for (const Arc& a : g.Neighbors(u)) {
+          if (order.RankOf(a.to) <= k || visited.Get(a.to)) continue;
+          visited.Set(a.to, true);
+          queue.push_back(a.to);
+        }
+      }
+      level_begin = level_end;
+      ++d;
+    }
+  }
+  return Pll(std::move(labels), std::move(order));
+}
+
+Distance Pll::Query(Vertex s, Vertex t) const {
+  if (s == t) return 0;
+  auto ls = labels_.For(s);
+  auto lt = labels_.For(t);
+  Distance best = kInfDistance;
+  size_t i = 0, j = 0;
+  while (i < ls.size() && j < lt.size()) {
+    if (ls[i].hub < lt[j].hub) {
+      ++i;
+    } else if (ls[i].hub > lt[j].hub) {
+      ++j;
+    } else {
+      Distance sum = ls[i].dist + lt[j].dist;
+      if (sum < best) best = sum;
+      ++i;
+      ++j;
+    }
+  }
+  return best;
+}
+
+}  // namespace wcsd

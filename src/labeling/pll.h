@@ -1,0 +1,47 @@
+// Classic Pruned Landmark Labeling (Akiba, Iwata, Yoshida — SIGMOD'13).
+//
+// The unconstrained 2-hop labeling the paper builds on (§II.B) and the
+// building block of the Naïve WCSD baseline (§III): one PLL per filtered
+// graph. Entries reuse LabelEntry with quality = +inf (unconstrained).
+
+#ifndef WCSD_LABELING_PLL_H_
+#define WCSD_LABELING_PLL_H_
+
+#include "graph/graph.h"
+#include "labeling/label_set.h"
+#include "order/vertex_order.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// Pruned landmark labeling index for plain shortest distances.
+class Pll {
+ public:
+  /// Builds the index for `g` using the given vertex order.
+  static Pll Build(const QualityGraph& g, VertexOrder order);
+
+  /// Builds with the canonical degree order.
+  static Pll Build(const QualityGraph& g) {
+    return Build(g, DegreeOrder(g));
+  }
+
+  /// Shortest distance between s and t, kInfDistance if disconnected.
+  Distance Query(Vertex s, Vertex t) const;
+
+  const LabelSet& labels() const { return labels_; }
+  const VertexOrder& order() const { return order_; }
+
+  /// Index size in bytes (entries + vector overhead).
+  size_t MemoryBytes() const { return labels_.MemoryBytes(); }
+
+ private:
+  Pll(LabelSet labels, VertexOrder order)
+      : labels_(std::move(labels)), order_(std::move(order)) {}
+
+  LabelSet labels_;
+  VertexOrder order_;
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_LABELING_PLL_H_

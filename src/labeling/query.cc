@@ -1,0 +1,190 @@
+#include "labeling/query.h"
+
+#include <algorithm>
+
+namespace wcsd {
+
+size_t FirstWithQuality(std::span<const LabelEntry> entries, size_t begin,
+                        size_t end, Quality w) {
+  // Qualities ascend within a hub group (Theorem 3): binary search.
+  size_t lo = begin, hi = end;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (entries[mid].quality >= w) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+Distance QueryLabelsScan(std::span<const LabelEntry> ls,
+                         std::span<const LabelEntry> lt, Quality w) {
+  Distance best = kInfDistance;
+  for (const LabelEntry& ei : ls) {
+    if (ei.quality < w) continue;
+    for (const LabelEntry& ej : lt) {
+      if (ej.hub != ei.hub || ej.quality < w) continue;
+      Distance sum = ei.dist + ej.dist;
+      if (sum < best) best = sum;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+// Advances `i` to the end of the hub group starting at `i`.
+inline size_t GroupEnd(std::span<const LabelEntry> entries, size_t i) {
+  Rank hub = entries[i].hub;
+  do {
+    ++i;
+  } while (i < entries.size() && entries[i].hub == hub);
+  return i;
+}
+
+// Locates the hub group for `hub` in `entries` via binary search over the
+// rank-sorted label. Returns [begin, end), empty if absent.
+inline std::pair<size_t, size_t> FindGroup(std::span<const LabelEntry> entries,
+                                           Rank hub) {
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), hub,
+      [](const LabelEntry& e, Rank h) { return e.hub < h; });
+  size_t begin = static_cast<size_t>(it - entries.begin());
+  if (begin == entries.size() || entries[begin].hub != hub) {
+    return {begin, begin};
+  }
+  return {begin, GroupEnd(entries, begin)};
+}
+
+}  // namespace
+
+Distance QueryLabelsHubGrouped(std::span<const LabelEntry> ls,
+                               std::span<const LabelEntry> lt, Quality w) {
+  if (ls.empty() || lt.empty()) return kInfDistance;
+  Distance best = kInfDistance;
+  // Hubs present in L(s) are exactly ranks <= rank(s); the label's last hub
+  // is rank(s) itself (the self entry). Algorithm 4 Line 2's "Ij.vertex > s"
+  // prune translates to: skip L(t) groups whose hub exceeds that rank.
+  Rank max_hub_s = ls.back().hub;
+  for (size_t j = 0; j < lt.size();) {
+    size_t je = GroupEnd(lt, j);
+    Rank hub = lt[j].hub;
+    if (hub > max_hub_s) break;  // Sorted: every later group is larger too.
+    auto [ib, ie] = FindGroup(ls, hub);
+    if (ib != ie) {
+      for (size_t jj = j; jj < je; ++jj) {
+        if (lt[jj].quality < w) continue;
+        for (size_t ii = ib; ii < ie; ++ii) {
+          if (ls[ii].quality < w) continue;
+          Distance sum = ls[ii].dist + lt[jj].dist;
+          if (sum < best) best = sum;
+        }
+      }
+    }
+    j = je;
+  }
+  return best;
+}
+
+Distance QueryLabelsBinary(std::span<const LabelEntry> ls,
+                           std::span<const LabelEntry> lt, Quality w) {
+  if (ls.empty() || lt.empty()) return kInfDistance;
+  Distance best = kInfDistance;
+  Rank max_hub_s = ls.back().hub;
+  for (size_t j = 0; j < lt.size();) {
+    size_t je = GroupEnd(lt, j);
+    Rank hub = lt[j].hub;
+    if (hub > max_hub_s) break;
+    auto [ib, ie] = FindGroup(ls, hub);
+    if (ib != ie) {
+      // Theorem 3: the first constraint-satisfying entry in each group has
+      // the minimal distance for that hub.
+      size_t jj = FirstWithQuality(lt, j, je, w);
+      size_t ii = FirstWithQuality(ls, ib, ie, w);
+      if (jj != je && ii != ie) {
+        Distance sum = ls[ii].dist + lt[jj].dist;
+        if (sum < best) best = sum;
+      }
+    }
+    j = je;
+  }
+  return best;
+}
+
+Distance QueryLabelsMerge(std::span<const LabelEntry> ls,
+                          std::span<const LabelEntry> lt, Quality w) {
+  Distance best = kInfDistance;
+  size_t i = 0, j = 0;
+  while (i < ls.size() && j < lt.size()) {
+    Rank hi = ls[i].hub, hj = lt[j].hub;
+    if (hi < hj) {
+      i = GroupEnd(ls, i);
+    } else if (hj < hi) {
+      j = GroupEnd(lt, j);
+    } else {
+      size_t ie = GroupEnd(ls, i);
+      size_t je = GroupEnd(lt, j);
+      size_t ii = FirstWithQuality(ls, i, ie, w);
+      size_t jj = FirstWithQuality(lt, j, je, w);
+      if (ii != ie && jj != je) {
+        Distance sum = ls[ii].dist + lt[jj].dist;
+        if (sum < best) best = sum;
+      }
+      i = ie;
+      j = je;
+    }
+  }
+  return best;
+}
+
+Distance QueryLabels(std::span<const LabelEntry> ls,
+                     std::span<const LabelEntry> lt, Quality w,
+                     QueryImpl impl) {
+  switch (impl) {
+    case QueryImpl::kScan:
+      return QueryLabelsScan(ls, lt, w);
+    case QueryImpl::kHubGrouped:
+      return QueryLabelsHubGrouped(ls, lt, w);
+    case QueryImpl::kBinary:
+      return QueryLabelsBinary(ls, lt, w);
+    case QueryImpl::kMerge:
+      return QueryLabelsMerge(ls, lt, w);
+  }
+  return kInfDistance;
+}
+
+HubQueryResult QueryLabelsMergeWithHub(std::span<const LabelEntry> ls,
+                                       std::span<const LabelEntry> lt,
+                                       Quality w) {
+  HubQueryResult result;
+  size_t i = 0, j = 0;
+  while (i < ls.size() && j < lt.size()) {
+    Rank hi = ls[i].hub, hj = lt[j].hub;
+    if (hi < hj) {
+      i = GroupEnd(ls, i);
+    } else if (hj < hi) {
+      j = GroupEnd(lt, j);
+    } else {
+      size_t ie = GroupEnd(ls, i);
+      size_t je = GroupEnd(lt, j);
+      size_t ii = FirstWithQuality(ls, i, ie, w);
+      size_t jj = FirstWithQuality(lt, j, je, w);
+      if (ii != ie && jj != je) {
+        Distance sum = ls[ii].dist + lt[jj].dist;
+        if (sum < result.dist) {
+          result.dist = sum;
+          result.via_hub = hi;
+          result.dist_from_s = ls[ii].dist;
+          result.dist_to_t = lt[jj].dist;
+        }
+      }
+      i = ie;
+      j = je;
+    }
+  }
+  return result;
+}
+
+}  // namespace wcsd

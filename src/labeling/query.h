@@ -1,0 +1,79 @@
+// WCSD query algorithms over two label sets (paper §IV.A and §IV.C).
+//
+// Four implementations answering Eq. (1) — min over common hubs h of
+// dist(s,h) + dist(h,t) subject to both entry qualities >= w:
+//   * kScan       — Algorithm 2: nested scan of L(s) x L(t).
+//   * kHubGrouped — Algorithm 4: iterate L(t), look up L(s)[hub], scan the
+//                   two hub groups.
+//   * kBinary     — Algorithm 4 + Theorem 3: binary search inside hub
+//                   groups for the first entry with quality >= w.
+//   * kMerge      — Algorithm 5 (Query+): linear two-pointer merge over the
+//                   rank-sorted labels, O(|L(s)| + |L(t)|)-flavored.
+//
+// All four return identical distances (tested); they differ only in cost.
+// Theorem 3 (within a hub group distances and qualities are both strictly
+// ascending) is what makes "first entry with quality >= w" the minimal
+// distance choice for that hub.
+
+#ifndef WCSD_LABELING_QUERY_H_
+#define WCSD_LABELING_QUERY_H_
+
+#include <span>
+
+#include "labeling/label_set.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// Which query implementation to use.
+enum class QueryImpl {
+  kScan,
+  kHubGrouped,
+  kBinary,
+  kMerge,
+};
+
+/// Query answer plus the witnessing hub (kNullVertex rank if unreachable).
+struct HubQueryResult {
+  Distance dist = kInfDistance;
+  Rank via_hub = static_cast<Rank>(-1);
+  Distance dist_from_s = kInfDistance;
+  Distance dist_to_t = kInfDistance;
+};
+
+/// Algorithm 2: nested scan.
+Distance QueryLabelsScan(std::span<const LabelEntry> ls,
+                         std::span<const LabelEntry> lt, Quality w);
+
+/// Algorithm 4: hub-grouped lookup with full group scans.
+Distance QueryLabelsHubGrouped(std::span<const LabelEntry> ls,
+                               std::span<const LabelEntry> lt, Quality w);
+
+/// Algorithm 4 + binary search on quality inside each hub group.
+Distance QueryLabelsBinary(std::span<const LabelEntry> ls,
+                           std::span<const LabelEntry> lt, Quality w);
+
+/// Algorithm 5 (Query+): two-pointer merge.
+Distance QueryLabelsMerge(std::span<const LabelEntry> ls,
+                          std::span<const LabelEntry> lt, Quality w);
+
+/// Dispatch by implementation tag.
+Distance QueryLabels(std::span<const LabelEntry> ls,
+                     std::span<const LabelEntry> lt, Quality w,
+                     QueryImpl impl);
+
+/// Merge query that also reports the best hub and the split distances —
+/// needed by path reconstruction (§V).
+HubQueryResult QueryLabelsMergeWithHub(std::span<const LabelEntry> ls,
+                                       std::span<const LabelEntry> lt,
+                                       Quality w);
+
+/// Within one hub group [begin, end) sorted by ascending quality, returns
+/// the index of the first entry with quality >= w, or `end` if none.
+/// Exposed for construction-side pruning and tests.
+size_t FirstWithQuality(std::span<const LabelEntry> entries, size_t begin,
+                        size_t end, Quality w);
+
+}  // namespace wcsd
+
+#endif  // WCSD_LABELING_QUERY_H_

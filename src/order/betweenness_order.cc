@@ -1,0 +1,78 @@
+#include "order/betweenness_order.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace wcsd {
+
+std::vector<double> SampledBetweenness(const QualityGraph& g, size_t samples,
+                                       uint64_t seed) {
+  const size_t n = g.NumVertices();
+  std::vector<double> centrality(n, 0.0);
+  if (n == 0) return centrality;
+  Rng rng(seed);
+
+  // Brandes (2001): one BFS per sampled source, followed by reverse-order
+  // dependency accumulation over the shortest-path DAG.
+  std::vector<Distance> dist(n);
+  std::vector<double> sigma(n);  // #shortest paths from the source
+  std::vector<double> delta(n);  // accumulated dependency
+  std::vector<Vertex> order;     // vertices in BFS (non-decreasing dist)
+  order.reserve(n);
+
+  for (size_t round = 0; round < samples; ++round) {
+    Vertex source = static_cast<Vertex>(rng.NextBounded(n));
+    std::fill(dist.begin(), dist.end(), kInfDistance);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    order.clear();
+
+    dist[source] = 0;
+    sigma[source] = 1.0;
+    order.push_back(source);
+    for (size_t head = 0; head < order.size(); ++head) {
+      Vertex u = order[head];
+      for (const Arc& a : g.Neighbors(u)) {
+        if (dist[a.to] == kInfDistance) {
+          dist[a.to] = dist[u] + 1;
+          order.push_back(a.to);
+        }
+        if (dist[a.to] == dist[u] + 1) sigma[a.to] += sigma[u];
+      }
+    }
+    // Reverse accumulation: delta(v) = sum over successors w of
+    // sigma(v)/sigma(w) * (1 + delta(w)).
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      Vertex w = *it;
+      for (const Arc& a : g.Neighbors(w)) {
+        if (dist[a.to] == dist[w] + 1 && sigma[a.to] > 0.0) {
+          delta[w] += sigma[w] / sigma[a.to] * (1.0 + delta[a.to]);
+        }
+      }
+      if (w != source) centrality[w] += delta[w];
+    }
+  }
+  return centrality;
+}
+
+VertexOrder BetweennessOrder(const QualityGraph& g, size_t samples,
+                             uint64_t seed) {
+  std::vector<double> centrality = SampledBetweenness(g, samples, seed);
+  std::vector<Vertex> by_rank(g.NumVertices());
+  std::iota(by_rank.begin(), by_rank.end(), 0);
+  std::stable_sort(by_rank.begin(), by_rank.end(),
+                   [&](Vertex a, Vertex b) {
+                     if (centrality[a] != centrality[b]) {
+                       return centrality[a] > centrality[b];
+                     }
+                     if (g.Degree(a) != g.Degree(b)) {
+                       return g.Degree(a) > g.Degree(b);
+                     }
+                     return a < b;
+                   });
+  return VertexOrder(std::move(by_rank));
+}
+
+}  // namespace wcsd

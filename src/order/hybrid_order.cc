@@ -1,0 +1,64 @@
+#include "order/hybrid_order.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "order/tree_decomposition.h"
+
+namespace wcsd {
+
+VertexOrder HybridOrder(const QualityGraph& g, const HybridOptions& options) {
+  const size_t n = g.NumVertices();
+
+  // Classification (paper: "If a vertex v's degree is above this threshold,
+  // it is classified into the core-part").
+  std::vector<Vertex> core;
+  for (Vertex v = 0; v < n; ++v) {
+    if (g.Degree(v) > options.degree_threshold) core.push_back(v);
+  }
+  std::stable_sort(core.begin(), core.end(), [&g](Vertex a, Vertex b) {
+    if (g.Degree(a) != g.Degree(b)) return g.Degree(a) > g.Degree(b);
+    return a < b;
+  });
+
+  // Periphery: MDE hierarchy with fill-in capped at the threshold, so the
+  // core (which would make elimination quadratic) is deferred by the
+  // decomposition itself. Deferred core vertices surface at the end of the
+  // elimination order, i.e. at the top ranks of the tree order — we drop
+  // them there and splice the degree-ranked core in front instead.
+  MdeOptions mde;
+  mde.max_fill_degree = options.degree_threshold;
+  TreeDecomposition td = MdeDecompose(g, mde);
+
+  std::vector<bool> is_core(n, false);
+  for (Vertex v : core) is_core[v] = true;
+
+  std::vector<Vertex> by_rank;
+  by_rank.reserve(n);
+  by_rank.insert(by_rank.end(), core.begin(), core.end());
+  // Reverse elimination order = hierarchy top first.
+  for (auto it = td.elimination_order.rbegin();
+       it != td.elimination_order.rend(); ++it) {
+    if (!is_core[*it]) by_rank.push_back(*it);
+  }
+  return VertexOrder(std::move(by_rank));
+}
+
+size_t AutoDegreeThreshold(const QualityGraph& g) {
+  const size_t n = g.NumVertices();
+  if (n == 0) return 4;
+  double sum = 0.0, sum_sq = 0.0;
+  for (Vertex v = 0; v < n; ++v) {
+    double d = static_cast<double>(g.Degree(v));
+    sum += d;
+    sum_sq += d * d;
+  }
+  double mean = sum / static_cast<double>(n);
+  double variance = sum_sq / static_cast<double>(n) - mean * mean;
+  double threshold = mean + 2.0 * std::sqrt(std::max(0.0, variance));
+  return static_cast<size_t>(std::clamp(threshold, 4.0, 512.0));
+}
+
+}  // namespace wcsd

@@ -1,0 +1,39 @@
+// Hybrid vertex ordering (paper §IV.D "Hybrid Vertex Ordering").
+//
+// Degree ordering excels on scale-free graphs; tree-decomposition ordering
+// excels on road networks; MDE is too expensive on dense cores. The hybrid
+// scheme classifies vertices by a degree threshold delta:
+//   * core (degree > delta): ranked by degree, non-ascending, first;
+//   * periphery (degree <= delta): ranked by the tree-decomposition
+//     hierarchy computed with the core excluded from fill-in.
+
+#ifndef WCSD_ORDER_HYBRID_ORDER_H_
+#define WCSD_ORDER_HYBRID_ORDER_H_
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "order/vertex_order.h"
+
+namespace wcsd {
+
+/// Parameters of the hybrid ordering.
+struct HybridOptions {
+  /// The paper's delta: vertices with degree above this go to the core.
+  /// SIZE_MAX sends every vertex to the periphery (pure tree order);
+  /// 0 sends every vertex to the core (pure degree order).
+  size_t degree_threshold = 16;
+};
+
+/// Computes the hybrid order: [core by degree desc] then [periphery by MDE
+/// hierarchy, top of hierarchy first].
+VertexOrder HybridOrder(const QualityGraph& g, const HybridOptions& options);
+
+/// Picks a degree threshold automatically: the mean degree plus two standard
+/// deviations, clamped to [4, 512]. Scale-free graphs put their hubs above
+/// this; road networks put (almost) everything in the periphery.
+size_t AutoDegreeThreshold(const QualityGraph& g);
+
+}  // namespace wcsd
+
+#endif  // WCSD_ORDER_HYBRID_ORDER_H_

@@ -1,0 +1,65 @@
+// Minimum-Degree-Elimination tree decomposition (paper §IV.D, Def. 7-8).
+//
+// MDE repeatedly removes the vertex of minimum degree from a transient
+// graph, forming a bag from the vertex plus its current neighborhood and
+// re-connecting that neighborhood as a clique. The elimination sequence
+// induces the "Vertex Hierarchy via Tree Decomposition" ordering the paper
+// borrows from Ouyang et al. (SIGMOD'18): vertices eliminated LAST sit at
+// the top of the hierarchy and get the highest ranks (rank 0 = eliminated
+// last).
+
+#ifndef WCSD_ORDER_TREE_DECOMPOSITION_H_
+#define WCSD_ORDER_TREE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "order/vertex_order.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// Result of MDE-based tree decomposition.
+struct TreeDecomposition {
+  /// Elimination sequence: elimination_order[i] is the vertex removed in
+  /// round i+1 (the paper's v_i).
+  std::vector<Vertex> elimination_order;
+
+  /// Bags: bags[i] = {v_i} ∪ N_i, the vertex plus its neighborhood in the
+  /// transient graph right before removal (Def. 8's B_i).
+  std::vector<std::vector<Vertex>> bags;
+
+  /// Parent bag index per bag, or -1 for roots. Bag i's parent is the bag of
+  /// the earliest-eliminated vertex among N_i (standard MDE tree linking).
+  std::vector<int64_t> parent;
+
+  /// max |bag| - 1: an upper bound on the treewidth of the input graph.
+  size_t width = 0;
+
+  /// Validates the three tree-decomposition conditions of Def. 7 against
+  /// `g` (vertex coverage, edge coverage, connected-subtree property).
+  /// O(n * width^2) — for tests.
+  bool IsValidFor(const QualityGraph& g) const;
+};
+
+/// Options bounding MDE cost on dense graphs.
+struct MdeOptions {
+  /// Vertices whose transient degree exceeds this cap are deferred to the
+  /// end of the elimination order without clique fill-in (they become the
+  /// top of the hierarchy). SIZE_MAX disables the cap. The hybrid ordering
+  /// uses this to skip the expensive core.
+  size_t max_fill_degree = SIZE_MAX;
+};
+
+/// Runs MDE-based tree decomposition on `g`.
+TreeDecomposition MdeDecompose(const QualityGraph& g,
+                               const MdeOptions& options = {});
+
+/// Tree-decomposition vertex ordering: rank 0 = vertex eliminated last.
+VertexOrder TreeDecompositionOrder(const QualityGraph& g,
+                                   const MdeOptions& options = {});
+
+}  // namespace wcsd
+
+#endif  // WCSD_ORDER_TREE_DECOMPOSITION_H_

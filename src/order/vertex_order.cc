@@ -1,0 +1,58 @@
+#include "order/vertex_order.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace wcsd {
+
+VertexOrder::VertexOrder(std::vector<Vertex> by_rank)
+    : by_rank_(std::move(by_rank)), rank_of_(by_rank_.size(), 0) {
+  for (size_t r = 0; r < by_rank_.size(); ++r) {
+    assert(by_rank_[r] < by_rank_.size());
+    rank_of_[by_rank_[r]] = static_cast<Rank>(r);
+  }
+}
+
+bool VertexOrder::IsValid() const {
+  std::vector<bool> seen(by_rank_.size(), false);
+  for (Vertex v : by_rank_) {
+    if (v >= by_rank_.size() || seen[v]) return false;
+    seen[v] = true;
+  }
+  for (size_t r = 0; r < by_rank_.size(); ++r) {
+    if (rank_of_[by_rank_[r]] != r) return false;
+  }
+  return true;
+}
+
+VertexOrder DegreeOrder(const QualityGraph& g) {
+  std::vector<Vertex> by_rank(g.NumVertices());
+  std::iota(by_rank.begin(), by_rank.end(), 0);
+  std::stable_sort(by_rank.begin(), by_rank.end(),
+                   [&g](Vertex a, Vertex b) {
+                     if (g.Degree(a) != g.Degree(b)) {
+                       return g.Degree(a) > g.Degree(b);
+                     }
+                     return a < b;
+                   });
+  return VertexOrder(std::move(by_rank));
+}
+
+VertexOrder RandomOrder(size_t num_vertices, uint64_t seed) {
+  std::vector<Vertex> by_rank(num_vertices);
+  std::iota(by_rank.begin(), by_rank.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&by_rank);
+  return VertexOrder(std::move(by_rank));
+}
+
+VertexOrder IdentityOrder(size_t num_vertices) {
+  std::vector<Vertex> by_rank(num_vertices);
+  std::iota(by_rank.begin(), by_rank.end(), 0);
+  return VertexOrder(std::move(by_rank));
+}
+
+}  // namespace wcsd

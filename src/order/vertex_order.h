@@ -1,0 +1,61 @@
+// Vertex orderings for 2-hop label construction (paper §IV.D).
+//
+// The order in which Algorithm 3 starts its |V| constrained-BFS rounds
+// drives indexing time, index size, and query time. This module defines the
+// shared VertexOrder representation plus the degree-based and random
+// schemes; tree-decomposition and hybrid orders live in their own files.
+
+#ifndef WCSD_ORDER_VERTEX_ORDER_H_
+#define WCSD_ORDER_VERTEX_ORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// A bijection between vertices and ranks. Rank 0 is the most important
+/// vertex: it is the first BFS root and prunes most aggressively.
+class VertexOrder {
+ public:
+  VertexOrder() = default;
+
+  /// Builds from a rank -> vertex permutation.
+  explicit VertexOrder(std::vector<Vertex> by_rank);
+
+  /// Vertex at the given rank.
+  Vertex VertexAt(Rank r) const { return by_rank_[r]; }
+
+  /// Rank of the given vertex.
+  Rank RankOf(Vertex v) const { return rank_of_[v]; }
+
+  size_t size() const { return by_rank_.size(); }
+
+  const std::vector<Vertex>& by_rank() const { return by_rank_; }
+  const std::vector<Rank>& rank_of() const { return rank_of_; }
+
+  /// True if the order is a permutation of [0, n). Used by tests.
+  bool IsValid() const;
+
+ private:
+  std::vector<Vertex> by_rank_;
+  std::vector<Rank> rank_of_;
+};
+
+/// Degree-based ordering: vertices sorted by non-ascending degree (ties by
+/// id for determinism). "A vertex with a higher degree is likely to cover
+/// more shortest paths" — the canonical PLL scheme (§IV.D).
+VertexOrder DegreeOrder(const QualityGraph& g);
+
+/// Uniformly random ordering (ablation baseline).
+VertexOrder RandomOrder(size_t num_vertices, uint64_t seed);
+
+/// Identity ordering (rank == vertex id). Used by golden tests that must
+/// match the paper's worked example, which processes v0, v1, ... in order.
+VertexOrder IdentityOrder(size_t num_vertices);
+
+}  // namespace wcsd
+
+#endif  // WCSD_ORDER_VERTEX_ORDER_H_

@@ -1,0 +1,51 @@
+// Constrained Dijkstra.
+//
+// Two roles:
+//   * the paper's "Dijkstra" baseline (§VI): per-quality partitions searched
+//     with a priority queue — deliberately carrying Dijkstra's bookkeeping
+//     on a unit-length graph, which is why the paper observes it losing to
+//     BFS;
+//   * the weighted-graph extension substrate (§V): on graphs with integer
+//     edge lengths the constrained BFS becomes a constrained Dijkstra.
+
+#ifndef WCSD_SEARCH_CONSTRAINED_DIJKSTRA_H_
+#define WCSD_SEARCH_CONSTRAINED_DIJKSTRA_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/subgraph.h"
+#include "graph/weighted_graph.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// Dijkstra with per-edge quality filtering on a unit-length graph: the
+/// paper's "Dijkstra" baseline. Returns kInfDistance if unreachable.
+Distance ConstrainedDijkstraUnit(const QualityGraph& g, Vertex s, Vertex t,
+                                 Quality w);
+
+/// The partitioned variant the paper benchmarks: Dijkstra on the filtered
+/// graph for the query's quality level.
+class PartitionedDijkstra {
+ public:
+  explicit PartitionedDijkstra(const QualityGraph& g) : partition_(g) {}
+
+  /// w-constrained distance via Dijkstra on the matching partition.
+  Distance Query(Vertex s, Vertex t, Quality w) const;
+
+ private:
+  QualityPartition partition_;
+};
+
+/// Constrained Dijkstra on a weighted graph: shortest summed-length w-path.
+Distance ConstrainedDijkstraWeighted(const WeightedQualityGraph& g, Vertex s,
+                                     Vertex t, Quality w);
+
+/// Single-source constrained Dijkstra on a weighted graph.
+std::vector<Distance> ConstrainedDijkstraWeightedAll(
+    const WeightedQualityGraph& g, Vertex s, Quality w);
+
+}  // namespace wcsd
+
+#endif  // WCSD_SEARCH_CONSTRAINED_DIJKSTRA_H_

@@ -1,0 +1,89 @@
+#include "search/pareto_enumerator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "search/wc_bfs.h"
+
+namespace wcsd {
+
+std::vector<FrontierPoint> ParetoFrontier(const QualityGraph& g, Vertex s,
+                                          Vertex t) {
+  std::vector<Quality> thresholds = g.DistinctQualities();
+  WcBfs bfs(&g);
+  // Sweep thresholds descending: distances are non-increasing in quality
+  // demand... (non-decreasing as the threshold rises). Collect (dist, w)
+  // per threshold, then keep the first (smallest-distance) point per
+  // distinct distance with the LARGEST quality — that is the frontier.
+  std::vector<FrontierPoint> frontier;
+  for (auto it = thresholds.rbegin(); it != thresholds.rend(); ++it) {
+    Distance d = bfs.Query(s, t, *it);
+    if (d == kInfDistance) continue;
+    if (frontier.empty() || d < frontier.back().distance) {
+      frontier.push_back({d, *it});
+    }
+    // If d equals the previous distance, the previous point has a higher
+    // quality (descending sweep) and dominates this one: skip.
+  }
+  // Frontier was built with descending quality => ascending distance is
+  // reversed. Normalize to ascending distance.
+  std::reverse(frontier.begin(), frontier.end());
+  std::sort(frontier.begin(), frontier.end(),
+            [](const FrontierPoint& a, const FrontierPoint& b) {
+              return a.distance < b.distance;
+            });
+  return frontier;
+}
+
+namespace {
+
+void Dfs(const QualityGraph& g, Vertex u, Vertex t, Distance len,
+         Quality min_q, std::vector<bool>* on_path,
+         std::vector<FrontierPoint>* profile) {
+  if (u == t) {
+    profile->push_back({len, min_q});
+    return;
+  }
+  for (const Arc& a : g.Neighbors(u)) {
+    if ((*on_path)[a.to]) continue;
+    (*on_path)[a.to] = true;
+    Dfs(g, a.to, t, len + 1, std::min(min_q, a.quality), on_path, profile);
+    (*on_path)[a.to] = false;
+  }
+}
+
+}  // namespace
+
+std::vector<FrontierPoint> EnumerateSimplePathProfile(const QualityGraph& g,
+                                                      Vertex s, Vertex t) {
+  assert(g.NumVertices() <= 16 && "exhaustive oracle is exponential");
+  std::vector<FrontierPoint> profile;
+  if (s == t) return {{0, kInfQuality}};
+  std::vector<bool> on_path(g.NumVertices(), false);
+  on_path[s] = true;
+  Dfs(g, s, t, 0, kInfQuality, &on_path, &profile);
+
+  // Reduce to the dominance frontier (Def. 4): sort by (distance asc,
+  // quality desc) and keep points whose quality strictly exceeds every
+  // shorter point's quality.
+  std::sort(profile.begin(), profile.end(),
+            [](const FrontierPoint& a, const FrontierPoint& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.quality > b.quality;
+            });
+  std::vector<FrontierPoint> frontier;
+  Quality best_q = -1.0f;
+  for (const FrontierPoint& p : profile) {
+    if (p.quality > best_q) {
+      // Skip same-distance duplicates (sorted quality-desc within distance).
+      if (!frontier.empty() && frontier.back().distance == p.distance) {
+        continue;
+      }
+      frontier.push_back(p);
+      best_q = p.quality;
+    }
+  }
+  return frontier;
+}
+
+}  // namespace wcsd

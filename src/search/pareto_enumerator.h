@@ -1,0 +1,47 @@
+// Brute-force oracles over the (length, quality) path dominance order
+// (paper Def. 4-5).
+//
+// Two oracles, both for tests only:
+//   * ParetoFrontier — the set of minimal paths' (distance, quality) pairs
+//     for a vertex pair, computed by sweeping constrained BFS over every
+//     distinct quality threshold. Polynomial; usable on mid-sized graphs.
+//   * EnumerateSimplePathProfile — exhaustive DFS over simple paths on tiny
+//     graphs; validates the sweep oracle itself and the dominance
+//     definitions.
+
+#ifndef WCSD_SEARCH_PARETO_ENUMERATOR_H_
+#define WCSD_SEARCH_PARETO_ENUMERATOR_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// One point of a dominance frontier: there exists a w-path of length
+/// `distance` whose minimum edge quality is exactly `quality`, and no path
+/// dominates it (Def. 4).
+struct FrontierPoint {
+  Distance distance;
+  Quality quality;
+
+  friend bool operator==(const FrontierPoint&, const FrontierPoint&) = default;
+};
+
+/// Computes the Pareto frontier of minimal paths between s and t by running
+/// constrained BFS once per distinct quality value. Points are returned with
+/// ascending distance and (necessarily) descending quality. Empty if t is
+/// unreachable from s at every threshold.
+std::vector<FrontierPoint> ParetoFrontier(const QualityGraph& g, Vertex s,
+                                          Vertex t);
+
+/// Exhaustively enumerates all simple paths from s to t (exponential: only
+/// for graphs with <= ~14 vertices) and reduces their (length, min-quality)
+/// profile to the dominance frontier.
+std::vector<FrontierPoint> EnumerateSimplePathProfile(const QualityGraph& g,
+                                                      Vertex s, Vertex t);
+
+}  // namespace wcsd
+
+#endif  // WCSD_SEARCH_PARETO_ENUMERATOR_H_

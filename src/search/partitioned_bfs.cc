@@ -1,0 +1,24 @@
+#include "search/partitioned_bfs.h"
+
+#include <limits>
+
+namespace wcsd {
+
+PartitionedBfs::PartitionedBfs(const QualityGraph& g) : partition_(g) {
+  engines_.reserve(partition_.NumLevels());
+  for (size_t level = 0; level < partition_.NumLevels(); ++level) {
+    engines_.push_back(std::make_unique<WcBfs>(&partition_.GraphAtLevel(level)));
+  }
+}
+
+Distance PartitionedBfs::Query(Vertex s, Vertex t, Quality w) {
+  if (s == t) return 0;
+  auto level = partition_.LevelForConstraint(w);
+  if (!level.has_value()) return kInfDistance;
+  // The partition already excludes sub-threshold edges, so the inner BFS
+  // runs unconstrained (w = -inf passes every remaining edge).
+  return engines_[*level]->Query(
+      s, t, -std::numeric_limits<Quality>::infinity());
+}
+
+}  // namespace wcsd

@@ -1,0 +1,42 @@
+// W-BFS baseline (paper §VI): partition the graph into |w| filtered copies,
+// then answer each query with a plain BFS on the matching partition.
+//
+// Trades O(|w| * |E|) memory for skipping the per-edge quality test of
+// C-BFS. The paper finds C-BFS slightly faster in practice — a shape our
+// Figure 7/12 benches reproduce.
+
+#ifndef WCSD_SEARCH_PARTITIONED_BFS_H_
+#define WCSD_SEARCH_PARTITIONED_BFS_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/subgraph.h"
+#include "search/wc_bfs.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// BFS over precomputed quality partitions.
+class PartitionedBfs {
+ public:
+  /// Builds the |w| filtered graphs of `g`.
+  explicit PartitionedBfs(const QualityGraph& g);
+
+  /// w-constrained distance via BFS on the partition for w.
+  Distance Query(Vertex s, Vertex t, Quality w);
+
+  /// Bytes held by the partitions.
+  size_t MemoryBytes() const { return partition_.MemoryBytes(); }
+
+  const QualityPartition& partition() const { return partition_; }
+
+ private:
+  QualityPartition partition_;
+  // One reusable BFS engine per partition (engines hold scratch state).
+  std::vector<std::unique_ptr<WcBfs>> engines_;
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_SEARCH_PARTITIONED_BFS_H_

@@ -1,0 +1,87 @@
+// Monotone bucket priority queue keyed by small integer priorities.
+//
+// Used by the Minimum Degree Elimination tree decomposition (§IV.D, Def. 8):
+// vertices are repeatedly extracted by minimum current degree, and degrees
+// change by small deltas, which a bucket queue handles in amortized O(1) via
+// lazy deletion.
+
+#ifndef WCSD_UTIL_BUCKET_QUEUE_H_
+#define WCSD_UTIL_BUCKET_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wcsd {
+
+/// Min-priority queue over element ids [0, n) with non-negative integer
+/// keys. Supports key updates via lazy re-insertion: stale entries are
+/// skipped at pop time by consulting the authoritative key array. Pops are
+/// FIFO within a bucket — this matters for MDE: on a path, FIFO peels both
+/// ends alternately and the hierarchy tops out at the center, whereas LIFO
+/// would peel one end and produce a degenerate (deep, unbalanced) order.
+class BucketQueue {
+ public:
+  /// `n` elements, keys initially unset (elements must be Pushed).
+  explicit BucketQueue(size_t n)
+      : key_(n, kAbsent), heads_(), min_bucket_(0) {}
+
+  /// Inserts or updates element `id` with key `key`.
+  void Push(uint32_t id, uint32_t key) {
+    if (buckets_.size() <= key) {
+      buckets_.resize(key + 1);
+      heads_.resize(key + 1, 0);
+    }
+    key_[id] = key;
+    buckets_[key].push_back(id);
+    if (key < min_bucket_) min_bucket_ = key;
+  }
+
+  /// Removes element `id` from the queue (lazy: the stale bucket entry is
+  /// skipped later).
+  void Erase(uint32_t id) { key_[id] = kAbsent; }
+
+  /// True if no live element remains.
+  bool Empty() {
+    SkipStale();
+    return min_bucket_ >= buckets_.size();
+  }
+
+  /// Pops and returns the earliest-inserted id with the minimum key.
+  /// Requires !Empty().
+  uint32_t PopMin() {
+    SkipStale();
+    uint32_t id = buckets_[min_bucket_][heads_[min_bucket_]++];
+    key_[id] = kAbsent;
+    return id;
+  }
+
+  /// Current key of `id`, or kAbsent if not in the queue.
+  uint32_t KeyOf(uint32_t id) const { return key_[id]; }
+
+  static constexpr uint32_t kAbsent = UINT32_MAX;
+
+ private:
+  // Advances min_bucket_ past exhausted buckets and skips stale entries
+  // (entries whose recorded key no longer matches the authoritative key).
+  void SkipStale() {
+    while (min_bucket_ < buckets_.size()) {
+      auto& bucket = buckets_[min_bucket_];
+      size_t& head = heads_[min_bucket_];
+      while (head < bucket.size() && key_[bucket[head]] != min_bucket_) {
+        ++head;
+      }
+      if (head < bucket.size()) return;
+      ++min_bucket_;
+    }
+  }
+
+  std::vector<uint32_t> key_;
+  std::vector<std::vector<uint32_t>> buckets_;
+  std::vector<size_t> heads_;
+  size_t min_bucket_;
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_UTIL_BUCKET_QUEUE_H_

@@ -1,0 +1,43 @@
+// Tiny command-line flag parser for bench and example binaries.
+//
+// Supports `--name=value` and `--name value` forms plus boolean switches.
+// Deliberately minimal: the bench harness needs scale/seed/query-count knobs,
+// not a full flags library.
+
+#ifndef WCSD_UTIL_FLAGS_H_
+#define WCSD_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace wcsd {
+
+/// Parsed command-line flags with typed, defaulted lookups.
+class Flags {
+ public:
+  /// Parses argv; unrecognized positional arguments are ignored.
+  Flags(int argc, char** argv);
+
+  /// True if --name was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// String value of --name, or `def` if absent.
+  std::string GetString(const std::string& name, const std::string& def) const;
+
+  /// Integer value of --name, or `def` if absent/unparseable.
+  int64_t GetInt(const std::string& name, int64_t def) const;
+
+  /// Double value of --name, or `def` if absent/unparseable.
+  double GetDouble(const std::string& name, double def) const;
+
+  /// Boolean: `--name`, `--name=true/1` are true; `--name=false/0` false.
+  bool GetBool(const std::string& name, bool def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_UTIL_FLAGS_H_

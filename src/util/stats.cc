@@ -1,0 +1,58 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace wcsd {
+
+namespace {
+double NearestRank(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(pct / 100.0 * sorted.size());
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return sorted[rank];
+}
+}  // namespace
+
+SampleStats Summarize(std::vector<double> samples) {
+  SampleStats out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  out.count = samples.size();
+  out.min = samples.front();
+  out.max = samples.back();
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  out.mean = sum / static_cast<double>(samples.size());
+  out.p50 = NearestRank(samples, 50.0);
+  out.p95 = NearestRank(samples, 95.0);
+  out.p99 = NearestRank(samples, 99.0);
+  return out;
+}
+
+std::string HumanBytes(size_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", value, units[unit]);
+  return buf;
+}
+
+std::string HumanSeconds(double seconds) {
+  char buf[32];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  }
+  return buf;
+}
+
+}  // namespace wcsd

@@ -1,0 +1,35 @@
+// Small numeric summaries used by the bench harness.
+
+#ifndef WCSD_UTIL_STATS_H_
+#define WCSD_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wcsd {
+
+/// Summary statistics over a sample of doubles.
+struct SampleStats {
+  size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes count/mean/min/max and the 50th/95th/99th percentiles
+/// (nearest-rank). Returns zeros for an empty sample.
+SampleStats Summarize(std::vector<double> samples);
+
+/// Formats a byte count as a human-readable string ("1.23 GB").
+std::string HumanBytes(size_t bytes);
+
+/// Formats seconds adaptively ("815 us", "12.3 ms", "4.56 s").
+std::string HumanSeconds(double seconds);
+
+}  // namespace wcsd
+
+#endif  // WCSD_UTIL_STATS_H_

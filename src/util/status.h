@@ -1,0 +1,97 @@
+// Minimal Status/Result types for fallible operations (file IO, parsing).
+//
+// Following the Arrow/RocksDB idiom: library code on hot paths never throws;
+// operations that can fail for environmental reasons return Status (or
+// Result<T>), and callers decide how to surface errors.
+
+#ifndef WCSD_UTIL_STATUS_H_
+#define WCSD_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace wcsd {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kCorruption,
+  kUnimplemented,
+};
+
+/// Outcome of a fallible operation: either OK or a code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and human-readable message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value or an error Status. Accessing the value of a failed
+/// Result is a programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return some_value;` in functions that
+  /// return Result<T>.
+  Result(T value) : value_(std::move(value)), status_() {}  // NOLINT
+  /// Implicit from error status.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace wcsd
+
+/// Propagates a non-OK Status to the caller, RocksDB-style.
+#define WCSD_RETURN_NOT_OK(expr)             \
+  do {                                       \
+    ::wcsd::Status _st = (expr);             \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+#endif  // WCSD_UTIL_STATUS_H_

@@ -1,0 +1,36 @@
+// Wall-clock timing helpers for benches and progress reporting.
+
+#ifndef WCSD_UTIL_TIMER_H_
+#define WCSD_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace wcsd {
+
+/// Monotonic stopwatch started at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+  /// Elapsed microseconds.
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_UTIL_TIMER_H_

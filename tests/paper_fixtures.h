@@ -1,0 +1,73 @@
+// Shared fixtures reconstructing the paper's worked examples.
+
+#ifndef WCSD_TESTS_PAPER_FIXTURES_H_
+#define WCSD_TESTS_PAPER_FIXTURES_H_
+
+#include "graph/builder.h"
+#include "graph/graph.h"
+
+namespace wcsd {
+
+/// The running-example graph of Figure 3, reconstructed from Table II and
+/// Examples 2-4 (every edge below is forced by some label entry or worked
+/// step in the text):
+///   (v0,v1,3) (v0,v3,1) (v1,v2,5) (v1,v3,2) (v2,v3,4) (v3,v4,4)
+///   (v3,v5,2) (v4,v5,3)
+inline QualityGraph MakeFigure3Graph() {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1, 3);
+  b.AddEdge(0, 3, 1);
+  b.AddEdge(1, 2, 5);
+  b.AddEdge(1, 3, 2);
+  b.AddEdge(2, 3, 4);
+  b.AddEdge(3, 4, 4);
+  b.AddEdge(3, 5, 2);
+  b.AddEdge(4, 5, 3);
+  return b.Build();
+}
+
+/// A graph consistent with every fact the paper states about its Figure 2
+/// example (the figure itself is underspecified in the text, so this is a
+/// witness reconstruction — Example 1's assertions must all hold on it):
+///   * {v0 -> v2 -> v8} is a 1-path and the shortest one: dist^1(v0,v8)=2;
+///   * (v0, v2) has quality < 2, so that path is not a 2-path;
+///   * {v0 -> v1 -> v2 -> v8} is the shortest 2-path: dist^2(v0,v8)=3;
+///   * {v1 -> v2 -> v9 -> v8 -> v5 -> v4} is both a 2-path and a 3-path;
+///   * {v1 -> v2 -> v8 -> v5 -> v4} is a shorter 2-path between v1 and v4.
+inline QualityGraph MakeFigure2Graph() {
+  GraphBuilder b(10);
+  b.AddEdge(0, 1, 2);  // v0 - v1
+  b.AddEdge(0, 2, 1);  // v0 - v2 (quality < 2, per Example 1)
+  b.AddEdge(1, 2, 3);  // v1 - v2
+  b.AddEdge(2, 8, 2);  // v2 - v8
+  b.AddEdge(2, 9, 3);  // v2 - v9
+  b.AddEdge(9, 8, 3);  // v9 - v8
+  b.AddEdge(8, 5, 3);  // v8 - v5
+  b.AddEdge(5, 4, 3);  // v5 - v4
+  // Remaining vertices of the figure, attached with weak links.
+  b.AddEdge(3, 0, 1);
+  b.AddEdge(6, 5, 1);
+  b.AddEdge(7, 9, 1);
+  return b.Build();
+}
+
+/// A graph matching the motivating communication network of Figure 1:
+/// routers R1..R4 (0-3) and switches S1..S2 (4-5), edge qualities are link
+/// bandwidths in Mbps. The query "distance from R3 to R2 with >= 3 Mbps"
+/// must be 4 via R3 -> S1 -> R4 -> S2 -> R2, because S1 -> R2 only carries
+/// 2 Mbps.
+inline QualityGraph MakeFigure1Network() {
+  // Vertices: R1=0, R2=1, R3=2, R4=3, S1=4, S2=5.
+  GraphBuilder b(6);
+  b.AddEdge(2, 4, 5);  // R3 - S1, fast uplink
+  b.AddEdge(4, 1, 2);  // S1 - R2, the 2 Mbps bottleneck from Example (1)
+  b.AddEdge(4, 3, 4);  // S1 - R4
+  b.AddEdge(3, 5, 4);  // R4 - S2
+  b.AddEdge(5, 1, 3);  // S2 - R2
+  b.AddEdge(0, 4, 3);  // R1 - S1 (extra router, not on the example route)
+  return b.Build();
+}
+
+}  // namespace wcsd
+
+#endif  // WCSD_TESTS_PAPER_FIXTURES_H_

@@ -1,0 +1,125 @@
+// Batch/ranking API tests: thread-count invariance, positional alignment,
+// top-k semantics, and quality-profile monotonicity.
+
+#include <gtest/gtest.h>
+
+#include "core/batch.h"
+#include "core/wc_index.h"
+#include "graph/generators.h"
+#include "paper_fixtures.h"
+#include "util/random.h"
+
+namespace wcsd {
+namespace {
+
+std::vector<BatchQueryInput> RandomBatch(size_t n_vertices, int levels,
+                                         size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BatchQueryInput> batch;
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    batch.push_back({static_cast<Vertex>(rng.NextBounded(n_vertices)),
+                     static_cast<Vertex>(rng.NextBounded(n_vertices)),
+                     static_cast<Quality>(rng.NextInRange(1, levels))});
+  }
+  return batch;
+}
+
+TEST(BatchQueryTest, MatchesSingleQueries) {
+  QualityGraph g = MakeFigure3Graph();
+  WcIndex index = WcIndex::Build(g);
+  std::vector<BatchQueryInput> batch{
+      {2, 5, 2.0f}, {0, 4, 1.0f}, {0, 4, 6.0f}, {3, 3, 9.0f}};
+  auto results = BatchQuery(index, batch);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0], 2u);
+  EXPECT_EQ(results[1], 2u);
+  EXPECT_EQ(results[2], kInfDistance);
+  EXPECT_EQ(results[3], 0u);
+}
+
+TEST(BatchQueryTest, ThreadCountDoesNotChangeResults) {
+  QualityModel quality;
+  quality.num_levels = 5;
+  QualityGraph g = GenerateRandomConnected(200, 600, quality, 3);
+  WcIndex index = WcIndex::Build(g);
+  auto batch = RandomBatch(200, 5, 2000, 7);
+  auto sequential = BatchQuery(index, batch, 1);
+  for (size_t threads : {2u, 4u, 8u, 64u}) {
+    EXPECT_EQ(BatchQuery(index, batch, threads), sequential)
+        << threads << " threads";
+  }
+}
+
+TEST(BatchQueryTest, EmptyBatch) {
+  QualityGraph g = MakeFigure3Graph();
+  WcIndex index = WcIndex::Build(g);
+  EXPECT_TRUE(BatchQuery(index, {}, 4).empty());
+}
+
+TEST(TopKClosestTest, OrdersByDistanceThenId) {
+  QualityGraph g = MakeFigure3Graph();
+  WcIndex index = WcIndex::Build(g);
+  // Distances from v0 at w=1: v1:1, v2:2, v3:1, v4:2, v5:2.
+  auto top = TopKClosest(index, 0, {1, 2, 3, 4, 5}, 1.0f, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].vertex, 1u);
+  EXPECT_EQ(top[0].dist, 1u);
+  EXPECT_EQ(top[1].vertex, 3u);
+  EXPECT_EQ(top[1].dist, 1u);
+  EXPECT_EQ(top[2].vertex, 2u);
+  EXPECT_EQ(top[2].dist, 2u);
+}
+
+TEST(TopKClosestTest, OmitsUnreachable) {
+  QualityGraph g = MakeFigure3Graph();
+  WcIndex index = WcIndex::Build(g);
+  // At w=4 only the subgraph {v1, v2, v3, v4} stays connected.
+  auto top = TopKClosest(index, 1, {0, 2, 3, 4, 5}, 4.0f, 10);
+  for (const RankedCandidate& c : top) {
+    EXPECT_NE(c.vertex, 0u);
+    EXPECT_NE(c.vertex, 5u);
+  }
+  EXPECT_EQ(top.size(), 3u);
+}
+
+TEST(TopKClosestTest, KLargerThanCandidates) {
+  QualityGraph g = MakeFigure3Graph();
+  WcIndex index = WcIndex::Build(g);
+  auto top = TopKClosest(index, 0, {1, 3}, 1.0f, 99);
+  EXPECT_EQ(top.size(), 2u);
+}
+
+TEST(QualityProfileTest, MonotoneNonDecreasingDistances) {
+  QualityModel quality;
+  quality.num_levels = 8;
+  QualityGraph g = GenerateRandomConnected(120, 300, quality, 9);
+  WcIndex index = WcIndex::Build(g);
+  auto thresholds = g.DistinctQualities();
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(120));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(120));
+    auto profile = QualityProfile(index, s, t, thresholds);
+    ASSERT_EQ(profile.size(), thresholds.size());
+    for (size_t j = 1; j < profile.size(); ++j) {
+      // Raising the constraint can only lengthen (or break) the path.
+      EXPECT_LE(profile[j - 1].dist, profile[j].dist);
+    }
+  }
+}
+
+TEST(QualityProfileTest, Figure3PairV0V4) {
+  QualityGraph g = MakeFigure3Graph();
+  WcIndex index = WcIndex::Build(g);
+  auto profile = QualityProfile(index, 0, 4, {1, 2, 3, 4, 5});
+  ASSERT_EQ(profile.size(), 5u);
+  EXPECT_EQ(profile[0].dist, 2u);
+  EXPECT_EQ(profile[1].dist, 3u);
+  EXPECT_EQ(profile[2].dist, 4u);
+  EXPECT_EQ(profile[3].dist, kInfDistance);
+  EXPECT_EQ(profile[4].dist, kInfDistance);
+}
+
+}  // namespace
+}  // namespace wcsd

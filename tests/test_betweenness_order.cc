@@ -1,0 +1,77 @@
+// Sampled-betweenness ordering tests.
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.h"
+#include "core/wc_index.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "order/betweenness_order.h"
+#include "search/wc_bfs.h"
+#include "util/random.h"
+
+namespace wcsd {
+namespace {
+
+TEST(BetweennessTest, StarCenterDominates) {
+  // Star: every shortest path between leaves crosses the center.
+  GraphBuilder b(8);
+  for (Vertex leaf = 1; leaf < 8; ++leaf) b.AddEdge(0, leaf, 1.0f);
+  QualityGraph g = b.Build();
+  auto centrality = SampledBetweenness(g, 64, 3);
+  for (Vertex leaf = 1; leaf < 8; ++leaf) {
+    EXPECT_GT(centrality[0], centrality[leaf]);
+  }
+  VertexOrder order = BetweennessOrder(g, 64, 3);
+  EXPECT_EQ(order.VertexAt(0), 0u);
+}
+
+TEST(BetweennessTest, PathCenterBeatsEndpoints) {
+  GraphBuilder b(9);
+  for (Vertex i = 0; i + 1 < 9; ++i) b.AddEdge(i, i + 1, 1.0f);
+  QualityGraph g = b.Build();
+  auto centrality = SampledBetweenness(g, 128, 5);
+  EXPECT_GT(centrality[4], centrality[0]);
+  EXPECT_GT(centrality[4], centrality[8]);
+}
+
+TEST(BetweennessTest, OrderIsValidPermutation) {
+  QualityModel quality;
+  QualityGraph g = GenerateRandomConnected(200, 500, quality, 7);
+  VertexOrder order = BetweennessOrder(g, 32, 7);
+  EXPECT_TRUE(order.IsValid());
+}
+
+TEST(BetweennessTest, DeterministicPerSeed) {
+  QualityModel quality;
+  QualityGraph g = GenerateRandomConnected(100, 250, quality, 9);
+  EXPECT_EQ(BetweennessOrder(g, 16, 1).by_rank(),
+            BetweennessOrder(g, 16, 1).by_rank());
+}
+
+TEST(BetweennessTest, WcIndexUnderBetweennessOrderIsCorrect) {
+  // Any permutation yields a correct WC-INDEX; this exercises the full
+  // verification under the sampled ordering.
+  QualityModel quality;
+  quality.num_levels = 4;
+  QualityGraph g = GenerateRandomConnected(50, 120, quality, 11);
+  WcIndex index =
+      WcIndex::BuildWithOrder(g, BetweennessOrder(g, 24, 11));
+  VerificationReport report = VerifyAll(index, g);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(BetweennessTest, CompetitiveLabelSizesOnScaleFree) {
+  // On scale-free graphs betweenness correlates with degree, so its label
+  // sizes should be within a small factor of the degree ordering's.
+  QualityModel quality;
+  quality.num_levels = 3;
+  QualityGraph g = GenerateBarabasiAlbert(500, 4, quality, 13);
+  WcIndex by_degree = WcIndex::Build(g);  // Default: degree order.
+  WcIndex by_betweenness =
+      WcIndex::BuildWithOrder(g, BetweennessOrder(g, 64, 13));
+  EXPECT_LT(by_betweenness.TotalEntries(), by_degree.TotalEntries() * 2);
+}
+
+}  // namespace
+}  // namespace wcsd

@@ -1,0 +1,122 @@
+// Compressed label tests: exact round trips, query equivalence, size
+// savings, and serialization.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/wc_index.h"
+#include "graph/generators.h"
+#include "labeling/compressed_labels.h"
+#include "paper_fixtures.h"
+#include "util/random.h"
+
+namespace wcsd {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(CompressedLabelsTest, RoundTripPaperExample) {
+  QualityGraph g = MakeFigure3Graph();
+  WcIndexOptions options;
+  options.ordering = WcIndexOptions::Ordering::kIdentity;
+  WcIndex index = WcIndex::Build(g, options);
+  CompressedLabelSet compressed =
+      CompressedLabelSet::Compress(index.labels());
+  EXPECT_EQ(compressed.Decompress(), index.labels());
+}
+
+TEST(CompressedLabelsTest, RoundTripRandomGraphs) {
+  QualityModel quality;
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    quality.num_levels = static_cast<int>(2 + seed * 3);
+    QualityGraph g = GenerateRandomConnected(80, 200, quality, seed);
+    WcIndex index = WcIndex::Build(g);
+    CompressedLabelSet compressed =
+        CompressedLabelSet::Compress(index.labels());
+    ASSERT_EQ(compressed.Decompress(), index.labels()) << "seed " << seed;
+  }
+}
+
+TEST(CompressedLabelsTest, DecodeVertexMatchesFullDecode) {
+  QualityModel quality;
+  quality.num_levels = 5;
+  QualityGraph g = GenerateRandomConnected(60, 150, quality, 7);
+  WcIndex index = WcIndex::Build(g);
+  CompressedLabelSet compressed =
+      CompressedLabelSet::Compress(index.labels());
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    auto expected = index.labels().For(v);
+    auto decoded = compressed.DecodeVertex(v);
+    ASSERT_EQ(decoded.size(), expected.size());
+    for (size_t i = 0; i < decoded.size(); ++i) {
+      EXPECT_EQ(decoded[i], expected[i]);
+    }
+  }
+}
+
+TEST(CompressedLabelsTest, QueriesMatchUncompressed) {
+  QualityModel quality;
+  quality.num_levels = 6;
+  QualityGraph g = GenerateRandomConnected(100, 280, quality, 9);
+  WcIndex index = WcIndex::Build(g);
+  CompressedLabelSet compressed =
+      CompressedLabelSet::Compress(index.labels());
+  Rng rng(11);
+  for (int i = 0; i < 400; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(100));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(100));
+    Quality w = static_cast<Quality>(rng.NextInRange(1, 7));
+    ASSERT_EQ(compressed.Query(s, t, w), index.Query(s, t, w));
+  }
+}
+
+TEST(CompressedLabelsTest, MeaningfulCompressionRatio) {
+  QualityModel quality;
+  quality.num_levels = 5;
+  QualityGraph g = GenerateRandomConnected(400, 1000, quality, 13);
+  WcIndex index = WcIndex::Build(g);
+  CompressedLabelSet compressed =
+      CompressedLabelSet::Compress(index.labels());
+  // Expect at least 2.5x savings over the 12-byte working entries.
+  EXPECT_LT(compressed.MemoryBytes() * 5, index.MemoryBytes() * 2)
+      << "compressed=" << compressed.MemoryBytes()
+      << " raw=" << index.MemoryBytes();
+}
+
+TEST(CompressedLabelsTest, SaveLoadRoundTrip) {
+  QualityModel quality;
+  quality.num_levels = 4;
+  QualityGraph g = GenerateRandomConnected(80, 200, quality, 15);
+  WcIndex index = WcIndex::Build(g);
+  CompressedLabelSet compressed =
+      CompressedLabelSet::Compress(index.labels());
+  std::string path = TempPath("compressed.bin");
+  ASSERT_TRUE(compressed.Save(path).ok());
+  auto loaded = CompressedLabelSet::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().Decompress(), index.labels());
+  std::remove(path.c_str());
+}
+
+TEST(CompressedLabelsTest, BadFileRejected) {
+  std::string path = TempPath("junk_compressed.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a compressed label set";
+  }
+  EXPECT_FALSE(CompressedLabelSet::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CompressedLabelsTest, EmptySet) {
+  CompressedLabelSet compressed = CompressedLabelSet::Compress(LabelSet(0));
+  EXPECT_EQ(compressed.NumVertices(), 0u);
+  EXPECT_EQ(compressed.Decompress(), LabelSet(0));
+}
+
+}  // namespace
+}  // namespace wcsd

@@ -1,0 +1,125 @@
+// Directed WC-INDEX tests (§V): agreement with a directed constrained-BFS
+// oracle, asymmetry handling, and the undirected-equivalence sanity check.
+
+#include <gtest/gtest.h>
+
+#include "core/directed_wc_index.h"
+#include "core/wc_index.h"
+#include "graph/generators.h"
+#include "util/epoch_array.h"
+#include "util/random.h"
+
+namespace wcsd {
+namespace {
+
+// Directed constrained-BFS oracle over out-arcs.
+Distance DirectedOracle(const DirectedQualityGraph& g, Vertex s, Vertex t,
+                        Quality w) {
+  if (s == t) return 0;
+  std::vector<bool> visited(g.NumVertices(), false);
+  std::vector<Vertex> queue{s};
+  visited[s] = true;
+  Distance d = 0;
+  size_t begin = 0;
+  while (begin < queue.size()) {
+    size_t end = queue.size();
+    ++d;
+    for (size_t i = begin; i < end; ++i) {
+      for (const Arc& a : g.OutNeighbors(queue[i])) {
+        if (a.quality < w || visited[a.to]) continue;
+        if (a.to == t) return d;
+        visited[a.to] = true;
+        queue.push_back(a.to);
+      }
+    }
+    begin = end;
+  }
+  return kInfDistance;
+}
+
+TEST(DirectedWcIndexTest, HandBuiltAsymmetricGraph) {
+  // 0 -> 1 (q5), 1 -> 2 (q5), 2 -> 0 (q1): a quality-asymmetric cycle.
+  DirectedQualityGraph g = DirectedQualityGraph::FromEdges(
+      3, {{0, 1, 5.0f}, {1, 2, 5.0f}, {2, 0, 1.0f}});
+  DirectedWcIndex index = DirectedWcIndex::Build(g);
+  EXPECT_EQ(index.Query(0, 2, 5.0f), 2u);
+  EXPECT_EQ(index.Query(2, 0, 1.0f), 1u);
+  EXPECT_EQ(index.Query(2, 0, 2.0f), kInfDistance);
+  EXPECT_EQ(index.Query(2, 1, 1.0f), 2u);
+  EXPECT_EQ(index.Query(1, 0, 5.0f), kInfDistance);
+  EXPECT_EQ(index.Query(1, 1, 9.0f), 0u);
+}
+
+TEST(DirectedWcIndexTest, OneWayChain) {
+  DirectedQualityGraph g = DirectedQualityGraph::FromEdges(
+      4, {{0, 1, 2.0f}, {1, 2, 3.0f}, {2, 3, 1.0f}});
+  DirectedWcIndex index = DirectedWcIndex::Build(g);
+  EXPECT_EQ(index.Query(0, 3, 1.0f), 3u);
+  EXPECT_EQ(index.Query(0, 2, 2.0f), 2u);
+  EXPECT_EQ(index.Query(3, 0, 1.0f), kInfDistance);  // No reverse arcs.
+  EXPECT_EQ(index.Query(0, 3, 2.0f), kInfDistance);  // (2,3) too weak.
+}
+
+class DirectedPropertyTest
+    : public testing::TestWithParam<std::tuple<size_t, size_t, int, uint64_t>> {
+};
+
+TEST_P(DirectedPropertyTest, MatchesOracleOnRandomDigraphs) {
+  auto [n, arcs, levels, seed] = GetParam();
+  QualityModel quality;
+  quality.num_levels = levels;
+  DirectedQualityGraph g = GenerateRandomDirected(n, arcs, quality, seed);
+  DirectedWcIndex index = DirectedWcIndex::Build(g);
+  Rng rng(seed + 3);
+  for (int i = 0; i < 400; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+    Quality w = static_cast<Quality>(rng.NextInRange(1, levels + 1));
+    ASSERT_EQ(index.Query(s, t, w), DirectedOracle(g, s, t, w))
+        << s << "->" << t << " w=" << w << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DirectedPropertyTest,
+    testing::Values(std::make_tuple(30, 120, 3, 1),
+                    std::make_tuple(50, 250, 5, 2),
+                    std::make_tuple(80, 320, 8, 3),
+                    std::make_tuple(120, 360, 2, 4),
+                    std::make_tuple(60, 600, 4, 5)));
+
+TEST(DirectedWcIndexTest, SymmetricDigraphMatchesUndirectedIndex) {
+  // Every edge in both directions with equal quality: directed and
+  // undirected answers must coincide.
+  QualityModel quality;
+  quality.num_levels = 4;
+  QualityGraph u = GenerateRandomConnected(60, 150, quality, 7);
+  std::vector<std::tuple<Vertex, Vertex, Quality>> arcs;
+  for (Vertex v = 0; v < u.NumVertices(); ++v) {
+    for (const Arc& a : u.Neighbors(v)) arcs.emplace_back(v, a.to, a.quality);
+  }
+  DirectedQualityGraph d =
+      DirectedQualityGraph::FromEdges(u.NumVertices(), arcs);
+  DirectedWcIndex directed = DirectedWcIndex::Build(d);
+  WcIndex undirected = WcIndex::Build(u);
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(60));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(60));
+    Quality w = static_cast<Quality>(rng.NextInRange(1, 5));
+    ASSERT_EQ(directed.Query(s, t, w), undirected.Query(s, t, w));
+  }
+}
+
+TEST(DirectedWcIndexTest, LabelsSortedBothSides) {
+  QualityModel quality;
+  DirectedQualityGraph g = GenerateRandomDirected(80, 400, quality, 11);
+  DirectedWcIndex index = DirectedWcIndex::Build(g);
+  EXPECT_TRUE(index.in_labels().IsSorted());
+  EXPECT_TRUE(index.out_labels().IsSorted());
+  EXPECT_GT(index.TotalEntries(), 0u);
+  EXPECT_GT(index.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace wcsd

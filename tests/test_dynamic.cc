@@ -1,0 +1,172 @@
+// Dynamic WC-INDEX tests (§VIII future work): incremental insertion must
+// answer exactly like a from-scratch rebuild; deletion rebuilds.
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_wc_index.h"
+#include "core/wc_index.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "search/wc_bfs.h"
+#include "paper_fixtures.h"
+#include "util/random.h"
+
+namespace wcsd {
+namespace {
+
+// Compares every sampled query between the dynamic index and a constrained
+// BFS on its current snapshot.
+void ExpectMatchesOracle(DynamicWcIndex& index, int levels, uint64_t seed,
+                         int samples = 300) {
+  QualityGraph g = index.Snapshot();
+  WcBfs bfs(&g);
+  Rng rng(seed);
+  const size_t n = g.NumVertices();
+  for (int i = 0; i < samples; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+    Quality w = static_cast<Quality>(rng.NextInRange(1, levels + 1));
+    ASSERT_EQ(index.Query(s, t, w), bfs.Query(s, t, w))
+        << s << "->" << t << " w=" << w;
+  }
+}
+
+TEST(DynamicTest, InsertIntoFigure3) {
+  QualityGraph g = MakeFigure3Graph();
+  DynamicWcIndex index(g);
+  // New strong shortcut v0 - v5.
+  index.InsertEdge(0, 5, 4.0f);
+  EXPECT_EQ(index.Query(0, 5, 4.0f), 1u);
+  EXPECT_EQ(index.Query(1, 5, 3.0f), 2u);  // v1 - v0 - v5 at q3.
+  ExpectMatchesOracle(index, 6, 1);
+}
+
+TEST(DynamicTest, InsertParallelEdgeLowerQualityIsNoop) {
+  QualityGraph g = MakeFigure3Graph();
+  DynamicWcIndex index(g);
+  size_t before = index.labels().TotalEntries();
+  index.InsertEdge(0, 1, 2.0f);  // Existing edge has quality 3.
+  EXPECT_EQ(index.labels().TotalEntries(), before);
+  ExpectMatchesOracle(index, 6, 2);
+}
+
+TEST(DynamicTest, InsertParallelEdgeHigherQualityUpgrades) {
+  QualityGraph g = MakeFigure3Graph();
+  DynamicWcIndex index(g);
+  index.InsertEdge(0, 3, 5.0f);  // Upgrade (v0, v3) from q1 to q5.
+  EXPECT_EQ(index.Query(0, 3, 5.0f), 1u);
+  EXPECT_EQ(index.Query(0, 4, 4.0f), 2u);  // v0 - v3 - v4 now at q4.
+  ExpectMatchesOracle(index, 6, 3);
+}
+
+TEST(DynamicTest, DeleteEdgeRebuilds) {
+  QualityGraph g = MakeFigure3Graph();
+  DynamicWcIndex index(g);
+  index.DeleteEdge(3, 4);
+  // v4 now reachable only through v5.
+  EXPECT_EQ(index.Query(0, 4, 1.0f), 3u);  // v0 - v3 - v5 - v4.
+  EXPECT_EQ(index.Query(3, 4, 4.0f), kInfDistance);
+  ExpectMatchesOracle(index, 6, 4);
+}
+
+TEST(DynamicTest, DeleteMissingEdgeIsNoop) {
+  QualityGraph g = MakeFigure3Graph();
+  DynamicWcIndex index(g);
+  size_t before = index.labels().TotalEntries();
+  index.DeleteEdge(0, 5);
+  EXPECT_EQ(index.labels().TotalEntries(), before);
+}
+
+class DynamicPropertyTest
+    : public testing::TestWithParam<std::tuple<size_t, size_t, int, uint64_t>> {
+};
+
+TEST_P(DynamicPropertyTest, RandomInsertionSequence) {
+  auto [n, m, levels, seed] = GetParam();
+  QualityModel quality;
+  quality.num_levels = levels;
+  QualityGraph g = GenerateRandomConnected(n, m, quality, seed);
+  DynamicWcIndex index(g);
+  Rng rng(seed + 31);
+  for (int round = 0; round < 12; ++round) {
+    Vertex u = static_cast<Vertex>(rng.NextBounded(n));
+    Vertex v = static_cast<Vertex>(rng.NextBounded(n));
+    if (u == v) continue;
+    Quality q = static_cast<Quality>(rng.NextInRange(1, levels));
+    index.InsertEdge(u, v, q);
+  }
+  ExpectMatchesOracle(index, levels, seed + 32, 400);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DynamicPropertyTest,
+    testing::Values(std::make_tuple(30, 50, 3, 1),
+                    std::make_tuple(50, 90, 5, 2),
+                    std::make_tuple(80, 160, 4, 3),
+                    std::make_tuple(60, 100, 8, 4),
+                    std::make_tuple(100, 250, 6, 5)));
+
+TEST(DynamicTest, MixedInsertDeleteSequence) {
+  QualityModel quality;
+  quality.num_levels = 4;
+  QualityGraph g = GenerateRandomConnected(40, 80, quality, 17);
+  DynamicWcIndex index(g);
+  Rng rng(19);
+  for (int round = 0; round < 8; ++round) {
+    Vertex u = static_cast<Vertex>(rng.NextBounded(40));
+    Vertex v = static_cast<Vertex>(rng.NextBounded(40));
+    if (u == v) continue;
+    if (rng.NextBool(0.7)) {
+      index.InsertEdge(u, v, static_cast<Quality>(rng.NextInRange(1, 4)));
+    } else {
+      index.DeleteEdge(u, v);
+    }
+  }
+  ExpectMatchesOracle(index, 4, 21, 400);
+}
+
+TEST(DynamicTest, BatchInsertSmallBatchIncremental) {
+  QualityModel quality;
+  quality.num_levels = 4;
+  QualityGraph g = GenerateRandomConnected(60, 200, quality, 27);
+  DynamicWcIndex index(g);
+  index.InsertEdges({{1, 40, 3.0f}, {2, 50, 2.0f}, {3, 55, 4.0f}});
+  ExpectMatchesOracle(index, 4, 28);
+}
+
+TEST(DynamicTest, BatchInsertLargeBatchRebuilds) {
+  QualityModel quality;
+  quality.num_levels = 4;
+  QualityGraph g = GenerateRandomConnected(40, 60, quality, 29);
+  DynamicWcIndex index(g);
+  // Batch of 30 on a 60-edge graph: exceeds the 1-per-8 threshold.
+  std::vector<DynamicWcIndex::EdgeUpdate> batch;
+  Rng rng(30);
+  for (int i = 0; i < 30; ++i) {
+    Vertex u = static_cast<Vertex>(rng.NextBounded(40));
+    Vertex v = static_cast<Vertex>(rng.NextBounded(40));
+    if (u != v) {
+      batch.push_back({u, v, static_cast<Quality>(rng.NextInRange(1, 4))});
+    }
+  }
+  index.InsertEdges(batch);
+  ExpectMatchesOracle(index, 4, 31);
+}
+
+TEST(DynamicTest, InsertBridgesComponents) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1, 3.0f);
+  b.AddEdge(1, 2, 2.0f);
+  b.AddEdge(3, 4, 3.0f);
+  b.AddEdge(4, 5, 1.0f);
+  DynamicWcIndex index(b.Build());
+  EXPECT_EQ(index.Query(0, 5, 1.0f), kInfDistance);
+  index.InsertEdge(2, 3, 2.0f);
+  EXPECT_EQ(index.Query(0, 5, 1.0f), 5u);
+  EXPECT_EQ(index.Query(0, 4, 2.0f), 4u);
+  EXPECT_EQ(index.Query(0, 4, 3.0f), kInfDistance);
+  ExpectMatchesOracle(index, 4, 23);
+}
+
+}  // namespace
+}  // namespace wcsd

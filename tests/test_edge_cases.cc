@@ -1,0 +1,173 @@
+// Edge-case and robustness tests for the core index: extreme topologies,
+// unusual quality values (negative, fractional, duplicated), and stress
+// differentials against the online oracle.
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.h"
+#include "core/wc_index.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "search/wc_bfs.h"
+#include "util/random.h"
+
+namespace wcsd {
+namespace {
+
+TEST(EdgeCases, AllIsolatedVertices) {
+  GraphBuilder b(10);
+  WcIndex index = WcIndex::Build(b.Build());
+  EXPECT_EQ(index.TotalEntries(), 10u);  // Self entries only.
+  EXPECT_EQ(index.Query(3, 7, 1.0f), kInfDistance);
+  EXPECT_EQ(index.Query(3, 3, 1.0f), 0u);
+}
+
+TEST(EdgeCases, StarGraph) {
+  GraphBuilder b(50);
+  for (Vertex leaf = 1; leaf < 50; ++leaf) {
+    b.AddEdge(0, leaf, static_cast<Quality>(1 + leaf % 5));
+  }
+  QualityGraph g = b.Build();
+  WcIndex index = WcIndex::Build(g);
+  VerificationReport report = VerifyAll(index, g);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  // Leaf-to-leaf distance is 2 when both spokes satisfy the constraint.
+  EXPECT_EQ(index.Query(1, 6, 2.0f), 2u);   // spokes q2 and q2
+  EXPECT_EQ(index.Query(1, 2, 3.0f), kInfDistance);  // spoke 1 has q2 < 3
+}
+
+TEST(EdgeCases, CompleteGraph) {
+  const size_t n = 20;
+  GraphBuilder b(n);
+  Rng rng(3);
+  for (Vertex i = 0; i < n; ++i) {
+    for (Vertex j = i + 1; j < n; ++j) {
+      b.AddEdge(i, j, static_cast<Quality>(rng.NextInRange(1, 4)));
+    }
+  }
+  QualityGraph g = b.Build();
+  WcIndex index = WcIndex::Build(g);
+  VerificationReport report = VerifyAll(index, g);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(EdgeCases, LongPathDiameterStress) {
+  const size_t n = 400;
+  GraphBuilder b(n);
+  for (Vertex i = 0; i + 1 < n; ++i) {
+    b.AddEdge(i, i + 1, static_cast<Quality>(1 + i % 3));
+  }
+  QualityGraph g = b.Build();
+  WcIndex index = WcIndex::Build(g);
+  WcBfs bfs(&g);
+  // End-to-end: only the weakest class survives the whole chain.
+  EXPECT_EQ(index.Query(0, static_cast<Vertex>(n - 1), 1.0f),
+            static_cast<Distance>(n - 1));
+  EXPECT_EQ(index.Query(0, static_cast<Vertex>(n - 1), 2.0f), kInfDistance);
+  // Random sub-ranges at every class.
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+    Quality w = static_cast<Quality>(rng.NextInRange(1, 3));
+    ASSERT_EQ(index.Query(s, t, w), bfs.Query(s, t, w));
+  }
+}
+
+TEST(EdgeCases, NegativeAndFractionalQualities) {
+  // Qualities are arbitrary finite reals per the problem definition.
+  GraphBuilder b(5);
+  b.AddEdge(0, 1, -2.5f);
+  b.AddEdge(1, 2, 0.0f);
+  b.AddEdge(2, 3, 0.25f);
+  b.AddEdge(3, 4, -10.0f);
+  b.AddEdge(0, 4, 0.125f);
+  QualityGraph g = b.Build();
+  WcIndex index = WcIndex::Build(g);
+  WcBfs bfs(&g);
+  for (Quality w : {-11.0f, -2.5f, -1.0f, 0.0f, 0.125f, 0.2f, 0.25f, 1.0f}) {
+    for (Vertex s = 0; s < 5; ++s) {
+      for (Vertex t = 0; t < 5; ++t) {
+        ASSERT_EQ(index.Query(s, t, w), bfs.Query(s, t, w))
+            << s << "->" << t << " w=" << w;
+      }
+    }
+  }
+  VerificationReport report = VerifyAll(index, g);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(EdgeCases, TwoVertexGraph) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 3.0f);
+  WcIndex index = WcIndex::Build(b.Build());
+  EXPECT_EQ(index.Query(0, 1, 3.0f), 1u);
+  EXPECT_EQ(index.Query(0, 1, 3.5f), kInfDistance);
+  EXPECT_EQ(index.Query(1, 0, 1.0f), 1u);
+}
+
+TEST(EdgeCases, DenseQualitySpectrum) {
+  // Nearly every edge has a unique quality: |w| ~ |E|, the regime where
+  // the Naive baseline is maximally infeasible but WC-INDEX just stores a
+  // deeper frontier.
+  const size_t n = 60;
+  QualityModel quality;
+  QualityGraph base = GenerateRandomConnected(n, 150, quality, 7);
+  GraphBuilder b(n);
+  Rng rng(9);
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Arc& a : base.Neighbors(u)) {
+      if (u < a.to) {
+        b.AddEdge(u, a.to,
+                  static_cast<Quality>(rng.NextDouble() * 1000.0));
+      }
+    }
+  }
+  QualityGraph g = b.Build();
+  WcIndex index = WcIndex::Build(g);
+  WcBfs bfs(&g);
+  auto thresholds = g.DistinctQualities();
+  Rng qrng(11);
+  for (int i = 0; i < 300; ++i) {
+    Vertex s = static_cast<Vertex>(qrng.NextBounded(n));
+    Vertex t = static_cast<Vertex>(qrng.NextBounded(n));
+    Quality w = thresholds[qrng.NextBounded(thresholds.size())];
+    ASSERT_EQ(index.Query(s, t, w), bfs.Query(s, t, w));
+  }
+}
+
+TEST(EdgeCases, StressDifferentialLargeRandom) {
+  // One larger randomized differential: 600 vertices, all four query
+  // implementations against the oracle.
+  QualityModel quality;
+  quality.num_levels = 7;
+  QualityGraph g = GenerateRandomConnected(600, 1800, quality, 13);
+  WcIndex index = WcIndex::Build(g, WcIndexOptions::Plus());
+  WcBfs bfs(&g);
+  Rng rng(15);
+  for (int i = 0; i < 300; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(600));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(600));
+    Quality w = static_cast<Quality>(rng.NextInRange(1, 8));
+    Distance expected = bfs.Query(s, t, w);
+    ASSERT_EQ(index.Query(s, t, w, QueryImpl::kMerge), expected);
+    ASSERT_EQ(index.Query(s, t, w, QueryImpl::kBinary), expected);
+    if (i % 10 == 0) {  // The quadratic scan is slow; sample it.
+      ASSERT_EQ(index.Query(s, t, w, QueryImpl::kScan), expected);
+      ASSERT_EQ(index.Query(s, t, w, QueryImpl::kHubGrouped), expected);
+    }
+  }
+}
+
+TEST(EdgeCases, RepeatedBuildsAreDeterministic) {
+  QualityModel quality;
+  quality.num_levels = 5;
+  QualityGraph g = GenerateRandomConnected(120, 300, quality, 17);
+  WcIndex a = WcIndex::Build(g, WcIndexOptions::Plus());
+  WcIndex b = WcIndex::Build(g, WcIndexOptions::Plus());
+  EXPECT_EQ(a.labels(), b.labels());
+  EXPECT_EQ(a.order().by_rank(), b.order().by_rank());
+}
+
+}  // namespace
+}  // namespace wcsd

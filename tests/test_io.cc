@@ -1,0 +1,134 @@
+// Graph IO tests: edge-list text, DIMACS, binary snapshots, error paths.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "graph/io.h"
+#include "paper_fixtures.h"
+
+namespace wcsd {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(EdgeListIo, ParsesSimpleList) {
+  auto result = ParseEdgeList("0 1 2.5\n1 2 3\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const QualityGraph& g = result.value();
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_FLOAT_EQ(g.EdgeQuality(0, 1), 2.5f);
+}
+
+TEST(EdgeListIo, SkipsCommentsAndBlanks) {
+  auto result = ParseEdgeList("# header\n\n% other comment\n0 1 1\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumEdges(), 1u);
+}
+
+TEST(EdgeListIo, HonorsVertexHint) {
+  auto result = ParseEdgeList("0 1 1\n", /*num_vertices_hint=*/10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumVertices(), 10u);
+}
+
+TEST(EdgeListIo, RejectsMalformedLine) {
+  auto result = ParseEdgeList("0 1\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(EdgeListIo, FileRoundTrip) {
+  QualityGraph g = MakeFigure3Graph();
+  std::string path = TempPath("fig3.edges");
+  ASSERT_TRUE(WriteEdgeListFile(g, path).ok());
+  auto loaded = ReadEdgeListFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value(), g);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, MissingFileIsIoError) {
+  auto result = ReadEdgeListFile("/nonexistent/definitely/missing.edges");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(DimacsIo, ParsesArcsAsQualities) {
+  auto result = ParseDimacs(
+      "c comment line\n"
+      "p sp 3 4\n"
+      "a 1 2 5\n"
+      "a 2 1 5\n"
+      "a 2 3 7\n"
+      "a 3 2 7\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const QualityGraph& g = result.value();
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_FLOAT_EQ(g.EdgeQuality(0, 1), 5.0f);
+  EXPECT_FLOAT_EQ(g.EdgeQuality(1, 2), 7.0f);
+}
+
+TEST(DimacsIo, MissingHeaderIsCorruption) {
+  auto result = ParseDimacs("a 1 2 3\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(DimacsIo, ZeroBasedIdIsCorruption) {
+  auto result = ParseDimacs("p sp 2 1\na 0 1 3\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(DimacsIo, OutOfRangeIdIsCorruption) {
+  auto result = ParseDimacs("p sp 2 1\na 1 9 3\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(BinaryIo, RoundTrip) {
+  QualityGraph g = MakeFigure3Graph();
+  std::string path = TempPath("fig3.bin");
+  ASSERT_TRUE(WriteBinaryGraph(g, path).ok());
+  auto loaded = ReadBinaryGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value(), g);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, BadMagicRejected) {
+  std::string path = TempPath("junk.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a graph";
+  }
+  auto result = ReadBinaryGraph(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, TruncatedFileRejected) {
+  QualityGraph g = MakeFigure3Graph();
+  std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(WriteBinaryGraph(g, path).ok());
+  // Truncate the file to cut edge records.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size() / 2));
+  }
+  auto result = ReadBinaryGraph(path);
+  EXPECT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wcsd

@@ -1,0 +1,75 @@
+// Label-statistics tests.
+
+#include <gtest/gtest.h>
+
+#include "core/wc_index.h"
+#include "graph/generators.h"
+#include "labeling/label_stats.h"
+#include "paper_fixtures.h"
+
+namespace wcsd {
+namespace {
+
+TEST(LabelStatsTest, HandBuiltCounts) {
+  LabelSet labels(4);
+  labels.Append(0, {0, 0, kInfQuality});
+  labels.Append(1, {0, 1, 1.0f});
+  labels.Append(1, {0, 2, 2.0f});
+  labels.Append(1, {1, 0, kInfQuality});
+  labels.Append(2, {0, 1, 3.0f});
+  // Vertex 3 empty.
+  LabelStats stats = ComputeLabelStats(labels);
+  EXPECT_EQ(stats.num_vertices, 4u);
+  EXPECT_EQ(stats.total_entries, 5u);
+  EXPECT_EQ(stats.max_label, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean_label, 1.25);
+  EXPECT_EQ(stats.hub_groups, 4u);  // (0,h0) (1,h0) (1,h1) (2,h0)
+  EXPECT_DOUBLE_EQ(stats.mean_entries_per_group, 1.25);
+}
+
+TEST(LabelStatsTest, PaperExampleTotals) {
+  QualityGraph g = MakeFigure3Graph();
+  WcIndexOptions options;
+  options.ordering = WcIndexOptions::Ordering::kIdentity;
+  WcIndex index = WcIndex::Build(g, options);
+  LabelStats stats = ComputeLabelStats(index.labels());
+  EXPECT_EQ(stats.total_entries, 32u);  // Table II
+  EXPECT_EQ(stats.max_label, 11u);      // L(v5)
+  EXPECT_GT(stats.mean_entries_per_group, 1.0);  // Quality multiplies groups.
+}
+
+TEST(LabelStatsTest, EmptySet) {
+  LabelStats stats = ComputeLabelStats(LabelSet(0));
+  EXPECT_EQ(stats.num_vertices, 0u);
+  EXPECT_EQ(stats.total_entries, 0u);
+}
+
+TEST(LabelStatsTest, TopHubShareInUnitRange) {
+  QualityModel quality;
+  QualityGraph g = GenerateBarabasiAlbert(600, 5, quality, 3);
+  WcIndex index = WcIndex::Build(g, WcIndexOptions::Plus());
+  LabelStats stats = ComputeLabelStats(index.labels());
+  EXPECT_GT(stats.top1pct_hub_share, 0.0);
+  EXPECT_LE(stats.top1pct_hub_share, 1.0);
+  // Scale-free + hybrid order: the top hubs carry a large share.
+  EXPECT_GT(stats.top1pct_hub_share, 0.05);
+}
+
+TEST(LabelStatsTest, HistogramCoversAllVertices) {
+  QualityModel quality;
+  QualityGraph g = GenerateRandomConnected(300, 700, quality, 5);
+  WcIndex index = WcIndex::Build(g);
+  auto histogram = LabelSizeHistogram(index.labels());
+  size_t covered = 0;
+  for (size_t count : histogram) covered += count;
+  EXPECT_EQ(covered, 300u);
+}
+
+TEST(LabelStatsTest, SummaryNonEmpty) {
+  QualityGraph g = MakeFigure3Graph();
+  WcIndex index = WcIndex::Build(g);
+  EXPECT_FALSE(ComputeLabelStats(index.labels()).Summary().empty());
+}
+
+}  // namespace
+}  // namespace wcsd

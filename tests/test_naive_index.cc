@@ -1,0 +1,94 @@
+// Naïve per-w index tests (§III): correctness vs. the BFS oracle plus the
+// memory-budget behaviour that produces the paper's INF cells.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "labeling/naive_index.h"
+#include "search/wc_bfs.h"
+#include "paper_fixtures.h"
+#include "util/random.h"
+
+namespace wcsd {
+namespace {
+
+TEST(NaiveIndexTest, Figure3AllPairsAllThresholds) {
+  QualityGraph g = MakeFigure3Graph();
+  auto built = NaiveWcsdIndex::Build(g);
+  ASSERT_TRUE(built.ok());
+  const NaiveWcsdIndex& index = built.value();
+  WcBfs bfs(&g);
+  for (Vertex s = 0; s < g.NumVertices(); ++s) {
+    for (Vertex t = 0; t < g.NumVertices(); ++t) {
+      for (Quality w : {1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f}) {
+        EXPECT_EQ(index.Query(s, t, w), bfs.Query(s, t, w))
+            << s << "->" << t << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST(NaiveIndexTest, OneLevelPerDistinctQuality) {
+  QualityGraph g = MakeFigure3Graph();
+  auto built = NaiveWcsdIndex::Build(g);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().NumLevels(), 5u);
+}
+
+TEST(NaiveIndexTest, NonIntegerConstraintsRoundUp) {
+  QualityGraph g = MakeFigure3Graph();
+  auto built = NaiveWcsdIndex::Build(g);
+  ASSERT_TRUE(built.ok());
+  WcBfs bfs(&g);
+  EXPECT_EQ(built.value().Query(0, 4, 1.5f), bfs.Query(0, 4, 2.0f));
+  EXPECT_EQ(built.value().Query(0, 4, 0.5f), bfs.Query(0, 4, 1.0f));
+}
+
+TEST(NaiveIndexTest, MemoryBudgetAborts) {
+  QualityModel quality;
+  quality.num_levels = 5;
+  QualityGraph g = GenerateRandomConnected(200, 600, quality, 7);
+  NaiveWcsdIndex::Options options;
+  options.memory_budget_bytes = 1024;  // Absurdly small: must trip.
+  auto built = NaiveWcsdIndex::Build(g, options);
+  EXPECT_FALSE(built.ok());
+}
+
+TEST(NaiveIndexTest, GenerousBudgetSucceeds) {
+  QualityModel quality;
+  QualityGraph g = GenerateRandomConnected(100, 300, quality, 9);
+  NaiveWcsdIndex::Options options;
+  options.memory_budget_bytes = 1ull << 30;
+  auto built = NaiveWcsdIndex::Build(g, options);
+  EXPECT_TRUE(built.ok());
+}
+
+TEST(NaiveIndexTest, MemoryIsSumOfLevels) {
+  QualityGraph g = MakeFigure3Graph();
+  auto built = NaiveWcsdIndex::Build(g);
+  ASSERT_TRUE(built.ok());
+  size_t sum = 0;
+  for (size_t level = 0; level < built.value().NumLevels(); ++level) {
+    sum += built.value().IndexAtLevel(level).MemoryBytes();
+  }
+  EXPECT_EQ(built.value().MemoryBytes(), sum);
+}
+
+TEST(NaiveIndexTest, RandomGraphAgainstOracle) {
+  QualityModel quality;
+  quality.num_levels = 6;
+  QualityGraph g = GenerateRandomConnected(90, 250, quality, 11);
+  auto built = NaiveWcsdIndex::Build(g);
+  ASSERT_TRUE(built.ok());
+  WcBfs bfs(&g);
+  Rng rng(13);
+  for (int i = 0; i < 400; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(90));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(90));
+    Quality w = static_cast<Quality>(rng.NextInRange(1, 7));
+    EXPECT_EQ(built.value().Query(s, t, w), bfs.Query(s, t, w));
+  }
+}
+
+}  // namespace
+}  // namespace wcsd

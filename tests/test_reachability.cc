@@ -1,0 +1,88 @@
+// Quality-constrained reachability oracle tests.
+
+#include <gtest/gtest.h>
+
+#include "core/reachability.h"
+#include "core/wc_index.h"
+#include "graph/generators.h"
+#include "search/wc_bfs.h"
+#include "paper_fixtures.h"
+#include "util/random.h"
+
+namespace wcsd {
+namespace {
+
+TEST(ReachabilityTest, Figure3KnownFacts) {
+  QualityGraph g = MakeFigure3Graph();
+  WcReachabilityIndex index = WcReachabilityIndex::Build(g);
+  EXPECT_TRUE(index.Reachable(0, 4, 3.0f));
+  EXPECT_FALSE(index.Reachable(0, 4, 4.0f));
+  EXPECT_TRUE(index.Reachable(1, 3, 4.0f));
+  EXPECT_FALSE(index.Reachable(1, 3, 5.0f));
+  EXPECT_TRUE(index.Reachable(2, 2, 99.0f));  // Self.
+}
+
+TEST(ReachabilityTest, BestQualityMatchesSweep) {
+  QualityGraph g = MakeFigure3Graph();
+  WcReachabilityIndex index = WcReachabilityIndex::Build(g);
+  WcBfs bfs(&g);
+  for (Vertex s = 0; s < 6; ++s) {
+    for (Vertex t = 0; t < 6; ++t) {
+      if (s == t) continue;
+      Quality expected = -std::numeric_limits<Quality>::infinity();
+      for (Quality w : g.DistinctQualities()) {
+        if (bfs.Reachable(s, t, w)) expected = w;
+      }
+      EXPECT_FLOAT_EQ(index.BestQuality(s, t), expected) << s << "," << t;
+    }
+  }
+}
+
+TEST(ReachabilityTest, MatchesOracleOnRandomGraphs) {
+  QualityModel quality;
+  quality.num_levels = 6;
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    QualityGraph g = GenerateRandomConnected(80, 180, quality, seed);
+    WcReachabilityIndex index = WcReachabilityIndex::Build(g);
+    WcBfs bfs(&g);
+    Rng rng(seed + 50);
+    for (int i = 0; i < 300; ++i) {
+      Vertex s = static_cast<Vertex>(rng.NextBounded(80));
+      Vertex t = static_cast<Vertex>(rng.NextBounded(80));
+      Quality w = static_cast<Quality>(rng.NextInRange(1, 7));
+      ASSERT_EQ(index.Reachable(s, t, w), bfs.Reachable(s, t, w))
+          << "seed=" << seed << " " << s << "->" << t << " w=" << w;
+    }
+  }
+}
+
+TEST(ReachabilityTest, SmallerThanDistanceIndex) {
+  QualityModel quality;
+  quality.num_levels = 8;
+  QualityGraph g = GenerateRandomConnected(200, 600, quality, 9);
+  WcIndex full = WcIndex::Build(g);
+  WcReachabilityIndex reduced = WcReachabilityIndex::FromWcIndex(full);
+  EXPECT_LT(reduced.TotalEntries(), full.TotalEntries());
+  // Agreement after reduction.
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(200));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(200));
+    Quality w = static_cast<Quality>(rng.NextInRange(1, 9));
+    ASSERT_EQ(reduced.Reachable(s, t, w), full.Reachable(s, t, w));
+  }
+}
+
+TEST(ReachabilityTest, DisconnectedComponents) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1, 2.0f);
+  b.AddEdge(3, 4, 3.0f);
+  WcReachabilityIndex index = WcReachabilityIndex::Build(b.Build());
+  EXPECT_FALSE(index.Reachable(0, 3, 1.0f));
+  EXPECT_TRUE(index.Reachable(0, 1, 2.0f));
+  EXPECT_EQ(index.BestQuality(0, 3),
+            -std::numeric_limits<Quality>::infinity());
+}
+
+}  // namespace
+}  // namespace wcsd

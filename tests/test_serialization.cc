@@ -1,0 +1,109 @@
+// Serialization tests: LabelSet and WcIndex round trips plus corruption
+// handling.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/wc_index.h"
+#include "graph/generators.h"
+#include "labeling/label_set.h"
+#include "paper_fixtures.h"
+#include "util/random.h"
+
+namespace wcsd {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(LabelSetSerialization, RoundTrip) {
+  LabelSet labels(3);
+  labels.Append(0, {0, 0, kInfQuality});
+  labels.Append(1, {0, 2, 1.5f});
+  labels.Append(1, {0, 3, 2.5f});
+  labels.Append(1, {1, 0, kInfQuality});
+  std::string path = TempPath("labels.bin");
+  ASSERT_TRUE(labels.Save(path).ok());
+  auto loaded = LabelSet::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value(), labels);
+  std::remove(path.c_str());
+}
+
+TEST(LabelSetSerialization, BadMagicRejected) {
+  std::string path = TempPath("bad_labels.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage bytes here";
+  }
+  auto loaded = LabelSet::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(WcIndexSerialization, RoundTripPreservesQueries) {
+  QualityModel quality;
+  quality.num_levels = 5;
+  QualityGraph g = GenerateRandomConnected(100, 260, quality, 3);
+  WcIndex index = WcIndex::Build(g, WcIndexOptions::Plus());
+  std::string path = TempPath("index.bin");
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = WcIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded.value().TotalEntries(), index.TotalEntries());
+  EXPECT_EQ(loaded.value().order().by_rank(), index.order().by_rank());
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(100));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(100));
+    Quality w = static_cast<Quality>(rng.NextInRange(1, 6));
+    ASSERT_EQ(loaded.value().Query(s, t, w), index.Query(s, t, w));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WcIndexSerialization, PaperExampleRoundTrip) {
+  QualityGraph g = MakeFigure3Graph();
+  WcIndexOptions options;
+  options.ordering = WcIndexOptions::Ordering::kIdentity;
+  WcIndex index = WcIndex::Build(g, options);
+  std::string path = TempPath("fig3_index.bin");
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = WcIndex::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().Query(2, 5, 2.0f), 2u);
+  EXPECT_EQ(loaded.value().TotalEntries(), 32u);
+  std::remove(path.c_str());
+}
+
+TEST(WcIndexSerialization, TruncatedFileRejected) {
+  QualityGraph g = MakeFigure3Graph();
+  WcIndex index = WcIndex::Build(g);
+  std::string path = TempPath("trunc_index.bin");
+  ASSERT_TRUE(index.Save(path).ok());
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size() - 8));
+  }
+  auto loaded = WcIndex::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(WcIndexSerialization, MissingFileIsIoError) {
+  auto loaded = WcIndex::Load("/does/not/exist.bin");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace wcsd

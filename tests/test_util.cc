@@ -1,0 +1,231 @@
+// Unit tests for the utility kit.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/bucket_queue.h"
+#include "util/epoch_array.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace wcsd {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool diverged = false;
+  for (int i = 0; i < 10; ++i) diverged |= (a.Next() != b.Next());
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(Rng, BoundedCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(13);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextInRange(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(EpochArray, DefaultsBeforeWrite) {
+  EpochArray<int> arr(4, -1);
+  EXPECT_EQ(arr.Get(0), -1);
+  EXPECT_FALSE(arr.Contains(0));
+}
+
+TEST(EpochArray, SetAndGet) {
+  EpochArray<int> arr(4, -1);
+  arr.Set(2, 42);
+  EXPECT_EQ(arr.Get(2), 42);
+  EXPECT_TRUE(arr.Contains(2));
+  EXPECT_EQ(arr.Get(1), -1);
+}
+
+TEST(EpochArray, ClearResetsLogically) {
+  EpochArray<int> arr(4, 0);
+  arr.Set(1, 5);
+  arr.Clear();
+  EXPECT_EQ(arr.Get(1), 0);
+  EXPECT_FALSE(arr.Contains(1));
+  arr.Set(1, 7);
+  EXPECT_EQ(arr.Get(1), 7);
+}
+
+TEST(EpochArray, ManyClearsStayCorrect) {
+  EpochArray<int> arr(2, 0);
+  for (int round = 0; round < 10000; ++round) {
+    arr.Set(0, round);
+    EXPECT_EQ(arr.Get(0), round);
+    arr.Clear();
+    EXPECT_EQ(arr.Get(0), 0);
+  }
+}
+
+TEST(BucketQueue, PopsInKeyOrder) {
+  BucketQueue q(5);
+  q.Push(0, 3);
+  q.Push(1, 1);
+  q.Push(2, 2);
+  EXPECT_EQ(q.PopMin(), 1u);
+  EXPECT_EQ(q.PopMin(), 2u);
+  EXPECT_EQ(q.PopMin(), 0u);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(BucketQueue, UpdateKeyTakesEffect) {
+  BucketQueue q(3);
+  q.Push(0, 5);
+  q.Push(1, 4);
+  q.Push(0, 1);  // Decrease 0's key below 1's.
+  EXPECT_EQ(q.PopMin(), 0u);
+  EXPECT_EQ(q.PopMin(), 1u);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(BucketQueue, EraseRemoves) {
+  BucketQueue q(3);
+  q.Push(0, 1);
+  q.Push(1, 2);
+  q.Erase(0);
+  EXPECT_EQ(q.PopMin(), 1u);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(BucketQueue, MinBucketCanMoveDown) {
+  BucketQueue q(4);
+  q.Push(0, 10);
+  EXPECT_EQ(q.PopMin(), 0u);
+  q.Push(1, 2);  // Below the previously scanned minimum.
+  EXPECT_FALSE(q.Empty());
+  EXPECT_EQ(q.PopMin(), 1u);
+}
+
+TEST(Flags, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "x", "--gamma"};
+  Flags flags(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("alpha", 0), 3);
+  EXPECT_EQ(flags.GetString("beta", ""), "x");
+  EXPECT_TRUE(flags.GetBool("gamma", false));
+  EXPECT_FALSE(flags.Has("delta"));
+  EXPECT_EQ(flags.GetInt("delta", -7), -7);
+}
+
+TEST(Flags, ParsesDoublesAndBools) {
+  const char* argv[] = {"prog", "--scale=0.5", "--verbose=false"};
+  Flags flags(3, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 1.0), 0.5);
+  EXPECT_FALSE(flags.GetBool("verbose", true));
+}
+
+TEST(Stats, SummaryOfKnownSample) {
+  SampleStats s = Summarize({4.0, 1.0, 3.0, 2.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(Stats, EmptySampleIsZero) {
+  SampleStats s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, HumanBytesUnits) {
+  EXPECT_EQ(HumanBytes(512), "512.00 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KB");
+  EXPECT_EQ(HumanBytes(3u << 20), "3.00 MB");
+}
+
+TEST(Stats, HumanSecondsUnits) {
+  EXPECT_EQ(HumanSeconds(0.0000005), "0.5 us");
+  EXPECT_EQ(HumanSeconds(0.012), "12.00 ms");
+  EXPECT_EQ(HumanSeconds(2.5), "2.50 s");
+}
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IoError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(s.ToString(), "IoError: disk on fire");
+}
+
+TEST(Result, HoldsValueOrStatus) {
+  Result<int> ok_result(5);
+  EXPECT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result.value(), 5);
+  Result<int> err_result(Status::NotFound("nope"));
+  EXPECT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Timer, MeasuresNonNegativeMonotonicTime) {
+  Timer t;
+  double a = t.Seconds();
+  double b = t.Seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  t.Restart();
+  EXPECT_GE(t.Micros(), 0.0);
+}
+
+}  // namespace
+}  // namespace wcsd

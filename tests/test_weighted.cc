@@ -1,0 +1,98 @@
+// Weighted WC-INDEX tests (§V): agreement with constrained Dijkstra, and
+// unit-length equivalence with the unweighted index.
+
+#include <gtest/gtest.h>
+
+#include "core/weighted_wc_index.h"
+#include "core/wc_index.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "search/constrained_dijkstra.h"
+#include "util/random.h"
+
+namespace wcsd {
+namespace {
+
+TEST(WeightedWcIndexTest, HandBuiltWeightedGraph) {
+  // Two routes 0 -> 2: short but weak (len 3, q1) vs long but strong
+  // (len 4 = 2+2, q5).
+  WeightedQualityGraph g = WeightedQualityGraph::FromEdges(
+      3, {{0, 1, 2, 5.0f}, {1, 2, 2, 5.0f}, {0, 2, 3, 1.0f}});
+  WeightedWcIndex index = WeightedWcIndex::Build(g);
+  EXPECT_EQ(index.Query(0, 2, 1.0f), 3u);
+  EXPECT_EQ(index.Query(0, 2, 2.0f), 4u);
+  EXPECT_EQ(index.Query(0, 2, 6.0f), kInfDistance);
+  EXPECT_EQ(index.Query(1, 1, 9.0f), 0u);
+}
+
+class WeightedPropertyTest
+    : public testing::TestWithParam<
+          std::tuple<size_t, size_t, Distance, int, uint64_t>> {};
+
+TEST_P(WeightedPropertyTest, MatchesConstrainedDijkstra) {
+  auto [n, m, max_len, levels, seed] = GetParam();
+  QualityModel quality;
+  quality.num_levels = levels;
+  WeightedQualityGraph g =
+      GenerateRandomWeighted(n, m, max_len, quality, seed);
+  WeightedWcIndex index = WeightedWcIndex::Build(g);
+  Rng rng(seed + 9);
+  for (int i = 0; i < 300; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+    Quality w = static_cast<Quality>(rng.NextInRange(1, levels + 1));
+    ASSERT_EQ(index.Query(s, t, w), ConstrainedDijkstraWeighted(g, s, t, w))
+        << s << "->" << t << " w=" << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WeightedPropertyTest,
+    testing::Values(std::make_tuple(30, 70, 5, 3, 1),
+                    std::make_tuple(50, 120, 9, 5, 2),
+                    std::make_tuple(80, 240, 3, 8, 3),
+                    std::make_tuple(120, 300, 13, 2, 4),
+                    std::make_tuple(70, 280, 1, 6, 5)));
+
+TEST(WeightedWcIndexTest, UnitLengthsMatchUnweightedIndex) {
+  QualityModel quality;
+  quality.num_levels = 5;
+  QualityGraph u = GenerateRandomConnected(80, 200, quality, 7);
+  std::vector<std::tuple<Vertex, Vertex, Distance, Quality>> edges;
+  for (Vertex v = 0; v < u.NumVertices(); ++v) {
+    for (const Arc& a : u.Neighbors(v)) {
+      if (v < a.to) edges.emplace_back(v, a.to, 1, a.quality);
+    }
+  }
+  WeightedQualityGraph w_graph =
+      WeightedQualityGraph::FromEdges(u.NumVertices(), edges);
+  WeightedWcIndex weighted = WeightedWcIndex::Build(w_graph);
+  WcIndex unweighted = WcIndex::Build(u);
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(80));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(80));
+    Quality w = static_cast<Quality>(rng.NextInRange(1, 6));
+    ASSERT_EQ(weighted.Query(s, t, w), unweighted.Query(s, t, w));
+  }
+}
+
+TEST(WeightedWcIndexTest, LabelsSortedAndMonotone) {
+  QualityModel quality;
+  quality.num_levels = 6;
+  WeightedQualityGraph g = GenerateRandomWeighted(100, 260, 7, quality, 13);
+  WeightedWcIndex index = WeightedWcIndex::Build(g);
+  EXPECT_TRUE(index.labels().IsSorted());
+  for (Vertex v = 0; v < g.NumVertices(); ++v) {
+    auto lv = index.labels().For(v);
+    for (size_t i = 1; i < lv.size(); ++i) {
+      if (lv[i - 1].hub != lv[i].hub) continue;
+      // Theorem 3 carries over to weighted construction.
+      EXPECT_LT(lv[i - 1].dist, lv[i].dist);
+      EXPECT_LT(lv[i - 1].quality, lv[i].quality);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wcsd

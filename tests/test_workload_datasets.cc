@@ -1,0 +1,97 @@
+// Bench-support tests: dataset registry shapes, workload generation, and
+// harness formatting.
+
+#include <gtest/gtest.h>
+
+#include "bench/datasets.h"
+#include "bench/harness.h"
+#include "bench/workload.h"
+#include "search/wc_bfs.h"
+
+namespace wcsd {
+namespace {
+
+TEST(DatasetsTest, RoadFamilyNamesAndMonotoneSizes) {
+  const auto& names = RoadDatasetNames();
+  ASSERT_EQ(names.size(), 8u);
+  EXPECT_EQ(names.front(), "NY");
+  EXPECT_EQ(names.back(), "CTR");
+  size_t prev = 0;
+  for (const std::string& name : names) {
+    Dataset d = MakeRoadDataset(name, /*scale=*/0.05);
+    EXPECT_GT(d.graph.NumVertices(), prev) << name;
+    prev = d.graph.NumVertices();
+    EXPECT_EQ(d.num_qualities, 5);
+  }
+}
+
+TEST(DatasetsTest, RoadCustomQualities) {
+  Dataset d = MakeRoadDataset("NY", 0.1, 20);
+  EXPECT_EQ(d.num_qualities, 20);
+  EXPECT_LE(d.graph.DistinctQualities().size(), 20u);
+  EXPECT_GE(d.graph.DistinctQualities().size(), 10u);
+}
+
+TEST(DatasetsTest, SocialFamilyMatchesTableIV) {
+  const auto& names = SocialDatasetNames();
+  ASSERT_EQ(names.size(), 7u);
+  EXPECT_EQ(MakeSocialDataset("MV-10", 0.05).num_qualities, 5);
+  EXPECT_EQ(MakeSocialDataset("EU", 0.05).num_qualities, 3);
+  EXPECT_EQ(MakeSocialDataset("SO-Y", 0.05).num_qualities, 9);
+}
+
+TEST(DatasetsTest, DeterministicAcrossCalls) {
+  Dataset a = MakeRoadDataset("NY", 0.05);
+  Dataset b = MakeRoadDataset("NY", 0.05);
+  EXPECT_EQ(a.graph, b.graph);
+}
+
+TEST(DatasetsTest, UnknownNameThrows) {
+  EXPECT_THROW(MakeRoadDataset("NOPE"), std::invalid_argument);
+  EXPECT_THROW(MakeSocialDataset("NOPE"), std::invalid_argument);
+}
+
+TEST(DatasetsTest, RoadConnected) {
+  Dataset d = MakeRoadDataset("NY", 0.05);
+  WcBfs bfs(&d.graph);
+  auto dist = bfs.AllDistances(0, -1e30f);
+  for (Distance x : dist) EXPECT_NE(x, kInfDistance);
+}
+
+TEST(WorkloadTest, DeterministicAndInRange) {
+  Dataset d = MakeSocialDataset("EU", 0.05);
+  auto a = MakeQueryWorkload(d.graph, 500, 7);
+  auto b = MakeQueryWorkload(d.graph, 500, 7);
+  ASSERT_EQ(a.size(), 500u);
+  auto thresholds = d.graph.DistinctQualities();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].s, b[i].s);
+    EXPECT_EQ(a[i].t, b[i].t);
+    EXPECT_EQ(a[i].w, b[i].w);
+    EXPECT_LT(a[i].s, d.graph.NumVertices());
+    EXPECT_LT(a[i].t, d.graph.NumVertices());
+    EXPECT_TRUE(std::find(thresholds.begin(), thresholds.end(), a[i].w) !=
+                thresholds.end());
+  }
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer) {
+  Dataset d = MakeSocialDataset("EU", 0.05);
+  auto a = MakeQueryWorkload(d.graph, 100, 1);
+  auto b = MakeQueryWorkload(d.graph, 100, 2);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    any_diff |= (a[i].s != b[i].s || a[i].t != b[i].t);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(HarnessTest, Formatting) {
+  EXPECT_EQ(FormatSeconds(1.2345), "1.234");
+  EXPECT_EQ(FormatMillis(0.12345), "0.1235");
+  EXPECT_EQ(FormatGb(1ull << 30), "1.0000");
+  EXPECT_EQ(InfCell(), "INF");
+}
+
+}  // namespace
+}  // namespace wcsd

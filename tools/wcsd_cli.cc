@@ -1,0 +1,219 @@
+// wcsd — command-line front end for the library.
+//
+// Subcommands:
+//   build     --graph=<file> --index=<out> [--order=degree|tree|hybrid]
+//             [--format=edges|dimacs]        build and save a WC-INDEX
+//   query     --index=<file> --s=<v> --t=<v> --w=<q> [--path --graph=<file>]
+//             answer one query (optionally with the route)
+//   stats     --index=<file>                 label statistics
+//   verify    --graph=<file> --index=<file>  brute-force Theorem 1 checks
+//   generate  --out=<file> --kind=road|social [--n=...] [--levels=...]
+//             [--seed=...]                   write a synthetic dataset
+//
+// Examples:
+//   wcsd_cli generate --out=g.edges --kind=road --n=10000 --levels=5
+//   wcsd_cli build --graph=g.edges --index=g.wcx --order=hybrid
+//   wcsd_cli query --index=g.wcx --s=3 --t=99 --w=2
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/path_index.h"
+#include "core/verifier.h"
+#include "core/wc_index.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "labeling/label_stats.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+namespace wcsd {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: wcsd_cli <build|query|stats|verify|generate> "
+               "[--flags]\n(see the header of tools/wcsd_cli.cc)\n");
+  return 2;
+}
+
+Result<QualityGraph> LoadGraph(const Flags& flags) {
+  std::string path = flags.GetString("graph", "");
+  if (path.empty()) return Status::InvalidArgument("--graph is required");
+  std::string format = flags.GetString("format", "edges");
+  if (format == "dimacs") return ReadDimacsFile(path);
+  if (format == "edges") return ReadEdgeListFile(path);
+  return Status::InvalidArgument("unknown --format: " + format);
+}
+
+int CmdBuild(const Flags& flags) {
+  auto graph = LoadGraph(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::string out = flags.GetString("index", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "error: --index is required\n");
+    return 1;
+  }
+  WcIndexOptions options = WcIndexOptions::Plus();
+  std::string order = flags.GetString("order", "hybrid");
+  if (order == "degree") {
+    options.ordering = WcIndexOptions::Ordering::kDegree;
+  } else if (order == "tree") {
+    options.ordering = WcIndexOptions::Ordering::kTreeDecomposition;
+  } else if (order == "hybrid") {
+    options.ordering = WcIndexOptions::Ordering::kHybrid;
+  } else {
+    std::fprintf(stderr, "error: unknown --order: %s\n", order.c_str());
+    return 1;
+  }
+  Timer timer;
+  WcIndex index = WcIndex::Build(graph.value(), options);
+  std::printf("built in %.2f s: %zu vertices, %zu entries, %zu bytes\n",
+              timer.Seconds(), index.NumVertices(), index.TotalEntries(),
+              index.MemoryBytes());
+  Status st = index.Save(out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved to %s\n", out.c_str());
+  return 0;
+}
+
+int CmdQuery(const Flags& flags) {
+  auto loaded = WcIndex::Load(flags.GetString("index", ""));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const WcIndex& index = loaded.value();
+  Vertex s = static_cast<Vertex>(flags.GetInt("s", 0));
+  Vertex t = static_cast<Vertex>(flags.GetInt("t", 0));
+  Quality w = static_cast<Quality>(flags.GetDouble("w", 1.0));
+  if (s >= index.NumVertices() || t >= index.NumVertices()) {
+    std::fprintf(stderr, "error: vertex out of range (n=%zu)\n",
+                 index.NumVertices());
+    return 1;
+  }
+  Timer timer;
+  Distance d = index.Query(s, t, w);
+  double micros = timer.Micros();
+  if (d == kInfDistance) {
+    std::printf("dist(%u, %u | w >= %g) = INF   (%.1f us)\n", s, t, w,
+                micros);
+    return 0;
+  }
+  std::printf("dist(%u, %u | w >= %g) = %u   (%.1f us)\n", s, t, w, d,
+              micros);
+  if (flags.GetBool("path", false)) {
+    auto graph = LoadGraph(flags);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "error (need --graph for --path): %s\n",
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("path:");
+    for (Vertex v : QueryConstrainedPath(index, graph.value(), s, t, w)) {
+      std::printf(" %u", v);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  auto loaded = WcIndex::Load(flags.GetString("index", ""));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const WcIndex& index = loaded.value();
+  LabelStats stats = ComputeLabelStats(index.labels());
+  std::printf("vertices: %zu\n", index.NumVertices());
+  std::printf("%s\n", stats.Summary().c_str());
+  std::printf("bytes: %zu\n", index.MemoryBytes());
+  std::printf("label-size histogram (bucket = [2^i, 2^(i+1))):\n");
+  auto histogram = LabelSizeHistogram(index.labels());
+  for (size_t i = 0; i < histogram.size(); ++i) {
+    std::printf("  [%6zu, %6zu): %zu\n", size_t{1} << i, size_t{1} << (i + 1),
+                histogram[i]);
+  }
+  return 0;
+}
+
+int CmdVerify(const Flags& flags) {
+  auto graph = LoadGraph(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto loaded = WcIndex::Load(flags.GetString("index", ""));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  VerificationReport report = VerifyAll(loaded.value(), graph.value());
+  std::printf("%s\n", report.Summary().c_str());
+  return report.ok() ? 0 : 1;
+}
+
+int CmdGenerate(const Flags& flags) {
+  std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "error: --out is required\n");
+    return 1;
+  }
+  std::string kind = flags.GetString("kind", "road");
+  size_t n = static_cast<size_t>(flags.GetInt("n", 10000));
+  int levels = static_cast<int>(flags.GetInt("levels", 5));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  QualityGraph g;
+  if (kind == "road") {
+    RoadOptions options;
+    options.rows = options.cols =
+        std::max<size_t>(4, static_cast<size_t>(std::sqrt(
+                                static_cast<double>(n))));
+    options.quality.num_levels = levels;
+    options.arterial_spacing =
+        static_cast<size_t>(flags.GetInt("arterial_spacing", 0));
+    g = GenerateRoadNetwork(options, seed);
+  } else if (kind == "social") {
+    QualityModel quality;
+    quality.num_levels = levels;
+    size_t epv = static_cast<size_t>(flags.GetInt("edges_per_vertex", 10));
+    g = GenerateBarabasiAlbert(std::max<size_t>(8, n), epv, quality, seed);
+  } else {
+    std::fprintf(stderr, "error: unknown --kind: %s\n", kind.c_str());
+    return 1;
+  }
+  Status st = WriteEdgeListFile(g, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu vertices, %zu edges, |w| = %zu\n", out.c_str(),
+              g.NumVertices(), g.NumEdges(), g.DistinctQualities().size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace wcsd
+
+int main(int argc, char** argv) {
+  using namespace wcsd;
+  if (argc < 2) return Usage();
+  Flags flags(argc, argv);
+  const char* cmd = argv[1];
+  if (std::strcmp(cmd, "build") == 0) return CmdBuild(flags);
+  if (std::strcmp(cmd, "query") == 0) return CmdQuery(flags);
+  if (std::strcmp(cmd, "stats") == 0) return CmdStats(flags);
+  if (std::strcmp(cmd, "verify") == 0) return CmdVerify(flags);
+  if (std::strcmp(cmd, "generate") == 0) return CmdGenerate(flags);
+  return Usage();
+}
