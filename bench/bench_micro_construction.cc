@@ -1,9 +1,11 @@
 // Google-benchmark microbenchmarks for index construction: WC-INDEX
-// variants and baselines on small fixed datasets, so per-build costs are
-// comparable run to run.
+// variants (including the rank-batched parallel pipeline at 1/2/4/8
+// threads) and baselines on small fixed datasets, so per-build costs are
+// comparable run to run. Emits BENCH_micro_construction.json.
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "bench/datasets.h"
 #include "core/wc_index.h"
 #include "labeling/lcr_adapt.h"
@@ -20,6 +22,17 @@ const Dataset& RoadDataset() {
 
 const Dataset& SocialDataset() {
   static const Dataset d = MakeSocialDataset("MV-10", 0.25);
+  return d;
+}
+
+// The largest graph this suite builds on: the parallel-speedup subject.
+const Dataset& LargeRoadDataset() {
+  static const Dataset d = MakeRoadDataset("COL", 1.0);
+  return d;
+}
+
+const Dataset& LargeSocialDataset() {
+  static const Dataset d = MakeSocialDataset("MV-10", 1.0);
   return d;
 }
 
@@ -70,7 +83,42 @@ void BM_BuildPllSingleLevel_Social(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildPllSingleLevel_Social)->Unit(benchmark::kMillisecond);
 
+// Parallel construction pipeline: same build, 1/2/4/8 worker threads.
+// threads=1 goes through the exact sequential loop; every other setting
+// produces the bit-identical index (tested in test_parallel_build.cc).
+void BM_BuildWcIndexPlusThreads_LargeRoad(benchmark::State& state) {
+  WcIndexOptions options = WcIndexOptions::Plus();
+  options.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        WcIndex::Build(LargeRoadDataset().graph, options));
+  }
+}
+BENCHMARK(BM_BuildWcIndexPlusThreads_LargeRoad)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BuildWcIndexPlusThreads_Social(benchmark::State& state) {
+  WcIndexOptions options = WcIndexOptions::Plus();
+  options.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        WcIndex::Build(LargeSocialDataset().graph, options));
+  }
+}
+BENCHMARK(BM_BuildWcIndexPlusThreads_Social)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace wcsd
 
-BENCHMARK_MAIN();
+WCSD_BENCH_JSON_MAIN("micro_construction")

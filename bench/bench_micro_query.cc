@@ -1,8 +1,11 @@
 // Google-benchmark microbenchmarks for the query paths: per-query latency
-// of each implementation and of the baselines, on a mid-size social graph.
+// of each implementation on both label backends (vector-of-vectors vs.
+// flat CSR), plus the baselines, on a mid-size social graph. Emits
+// BENCH_micro_query.json for cross-PR tracking.
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "bench/datasets.h"
 #include "bench/workload.h"
 #include "core/batch.h"
@@ -25,6 +28,19 @@ const WcIndex& SharedIndex() {
   return index;
 }
 
+const WcIndex& SharedFlatIndex() {
+  static const WcIndex index = [] {
+    WcIndex built = SharedIndex();  // copy: both backends serve one index
+    built.Finalize();
+    return built;
+  }();
+  return index;
+}
+
+const WcIndex& IndexForBackend(int backend) {
+  return backend == 1 ? SharedFlatIndex() : SharedIndex();
+}
+
 const std::vector<WcsdQuery>& SharedWorkload() {
   static const std::vector<WcsdQuery> workload =
       MakeQueryWorkload(SocialDataset().graph, 4096, 7);
@@ -32,7 +48,7 @@ const std::vector<WcsdQuery>& SharedWorkload() {
 }
 
 void BM_QueryImpl(benchmark::State& state) {
-  const WcIndex& index = SharedIndex();
+  const WcIndex& index = IndexForBackend(static_cast<int>(state.range(1)));
   const auto& workload = SharedWorkload();
   QueryImpl impl = static_cast<QueryImpl>(state.range(0));
   size_t i = 0;
@@ -42,14 +58,15 @@ void BM_QueryImpl(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QueryImpl)
-    ->Arg(static_cast<int>(QueryImpl::kScan))
-    ->Arg(static_cast<int>(QueryImpl::kHubGrouped))
-    ->Arg(static_cast<int>(QueryImpl::kBinary))
-    ->Arg(static_cast<int>(QueryImpl::kMerge))
-    ->ArgNames({"impl"});
+    ->ArgsProduct({{static_cast<int>(QueryImpl::kScan),
+                    static_cast<int>(QueryImpl::kHubGrouped),
+                    static_cast<int>(QueryImpl::kBinary),
+                    static_cast<int>(QueryImpl::kMerge)},
+                   {0, 1}})
+    ->ArgNames({"impl", "backend"});
 
 void BM_QueryWithHub(benchmark::State& state) {
-  const WcIndex& index = SharedIndex();
+  const WcIndex& index = IndexForBackend(static_cast<int>(state.range(0)));
   const auto& workload = SharedWorkload();
   size_t i = 0;
   for (auto _ : state) {
@@ -57,7 +74,7 @@ void BM_QueryWithHub(benchmark::State& state) {
     benchmark::DoNotOptimize(index.QueryWithHub(q.s, q.t, q.w));
   }
 }
-BENCHMARK(BM_QueryWithHub);
+BENCHMARK(BM_QueryWithHub)->Arg(0)->Arg(1)->ArgNames({"backend"});
 
 void BM_NaiveQuery(benchmark::State& state) {
   static const auto naive = NaiveWcsdIndex::Build(SocialDataset().graph);
@@ -82,7 +99,7 @@ void BM_ConstrainedBfs(benchmark::State& state) {
 BENCHMARK(BM_ConstrainedBfs);
 
 void BM_BatchQueryThroughput(benchmark::State& state) {
-  const WcIndex& index = SharedIndex();
+  const WcIndex& index = IndexForBackend(static_cast<int>(state.range(1)));
   const auto& workload = SharedWorkload();
   std::vector<BatchQueryInput> batch;
   batch.reserve(workload.size());
@@ -95,13 +112,11 @@ void BM_BatchQueryThroughput(benchmark::State& state) {
                           static_cast<int64_t>(batch.size()));
 }
 BENCHMARK(BM_BatchQueryThroughput)
-    ->Arg(1)
-    ->Arg(4)
-    ->Arg(16)
-    ->ArgNames({"threads"})
+    ->ArgsProduct({{1, 4, 16}, {0, 1}})
+    ->ArgNames({"threads", "backend"})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace wcsd
 
-BENCHMARK_MAIN();
+WCSD_BENCH_JSON_MAIN("micro_query")

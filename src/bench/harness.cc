@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 
 namespace wcsd {
 
@@ -54,5 +55,40 @@ std::string FormatGb(size_t bytes) {
 }
 
 std::string InfCell() { return "INF"; }
+
+namespace {
+// Minimal JSON string escaping: the names we emit are benchmark ids, but a
+// stray quote or backslash must not corrupt the file.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+Status BenchJsonWriter::WriteFile(std::string* out_path) const {
+  std::string path = "BENCH_" + suite_ + ".json";
+  if (out_path != nullptr) *out_path = path;
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "[\n";
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const BenchRecord& r = records_[i];
+    char median[32];
+    std::snprintf(median, sizeof(median), "%.1f", r.median_ns);
+    out << "  {\"name\": \"" << JsonEscape(r.name) << "\", \"median_ns\": "
+        << median << ", \"threads\": " << r.threads << ", \"backend\": \""
+        << JsonEscape(r.backend) << "\"}" << (i + 1 < records_.size() ? "," : "")
+        << "\n";
+  }
+  out << "]\n";
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
 
 }  // namespace wcsd

@@ -5,8 +5,11 @@
 #ifndef WCSD_BENCH_HARNESS_H_
 #define WCSD_BENCH_HARNESS_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
+
+#include "util/status.h"
 
 namespace wcsd {
 
@@ -36,6 +39,34 @@ std::string FormatGb(size_t bytes);
 
 /// The paper's INF cell.
 std::string InfCell();
+
+/// One machine-readable benchmark measurement, so the perf trajectory can
+/// be tracked across PRs without scraping console tables.
+struct BenchRecord {
+  std::string name;       // benchmark id, e.g. "BM_QueryImpl/impl:3"
+  double median_ns = 0;   // median (or sole) wall time per iteration
+  size_t threads = 1;     // worker threads the measured code used
+  std::string backend;    // label storage backend: "vector" | "flat" | other
+};
+
+/// Collects BenchRecords and writes them as one JSON array to
+/// BENCH_<suite>.json in the working directory.
+class BenchJsonWriter {
+ public:
+  /// `suite` names the output file: BENCH_<suite>.json.
+  explicit BenchJsonWriter(std::string suite) : suite_(std::move(suite)) {}
+
+  void Record(BenchRecord record) { records_.push_back(std::move(record)); }
+
+  const std::vector<BenchRecord>& records() const { return records_; }
+
+  /// Writes BENCH_<suite>.json (overwriting) and reports the path chosen.
+  Status WriteFile(std::string* out_path = nullptr) const;
+
+ private:
+  std::string suite_;
+  std::vector<BenchRecord> records_;
+};
 
 }  // namespace wcsd
 

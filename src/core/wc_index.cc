@@ -1,20 +1,32 @@
 #include "core/wc_index.h"
 
+#include <algorithm>
 #include <cassert>
 #include <fstream>
 #include <limits>
+#include <memory>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "order/hybrid_order.h"
 #include "order/tree_decomposition.h"
 #include "util/epoch_array.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace wcsd {
 
 namespace {
+
 constexpr Quality kNegInfQuality = -std::numeric_limits<Quality>::infinity();
+
+size_t ResolveThreads(size_t num_threads) {
+  if (num_threads != 0) return num_threads;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 }  // namespace
 
 VertexOrder MakeOrder(const QualityGraph& g, const WcIndexOptions& options) {
@@ -38,9 +50,26 @@ VertexOrder MakeOrder(const QualityGraph& g, const WcIndexOptions& options) {
   return DegreeOrder(g);
 }
 
-/// One-shot builder implementing Algorithm 3. Scratch state lives for the
-/// whole build and is epoch-reset between roots (§IV.C Efficient
-/// Initialization).
+/// One-shot builder implementing Algorithm 3, sequentially or as the
+/// rank-batched parallel pipeline.
+///
+/// Sequential mode (num_threads == 1) is the paper's loop: one constrained
+/// BFS per root in rank order, each pruning against the live partial index.
+///
+/// Parallel mode partitions roots (in rank order) into batches. Within a
+/// batch, worker threads run the same constrained BFS, but prune only
+/// against the immutable snapshot of the index from prior batches and
+/// record surviving pops as CANDIDATE entries instead of appending. Missing
+/// the prunes of same-batch lower-ranked roots makes the candidate stream a
+/// superset of the sequential entry stream with identical (dist, quality)
+/// values: with fewer prunes the per-level max-quality frontier dominates
+/// the sequential one, and any pop it adds or upgrades is reachable through
+/// an already-indexed higher-ranked hub, hence covered. After a barrier, a
+/// sequential merge replays each root's candidates in rank order through
+/// the exact sequential cover check against the live index, which discards
+/// precisely the extras — the result is bit-identical to the sequential
+/// build (Theorem 1's minimal index is canonical for a fixed order), for
+/// any thread count and batch size (tested).
 class WcIndexBuilder {
  public:
   WcIndexBuilder(const QualityGraph& g, VertexOrder order,
@@ -48,21 +77,23 @@ class WcIndexBuilder {
       : g_(g),
         order_(std::move(order)),
         options_(options),
-        labels_(g.NumVertices()),
-        max_quality_(g.NumVertices(), kNegInfQuality),
-        in_next_(g.NumVertices(), false),
-        memo_quality_(g.NumVertices(), kNegInfQuality),
-        hub_group_begin_(g.NumVertices(), 0),
-        hub_group_end_(g.NumVertices(), 0),
-        pred_(g.NumVertices(), kNullVertex) {
+        labels_(g.NumVertices()) {
     if (options.record_parents) parents_.resize(g.NumVertices());
   }
 
   WcIndex Run() {
     Timer timer;
     const size_t n = g_.NumVertices();
-    for (Rank k = 0; k < n; ++k) {
-      BfsFromRoot(k);
+    size_t threads = std::min(ResolveThreads(options_.num_threads),
+                              n == 0 ? size_t{1} : n);
+    if (threads <= 1) {
+      BuildWorkspace ws(n);
+      for (Rank k = 0; k < n; ++k) {
+        BfsFromRoot(k, ws, /*candidates=*/nullptr);
+      }
+      AccumulateStats(ws);
+    } else {
+      RunParallel(threads);
     }
     stats_.build_seconds = timer.Seconds();
     WcIndex index(std::move(labels_), std::move(order_), stats_);
@@ -79,101 +110,208 @@ class WcIndexBuilder {
     Vertex parent;
   };
 
+  // A surviving pop from a snapshot-pruned BFS, pending the merge-phase
+  // re-prune. dist is implicit in sequential mode but must be carried here.
+  struct Candidate {
+    Vertex vertex;
+    Distance dist;
+    Quality quality;
+    Vertex parent;
+  };
+
+  // Per-thread scratch (§IV.C Efficient Initialization): epoch-reset
+  // between roots, allocated once per worker for the whole build.
+  struct BuildWorkspace {
+    explicit BuildWorkspace(size_t n)
+        : max_quality(n, kNegInfQuality),
+          in_next(n, false),
+          memo_quality(n, kNegInfQuality),
+          hub_group_begin(n, 0),
+          hub_group_end(n, 0),
+          pred(n, kNullVertex) {}
+
+    EpochArray<Quality> max_quality;  // the paper's R vector
+    EpochArray<bool> in_next;
+    EpochArray<Quality> memo_quality;
+    EpochArray<uint32_t> hub_group_begin;  // the per-root hub table T
+    EpochArray<uint32_t> hub_group_end;
+    EpochArray<Vertex> pred;
+    std::vector<Frontier> cur;
+    std::vector<Vertex> nxt;
+    WcIndexBuildStats stats;  // thread-local counters, summed at the end
+  };
+
+  void RunParallel(size_t threads) {
+    const size_t n = g_.NumVertices();
+    ThreadPool pool(threads);
+    std::vector<std::unique_ptr<BuildWorkspace>> workspaces;
+    workspaces.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      workspaces.push_back(std::make_unique<BuildWorkspace>(n));
+    }
+    std::vector<std::vector<Candidate>> candidates;
+    // Auto batch schedule: start at the thread count and double up to a
+    // cap. Early (high-rank) roots contribute the labels that prune the
+    // rest of the build, so staling them briefly is cheap only while the
+    // batches are small.
+    size_t auto_batch = threads;
+    const size_t auto_cap = std::max<size_t>(64, 16 * threads);
+    for (Rank k0 = 0; k0 < n;) {
+      size_t batch = options_.batch_size != 0 ? options_.batch_size
+                                              : auto_batch;
+      Rank k1 = static_cast<Rank>(std::min<size_t>(n, k0 + batch));
+      candidates.assign(k1 - k0, {});
+      for (Rank k = k0; k < k1; ++k) {
+        pool.Submit([this, k, k0, &workspaces, &candidates](size_t worker) {
+          BfsFromRoot(k, *workspaces[worker], &candidates[k - k0]);
+        });
+      }
+      pool.Wait();
+      // Barrier passed: labels_ is mutable again, workers are idle, so the
+      // first workspace's hub table is free for the merge.
+      for (Rank k = k0; k < k1; ++k) {
+        MergeRoot(k, candidates[k - k0], *workspaces[0]);
+      }
+      k0 = k1;
+      auto_batch = std::min(auto_batch * 2, auto_cap);
+    }
+    for (const auto& ws : workspaces) AccumulateStats(*ws);
+  }
+
   // Constrained BFS from the k-th vertex in the order (Algorithm 3 lines
-  // 3-17).
-  void BfsFromRoot(Rank k) {
+  // 3-17). With `candidates == nullptr` this is the sequential algorithm:
+  // cover checks read the live index and survivors are appended directly.
+  // Otherwise survivors are recorded for the merge phase and cover checks
+  // see only the pre-batch snapshot (labels_ is frozen during the batch).
+  void BfsFromRoot(Rank k, BuildWorkspace& ws,
+                   std::vector<Candidate>* candidates) {
     const Vertex root = order_.VertexAt(k);
 
     // Per-root scratch reset (O(1) via epochs): R vector (line 4), the
     // satisfied-query memo, and the root's hub lookup table.
-    max_quality_.Clear();
-    memo_quality_.Clear();
-    pred_.Clear();
-    if (options_.query_efficient) BuildHubTable(root);
+    ws.max_quality.Clear();
+    ws.memo_quality.Clear();
+    ws.pred.Clear();
+    if (options_.query_efficient) BuildHubTable(root, ws);
 
-    max_quality_.Set(root, kInfQuality);
-    cur_.clear();
-    nxt_.clear();
-    cur_.push_back(Frontier{root, kInfQuality, kNullVertex});
+    ws.max_quality.Set(root, kInfQuality);
+    ws.cur.clear();
+    ws.nxt.clear();
+    ws.cur.push_back(Frontier{root, kInfQuality, kNullVertex});
 
     Distance d = 0;
-    while (!cur_.empty()) {
-      in_next_.Clear();
-      nxt_.clear();
-      for (const Frontier& f : cur_) {
-        ++stats_.pops;
-        if (!ProcessPop(k, root, f.vertex, d, f.quality, f.parent)) continue;
-        Relax(k, f.vertex, f.quality);
+    while (!ws.cur.empty()) {
+      ws.in_next.Clear();
+      ws.nxt.clear();
+      for (const Frontier& f : ws.cur) {
+        ++ws.stats.pops;
+        if (!ProcessPop(k, root, f.vertex, d, f.quality, f.parent, ws,
+                        candidates)) {
+          continue;
+        }
+        Relax(k, f.vertex, f.quality, ws);
       }
       // Line 17: only after the whole level is processed are the updated
       // vertices pushed, each once, with the maximal quality seen (the
       // quality-priority order at no extra cost).
-      cur_.clear();
-      for (Vertex v : nxt_) {
-        cur_.push_back(Frontier{v, max_quality_.Get(v), pred_.Get(v)});
+      ws.cur.clear();
+      for (Vertex v : ws.nxt) {
+        ws.cur.push_back(Frontier{v, ws.max_quality.Get(v), ws.pred.Get(v)});
       }
       ++d;
     }
   }
 
-  // Lines 11-12: dominance-prune against the partial index, else append the
-  // new entry. Returns true if the entry was added (and should expand).
+  // Lines 11-12: dominance-prune against the partial index, else keep the
+  // new entry. Returns true if the entry was kept (and should expand).
   bool ProcessPop(Rank k, Vertex root, Vertex u, Distance d, Quality w,
-                  Vertex parent) {
-    if (options_.further_pruning && memo_quality_.Get(u) >= w) {
-      ++stats_.pruned_by_memo;
+                  Vertex parent, BuildWorkspace& ws,
+                  std::vector<Candidate>* candidates) {
+    if (options_.further_pruning && ws.memo_quality.Get(u) >= w) {
+      ++ws.stats.pruned_by_memo;
       return false;
     }
     bool covered = options_.query_efficient
-                       ? CoveredFast(root, u, d, w)
+                       ? CoveredFast(root, u, d, w, ws)
                        : CoveredBasic(root, u, d, w);
     if (covered) {
-      ++stats_.pruned_by_query;
-      if (options_.further_pruning) memo_quality_.Set(u, w);
+      ++ws.stats.pruned_by_query;
+      if (options_.further_pruning) ws.memo_quality.Set(u, w);
       return false;
     }
+    if (candidates != nullptr) {
+      candidates->push_back(Candidate{u, d, w, parent});
+    } else {
+      AppendEntry(k, u, d, w, parent);
+    }
+    return true;
+  }
+
+  // Merge phase: replay root k's candidates — in the BFS pop order the
+  // sequential build would have used — through the sequential cover check
+  // against the live index, appending survivors. The memo is skipped: per
+  // vertex, candidate qualities strictly ascend within one root, so a memo
+  // hit (a previously satisfied query at >= quality) is impossible here.
+  void MergeRoot(Rank k, const std::vector<Candidate>& candidates,
+                 BuildWorkspace& ws) {
+    const Vertex root = order_.VertexAt(k);
+    if (options_.query_efficient) BuildHubTable(root, ws);
+    for (const Candidate& c : candidates) {
+      bool covered =
+          options_.query_efficient
+              ? CoveredFast(root, c.vertex, c.dist, c.quality, ws)
+              : CoveredBasic(root, c.vertex, c.dist, c.quality);
+      if (covered) {
+        ++stats_.pruned_by_query;
+        continue;
+      }
+      AppendEntry(k, c.vertex, c.dist, c.quality, c.parent);
+    }
+  }
+
+  void AppendEntry(Rank k, Vertex u, Distance d, Quality w, Vertex parent) {
     labels_.Append(u, LabelEntry{k, d, w});
     if (!parents_.empty()) parents_[u].push_back(parent);
     ++stats_.entries_added;
-    return true;
   }
 
   // Lines 13-16: explore higher-ranked neighbors, keeping per vertex only
   // the maximum-quality candidate for the next level (the R test).
-  void Relax(Rank k, Vertex u, Quality w) {
+  void Relax(Rank k, Vertex u, Quality w, BuildWorkspace& ws) {
     for (const Arc& a : g_.Neighbors(u)) {
       if (order_.RankOf(a.to) <= k) continue;
-      ++stats_.relaxations;
+      ++ws.stats.relaxations;
       Quality next_quality = std::min(a.quality, w);
-      if (next_quality <= max_quality_.Get(a.to)) continue;
-      max_quality_.Set(a.to, next_quality);
-      pred_.Set(a.to, u);
-      if (!in_next_.Get(a.to)) {
-        in_next_.Set(a.to, true);
-        nxt_.push_back(a.to);
+      if (next_quality <= ws.max_quality.Get(a.to)) continue;
+      ws.max_quality.Set(a.to, next_quality);
+      ws.pred.Set(a.to, u);
+      if (!ws.in_next.Get(a.to)) {
+        ws.in_next.Set(a.to, true);
+        ws.nxt.push_back(a.to);
       }
     }
   }
 
   // Per-root hub table T (§IV.C "Querying"): hub rank -> entry range in
   // L(root). Built once per root in O(|L(root)|).
-  void BuildHubTable(Vertex root) {
-    hub_group_begin_.Clear();
-    hub_group_end_.Clear();
+  void BuildHubTable(Vertex root, BuildWorkspace& ws) {
+    ws.hub_group_begin.Clear();
+    ws.hub_group_end.Clear();
     auto lr = labels_.For(root);
     size_t i = 0;
     while (i < lr.size()) {
       size_t ie = i + 1;
       while (ie < lr.size() && lr[ie].hub == lr[i].hub) ++ie;
-      hub_group_begin_.Set(lr[i].hub, static_cast<uint32_t>(i));
-      hub_group_end_.Set(lr[i].hub, static_cast<uint32_t>(ie));
+      ws.hub_group_begin.Set(lr[i].hub, static_cast<uint32_t>(i));
+      ws.hub_group_end.Set(lr[i].hub, static_cast<uint32_t>(ie));
       i = ie;
     }
   }
 
   // Query-efficient cover check: one pass over L(u), O(1) root-side group
   // lookup through T, binary searches inside groups (Theorem 3).
-  bool CoveredFast(Vertex root, Vertex u, Distance d, Quality w) {
+  bool CoveredFast(Vertex root, Vertex u, Distance d, Quality w,
+                   const BuildWorkspace& ws) {
     auto lr = labels_.For(root);
     auto lu = labels_.For(u);
     size_t i = 0;
@@ -181,9 +319,9 @@ class WcIndexBuilder {
       size_t ie = i + 1;
       Rank hub = lu[i].hub;
       while (ie < lu.size() && lu[ie].hub == hub) ++ie;
-      if (hub_group_begin_.Contains(hub)) {
-        size_t rb = hub_group_begin_.Get(hub);
-        size_t re = hub_group_end_.Get(hub);
+      if (ws.hub_group_begin.Contains(hub)) {
+        size_t rb = ws.hub_group_begin.Get(hub);
+        size_t re = ws.hub_group_end.Get(hub);
         size_t ri = FirstWithQuality(lr, rb, re, w);
         if (ri != re) {
           size_t ui = FirstWithQuality(lu, i, ie, w);
@@ -201,20 +339,18 @@ class WcIndexBuilder {
     return QueryLabelsHubGrouped(labels_.For(root), labels_.For(u), w) <= d;
   }
 
+  void AccumulateStats(const BuildWorkspace& ws) {
+    stats_.pops += ws.stats.pops;
+    stats_.pruned_by_query += ws.stats.pruned_by_query;
+    stats_.pruned_by_memo += ws.stats.pruned_by_memo;
+    stats_.relaxations += ws.stats.relaxations;
+  }
+
   const QualityGraph& g_;
   VertexOrder order_;
   WcIndexOptions options_;
   LabelSet labels_;
   WcIndexBuildStats stats_;
-
-  EpochArray<Quality> max_quality_;  // the paper's R vector
-  EpochArray<bool> in_next_;
-  EpochArray<Quality> memo_quality_;
-  EpochArray<uint32_t> hub_group_begin_;
-  EpochArray<uint32_t> hub_group_end_;
-  EpochArray<Vertex> pred_;
-  std::vector<Frontier> cur_;
-  std::vector<Vertex> nxt_;
   std::vector<std::vector<Vertex>> parents_;
 };
 
@@ -229,17 +365,28 @@ WcIndex WcIndex::BuildWithOrder(const QualityGraph& g, VertexOrder order,
   return builder.Run();
 }
 
+void WcIndex::Finalize() {
+  if (finalized_) return;
+  flat_ = FlatLabelSet::FromLabelSet(labels_);
+  finalized_ = true;
+}
+
 Distance WcIndex::Query(Vertex s, Vertex t, Quality w) const {
+  if (s >= NumVertices() || t >= NumVertices()) return kInfDistance;
   if (s == t) return 0;
+  if (finalized_) return QueryFlatMerge(flat_.View(s), flat_.View(t), w);
   return QueryLabelsMerge(labels_.For(s), labels_.For(t), w);
 }
 
 Distance WcIndex::Query(Vertex s, Vertex t, Quality w, QueryImpl impl) const {
+  if (s >= NumVertices() || t >= NumVertices()) return kInfDistance;
   if (s == t) return 0;
+  if (finalized_) return QueryFlat(flat_.View(s), flat_.View(t), w, impl);
   return QueryLabels(labels_.For(s), labels_.For(t), w, impl);
 }
 
 HubQueryResult WcIndex::QueryWithHub(Vertex s, Vertex t, Quality w) const {
+  if (s >= NumVertices() || t >= NumVertices()) return HubQueryResult{};
   if (s == t) {
     HubQueryResult r;
     r.dist = 0;
@@ -248,6 +395,7 @@ HubQueryResult WcIndex::QueryWithHub(Vertex s, Vertex t, Quality w) const {
     r.dist_to_t = 0;
     return r;
   }
+  if (finalized_) return QueryFlatMergeWithHub(flat_.View(s), flat_.View(t), w);
   return QueryLabelsMergeWithHub(labels_.For(s), labels_.For(t), w);
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "labeling/flat_label_set.h"
 #include "labeling/label_set.h"
 #include "labeling/query.h"
 #include "order/vertex_order.h"
@@ -55,6 +56,20 @@ struct WcIndexOptions {
 
   /// Enable the "Further Pruning" memo of satisfied construction queries.
   bool further_pruning = true;
+
+  /// Construction threads. 1 = the exact sequential Algorithm 3 loop;
+  /// 0 = auto (hardware concurrency); N > 1 = rank-batched parallel
+  /// pipeline. Any value produces a bit-identical index (tested): workers
+  /// run the constrained BFS of a batch of roots against the immutable
+  /// snapshot of the index from prior batches, and a sequential rank-order
+  /// re-prune merge restores exactly the minimal index of Theorem 1.
+  size_t num_threads = 1;
+
+  /// Roots per parallel batch (num_threads > 1 only). 0 = auto: batches
+  /// start at num_threads and double up to a cap, so the early high-rank
+  /// roots — whose labels prune everything downstream — are merged into the
+  /// snapshot quickly, bounding wasted candidate work.
+  size_t batch_size = 0;
 
   /// Record BFS parents per label entry (the paper's §V quad labels
   /// (u, d_u, w_u, p_uv)), enabling path reconstruction. Adds one Vertex of
@@ -123,6 +138,17 @@ class WcIndex {
   const VertexOrder& order() const { return order_; }
   const WcIndexBuildStats& build_stats() const { return stats_; }
 
+  /// Packs the labels into the flat CSR backend and routes all subsequent
+  /// queries through it. Idempotent; the append-oriented labels() remain
+  /// available (the dynamic-update subsystem needs them mutable).
+  void Finalize();
+
+  /// True once Finalize() has run.
+  bool finalized() const { return finalized_; }
+
+  /// The flat backend; only meaningful when finalized().
+  const FlatLabelSet& flat_labels() const { return flat_; }
+
   /// True if §V quad labels (BFS parents) were recorded at build time.
   bool has_parents() const { return !parents_.empty(); }
 
@@ -138,8 +164,11 @@ class WcIndex {
   /// Number of vertices indexed.
   size_t NumVertices() const { return labels_.NumVertices(); }
 
-  /// Index size in bytes (Figures 6/9/11 report this).
-  size_t MemoryBytes() const { return labels_.MemoryBytes(); }
+  /// Index size in bytes (Figures 6/9/11 report this). A finalized index
+  /// reports the flat backend, which is what it serves queries from.
+  size_t MemoryBytes() const {
+    return finalized_ ? flat_.MemoryBytes() : labels_.MemoryBytes();
+  }
 
   /// Total number of label entries.
   size_t TotalEntries() const { return labels_.TotalEntries(); }
@@ -159,6 +188,8 @@ class WcIndex {
         stats_(stats) {}
 
   LabelSet labels_;
+  FlatLabelSet flat_;
+  bool finalized_ = false;
   VertexOrder order_;
   WcIndexBuildStats stats_;
   std::vector<std::vector<Vertex>> parents_;

@@ -1,0 +1,146 @@
+#include "labeling/flat_label_set.h"
+
+#include <fstream>
+
+namespace wcsd {
+
+FlatLabelSet FlatLabelSet::FromLabelSet(const LabelSet& labels) {
+  FlatLabelSet flat;
+  const size_t n = labels.NumVertices();
+  flat.offsets_.reserve(n + 1);
+  flat.group_offsets_.reserve(n + 1);
+  flat.entries_.reserve(labels.TotalEntries());
+  flat.offsets_.push_back(0);
+  flat.group_offsets_.push_back(0);
+  for (Vertex v = 0; v < n; ++v) {
+    auto lv = labels.For(v);
+    for (size_t i = 0; i < lv.size(); ++i) {
+      if (i == 0 || lv[i].hub != lv[i - 1].hub) {
+        flat.groups_.push_back({lv[i].hub, static_cast<uint32_t>(i)});
+      }
+      flat.entries_.push_back(lv[i]);
+    }
+    flat.offsets_.push_back(flat.entries_.size());
+    flat.group_offsets_.push_back(flat.groups_.size());
+  }
+  return flat;
+}
+
+LabelSet FlatLabelSet::ToLabelSet() const {
+  const size_t n = NumVertices();
+  LabelSet labels(n);
+  for (Vertex v = 0; v < n; ++v) {
+    auto lv = For(v);
+    auto* out = labels.Mutable(v);
+    out->assign(lv.begin(), lv.end());
+  }
+  return labels;
+}
+
+namespace {
+constexpr uint64_t kFlatMagic = 0x57435344'464c4154ULL;  // "WCSDFLAT"
+
+template <typename T>
+void WriteVector(std::ofstream& out, const std::vector<T>& values) {
+  uint64_t count = values.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+// Reads a length-prefixed vector, validating the count against the bytes
+// actually left in the file so a corrupted header returns Corruption
+// instead of a std::bad_alloc on resize.
+template <typename T>
+bool ReadVector(std::ifstream& in, std::vector<T>* values,
+                uint64_t* bytes_left) {
+  uint64_t count = 0;
+  if (*bytes_left < sizeof(count)) return false;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) return false;
+  *bytes_left -= sizeof(count);
+  if (count > *bytes_left / sizeof(T)) return false;
+  values->resize(count);
+  in.read(reinterpret_cast<char*>(values->data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  *bytes_left -= count * sizeof(T);
+  return static_cast<bool>(in);
+}
+}  // namespace
+
+Status FlatLabelSet::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(&kFlatMagic), sizeof(kFlatMagic));
+  WriteVector(out, offsets_);
+  WriteVector(out, entries_);
+  WriteVector(out, group_offsets_);
+  WriteVector(out, groups_);
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<FlatLabelSet> FlatLabelSet::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open " + path);
+  uint64_t bytes_left = static_cast<uint64_t>(in.tellg());
+  in.seekg(0);
+  uint64_t magic = 0;
+  if (bytes_left < sizeof(magic)) {
+    return Status::Corruption("truncated header in " + path);
+  }
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kFlatMagic) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  bytes_left -= sizeof(magic);
+  FlatLabelSet flat;
+  if (!ReadVector(in, &flat.offsets_, &bytes_left) ||
+      !ReadVector(in, &flat.entries_, &bytes_left) ||
+      !ReadVector(in, &flat.group_offsets_, &bytes_left) ||
+      !ReadVector(in, &flat.groups_, &bytes_left)) {
+    return Status::Corruption("truncated flat labels in " + path);
+  }
+  // Structural validation: offsets must be monotone and end at the array
+  // sizes, and every vertex must have consistent entry/group slices.
+  const size_t n = flat.NumVertices();
+  if (flat.group_offsets_.size() != flat.offsets_.size() ||
+      (flat.offsets_.empty() && !flat.entries_.empty()) ||
+      (!flat.offsets_.empty() &&
+       (flat.offsets_.front() != 0 || flat.group_offsets_.front() != 0 ||
+        flat.offsets_.back() != flat.entries_.size() ||
+        flat.group_offsets_.back() != flat.groups_.size()))) {
+    return Status::Corruption("inconsistent flat offsets in " + path);
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    if (flat.offsets_[v] > flat.offsets_[v + 1] ||
+        flat.group_offsets_[v] > flat.group_offsets_[v + 1]) {
+      return Status::Corruption("non-monotone flat offsets in " + path);
+    }
+    FlatLabelView view = flat.View(v);
+    size_t entry = 0;
+    for (size_t g = 0; g < view.groups.size(); ++g) {
+      size_t ge = view.GroupEnd(g);
+      if (view.groups[g].begin != entry || ge <= entry ||
+          ge > view.entries.size()) {
+        return Status::Corruption("bad hub directory in " + path);
+      }
+      if (g > 0 && view.groups[g].hub <= view.groups[g - 1].hub) {
+        return Status::Corruption("unsorted hub directory in " + path);
+      }
+      for (size_t i = entry; i < ge; ++i) {
+        if (view.entries[i].hub != view.groups[g].hub ||
+            (i > entry && view.entries[i - 1].dist > view.entries[i].dist)) {
+          return Status::Corruption("unsorted flat labels in " + path);
+        }
+      }
+      entry = ge;
+    }
+    if (entry != view.entries.size()) {
+      return Status::Corruption("entries outside hub directory in " + path);
+    }
+  }
+  return flat;
+}
+
+}  // namespace wcsd

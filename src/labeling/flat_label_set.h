@@ -1,0 +1,109 @@
+// Flat CSR label storage: the query-optimized backend for a finished index.
+//
+// LabelSet keeps one heap vector per vertex, which is the right shape while
+// the index is under construction (per-vertex appends) but costs a pointer
+// chase per label access and scatters entries across the heap. Once the
+// index is frozen, FlatLabelSet packs every entry into ONE contiguous array
+// with per-vertex offsets (the same CSR layout QualityGraph uses for
+// adjacency), plus a per-vertex hub-group directory so query code can jump
+// between hub groups without scanning 12-byte entries to find group
+// boundaries: a directory element is 8 bytes, and locating a hub becomes a
+// binary search over groups instead of over entries.
+//
+// Layout invariants (inherited from LabelSet and checked on Load):
+//   * entries of one vertex are sorted by (hub rank asc, dist asc);
+//   * the directory lists each vertex's distinct hubs in ascending rank,
+//     with `begin` the entry offset of the group INSIDE the vertex's slice.
+
+#ifndef WCSD_LABELING_FLAT_LABEL_SET_H_
+#define WCSD_LABELING_FLAT_LABEL_SET_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "labeling/label_set.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// One hub-group directory element: the hub's rank and the offset of its
+/// first entry within the owning vertex's entry slice.
+struct HubGroup {
+  Rank hub;
+  uint32_t begin;
+
+  friend bool operator==(const HubGroup&, const HubGroup&) = default;
+};
+
+/// A vertex's label as seen by the flat query kernels: its contiguous
+/// entries plus its hub-group directory. Group g spans entry offsets
+/// [groups[g].begin, g + 1 < groups.size() ? groups[g+1].begin
+///                                         : entries.size()).
+struct FlatLabelView {
+  std::span<const LabelEntry> entries;
+  std::span<const HubGroup> groups;
+
+  /// Entry offset one past the end of group g.
+  size_t GroupEnd(size_t g) const {
+    return g + 1 < groups.size() ? groups[g + 1].begin : entries.size();
+  }
+};
+
+/// Immutable CSR packing of a LabelSet.
+class FlatLabelSet {
+ public:
+  FlatLabelSet() = default;
+
+  /// Packs `labels` (which must satisfy the sortedness invariant).
+  static FlatLabelSet FromLabelSet(const LabelSet& labels);
+
+  /// Unpacks into the append-oriented representation (round-trip tests,
+  /// post-processing passes that need mutation).
+  LabelSet ToLabelSet() const;
+
+  size_t NumVertices() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Entries of L(v), contiguous with every other vertex's.
+  std::span<const LabelEntry> For(Vertex v) const {
+    return {entries_.data() + offsets_[v], entries_.data() + offsets_[v + 1]};
+  }
+
+  /// L(v) plus its hub directory, for the flat query kernels.
+  FlatLabelView View(Vertex v) const {
+    return {For(v),
+            {groups_.data() + group_offsets_[v],
+             groups_.data() + group_offsets_[v + 1]}};
+  }
+
+  size_t TotalEntries() const { return entries_.size(); }
+
+  /// Bytes of the four CSR arrays — the flat backend's "index size".
+  size_t MemoryBytes() const {
+    return entries_.size() * sizeof(LabelEntry) +
+           offsets_.size() * sizeof(uint64_t) +
+           groups_.size() * sizeof(HubGroup) +
+           group_offsets_.size() * sizeof(uint64_t);
+  }
+
+  /// Binary serialization (own magic; incompatible with LabelSet's format
+  /// on purpose — the directory is part of the file).
+  Status Save(const std::string& path) const;
+  static Result<FlatLabelSet> Load(const std::string& path);
+
+  friend bool operator==(const FlatLabelSet&, const FlatLabelSet&) = default;
+
+ private:
+  std::vector<uint64_t> offsets_;        // n+1, into entries_
+  std::vector<LabelEntry> entries_;      // all label entries, vertex-major
+  std::vector<uint64_t> group_offsets_;  // n+1, into groups_
+  std::vector<HubGroup> groups_;         // per-vertex hub directories
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_LABELING_FLAT_LABEL_SET_H_

@@ -22,12 +22,33 @@ size_t FirstWithQuality(std::span<const LabelEntry> entries, size_t begin,
 Distance QueryLabelsScan(std::span<const LabelEntry> ls,
                          std::span<const LabelEntry> lt, Quality w) {
   Distance best = kInfDistance;
-  for (const LabelEntry& ei : ls) {
-    if (ei.quality < w) continue;
-    for (const LabelEntry& ej : lt) {
-      if (ej.hub != ei.hub || ej.quality < w) continue;
-      Distance sum = ei.dist + ej.dist;
-      if (sum < best) best = sum;
+  // Both labels are sorted by hub rank, so the matching position in L(t)
+  // only ever moves forward: skip whole hub groups instead of rescanning
+  // L(t) for every entry of L(s) (the seed's O(|L(s)|*|L(t)|) shape).
+  size_t i = 0, j = 0;
+  while (i < ls.size() && j < lt.size()) {
+    Rank hi = ls[i].hub, hj = lt[j].hub;
+    if (hi < hj) {
+      ++i;
+    } else if (hj < hi) {
+      ++j;
+    } else {
+      // Full scan of the two matched groups — the Algorithm 2 flavor, with
+      // no reliance on intra-group quality ordering.
+      size_t ie = i;
+      do { ++ie; } while (ie < ls.size() && ls[ie].hub == hi);
+      size_t je = j;
+      do { ++je; } while (je < lt.size() && lt[je].hub == hi);
+      for (size_t ii = i; ii < ie; ++ii) {
+        if (ls[ii].quality < w) continue;
+        for (size_t jj = j; jj < je; ++jj) {
+          if (lt[jj].quality < w) continue;
+          Distance sum = ls[ii].dist + lt[jj].dist;
+          if (sum < best) best = sum;
+        }
+      }
+      i = ie;
+      j = je;
     }
   }
   return best;
@@ -153,6 +174,144 @@ Distance QueryLabels(std::span<const LabelEntry> ls,
       return QueryLabelsMerge(ls, lt, w);
   }
   return kInfDistance;
+}
+
+namespace {
+
+// Binary search over a hub directory for `hub`; returns the group index or
+// groups.size() if absent. Directory elements are 8 bytes, so this touches
+// ~1/3 the cache lines of the same search over 12-byte entries.
+inline size_t FindGroupFlat(std::span<const HubGroup> groups, Rank hub) {
+  auto it = std::lower_bound(
+      groups.begin(), groups.end(), hub,
+      [](const HubGroup& g, Rank h) { return g.hub < h; });
+  if (it == groups.end() || it->hub != hub) return groups.size();
+  return static_cast<size_t>(it - groups.begin());
+}
+
+}  // namespace
+
+Distance QueryFlatScan(const FlatLabelView& ls, const FlatLabelView& lt,
+                       Quality w) {
+  return QueryLabelsScan(ls.entries, lt.entries, w);
+}
+
+Distance QueryFlatHubGrouped(const FlatLabelView& ls, const FlatLabelView& lt,
+                             Quality w) {
+  if (ls.groups.empty() || lt.groups.empty()) return kInfDistance;
+  Distance best = kInfDistance;
+  Rank max_hub_s = ls.groups.back().hub;
+  for (size_t gt = 0; gt < lt.groups.size(); ++gt) {
+    Rank hub = lt.groups[gt].hub;
+    if (hub > max_hub_s) break;
+    size_t gs = FindGroupFlat(ls.groups, hub);
+    if (gs == ls.groups.size()) continue;
+    size_t jb = lt.groups[gt].begin, je = lt.GroupEnd(gt);
+    size_t ib = ls.groups[gs].begin, ie = ls.GroupEnd(gs);
+    for (size_t jj = jb; jj < je; ++jj) {
+      if (lt.entries[jj].quality < w) continue;
+      for (size_t ii = ib; ii < ie; ++ii) {
+        if (ls.entries[ii].quality < w) continue;
+        Distance sum = ls.entries[ii].dist + lt.entries[jj].dist;
+        if (sum < best) best = sum;
+      }
+    }
+  }
+  return best;
+}
+
+Distance QueryFlatBinary(const FlatLabelView& ls, const FlatLabelView& lt,
+                         Quality w) {
+  if (ls.groups.empty() || lt.groups.empty()) return kInfDistance;
+  Distance best = kInfDistance;
+  Rank max_hub_s = ls.groups.back().hub;
+  for (size_t gt = 0; gt < lt.groups.size(); ++gt) {
+    Rank hub = lt.groups[gt].hub;
+    if (hub > max_hub_s) break;
+    size_t gs = FindGroupFlat(ls.groups, hub);
+    if (gs == ls.groups.size()) continue;
+    size_t jb = lt.groups[gt].begin, je = lt.GroupEnd(gt);
+    size_t ib = ls.groups[gs].begin, ie = ls.GroupEnd(gs);
+    size_t jj = FirstWithQuality(lt.entries, jb, je, w);
+    size_t ii = FirstWithQuality(ls.entries, ib, ie, w);
+    if (jj != je && ii != ie) {
+      Distance sum = ls.entries[ii].dist + lt.entries[jj].dist;
+      if (sum < best) best = sum;
+    }
+  }
+  return best;
+}
+
+Distance QueryFlatMerge(const FlatLabelView& ls, const FlatLabelView& lt,
+                        Quality w) {
+  Distance best = kInfDistance;
+  size_t gs = 0, gt = 0;
+  while (gs < ls.groups.size() && gt < lt.groups.size()) {
+    Rank hs = ls.groups[gs].hub, ht = lt.groups[gt].hub;
+    if (hs < ht) {
+      ++gs;
+    } else if (ht < hs) {
+      ++gt;
+    } else {
+      size_t ib = ls.groups[gs].begin, ie = ls.GroupEnd(gs);
+      size_t jb = lt.groups[gt].begin, je = lt.GroupEnd(gt);
+      size_t ii = FirstWithQuality(ls.entries, ib, ie, w);
+      size_t jj = FirstWithQuality(lt.entries, jb, je, w);
+      if (ii != ie && jj != je) {
+        Distance sum = ls.entries[ii].dist + lt.entries[jj].dist;
+        if (sum < best) best = sum;
+      }
+      ++gs;
+      ++gt;
+    }
+  }
+  return best;
+}
+
+Distance QueryFlat(const FlatLabelView& ls, const FlatLabelView& lt, Quality w,
+                   QueryImpl impl) {
+  switch (impl) {
+    case QueryImpl::kScan:
+      return QueryFlatScan(ls, lt, w);
+    case QueryImpl::kHubGrouped:
+      return QueryFlatHubGrouped(ls, lt, w);
+    case QueryImpl::kBinary:
+      return QueryFlatBinary(ls, lt, w);
+    case QueryImpl::kMerge:
+      return QueryFlatMerge(ls, lt, w);
+  }
+  return kInfDistance;
+}
+
+HubQueryResult QueryFlatMergeWithHub(const FlatLabelView& ls,
+                                     const FlatLabelView& lt, Quality w) {
+  HubQueryResult result;
+  size_t gs = 0, gt = 0;
+  while (gs < ls.groups.size() && gt < lt.groups.size()) {
+    Rank hs = ls.groups[gs].hub, ht = lt.groups[gt].hub;
+    if (hs < ht) {
+      ++gs;
+    } else if (ht < hs) {
+      ++gt;
+    } else {
+      size_t ib = ls.groups[gs].begin, ie = ls.GroupEnd(gs);
+      size_t jb = lt.groups[gt].begin, je = lt.GroupEnd(gt);
+      size_t ii = FirstWithQuality(ls.entries, ib, ie, w);
+      size_t jj = FirstWithQuality(lt.entries, jb, je, w);
+      if (ii != ie && jj != je) {
+        Distance sum = ls.entries[ii].dist + lt.entries[jj].dist;
+        if (sum < result.dist) {
+          result.dist = sum;
+          result.via_hub = hs;
+          result.dist_from_s = ls.entries[ii].dist;
+          result.dist_to_t = lt.entries[jj].dist;
+        }
+      }
+      ++gs;
+      ++gt;
+    }
+  }
+  return result;
 }
 
 HubQueryResult QueryLabelsMergeWithHub(std::span<const LabelEntry> ls,

@@ -2,7 +2,8 @@
 //
 // Four implementations answering Eq. (1) — min over common hubs h of
 // dist(s,h) + dist(h,t) subject to both entry qualities >= w:
-//   * kScan       — Algorithm 2: nested scan of L(s) x L(t).
+//   * kScan       — Algorithm 2: scan of L(s) x L(t), skipping unmatched
+//                   hub groups via the sorted-rank invariant.
 //   * kHubGrouped — Algorithm 4: iterate L(t), look up L(s)[hub], scan the
 //                   two hub groups.
 //   * kBinary     — Algorithm 4 + Theorem 3: binary search inside hub
@@ -20,6 +21,7 @@
 
 #include <span>
 
+#include "labeling/flat_label_set.h"
 #include "labeling/label_set.h"
 #include "util/types.h"
 
@@ -41,7 +43,9 @@ struct HubQueryResult {
   Distance dist_to_t = kInfDistance;
 };
 
-/// Algorithm 2: nested scan.
+/// Algorithm 2: scan of L(s) x L(t). Exploits the sorted-rank invariant to
+/// skip past hub groups absent from the other side, so the worst case is
+/// O(|L(s)| + |L(t)| + matched group areas) rather than the naïve product.
 Distance QueryLabelsScan(std::span<const LabelEntry> ls,
                          std::span<const LabelEntry> lt, Quality w);
 
@@ -67,6 +71,28 @@ Distance QueryLabels(std::span<const LabelEntry> ls,
 HubQueryResult QueryLabelsMergeWithHub(std::span<const LabelEntry> ls,
                                        std::span<const LabelEntry> lt,
                                        Quality w);
+
+/// Flat-backend query kernels: same four algorithms over FlatLabelView.
+/// Group boundaries come from the hub directory instead of entry scans /
+/// entry-array binary searches, and all entries of one vertex share cache
+/// lines. Answers are identical to the span versions (tested).
+Distance QueryFlatScan(const FlatLabelView& ls, const FlatLabelView& lt,
+                       Quality w);
+Distance QueryFlatHubGrouped(const FlatLabelView& ls, const FlatLabelView& lt,
+                             Quality w);
+Distance QueryFlatBinary(const FlatLabelView& ls, const FlatLabelView& lt,
+                         Quality w);
+Distance QueryFlatMerge(const FlatLabelView& ls, const FlatLabelView& lt,
+                        Quality w);
+
+/// Dispatch by implementation tag (flat backend).
+Distance QueryFlat(const FlatLabelView& ls, const FlatLabelView& lt, Quality w,
+                   QueryImpl impl);
+
+/// Flat merge query reporting the best hub and split distances (§V path
+/// reconstruction on a finalized index).
+HubQueryResult QueryFlatMergeWithHub(const FlatLabelView& ls,
+                                     const FlatLabelView& lt, Quality w);
 
 /// Within one hub group [begin, end) sorted by ascending quality, returns
 /// the index of the first entry with quality >= w, or `end` if none.

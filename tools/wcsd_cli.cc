@@ -2,9 +2,14 @@
 //
 // Subcommands:
 //   build     --graph=<file> --index=<out> [--order=degree|tree|hybrid]
-//             [--format=edges|dimacs]        build and save a WC-INDEX
-//   query     --index=<file> --s=<v> --t=<v> --w=<q> [--path --graph=<file>]
-//             answer one query (optionally with the route)
+//             [--threads=<n>] [--batch=<n>] [--format=edges|dimacs]
+//             build and save a WC-INDEX; --threads=0 uses all cores via the
+//             rank-batched parallel pipeline (identical output), --batch
+//             overrides the auto batch schedule
+//   query     --index=<file> --s=<v> --t=<v> --w=<q> [--flat]
+//             [--path --graph=<file>]
+//             answer one query (optionally with the route); --flat serves
+//             it from the finalized CSR label backend
 //   stats     --index=<file>                 label statistics
 //   verify    --graph=<file> --index=<file>  brute-force Theorem 1 checks
 //   generate  --out=<file> --kind=road|social [--n=...] [--levels=...]
@@ -71,6 +76,14 @@ int CmdBuild(const Flags& flags) {
     std::fprintf(stderr, "error: unknown --order: %s\n", order.c_str());
     return 1;
   }
+  int64_t threads = flags.GetInt("threads", 1);
+  int64_t batch = flags.GetInt("batch", 0);
+  if (threads < 0 || batch < 0) {
+    std::fprintf(stderr, "error: --threads/--batch must be >= 0\n");
+    return 1;
+  }
+  options.num_threads = static_cast<size_t>(threads);
+  options.batch_size = static_cast<size_t>(batch);
   Timer timer;
   WcIndex index = WcIndex::Build(graph.value(), options);
   std::printf("built in %.2f s: %zu vertices, %zu entries, %zu bytes\n",
@@ -91,7 +104,8 @@ int CmdQuery(const Flags& flags) {
     std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
     return 1;
   }
-  const WcIndex& index = loaded.value();
+  WcIndex& index = loaded.value();
+  if (flags.GetBool("flat", false)) index.Finalize();
   Vertex s = static_cast<Vertex>(flags.GetInt("s", 0));
   Vertex t = static_cast<Vertex>(flags.GetInt("t", 0));
   Quality w = static_cast<Quality>(flags.GetDouble("w", 1.0));
