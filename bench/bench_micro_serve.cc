@@ -1,0 +1,177 @@
+// Google-benchmark microbenchmarks for the serving subsystem: snapshot
+// mmap-load latency vs the full deserializing Load — at two index sizes,
+// to show mmap load time is independent of label count — plus QueryEngine
+// batch throughput at 1/2/4/8 threads and the sharded engine. Emits
+// BENCH_micro_serve.json for cross-PR tracking.
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/datasets.h"
+#include "bench/workload.h"
+#include "core/batch.h"
+#include "core/wc_index.h"
+#include "labeling/snapshot.h"
+#include "serve/query_engine.h"
+#include "serve/sharded_engine.h"
+
+namespace wcsd {
+namespace {
+
+// Two sizes of the same social family; "size:1" has ~4x the label entries
+// of "size:0". Files are written once into /tmp and reused.
+struct ServeFixture {
+  std::string wcx_path;
+  std::string snap_path;
+  std::vector<std::string> shard_paths;
+  size_t num_vertices = 0;
+  size_t total_entries = 0;
+};
+
+const ServeFixture& FixtureForSize(int size) {
+  static const std::array<ServeFixture, 2> fixtures = [] {
+    std::array<ServeFixture, 2> out;
+    const double scales[2] = {0.12, 0.25};
+    for (int i = 0; i < 2; ++i) {
+      Dataset d = MakeSocialDataset("EU", scales[i]);
+      WcIndex index = WcIndex::Build(d.graph, WcIndexOptions::Plus());
+      index.Finalize();
+      ServeFixture f;
+      f.num_vertices = index.NumVertices();
+      f.total_entries = index.TotalEntries();
+      std::string stem = "/tmp/bench_serve_" + std::to_string(i);
+      f.wcx_path = stem + ".wcx";
+      f.snap_path = stem + ".wcsnap";
+      if (!index.Save(f.wcx_path).ok() ||
+          !index.SaveSnapshot(f.snap_path).ok()) {
+        std::fprintf(stderr, "bench fixture write failed\n");
+        std::abort();
+      }
+      for (int k = 0; k < 4; ++k) {
+        std::string path = stem + ".shard" + std::to_string(k);
+        uint64_t n = f.num_vertices;
+        if (!WriteSnapshotShard(path, index.flat_labels(), n * k / 4,
+                                n * (k + 1) / 4, n)
+                 .ok()) {
+          std::fprintf(stderr, "bench shard write failed\n");
+          std::abort();
+        }
+        f.shard_paths.push_back(path);
+      }
+      out[i] = std::move(f);
+    }
+    return out;
+  }();
+  return fixtures[static_cast<size_t>(size)];
+}
+
+const std::vector<BatchQueryInput>& ServeWorkload() {
+  static const std::vector<BatchQueryInput> workload = [] {
+    Dataset d = MakeSocialDataset("EU", 0.25);
+    std::vector<BatchQueryInput> out;
+    for (const WcsdQuery& q : MakeQueryWorkload(d.graph, 8192, 7)) {
+      out.push_back({q.s, q.t, q.w});
+    }
+    return out;
+  }();
+  return workload;
+}
+
+// Full deserializing load: scales with label count.
+void BM_LoadFull(benchmark::State& state) {
+  const ServeFixture& f = FixtureForSize(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto loaded = WcIndex::Load(f.wcx_path);
+    if (!loaded.ok()) state.SkipWithError("load failed");
+    benchmark::DoNotOptimize(loaded.value().TotalEntries());
+  }
+  state.counters["entries"] = static_cast<double>(f.total_entries);
+}
+BENCHMARK(BM_LoadFull)->Arg(0)->Arg(1)->ArgNames({"size"})
+    ->Unit(benchmark::kMicrosecond);
+
+// Zero-copy mmap load: header + O(vertices) validation only. Comparing
+// size:0 to size:1 against BM_LoadFull shows the label-count independence.
+void BM_LoadMmap(benchmark::State& state) {
+  const ServeFixture& f = FixtureForSize(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto loaded = WcIndex::LoadMmap(f.snap_path);
+    if (!loaded.ok()) state.SkipWithError("mmap load failed");
+    benchmark::DoNotOptimize(loaded.value().finalized());
+  }
+  state.counters["entries"] = static_cast<double>(f.total_entries);
+}
+BENCHMARK(BM_LoadMmap)->Arg(0)->Arg(1)->ArgNames({"size"})
+    ->Unit(benchmark::kMicrosecond);
+
+// Batch throughput through the engine at 1/2/4/8 threads, serving the
+// mmap-loaded snapshot.
+void BM_ServeBatchThroughput(benchmark::State& state) {
+  const ServeFixture& f = FixtureForSize(1);
+  QueryEngineOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  static std::unique_ptr<QueryEngine> engine;
+  static size_t engine_threads = 0;
+  if (!engine || engine_threads != options.num_threads) {
+    auto opened = QueryEngine::Open(f.snap_path, options);
+    if (!opened.ok()) {
+      state.SkipWithError("engine open failed");
+      return;
+    }
+    engine = std::make_unique<QueryEngine>(std::move(opened).value());
+    engine_threads = options.num_threads;
+  }
+  const auto& workload = ServeWorkload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Batch(workload));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(workload.size()));
+}
+BENCHMARK(BM_ServeBatchThroughput)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->ArgNames({"threads"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Same workload through four vertex-range shards.
+void BM_ShardedBatchThroughput(benchmark::State& state) {
+  const ServeFixture& f = FixtureForSize(1);
+  QueryEngineOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  static std::unique_ptr<ShardedQueryEngine> engine;
+  static size_t engine_threads = 0;
+  if (!engine || engine_threads != options.num_threads) {
+    auto opened = ShardedQueryEngine::OpenMmap(f.shard_paths, options);
+    if (!opened.ok()) {
+      state.SkipWithError("sharded open failed");
+      return;
+    }
+    engine =
+        std::make_unique<ShardedQueryEngine>(std::move(opened).value());
+    engine_threads = options.num_threads;
+  }
+  const auto& workload = ServeWorkload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Batch(workload));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(workload.size()));
+}
+BENCHMARK(BM_ShardedBatchThroughput)
+    ->Arg(1)->Arg(4)
+    ->ArgNames({"threads"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wcsd
+
+WCSD_BENCH_JSON_MAIN("micro_serve")

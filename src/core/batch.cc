@@ -1,7 +1,9 @@
 #include "core/batch.h"
 
 #include <algorithm>
-#include <thread>
+#include <memory>
+
+#include "serve/query_engine.h"
 
 namespace wcsd {
 
@@ -10,7 +12,12 @@ std::vector<Distance> BatchQuery(const WcIndex& index,
                                  size_t threads) {
   std::vector<Distance> results(queries.size(), kInfDistance);
   if (queries.empty()) return results;
-  threads = std::max<size_t>(1, std::min(threads, queries.size()));
+  QueryEngineOptions options;
+  // Cap workers at one chunk each: spawning threads a transient pool
+  // cannot feed is pure startup overhead.
+  size_t max_useful =
+      (queries.size() + options.min_chunk - 1) / options.min_chunk;
+  threads = std::max<size_t>(1, std::min(threads, max_useful));
   if (threads == 1) {
     for (size_t i = 0; i < queries.size(); ++i) {
       results[i] = index.Query(queries[i].s, queries[i].t, queries[i].w);
@@ -18,23 +25,15 @@ std::vector<Distance> BatchQuery(const WcIndex& index,
     return results;
   }
 
-  // Contiguous chunking: queries are independent and the index is
-  // read-only, so plain threads suffice (no synchronization needed).
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  size_t chunk = (queries.size() + threads - 1) / threads;
-  for (size_t t = 0; t < threads; ++t) {
-    size_t begin = t * chunk;
-    size_t end = std::min(queries.size(), begin + chunk);
-    if (begin >= end) break;
-    workers.emplace_back([&index, &queries, &results, begin, end] {
-      for (size_t i = begin; i < end; ++i) {
-        results[i] = index.Query(queries[i].s, queries[i].t, queries[i].w);
-      }
-    });
-  }
-  for (std::thread& w : workers) w.join();
-  return results;
+  // Route through the serving engine: a transient QueryEngine wrapping the
+  // caller's index (non-owning alias — the index outlives this call).
+  // Long-lived servers should hold a QueryEngine directly and amortize the
+  // pool across batches.
+  options.num_threads = threads;
+  QueryEngine engine(
+      std::shared_ptr<const WcIndex>(std::shared_ptr<const void>(), &index),
+      options);
+  return engine.Batch(queries);
 }
 
 std::vector<RankedCandidate> TopKClosest(const WcIndex& index, Vertex source,

@@ -23,6 +23,7 @@
 #include "graph/graph.h"
 #include "labeling/flat_label_set.h"
 #include "labeling/label_set.h"
+#include "labeling/snapshot.h"
 #include "labeling/query.h"
 #include "order/vertex_order.h"
 #include "util/status.h"
@@ -161,8 +162,12 @@ class WcIndex {
     return {pv.data(), pv.size()};
   }
 
-  /// Number of vertices indexed.
-  size_t NumVertices() const { return labels_.NumVertices(); }
+  /// Number of vertices indexed. Routed through the flat backend once
+  /// finalized so mmap-loaded indexes (whose append-oriented labels() are
+  /// empty) report correctly.
+  size_t NumVertices() const {
+    return finalized_ ? flat_.NumVertices() : labels_.NumVertices();
+  }
 
   /// Index size in bytes (Figures 6/9/11 report this). A finalized index
   /// reports the flat backend, which is what it serves queries from.
@@ -171,11 +176,29 @@ class WcIndex {
   }
 
   /// Total number of label entries.
-  size_t TotalEntries() const { return labels_.TotalEntries(); }
+  size_t TotalEntries() const {
+    return finalized_ ? flat_.TotalEntries() : labels_.TotalEntries();
+  }
 
-  /// Serialization.
+  /// Serialization of the append-oriented labels (little-endian,
+  /// fixed-width fields; requires a full deserialization pass on Load).
   Status Save(const std::string& path) const;
   static Result<WcIndex> Load(const std::string& path);
+
+  /// Writes the finalized flat backend plus the vertex order as a
+  /// page-aligned, checksummed snapshot (labeling/snapshot.h). Requires
+  /// finalized().
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Maps a snapshot written by SaveSnapshot and serves queries directly
+  /// out of the mapping: no per-entry deserialization, load time
+  /// independent of label count. The result is finalized; its
+  /// append-oriented labels() are empty, so dynamic updates and
+  /// construction-side reuse need Load instead. Only full-range snapshots
+  /// with an order section qualify — shard files go through
+  /// ShardedQueryEngine.
+  static Result<WcIndex> LoadMmap(const std::string& path,
+                                  const SnapshotLoadOptions& options = {});
 
  private:
   friend class WcIndexBuilder;

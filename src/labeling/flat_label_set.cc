@@ -1,28 +1,58 @@
 #include "labeling/flat_label_set.h"
 
+#include <algorithm>
 #include <fstream>
+#include <memory>
+#include <utility>
+
+#include "util/endian.h"
 
 namespace wcsd {
 
+void FlatLabelSet::Adopt(std::shared_ptr<const OwnedArrays> owned) {
+  offsets_ = owned->offsets;
+  entries_ = owned->entries;
+  group_offsets_ = owned->group_offsets;
+  groups_ = owned->groups;
+  storage_ = std::move(owned);
+  external_ = false;
+}
+
 FlatLabelSet FlatLabelSet::FromLabelSet(const LabelSet& labels) {
-  FlatLabelSet flat;
+  auto owned = std::make_shared<OwnedArrays>();
   const size_t n = labels.NumVertices();
-  flat.offsets_.reserve(n + 1);
-  flat.group_offsets_.reserve(n + 1);
-  flat.entries_.reserve(labels.TotalEntries());
-  flat.offsets_.push_back(0);
-  flat.group_offsets_.push_back(0);
+  owned->offsets.reserve(n + 1);
+  owned->group_offsets.reserve(n + 1);
+  owned->entries.reserve(labels.TotalEntries());
+  owned->offsets.push_back(0);
+  owned->group_offsets.push_back(0);
   for (Vertex v = 0; v < n; ++v) {
     auto lv = labels.For(v);
     for (size_t i = 0; i < lv.size(); ++i) {
       if (i == 0 || lv[i].hub != lv[i - 1].hub) {
-        flat.groups_.push_back({lv[i].hub, static_cast<uint32_t>(i)});
+        owned->groups.push_back({lv[i].hub, static_cast<uint32_t>(i)});
       }
-      flat.entries_.push_back(lv[i]);
+      owned->entries.push_back(lv[i]);
     }
-    flat.offsets_.push_back(flat.entries_.size());
-    flat.group_offsets_.push_back(flat.groups_.size());
+    owned->offsets.push_back(owned->entries.size());
+    owned->group_offsets.push_back(owned->groups.size());
   }
+  FlatLabelSet flat;
+  flat.Adopt(std::move(owned));
+  return flat;
+}
+
+FlatLabelSet FlatLabelSet::FromExternal(
+    std::span<const uint64_t> offsets, std::span<const LabelEntry> entries,
+    std::span<const uint64_t> group_offsets, std::span<const HubGroup> groups,
+    std::shared_ptr<const void> keep_alive) {
+  FlatLabelSet flat;
+  flat.offsets_ = offsets;
+  flat.entries_ = entries;
+  flat.group_offsets_ = group_offsets;
+  flat.groups_ = groups;
+  flat.storage_ = std::move(keep_alive);
+  flat.external_ = true;
   return flat;
 }
 
@@ -37,11 +67,62 @@ LabelSet FlatLabelSet::ToLabelSet() const {
   return labels;
 }
 
+bool operator==(const FlatLabelSet& a, const FlatLabelSet& b) {
+  return std::ranges::equal(a.offsets_, b.offsets_) &&
+         std::ranges::equal(a.entries_, b.entries_) &&
+         std::ranges::equal(a.group_offsets_, b.group_offsets_) &&
+         std::ranges::equal(a.groups_, b.groups_);
+}
+
+Status FlatLabelSet::Validate(bool deep) const {
+  if (group_offsets_.size() != offsets_.size() ||
+      (offsets_.empty() && !entries_.empty()) ||
+      (!offsets_.empty() &&
+       (offsets_.front() != 0 || group_offsets_.front() != 0 ||
+        offsets_.back() != entries_.size() ||
+        group_offsets_.back() != groups_.size()))) {
+    return Status::Corruption("inconsistent flat offsets");
+  }
+  const size_t n = NumVertices();
+  for (Vertex v = 0; v < n; ++v) {
+    if (offsets_[v] > offsets_[v + 1] ||
+        group_offsets_[v] > group_offsets_[v + 1]) {
+      return Status::Corruption("non-monotone flat offsets");
+    }
+  }
+  if (!deep) return Status::OK();
+  for (Vertex v = 0; v < n; ++v) {
+    FlatLabelView view = View(v);
+    size_t entry = 0;
+    for (size_t g = 0; g < view.groups.size(); ++g) {
+      size_t ge = view.GroupEnd(g);
+      if (view.groups[g].begin != entry || ge <= entry ||
+          ge > view.entries.size()) {
+        return Status::Corruption("bad hub directory");
+      }
+      if (g > 0 && view.groups[g].hub <= view.groups[g - 1].hub) {
+        return Status::Corruption("unsorted hub directory");
+      }
+      for (size_t i = entry; i < ge; ++i) {
+        if (view.entries[i].hub != view.groups[g].hub ||
+            (i > entry && view.entries[i - 1].dist > view.entries[i].dist)) {
+          return Status::Corruption("unsorted flat labels");
+        }
+      }
+      entry = ge;
+    }
+    if (entry != view.entries.size()) {
+      return Status::Corruption("entries outside hub directory");
+    }
+  }
+  return Status::OK();
+}
+
 namespace {
 constexpr uint64_t kFlatMagic = 0x57435344'464c4154ULL;  // "WCSDFLAT"
 
 template <typename T>
-void WriteVector(std::ofstream& out, const std::vector<T>& values) {
+void WriteArray(std::ofstream& out, std::span<const T> values) {
   uint64_t count = values.size();
   out.write(reinterpret_cast<const char*>(&count), sizeof(count));
   out.write(reinterpret_cast<const char*>(values.data()),
@@ -69,18 +150,20 @@ bool ReadVector(std::ifstream& in, std::vector<T>* values,
 }  // namespace
 
 Status FlatLabelSet::Save(const std::string& path) const {
+  WCSD_RETURN_NOT_OK(CheckSerializationByteOrder());
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
   out.write(reinterpret_cast<const char*>(&kFlatMagic), sizeof(kFlatMagic));
-  WriteVector(out, offsets_);
-  WriteVector(out, entries_);
-  WriteVector(out, group_offsets_);
-  WriteVector(out, groups_);
+  WriteArray(out, offsets_);
+  WriteArray(out, entries_);
+  WriteArray(out, group_offsets_);
+  WriteArray(out, groups_);
   if (!out) return Status::IoError("write failed for " + path);
   return Status::OK();
 }
 
 Result<FlatLabelSet> FlatLabelSet::Load(const std::string& path) {
+  WCSD_RETURN_NOT_OK(CheckSerializationByteOrder());
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return Status::IoError("cannot open " + path);
   uint64_t bytes_left = static_cast<uint64_t>(in.tellg());
@@ -94,51 +177,18 @@ Result<FlatLabelSet> FlatLabelSet::Load(const std::string& path) {
     return Status::Corruption("bad magic in " + path);
   }
   bytes_left -= sizeof(magic);
-  FlatLabelSet flat;
-  if (!ReadVector(in, &flat.offsets_, &bytes_left) ||
-      !ReadVector(in, &flat.entries_, &bytes_left) ||
-      !ReadVector(in, &flat.group_offsets_, &bytes_left) ||
-      !ReadVector(in, &flat.groups_, &bytes_left)) {
+  auto owned = std::make_shared<OwnedArrays>();
+  if (!ReadVector(in, &owned->offsets, &bytes_left) ||
+      !ReadVector(in, &owned->entries, &bytes_left) ||
+      !ReadVector(in, &owned->group_offsets, &bytes_left) ||
+      !ReadVector(in, &owned->groups, &bytes_left)) {
     return Status::Corruption("truncated flat labels in " + path);
   }
-  // Structural validation: offsets must be monotone and end at the array
-  // sizes, and every vertex must have consistent entry/group slices.
-  const size_t n = flat.NumVertices();
-  if (flat.group_offsets_.size() != flat.offsets_.size() ||
-      (flat.offsets_.empty() && !flat.entries_.empty()) ||
-      (!flat.offsets_.empty() &&
-       (flat.offsets_.front() != 0 || flat.group_offsets_.front() != 0 ||
-        flat.offsets_.back() != flat.entries_.size() ||
-        flat.group_offsets_.back() != flat.groups_.size()))) {
-    return Status::Corruption("inconsistent flat offsets in " + path);
-  }
-  for (Vertex v = 0; v < n; ++v) {
-    if (flat.offsets_[v] > flat.offsets_[v + 1] ||
-        flat.group_offsets_[v] > flat.group_offsets_[v + 1]) {
-      return Status::Corruption("non-monotone flat offsets in " + path);
-    }
-    FlatLabelView view = flat.View(v);
-    size_t entry = 0;
-    for (size_t g = 0; g < view.groups.size(); ++g) {
-      size_t ge = view.GroupEnd(g);
-      if (view.groups[g].begin != entry || ge <= entry ||
-          ge > view.entries.size()) {
-        return Status::Corruption("bad hub directory in " + path);
-      }
-      if (g > 0 && view.groups[g].hub <= view.groups[g - 1].hub) {
-        return Status::Corruption("unsorted hub directory in " + path);
-      }
-      for (size_t i = entry; i < ge; ++i) {
-        if (view.entries[i].hub != view.groups[g].hub ||
-            (i > entry && view.entries[i - 1].dist > view.entries[i].dist)) {
-          return Status::Corruption("unsorted flat labels in " + path);
-        }
-      }
-      entry = ge;
-    }
-    if (entry != view.entries.size()) {
-      return Status::Corruption("entries outside hub directory in " + path);
-    }
+  FlatLabelSet flat;
+  flat.Adopt(std::move(owned));
+  Status valid = flat.Validate(/*deep=*/true);
+  if (!valid.ok()) {
+    return Status::Corruption(valid.message() + " in " + path);
   }
   return flat;
 }

@@ -10,7 +10,14 @@
 // boundaries: a directory element is 8 bytes, and locating a hub becomes a
 // binary search over groups instead of over entries.
 //
-// Layout invariants (inherited from LabelSet and checked on Load):
+// The four CSR arrays are accessed through spans and can be backed either by
+// heap vectors (FromLabelSet, Load) or by externally owned memory — in
+// practice a read-only mmap of a snapshot file (labeling/snapshot.h), which
+// makes serving start-up zero-copy: no per-entry deserialization, the
+// kernel pages label data in on first touch. A shared keep-alive handle
+// ties the backing storage's lifetime to every copy of the set.
+//
+// Layout invariants (inherited from LabelSet and checked by Validate):
 //   * entries of one vertex are sorted by (hub rank asc, dist asc);
 //   * the directory lists each vertex's distinct hubs in ascending rank,
 //     with `begin` the entry offset of the group INSIDE the vertex's slice.
@@ -19,6 +26,7 @@
 #define WCSD_LABELING_FLAT_LABEL_SET_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -60,6 +68,16 @@ class FlatLabelSet {
   /// Packs `labels` (which must satisfy the sortedness invariant).
   static FlatLabelSet FromLabelSet(const LabelSet& labels);
 
+  /// Wraps externally owned CSR arrays without copying them — the zero-copy
+  /// path for mmap'd snapshots. `keep_alive` (typically the mapping) is
+  /// retained for the lifetime of this set and all copies of it. The caller
+  /// is responsible for validation (see Validate).
+  static FlatLabelSet FromExternal(std::span<const uint64_t> offsets,
+                                   std::span<const LabelEntry> entries,
+                                   std::span<const uint64_t> group_offsets,
+                                   std::span<const HubGroup> groups,
+                                   std::shared_ptr<const void> keep_alive);
+
   /// Unpacks into the append-oriented representation (round-trip tests,
   /// post-processing passes that need mutation).
   LabelSet ToLabelSet() const;
@@ -90,18 +108,55 @@ class FlatLabelSet {
            group_offsets_.size() * sizeof(uint64_t);
   }
 
+  /// True when the arrays live in externally owned memory (an mmap'd
+  /// snapshot) rather than heap vectors.
+  bool external() const { return external_; }
+
+  /// Structural validation of the CSR arrays. The cheap tier — array-shape
+  /// consistency and offset monotonicity, O(NumVertices) — is what every
+  /// loader runs. With `deep`, additionally checks the per-entry invariants
+  /// (hub directory tiling, sorted ranks, ascending distances), O(entries);
+  /// loaders that read untrusted bytes run this, the mmap fast path skips
+  /// it unless asked (util/snapshot verify option).
+  Status Validate(bool deep) const;
+
+  /// Raw CSR arrays, in storage order. Used by the snapshot writer; query
+  /// code should go through View.
+  std::span<const uint64_t> raw_offsets() const { return offsets_; }
+  std::span<const LabelEntry> raw_entries() const { return entries_; }
+  std::span<const uint64_t> raw_group_offsets() const {
+    return group_offsets_;
+  }
+  std::span<const HubGroup> raw_groups() const { return groups_; }
+
   /// Binary serialization (own magic; incompatible with LabelSet's format
-  /// on purpose — the directory is part of the file).
+  /// on purpose — the directory is part of the file). For the mmap'able
+  /// page-aligned format see labeling/snapshot.h.
   Status Save(const std::string& path) const;
   static Result<FlatLabelSet> Load(const std::string& path);
 
-  friend bool operator==(const FlatLabelSet&, const FlatLabelSet&) = default;
+  /// Content equality of the four arrays, regardless of backing storage.
+  friend bool operator==(const FlatLabelSet& a, const FlatLabelSet& b);
 
  private:
-  std::vector<uint64_t> offsets_;        // n+1, into entries_
-  std::vector<LabelEntry> entries_;      // all label entries, vertex-major
-  std::vector<uint64_t> group_offsets_;  // n+1, into groups_
-  std::vector<HubGroup> groups_;         // per-vertex hub directories
+  /// Heap backing for sets built in memory. Spans point into these vectors;
+  /// shared ownership keeps them stable across copies.
+  struct OwnedArrays {
+    std::vector<uint64_t> offsets;
+    std::vector<LabelEntry> entries;
+    std::vector<uint64_t> group_offsets;
+    std::vector<HubGroup> groups;
+  };
+
+  /// Points the spans at `owned`'s vectors and retains it.
+  void Adopt(std::shared_ptr<const OwnedArrays> owned);
+
+  std::span<const uint64_t> offsets_;        // n+1, into entries_
+  std::span<const LabelEntry> entries_;      // all entries, vertex-major
+  std::span<const uint64_t> group_offsets_;  // n+1, into groups_
+  std::span<const HubGroup> groups_;         // per-vertex hub directories
+  std::shared_ptr<const void> storage_;      // OwnedArrays or mmap handle
+  bool external_ = false;
 };
 
 }  // namespace wcsd

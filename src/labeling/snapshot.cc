@@ -1,0 +1,307 @@
+#include "labeling/snapshot.h"
+
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "util/checksum.h"
+#include "util/endian.h"
+#include "util/mmap_file.h"
+
+namespace wcsd {
+
+namespace {
+
+// On-disk widths the format is defined in terms of. If one of these ever
+// changes, the version must be bumped and a migration written.
+static_assert(sizeof(Vertex) == 4);
+static_assert(sizeof(LabelEntry) == 12);
+static_assert(sizeof(HubGroup) == 8);
+
+constexpr uint64_t kSnapshotMagic = 0x57435344'534e4150ULL;  // "WCSDSNAP"
+constexpr uint64_t kPageSize = 4096;
+constexpr uint32_t kFlagHasOrder = 1u << 0;
+
+enum SectionId : size_t {
+  kSectionOrder = 0,
+  kSectionOffsets = 1,
+  kSectionEntries = 2,
+  kSectionGroupOffsets = 3,
+  kSectionGroups = 4,
+  kNumSections = 5,
+};
+
+constexpr uint64_t kSectionElemSize[kNumSections] = {
+    sizeof(Vertex), sizeof(uint64_t), sizeof(LabelEntry), sizeof(uint64_t),
+    sizeof(HubGroup)};
+
+struct SectionDesc {
+  uint64_t file_offset;
+  uint64_t byte_length;
+  uint64_t element_count;
+  uint32_t crc32c;
+  uint32_t reserved;
+};
+static_assert(sizeof(SectionDesc) == 32);
+
+struct SnapshotHeader {
+  uint64_t magic;
+  uint32_t version;
+  uint32_t flags;
+  uint64_t num_vertices_total;
+  uint64_t vertex_begin;
+  uint64_t vertex_end;
+  uint64_t section_count;
+  SectionDesc sections[kNumSections];
+  uint32_t header_crc;  // CRC-32C of the bytes preceding this field
+};
+static_assert(offsetof(SnapshotHeader, header_crc) == 208);
+static_assert(sizeof(SnapshotHeader) <= kPageSize);
+
+uint64_t AlignUp(uint64_t x) { return (x + kPageSize - 1) & ~(kPageSize - 1); }
+
+struct SectionData {
+  const void* data;
+  uint64_t element_count;
+};
+
+// Lays out the sections page-aligned after the header, fills the section
+// table (offsets, lengths, checksums), and writes the file.
+Status WriteSnapshotFile(const std::string& path, SnapshotHeader header,
+                         const SectionData (&sections)[kNumSections]) {
+  WCSD_RETURN_NOT_OK(CheckSerializationByteOrder());
+  uint64_t cursor = kPageSize;
+  for (size_t s = 0; s < kNumSections; ++s) {
+    SectionDesc& desc = header.sections[s];
+    desc.element_count = sections[s].element_count;
+    desc.byte_length = sections[s].element_count * kSectionElemSize[s];
+    desc.file_offset = cursor;
+    desc.crc32c = Crc32c(sections[s].data, desc.byte_length);
+    desc.reserved = 0;
+    cursor += AlignUp(desc.byte_length);
+  }
+  header.magic = kSnapshotMagic;
+  header.version = kSnapshotVersion;
+  header.section_count = kNumSections;
+  header.header_crc =
+      Crc32c(&header, offsetof(SnapshotHeader, header_crc));
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  char page[kPageSize] = {};
+  std::memcpy(page, &header, sizeof(header));
+  out.write(page, static_cast<std::streamsize>(kPageSize));
+  for (size_t s = 0; s < kNumSections; ++s) {
+    const SectionDesc& desc = header.sections[s];
+    if (desc.byte_length == 0) continue;
+    // seekp past the current end leaves a zero-filled (sparse) gap — the
+    // inter-section padding.
+    out.seekp(static_cast<std::streamoff>(desc.file_offset));
+    out.write(static_cast<const char*>(sections[s].data),
+              static_cast<std::streamsize>(desc.byte_length));
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<SnapshotHeader> ParseHeader(const std::byte* data, size_t size,
+                                   const std::string& path) {
+  if (size < kPageSize) {
+    return Status::Corruption("truncated snapshot header in " + path);
+  }
+  SnapshotHeader header;
+  std::memcpy(&header, data, sizeof(header));
+  if (header.magic != kSnapshotMagic) {
+    return Status::Corruption("bad snapshot magic in " + path);
+  }
+  if (header.version != kSnapshotVersion) {
+    return Status::Corruption("unsupported snapshot version " +
+                              std::to_string(header.version) + " in " + path);
+  }
+  uint32_t expected = Crc32c(data, offsetof(SnapshotHeader, header_crc));
+  if (header.header_crc != expected) {
+    return Status::Corruption("snapshot header checksum mismatch in " + path);
+  }
+  // Vertex ids are 32-bit (types.h reserves the max value as kNullVertex),
+  // which also keeps every count arithmetic below overflow-safe.
+  if (header.section_count != kNumSections ||
+      header.vertex_begin > header.vertex_end ||
+      header.vertex_end > header.num_vertices_total ||
+      header.num_vertices_total >= kNullVertex) {
+    return Status::Corruption("inconsistent snapshot header in " + path);
+  }
+  const uint64_t n_range = header.vertex_end - header.vertex_begin;
+  const bool has_order = (header.flags & kFlagHasOrder) != 0;
+  const uint64_t expected_counts[kNumSections] = {
+      has_order ? header.num_vertices_total : 0, n_range + 1, 0, n_range + 1,
+      0};
+  for (size_t s = 0; s < kNumSections; ++s) {
+    const SectionDesc& desc = header.sections[s];
+    // Reject element counts whose byte size would wrap uint64 before the
+    // byte_length cross-check below could catch them.
+    if (desc.element_count >
+        std::numeric_limits<uint64_t>::max() / kSectionElemSize[s]) {
+      return Status::Corruption("bad snapshot section table in " + path);
+    }
+    if (desc.byte_length != desc.element_count * kSectionElemSize[s] ||
+        desc.file_offset % alignof(uint64_t) != 0 ||
+        (desc.byte_length > 0 &&
+         (desc.file_offset < kPageSize || desc.file_offset > size ||
+          size - desc.file_offset < desc.byte_length))) {
+      return Status::Corruption("bad snapshot section table in " + path);
+    }
+    if ((s != kSectionEntries && s != kSectionGroups) &&
+        desc.element_count != expected_counts[s]) {
+      return Status::Corruption("snapshot section count mismatch in " + path);
+    }
+  }
+  return header;
+}
+
+SnapshotInfo InfoFromHeader(const SnapshotHeader& header) {
+  SnapshotInfo info;
+  info.version = header.version;
+  info.num_vertices_total = header.num_vertices_total;
+  info.vertex_begin = header.vertex_begin;
+  info.vertex_end = header.vertex_end;
+  info.has_order = (header.flags & kFlagHasOrder) != 0;
+  return info;
+}
+
+template <typename T>
+std::span<const T> SectionSpan(const std::byte* base,
+                               const SectionDesc& desc) {
+  // Empty sections may carry an offset past EOF (nothing was written
+  // there); never form a pointer into that.
+  if (desc.element_count == 0) return {};
+  return {reinterpret_cast<const T*>(base + desc.file_offset),
+          static_cast<size_t>(desc.element_count)};
+}
+
+}  // namespace
+
+Status WriteSnapshot(const std::string& path, const FlatLabelSet& flat,
+                     const VertexOrder* order) {
+  if (order != nullptr && order->size() != flat.NumVertices()) {
+    return Status::InvalidArgument(
+        "order size does not match the label set");
+  }
+  SnapshotHeader header = {};
+  header.flags = order != nullptr ? kFlagHasOrder : 0;
+  header.num_vertices_total = flat.NumVertices();
+  header.vertex_begin = 0;
+  header.vertex_end = flat.NumVertices();
+  const SectionData sections[kNumSections] = {
+      {order != nullptr ? order->by_rank().data() : nullptr,
+       order != nullptr ? order->size() : 0},
+      {flat.raw_offsets().data(), flat.raw_offsets().size()},
+      {flat.raw_entries().data(), flat.raw_entries().size()},
+      {flat.raw_group_offsets().data(), flat.raw_group_offsets().size()},
+      {flat.raw_groups().data(), flat.raw_groups().size()},
+  };
+  return WriteSnapshotFile(path, header, sections);
+}
+
+Status WriteSnapshotShard(const std::string& path, const FlatLabelSet& flat,
+                          uint64_t begin, uint64_t end,
+                          uint64_t num_vertices_total) {
+  if (begin > end || end > flat.NumVertices() ||
+      num_vertices_total != flat.NumVertices()) {
+    return Status::InvalidArgument("invalid shard vertex range");
+  }
+  auto offsets = flat.raw_offsets();
+  auto group_offsets = flat.raw_group_offsets();
+  // Rebase the offset arrays so the shard file stands alone. Entry and
+  // group payloads are written as direct slices; HubGroup.begin is already
+  // vertex-relative, so no rewrite is needed there.
+  std::vector<uint64_t> local_offsets(end - begin + 1);
+  std::vector<uint64_t> local_group_offsets(end - begin + 1);
+  for (uint64_t v = begin; v <= end; ++v) {
+    local_offsets[v - begin] = offsets[v] - offsets[begin];
+    local_group_offsets[v - begin] = group_offsets[v] - group_offsets[begin];
+  }
+  auto entries =
+      flat.raw_entries().subspan(offsets[begin], offsets[end] - offsets[begin]);
+  auto groups = flat.raw_groups().subspan(
+      group_offsets[begin], group_offsets[end] - group_offsets[begin]);
+
+  SnapshotHeader header = {};
+  header.flags = 0;
+  header.num_vertices_total = num_vertices_total;
+  header.vertex_begin = begin;
+  header.vertex_end = end;
+  const SectionData sections[kNumSections] = {
+      {nullptr, 0},
+      {local_offsets.data(), local_offsets.size()},
+      {entries.data(), entries.size()},
+      {local_group_offsets.data(), local_group_offsets.size()},
+      {groups.data(), groups.size()},
+  };
+  return WriteSnapshotFile(path, header, sections);
+}
+
+Result<MappedSnapshot> LoadSnapshotMmap(const std::string& path,
+                                        const SnapshotLoadOptions& options) {
+  WCSD_RETURN_NOT_OK(CheckSerializationByteOrder());
+  Result<MmapFile> file = MmapFile::Open(path);
+  if (!file.ok()) return file.status();
+  auto mapping = std::make_shared<MmapFile>(std::move(file).value());
+  Result<SnapshotHeader> parsed =
+      ParseHeader(mapping->data(), mapping->size(), path);
+  if (!parsed.ok()) return parsed.status();
+  const SnapshotHeader& header = parsed.value();
+  const std::byte* base = mapping->data();
+
+  if (options.verify_checksums) {
+    for (size_t s = 0; s < kNumSections; ++s) {
+      const SectionDesc& desc = header.sections[s];
+      uint32_t crc = Crc32c(base + desc.file_offset, desc.byte_length);
+      if (crc != desc.crc32c) {
+        return Status::Corruption("snapshot section checksum mismatch in " +
+                                  path);
+      }
+    }
+  }
+
+  MappedSnapshot snapshot;
+  snapshot.info = InfoFromHeader(header);
+  snapshot.labels = FlatLabelSet::FromExternal(
+      SectionSpan<uint64_t>(base, header.sections[kSectionOffsets]),
+      SectionSpan<LabelEntry>(base, header.sections[kSectionEntries]),
+      SectionSpan<uint64_t>(base, header.sections[kSectionGroupOffsets]),
+      SectionSpan<HubGroup>(base, header.sections[kSectionGroups]), mapping);
+  Status valid = snapshot.labels.Validate(options.deep_validate);
+  if (!valid.ok()) {
+    return Status::Corruption(valid.message() + " in " + path);
+  }
+  if (snapshot.info.has_order) {
+    auto order = SectionSpan<Vertex>(base, header.sections[kSectionOrder]);
+    snapshot.order_by_rank.assign(order.begin(), order.end());
+  }
+  return snapshot;
+}
+
+Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
+  WCSD_RETURN_NOT_OK(CheckSerializationByteOrder());
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::byte page[kPageSize];
+  in.read(reinterpret_cast<char*>(page), static_cast<std::streamsize>(
+                                             kPageSize));
+  size_t got = static_cast<size_t>(in.gcount());
+  // Section bounds cannot be checked against the file size from the header
+  // page alone; pass a size that accepts any in-range offset and rely on
+  // ParseHeader's field checks. LoadSnapshotMmap does the real bounds work.
+  Result<SnapshotHeader> parsed =
+      got >= kPageSize
+          ? ParseHeader(page, std::numeric_limits<size_t>::max(), path)
+          : Result<SnapshotHeader>(
+                Status::Corruption("truncated snapshot header in " + path));
+  if (!parsed.ok()) return parsed.status();
+  return InfoFromHeader(parsed.value());
+}
+
+}  // namespace wcsd

@@ -1,0 +1,115 @@
+// Versioned, checksummed, mmap'able index snapshots.
+//
+// The serving-side counterpart of FlatLabelSet::Save: instead of
+// length-prefixed streams that force a full deserialization pass, a
+// snapshot lays the four CSR label arrays (and optionally the vertex order)
+// out page-aligned behind a fixed-width header, so a server can mmap the
+// file and answer queries directly out of the mapping. Loading costs
+// O(vertices) for offset validation and the order inversion — independent
+// of the label count, which dominates file size — and label pages are
+// faulted in lazily by the kernel and shared across processes.
+//
+// A snapshot may cover the full vertex range or a contiguous shard
+// [vertex_begin, vertex_end) of a larger logical index; shard files rebase
+// the offset arrays so each file is self-contained. serve/sharded_engine.h
+// stitches shard snapshots back into one logical index.
+//
+// File layout (all fields little-endian, fixed width; see util/endian.h):
+//   [0, 4096)    SnapshotHeader + zero padding
+//   sections     each page-aligned, in file order:
+//                  order (u32 Vertex per rank; full snapshots only)
+//                  offsets (u64, n_range+1)   entries (12-byte LabelEntry)
+//                  group_offsets (u64)        groups (8-byte HubGroup)
+// The header carries a CRC-32C of itself and one per section. The header
+// CRC is always verified on load; section CRCs only under
+// `verify_checksums` (a full-file read would defeat lazy paging).
+
+#ifndef WCSD_LABELING_SNAPSHOT_H_
+#define WCSD_LABELING_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "labeling/flat_label_set.h"
+#include "order/vertex_order.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// Current snapshot format version. Bump on any layout change; readers
+/// reject other versions with a clean Status.
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Snapshot header metadata surfaced to callers.
+struct SnapshotInfo {
+  uint32_t version = 0;
+  /// Vertices of the whole logical index this file belongs to.
+  uint64_t num_vertices_total = 0;
+  /// The contiguous vertex range this file covers. A full snapshot has
+  /// [0, num_vertices_total).
+  uint64_t vertex_begin = 0;
+  uint64_t vertex_end = 0;
+  bool has_order = false;
+
+  bool IsFullRange() const {
+    return vertex_begin == 0 && vertex_end == num_vertices_total;
+  }
+};
+
+/// A snapshot opened for serving: label views into the mapping plus the
+/// (copied, O(n)) vertex order. The FlatLabelSet keeps the mapping alive.
+struct MappedSnapshot {
+  SnapshotInfo info;
+  FlatLabelSet labels;
+  /// rank -> vertex permutation; empty unless info.has_order.
+  std::vector<Vertex> order_by_rank;
+};
+
+struct SnapshotLoadOptions {
+  /// Verify the CRC-32C of every section at load time. Costs a full
+  /// sequential read of the file; off by default so load stays
+  /// O(vertices). The header checksum is always verified.
+  bool verify_checksums = false;
+  /// Run the deep structural validation (per-entry sortedness and hub
+  /// directory tiling) after mapping. Implied protection against files
+  /// whose checksums match but whose producer was buggy. Off by default
+  /// for the same reason as verify_checksums.
+  bool deep_validate = false;
+};
+// Trust model: the default (both flags off) validates the header page and
+// the O(vertices) offset arrays only, so query kernels trust the section
+// PAYLOADS (entries, hub-directory begins) as written — bit rot or
+// tampering there can misanswer or crash the server. Snapshots you did not
+// just write yourself should be opened with both flags on (CLI --verify),
+// which makes every corruption class a clean Status.
+
+/// Writes a full-range snapshot of `flat`. Pass the index's order so
+/// WcIndex::LoadMmap can restore rank lookups; pass nullptr for a
+/// label-only snapshot (servable through ShardedQueryEngine or raw views).
+Status WriteSnapshot(const std::string& path, const FlatLabelSet& flat,
+                     const VertexOrder* order);
+
+/// Writes the shard of `flat` covering local vertices [begin, end) of a
+/// logical index with `num_vertices_total` vertices. Offset arrays are
+/// rebased so the shard file stands alone. Shards carry no order section.
+Status WriteSnapshotShard(const std::string& path, const FlatLabelSet& flat,
+                          uint64_t begin, uint64_t end,
+                          uint64_t num_vertices_total);
+
+/// Maps `path` and returns zero-copy label views into it. Fails with a
+/// clean Status on IO errors, bad magic, unsupported version, header
+/// corruption, section-table inconsistencies, and (under the options)
+/// section checksum or structural corruption. Never throws or crashes on
+/// malformed headers.
+Result<MappedSnapshot> LoadSnapshotMmap(const std::string& path,
+                                        const SnapshotLoadOptions& options = {});
+
+/// Reads only the header of `path` (no section access). Cheap way for
+/// tools to introspect a snapshot.
+Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path);
+
+}  // namespace wcsd
+
+#endif  // WCSD_LABELING_SNAPSHOT_H_

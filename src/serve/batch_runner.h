@@ -1,0 +1,143 @@
+// Shared serving scaffold: chunked fan-out over a ThreadPool with per-call
+// completion tracking, plus the per-worker stats slots and the batch-body
+// template both engines (QueryEngine, ShardedQueryEngine) run on.
+//
+// ThreadPool::Wait waits for GLOBAL quiescence, which is wrong for a
+// serving engine: two user threads batching against the same engine would
+// each block on the other's work. RunChunked instead counts down its own
+// chunks on the caller's stack, so concurrent batches share the pool's
+// workers but complete independently.
+
+#ifndef WCSD_SERVE_BATCH_RUNNER_H_
+#define WCSD_SERVE_BATCH_RUNNER_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/batch.h"
+#include "util/thread_pool.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// Monotonic serving counters, aggregated across workers on read.
+struct QueryEngineStats {
+  uint64_t queries = 0;
+  uint64_t reachable = 0;
+  uint64_t batches = 0;
+};
+
+/// 0 = hardware concurrency (min 1).
+inline size_t ResolveServeThreads(size_t num_threads) {
+  if (num_threads != 0) return num_threads;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Applies `fn(begin, end, worker)` to consecutive chunks of [0, n) and
+/// blocks until every chunk has run. With a null pool or a single chunk the
+/// call is inline (worker 0). Safe to call from multiple threads on one
+/// pool concurrently.
+inline void RunChunked(
+    ThreadPool* pool, size_t n, size_t chunk,
+    const std::function<void(size_t begin, size_t end, size_t worker)>& fn) {
+  if (n == 0) return;
+  chunk = std::max<size_t>(1, chunk);
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+  if (pool == nullptr || num_chunks <= 1) {
+    fn(0, n, 0);
+    return;
+  }
+  std::mutex mu;
+  std::condition_variable done;
+  size_t remaining = num_chunks;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t begin = c * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    pool->Submit([&, begin, end](size_t worker) {
+      fn(begin, end, worker);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  done.wait(lock, [&] { return remaining == 0; });
+}
+
+/// Per-worker counter slot, cache-line padded so workers never share a
+/// line. Relaxed atomics: single queries may come from arbitrary caller
+/// threads, and stats() may race a batch in flight.
+struct alignas(64) ServeWorkerSlot {
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> reachable{0};
+};
+
+/// The stats state an engine heap-holds (atomics are unmovable; the engine
+/// stays movable by owning this through a unique_ptr).
+struct ServeStatsBlock {
+  explicit ServeStatsBlock(size_t num_workers) : slots(num_workers) {}
+
+  /// Records one direct (non-batch) query.
+  void RecordSingle(Distance d) {
+    slots[0].queries.fetch_add(1, std::memory_order_relaxed);
+    if (d != kInfDistance) {
+      slots[0].reachable.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  QueryEngineStats Aggregate() const {
+    QueryEngineStats total;
+    for (const ServeWorkerSlot& slot : slots) {
+      total.queries += slot.queries.load(std::memory_order_relaxed);
+      total.reachable += slot.reachable.load(std::memory_order_relaxed);
+    }
+    total.batches = batches.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  std::vector<ServeWorkerSlot> slots;
+  std::atomic<uint64_t> batches{0};
+};
+
+/// The batch body shared by both engines: evaluate `fn(query)` for every
+/// input across the pool in contiguous chunks, accumulating per-thread
+/// scratch counters locally and publishing once per chunk. Results are
+/// positionally aligned with the inputs.
+template <typename QueryFn>
+std::vector<Distance> RunServeBatch(ThreadPool* pool, size_t num_threads,
+                                    size_t min_chunk, ServeStatsBlock& stats,
+                                    const std::vector<BatchQueryInput>& queries,
+                                    const QueryFn& fn) {
+  std::vector<Distance> results(queries.size(), kInfDistance);
+  stats.batches.fetch_add(1, std::memory_order_relaxed);
+  // ~4 chunks per worker so stragglers rebalance, but never slices smaller
+  // than min_chunk.
+  const size_t target = std::max<size_t>(1, num_threads * 4);
+  const size_t chunk =
+      std::max(min_chunk, (queries.size() + target - 1) / target);
+  RunChunked(pool, queries.size(), chunk,
+             [&](size_t begin, size_t end, size_t worker) {
+               uint64_t reachable = 0;
+               for (size_t i = begin; i < end; ++i) {
+                 results[i] = fn(queries[i]);
+                 if (results[i] != kInfDistance) ++reachable;
+               }
+               ServeWorkerSlot& slot = stats.slots[worker];
+               slot.queries.fetch_add(end - begin,
+                                      std::memory_order_relaxed);
+               slot.reachable.fetch_add(reachable,
+                                        std::memory_order_relaxed);
+             });
+  return results;
+}
+
+}  // namespace wcsd
+
+#endif  // WCSD_SERVE_BATCH_RUNNER_H_

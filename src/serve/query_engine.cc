@@ -1,0 +1,40 @@
+#include "serve/query_engine.h"
+
+#include <utility>
+
+namespace wcsd {
+
+QueryEngine::QueryEngine(std::shared_ptr<const WcIndex> index,
+                         QueryEngineOptions options)
+    : index_(std::move(index)), options_(options) {
+  size_t threads = ResolveServeThreads(options_.num_threads);
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  stats_ = std::make_unique<ServeStatsBlock>(threads);
+}
+
+Result<QueryEngine> QueryEngine::Open(const std::string& snapshot_path,
+                                      QueryEngineOptions options,
+                                      const SnapshotLoadOptions& load) {
+  Result<WcIndex> index = WcIndex::LoadMmap(snapshot_path, load);
+  if (!index.ok()) return index.status();
+  return QueryEngine(
+      std::make_shared<const WcIndex>(std::move(index).value()), options);
+}
+
+Distance QueryEngine::Query(Vertex s, Vertex t, Quality w) const {
+  Distance d = index_->Query(s, t, w, options_.impl);
+  stats_->RecordSingle(d);
+  return d;
+}
+
+std::vector<Distance> QueryEngine::Batch(
+    const std::vector<BatchQueryInput>& queries) const {
+  const WcIndex& index = *index_;
+  const QueryImpl impl = options_.impl;
+  return RunServeBatch(pool_.get(), num_threads(), options_.min_chunk,
+                       *stats_, queries, [&](const BatchQueryInput& q) {
+                         return index.Query(q.s, q.t, q.w, impl);
+                       });
+}
+
+}  // namespace wcsd

@@ -1,0 +1,82 @@
+// Thread-safe serving engine over an immutable WC-INDEX snapshot.
+//
+// Construction-side code mutates labels; serving-side code must not. The
+// QueryEngine encodes that boundary: it owns a shared_ptr<const WcIndex> —
+// typically mmap-loaded via WcIndex::LoadMmap, so start-up is zero-copy —
+// and answers single queries and batch workloads from any number of caller
+// threads concurrently. Batches fan out over an internal ThreadPool in
+// contiguous chunks (serve/batch_runner.h); each worker accumulates into
+// its own cache-line-padded stats slot (the per-thread scratch), so the
+// only cross-thread traffic on the hot path is the final relaxed
+// aggregation.
+//
+// For indexes larger than one snapshot should hold, see
+// serve/sharded_engine.h, which serves vertex-range shard snapshots as a
+// single logical index with the same interface.
+
+#ifndef WCSD_SERVE_QUERY_ENGINE_H_
+#define WCSD_SERVE_QUERY_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/wc_index.h"
+#include "labeling/query.h"
+#include "serve/batch_runner.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+struct QueryEngineOptions {
+  /// Worker threads for batch evaluation. 0 = hardware concurrency;
+  /// 1 = no pool, batches run on the calling thread.
+  size_t num_threads = 0;
+  /// Query implementation used for every query (kMerge is the paper's
+  /// Query+ and the fastest on every measured workload).
+  QueryImpl impl = QueryImpl::kMerge;
+  /// Smallest batch slice handed to one worker; bounds scheduling overhead
+  /// on small batches.
+  size_t min_chunk = 64;
+};
+
+class QueryEngine {
+ public:
+  /// Serves `index`, which must not be mutated for the engine's lifetime.
+  explicit QueryEngine(std::shared_ptr<const WcIndex> index,
+                       QueryEngineOptions options = {});
+
+  /// Maps a snapshot (WcIndex::LoadMmap) and serves it.
+  static Result<QueryEngine> Open(const std::string& snapshot_path,
+                                  QueryEngineOptions options = {},
+                                  const SnapshotLoadOptions& load = {});
+
+  QueryEngine(QueryEngine&&) = default;
+  QueryEngine& operator=(QueryEngine&&) = default;
+
+  /// One query. Callable from any thread.
+  Distance Query(Vertex s, Vertex t, Quality w) const;
+
+  /// Evaluates all queries; results are positionally aligned with the
+  /// inputs. Chunks run across the engine's pool. Callable from any
+  /// thread, including concurrently with other Batch calls on this engine.
+  std::vector<Distance> Batch(
+      const std::vector<BatchQueryInput>& queries) const;
+
+  const WcIndex& index() const { return *index_; }
+  size_t num_threads() const { return pool_ ? pool_->size() : 1; }
+  QueryEngineStats stats() const { return stats_->Aggregate(); }
+
+ private:
+  std::shared_ptr<const WcIndex> index_;
+  QueryEngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
+  std::unique_ptr<ServeStatsBlock> stats_;
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_SERVE_QUERY_ENGINE_H_

@@ -1,0 +1,93 @@
+#include "serve/sharded_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace wcsd {
+
+Result<ShardedQueryEngine> ShardedQueryEngine::OpenMmap(
+    const std::vector<std::string>& shard_paths, QueryEngineOptions options,
+    const SnapshotLoadOptions& load) {
+  if (shard_paths.empty()) {
+    return Status::InvalidArgument("no shard snapshots given");
+  }
+  ShardedQueryEngine engine;
+  engine.options_ = options;
+  for (const std::string& path : shard_paths) {
+    Result<MappedSnapshot> snapshot = LoadSnapshotMmap(path, load);
+    if (!snapshot.ok()) return snapshot.status();
+    MappedSnapshot& mapped = snapshot.value();
+    if (engine.shards_.empty()) {
+      engine.num_vertices_ = mapped.info.num_vertices_total;
+    } else if (engine.num_vertices_ != mapped.info.num_vertices_total) {
+      return Status::InvalidArgument(
+          "shard " + path + " belongs to a different index (vertex totals "
+          "disagree)");
+    }
+    engine.shards_.push_back(Shard{mapped.info.vertex_begin,
+                                   mapped.info.vertex_end,
+                                   std::move(mapped.labels)});
+  }
+  // Sort by (begin, end) so an empty shard [x, x) lands before the
+  // non-empty shard starting at x regardless of input order — otherwise
+  // the tiling check below would flag a false overlap.
+  std::sort(engine.shards_.begin(), engine.shards_.end(),
+            [](const Shard& a, const Shard& b) {
+              return a.begin != b.begin ? a.begin < b.begin : a.end < b.end;
+            });
+  uint64_t cursor = 0;
+  for (const Shard& shard : engine.shards_) {
+    if (shard.begin != cursor) {
+      return Status::InvalidArgument(
+          "shards do not tile the vertex range: gap or overlap at vertex " +
+          std::to_string(cursor));
+    }
+    cursor = shard.end;
+  }
+  if (cursor != engine.num_vertices_) {
+    return Status::InvalidArgument(
+        "shards do not cover the full vertex range (end at " +
+        std::to_string(cursor) + " of " +
+        std::to_string(engine.num_vertices_) + ")");
+  }
+  engine.begins_.reserve(engine.shards_.size());
+  for (const Shard& shard : engine.shards_) {
+    engine.begins_.push_back(shard.begin);
+  }
+  size_t threads = ResolveServeThreads(options.num_threads);
+  if (threads > 1) engine.pool_ = std::make_unique<ThreadPool>(threads);
+  engine.stats_ = std::make_unique<ServeStatsBlock>(threads);
+  return engine;
+}
+
+FlatLabelView ShardedQueryEngine::ViewOf(Vertex v) const {
+  // Last shard whose begin <= v; ranges tile [0, n), so this shard holds v.
+  size_t i = static_cast<size_t>(
+      std::upper_bound(begins_.begin(), begins_.end(), v) - begins_.begin() -
+      1);
+  const Shard& shard = shards_[i];
+  return shard.labels.View(static_cast<Vertex>(v - shard.begin));
+}
+
+Distance ShardedQueryEngine::QueryNoStats(Vertex s, Vertex t,
+                                          Quality w) const {
+  if (s >= num_vertices_ || t >= num_vertices_) return kInfDistance;
+  if (s == t) return 0;
+  return QueryFlat(ViewOf(s), ViewOf(t), w, options_.impl);
+}
+
+Distance ShardedQueryEngine::Query(Vertex s, Vertex t, Quality w) const {
+  Distance d = QueryNoStats(s, t, w);
+  stats_->RecordSingle(d);
+  return d;
+}
+
+std::vector<Distance> ShardedQueryEngine::Batch(
+    const std::vector<BatchQueryInput>& queries) const {
+  return RunServeBatch(pool_.get(), num_threads(), options_.min_chunk,
+                       *stats_, queries, [&](const BatchQueryInput& q) {
+                         return QueryNoStats(q.s, q.t, q.w);
+                       });
+}
+
+}  // namespace wcsd

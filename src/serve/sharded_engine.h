@@ -1,0 +1,82 @@
+// Sharded serving: vertex-range shard snapshots as one logical index.
+//
+// A 2-hop labeling has a property that makes range sharding trivial to
+// serve: a query (s, t, w) reads exactly two label slices, L(s) and L(t),
+// and hubs are global ranks, so the slices intersect correctly no matter
+// which files they came from. The engine maps one snapshot per shard
+// (each written by WriteSnapshotShard, covering a contiguous vertex range)
+// and routes each endpoint to its shard's mapping — one process can serve
+// an index whose snapshots it would not want to hold as a single file, or
+// page shards in and out via the OS with per-shard locality.
+//
+// Shards must tile [0, num_vertices_total) exactly; OpenMmap validates
+// this and fails with a clean Status otherwise.
+
+#ifndef WCSD_SERVE_SHARDED_ENGINE_H_
+#define WCSD_SERVE_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/batch.h"
+#include "labeling/flat_label_set.h"
+#include "labeling/query.h"
+#include "labeling/snapshot.h"
+#include "serve/batch_runner.h"
+#include "serve/query_engine.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+class ShardedQueryEngine {
+ public:
+  /// Maps every shard snapshot and validates that together they tile the
+  /// full vertex range of one logical index.
+  static Result<ShardedQueryEngine> OpenMmap(
+      const std::vector<std::string>& shard_paths,
+      QueryEngineOptions options = {}, const SnapshotLoadOptions& load = {});
+
+  ShardedQueryEngine(ShardedQueryEngine&&) = default;
+  ShardedQueryEngine& operator=(ShardedQueryEngine&&) = default;
+
+  /// One query against the stitched index. Callable from any thread.
+  Distance Query(Vertex s, Vertex t, Quality w) const;
+
+  /// Batch evaluation across the engine's pool; results positionally
+  /// aligned with the inputs. Callable concurrently from many threads.
+  std::vector<Distance> Batch(
+      const std::vector<BatchQueryInput>& queries) const;
+
+  size_t NumVertices() const { return num_vertices_; }
+  size_t num_shards() const { return shards_.size(); }
+  size_t num_threads() const { return pool_ ? pool_->size() : 1; }
+  QueryEngineStats stats() const { return stats_->Aggregate(); }
+
+ private:
+  struct Shard {
+    uint64_t begin;
+    uint64_t end;
+    FlatLabelSet labels;  // keeps its shard's mapping alive
+  };
+
+  ShardedQueryEngine() = default;
+
+  /// Label view of vertex v, routed to its shard.
+  FlatLabelView ViewOf(Vertex v) const;
+  Distance QueryNoStats(Vertex s, Vertex t, Quality w) const;
+
+  std::vector<Shard> shards_;       // sorted by begin, tiling [0, n)
+  std::vector<uint64_t> begins_;    // shards_[i].begin, for binary search
+  uint64_t num_vertices_ = 0;
+  QueryEngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ServeStatsBlock> stats_;
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_SERVE_SHARDED_ENGINE_H_

@@ -1,0 +1,51 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace wcsd {
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IoError("cannot stat " + path + ": " + std::strerror(err));
+  }
+  MmapFile file;
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* base = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (base == MAP_FAILED) {
+      int err = errno;
+      ::close(fd);
+      return Status::IoError("cannot mmap " + path + ": " +
+                             std::strerror(err));
+    }
+    file.data_ = static_cast<const std::byte*>(base);
+  }
+  // The mapping holds its own reference to the file; the descriptor is no
+  // longer needed.
+  ::close(fd);
+  return file;
+}
+
+void MmapFile::Reset() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace wcsd

@@ -1,0 +1,57 @@
+// Read-only memory-mapped file, RAII-managed.
+//
+// The snapshot reader maps index files instead of streaming them so serving
+// can start without copying a byte of label data: the kernel pages label
+// arrays in on first access and shares the clean pages across every process
+// mapping the same snapshot.
+
+#ifndef WCSD_UTIL_MMAP_FILE_H_
+#define WCSD_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace wcsd {
+
+/// A read-only mapping of an entire file. Movable; unmaps on destruction.
+class MmapFile {
+ public:
+  MmapFile() = default;
+
+  /// Maps `path` read-only. Fails with IoError if the file cannot be opened
+  /// or mapped. An empty file maps successfully with size() == 0.
+  static Result<MmapFile> Open(const std::string& path);
+
+  ~MmapFile() { Reset(); }
+
+  MmapFile(MmapFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MmapFile& operator=(MmapFile&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const std::byte* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  void Reset();
+
+  const std::byte* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_UTIL_MMAP_FILE_H_

@@ -1,0 +1,243 @@
+// Differential fuzzing of the whole query stack.
+//
+// For randomized graphs across four generator families and random
+// (s, t, w) triples, every answer path must agree bit-for-bit:
+//   * the four QueryImpls on the append-oriented LabelSet backend,
+//   * the four QueryImpls on the finalized flat CSR backend,
+//   * a QueryEngine serving the mmap-loaded snapshot of the index,
+//   * a ShardedQueryEngine stitching vertex-range shard snapshots,
+//   * the ConstrainedDijkstra ground truth on the raw graph.
+// Builds alternate between the sequential and the rank-batched parallel
+// pipeline, so construction is fuzzed too (and races surface under the
+// TSan CI job, which runs this suite).
+//
+// On a mismatch the failing case is minimized — edges are greedily removed
+// while the disagreement persists — and a self-contained reproduction
+// (edge list + query + seeds) is printed.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/wc_index.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "search/constrained_dijkstra.h"
+#include "serve/query_engine.h"
+#include "serve/sharded_engine.h"
+#include "util/random.h"
+
+namespace wcsd {
+namespace {
+
+constexpr const char* kFamilies[] = {"road", "social", "smallworld",
+                                     "random"};
+
+QualityGraph MakeFuzzGraph(size_t family, uint64_t seed) {
+  Rng rng(seed * 2654435761u + family);
+  QualityModel quality;
+  quality.num_levels = static_cast<int>(rng.NextInRange(2, 6));
+  switch (family) {
+    case 0: {  // road-like perturbed grid
+      RoadOptions options;
+      options.rows = static_cast<size_t>(rng.NextInRange(4, 8));
+      options.cols = static_cast<size_t>(rng.NextInRange(4, 8));
+      options.quality = quality;
+      return GenerateRoadNetwork(options, seed);
+    }
+    case 1: {  // social-like scale-free
+      size_t n = static_cast<size_t>(rng.NextInRange(30, 70));
+      size_t epv = static_cast<size_t>(rng.NextInRange(2, 4));
+      return GenerateBarabasiAlbert(n, epv, quality, seed);
+    }
+    case 2: {  // small world
+      size_t n = static_cast<size_t>(rng.NextInRange(30, 70));
+      size_t k = static_cast<size_t>(rng.NextInRange(1, 3));
+      return GenerateWattsStrogatz(n, k, 0.2, quality, seed);
+    }
+    default: {  // connected random
+      size_t n = static_cast<size_t>(rng.NextInRange(30, 80));
+      size_t m = n - 1 + static_cast<size_t>(rng.NextInRange(0, n));
+      return GenerateRandomConnected(n, m, quality, seed);
+    }
+  }
+}
+
+using EdgeList = std::vector<std::tuple<Vertex, Vertex, Quality>>;
+
+EdgeList EdgesOf(const QualityGraph& g) {
+  EdgeList edges;
+  for (Vertex u = 0; u < g.NumVertices(); ++u) {
+    for (const Arc& a : g.Neighbors(u)) {
+      if (a.to > u) edges.emplace_back(u, a.to, a.quality);
+    }
+  }
+  return edges;
+}
+
+QualityGraph FromEdges(size_t n, const EdgeList& edges) {
+  GraphBuilder builder(n);
+  for (const auto& [u, v, q] : edges) builder.AddEdge(u, v, q);
+  return builder.Build();
+}
+
+// Runs every answer path for one (s, t, w) and reports the first
+// disagreement against the Dijkstra ground truth (empty string = all
+// agree). Exercising the snapshot layers is part of the check: the index
+// is snapshotted to `dir` and served via mmap and via two shards.
+struct Stack {
+  WcIndex index;          // not finalized: vector-of-vectors backend
+  WcIndex flat;           // finalized flat backend
+  WcIndex mm;             // mmap-loaded snapshot
+  std::unique_ptr<QueryEngine> engine;
+  std::unique_ptr<ShardedQueryEngine> sharded;
+};
+
+Stack BuildStack(const QualityGraph& g, size_t build_threads,
+                 const std::string& tag) {
+  WcIndexOptions options = WcIndexOptions::Plus();
+  options.num_threads = build_threads;
+  WcIndex index = WcIndex::Build(g, options);
+  WcIndex flat = index;
+  flat.Finalize();
+
+  std::string dir = testing::TempDir();
+  std::string full = dir + "/fuzz_" + tag + ".wcsnap";
+  EXPECT_TRUE(flat.SaveSnapshot(full).ok());
+  auto mm = WcIndex::LoadMmap(full);
+  EXPECT_TRUE(mm.ok()) << mm.status().ToString();
+
+  QueryEngineOptions serve;
+  serve.num_threads = 1;  // concurrency is hammered in test_serve
+  auto engine = std::make_unique<QueryEngine>(
+      std::make_shared<const WcIndex>(mm.value()), serve);
+
+  const uint64_t n = flat.NumVertices();
+  std::vector<std::string> shard_paths;
+  for (int k = 0; k < 2; ++k) {
+    std::string path = dir + "/fuzz_" + tag + ".shard" + std::to_string(k);
+    EXPECT_TRUE(WriteSnapshotShard(path, flat.flat_labels(), n * k / 2,
+                                   n * (k + 1) / 2, n)
+                    .ok());
+    shard_paths.push_back(path);
+  }
+  auto sharded = ShardedQueryEngine::OpenMmap(shard_paths, serve);
+  EXPECT_TRUE(sharded.ok()) << sharded.status().ToString();
+  auto sharded_ptr = std::make_unique<ShardedQueryEngine>(
+      std::move(sharded).value());
+  std::remove(full.c_str());
+  for (const std::string& p : shard_paths) std::remove(p.c_str());
+  return Stack{std::move(index), std::move(flat), std::move(mm).value(),
+               std::move(engine), std::move(sharded_ptr)};
+}
+
+std::string CheckOne(const QualityGraph& g, const Stack& stack, Vertex s,
+                     Vertex t, Quality w) {
+  const Distance truth = ConstrainedDijkstraUnit(g, s, t, w);
+  std::ostringstream out;
+  auto expect = [&](const char* what, Distance got) {
+    if (got != truth && out.tellp() == 0) {
+      out << what << " = " << got << " but dijkstra = " << truth;
+    }
+  };
+  for (QueryImpl impl : {QueryImpl::kScan, QueryImpl::kHubGrouped,
+                         QueryImpl::kBinary, QueryImpl::kMerge}) {
+    expect("labels impl", stack.index.Query(s, t, w, impl));
+    expect("flat impl", stack.flat.Query(s, t, w, impl));
+    expect("mmap impl", stack.mm.Query(s, t, w, impl));
+  }
+  expect("engine", stack.engine->Query(s, t, w));
+  expect("sharded", stack.sharded->Query(s, t, w));
+  return out.str();
+}
+
+// Greedy edge-removal minimization: keep dropping edges while the
+// disagreement persists, bounded by a rebuild budget.
+std::string MinimizeAndReport(size_t family, uint64_t seed, size_t n,
+                              EdgeList edges, Vertex s, Vertex t, Quality w,
+                              size_t build_threads) {
+  auto mismatches = [&](const EdgeList& candidate) {
+    QualityGraph g = FromEdges(n, candidate);
+    Stack stack = BuildStack(g, build_threads, "minimize");
+    return !CheckOne(g, stack, s, t, w).empty();
+  };
+  size_t budget = 300;
+  bool shrunk = true;
+  while (shrunk && budget > 0) {
+    shrunk = false;
+    for (size_t i = 0; i < edges.size() && budget > 0; ++i) {
+      EdgeList candidate = edges;
+      candidate.erase(candidate.begin() + static_cast<ptrdiff_t>(i));
+      --budget;
+      if (mismatches(candidate)) {
+        edges = std::move(candidate);
+        shrunk = true;
+        --i;
+      }
+    }
+  }
+  std::ostringstream out;
+  out << "minimized reproduction (family=" << kFamilies[family]
+      << " seed=" << seed << " build_threads=" << build_threads
+      << "):\n  n=" << n << " s=" << s << " t=" << t << " w=" << w
+      << "\n  edges:";
+  for (const auto& [u, v, q] : edges) {
+    out << " (" << u << "," << v << ",q=" << q << ")";
+  }
+  return out.str();
+}
+
+TEST(DifferentialFuzz, AllAnswerPathsAgree) {
+  constexpr size_t kGraphsPerFamily = 9;
+  constexpr size_t kTriplesPerGraph = 30;  // 4 * 9 * 30 = 1080 cases
+  size_t cases = 0;
+  for (size_t family = 0; family < 4; ++family) {
+    for (size_t gi = 0; gi < kGraphsPerFamily; ++gi) {
+      const uint64_t seed = 1000 * family + gi + 1;
+      const QualityGraph g = MakeFuzzGraph(family, seed);
+      const size_t n = g.NumVertices();
+      ASSERT_GT(n, 0u);
+      // Alternate sequential and parallel construction.
+      const size_t build_threads = gi % 2 == 0 ? 1 : 3;
+      Stack stack = BuildStack(g, build_threads,
+                               std::to_string(family) + "_" +
+                                   std::to_string(gi));
+
+      Rng rng(seed ^ 0xf022u);
+      std::vector<BatchQueryInput> batch;
+      std::vector<Distance> expected;
+      for (size_t qi = 0; qi < kTriplesPerGraph; ++qi) {
+        Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+        Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+        // Levels are integers 1..6; half-offsets probe strict threshold
+        // behavior, and the extremes probe all-pass / all-fail.
+        Quality w = static_cast<Quality>(rng.NextInRange(0, 6)) +
+                    (rng.NextBool(0.3) ? 0.5f : 0.0f);
+        ++cases;
+        std::string mismatch = CheckOne(g, stack, s, t, w);
+        if (!mismatch.empty()) {
+          FAIL() << mismatch << "\n"
+                 << MinimizeAndReport(family, seed, n, EdgesOf(g), s, t, w,
+                                      build_threads);
+        }
+        batch.push_back({s, t, w});
+        expected.push_back(ConstrainedDijkstraUnit(g, s, t, w));
+      }
+      // The batch path over the mmap engine must match, positionally.
+      ASSERT_EQ(stack.engine->Batch(batch), expected)
+          << "family=" << kFamilies[family] << " seed=" << seed;
+      ASSERT_EQ(stack.sharded->Batch(batch), expected)
+          << "family=" << kFamilies[family] << " seed=" << seed;
+    }
+  }
+  EXPECT_GE(cases, 1000u);
+}
+
+}  // namespace
+}  // namespace wcsd

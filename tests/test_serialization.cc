@@ -105,5 +105,58 @@ TEST(WcIndexSerialization, MissingFileIsIoError) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
 }
 
+// A corrupted count field must fail with Corruption before any allocation
+// is attempted — not crash with std::bad_alloc.
+TEST(WcIndexSerialization, AbsurdVertexCountRejectedCleanly) {
+  std::string path = TempPath("huge_n.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    uint64_t magic = 0x57435344'494e4458ULL;  // kIndexMagic
+    uint64_t n = uint64_t{1} << 60;
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  }
+  auto loaded = WcIndex::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(WcIndexSerialization, AbsurdLabelCountRejectedCleanly) {
+  QualityGraph g = MakeFigure3Graph();
+  WcIndex index = WcIndex::Build(g);
+  std::string path = TempPath("huge_count.bin");
+  ASSERT_TRUE(index.Save(path).ok());
+  {
+    // Overwrite vertex 0's entry count (right after the header and the
+    // n * u32 order block) with an absurd value.
+    std::fstream patch(path,
+                       std::ios::binary | std::ios::in | std::ios::out);
+    patch.seekp(static_cast<std::streamoff>(
+        sizeof(uint64_t) * 2 + index.NumVertices() * sizeof(Vertex)));
+    uint64_t count = uint64_t{1} << 59;
+    patch.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  }
+  auto loaded = WcIndex::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(LabelSetSerialization, AbsurdCountsRejectedCleanly) {
+  std::string path = TempPath("huge_labels.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    uint64_t magic = 0x57435344'4c41424cULL;  // kLabelMagic
+    uint64_t n = uint64_t{1} << 61;
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  }
+  auto loaded = LabelSet::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace wcsd

@@ -1,0 +1,299 @@
+// Serving-layer tests: QueryEngine and ShardedQueryEngine correctness
+// against the raw index, and multi-threaded hammering of one engine from
+// many caller threads (the configuration the TSan CI job runs).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/wc_index.h"
+#include "graph/generators.h"
+#include "serve/query_engine.h"
+#include "serve/sharded_engine.h"
+#include "util/random.h"
+
+namespace wcsd {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+struct ServeFixture {
+  QualityGraph graph;
+  std::shared_ptr<const WcIndex> index;
+  std::vector<BatchQueryInput> workload;
+  std::vector<Distance> expected;
+};
+
+ServeFixture MakeFixture(size_t n, size_t m, size_t num_queries,
+                         uint64_t seed) {
+  ServeFixture f;
+  QualityModel quality;
+  quality.num_levels = 5;
+  f.graph = GenerateRandomConnected(n, m, quality, seed);
+  WcIndex built = WcIndex::Build(f.graph, WcIndexOptions::Plus());
+  built.Finalize();
+  f.index = std::make_shared<const WcIndex>(std::move(built));
+  Rng rng(seed ^ 0x5eed);
+  f.workload.reserve(num_queries);
+  f.expected.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    BatchQueryInput q{static_cast<Vertex>(rng.NextBounded(n)),
+                      static_cast<Vertex>(rng.NextBounded(n)),
+                      static_cast<Quality>(rng.NextInRange(1, 5))};
+    f.workload.push_back(q);
+    f.expected.push_back(f.index->Query(q.s, q.t, q.w));
+  }
+  return f;
+}
+
+TEST(QueryEngine, SingleAndBatchMatchIndex) {
+  ServeFixture f = MakeFixture(120, 320, 600, 17);
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    QueryEngineOptions options;
+    options.num_threads = threads;
+    options.min_chunk = 16;
+    QueryEngine engine(f.index, options);
+    EXPECT_EQ(engine.num_threads(), threads);
+    for (size_t i = 0; i < 100; ++i) {
+      const BatchQueryInput& q = f.workload[i];
+      ASSERT_EQ(engine.Query(q.s, q.t, q.w), f.expected[i]);
+    }
+    EXPECT_EQ(engine.Batch(f.workload), f.expected);
+  }
+}
+
+TEST(QueryEngine, EveryImplAgrees) {
+  ServeFixture f = MakeFixture(100, 260, 300, 23);
+  for (QueryImpl impl : {QueryImpl::kScan, QueryImpl::kHubGrouped,
+                         QueryImpl::kBinary, QueryImpl::kMerge}) {
+    QueryEngineOptions options;
+    options.num_threads = 2;
+    options.impl = impl;
+    QueryEngine engine(f.index, options);
+    EXPECT_EQ(engine.Batch(f.workload), f.expected)
+        << "impl=" << static_cast<int>(impl);
+  }
+}
+
+TEST(QueryEngine, OpenServesSnapshotIdentically) {
+  ServeFixture f = MakeFixture(140, 360, 500, 29);
+  std::string path = TempPath("engine_open.wcsnap");
+  ASSERT_TRUE(f.index->SaveSnapshot(path).ok());
+  QueryEngineOptions options;
+  options.num_threads = 3;
+  auto engine = QueryEngine::Open(path, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_TRUE(engine.value().index().flat_labels().external());
+  EXPECT_EQ(engine.value().Batch(f.workload), f.expected);
+  std::remove(path.c_str());
+}
+
+TEST(QueryEngine, StatsCountServedQueries) {
+  ServeFixture f = MakeFixture(80, 200, 400, 31);
+  QueryEngineOptions options;
+  options.num_threads = 4;
+  options.min_chunk = 8;
+  QueryEngine engine(f.index, options);
+  engine.Batch(f.workload);
+  engine.Batch(f.workload);
+  for (size_t i = 0; i < 25; ++i) {
+    const BatchQueryInput& q = f.workload[i];
+    engine.Query(q.s, q.t, q.w);
+  }
+  QueryEngineStats stats = engine.stats();
+  EXPECT_EQ(stats.queries, 2 * f.workload.size() + 25);
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_GT(stats.reachable, 0u);
+}
+
+// The TSan target: one engine, many caller threads, overlapping batches
+// and single queries, all against precomputed expected answers.
+TEST(QueryEngine, ConcurrentHammer) {
+  ServeFixture f = MakeFixture(120, 320, 800, 37);
+  QueryEngineOptions options;
+  options.num_threads = 4;
+  options.min_chunk = 16;
+  QueryEngine engine(f.index, options);
+
+  constexpr size_t kCallers = 8;
+  constexpr size_t kRoundsPerCaller = 6;
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      // Overlapping slices: caller c batches a rotated window of the
+      // shared workload and issues singles interleaved.
+      for (size_t round = 0; round < kRoundsPerCaller; ++round) {
+        size_t shift = (c * 131 + round * 17) % f.workload.size();
+        std::vector<BatchQueryInput> slice;
+        std::vector<Distance> expected;
+        slice.reserve(500);
+        for (size_t i = 0; i < 500; ++i) {
+          size_t j = (shift + i) % f.workload.size();
+          slice.push_back(f.workload[j]);
+          expected.push_back(f.expected[j]);
+        }
+        if (engine.Batch(slice) != expected) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        for (size_t i = 0; i < 50; ++i) {
+          size_t j = (shift + i * 7) % f.workload.size();
+          const BatchQueryInput& q = f.workload[j];
+          if (engine.Query(q.s, q.t, q.w) != f.expected[j]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  QueryEngineStats stats = engine.stats();
+  EXPECT_EQ(stats.queries, kCallers * kRoundsPerCaller * (500 + 50));
+  EXPECT_EQ(stats.batches, kCallers * kRoundsPerCaller);
+}
+
+std::vector<std::string> WriteShards(const WcIndex& index, size_t shards,
+                                     const std::string& stem) {
+  const uint64_t n = index.NumVertices();
+  std::vector<std::string> paths;
+  for (size_t k = 0; k < shards; ++k) {
+    uint64_t begin = n * k / shards;
+    uint64_t end = n * (k + 1) / shards;
+    std::string path = TempPath(stem + ".shard" + std::to_string(k));
+    EXPECT_TRUE(
+        WriteSnapshotShard(path, index.flat_labels(), begin, end, n).ok());
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+TEST(ShardedEngine, MatchesUnshardedAcrossShardCounts) {
+  ServeFixture f = MakeFixture(130, 340, 600, 41);
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{3}, size_t{5}}) {
+    std::vector<std::string> paths =
+        WriteShards(*f.index, shards, "match" + std::to_string(shards));
+    QueryEngineOptions options;
+    options.num_threads = 2;
+    options.min_chunk = 32;
+    auto engine = ShardedQueryEngine::OpenMmap(paths, options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    EXPECT_EQ(engine.value().num_shards(), shards);
+    EXPECT_EQ(engine.value().NumVertices(), f.index->NumVertices());
+    EXPECT_EQ(engine.value().Batch(f.workload), f.expected);
+    for (size_t i = 0; i < 100; ++i) {
+      const BatchQueryInput& q = f.workload[i];
+      ASSERT_EQ(engine.value().Query(q.s, q.t, q.w), f.expected[i]);
+    }
+    for (const std::string& p : paths) std::remove(p.c_str());
+  }
+}
+
+// More shards than vertices produces empty shards; the tiling validation
+// must accept them in any listing order (sort ties on begin are broken by
+// end, so [x, x) sorts before [x, y)).
+TEST(ShardedEngine, EmptyShardsAcceptedInAnyOrder) {
+  QualityModel quality;
+  QualityGraph g = GenerateRandomConnected(3, 3, quality, 71);
+  WcIndex index = WcIndex::Build(g, WcIndexOptions::Plus());
+  index.Finalize();
+  std::vector<std::string> paths = WriteShards(index, 5, "tiny");
+  std::vector<std::string> reversed(paths.rbegin(), paths.rend());
+  for (const auto& order : {paths, reversed}) {
+    auto engine = ShardedQueryEngine::OpenMmap(order);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    EXPECT_EQ(engine.value().NumVertices(), 3u);
+    for (Vertex s = 0; s < 3; ++s) {
+      for (Vertex t = 0; t < 3; ++t) {
+        EXPECT_EQ(engine.value().Query(s, t, 1.0f),
+                  index.Query(s, t, 1.0f));
+      }
+    }
+  }
+  for (const std::string& p : paths) std::remove(p.c_str());
+}
+
+TEST(ShardedEngine, RejectsIncompleteOrInconsistentShardSets) {
+  ServeFixture f = MakeFixture(90, 230, 10, 43);
+  std::vector<std::string> paths = WriteShards(*f.index, 3, "reject");
+
+  // Missing middle shard: gap detected.
+  auto gap = ShardedQueryEngine::OpenMmap({paths[0], paths[2]});
+  EXPECT_FALSE(gap.ok());
+  EXPECT_EQ(gap.status().code(), StatusCode::kInvalidArgument);
+
+  // Duplicate shard: overlap detected.
+  auto dup = ShardedQueryEngine::OpenMmap(
+      {paths[0], paths[1], paths[1], paths[2]});
+  EXPECT_FALSE(dup.ok());
+
+  // Shard of a different index: totals disagree.
+  ServeFixture other = MakeFixture(60, 150, 10, 44);
+  std::string foreign = TempPath("foreign.shard");
+  ASSERT_TRUE(WriteSnapshotShard(foreign, other.index->flat_labels(), 0, 60,
+                                 60)
+                  .ok());
+  auto mixed = ShardedQueryEngine::OpenMmap({paths[0], paths[1], foreign});
+  EXPECT_FALSE(mixed.ok());
+
+  // No shards at all.
+  EXPECT_FALSE(ShardedQueryEngine::OpenMmap({}).ok());
+
+  for (const std::string& p : paths) std::remove(p.c_str());
+  std::remove(foreign.c_str());
+}
+
+TEST(ShardedEngine, ConcurrentHammer) {
+  ServeFixture f = MakeFixture(110, 280, 600, 47);
+  std::vector<std::string> paths = WriteShards(*f.index, 4, "hammer");
+  QueryEngineOptions options;
+  options.num_threads = 3;
+  options.min_chunk = 16;
+  auto opened = ShardedQueryEngine::OpenMmap(paths, options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const ShardedQueryEngine& engine = opened.value();
+
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> callers;
+  for (size_t c = 0; c < 6; ++c) {
+    callers.emplace_back([&, c] {
+      for (size_t round = 0; round < 5; ++round) {
+        size_t shift = (c * 97 + round * 13) % f.workload.size();
+        std::vector<BatchQueryInput> slice;
+        std::vector<Distance> expected;
+        for (size_t i = 0; i < 300; ++i) {
+          size_t j = (shift + i) % f.workload.size();
+          slice.push_back(f.workload[j]);
+          expected.push_back(f.expected[j]);
+        }
+        if (engine.Batch(slice) != expected) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  for (const std::string& p : paths) std::remove(p.c_str());
+}
+
+TEST(BatchQueryReroute, MatchesSerialAcrossThreadCounts) {
+  ServeFixture f = MakeFixture(100, 260, 500, 53);
+  std::vector<Distance> serial = BatchQuery(*f.index, f.workload, 1);
+  EXPECT_EQ(serial, f.expected);
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+    EXPECT_EQ(BatchQuery(*f.index, f.workload, threads), f.expected)
+        << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace wcsd

@@ -1,0 +1,293 @@
+// Snapshot format tests: mmap round trips, shard slicing, and the negative
+// paths — truncation, bad magic, wrong version, header and section
+// corruption must all fail with a clean Status, never a crash or a silent
+// wrong answer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/wc_index.h"
+#include "graph/generators.h"
+#include "labeling/snapshot.h"
+#include "paper_fixtures.h"
+#include "util/random.h"
+
+namespace wcsd {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+WcIndex BuildFinalizedIndex() {
+  QualityModel quality;
+  quality.num_levels = 5;
+  QualityGraph g = GenerateRandomConnected(150, 400, quality, 11);
+  WcIndex index = WcIndex::Build(g, WcIndexOptions::Plus());
+  index.Finalize();
+  return index;
+}
+
+TEST(Snapshot, MmapRoundTripIsBitIdentical) {
+  WcIndex index = BuildFinalizedIndex();
+  std::string path = TempPath("round.wcsnap");
+  ASSERT_TRUE(index.SaveSnapshot(path).ok());
+
+  SnapshotLoadOptions verify;
+  verify.verify_checksums = true;
+  verify.deep_validate = true;
+  auto loaded = WcIndex::LoadMmap(path, verify);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const WcIndex& mm = loaded.value();
+
+  EXPECT_TRUE(mm.finalized());
+  EXPECT_TRUE(mm.flat_labels().external());
+  EXPECT_EQ(mm.NumVertices(), index.NumVertices());
+  EXPECT_EQ(mm.TotalEntries(), index.TotalEntries());
+  EXPECT_EQ(mm.flat_labels(), index.flat_labels());
+  EXPECT_EQ(mm.order().by_rank(), index.order().by_rank());
+
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(index.NumVertices()));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(index.NumVertices()));
+    Quality w = static_cast<Quality>(rng.NextInRange(1, 6));
+    for (QueryImpl impl : {QueryImpl::kScan, QueryImpl::kHubGrouped,
+                           QueryImpl::kBinary, QueryImpl::kMerge}) {
+      ASSERT_EQ(mm.Query(s, t, w, impl), index.Query(s, t, w, impl))
+          << "impl=" << static_cast<int>(impl) << " s=" << s << " t=" << t
+          << " w=" << w;
+    }
+    HubQueryResult a = mm.QueryWithHub(s, t, w);
+    HubQueryResult b = index.QueryWithHub(s, t, w);
+    ASSERT_EQ(a.dist, b.dist);
+    ASSERT_EQ(a.via_hub, b.via_hub);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, SurvivesSourceIndexDestruction) {
+  std::string path = TempPath("lifetime.wcsnap");
+  {
+    WcIndex index = BuildFinalizedIndex();
+    ASSERT_TRUE(index.SaveSnapshot(path).ok());
+  }
+  auto loaded = WcIndex::LoadMmap(path);
+  ASSERT_TRUE(loaded.ok());
+  // Copy the index; the copy must keep the mapping alive on its own.
+  WcIndex copy = loaded.value();
+  EXPECT_GT(copy.TotalEntries(), 0u);
+  EXPECT_NE(copy.Query(0, 1, 1.0f), kInfDistance + 1);  // exercises a read
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, MmapLoadedIndexSavesFullWcx) {
+  WcIndex index = BuildFinalizedIndex();
+  std::string snap = TempPath("resave.wcsnap");
+  ASSERT_TRUE(index.SaveSnapshot(snap).ok());
+  auto mm = WcIndex::LoadMmap(snap);
+  ASSERT_TRUE(mm.ok());
+  // An mmap-loaded index has empty append-oriented labels; Save must still
+  // serialize the full index (from the flat backend), not an empty one.
+  std::string wcx = TempPath("resave.wcx");
+  ASSERT_TRUE(mm.value().Save(wcx).ok());
+  auto reloaded = WcIndex::Load(wcx);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded.value().NumVertices(), index.NumVertices());
+  EXPECT_EQ(reloaded.value().TotalEntries(), index.TotalEntries());
+  EXPECT_EQ(reloaded.value().labels(), index.labels());
+  std::remove(snap.c_str());
+  std::remove(wcx.c_str());
+}
+
+TEST(Snapshot, SaveRequiresFinalize) {
+  QualityGraph g = MakeFigure3Graph();
+  WcIndex index = WcIndex::Build(g);
+  Status st = index.SaveSnapshot(TempPath("unfinalized.wcsnap"));
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Snapshot, LabelOnlySnapshotLoadsButNotAsWcIndex) {
+  WcIndex index = BuildFinalizedIndex();
+  std::string path = TempPath("label_only.wcsnap");
+  ASSERT_TRUE(WriteSnapshot(path, index.flat_labels(), nullptr).ok());
+
+  auto snapshot = LoadSnapshotMmap(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_FALSE(snapshot.value().info.has_order);
+  EXPECT_EQ(snapshot.value().labels, index.flat_labels());
+
+  auto as_index = WcIndex::LoadMmap(path);
+  EXPECT_FALSE(as_index.ok());
+  EXPECT_EQ(as_index.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, EmptyIndexRoundTrips) {
+  WcIndex index = WcIndex::Build(QualityGraph());
+  index.Finalize();
+  std::string path = TempPath("empty.wcsnap");
+  ASSERT_TRUE(index.SaveSnapshot(path).ok());
+  auto loaded = WcIndex::LoadMmap(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().NumVertices(), 0u);
+  EXPECT_EQ(loaded.value().Query(0, 1, 1.0f), kInfDistance);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, MissingFileIsIoError) {
+  auto loaded = WcIndex::LoadMmap("/does/not/exist.wcsnap");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(Snapshot, TruncationRejectedAtEveryLevel) {
+  WcIndex index = BuildFinalizedIndex();
+  std::string path = TempPath("trunc.wcsnap");
+  ASSERT_TRUE(index.SaveSnapshot(path).ok());
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 8192u);
+
+  // Mid-header, just past the header page, and mid-section.
+  for (size_t keep : {size_t{100}, size_t{4096}, bytes.size() / 2}) {
+    std::string t = TempPath("trunc_cut.wcsnap");
+    WriteFileBytes(t, bytes.substr(0, keep));
+    auto loaded = WcIndex::LoadMmap(t);
+    EXPECT_FALSE(loaded.ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+    std::remove(t.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, BadMagicRejected) {
+  WcIndex index = BuildFinalizedIndex();
+  std::string path = TempPath("magic.wcsnap");
+  ASSERT_TRUE(index.SaveSnapshot(path).ok());
+  std::string bytes = ReadFileBytes(path);
+  bytes[0] ^= 0x5A;
+  WriteFileBytes(path, bytes);
+  auto loaded = WcIndex::LoadMmap(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(loaded.status().message().find("magic"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, WrongVersionRejected) {
+  WcIndex index = BuildFinalizedIndex();
+  std::string path = TempPath("version.wcsnap");
+  ASSERT_TRUE(index.SaveSnapshot(path).ok());
+  std::string bytes = ReadFileBytes(path);
+  // The u32 version sits right after the u64 magic.
+  bytes[8] = 99;
+  WriteFileBytes(path, bytes);
+  auto loaded = WcIndex::LoadMmap(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, HeaderCorruptionCaughtByChecksum) {
+  WcIndex index = BuildFinalizedIndex();
+  std::string path = TempPath("header_corrupt.wcsnap");
+  ASSERT_TRUE(index.SaveSnapshot(path).ok());
+  std::string bytes = ReadFileBytes(path);
+  bytes[40] ^= 0xFF;  // inside the vertex-range fields / section table
+  WriteFileBytes(path, bytes);
+  auto loaded = WcIndex::LoadMmap(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, SectionCorruptionCaughtUnderVerify) {
+  WcIndex index = BuildFinalizedIndex();
+  std::string path = TempPath("section_corrupt.wcsnap");
+  ASSERT_TRUE(index.SaveSnapshot(path).ok());
+  std::string bytes = ReadFileBytes(path);
+  // Flip one byte deep inside the section payloads (past the header page
+  // and the order/offsets sections).
+  bytes[bytes.size() - 64] ^= 0x01;
+  WriteFileBytes(path, bytes);
+
+  SnapshotLoadOptions verify;
+  verify.verify_checksums = true;
+  auto checked = WcIndex::LoadMmap(path, verify);
+  EXPECT_FALSE(checked.ok());
+  EXPECT_EQ(checked.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(checked.status().message().find("checksum"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, ReadInfoReportsHeaderFields) {
+  WcIndex index = BuildFinalizedIndex();
+  std::string path = TempPath("info.wcsnap");
+  ASSERT_TRUE(index.SaveSnapshot(path).ok());
+  auto info = ReadSnapshotInfo(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.value().version, kSnapshotVersion);
+  EXPECT_EQ(info.value().num_vertices_total, index.NumVertices());
+  EXPECT_TRUE(info.value().IsFullRange());
+  EXPECT_TRUE(info.value().has_order);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, ShardFilesSliceTheIndex) {
+  WcIndex index = BuildFinalizedIndex();
+  const uint64_t n = index.NumVertices();
+  std::string path = TempPath("one_shard.wcsnap");
+  ASSERT_TRUE(
+      WriteSnapshotShard(path, index.flat_labels(), 40, 110, n).ok());
+  SnapshotLoadOptions verify;
+  verify.verify_checksums = true;
+  verify.deep_validate = true;
+  auto shard = LoadSnapshotMmap(path, verify);
+  ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+  EXPECT_EQ(shard.value().info.vertex_begin, 40u);
+  EXPECT_EQ(shard.value().info.vertex_end, 110u);
+  EXPECT_EQ(shard.value().info.num_vertices_total, n);
+  EXPECT_FALSE(shard.value().info.IsFullRange());
+  EXPECT_EQ(shard.value().labels.NumVertices(), 70u);
+  for (Vertex v = 40; v < 110; ++v) {
+    auto expected = index.flat_labels().For(v);
+    auto got = shard.value().labels.For(v - 40);
+    ASSERT_TRUE(std::equal(expected.begin(), expected.end(), got.begin(),
+                           got.end()))
+        << "vertex " << v;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, ShardWriterRejectsBadRanges) {
+  WcIndex index = BuildFinalizedIndex();
+  const uint64_t n = index.NumVertices();
+  std::string path = TempPath("bad_shard.wcsnap");
+  EXPECT_FALSE(
+      WriteSnapshotShard(path, index.flat_labels(), 10, 5, n).ok());
+  EXPECT_FALSE(
+      WriteSnapshotShard(path, index.flat_labels(), 0, n + 1, n).ok());
+  EXPECT_FALSE(
+      WriteSnapshotShard(path, index.flat_labels(), 0, n, n + 7).ok());
+}
+
+}  // namespace
+}  // namespace wcsd

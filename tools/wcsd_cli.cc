@@ -14,16 +14,30 @@
 //   verify    --graph=<file> --index=<file>  brute-force Theorem 1 checks
 //   generate  --out=<file> --kind=road|social [--n=...] [--levels=...]
 //             [--seed=...]                   write a synthetic dataset
+//   snapshot  --index=<file> --out=<file> [--shards=N]
+//             convert a saved index into the page-aligned, checksummed,
+//             mmap'able snapshot format; --shards=N writes N vertex-range
+//             shard files <out>.shard0 .. <out>.shard{N-1} instead
+//   serve     --snapshot=<file>[,<file>,...] [--queries=N] [--threads=T]
+//             [--seed=S] [--levels=L] [--impl=merge|scan|grouped|binary]
+//             [--verify]
+//             mmap the snapshot(s) — several files are stitched as
+//             vertex-range shards — and drive a random batch workload,
+//             reporting load and serving throughput; --verify checks
+//             section checksums and deep label invariants at load
 //
 // Examples:
 //   wcsd_cli generate --out=g.edges --kind=road --n=10000 --levels=5
 //   wcsd_cli build --graph=g.edges --index=g.wcx --order=hybrid
 //   wcsd_cli query --index=g.wcx --s=3 --t=99 --w=2
+//   wcsd_cli snapshot --index=g.wcx --out=g.wcsnap
+//   wcsd_cli serve --snapshot=g.wcsnap --queries=100000 --threads=4
 
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/path_index.h"
 #include "core/verifier.h"
@@ -31,7 +45,11 @@
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "labeling/label_stats.h"
+#include "labeling/snapshot.h"
+#include "serve/query_engine.h"
+#include "serve/sharded_engine.h"
 #include "util/flags.h"
+#include "util/random.h"
 #include "util/timer.h"
 
 namespace wcsd {
@@ -39,7 +57,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: wcsd_cli <build|query|stats|verify|generate> "
+               "usage: wcsd_cli "
+               "<build|query|stats|verify|generate|snapshot|serve> "
                "[--flags]\n(see the header of tools/wcsd_cli.cc)\n");
   return 2;
 }
@@ -216,6 +235,186 @@ int CmdGenerate(const Flags& flags) {
   return 0;
 }
 
+int CmdSnapshot(const Flags& flags) {
+  auto loaded = WcIndex::Load(flags.GetString("index", ""));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "error: --out is required\n");
+    return 1;
+  }
+  WcIndex& index = loaded.value();
+  index.Finalize();
+  int64_t shards = flags.GetInt("shards", 0);
+  if (shards < 0) {
+    std::fprintf(stderr, "error: --shards must be >= 0\n");
+    return 1;
+  }
+  if (shards <= 1) {
+    Status st = index.SaveSnapshot(out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s: %zu vertices, %zu entries\n", out.c_str(),
+                index.NumVertices(), index.TotalEntries());
+    return 0;
+  }
+  uint64_t n = index.NumVertices();
+  for (int64_t k = 0; k < shards; ++k) {
+    uint64_t begin = n * static_cast<uint64_t>(k) /
+                     static_cast<uint64_t>(shards);
+    uint64_t end = n * static_cast<uint64_t>(k + 1) /
+                   static_cast<uint64_t>(shards);
+    std::string path = out + ".shard" + std::to_string(k);
+    Status st = WriteSnapshotShard(path, index.flat_labels(), begin, end, n);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s: vertices [%llu, %llu)\n", path.c_str(),
+                static_cast<unsigned long long>(begin),
+                static_cast<unsigned long long>(end));
+  }
+  return 0;
+}
+
+std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> parts;
+  size_t begin = 0;
+  while (begin <= list.size()) {
+    size_t comma = list.find(',', begin);
+    if (comma == std::string::npos) comma = list.size();
+    if (comma > begin) parts.push_back(list.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+  return parts;
+}
+
+int CmdServe(const Flags& flags) {
+  std::vector<std::string> paths =
+      SplitCommaList(flags.GetString("snapshot", ""));
+  if (paths.empty()) {
+    std::fprintf(stderr, "error: --snapshot is required\n");
+    return 1;
+  }
+  QueryEngineOptions options;
+  int64_t threads = flags.GetInt("threads", 0);
+  if (threads < 0) {
+    std::fprintf(stderr, "error: --threads must be >= 0\n");
+    return 1;
+  }
+  options.num_threads = static_cast<size_t>(threads);
+  std::string impl = flags.GetString("impl", "merge");
+  if (impl == "merge") {
+    options.impl = QueryImpl::kMerge;
+  } else if (impl == "scan") {
+    options.impl = QueryImpl::kScan;
+  } else if (impl == "grouped") {
+    options.impl = QueryImpl::kHubGrouped;
+  } else if (impl == "binary") {
+    options.impl = QueryImpl::kBinary;
+  } else {
+    std::fprintf(stderr, "error: unknown --impl: %s\n", impl.c_str());
+    return 1;
+  }
+  int64_t queries_flag = flags.GetInt("queries", 100000);
+  int64_t levels = flags.GetInt("levels", 5);
+  if (queries_flag < 0 || levels < 1) {
+    std::fprintf(stderr,
+                 "error: --queries must be >= 0 and --levels >= 1\n");
+    return 1;
+  }
+  SnapshotLoadOptions load;
+  load.verify_checksums = load.deep_validate = flags.GetBool("verify", false);
+
+  // One full snapshot serves through QueryEngine; anything else (shard
+  // files, label-only snapshots) goes through the sharded engine.
+  auto info = ReadSnapshotInfo(paths[0]);
+  if (!info.ok()) {
+    std::fprintf(stderr, "error: %s\n", info.status().ToString().c_str());
+    return 1;
+  }
+  bool single_full = paths.size() == 1 && info.value().IsFullRange() &&
+                     info.value().has_order;
+
+  size_t queries = static_cast<size_t>(queries_flag);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  size_t n = 0;
+
+  Timer load_timer;
+  std::vector<BatchQueryInput> workload;
+  auto make_workload = [&](size_t num_vertices) {
+    n = num_vertices;
+    Rng rng(seed);
+    workload.reserve(queries);
+    for (size_t i = 0; i < queries; ++i) {
+      workload.push_back(
+          {static_cast<Vertex>(rng.NextBounded(num_vertices)),
+           static_cast<Vertex>(rng.NextBounded(num_vertices)),
+           static_cast<Quality>(rng.NextInRange(1, levels))});
+    }
+  };
+
+  Timer batch_timer;
+  size_t reachable = 0;
+  double load_seconds = 0.0;
+  size_t served_threads = 1;
+  if (single_full) {
+    auto engine = QueryEngine::Open(paths[0], options, load);
+    load_seconds = load_timer.Seconds();
+    if (!engine.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    if (engine.value().index().NumVertices() == 0) {
+      std::fprintf(stderr, "error: empty snapshot\n");
+      return 1;
+    }
+    make_workload(engine.value().index().NumVertices());
+    served_threads = engine.value().num_threads();
+    batch_timer.Restart();
+    for (Distance d : engine.value().Batch(workload)) {
+      if (d != kInfDistance) ++reachable;
+    }
+  } else {
+    auto engine = ShardedQueryEngine::OpenMmap(paths, options, load);
+    load_seconds = load_timer.Seconds();
+    if (!engine.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    if (engine.value().NumVertices() == 0) {
+      std::fprintf(stderr, "error: empty snapshot\n");
+      return 1;
+    }
+    make_workload(engine.value().NumVertices());
+    served_threads = engine.value().num_threads();
+    batch_timer.Restart();
+    for (Distance d : engine.value().Batch(workload)) {
+      if (d != kInfDistance) ++reachable;
+    }
+  }
+  double serve_seconds = batch_timer.Seconds();
+  std::printf("mapped %zu snapshot%s (%zu vertices) in %.3f ms\n",
+              paths.size(), paths.size() == 1 ? "" : "s", n,
+              load_seconds * 1e3);
+  std::printf(
+      "served %zu queries on %zu thread%s in %.3f s (%.0f q/s), "
+      "%zu reachable\n",
+      workload.size(), served_threads, served_threads == 1 ? "" : "s",
+      serve_seconds,
+      serve_seconds > 0 ? static_cast<double>(workload.size()) / serve_seconds
+                        : 0.0,
+      reachable);
+  return 0;
+}
+
 }  // namespace
 }  // namespace wcsd
 
@@ -229,5 +428,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(cmd, "stats") == 0) return CmdStats(flags);
   if (std::strcmp(cmd, "verify") == 0) return CmdVerify(flags);
   if (std::strcmp(cmd, "generate") == 0) return CmdGenerate(flags);
+  if (std::strcmp(cmd, "snapshot") == 0) return CmdSnapshot(flags);
+  if (std::strcmp(cmd, "serve") == 0) return CmdServe(flags);
   return Usage();
 }
