@@ -74,7 +74,7 @@ bool operator==(const FlatLabelSet& a, const FlatLabelSet& b) {
          std::ranges::equal(a.groups_, b.groups_);
 }
 
-Status FlatLabelSet::Validate(bool deep) const {
+Status FlatLabelSet::Validate(ValidateLevel level) const {
   if (group_offsets_.size() != offsets_.size() ||
       (offsets_.empty() && !entries_.empty()) ||
       (!offsets_.empty() &&
@@ -90,28 +90,39 @@ Status FlatLabelSet::Validate(bool deep) const {
       return Status::Corruption("non-monotone flat offsets");
     }
   }
-  if (!deep) return Status::OK();
+  if (level == ValidateLevel::kShape) return Status::OK();
+  const bool deep = level == ValidateLevel::kDeep;
   for (Vertex v = 0; v < n; ++v) {
-    FlatLabelView view = View(v);
+    // The directory tier works off group `begin`s and the vertex's entry
+    // COUNT (from the offsets array): it proves every group boundary the
+    // query kernels will index with stays inside the slice, without ever
+    // dereferencing — and so faulting in — an entry page.
+    const size_t entry_count =
+        static_cast<size_t>(offsets_[v + 1] - offsets_[v]);
+    std::span<const HubGroup> groups{groups_.data() + group_offsets_[v],
+                                     groups_.data() + group_offsets_[v + 1]};
     size_t entry = 0;
-    for (size_t g = 0; g < view.groups.size(); ++g) {
-      size_t ge = view.GroupEnd(g);
-      if (view.groups[g].begin != entry || ge <= entry ||
-          ge > view.entries.size()) {
+    for (size_t g = 0; g < groups.size(); ++g) {
+      const size_t ge = g + 1 < groups.size() ? groups[g + 1].begin
+                                              : entry_count;
+      if (groups[g].begin != entry || ge <= entry || ge > entry_count) {
         return Status::Corruption("bad hub directory");
       }
-      if (g > 0 && view.groups[g].hub <= view.groups[g - 1].hub) {
+      if (g > 0 && groups[g].hub <= groups[g - 1].hub) {
         return Status::Corruption("unsorted hub directory");
       }
-      for (size_t i = entry; i < ge; ++i) {
-        if (view.entries[i].hub != view.groups[g].hub ||
-            (i > entry && view.entries[i - 1].dist > view.entries[i].dist)) {
-          return Status::Corruption("unsorted flat labels");
+      if (deep) {
+        std::span<const LabelEntry> entries = For(v);
+        for (size_t i = entry; i < ge; ++i) {
+          if (entries[i].hub != groups[g].hub ||
+              (i > entry && entries[i - 1].dist > entries[i].dist)) {
+            return Status::Corruption("unsorted flat labels");
+          }
         }
       }
       entry = ge;
     }
-    if (entry != view.entries.size()) {
+    if (entry != entry_count) {
       return Status::Corruption("entries outside hub directory");
     }
   }
@@ -186,7 +197,7 @@ Result<FlatLabelSet> FlatLabelSet::Load(const std::string& path) {
   }
   FlatLabelSet flat;
   flat.Adopt(std::move(owned));
-  Status valid = flat.Validate(/*deep=*/true);
+  Status valid = flat.Validate(ValidateLevel::kDeep);
   if (!valid.ok()) {
     return Status::Corruption(valid.message() + " in " + path);
   }

@@ -60,6 +60,26 @@ struct FlatLabelView {
   }
 };
 
+/// How much of a FlatLabelSet's structure Validate checks. Each level
+/// includes the ones before it; the levels differ in which storage pages
+/// they touch — the point of the tiering for mmap-backed sets, where a
+/// validation read faults pages in.
+enum class ValidateLevel {
+  /// Array-shape consistency and offset monotonicity. O(vertices); touches
+  /// only the two offset arrays. What every loader runs.
+  kShape,
+  /// + hub-directory bounds: every group's `begin` must stay inside its
+  /// vertex's entry slice, ascend strictly, and carry ascending hub ranks.
+  /// O(hub groups); touches the directory but never an entry page. Closes
+  /// the crash window on corrupted group data (query kernels index entry
+  /// slices by `begin`) while keeping entry pages lazy.
+  kDirectory,
+  /// + per-entry invariants (entries match their group's hub, distances
+  /// ascend). O(entries); faults in everything. What loaders that read
+  /// untrusted bytes run.
+  kDeep,
+};
+
 /// Immutable CSR packing of a LabelSet.
 class FlatLabelSet {
  public:
@@ -112,13 +132,10 @@ class FlatLabelSet {
   /// snapshot) rather than heap vectors.
   bool external() const { return external_; }
 
-  /// Structural validation of the CSR arrays. The cheap tier — array-shape
-  /// consistency and offset monotonicity, O(NumVertices) — is what every
-  /// loader runs. With `deep`, additionally checks the per-entry invariants
-  /// (hub directory tiling, sorted ranks, ascending distances), O(entries);
-  /// loaders that read untrusted bytes run this, the mmap fast path skips
-  /// it unless asked (util/snapshot verify option).
-  Status Validate(bool deep) const;
+  /// Structural validation of the CSR arrays at the given level (see
+  /// ValidateLevel). The mmap fast path runs kShape; the snapshot
+  /// verify_level knob selects the deeper tiers.
+  Status Validate(ValidateLevel level) const;
 
   /// Raw CSR arrays, in storage order. Used by the snapshot writer; query
   /// code should go through View.

@@ -273,7 +273,14 @@ Result<MappedSnapshot> LoadSnapshotMmap(const std::string& path,
       SectionSpan<LabelEntry>(base, header.sections[kSectionEntries]),
       SectionSpan<uint64_t>(base, header.sections[kSectionGroupOffsets]),
       SectionSpan<HubGroup>(base, header.sections[kSectionGroups]), mapping);
-  Status valid = snapshot.labels.Validate(options.deep_validate);
+  const SnapshotVerifyLevel level =
+      options.deep_validate ? SnapshotVerifyLevel::kDeep
+                            : options.verify_level;
+  const ValidateLevel validate =
+      level == SnapshotVerifyLevel::kDeep        ? ValidateLevel::kDeep
+      : level == SnapshotVerifyLevel::kDirectory ? ValidateLevel::kDirectory
+                                                 : ValidateLevel::kShape;
+  Status valid = snapshot.labels.Validate(validate);
   if (!valid.ok()) {
     return Status::Corruption(valid.message() + " in " + path);
   }

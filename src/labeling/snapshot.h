@@ -67,23 +67,43 @@ struct MappedSnapshot {
   std::vector<Vertex> order_by_rank;
 };
 
+/// Structural-validation depth for snapshot loads. Mirrors
+/// FlatLabelSet::ValidateLevel; the tiers differ in which mmap'd pages a
+/// load faults in, which is the whole cost model of the zero-copy path.
+enum class SnapshotVerifyLevel : uint8_t {
+  /// Header page + O(vertices) offset arrays. The default: load time is
+  /// independent of label count, but query kernels trust the hub-directory
+  /// and entry payloads as written.
+  kOffsets = 0,
+  /// + O(hub-groups) directory-bounds scan: proves every group boundary
+  /// the kernels index with stays inside its entry slice, closing the
+  /// crash window on corrupted group data while never touching an entry
+  /// page. Load time grows with label count, but only through the 8-byte
+  /// directory, not the 12-byte entries.
+  kDirectory = 1,
+  /// + O(entries) per-entry invariants; faults in the whole file.
+  kDeep = 2,
+};
+
 struct SnapshotLoadOptions {
   /// Verify the CRC-32C of every section at load time. Costs a full
   /// sequential read of the file; off by default so load stays
   /// O(vertices). The header checksum is always verified.
   bool verify_checksums = false;
-  /// Run the deep structural validation (per-entry sortedness and hub
-  /// directory tiling) after mapping. Implied protection against files
-  /// whose checksums match but whose producer was buggy. Off by default
-  /// for the same reason as verify_checksums.
+  /// Structural validation tier (see SnapshotVerifyLevel).
+  SnapshotVerifyLevel verify_level = SnapshotVerifyLevel::kOffsets;
+  /// Legacy spelling of verify_level = kDeep; the effective tier is the
+  /// deeper of the two knobs.
   bool deep_validate = false;
 };
-// Trust model: the default (both flags off) validates the header page and
+// Trust model: the default (everything off) validates the header page and
 // the O(vertices) offset arrays only, so query kernels trust the section
 // PAYLOADS (entries, hub-directory begins) as written — bit rot or
-// tampering there can misanswer or crash the server. Snapshots you did not
-// just write yourself should be opened with both flags on (CLI --verify),
-// which makes every corruption class a clean Status.
+// tampering there can misanswer or crash the server. verify_level =
+// kDirectory removes the crash classes at O(hub-groups) cost; snapshots
+// you did not just write yourself should be opened with checksums on and
+// verify_level = kDeep (CLI --verify), which makes every corruption class
+// a clean Status.
 
 /// Writes a full-range snapshot of `flat`. Pass the index's order so
 /// WcIndex::LoadMmap can restore rank lookups; pass nullptr for a

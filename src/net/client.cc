@@ -1,0 +1,283 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/socket_util.h"
+#include "util/endian.h"
+
+namespace wcsd {
+
+namespace {
+
+using net::ErrnoStatus;
+using net::MsgType;
+using net::WireError;
+using net::WireHeader;
+
+Status StatusFromError(WireError error) {
+  return Status::InvalidArgument(std::string("server rejected request: ") +
+                                 net::WireErrorName(error));
+}
+
+}  // namespace
+
+Result<WcClient> WcClient::Connect(const std::string& host, uint16_t port,
+                                   int timeout_ms) {
+  WCSD_RETURN_NOT_OK(CheckSerializationByteOrder());
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host address " + host);
+  }
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  if (timeout_ms > 0) {
+    // SO_SNDTIMEO also bounds connect(2) on Linux, so one pair of options
+    // covers the whole deadline story.
+    timeval tv;
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = ErrnoStatus("connect " + host + ":" + std::to_string(port));
+    close(fd);
+    return st;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return WcClient(fd);
+}
+
+WcClient::WcClient(WcClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_request_id_(other.next_request_id_) {}
+
+WcClient& WcClient::operator=(WcClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    next_request_id_ = other.next_request_id_;
+  }
+  return *this;
+}
+
+WcClient::~WcClient() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Status WcClient::SendBytes(const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = send(fd_, bytes + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IoError("send timed out");
+      }
+      return ErrnoStatus("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<WireFrame> WcClient::ReadRawFrame() {
+  auto read_exact = [&](uint8_t* into, size_t size) -> Status {
+    size_t got = 0;
+    while (got < size) {
+      ssize_t n = recv(fd_, into + got, size - got, 0);
+      if (n == 0) {
+        return Status::IoError(got == 0 ? "connection closed"
+                                        : "connection closed mid-frame");
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          return Status::IoError("timed out waiting for a reply");
+        }
+        return ErrnoStatus("recv");
+      }
+      got += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  };
+
+  WireFrame frame;
+  WCSD_RETURN_NOT_OK(read_exact(reinterpret_cast<uint8_t*>(&frame.header),
+                                sizeof(frame.header)));
+  if (frame.header.magic != net::kWireMagic) {
+    return Status::Corruption("bad frame magic from server");
+  }
+  if (frame.header.version != net::kWireVersion) {
+    return Status::Corruption("unsupported protocol version from server");
+  }
+  if (frame.header.payload_bytes > net::kMaxPayloadBytes) {
+    return Status::Corruption("oversized frame from server");
+  }
+  frame.payload.resize(frame.header.payload_bytes);
+  if (!frame.payload.empty()) {
+    WCSD_RETURN_NOT_OK(read_exact(frame.payload.data(),
+                                  frame.payload.size()));
+  }
+  return frame;
+}
+
+Status WcClient::ShutdownSend() {
+  if (shutdown(fd_, SHUT_WR) < 0) return ErrnoStatus("shutdown");
+  return Status::OK();
+}
+
+Result<WireFrame> WcClient::ReadReply(MsgType expected,
+                                      uint64_t request_id) {
+  Result<WireFrame> frame = ReadRawFrame();
+  if (!frame.ok()) return frame;
+  const WireHeader& header = frame.value().header;
+  if (static_cast<MsgType>(header.type) == MsgType::kError) {
+    return StatusFromError(static_cast<WireError>(header.status));
+  }
+  if (static_cast<MsgType>(header.type) != expected ||
+      header.status != static_cast<uint8_t>(WireError::kOk)) {
+    return Status::Corruption("unexpected reply type from server");
+  }
+  if (header.request_id != request_id) {
+    return Status::Corruption("reply id does not match request");
+  }
+  return frame;
+}
+
+Result<Distance> WcClient::Query(Vertex s, Vertex t, Quality w) {
+  const uint64_t id = next_request_id_++;
+  std::vector<uint8_t> out;
+  net::AppendQueryRequest(&out, id, s, t, w);
+  WCSD_RETURN_NOT_OK(SendBytes(out.data(), out.size()));
+  Result<WireFrame> reply = ReadReply(MsgType::kQueryReply, id);
+  if (!reply.ok()) return reply.status();
+  if (reply.value().payload.size() != sizeof(net::QueryReplyPayload)) {
+    return Status::Corruption("bad query reply payload");
+  }
+  net::QueryReplyPayload payload;
+  std::memcpy(&payload, reply.value().payload.data(), sizeof(payload));
+  return Distance{payload.dist};
+}
+
+Result<std::vector<Distance>> WcClient::Batch(
+    const std::vector<BatchQueryInput>& queries) {
+  if (queries.size() > net::kMaxBatchQueries) {
+    // An oversized frame would be a FRAMING error server-side (it closes
+    // the connection); fail the call instead and keep the stream healthy.
+    return Status::InvalidArgument(
+        "batch of " + std::to_string(queries.size()) +
+        " queries exceeds the wire frame limit of " +
+        std::to_string(net::kMaxBatchQueries) + "; split it across frames");
+  }
+  const uint64_t id = next_request_id_++;
+  std::vector<uint8_t> out;
+  net::AppendBatchRequest(&out, id, queries);
+  WCSD_RETURN_NOT_OK(SendBytes(out.data(), out.size()));
+  Result<WireFrame> reply = ReadReply(MsgType::kBatchQueryReply, id);
+  if (!reply.ok()) return reply.status();
+  const std::vector<uint8_t>& payload = reply.value().payload;
+  uint32_t count = 0;
+  if (payload.size() < sizeof(count)) {
+    return Status::Corruption("bad batch reply payload");
+  }
+  std::memcpy(&count, payload.data(), sizeof(count));
+  if (count != queries.size() ||
+      payload.size() != sizeof(count) + uint64_t{count} * sizeof(uint32_t)) {
+    return Status::Corruption("batch reply count mismatch");
+  }
+  std::vector<Distance> results(count);
+  if (count > 0) {
+    std::memcpy(results.data(), payload.data() + sizeof(count),
+                uint64_t{count} * sizeof(uint32_t));
+  }
+  return results;
+}
+
+Result<std::vector<Distance>> WcClient::QueryPipelined(
+    const std::vector<BatchQueryInput>& queries, size_t window) {
+  if (window == 0) window = 1;
+  std::vector<Distance> results(queries.size(), kInfDistance);
+  const uint64_t base_id = next_request_id_;
+  next_request_id_ += queries.size();
+
+  size_t sent = 0;
+  auto send_some = [&](size_t upto) -> Status {
+    std::vector<uint8_t> out;
+    for (; sent < upto; ++sent) {
+      const BatchQueryInput& q = queries[sent];
+      net::AppendQueryRequest(&out, base_id + sent, q.s, q.t, q.w);
+    }
+    if (out.empty()) return Status::OK();
+    return SendBytes(out.data(), out.size());
+  };
+
+  WCSD_RETURN_NOT_OK(send_some(std::min(window, queries.size())));
+  for (size_t received = 0; received < queries.size(); ++received) {
+    Result<WireFrame> frame = ReadRawFrame();
+    if (!frame.ok()) return frame.status();
+    const WireHeader& header = frame.value().header;
+    if (static_cast<MsgType>(header.type) == MsgType::kError) {
+      return StatusFromError(static_cast<WireError>(header.status));
+    }
+    if (static_cast<MsgType>(header.type) != MsgType::kQueryReply ||
+        header.request_id < base_id ||
+        header.request_id >= base_id + queries.size() ||
+        frame.value().payload.size() != sizeof(net::QueryReplyPayload)) {
+      return Status::Corruption("unexpected pipelined reply");
+    }
+    net::QueryReplyPayload payload;
+    std::memcpy(&payload, frame.value().payload.data(), sizeof(payload));
+    results[header.request_id - base_id] = payload.dist;
+    // Keep the window full: one reply in, one request out.
+    WCSD_RETURN_NOT_OK(send_some(std::min(sent + 1, queries.size())));
+  }
+  return results;
+}
+
+Result<WireStats> WcClient::Stats() {
+  const uint64_t id = next_request_id_++;
+  std::vector<uint8_t> out;
+  net::AppendStatsRequest(&out, id);
+  WCSD_RETURN_NOT_OK(SendBytes(out.data(), out.size()));
+  Result<WireFrame> reply = ReadReply(MsgType::kStatsReply, id);
+  if (!reply.ok()) return reply.status();
+  if (reply.value().payload.size() != sizeof(net::StatsReplyPayload)) {
+    return Status::Corruption("bad stats reply payload");
+  }
+  net::StatsReplyPayload payload;
+  std::memcpy(&payload, reply.value().payload.data(), sizeof(payload));
+  return WireStats{payload.num_vertices, payload.queries, payload.reachable,
+                   payload.batches};
+}
+
+Result<uint64_t> WcClient::Health() {
+  const uint64_t id = next_request_id_++;
+  std::vector<uint8_t> out;
+  net::AppendHealthRequest(&out, id);
+  WCSD_RETURN_NOT_OK(SendBytes(out.data(), out.size()));
+  Result<WireFrame> reply = ReadReply(MsgType::kHealthReply, id);
+  if (!reply.ok()) return reply.status();
+  if (reply.value().payload.size() != sizeof(net::HealthReplyPayload)) {
+    return Status::Corruption("bad health reply payload");
+  }
+  net::HealthReplyPayload payload;
+  std::memcpy(&payload, reply.value().payload.data(), sizeof(payload));
+  return uint64_t{payload.num_vertices};
+}
+
+}  // namespace wcsd

@@ -1,0 +1,101 @@
+// WcClient: the wire-protocol client library (net/wire.h).
+//
+// Blocking sockets, two call shapes:
+//   * sync      — Query/Batch/Stats/Health send one request frame and wait
+//                 for its reply;
+//   * pipelined — QueryPipelined keeps a window of single-query frames in
+//                 flight on the one connection, overlapping the network
+//                 round trip with the server's work. Replies are matched by
+//                 request id, not arrival order.
+// A connection is not thread-safe; open one WcClient per caller thread
+// (the server multiplexes any number of connections).
+//
+// The raw escape hatches (SendBytes/ReadRawFrame) exist for protocol tests
+// and tooling that must speak malformed or future frames on purpose.
+
+#ifndef WCSD_NET_CLIENT_H_
+#define WCSD_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/batch.h"
+#include "net/wire.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// One decoded frame, payload copied out of the stream.
+struct WireFrame {
+  net::WireHeader header;
+  std::vector<uint8_t> payload;
+};
+
+/// Server counters as reported over the wire (kStatsReply).
+struct WireStats {
+  uint64_t num_vertices = 0;
+  uint64_t queries = 0;
+  uint64_t reachable = 0;
+  uint64_t batches = 0;
+};
+
+class WcClient {
+ public:
+  /// Connects to host:port. `host` must be a numeric IPv4 address or
+  /// "localhost". `timeout_ms` > 0 bounds connect and every subsequent
+  /// send/receive (SO_SNDTIMEO/SO_RCVTIMEO); an expired deadline surfaces
+  /// as a clean IoError instead of a hang. 0 = fully blocking.
+  static Result<WcClient> Connect(const std::string& host, uint16_t port,
+                                  int timeout_ms = 0);
+
+  WcClient(WcClient&& other) noexcept;
+  WcClient& operator=(WcClient&& other) noexcept;
+  ~WcClient();
+
+  /// One query, one round trip.
+  Result<Distance> Query(Vertex s, Vertex t, Quality w);
+
+  /// All queries in one kBatchQuery frame; results positionally aligned.
+  Result<std::vector<Distance>> Batch(
+      const std::vector<BatchQueryInput>& queries);
+
+  /// All queries as individual kQuery frames with up to `window` in flight
+  /// at once; results positionally aligned. This is the low-latency shape
+  /// for streams of independent queries.
+  Result<std::vector<Distance>> QueryPipelined(
+      const std::vector<BatchQueryInput>& queries, size_t window = 64);
+
+  Result<WireStats> Stats();
+
+  /// Round-trips a kHealth frame; returns the served vertex count.
+  Result<uint64_t> Health();
+
+  // ---- raw protocol access (tests, tooling) ----
+
+  /// Writes bytes verbatim to the socket.
+  Status SendBytes(const void* data, size_t size);
+
+  /// Reads one frame off the socket (any type, including kError). Fails
+  /// with IoError on EOF and Corruption if the server's framing is bad.
+  Result<WireFrame> ReadRawFrame();
+
+  /// Half-closes the write side (signals EOF to the server while replies
+  /// can still be read).
+  Status ShutdownSend();
+
+ private:
+  explicit WcClient(int fd) : fd_(fd) {}
+
+  /// Reads one frame and checks it is `expected` with status kOk and the
+  /// given request id; turns kError frames into a clean Status.
+  Result<WireFrame> ReadReply(net::MsgType expected, uint64_t request_id);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_NET_CLIENT_H_

@@ -1,0 +1,509 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "net/socket_util.h"
+#include "util/endian.h"
+
+namespace wcsd {
+
+namespace {
+
+using net::ErrnoStatus;
+using net::FrameStatus;
+using net::MsgType;
+using net::WireError;
+using net::WireHeader;
+
+class EngineService final : public QueryService {
+ public:
+  explicit EngineService(std::shared_ptr<const QueryEngine> engine)
+      : engine_(std::move(engine)) {}
+
+  Distance Query(Vertex s, Vertex t, Quality w) const override {
+    return engine_->Query(s, t, w);
+  }
+  std::vector<Distance> Batch(
+      const std::vector<BatchQueryInput>& queries) const override {
+    return engine_->Batch(queries);
+  }
+  uint64_t NumVertices() const override {
+    return engine_->index().NumVertices();
+  }
+  QueryEngineStats Stats() const override { return engine_->stats(); }
+
+ private:
+  std::shared_ptr<const QueryEngine> engine_;
+};
+
+class ShardedService final : public QueryService {
+ public:
+  explicit ShardedService(std::shared_ptr<const ShardedQueryEngine> engine)
+      : engine_(std::move(engine)) {}
+
+  Distance Query(Vertex s, Vertex t, Quality w) const override {
+    return engine_->Query(s, t, w);
+  }
+  std::vector<Distance> Batch(
+      const std::vector<BatchQueryInput>& queries) const override {
+    return engine_->Batch(queries);
+  }
+  uint64_t NumVertices() const override { return engine_->NumVertices(); }
+  QueryEngineStats Stats() const override { return engine_->stats(); }
+
+ private:
+  std::shared_ptr<const ShardedQueryEngine> engine_;
+};
+
+}  // namespace
+
+std::shared_ptr<QueryService> MakeQueryService(
+    std::shared_ptr<const QueryEngine> engine) {
+  return std::make_shared<EngineService>(std::move(engine));
+}
+
+std::shared_ptr<QueryService> MakeQueryService(
+    std::shared_ptr<const ShardedQueryEngine> engine) {
+  return std::make_shared<ShardedService>(std::move(engine));
+}
+
+struct WcServer::Impl {
+  /// One connection's streaming state. `in` accumulates raw bytes until
+  /// whole frames can be cut (in_consumed avoids re-compacting per frame);
+  /// `out` holds encoded replies not yet accepted by the socket.
+  struct Connection {
+    std::vector<uint8_t> in;
+    size_t in_consumed = 0;
+    std::vector<uint8_t> out;
+    size_t out_sent = 0;
+    bool close_after_flush = false;
+    bool want_write = false;
+  };
+
+  std::shared_ptr<const QueryService> service;
+  WcServerOptions options;
+  int listen_fd = -1;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  /// Reserved fd sacrificed to shed pending connections under EMFILE.
+  int spare_fd = -1;
+  uint16_t port = 0;
+  std::thread loop;
+  std::atomic<bool> stopping{false};
+  std::unordered_map<int, Connection> connections;
+
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_closed{0};
+  std::atomic<uint64_t> frames_served{0};
+  std::atomic<uint64_t> protocol_errors{0};
+
+  ~Impl() { StopAndJoin(); }
+
+  Status Listen() {
+    listen_fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                       0);
+    if (listen_fd < 0) return ErrnoStatus("socket");
+    int one = 1;
+    setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options.port);
+    if (inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+        1) {
+      return Status::InvalidArgument("bad bind address " +
+                                     options.bind_address);
+    }
+    if (bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      return ErrnoStatus("bind " + options.bind_address + ":" +
+                   std::to_string(options.port));
+    }
+    if (listen(listen_fd, options.backlog) < 0) return ErrnoStatus("listen");
+    socklen_t len = sizeof(addr);
+    if (getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) <
+        0) {
+      return ErrnoStatus("getsockname");
+    }
+    port = ntohs(addr.sin_port);
+
+    spare_fd = open("/dev/null", O_RDONLY | O_CLOEXEC);
+    epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd < 0) return ErrnoStatus("epoll_create1");
+    wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (wake_fd < 0) return ErrnoStatus("eventfd");
+    WCSD_RETURN_NOT_OK(Watch(listen_fd, EPOLLIN));
+    WCSD_RETURN_NOT_OK(Watch(wake_fd, EPOLLIN));
+    return Status::OK();
+  }
+
+  Status Watch(int fd, uint32_t events) {
+    epoll_event ev = {};
+    ev.events = events;
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      return ErrnoStatus("epoll_ctl add");
+    }
+    return Status::OK();
+  }
+
+  void Rearm(int fd, uint32_t events) {
+    epoll_event ev = {};
+    ev.events = events;
+    ev.data.fd = fd;
+    epoll_ctl(epoll_fd, EPOLL_CTL_MOD, fd, &ev);
+  }
+
+  void StopAndJoin() {
+    bool was_stopping = stopping.exchange(true);
+    if (!was_stopping && wake_fd >= 0) {
+      uint64_t one = 1;
+      [[maybe_unused]] ssize_t n = write(wake_fd, &one, sizeof(one));
+    }
+    if (loop.joinable()) loop.join();
+    for (auto& [fd, conn] : connections) {
+      close(fd);
+      connections_closed.fetch_add(1, std::memory_order_relaxed);
+    }
+    connections.clear();
+    auto close_fd = [](int* fd) {
+      if (*fd >= 0) close(*fd);
+      *fd = -1;
+    };
+    close_fd(&listen_fd);
+    close_fd(&wake_fd);
+    close_fd(&epoll_fd);
+    close_fd(&spare_fd);
+  }
+
+  void Loop() {
+    constexpr int kMaxEvents = 64;
+    epoll_event events[kMaxEvents];
+    while (!stopping.load(std::memory_order_acquire)) {
+      int n = epoll_wait(epoll_fd, events, kMaxEvents, /*timeout_ms=*/500);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        int fd = events[i].data.fd;
+        uint32_t ev = events[i].events;
+        if (fd == wake_fd) {
+          uint64_t drained;
+          [[maybe_unused]] ssize_t r = read(wake_fd, &drained,
+                                            sizeof(drained));
+          continue;
+        }
+        if (fd == listen_fd) {
+          Accept();
+          continue;
+        }
+        auto it = connections.find(fd);
+        if (it == connections.end()) continue;
+        if (ev & (EPOLLHUP | EPOLLERR)) {
+          CloseConnection(it);
+          continue;
+        }
+        bool alive = true;
+        if (ev & EPOLLIN) alive = OnReadable(it);
+        if (alive && (ev & EPOLLOUT)) FlushConnection(it);
+      }
+    }
+  }
+
+  void Accept() {
+    for (;;) {
+      int fd = accept4(listen_fd, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        // Out of file descriptors: the pending connection would keep the
+        // level-triggered listen fd hot forever (a busy-spin). Shed it via
+        // the reserved spare fd, then re-reserve.
+        if ((errno == EMFILE || errno == ENFILE) && spare_fd >= 0) {
+          close(spare_fd);
+          spare_fd = -1;
+          int shed = accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+          if (shed >= 0) close(shed);
+          spare_fd = open("/dev/null", O_RDONLY | O_CLOEXEC);
+          if (shed >= 0) continue;
+        }
+        return;  // EAGAIN or transient error; epoll re-reports
+      }
+      int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      if (!Watch(fd, EPOLLIN).ok()) {
+        close(fd);
+        continue;
+      }
+      connections.emplace(fd, Connection{});
+      connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void CloseConnection(std::unordered_map<int, Connection>::iterator it) {
+    epoll_ctl(epoll_fd, EPOLL_CTL_DEL, it->first, nullptr);
+    close(it->first);
+    connections.erase(it);
+    connections_closed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Reads everything the socket has, cuts and serves complete frames,
+  /// then flushes replies. Returns false if the connection was closed.
+  bool OnReadable(std::unordered_map<int, Connection>::iterator it) {
+    Connection& conn = it->second;
+    // A draining connection reads nothing more: new bytes would pile up
+    // unparsed (the frame loop is closed) and unbounded.
+    if (conn.close_after_flush) return FlushConnection(it);
+    uint8_t chunk[65536];
+    bool peer_eof = false;
+    // Bounded read pass: one connection streaming faster than the loop
+    // must not starve the others — leftover bytes keep the level-triggered
+    // fd hot, so the next epoll_wait resumes it.
+    constexpr size_t kMaxReadPerPass = 1u << 20;
+    size_t read_this_pass = 0;
+    while (read_this_pass < kMaxReadPerPass) {
+      ssize_t got = recv(it->first, chunk, sizeof(chunk), 0);
+      if (got > 0) {
+        conn.in.insert(conn.in.end(), chunk, chunk + got);
+        read_this_pass += static_cast<size_t>(got);
+        continue;
+      }
+      if (got == 0) {
+        peer_eof = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      CloseConnection(it);
+      return false;
+    }
+
+    while (!conn.close_after_flush) {
+      if (conn.out.size() - conn.out_sent > options.max_buffered_reply_bytes) {
+        // The client pipelines faster than it reads replies; cap the
+        // buffered output and drop the connection once it drains.
+        conn.close_after_flush = true;
+        break;
+      }
+      WireHeader header;
+      const uint8_t* payload = nullptr;
+      FrameStatus st = net::ParseFrame(
+          conn.in.data() + conn.in_consumed,
+          conn.in.size() - conn.in_consumed, options.max_payload_bytes,
+          &header, &payload);
+      if (st == FrameStatus::kNeedMore) break;
+      if (st != FrameStatus::kOk) {
+        // Framing error: the stream is poisoned. Reply once and close.
+        // The oversized case has a trustworthy header, so echo its id.
+        WireError error = st == FrameStatus::kBadMagic
+                              ? WireError::kBadMagic
+                          : st == FrameStatus::kBadVersion
+                              ? WireError::kBadVersion
+                              : WireError::kOversizedFrame;
+        uint64_t id =
+            st == FrameStatus::kOversized ? header.request_id : 0;
+        net::AppendFrame(&conn.out, MsgType::kError, error, id, nullptr, 0);
+        protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        conn.close_after_flush = true;
+        break;
+      }
+      HandleFrame(conn, header, payload);
+      conn.in_consumed += sizeof(WireHeader) + header.payload_bytes;
+    }
+    if (conn.in_consumed == conn.in.size()) {
+      conn.in.clear();
+      conn.in_consumed = 0;
+    } else if (conn.in_consumed > (64u << 10)) {
+      conn.in.erase(conn.in.begin(),
+                    conn.in.begin() +
+                        static_cast<ptrdiff_t>(conn.in_consumed));
+      conn.in_consumed = 0;
+    }
+
+    if (!FlushConnection(it)) return false;
+    if (peer_eof) {
+      // Orderly shutdown: the peer sent everything it will (half-close).
+      // Replies it has not yet read may still be in the write buffer —
+      // drain them before closing, watching only writability (EOF keeps
+      // the fd read-hot forever otherwise).
+      if (conn.out_sent < conn.out.size()) {
+        conn.close_after_flush = true;
+        conn.want_write = true;
+        Rearm(it->first, EPOLLOUT);
+        return true;
+      }
+      CloseConnection(it);
+      return false;
+    }
+    return true;
+  }
+
+  void HandleFrame(Connection& conn, const WireHeader& header,
+                   const uint8_t* payload) {
+    auto reject = [&](WireError error) {
+      net::AppendFrame(&conn.out, MsgType::kError, error, header.request_id,
+                       nullptr, 0);
+      protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    };
+    switch (static_cast<MsgType>(header.type)) {
+      case MsgType::kQuery: {
+        if (header.payload_bytes != sizeof(net::QueryPayload)) {
+          reject(WireError::kBadPayload);
+          return;
+        }
+        net::QueryPayload q;
+        std::memcpy(&q, payload, sizeof(q));
+        net::QueryReplyPayload reply{service->Query(q.s, q.t, q.w)};
+        net::AppendFrame(&conn.out, MsgType::kQueryReply, WireError::kOk,
+                         header.request_id, &reply, sizeof(reply));
+        break;
+      }
+      case MsgType::kBatchQuery: {
+        uint32_t count = 0;
+        if (header.payload_bytes < sizeof(count)) {
+          reject(WireError::kBadPayload);
+          return;
+        }
+        std::memcpy(&count, payload, sizeof(count));
+        if (header.payload_bytes !=
+            sizeof(count) + uint64_t{count} * sizeof(net::QueryPayload)) {
+          reject(WireError::kBadPayload);
+          return;
+        }
+        std::vector<BatchQueryInput> queries(count);
+        if (count > 0) {
+          std::memcpy(queries.data(), payload + sizeof(count),
+                      uint64_t{count} * sizeof(net::QueryPayload));
+        }
+        std::vector<Distance> results = service->Batch(queries);
+        net::AppendBatchReply(&conn.out, header.request_id, results);
+        break;
+      }
+      case MsgType::kStats: {
+        if (header.payload_bytes != 0) {
+          reject(WireError::kBadPayload);
+          return;
+        }
+        QueryEngineStats stats = service->Stats();
+        net::StatsReplyPayload reply{service->NumVertices(), stats.queries,
+                                     stats.reachable, stats.batches};
+        net::AppendFrame(&conn.out, MsgType::kStatsReply, WireError::kOk,
+                         header.request_id, &reply, sizeof(reply));
+        break;
+      }
+      case MsgType::kHealth: {
+        if (header.payload_bytes != 0) {
+          reject(WireError::kBadPayload);
+          return;
+        }
+        net::HealthReplyPayload reply{service->NumVertices()};
+        net::AppendFrame(&conn.out, MsgType::kHealthReply, WireError::kOk,
+                         header.request_id, &reply, sizeof(reply));
+        break;
+      }
+      default:
+        reject(WireError::kUnknownType);
+        return;
+    }
+    frames_served.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Writes as much buffered output as the socket accepts; keeps EPOLLOUT
+  /// armed while a backlog remains. Returns false if the connection was
+  /// closed (write error, or close_after_flush with a drained buffer).
+  bool FlushConnection(std::unordered_map<int, Connection>::iterator it) {
+    Connection& conn = it->second;
+    while (conn.out_sent < conn.out.size()) {
+      ssize_t sent =
+          send(it->first, conn.out.data() + conn.out_sent,
+               conn.out.size() - conn.out_sent, MSG_NOSIGNAL);
+      if (sent > 0) {
+        conn.out_sent += static_cast<size_t>(sent);
+        continue;
+      }
+      if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (sent < 0 && errno == EINTR) continue;
+      CloseConnection(it);
+      return false;
+    }
+    if (conn.out_sent == conn.out.size()) {
+      conn.out.clear();
+      conn.out_sent = 0;
+      if (conn.close_after_flush) {
+        CloseConnection(it);
+        return false;
+      }
+      if (conn.want_write) {
+        conn.want_write = false;
+        Rearm(it->first, EPOLLIN);
+      }
+    } else {
+      // Backlog remains. A draining connection watches writability only
+      // (readable bytes we will never parse would wake the loop forever).
+      conn.want_write = true;
+      Rearm(it->first,
+            conn.close_after_flush ? EPOLLOUT : EPOLLIN | EPOLLOUT);
+    }
+    return true;
+  }
+};
+
+WcServer::WcServer(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+WcServer::WcServer(WcServer&&) noexcept = default;
+WcServer& WcServer::operator=(WcServer&&) noexcept = default;
+
+WcServer::~WcServer() {
+  if (impl_) impl_->StopAndJoin();
+}
+
+Result<WcServer> WcServer::Start(
+    std::shared_ptr<const QueryService> service,
+    const WcServerOptions& options) {
+  WCSD_RETURN_NOT_OK(CheckSerializationByteOrder());
+  if (service == nullptr) {
+    return Status::InvalidArgument("null service");
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->service = std::move(service);
+  impl->options = options;
+  Status st = impl->Listen();
+  if (!st.ok()) return st;
+  Impl* raw = impl.get();
+  impl->loop = std::thread([raw] { raw->Loop(); });
+  return WcServer(std::move(impl));
+}
+
+uint16_t WcServer::port() const { return impl_->port; }
+
+void WcServer::Stop() {
+  if (impl_) impl_->StopAndJoin();
+}
+
+WcServerStats WcServer::stats() const {
+  WcServerStats stats;
+  stats.connections_accepted =
+      impl_->connections_accepted.load(std::memory_order_relaxed);
+  stats.connections_closed =
+      impl_->connections_closed.load(std::memory_order_relaxed);
+  stats.frames_served =
+      impl_->frames_served.load(std::memory_order_relaxed);
+  stats.protocol_errors =
+      impl_->protocol_errors.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace wcsd

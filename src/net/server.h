@@ -1,0 +1,114 @@
+// WcServer: a dependency-free epoll TCP front end over the serving engines.
+//
+// The engine layer (serve/query_engine.h) turned the index into a
+// thread-safe in-process service; WcServer turns that service into a
+// network one. One event-loop thread multiplexes every connection with
+// epoll: per-connection read buffers accumulate bytes until complete
+// frames (net/wire.h) can be cut, each frame is routed through the
+// immutable QueryService, and replies accumulate in per-connection write
+// buffers flushed as the socket drains. Clients may pipeline — any number
+// of requests in flight per connection — and a kBatchQuery frame fans out
+// across the engine's ThreadPool, so one event-loop thread is enough to
+// saturate the query kernels.
+//
+// Robustness contract (exercised by tests/test_net.cc): malformed input
+// never crashes the server. Framing errors (bad magic/version, oversized
+// length) get one kError frame and a close, because the stream can no
+// longer be trusted; frame-local errors (bad payload size, unknown type)
+// get a kError reply and the connection keeps serving; truncated frames
+// and abrupt disconnects just release the connection.
+
+#ifndef WCSD_NET_SERVER_H_
+#define WCSD_NET_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/batch.h"
+#include "net/wire.h"
+#include "serve/batch_runner.h"
+#include "serve/query_engine.h"
+#include "serve/sharded_engine.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// The request-routing surface the server needs from a serving engine.
+/// Implementations must be safe to call from any thread (both engines are).
+class QueryService {
+ public:
+  virtual ~QueryService() = default;
+  virtual Distance Query(Vertex s, Vertex t, Quality w) const = 0;
+  virtual std::vector<Distance> Batch(
+      const std::vector<BatchQueryInput>& queries) const = 0;
+  virtual uint64_t NumVertices() const = 0;
+  virtual QueryEngineStats Stats() const = 0;
+};
+
+/// Adapters for the two engines. The shared_ptr keeps the engine (and its
+/// mmap'd snapshot) alive for the service's lifetime.
+std::shared_ptr<QueryService> MakeQueryService(
+    std::shared_ptr<const QueryEngine> engine);
+std::shared_ptr<QueryService> MakeQueryService(
+    std::shared_ptr<const ShardedQueryEngine> engine);
+
+struct WcServerOptions {
+  /// Address to bind. Loopback by default: exposing an index to a wider
+  /// interface is a deliberate deployment decision.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 = kernel-assigned ephemeral port (see WcServer::port).
+  uint16_t port = 0;
+  /// listen(2) backlog.
+  int backlog = 128;
+  /// Frames announcing a larger payload are rejected before allocation
+  /// with WireError::kOversizedFrame. Tests shrink this to probe the path.
+  uint32_t max_payload_bytes = net::kMaxPayloadBytes;
+  /// Per-connection cap on buffered reply bytes. A client that pipelines
+  /// requests faster than it reads replies accumulates output here; past
+  /// the cap the server stops serving that connection and closes it after
+  /// the backlog flushes — backpressure by disconnect rather than
+  /// unbounded server memory.
+  size_t max_buffered_reply_bytes = 64u << 20;
+};
+
+/// Monotonic server-level counters (engine-level query counters live in
+/// QueryService::Stats).
+struct WcServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_served = 0;    // replies to well-formed requests
+  uint64_t protocol_errors = 0;  // error frames sent
+};
+
+class WcServer {
+ public:
+  /// Binds, listens, and starts the event-loop thread. On success the
+  /// server is already accepting connections on port().
+  static Result<WcServer> Start(std::shared_ptr<const QueryService> service,
+                                const WcServerOptions& options = {});
+
+  WcServer(WcServer&&) noexcept;
+  WcServer& operator=(WcServer&&) noexcept;
+  ~WcServer();
+
+  /// The bound port (resolves option port 0 to the kernel's choice).
+  uint16_t port() const;
+
+  /// Stops accepting, closes every connection, and joins the event loop.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  WcServerStats stats() const;
+
+ private:
+  struct Impl;
+  explicit WcServer(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_NET_SERVER_H_

@@ -1,0 +1,23 @@
+// Shared socket-layer helpers for the net/ module.
+
+#ifndef WCSD_NET_SOCKET_UTIL_H_
+#define WCSD_NET_SOCKET_UTIL_H_
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "util/status.h"
+
+namespace wcsd {
+namespace net {
+
+/// Formats the current errno as an IoError ("what: strerror").
+inline Status ErrnoStatus(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace net
+}  // namespace wcsd
+
+#endif  // WCSD_NET_SOCKET_UTIL_H_

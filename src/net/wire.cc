@@ -1,0 +1,121 @@
+#include "net/wire.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace wcsd {
+namespace net {
+
+const char* WireErrorName(WireError error) {
+  switch (error) {
+    case WireError::kOk:
+      return "ok";
+    case WireError::kBadMagic:
+      return "bad magic";
+    case WireError::kBadVersion:
+      return "unsupported protocol version";
+    case WireError::kOversizedFrame:
+      return "oversized frame";
+    case WireError::kBadPayload:
+      return "bad payload";
+    case WireError::kUnknownType:
+      return "unknown message type";
+  }
+  return "unknown error";
+}
+
+namespace {
+
+/// Grows `out` by one frame's worth of bytes, writes the header, and
+/// returns the offset where the payload goes.
+size_t AppendHeader(std::vector<uint8_t>* out, MsgType type,
+                    WireError status, uint64_t request_id,
+                    size_t payload_bytes) {
+  // Contract (wire.h): no legitimate frame exceeds kMaxPayloadBytes, and
+  // the header field is 32-bit — a silent mod-2^32 truncation here would
+  // desync the stream, so fail loudly instead.
+  assert(payload_bytes <= kMaxPayloadBytes);
+  WireHeader header;
+  header.magic = kWireMagic;
+  header.version = kWireVersion;
+  header.type = static_cast<uint8_t>(type);
+  header.status = static_cast<uint8_t>(status);
+  header.request_id = request_id;
+  header.payload_bytes = static_cast<uint32_t>(payload_bytes);
+  header.reserved = 0;
+  size_t at = out->size();
+  out->resize(at + sizeof(header) + payload_bytes);
+  std::memcpy(out->data() + at, &header, sizeof(header));
+  return at + sizeof(header);
+}
+
+}  // namespace
+
+void AppendFrame(std::vector<uint8_t>* out, MsgType type, WireError status,
+                 uint64_t request_id, const void* payload,
+                 size_t payload_bytes) {
+  size_t at = AppendHeader(out, type, status, request_id, payload_bytes);
+  if (payload_bytes > 0) {
+    std::memcpy(out->data() + at, payload, payload_bytes);
+  }
+}
+
+void AppendQueryRequest(std::vector<uint8_t>* out, uint64_t request_id,
+                        Vertex s, Vertex t, Quality w) {
+  QueryPayload payload{s, t, w};
+  AppendFrame(out, MsgType::kQuery, WireError::kOk, request_id, &payload,
+              sizeof(payload));
+}
+
+void AppendBatchRequest(std::vector<uint8_t>* out, uint64_t request_id,
+                        std::span<const BatchQueryInput> queries) {
+  const uint32_t count = static_cast<uint32_t>(queries.size());
+  // Written straight into `out` — a 16 MiB max-size batch should not pay
+  // for a staging copy of its own payload.
+  size_t at = AppendHeader(out, MsgType::kBatchQuery, WireError::kOk,
+                           request_id,
+                           sizeof(count) + queries.size() * sizeof(QueryPayload));
+  std::memcpy(out->data() + at, &count, sizeof(count));
+  if (!queries.empty()) {
+    std::memcpy(out->data() + at + sizeof(count), queries.data(),
+                queries.size() * sizeof(QueryPayload));
+  }
+}
+
+void AppendBatchReply(std::vector<uint8_t>* out, uint64_t request_id,
+                      std::span<const Distance> results) {
+  const uint32_t count = static_cast<uint32_t>(results.size());
+  size_t at = AppendHeader(out, MsgType::kBatchQueryReply, WireError::kOk,
+                           request_id,
+                           sizeof(count) + results.size() * sizeof(uint32_t));
+  std::memcpy(out->data() + at, &count, sizeof(count));
+  if (!results.empty()) {
+    std::memcpy(out->data() + at + sizeof(count), results.data(),
+                results.size() * sizeof(uint32_t));
+  }
+}
+
+void AppendStatsRequest(std::vector<uint8_t>* out, uint64_t request_id) {
+  AppendFrame(out, MsgType::kStats, WireError::kOk, request_id, nullptr, 0);
+}
+
+void AppendHealthRequest(std::vector<uint8_t>* out, uint64_t request_id) {
+  AppendFrame(out, MsgType::kHealth, WireError::kOk, request_id, nullptr, 0);
+}
+
+FrameStatus ParseFrame(const uint8_t* data, size_t size, size_t max_payload,
+                       WireHeader* header, const uint8_t** payload) {
+  if (size < sizeof(WireHeader)) return FrameStatus::kNeedMore;
+  std::memcpy(header, data, sizeof(WireHeader));
+  if (header->magic != kWireMagic) return FrameStatus::kBadMagic;
+  if (header->version != kWireVersion) return FrameStatus::kBadVersion;
+  if (header->payload_bytes > max_payload) return FrameStatus::kOversized;
+  if (size - sizeof(WireHeader) < header->payload_bytes) {
+    return FrameStatus::kNeedMore;
+  }
+  *payload = data + sizeof(WireHeader);
+  return FrameStatus::kOk;
+}
+
+}  // namespace net
+}  // namespace wcsd

@@ -1,0 +1,182 @@
+// The WCSD wire protocol: length-prefixed little-endian binary frames.
+//
+// Versioned like labeling/snapshot.h: every frame starts with a fixed
+// 24-byte header carrying magic, protocol version, message type, a status
+// byte (meaningful on replies), a client-chosen request id echoed verbatim
+// in the matching reply, and the payload length. Request ids are what make
+// pipelining work — a client may have any number of frames in flight on one
+// connection and correlate replies without assuming ordering (the server
+// happens to reply in order, but the protocol does not promise it).
+//
+// All fields are little-endian fixed-width, the same contract as the
+// on-disk formats (util/endian.h): hosts that can serve a snapshot can
+// speak the protocol with plain struct reads, no per-field marshalling.
+//
+// Message types and payloads (sizes in bytes):
+//   kQuery       (12)  u32 s, u32 t, f32 w
+//   kQueryReply  (4)   u32 dist (kInfDistance = unreachable)
+//   kBatchQuery  (4+12n) u32 count, then count (s, t, w) triples
+//   kBatchQueryReply (4+4n) u32 count, then count u32 distances,
+//                      positionally aligned with the request
+//   kStats       (0)
+//   kStatsReply  (32)  u64 num_vertices, queries, reachable, batches
+//   kHealth      (0)
+//   kHealthReply (8)   u64 num_vertices
+//   kError       (0)   header.status carries the WireError; sent in place
+//                      of a reply when a frame is well-delimited but
+//                      invalid, or before closing on a framing error
+//
+// Framing errors (bad magic, bad version, oversized length) poison the
+// byte stream — the receiver cannot trust where the next frame starts — so
+// the server replies with one kError frame and closes. Payload errors
+// (wrong payload size for the type, unknown type, batch count mismatch)
+// are frame-local: the server replies kError with the offending request id
+// and the connection keeps serving.
+
+#ifndef WCSD_NET_WIRE_H_
+#define WCSD_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/batch.h"
+#include "util/types.h"
+
+namespace wcsd {
+namespace net {
+
+/// First four bytes of every frame: "WCSN" on the wire.
+inline constexpr uint32_t kWireMagic = 0x4e534357;
+
+/// Current protocol version. Bump on any frame-layout change; peers reject
+/// other versions with a clean error frame.
+inline constexpr uint16_t kWireVersion = 1;
+
+/// Default upper bound on one frame's payload (16 MiB ≈ 1.4M batched
+/// queries). A header announcing more is treated as a framing error before
+/// any allocation happens.
+inline constexpr uint32_t kMaxPayloadBytes = 1u << 24;
+
+enum class MsgType : uint8_t {
+  kQuery = 1,
+  kBatchQuery = 2,
+  kStats = 3,
+  kHealth = 4,
+  kQueryReply = 65,
+  kBatchQueryReply = 66,
+  kStatsReply = 67,
+  kHealthReply = 68,
+  kError = 255,
+};
+
+/// Reply-header status byte. kOk on every successful reply; error frames
+/// carry the reason here (the payload stays empty, keeping error frames
+/// deterministic for the golden fixtures).
+enum class WireError : uint8_t {
+  kOk = 0,
+  kBadMagic = 1,
+  kBadVersion = 2,
+  kOversizedFrame = 3,
+  kBadPayload = 4,
+  kUnknownType = 5,
+};
+
+/// Human-readable name of a WireError, for Status messages and logs.
+const char* WireErrorName(WireError error);
+
+/// The fixed frame header. POD with explicit padding so the wire bytes are
+/// exactly the struct bytes on the little-endian hosts we support.
+struct WireHeader {
+  uint32_t magic;
+  uint16_t version;
+  uint8_t type;          // MsgType
+  uint8_t status;        // WireError; 0 on requests
+  uint64_t request_id;   // echoed verbatim in the reply
+  uint32_t payload_bytes;
+  uint32_t reserved;     // zero
+};
+static_assert(sizeof(WireHeader) == 24);
+
+/// kQuery payload. Matches BatchQueryInput's layout so batch payloads can
+/// be copied in bulk.
+struct QueryPayload {
+  uint32_t s;
+  uint32_t t;
+  float w;
+};
+static_assert(sizeof(QueryPayload) == 12);
+static_assert(sizeof(BatchQueryInput) == sizeof(QueryPayload));
+
+/// Most queries one kBatchQuery frame can carry under kMaxPayloadBytes.
+/// Clients must split larger workloads across frames (WcClient::Batch
+/// rejects bigger inputs rather than poison the stream).
+inline constexpr size_t kMaxBatchQueries =
+    (kMaxPayloadBytes - sizeof(uint32_t)) / sizeof(QueryPayload);
+
+/// kQueryReply payload.
+struct QueryReplyPayload {
+  uint32_t dist;
+};
+static_assert(sizeof(QueryReplyPayload) == 4);
+
+/// kStatsReply payload: the serving engine's aggregate counters.
+struct StatsReplyPayload {
+  uint64_t num_vertices;
+  uint64_t queries;
+  uint64_t reachable;
+  uint64_t batches;
+};
+static_assert(sizeof(StatsReplyPayload) == 32);
+
+/// kHealthReply payload: nonzero vertex count doubles as "index mapped".
+struct HealthReplyPayload {
+  uint64_t num_vertices;
+};
+static_assert(sizeof(HealthReplyPayload) == 8);
+
+// ------------------------------------------------------------- encoding
+
+/// Appends one frame (header + payload copy) to `out`. `payload_bytes`
+/// must not exceed kMaxPayloadBytes (asserted): the header field is
+/// 32-bit, and a silently truncated length would desync the stream.
+void AppendFrame(std::vector<uint8_t>* out, MsgType type, WireError status,
+                 uint64_t request_id, const void* payload,
+                 size_t payload_bytes);
+
+void AppendQueryRequest(std::vector<uint8_t>* out, uint64_t request_id,
+                        Vertex s, Vertex t, Quality w);
+void AppendBatchRequest(std::vector<uint8_t>* out, uint64_t request_id,
+                        std::span<const BatchQueryInput> queries);
+void AppendStatsRequest(std::vector<uint8_t>* out, uint64_t request_id);
+void AppendHealthRequest(std::vector<uint8_t>* out, uint64_t request_id);
+
+/// Appends a kBatchQueryReply frame, writing the count and distances
+/// straight into `out` (batch payloads are the big ones; no staging copy).
+void AppendBatchReply(std::vector<uint8_t>* out, uint64_t request_id,
+                      std::span<const Distance> results);
+
+// ------------------------------------------------------------- decoding
+
+/// Outcome of trying to delimit one frame in a byte stream.
+enum class FrameStatus {
+  kNeedMore,    // fewer bytes than one complete frame; read more
+  kOk,          // *header/*payload describe one complete frame
+  kBadMagic,    // stream poisoned: close after an error frame
+  kBadVersion,  // stream poisoned: close after an error frame
+  kOversized,   // announced payload exceeds max_payload: close
+};
+
+/// Attempts to parse one frame from [data, data + size). On kOk, fills
+/// `header` and points `payload` at the payload bytes inside the input
+/// (no copy; valid only while the input buffer is). Magic and version are
+/// validated as soon as the header is complete, so a poisoned stream is
+/// detected without waiting for the announced payload to arrive.
+FrameStatus ParseFrame(const uint8_t* data, size_t size, size_t max_payload,
+                       WireHeader* header, const uint8_t** payload);
+
+}  // namespace net
+}  // namespace wcsd
+
+#endif  // WCSD_NET_WIRE_H_

@@ -6,6 +6,8 @@
 //   * the four QueryImpls on the finalized flat CSR backend,
 //   * a QueryEngine serving the mmap-loaded snapshot of the index,
 //   * a ShardedQueryEngine stitching vertex-range shard snapshots,
+//   * a WcServer + WcClient round trip over the wire protocol (the
+//     networked path serves the same mmap engine through a real socket),
 //   * the ConstrainedDijkstra ground truth on the raw graph.
 // Builds alternate between the sequential and the rank-batched parallel
 // pipeline, so construction is fuzzed too (and races surface under the
@@ -28,6 +30,8 @@
 #include "core/wc_index.h"
 #include "graph/builder.h"
 #include "graph/generators.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "search/constrained_dijkstra.h"
 #include "serve/query_engine.h"
 #include "serve/sharded_engine.h"
@@ -95,8 +99,10 @@ struct Stack {
   WcIndex index;          // not finalized: vector-of-vectors backend
   WcIndex flat;           // finalized flat backend
   WcIndex mm;             // mmap-loaded snapshot
-  std::unique_ptr<QueryEngine> engine;
+  std::shared_ptr<const QueryEngine> engine;
   std::unique_ptr<ShardedQueryEngine> sharded;
+  std::unique_ptr<WcServer> server;  // serves `engine` over the wire
+  std::unique_ptr<WcClient> client;
 };
 
 Stack BuildStack(const QualityGraph& g, size_t build_threads,
@@ -114,9 +120,18 @@ Stack BuildStack(const QualityGraph& g, size_t build_threads,
   EXPECT_TRUE(mm.ok()) << mm.status().ToString();
 
   QueryEngineOptions serve;
-  serve.num_threads = 1;  // concurrency is hammered in test_serve
-  auto engine = std::make_unique<QueryEngine>(
+  serve.num_threads = 1;  // concurrency is hammered in test_serve/test_net
+  auto engine = std::make_shared<const QueryEngine>(
       std::make_shared<const WcIndex>(mm.value()), serve);
+
+  // The networked path: an in-process server over the same mmap engine,
+  // queried through a real loopback socket.
+  auto started = WcServer::Start(MakeQueryService(engine));
+  EXPECT_TRUE(started.ok()) << started.status().ToString();
+  auto server = std::make_unique<WcServer>(std::move(started).value());
+  auto connected = WcClient::Connect("127.0.0.1", server->port());
+  EXPECT_TRUE(connected.ok()) << connected.status().ToString();
+  auto client = std::make_unique<WcClient>(std::move(connected).value());
 
   const uint64_t n = flat.NumVertices();
   std::vector<std::string> shard_paths;
@@ -133,8 +148,10 @@ Stack BuildStack(const QualityGraph& g, size_t build_threads,
       std::move(sharded).value());
   std::remove(full.c_str());
   for (const std::string& p : shard_paths) std::remove(p.c_str());
-  return Stack{std::move(index), std::move(flat), std::move(mm).value(),
-               std::move(engine), std::move(sharded_ptr)};
+  return Stack{std::move(index),  std::move(flat),
+               std::move(mm).value(), std::move(engine),
+               std::move(sharded_ptr), std::move(server),
+               std::move(client)};
 }
 
 std::string CheckOne(const QualityGraph& g, const Stack& stack, Vertex s,
@@ -154,6 +171,12 @@ std::string CheckOne(const QualityGraph& g, const Stack& stack, Vertex s,
   }
   expect("engine", stack.engine->Query(s, t, w));
   expect("sharded", stack.sharded->Query(s, t, w));
+  auto net = stack.client->Query(s, t, w);
+  if (!net.ok()) {
+    if (out.tellp() == 0) out << "net error: " << net.status().ToString();
+  } else {
+    expect("net", net.value());
+  }
   return out.str();
 }
 
@@ -233,6 +256,16 @@ TEST(DifferentialFuzz, AllAnswerPathsAgree) {
       ASSERT_EQ(stack.engine->Batch(batch), expected)
           << "family=" << kFamilies[family] << " seed=" << seed;
       ASSERT_EQ(stack.sharded->Batch(batch), expected)
+          << "family=" << kFamilies[family] << " seed=" << seed;
+      // And both networked batch shapes: one kBatchQuery frame, and the
+      // pipelined stream of kQuery frames.
+      auto net_batch = stack.client->Batch(batch);
+      ASSERT_TRUE(net_batch.ok()) << net_batch.status().ToString();
+      ASSERT_EQ(net_batch.value(), expected)
+          << "family=" << kFamilies[family] << " seed=" << seed;
+      auto net_pipelined = stack.client->QueryPipelined(batch, 8);
+      ASSERT_TRUE(net_pipelined.ok()) << net_pipelined.status().ToString();
+      ASSERT_EQ(net_pipelined.value(), expected)
           << "family=" << kFamilies[family] << " seed=" << seed;
     }
   }

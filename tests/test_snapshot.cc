@@ -238,6 +238,102 @@ TEST(Snapshot, SectionCorruptionCaughtUnderVerify) {
   std::remove(path.c_str());
 }
 
+// The middle validation tier: a corrupted hub-directory `begin` — the
+// field query kernels index entry slices with — must be caught by
+// verify_level = kDirectory (and kDeep), while the default O(vertices)
+// load, which never reads group pages, still maps the file. This is the
+// crash window the tier exists to close.
+TEST(Snapshot, GroupCorruptionCaughtAtDirectoryLevel) {
+  WcIndex index = BuildFinalizedIndex();
+  ASSERT_GT(index.flat_labels().raw_groups().size(), 0u);
+  std::string path = TempPath("group_corrupt.wcsnap");
+  ASSERT_TRUE(index.SaveSnapshot(path).ok());
+  std::string bytes = ReadFileBytes(path);
+  // The groups section is written last, so the file's final 8 bytes are
+  // the last HubGroup and its trailing u32 is that group's `begin`. Point
+  // it far outside any entry slice.
+  for (size_t i = bytes.size() - 4; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<char>(0xFF);
+  }
+  WriteFileBytes(path, bytes);
+
+  // Default load trusts group payloads and succeeds.
+  auto trusting = WcIndex::LoadMmap(path);
+  EXPECT_TRUE(trusting.ok()) << trusting.status().ToString();
+
+  SnapshotLoadOptions directory;
+  directory.verify_level = SnapshotVerifyLevel::kDirectory;
+  auto checked = WcIndex::LoadMmap(path, directory);
+  EXPECT_FALSE(checked.ok());
+  EXPECT_EQ(checked.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(checked.status().message().find("hub directory"),
+            std::string::npos);
+
+  SnapshotLoadOptions deep;
+  deep.verify_level = SnapshotVerifyLevel::kDeep;
+  EXPECT_FALSE(WcIndex::LoadMmap(path, deep).ok());
+  std::remove(path.c_str());
+}
+
+// An uncorrupted snapshot must pass every verification tier (the middle
+// tier cannot produce false positives on writer output).
+TEST(Snapshot, AllVerifyLevelsAcceptAWellFormedSnapshot) {
+  WcIndex index = BuildFinalizedIndex();
+  std::string path = TempPath("levels_ok.wcsnap");
+  ASSERT_TRUE(index.SaveSnapshot(path).ok());
+  for (SnapshotVerifyLevel level :
+       {SnapshotVerifyLevel::kOffsets, SnapshotVerifyLevel::kDirectory,
+        SnapshotVerifyLevel::kDeep}) {
+    SnapshotLoadOptions options;
+    options.verify_level = level;
+    auto loaded = WcIndex::LoadMmap(path, options);
+    ASSERT_TRUE(loaded.ok())
+        << "level " << static_cast<int>(level) << ": "
+        << loaded.status().ToString();
+    EXPECT_EQ(loaded.value().TotalEntries(), index.TotalEntries());
+  }
+  std::remove(path.c_str());
+}
+
+// Unsorted hub ranks inside one vertex's directory are also a
+// directory-tier catch (the kernels binary-search groups by rank).
+TEST(Snapshot, UnsortedHubDirectoryCaughtAtDirectoryLevel) {
+  WcIndex index = BuildFinalizedIndex();
+  // Find a vertex with >= 2 hub groups and swap its first two directory
+  // records in the file image (the groups section is the file's tail).
+  const FlatLabelSet& flat = index.flat_labels();
+  auto group_offsets = flat.raw_group_offsets();
+  size_t vertex_group_begin = 0;
+  bool found = false;
+  for (Vertex v = 0; v < flat.NumVertices(); ++v) {
+    if (group_offsets[v + 1] - group_offsets[v] >= 2) {
+      vertex_group_begin = group_offsets[v];
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found) << "fixture has no multi-group vertex";
+  std::string path = TempPath("group_unsorted.wcsnap");
+  ASSERT_TRUE(index.SaveSnapshot(path).ok());
+  std::string bytes = ReadFileBytes(path);
+  const size_t groups_bytes = flat.raw_groups().size() * sizeof(HubGroup);
+  const size_t section_start = bytes.size() - groups_bytes;
+  const size_t at = section_start + vertex_group_begin * sizeof(HubGroup);
+  // Swap the two 4-byte hub ranks (fields 0 of records 0 and 1), keeping
+  // the begins intact: ranks now descend.
+  std::swap_ranges(bytes.begin() + static_cast<ptrdiff_t>(at),
+                   bytes.begin() + static_cast<ptrdiff_t>(at + 4),
+                   bytes.begin() + static_cast<ptrdiff_t>(at + 8));
+  WriteFileBytes(path, bytes);
+
+  SnapshotLoadOptions directory;
+  directory.verify_level = SnapshotVerifyLevel::kDirectory;
+  auto checked = WcIndex::LoadMmap(path, directory);
+  EXPECT_FALSE(checked.ok());
+  EXPECT_EQ(checked.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
 TEST(Snapshot, ReadInfoReportsHeaderFields) {
   WcIndex index = BuildFinalizedIndex();
   std::string path = TempPath("info.wcsnap");

@@ -10,6 +10,10 @@
 //             [--path --graph=<file>]
 //             answer one query (optionally with the route); --flat serves
 //             it from the finalized CSR label backend
+//   query     --connect=<host:port> --s=<v> --t=<v> --w=<q>
+//             [--timeout-ms=5000]
+//             answer one query over the wire protocol from a running
+//             `serve --listen` server
 //   stats     --index=<file>                 label statistics
 //   verify    --graph=<file> --index=<file>  brute-force Theorem 1 checks
 //   generate  --out=<file> --kind=road|social [--n=...] [--levels=...]
@@ -20,11 +24,15 @@
 //             shard files <out>.shard0 .. <out>.shard{N-1} instead
 //   serve     --snapshot=<file>[,<file>,...] [--queries=N] [--threads=T]
 //             [--seed=S] [--levels=L] [--impl=merge|scan|grouped|binary]
-//             [--verify]
+//             [--verify] [--verify-level=offsets|directory|deep]
+//             [--listen=PORT [--host=ADDR] [--max-seconds=S]]
 //             mmap the snapshot(s) — several files are stitched as
-//             vertex-range shards — and drive a random batch workload,
-//             reporting load and serving throughput; --verify checks
-//             section checksums and deep label invariants at load
+//             vertex-range shards — and either drive a random local batch
+//             workload (default) or, with --listen, serve the wire
+//             protocol (net/wire.h) on PORT until SIGINT/SIGTERM or
+//             --max-seconds; --verify checks section checksums and deep
+//             label invariants at load, --verify-level picks the middle
+//             O(hub-groups) tier on its own
 //
 // Examples:
 //   wcsd_cli generate --out=g.edges --kind=road --n=10000 --levels=5
@@ -33,10 +41,14 @@
 //   wcsd_cli snapshot --index=g.wcx --out=g.wcsnap
 //   wcsd_cli serve --snapshot=g.wcsnap --queries=100000 --threads=4
 
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/path_index.h"
@@ -46,6 +58,8 @@
 #include "graph/io.h"
 #include "labeling/label_stats.h"
 #include "labeling/snapshot.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "serve/query_engine.h"
 #include "serve/sharded_engine.h"
 #include "util/flags.h"
@@ -117,7 +131,56 @@ int CmdBuild(const Flags& flags) {
   return 0;
 }
 
+/// Splits "host:port"; returns false on a missing/invalid port.
+bool ParseHostPort(const std::string& spec, std::string* host,
+                   uint16_t* port) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size()) return false;
+  *host = spec.substr(0, colon);
+  char* end = nullptr;
+  long p = std::strtol(spec.c_str() + colon + 1, &end, 10);
+  if (p <= 0 || p > 65535 || end == nullptr || *end != '\0') return false;
+  *port = static_cast<uint16_t>(p);
+  return !host->empty();
+}
+
+int CmdRemoteQuery(const Flags& flags, const std::string& connect) {
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(connect, &host, &port)) {
+    std::fprintf(stderr, "error: --connect wants host:port, got %s\n",
+                 connect.c_str());
+    return 1;
+  }
+  int timeout_ms = static_cast<int>(flags.GetInt("timeout-ms", 5000));
+  auto client = WcClient::Connect(host, port, timeout_ms);
+  if (!client.ok()) {
+    std::fprintf(stderr, "error: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  Vertex s = static_cast<Vertex>(flags.GetInt("s", 0));
+  Vertex t = static_cast<Vertex>(flags.GetInt("t", 0));
+  Quality w = static_cast<Quality>(flags.GetDouble("w", 1.0));
+  Timer timer;
+  auto d = client.value().Query(s, t, w);
+  double micros = timer.Micros();
+  if (!d.ok()) {
+    std::fprintf(stderr, "error: %s\n", d.status().ToString().c_str());
+    return 1;
+  }
+  if (d.value() == kInfDistance) {
+    std::printf("dist(%u, %u | w >= %g) = INF   (%.1f us over %s)\n", s, t,
+                w, micros, connect.c_str());
+  } else {
+    std::printf("dist(%u, %u | w >= %g) = %u   (%.1f us over %s)\n", s, t,
+                w, d.value(), micros, connect.c_str());
+  }
+  return 0;
+}
+
 int CmdQuery(const Flags& flags) {
+  std::string connect = flags.GetString("connect", "");
+  if (!connect.empty()) return CmdRemoteQuery(flags, connect);
   auto loaded = WcIndex::Load(flags.GetString("index", ""));
   if (!loaded.ok()) {
     std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
@@ -294,6 +357,51 @@ std::vector<std::string> SplitCommaList(const std::string& list) {
   return parts;
 }
 
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+/// `serve --listen`: expose the mapped engine over the wire protocol until
+/// SIGINT/SIGTERM (or --max-seconds, for scripted runs).
+int RunWireServer(std::shared_ptr<const QueryService> service,
+                  const Flags& flags, size_t num_vertices,
+                  size_t served_threads) {
+  int64_t port = flags.GetInt("listen", 0);
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "error: --listen wants a port in [0, 65535]\n");
+    return 1;
+  }
+  WcServerOptions options;
+  options.bind_address = flags.GetString("host", "127.0.0.1");
+  options.port = static_cast<uint16_t>(port);
+  auto server = WcServer::Start(std::move(service), options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "error: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %zu vertices on %s:%u (%zu worker thread%s)\n",
+              num_vertices, options.bind_address.c_str(),
+              server.value().port(), served_threads,
+              served_threads == 1 ? "" : "s");
+  std::fflush(stdout);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  double max_seconds = flags.GetDouble("max-seconds", 0.0);
+  Timer timer;
+  while (g_stop_requested == 0 &&
+         (max_seconds <= 0.0 || timer.Seconds() < max_seconds)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.value().Stop();
+  WcServerStats stats = server.value().stats();
+  std::printf(
+      "served %llu frames over %llu connections (%llu protocol errors)\n",
+      static_cast<unsigned long long>(stats.frames_served),
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.protocol_errors));
+  return 0;
+}
+
 int CmdServe(const Flags& flags) {
   std::vector<std::string> paths =
       SplitCommaList(flags.GetString("snapshot", ""));
@@ -330,9 +438,20 @@ int CmdServe(const Flags& flags) {
   }
   SnapshotLoadOptions load;
   load.verify_checksums = load.deep_validate = flags.GetBool("verify", false);
+  std::string verify_level = flags.GetString("verify-level", "offsets");
+  if (verify_level == "directory") {
+    load.verify_level = SnapshotVerifyLevel::kDirectory;
+  } else if (verify_level == "deep") {
+    load.verify_level = SnapshotVerifyLevel::kDeep;
+  } else if (verify_level != "offsets") {
+    std::fprintf(stderr, "error: unknown --verify-level: %s\n",
+                 verify_level.c_str());
+    return 1;
+  }
 
   // One full snapshot serves through QueryEngine; anything else (shard
-  // files, label-only snapshots) goes through the sharded engine.
+  // files, label-only snapshots) goes through the sharded engine. Both are
+  // served through the QueryService surface the network front end uses.
   auto info = ReadSnapshotInfo(paths[0]);
   if (!info.ok()) {
     std::fprintf(stderr, "error: %s\n", info.status().ToString().c_str());
@@ -341,69 +460,64 @@ int CmdServe(const Flags& flags) {
   bool single_full = paths.size() == 1 && info.value().IsFullRange() &&
                      info.value().has_order;
 
-  size_t queries = static_cast<size_t>(queries_flag);
-  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-  size_t n = 0;
-
   Timer load_timer;
-  std::vector<BatchQueryInput> workload;
-  auto make_workload = [&](size_t num_vertices) {
-    n = num_vertices;
-    Rng rng(seed);
-    workload.reserve(queries);
-    for (size_t i = 0; i < queries; ++i) {
-      workload.push_back(
-          {static_cast<Vertex>(rng.NextBounded(num_vertices)),
-           static_cast<Vertex>(rng.NextBounded(num_vertices)),
-           static_cast<Quality>(rng.NextInRange(1, levels))});
-    }
-  };
-
-  Timer batch_timer;
-  size_t reachable = 0;
-  double load_seconds = 0.0;
+  std::shared_ptr<const QueryService> service;
+  size_t n = 0;
   size_t served_threads = 1;
   if (single_full) {
     auto engine = QueryEngine::Open(paths[0], options, load);
-    load_seconds = load_timer.Seconds();
     if (!engine.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    engine.status().ToString().c_str());
       return 1;
     }
-    if (engine.value().index().NumVertices() == 0) {
-      std::fprintf(stderr, "error: empty snapshot\n");
-      return 1;
-    }
-    make_workload(engine.value().index().NumVertices());
-    served_threads = engine.value().num_threads();
-    batch_timer.Restart();
-    for (Distance d : engine.value().Batch(workload)) {
-      if (d != kInfDistance) ++reachable;
-    }
+    auto shared =
+        std::make_shared<const QueryEngine>(std::move(engine).value());
+    n = shared->index().NumVertices();
+    served_threads = shared->num_threads();
+    service = MakeQueryService(std::move(shared));
   } else {
     auto engine = ShardedQueryEngine::OpenMmap(paths, options, load);
-    load_seconds = load_timer.Seconds();
     if (!engine.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    engine.status().ToString().c_str());
       return 1;
     }
-    if (engine.value().NumVertices() == 0) {
-      std::fprintf(stderr, "error: empty snapshot\n");
-      return 1;
-    }
-    make_workload(engine.value().NumVertices());
-    served_threads = engine.value().num_threads();
-    batch_timer.Restart();
-    for (Distance d : engine.value().Batch(workload)) {
-      if (d != kInfDistance) ++reachable;
-    }
+    auto shared = std::make_shared<const ShardedQueryEngine>(
+        std::move(engine).value());
+    n = shared->NumVertices();
+    served_threads = shared->num_threads();
+    service = MakeQueryService(std::move(shared));
   }
-  double serve_seconds = batch_timer.Seconds();
+  double load_seconds = load_timer.Seconds();
+  if (n == 0) {
+    std::fprintf(stderr, "error: empty snapshot\n");
+    return 1;
+  }
   std::printf("mapped %zu snapshot%s (%zu vertices) in %.3f ms\n",
               paths.size(), paths.size() == 1 ? "" : "s", n,
               load_seconds * 1e3);
+
+  if (flags.Has("listen")) {
+    return RunWireServer(std::move(service), flags, n, served_threads);
+  }
+
+  size_t queries = static_cast<size_t>(queries_flag);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  Rng rng(seed);
+  std::vector<BatchQueryInput> workload;
+  workload.reserve(queries);
+  for (size_t i = 0; i < queries; ++i) {
+    workload.push_back({static_cast<Vertex>(rng.NextBounded(n)),
+                        static_cast<Vertex>(rng.NextBounded(n)),
+                        static_cast<Quality>(rng.NextInRange(1, levels))});
+  }
+  Timer batch_timer;
+  size_t reachable = 0;
+  for (Distance d : service->Batch(workload)) {
+    if (d != kInfDistance) ++reachable;
+  }
+  double serve_seconds = batch_timer.Seconds();
   std::printf(
       "served %zu queries on %zu thread%s in %.3f s (%.0f q/s), "
       "%zu reachable\n",
