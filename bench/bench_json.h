@@ -47,6 +47,10 @@ class JsonExportReporter : public benchmark::ConsoleReporter {
           static_cast<size_t>(ArgFromRunName(record.name, "threads", 1));
       record.backend =
           ArgFromRunName(record.name, "backend", 0) == 1 ? "flat" : "vector";
+      for (const auto& [name, counter] : run.counters) {
+        record.counters.emplace_back(name,
+                                     static_cast<double>(counter.value));
+      }
       writer_.Record(std::move(record));
     }
     benchmark::ConsoleReporter::ReportRuns(runs);

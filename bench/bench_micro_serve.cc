@@ -1,7 +1,9 @@
 // Google-benchmark microbenchmarks for the serving subsystem: snapshot
 // mmap-load latency vs the full deserializing Load — at two index sizes,
 // to show mmap load time is independent of label count — plus QueryEngine
-// batch throughput at 1/2/4/8 threads and the sharded engine. Emits
+// batch throughput at 1/2/4/8 threads, the sharded engine over even and
+// label-mass-planned shard sets (with the planned-vs-even byte skew as
+// counters), and per-shard query throughput over the planned set. Emits
 // BENCH_micro_serve.json for cross-PR tracking.
 
 #include <benchmark/benchmark.h>
@@ -18,19 +20,28 @@
 #include "bench/workload.h"
 #include "core/batch.h"
 #include "core/wc_index.h"
+#include "labeling/shard_manifest.h"
+#include "labeling/shard_plan.h"
 #include "labeling/snapshot.h"
 #include "serve/query_engine.h"
 #include "serve/sharded_engine.h"
+#include "util/random.h"
 
 namespace wcsd {
 namespace {
+
+constexpr int kBenchShards = 4;
 
 // Two sizes of the same social family; "size:1" has ~4x the label entries
 // of "size:0". Files are written once into /tmp and reused.
 struct ServeFixture {
   std::string wcx_path;
   std::string snap_path;
-  std::vector<std::string> shard_paths;
+  std::vector<std::string> shard_paths;  // even vertex-range shards
+  std::string manifest_path;             // label-mass-planned shard set
+  ShardPlan plan;                        // the planned tiling
+  double planned_skew = 0.0;             // max/mean bytes, planned split
+  double even_skew = 0.0;                // max/mean bytes, even split
   size_t num_vertices = 0;
   size_t total_entries = 0;
 };
@@ -54,17 +65,37 @@ const ServeFixture& FixtureForSize(int size) {
         std::fprintf(stderr, "bench fixture write failed\n");
         std::abort();
       }
-      for (int k = 0; k < 4; ++k) {
+      for (int k = 0; k < kBenchShards; ++k) {
         std::string path = stem + ".shard" + std::to_string(k);
         uint64_t n = f.num_vertices;
-        if (!WriteSnapshotShard(path, index.flat_labels(), n * k / 4,
-                                n * (k + 1) / 4, n)
+        if (!WriteSnapshotShard(path, index.flat_labels(),
+                                n * k / kBenchShards,
+                                n * (k + 1) / kBenchShards, n)
                  .ok()) {
           std::fprintf(stderr, "bench shard write failed\n");
           std::abort();
         }
         f.shard_paths.push_back(path);
       }
+      ShardPlanOptions plan_options;
+      plan_options.num_shards = kBenchShards;
+      auto planned = PlanShards(index.flat_labels(), plan_options);
+      plan_options.even_vertex = true;
+      auto even = PlanShards(index.flat_labels(), plan_options);
+      if (!planned.ok() || !even.ok()) {
+        std::fprintf(stderr, "bench shard planning failed\n");
+        std::abort();
+      }
+      f.plan = planned.value();
+      f.planned_skew = planned.value().ByteSkew();
+      f.even_skew = even.value().ByteSkew();
+      auto written = WriteShardSet(stem + "_planned", index.flat_labels(),
+                                   planned.value());
+      if (!written.ok()) {
+        std::fprintf(stderr, "bench shard-set write failed\n");
+        std::abort();
+      }
+      f.manifest_path = written.value().manifest_path;
       out[i] = std::move(f);
     }
     return out;
@@ -168,6 +199,128 @@ void BM_ShardedBatchThroughput(benchmark::State& state) {
 BENCHMARK(BM_ShardedBatchThroughput)
     ->Arg(1)->Arg(4)
     ->ArgNames({"threads"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Label-mass-balanced shard planning over the hub-heavy social index.
+// The planned-vs-even byte skew (max/mean shard bytes; 1.0 = perfect)
+// lands in BENCH_micro_serve.json as counters.
+void BM_ShardPlan(benchmark::State& state) {
+  const ServeFixture& f = FixtureForSize(1);
+  auto loaded = WcIndex::LoadMmap(f.snap_path);
+  if (!loaded.ok()) {
+    state.SkipWithError("mmap load failed");
+    return;
+  }
+  ShardPlanOptions options;
+  options.num_shards = kBenchShards;
+  for (auto _ : state) {
+    auto plan = PlanShards(loaded.value().flat_labels(), options);
+    if (!plan.ok()) {
+      state.SkipWithError("planning failed");
+      return;
+    }
+    benchmark::DoNotOptimize(plan.value().total_bytes);
+  }
+  state.counters["planned_skew"] = f.planned_skew;
+  state.counters["even_skew"] = f.even_skew;
+  state.counters["shards"] = kBenchShards;
+}
+BENCHMARK(BM_ShardPlan)->Unit(benchmark::kMicrosecond);
+
+// Opening a whole shard set through its manifest (parse + map + header
+// cross-checks; no payload reads).
+void BM_ManifestOpen(benchmark::State& state) {
+  const ServeFixture& f = FixtureForSize(1);
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  for (auto _ : state) {
+    auto engine = ShardedQueryEngine::OpenManifest(f.manifest_path, options);
+    if (!engine.ok()) {
+      state.SkipWithError("manifest open failed");
+      return;
+    }
+    benchmark::DoNotOptimize(engine.value().NumVertices());
+  }
+  state.counters["shards"] = kBenchShards;
+}
+BENCHMARK(BM_ManifestOpen)->Unit(benchmark::kMicrosecond);
+
+// The mixed workload through the planned (label-mass-balanced) shard set;
+// compare against BM_ShardedBatchThroughput's even split.
+void BM_PlannedShardedBatchThroughput(benchmark::State& state) {
+  const ServeFixture& f = FixtureForSize(1);
+  QueryEngineOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  static std::unique_ptr<ShardedQueryEngine> engine;
+  static size_t engine_threads = 0;
+  if (!engine || engine_threads != options.num_threads) {
+    auto opened = ShardedQueryEngine::OpenManifest(f.manifest_path, options);
+    if (!opened.ok()) {
+      state.SkipWithError("manifest open failed");
+      return;
+    }
+    engine =
+        std::make_unique<ShardedQueryEngine>(std::move(opened).value());
+    engine_threads = options.num_threads;
+  }
+  const auto& workload = ServeWorkload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Batch(workload));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(workload.size()));
+  state.counters["planned_skew"] = f.planned_skew;
+}
+BENCHMARK(BM_PlannedShardedBatchThroughput)
+    ->Arg(1)->Arg(4)
+    ->ArgNames({"threads"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Per-shard query throughput over the planned set: both endpoints of every
+// query land inside shard k, so the run measures one shard's locality.
+// With mass-balanced shards these runs should look alike; shard_bytes
+// records each shard's label mass alongside.
+void BM_ShardLocalThroughput(benchmark::State& state) {
+  const ServeFixture& f = FixtureForSize(1);
+  const int shard = static_cast<int>(state.range(0));
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  static std::unique_ptr<ShardedQueryEngine> engine;
+  if (!engine) {
+    auto opened = ShardedQueryEngine::OpenManifest(f.manifest_path, options);
+    if (!opened.ok()) {
+      state.SkipWithError("manifest open failed");
+      return;
+    }
+    engine =
+        std::make_unique<ShardedQueryEngine>(std::move(opened).value());
+  }
+  if (static_cast<size_t>(shard) >= f.plan.shards.size()) {
+    state.SkipWithError("shard index out of range");
+    return;
+  }
+  const PlannedShard& range = f.plan.shards[static_cast<size_t>(shard)];
+  std::vector<BatchQueryInput> workload;
+  Rng rng(0x5eedu + static_cast<uint64_t>(shard));
+  const uint64_t span = range.num_vertices();
+  for (size_t i = 0; i < 8192; ++i) {
+    workload.push_back(
+        {static_cast<Vertex>(range.begin + rng.NextBounded(span)),
+         static_cast<Vertex>(range.begin + rng.NextBounded(span)),
+         static_cast<Quality>(rng.NextInRange(1, 7))});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Batch(workload));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(workload.size()));
+  state.counters["shard_bytes"] = static_cast<double>(range.bytes);
+}
+BENCHMARK(BM_ShardLocalThroughput)
+    ->DenseRange(0, kBenchShards - 1)
+    ->ArgNames({"shard"})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

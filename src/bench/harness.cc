@@ -83,8 +83,18 @@ Status BenchJsonWriter::WriteFile(std::string* out_path) const {
     std::snprintf(median, sizeof(median), "%.1f", r.median_ns);
     out << "  {\"name\": \"" << JsonEscape(r.name) << "\", \"median_ns\": "
         << median << ", \"threads\": " << r.threads << ", \"backend\": \""
-        << JsonEscape(r.backend) << "\"}" << (i + 1 < records_.size() ? "," : "")
-        << "\n";
+        << JsonEscape(r.backend) << "\"";
+    if (!r.counters.empty()) {
+      out << ", \"counters\": {";
+      for (size_t c = 0; c < r.counters.size(); ++c) {
+        char value[32];
+        std::snprintf(value, sizeof(value), "%.4f", r.counters[c].second);
+        out << "\"" << JsonEscape(r.counters[c].first) << "\": " << value
+            << (c + 1 < r.counters.size() ? ", " : "");
+      }
+      out << "}";
+    }
+    out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
   }
   out << "]\n";
   if (!out) return Status::IoError("write failed for " + path);

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -47,6 +48,10 @@ struct BenchRecord {
   double median_ns = 0;   // median (or sole) wall time per iteration
   size_t threads = 1;     // worker threads the measured code used
   std::string backend;    // label storage backend: "vector" | "flat" | other
+  /// Benchmark-reported counters (google-benchmark UserCounters), emitted
+  /// as a nested JSON object — how non-latency results (byte skew,
+  /// throughput) reach the BENCH_*.json files.
+  std::vector<std::pair<std::string, double>> counters;
 };
 
 /// Collects BenchRecords and writes them as one JSON array to

@@ -168,6 +168,7 @@ SnapshotInfo InfoFromHeader(const SnapshotHeader& header) {
   info.vertex_begin = header.vertex_begin;
   info.vertex_end = header.vertex_end;
   info.has_order = (header.flags & kFlagHasOrder) != 0;
+  info.header_crc = header.header_crc;
   return info;
 }
 

@@ -52,6 +52,10 @@ struct SnapshotInfo {
   uint64_t vertex_begin = 0;
   uint64_t vertex_end = 0;
   bool has_order = false;
+  /// The header's self-CRC — a cheap identity for the whole file (the
+  /// header embeds every section's CRC). Shard manifests record it to
+  /// detect a swapped or regenerated shard file without reading payloads.
+  uint32_t header_crc = 0;
 
   bool IsFullRange() const {
     return vertex_begin == 0 && vertex_end == num_vertices_total;

@@ -256,13 +256,26 @@ Result<WireStats> WcClient::Stats() {
   WCSD_RETURN_NOT_OK(SendBytes(out.data(), out.size()));
   Result<WireFrame> reply = ReadReply(MsgType::kStatsReply, id);
   if (!reply.ok()) return reply.status();
-  if (reply.value().payload.size() != sizeof(net::StatsReplyPayload)) {
+  const std::vector<uint8_t>& bytes = reply.value().payload;
+  if (bytes.size() < net::StatsReplyBytes(0)) {
     return Status::Corruption("bad stats reply payload");
   }
   net::StatsReplyPayload payload;
-  std::memcpy(&payload, reply.value().payload.data(), sizeof(payload));
-  return WireStats{payload.num_vertices, payload.queries, payload.reachable,
-                   payload.batches};
+  std::memcpy(&payload, bytes.data(), sizeof(payload));
+  uint32_t shard_count;
+  std::memcpy(&shard_count, bytes.data() + sizeof(payload),
+              sizeof(shard_count));
+  if (bytes.size() != net::StatsReplyBytes(shard_count)) {
+    return Status::Corruption("bad stats reply shard section");
+  }
+  WireStats stats{payload.num_vertices, payload.queries, payload.reachable,
+                  payload.batches, {}};
+  stats.shards.resize(shard_count);
+  if (shard_count > 0) {
+    std::memcpy(stats.shards.data(), bytes.data() + net::StatsReplyBytes(0),
+                uint64_t{shard_count} * sizeof(net::ShardBalancePayload));
+  }
+  return stats;
 }
 
 Result<uint64_t> WcClient::Health() {

@@ -33,12 +33,15 @@ struct WireFrame {
   std::vector<uint8_t> payload;
 };
 
-/// Server counters as reported over the wire (kStatsReply).
+/// Server counters as reported over the wire (kStatsReply), plus the
+/// per-shard balance section (empty when the server's engine is not
+/// sharded).
 struct WireStats {
   uint64_t num_vertices = 0;
   uint64_t queries = 0;
   uint64_t reachable = 0;
   uint64_t batches = 0;
+  std::vector<net::ShardBalancePayload> shards;
 };
 
 class WcClient {

@@ -64,6 +64,9 @@ class ShardedService final : public QueryService {
   }
   uint64_t NumVertices() const override { return engine_->NumVertices(); }
   QueryEngineStats Stats() const override { return engine_->stats(); }
+  std::vector<ShardBalanceEntry> ShardBalance() const override {
+    return engine_->ShardBalance();
+  }
 
  private:
   std::shared_ptr<const ShardedQueryEngine> engine_;
@@ -400,8 +403,13 @@ struct WcServer::Impl {
         QueryEngineStats stats = service->Stats();
         net::StatsReplyPayload reply{service->NumVertices(), stats.queries,
                                      stats.reachable, stats.batches};
-        net::AppendFrame(&conn.out, MsgType::kStatsReply, WireError::kOk,
-                         header.request_id, &reply, sizeof(reply));
+        std::vector<net::ShardBalancePayload> shards;
+        for (const ShardBalanceEntry& shard : service->ShardBalance()) {
+          shards.push_back(net::ShardBalancePayload{
+              shard.vertex_begin, shard.vertex_end, shard.entry_count,
+              shard.label_bytes});
+        }
+        net::AppendStatsReply(&conn.out, header.request_id, reply, shards);
         break;
       }
       case MsgType::kHealth: {

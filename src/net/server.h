@@ -46,6 +46,9 @@ class QueryService {
       const std::vector<BatchQueryInput>& queries) const = 0;
   virtual uint64_t NumVertices() const = 0;
   virtual QueryEngineStats Stats() const = 0;
+  /// Per-shard balance for the wire Stats frame; empty when the engine is
+  /// not sharded.
+  virtual std::vector<ShardBalanceEntry> ShardBalance() const { return {}; }
 };
 
 /// Adapters for the two engines. The shared_ptr keeps the engine (and its

@@ -95,6 +95,25 @@ void AppendBatchReply(std::vector<uint8_t>* out, uint64_t request_id,
   }
 }
 
+void AppendStatsReply(std::vector<uint8_t>* out, uint64_t request_id,
+                      const StatsReplyPayload& stats,
+                      std::span<const ShardBalancePayload> shards) {
+  const uint32_t count = static_cast<uint32_t>(shards.size());
+  const uint32_t reserved = 0;
+  size_t at = AppendHeader(out, MsgType::kStatsReply, WireError::kOk,
+                           request_id, StatsReplyBytes(shards.size()));
+  std::memcpy(out->data() + at, &stats, sizeof(stats));
+  at += sizeof(stats);
+  std::memcpy(out->data() + at, &count, sizeof(count));
+  at += sizeof(count);
+  std::memcpy(out->data() + at, &reserved, sizeof(reserved));
+  at += sizeof(reserved);
+  if (!shards.empty()) {
+    std::memcpy(out->data() + at, shards.data(),
+                shards.size() * sizeof(ShardBalancePayload));
+  }
+}
+
 void AppendStatsRequest(std::vector<uint8_t>* out, uint64_t request_id) {
   AppendFrame(out, MsgType::kStats, WireError::kOk, request_id, nullptr, 0);
 }

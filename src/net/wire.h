@@ -19,7 +19,11 @@
 //   kBatchQueryReply (4+4n) u32 count, then count u32 distances,
 //                      positionally aligned with the request
 //   kStats       (0)
-//   kStatsReply  (32)  u64 num_vertices, queries, reachable, batches
+//   kStatsReply  (40+32n) u64 num_vertices, queries, reachable, batches,
+//                      then u32 shard_count, u32 reserved, then shard_count
+//                      per-shard balance records (u64 vertex_begin,
+//                      vertex_end, entry_count, label_bytes) in tiling
+//                      order; shard_count is 0 for unsharded engines
 //   kHealth      (0)
 //   kHealthReply (8)   u64 num_vertices
 //   kError       (0)   header.status carries the WireError; sent in place
@@ -51,8 +55,9 @@ namespace net {
 inline constexpr uint32_t kWireMagic = 0x4e534357;
 
 /// Current protocol version. Bump on any frame-layout change; peers reject
-/// other versions with a clean error frame.
-inline constexpr uint16_t kWireVersion = 1;
+/// other versions with a clean error frame. v2: kStatsReply grew the
+/// per-shard balance section.
+inline constexpr uint16_t kWireVersion = 2;
 
 /// Default upper bound on one frame's payload (16 MiB ≈ 1.4M batched
 /// queries). A header announcing more is treated as a framing error before
@@ -121,7 +126,9 @@ struct QueryReplyPayload {
 };
 static_assert(sizeof(QueryReplyPayload) == 4);
 
-/// kStatsReply payload: the serving engine's aggregate counters.
+/// kStatsReply fixed prefix: the serving engine's aggregate counters. The
+/// wire payload continues with u32 shard_count, u32 reserved, and
+/// shard_count ShardBalancePayload records (empty for unsharded engines).
 struct StatsReplyPayload {
   uint64_t num_vertices;
   uint64_t queries;
@@ -129,6 +136,22 @@ struct StatsReplyPayload {
   uint64_t batches;
 };
 static_assert(sizeof(StatsReplyPayload) == 32);
+
+/// One per-shard balance record in a kStatsReply: the shard's vertex range
+/// and the label mass it serves. Matches serve's ShardBalanceEntry.
+struct ShardBalancePayload {
+  uint64_t vertex_begin;
+  uint64_t vertex_end;
+  uint64_t entry_count;
+  uint64_t label_bytes;
+};
+static_assert(sizeof(ShardBalancePayload) == 32);
+
+/// Bytes of a kStatsReply payload carrying `shard_count` balance records.
+inline constexpr size_t StatsReplyBytes(size_t shard_count) {
+  return sizeof(StatsReplyPayload) + 2 * sizeof(uint32_t) +
+         shard_count * sizeof(ShardBalancePayload);
+}
 
 /// kHealthReply payload: nonzero vertex count doubles as "index mapped".
 struct HealthReplyPayload {
@@ -156,6 +179,12 @@ void AppendHealthRequest(std::vector<uint8_t>* out, uint64_t request_id);
 /// straight into `out` (batch payloads are the big ones; no staging copy).
 void AppendBatchReply(std::vector<uint8_t>* out, uint64_t request_id,
                       std::span<const Distance> results);
+
+/// Appends a kStatsReply frame: the fixed counter prefix plus the
+/// per-shard balance section.
+void AppendStatsReply(std::vector<uint8_t>* out, uint64_t request_id,
+                      const StatsReplyPayload& stats,
+                      std::span<const ShardBalancePayload> shards);
 
 // ------------------------------------------------------------- decoding
 

@@ -3,31 +3,30 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/checksum.h"
+
 namespace wcsd {
 
-Result<ShardedQueryEngine> ShardedQueryEngine::OpenMmap(
-    const std::vector<std::string>& shard_paths, QueryEngineOptions options,
-    const SnapshotLoadOptions& load) {
-  if (shard_paths.empty()) {
-    return Status::InvalidArgument("no shard snapshots given");
-  }
+namespace {
+
+std::string RangeString(uint64_t begin, uint64_t end) {
+  std::string out = "[";
+  out += std::to_string(begin);
+  out += ", ";
+  out += std::to_string(end);
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+Result<ShardedQueryEngine> ShardedQueryEngine::Assemble(
+    std::vector<Shard> shards, uint64_t num_vertices,
+    QueryEngineOptions options) {
   ShardedQueryEngine engine;
   engine.options_ = options;
-  for (const std::string& path : shard_paths) {
-    Result<MappedSnapshot> snapshot = LoadSnapshotMmap(path, load);
-    if (!snapshot.ok()) return snapshot.status();
-    MappedSnapshot& mapped = snapshot.value();
-    if (engine.shards_.empty()) {
-      engine.num_vertices_ = mapped.info.num_vertices_total;
-    } else if (engine.num_vertices_ != mapped.info.num_vertices_total) {
-      return Status::InvalidArgument(
-          "shard " + path + " belongs to a different index (vertex totals "
-          "disagree)");
-    }
-    engine.shards_.push_back(Shard{mapped.info.vertex_begin,
-                                   mapped.info.vertex_end,
-                                   std::move(mapped.labels)});
-  }
+  engine.num_vertices_ = num_vertices;
+  engine.shards_ = std::move(shards);
   // Sort by (begin, end) so an empty shard [x, x) lands before the
   // non-empty shard starting at x regardless of input order — otherwise
   // the tiling check below would flag a false overlap.
@@ -36,19 +35,31 @@ Result<ShardedQueryEngine> ShardedQueryEngine::OpenMmap(
               return a.begin != b.begin ? a.begin < b.begin : a.end < b.end;
             });
   uint64_t cursor = 0;
-  for (const Shard& shard : engine.shards_) {
+  for (size_t i = 0; i < engine.shards_.size(); ++i) {
+    const Shard& shard = engine.shards_[i];
     if (shard.begin != cursor) {
-      return Status::InvalidArgument(
-          "shards do not tile the vertex range: gap or overlap at vertex " +
-          std::to_string(cursor));
+      std::string message = "shards do not tile the vertex range: ";
+      message += shard.begin > cursor ? "gap" : "overlap";
+      message += " at vertex " + std::to_string(std::min(cursor, shard.begin));
+      message += " — shard " + std::to_string(i) + " (" + shard.path + ")";
+      message += " covers " + RangeString(shard.begin, shard.end);
+      message += " but the range is tiled up to " + std::to_string(cursor);
+      return Status::InvalidArgument(std::move(message));
     }
     cursor = shard.end;
   }
   if (cursor != engine.num_vertices_) {
-    return Status::InvalidArgument(
-        "shards do not cover the full vertex range (end at " +
-        std::to_string(cursor) + " of " +
-        std::to_string(engine.num_vertices_) + ")");
+    std::string message = "shards do not cover the full vertex range (end at ";
+    message += std::to_string(cursor) + " of " +
+               std::to_string(engine.num_vertices_);
+    if (!engine.shards_.empty()) {
+      const Shard& last = engine.shards_.back();
+      message += "; last shard " +
+                 std::to_string(engine.shards_.size() - 1) + " (" +
+                 last.path + ") covers " + RangeString(last.begin, last.end);
+    }
+    message += ")";
+    return Status::InvalidArgument(std::move(message));
   }
   engine.begins_.reserve(engine.shards_.size());
   for (const Shard& shard : engine.shards_) {
@@ -58,6 +69,117 @@ Result<ShardedQueryEngine> ShardedQueryEngine::OpenMmap(
   if (threads > 1) engine.pool_ = std::make_unique<ThreadPool>(threads);
   engine.stats_ = std::make_unique<ServeStatsBlock>(threads);
   return engine;
+}
+
+Result<ShardedQueryEngine> ShardedQueryEngine::OpenMmap(
+    const std::vector<std::string>& shard_paths, QueryEngineOptions options,
+    const SnapshotLoadOptions& load) {
+  if (shard_paths.empty()) {
+    return Status::InvalidArgument("no shard snapshots given");
+  }
+  std::vector<Shard> shards;
+  uint64_t num_vertices = 0;
+  for (const std::string& path : shard_paths) {
+    Result<MappedSnapshot> snapshot = LoadSnapshotMmap(path, load);
+    if (!snapshot.ok()) return snapshot.status();
+    MappedSnapshot& mapped = snapshot.value();
+    if (shards.empty()) {
+      num_vertices = mapped.info.num_vertices_total;
+    } else if (num_vertices != mapped.info.num_vertices_total) {
+      return Status::InvalidArgument(
+          "shard " + path + " belongs to a different index (vertex totals "
+          "disagree)");
+    }
+    shards.push_back(Shard{mapped.info.vertex_begin, mapped.info.vertex_end,
+                           std::move(mapped.labels), path});
+  }
+  return Assemble(std::move(shards), num_vertices, options);
+}
+
+Result<ShardedQueryEngine> ShardedQueryEngine::OpenManifest(
+    const std::string& manifest_path, QueryEngineOptions options,
+    const SnapshotLoadOptions& load) {
+  Result<ShardManifest> read = ReadShardManifest(manifest_path);
+  if (!read.ok()) return read.status();
+  const ShardManifest& manifest = read.value();
+  WCSD_RETURN_NOT_OK(manifest.ValidateTiling());
+
+  // Fingerprint recomputation chains the per-shard payload CRCs in tiling
+  // order; ValidateTiling just proved the manifest order IS tiling order.
+  const uint64_t n = manifest.num_vertices_total;
+  const uint32_t crc_seed = Crc32c(&n, sizeof(n));
+  uint32_t entries_crc = crc_seed;
+  uint32_t groups_crc = crc_seed;
+
+  std::vector<Shard> shards;
+  for (size_t i = 0; i < manifest.shards.size(); ++i) {
+    const ShardManifestEntry& entry = manifest.shards[i];
+    const std::string path = ResolveShardPath(manifest_path, entry.path);
+    const std::string which =
+        "shard " + std::to_string(i) + " (" + path + ")";
+    Result<MappedSnapshot> snapshot = LoadSnapshotMmap(path, load);
+    if (!snapshot.ok()) {
+      return Status(snapshot.status().code(),
+                    "manifest " + manifest_path + ": " + which + ": " +
+                        snapshot.status().message());
+    }
+    MappedSnapshot& mapped = snapshot.value();
+    if (mapped.info.num_vertices_total != manifest.num_vertices_total ||
+        mapped.info.vertex_begin != entry.vertex_begin ||
+        mapped.info.vertex_end != entry.vertex_end) {
+      return Status::InvalidArgument(
+          "manifest " + manifest_path + ": " + which + " covers " +
+          RangeString(mapped.info.vertex_begin, mapped.info.vertex_end) +
+          " of " + std::to_string(mapped.info.num_vertices_total) +
+          " vertices but the manifest records " +
+          RangeString(entry.vertex_begin, entry.vertex_end) + " of " +
+          std::to_string(manifest.num_vertices_total));
+    }
+    if (mapped.info.header_crc != entry.snapshot_header_crc) {
+      return Status::Corruption(
+          "manifest " + manifest_path + ": " + which +
+          " is not the file the manifest was written for (snapshot header "
+          "checksum mismatch)");
+    }
+    if (mapped.labels.TotalEntries() != entry.entry_count ||
+        mapped.labels.raw_groups().size() != entry.group_count) {
+      return Status::Corruption(
+          "manifest " + manifest_path + ": " + which +
+          " entry/group counts disagree with the manifest");
+    }
+    if (load.verify_checksums) {
+      auto entry_bytes = mapped.labels.raw_entries();
+      auto group_bytes = mapped.labels.raw_groups();
+      entries_crc = Crc32c(entry_bytes.data(),
+                           entry_bytes.size() * sizeof(LabelEntry),
+                           entries_crc);
+      groups_crc = Crc32c(group_bytes.data(),
+                          group_bytes.size() * sizeof(HubGroup), groups_crc);
+    }
+    shards.push_back(Shard{entry.vertex_begin, entry.vertex_end,
+                           std::move(mapped.labels), path});
+  }
+  if (load.verify_checksums) {
+    const uint64_t fingerprint =
+        (uint64_t{groups_crc} << 32) | entries_crc;
+    if (fingerprint != manifest.fingerprint) {
+      return Status::Corruption(
+          "manifest " + manifest_path +
+          ": shard contents do not match the recorded index fingerprint");
+    }
+  }
+  return Assemble(std::move(shards), manifest.num_vertices_total, options);
+}
+
+std::vector<ShardBalanceEntry> ShardedQueryEngine::ShardBalance() const {
+  std::vector<ShardBalanceEntry> balance;
+  balance.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    balance.push_back(ShardBalanceEntry{shard.begin, shard.end,
+                                        shard.labels.TotalEntries(),
+                                        shard.labels.MemoryBytes()});
+  }
+  return balance;
 }
 
 FlatLabelView ShardedQueryEngine::ViewOf(Vertex v) const {

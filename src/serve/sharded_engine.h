@@ -23,6 +23,7 @@
 #include "core/batch.h"
 #include "labeling/flat_label_set.h"
 #include "labeling/query.h"
+#include "labeling/shard_manifest.h"
 #include "labeling/snapshot.h"
 #include "serve/batch_runner.h"
 #include "serve/query_engine.h"
@@ -32,13 +33,38 @@
 
 namespace wcsd {
 
+/// One shard's static contribution to the stitched index, for balance
+/// reporting (wire Stats, CLI, benches).
+struct ShardBalanceEntry {
+  uint64_t vertex_begin = 0;
+  uint64_t vertex_end = 0;
+  uint64_t entry_count = 0;
+  uint64_t label_bytes = 0;  // CSR bytes served from this shard's mapping
+
+  friend bool operator==(const ShardBalanceEntry&,
+                         const ShardBalanceEntry&) = default;
+};
+
 class ShardedQueryEngine {
  public:
   /// Maps every shard snapshot and validates that together they tile the
-  /// full vertex range of one logical index.
+  /// full vertex range of one logical index. Failure messages name the
+  /// offending shard file and its (range-sorted) index.
   static Result<ShardedQueryEngine> OpenMmap(
       const std::vector<std::string>& shard_paths,
       QueryEngineOptions options = {}, const SnapshotLoadOptions& load = {});
+
+  /// Opens a shard set through its manifest (labeling/shard_manifest.h):
+  /// reads the manifest, validates its tiling, maps every referenced shard
+  /// (paths resolved relative to the manifest), and cross-checks each
+  /// file's header — vertex range, totals, entry counts, and the recorded
+  /// snapshot header CRC — against the manifest. With `load.verify_checksums`
+  /// additionally verifies every shard's section checksums and recomputes
+  /// the index content fingerprint across the set. Every failure names the
+  /// offending shard.
+  static Result<ShardedQueryEngine> OpenManifest(
+      const std::string& manifest_path, QueryEngineOptions options = {},
+      const SnapshotLoadOptions& load = {});
 
   ShardedQueryEngine(ShardedQueryEngine&&) = default;
   ShardedQueryEngine& operator=(ShardedQueryEngine&&) = default;
@@ -56,14 +82,26 @@ class ShardedQueryEngine {
   size_t num_threads() const { return pool_ ? pool_->size() : 1; }
   QueryEngineStats stats() const { return stats_->Aggregate(); }
 
+  /// Per-shard ranges and label mass, in tiling order. What the wire
+  /// Stats frame reports as shard balance.
+  std::vector<ShardBalanceEntry> ShardBalance() const;
+
  private:
   struct Shard {
     uint64_t begin;
     uint64_t end;
     FlatLabelSet labels;  // keeps its shard's mapping alive
+    std::string path;     // where the mapping came from, for diagnostics
   };
 
   ShardedQueryEngine() = default;
+
+  /// Sorts `shards`, validates the tiling (messages name the offending
+  /// shard), and finishes construction. `num_vertices` is the logical
+  /// index's total from the shard headers.
+  static Result<ShardedQueryEngine> Assemble(std::vector<Shard> shards,
+                                             uint64_t num_vertices,
+                                             QueryEngineOptions options);
 
   /// Label view of vertex v, routed to its shard.
   FlatLabelView ViewOf(Vertex v) const;

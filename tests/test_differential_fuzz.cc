@@ -6,6 +6,8 @@
 //   * the four QueryImpls on the finalized flat CSR backend,
 //   * a QueryEngine serving the mmap-loaded snapshot of the index,
 //   * a ShardedQueryEngine stitching vertex-range shard snapshots,
+//   * a second ShardedQueryEngine over a label-mass-planned shard set
+//     opened through its manifest (labeling/shard_manifest.h),
 //   * a WcServer + WcClient round trip over the wire protocol (the
 //     networked path serves the same mmap engine through a real socket),
 //   * the ConstrainedDijkstra ground truth on the raw graph.
@@ -30,6 +32,8 @@
 #include "core/wc_index.h"
 #include "graph/builder.h"
 #include "graph/generators.h"
+#include "labeling/shard_manifest.h"
+#include "labeling/shard_plan.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "search/constrained_dijkstra.h"
@@ -101,6 +105,7 @@ struct Stack {
   WcIndex mm;             // mmap-loaded snapshot
   std::shared_ptr<const QueryEngine> engine;
   std::unique_ptr<ShardedQueryEngine> sharded;
+  std::unique_ptr<ShardedQueryEngine> planned;  // manifest-opened shard set
   std::unique_ptr<WcServer> server;  // serves `engine` over the wire
   std::unique_ptr<WcClient> client;
 };
@@ -146,12 +151,36 @@ Stack BuildStack(const QualityGraph& g, size_t build_threads,
   EXPECT_TRUE(sharded.ok()) << sharded.status().ToString();
   auto sharded_ptr = std::make_unique<ShardedQueryEngine>(
       std::move(sharded).value());
+
+  // The planned path: a label-mass-balanced shard set round-tripped
+  // through its manifest, fingerprint verification included.
+  ShardPlanOptions plan_options;
+  plan_options.num_shards = 3;
+  auto plan = PlanShards(flat.flat_labels(), plan_options);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  // Distinct stem: the even 2-shard files above are already mmap'd under
+  // "fuzz_<tag>.shard*", and overwriting a live mapping would SIGBUS.
+  auto written = WriteShardSet(dir + "/fuzz_planned_" + tag,
+                               flat.flat_labels(), plan.value());
+  EXPECT_TRUE(written.ok()) << written.status().ToString();
+  SnapshotLoadOptions verify;
+  verify.verify_checksums = true;
+  auto planned = ShardedQueryEngine::OpenManifest(
+      written.value().manifest_path, serve, verify);
+  EXPECT_TRUE(planned.ok()) << planned.status().ToString();
+  auto planned_ptr =
+      std::make_unique<ShardedQueryEngine>(std::move(planned).value());
+  std::remove(written.value().manifest_path.c_str());
+  for (const std::string& p : written.value().shard_paths) {
+    std::remove(p.c_str());
+  }
+
   std::remove(full.c_str());
   for (const std::string& p : shard_paths) std::remove(p.c_str());
   return Stack{std::move(index),  std::move(flat),
                std::move(mm).value(), std::move(engine),
-               std::move(sharded_ptr), std::move(server),
-               std::move(client)};
+               std::move(sharded_ptr), std::move(planned_ptr),
+               std::move(server), std::move(client)};
 }
 
 std::string CheckOne(const QualityGraph& g, const Stack& stack, Vertex s,
@@ -171,6 +200,7 @@ std::string CheckOne(const QualityGraph& g, const Stack& stack, Vertex s,
   }
   expect("engine", stack.engine->Query(s, t, w));
   expect("sharded", stack.sharded->Query(s, t, w));
+  expect("planned", stack.planned->Query(s, t, w));
   auto net = stack.client->Query(s, t, w);
   if (!net.ok()) {
     if (out.tellp() == 0) out << "net error: " << net.status().ToString();
@@ -256,6 +286,8 @@ TEST(DifferentialFuzz, AllAnswerPathsAgree) {
       ASSERT_EQ(stack.engine->Batch(batch), expected)
           << "family=" << kFamilies[family] << " seed=" << seed;
       ASSERT_EQ(stack.sharded->Batch(batch), expected)
+          << "family=" << kFamilies[family] << " seed=" << seed;
+      ASSERT_EQ(stack.planned->Batch(batch), expected)
           << "family=" << kFamilies[family] << " seed=" << seed;
       // And both networked batch shapes: one kBatchQuery frame, and the
       // pipelined stream of kQuery frames.

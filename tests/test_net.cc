@@ -151,6 +151,22 @@ TEST(WcServer, ServesShardedBackendIdentically) {
   auto batch = client.Batch(f.workload);
   ASSERT_TRUE(batch.ok()) << batch.status().ToString();
   EXPECT_EQ(batch.value(), f.expected);
+
+  // The Stats frame reports per-shard balance for a sharded service: three
+  // records tiling [0, n), with entry counts adding up to the index.
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(stats.value().shards.size(), 3u);
+  uint64_t cursor = 0;
+  uint64_t entries = 0;
+  for (const net::ShardBalancePayload& shard : stats.value().shards) {
+    EXPECT_EQ(shard.vertex_begin, cursor);
+    cursor = shard.vertex_end;
+    entries += shard.entry_count;
+    EXPECT_GT(shard.label_bytes, 0u);
+  }
+  EXPECT_EQ(cursor, n);
+  EXPECT_EQ(entries, f.index->TotalEntries());
   for (const std::string& p : paths) std::remove(p.c_str());
 }
 
@@ -177,6 +193,8 @@ TEST(WcServer, HealthAndStatsReportTheEngine) {
   EXPECT_EQ(stats.value().queries, 10 + f.workload.size());
   EXPECT_EQ(stats.value().batches, 1u);
   EXPECT_GT(stats.value().reachable, 0u);
+  // Unsharded engines report an empty balance section.
+  EXPECT_TRUE(stats.value().shards.empty());
 
   WcServerStats server_stats = server.stats();
   EXPECT_EQ(server_stats.connections_accepted, 1u);
@@ -625,9 +643,14 @@ TEST(WireGolden, GoldenRepliesDecodeToPaperAnswers) {
   std::memcpy(&count, batch, sizeof(count));
   EXPECT_EQ(count, 3u);
 
+  const uint8_t* stats_payload = next(MsgType::kStatsReply);
   net::StatsReplyPayload stats;
-  std::memcpy(&stats, next(MsgType::kStatsReply), sizeof(stats));
+  std::memcpy(&stats, stats_payload, sizeof(stats));
   EXPECT_EQ(stats.num_vertices, g.NumVertices());
+  uint32_t shard_count;
+  std::memcpy(&shard_count, stats_payload + sizeof(stats),
+              sizeof(shard_count));
+  EXPECT_EQ(shard_count, 0u);  // the golden server is unsharded
   EXPECT_EQ(stats.queries, 4u);   // 1 single + 3 batched
   EXPECT_EQ(stats.batches, 1u);
   EXPECT_EQ(at, golden.size());

@@ -1,0 +1,197 @@
+// Randomized tiling differential test: the sharding correctness story is
+// that ANY valid tiling of the vertex range answers bit-identically to the
+// unsharded index — a query reads exactly two label slices and hubs are
+// global ranks, so where the shard cuts fall can never matter.
+//
+// For ~50 seeded graphs across four generator families, this suite
+// generates random valid tilings (1..8 shards, uneven cuts, singleton and
+// even empty shards), serves each through ShardedQueryEngine (shard files
+// via OpenMmap, plus the planner + manifest path via OpenManifest), and
+// asserts every answer matches the unsharded QueryEngine across all four
+// QueryImpls, single and batch.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/wc_index.h"
+#include "graph/generators.h"
+#include "labeling/shard_manifest.h"
+#include "labeling/shard_plan.h"
+#include "labeling/snapshot.h"
+#include "serve/query_engine.h"
+#include "serve/sharded_engine.h"
+#include "util/random.h"
+
+namespace wcsd {
+namespace {
+
+constexpr QueryImpl kImpls[] = {QueryImpl::kScan, QueryImpl::kHubGrouped,
+                                QueryImpl::kBinary, QueryImpl::kMerge};
+
+QualityGraph MakeTilingGraph(size_t family, uint64_t seed) {
+  Rng rng(seed * 0x9e3779b9u + family);
+  QualityModel quality;
+  quality.num_levels = static_cast<int>(rng.NextInRange(2, 6));
+  switch (family) {
+    case 0: {
+      RoadOptions options;
+      options.rows = static_cast<size_t>(rng.NextInRange(4, 7));
+      options.cols = static_cast<size_t>(rng.NextInRange(4, 7));
+      options.quality = quality;
+      return GenerateRoadNetwork(options, seed);
+    }
+    case 1: {
+      size_t n = static_cast<size_t>(rng.NextInRange(24, 60));
+      return GenerateBarabasiAlbert(
+          n, static_cast<size_t>(rng.NextInRange(2, 4)), quality, seed);
+    }
+    case 2: {
+      size_t n = static_cast<size_t>(rng.NextInRange(24, 60));
+      return GenerateWattsStrogatz(
+          n, static_cast<size_t>(rng.NextInRange(1, 3)), 0.2, quality, seed);
+    }
+    default: {
+      size_t n = static_cast<size_t>(rng.NextInRange(24, 60));
+      size_t m = n - 1 + static_cast<size_t>(rng.NextBounded(n));
+      return GenerateRandomConnected(n, m, quality, seed);
+    }
+  }
+}
+
+/// A random tiling of [0, n): 1..8 shards with uneven cut points. Repeated
+/// cuts produce empty shards; adjacent cuts produce singleton shards —
+/// both are legal and must serve correctly.
+std::vector<uint64_t> RandomFences(Rng& rng, uint64_t n) {
+  size_t shards = 1 + static_cast<size_t>(rng.NextBounded(8));
+  std::vector<uint64_t> fences{0, n};
+  for (size_t k = 0; k + 1 < shards; ++k) {
+    fences.push_back(rng.NextBounded(n + 1));
+  }
+  std::sort(fences.begin(), fences.end());
+  return fences;
+}
+
+TEST(ShardTiling, AnyValidTilingAnswersBitIdentically) {
+  const std::string dir = testing::TempDir();
+  size_t graphs = 0;
+  size_t tilings = 0;
+  for (size_t family = 0; family < 4; ++family) {
+    for (uint64_t gi = 0; gi < 13; ++gi) {
+      const uint64_t seed = 7000 + 100 * family + gi;
+      QualityGraph g = MakeTilingGraph(family, seed);
+      const uint64_t n = g.NumVertices();
+      ASSERT_GT(n, 0u);
+      ++graphs;
+
+      WcIndex index = WcIndex::Build(g, WcIndexOptions::Plus());
+      index.Finalize();
+      const FlatLabelSet& flat = index.flat_labels();
+
+      // Reference engines: the unsharded mmap-served QueryEngine, one per
+      // impl.
+      std::string snap = dir + "/tiling_" + std::to_string(seed) + ".wcsnap";
+      ASSERT_TRUE(index.SaveSnapshot(snap).ok());
+      std::vector<std::unique_ptr<QueryEngine>> reference;
+      for (QueryImpl impl : kImpls) {
+        QueryEngineOptions options;
+        options.num_threads = 1;
+        options.impl = impl;
+        auto opened = QueryEngine::Open(snap, options);
+        ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+        reference.push_back(
+            std::make_unique<QueryEngine>(std::move(opened).value()));
+      }
+
+      // Fixed query workload per graph, shared by every tiling.
+      Rng qrng(seed ^ 0x7115u);
+      std::vector<BatchQueryInput> queries;
+      for (size_t q = 0; q < 24; ++q) {
+        queries.push_back(
+            {static_cast<Vertex>(qrng.NextBounded(n)),
+             static_cast<Vertex>(qrng.NextBounded(n)),
+             static_cast<Quality>(qrng.NextInRange(0, 6)) +
+                 (qrng.NextBool(0.3) ? 0.5f : 0.0f)});
+      }
+
+      Rng trng(seed ^ 0xabcdu);
+      for (int round = 0; round < 3; ++round) {
+        std::vector<uint64_t> fences = RandomFences(trng, n);
+        std::vector<std::string> paths;
+        for (size_t k = 0; k + 1 < fences.size(); ++k) {
+          std::string path = dir + "/tiling_" + std::to_string(seed) + "_" +
+                             std::to_string(round) + "_" +
+                             std::to_string(k) + ".shard";
+          ASSERT_TRUE(
+              WriteSnapshotShard(path, flat, fences[k], fences[k + 1], n)
+                  .ok());
+          paths.push_back(path);
+        }
+        ++tilings;
+        for (size_t impl_i = 0; impl_i < std::size(kImpls); ++impl_i) {
+          QueryEngineOptions options;
+          options.num_threads = 1;
+          options.impl = kImpls[impl_i];
+          auto sharded = ShardedQueryEngine::OpenMmap(paths, options);
+          ASSERT_TRUE(sharded.ok())
+              << sharded.status().ToString() << " seed=" << seed
+              << " round=" << round;
+          std::vector<Distance> expected;
+          for (const BatchQueryInput& q : queries) {
+            Distance want = reference[impl_i]->Query(q.s, q.t, q.w);
+            expected.push_back(want);
+            EXPECT_EQ(sharded.value().Query(q.s, q.t, q.w), want)
+                << "impl=" << impl_i << " seed=" << seed
+                << " shards=" << paths.size() << " s=" << q.s
+                << " t=" << q.t << " w=" << q.w;
+          }
+          EXPECT_EQ(sharded.value().Batch(queries), expected)
+              << "impl=" << impl_i << " seed=" << seed;
+        }
+        for (const std::string& path : paths) std::remove(path.c_str());
+      }
+
+      // The planner + manifest path: a planned shard set must be just
+      // another valid tiling.
+      ShardPlanOptions plan_options;
+      plan_options.num_shards =
+          1 + static_cast<size_t>(trng.NextBounded(5));
+      auto plan = PlanShards(flat, plan_options);
+      ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+      auto written = WriteShardSet(dir + "/tiling_" + std::to_string(seed),
+                                   flat, plan.value());
+      ASSERT_TRUE(written.ok()) << written.status().ToString();
+      ++tilings;
+      for (size_t impl_i = 0; impl_i < std::size(kImpls); ++impl_i) {
+        QueryEngineOptions options;
+        options.num_threads = 1;
+        options.impl = kImpls[impl_i];
+        SnapshotLoadOptions verify;
+        verify.verify_checksums = true;  // exercise the fingerprint path
+        auto sharded = ShardedQueryEngine::OpenManifest(
+            written.value().manifest_path, options, verify);
+        ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+        for (const BatchQueryInput& q : queries) {
+          EXPECT_EQ(sharded.value().Query(q.s, q.t, q.w),
+                    reference[impl_i]->Query(q.s, q.t, q.w))
+              << "manifest impl=" << impl_i << " seed=" << seed;
+        }
+      }
+      std::remove(written.value().manifest_path.c_str());
+      for (const std::string& path : written.value().shard_paths) {
+        std::remove(path.c_str());
+      }
+      std::remove(snap.c_str());
+    }
+  }
+  EXPECT_GE(graphs, 50u);
+  EXPECT_GE(tilings, 200u);
+}
+
+}  // namespace
+}  // namespace wcsd

@@ -14,6 +14,8 @@
 //             [--timeout-ms=5000]
 //             answer one query over the wire protocol from a running
 //             `serve --listen` server
+//   query     --manifest=<file> --s=<v> --t=<v> --w=<q>
+//             answer one query from a mapped shard set (see `shard`)
 //   stats     --index=<file>                 label statistics
 //   verify    --graph=<file> --index=<file>  brute-force Theorem 1 checks
 //   generate  --out=<file> --kind=road|social [--n=...] [--levels=...]
@@ -22,12 +24,21 @@
 //             convert a saved index into the page-aligned, checksummed,
 //             mmap'able snapshot format; --shards=N writes N vertex-range
 //             shard files <out>.shard0 .. <out>.shard{N-1} instead
-//   serve     --snapshot=<file>[,<file>,...] [--queries=N] [--threads=T]
+//   shard     --index=<file> --out=<stem> (--shards=N | --max-bytes=B)
+//             [--even]
+//             plan label-mass-balanced shard boundaries (greedy prefix-sum
+//             split; --even cuts even vertex ranges instead), write
+//             <stem>.shard0 .. <stem>.shard{K-1} snapshot files and the
+//             <stem>.manifest shard-set manifest, and print the per-shard
+//             balance plus planned-vs-even byte skew
+//   serve     --snapshot=<file>[,<file>,...] | --manifest=<file>
+//             [--queries=N] [--threads=T]
 //             [--seed=S] [--levels=L] [--impl=merge|scan|grouped|binary]
 //             [--verify] [--verify-level=offsets|directory|deep]
 //             [--listen=PORT [--host=ADDR] [--max-seconds=S]]
 //             mmap the snapshot(s) — several files are stitched as
-//             vertex-range shards — and either drive a random local batch
+//             vertex-range shards, and --manifest opens a whole validated
+//             shard set in one step — and either drive a random local batch
 //             workload (default) or, with --listen, serve the wire
 //             protocol (net/wire.h) on PORT until SIGINT/SIGTERM or
 //             --max-seconds; --verify checks section checksums and deep
@@ -40,6 +51,8 @@
 //   wcsd_cli query --index=g.wcx --s=3 --t=99 --w=2
 //   wcsd_cli snapshot --index=g.wcx --out=g.wcsnap
 //   wcsd_cli serve --snapshot=g.wcsnap --queries=100000 --threads=4
+//   wcsd_cli shard --index=g.wcx --out=g --shards=4
+//   wcsd_cli serve --manifest=g.manifest --listen=9000
 
 #include <chrono>
 #include <cmath>
@@ -57,6 +70,8 @@
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "labeling/label_stats.h"
+#include "labeling/shard_manifest.h"
+#include "labeling/shard_plan.h"
 #include "labeling/snapshot.h"
 #include "net/client.h"
 #include "net/server.h"
@@ -72,7 +87,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: wcsd_cli "
-               "<build|query|stats|verify|generate|snapshot|serve> "
+               "<build|query|stats|verify|generate|snapshot|shard|serve> "
                "[--flags]\n(see the header of tools/wcsd_cli.cc)\n");
   return 2;
 }
@@ -178,9 +193,42 @@ int CmdRemoteQuery(const Flags& flags, const std::string& connect) {
   return 0;
 }
 
+/// `query --manifest`: answer one query from a mapped shard set.
+int CmdManifestQuery(const Flags& flags, const std::string& manifest) {
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  auto engine = ShardedQueryEngine::OpenManifest(manifest, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  Vertex s = static_cast<Vertex>(flags.GetInt("s", 0));
+  Vertex t = static_cast<Vertex>(flags.GetInt("t", 0));
+  Quality w = static_cast<Quality>(flags.GetDouble("w", 1.0));
+  if (s >= engine.value().NumVertices() ||
+      t >= engine.value().NumVertices()) {
+    std::fprintf(stderr, "error: vertex out of range (n=%zu)\n",
+                 engine.value().NumVertices());
+    return 1;
+  }
+  Timer timer;
+  Distance d = engine.value().Query(s, t, w);
+  double micros = timer.Micros();
+  if (d == kInfDistance) {
+    std::printf("dist(%u, %u | w >= %g) = INF   (%.1f us, %zu shards)\n", s,
+                t, w, micros, engine.value().num_shards());
+  } else {
+    std::printf("dist(%u, %u | w >= %g) = %u   (%.1f us, %zu shards)\n", s,
+                t, w, d, micros, engine.value().num_shards());
+  }
+  return 0;
+}
+
 int CmdQuery(const Flags& flags) {
   std::string connect = flags.GetString("connect", "");
   if (!connect.empty()) return CmdRemoteQuery(flags, connect);
+  std::string manifest = flags.GetString("manifest", "");
+  if (!manifest.empty()) return CmdManifestQuery(flags, manifest);
   auto loaded = WcIndex::Load(flags.GetString("index", ""));
   if (!loaded.ok()) {
     std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
@@ -345,6 +393,72 @@ int CmdSnapshot(const Flags& flags) {
   return 0;
 }
 
+int CmdShard(const Flags& flags) {
+  auto loaded = WcIndex::Load(flags.GetString("index", ""));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "error: --out is required\n");
+    return 1;
+  }
+  int64_t shards = flags.GetInt("shards", 0);
+  int64_t max_bytes = flags.GetInt("max-bytes", 0);
+  if (shards < 0 || max_bytes < 0 || (shards > 0) == (max_bytes > 0)) {
+    std::fprintf(stderr,
+                 "error: pass exactly one of --shards=N or --max-bytes=B\n");
+    return 1;
+  }
+  WcIndex& index = loaded.value();
+  index.Finalize();
+  const FlatLabelSet& flat = index.flat_labels();
+
+  ShardPlanOptions options;
+  options.num_shards = static_cast<size_t>(shards);
+  options.max_bytes = static_cast<uint64_t>(max_bytes);
+  options.even_vertex = flags.GetBool("even", false);
+  Timer timer;
+  auto plan = PlanShards(flat, options);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "error: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  auto written = WriteShardSet(out, flat, plan.value());
+  if (!written.ok()) {
+    std::fprintf(stderr, "error: %s\n", written.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t k = 0; k < plan.value().shards.size(); ++k) {
+    const PlannedShard& shard = plan.value().shards[k];
+    std::printf(
+        "wrote %s: vertices [%llu, %llu) — %llu entries, %.2f MiB\n",
+        written.value().shard_paths[k].c_str(),
+        static_cast<unsigned long long>(shard.begin),
+        static_cast<unsigned long long>(shard.end),
+        static_cast<unsigned long long>(shard.entry_count),
+        static_cast<double>(shard.bytes) / (1024.0 * 1024.0));
+  }
+  double skew = plan.value().ByteSkew();
+  if (options.num_shards > 1 && !options.even_vertex) {
+    ShardPlanOptions even = options;
+    even.even_vertex = true;
+    auto even_plan = PlanShards(flat, even);
+    if (even_plan.ok()) {
+      std::printf("byte skew (max/mean): planned %.3f vs even %.3f\n", skew,
+                  even_plan.value().ByteSkew());
+    }
+  } else {
+    std::printf("byte skew (max/mean): %.3f\n", skew);
+  }
+  std::printf("wrote %s: %zu shards, %zu vertices, %zu entries (%.2f s)\n",
+              written.value().manifest_path.c_str(),
+              plan.value().shards.size(), index.NumVertices(),
+              index.TotalEntries(), timer.Seconds());
+  return 0;
+}
+
 std::vector<std::string> SplitCommaList(const std::string& list) {
   std::vector<std::string> parts;
   size_t begin = 0;
@@ -405,8 +519,10 @@ int RunWireServer(std::shared_ptr<const QueryService> service,
 int CmdServe(const Flags& flags) {
   std::vector<std::string> paths =
       SplitCommaList(flags.GetString("snapshot", ""));
-  if (paths.empty()) {
-    std::fprintf(stderr, "error: --snapshot is required\n");
+  std::string manifest = flags.GetString("manifest", "");
+  if (paths.empty() == manifest.empty()) {
+    std::fprintf(stderr,
+                 "error: pass exactly one of --snapshot or --manifest\n");
     return 1;
   }
   QueryEngineOptions options;
@@ -450,20 +566,25 @@ int CmdServe(const Flags& flags) {
   }
 
   // One full snapshot serves through QueryEngine; anything else (shard
-  // files, label-only snapshots) goes through the sharded engine. Both are
-  // served through the QueryService surface the network front end uses.
-  auto info = ReadSnapshotInfo(paths[0]);
-  if (!info.ok()) {
-    std::fprintf(stderr, "error: %s\n", info.status().ToString().c_str());
-    return 1;
+  // files, label-only snapshots, manifests) goes through the sharded
+  // engine. All are served through the QueryService surface the network
+  // front end uses.
+  bool single_full = false;
+  if (manifest.empty()) {
+    auto info = ReadSnapshotInfo(paths[0]);
+    if (!info.ok()) {
+      std::fprintf(stderr, "error: %s\n", info.status().ToString().c_str());
+      return 1;
+    }
+    single_full = paths.size() == 1 && info.value().IsFullRange() &&
+                  info.value().has_order;
   }
-  bool single_full = paths.size() == 1 && info.value().IsFullRange() &&
-                     info.value().has_order;
 
   Timer load_timer;
   std::shared_ptr<const QueryService> service;
   size_t n = 0;
   size_t served_threads = 1;
+  size_t mapped_files = paths.size();
   if (single_full) {
     auto engine = QueryEngine::Open(paths[0], options, load);
     if (!engine.ok()) {
@@ -477,7 +598,10 @@ int CmdServe(const Flags& flags) {
     served_threads = shared->num_threads();
     service = MakeQueryService(std::move(shared));
   } else {
-    auto engine = ShardedQueryEngine::OpenMmap(paths, options, load);
+    auto engine = manifest.empty()
+                      ? ShardedQueryEngine::OpenMmap(paths, options, load)
+                      : ShardedQueryEngine::OpenManifest(manifest, options,
+                                                         load);
     if (!engine.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    engine.status().ToString().c_str());
@@ -487,6 +611,7 @@ int CmdServe(const Flags& flags) {
         std::move(engine).value());
     n = shared->NumVertices();
     served_threads = shared->num_threads();
+    mapped_files = shared->num_shards();
     service = MakeQueryService(std::move(shared));
   }
   double load_seconds = load_timer.Seconds();
@@ -495,7 +620,7 @@ int CmdServe(const Flags& flags) {
     return 1;
   }
   std::printf("mapped %zu snapshot%s (%zu vertices) in %.3f ms\n",
-              paths.size(), paths.size() == 1 ? "" : "s", n,
+              mapped_files, mapped_files == 1 ? "" : "s", n,
               load_seconds * 1e3);
 
   if (flags.Has("listen")) {
@@ -543,6 +668,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(cmd, "verify") == 0) return CmdVerify(flags);
   if (std::strcmp(cmd, "generate") == 0) return CmdGenerate(flags);
   if (std::strcmp(cmd, "snapshot") == 0) return CmdSnapshot(flags);
+  if (std::strcmp(cmd, "shard") == 0) return CmdShard(flags);
   if (std::strcmp(cmd, "serve") == 0) return CmdServe(flags);
   return Usage();
 }
