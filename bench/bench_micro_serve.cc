@@ -11,8 +11,10 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_json.h"
@@ -321,6 +323,79 @@ void BM_ShardLocalThroughput(benchmark::State& state) {
 BENCHMARK(BM_ShardLocalThroughput)
     ->DenseRange(0, kBenchShards - 1)
     ->ArgNames({"shard"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------- result-cache benchmarks
+
+/// Zipf workloads keyed by (theta x100, vary_w), built once per config
+/// from the same social graph the fixture indexes. vary_w=0 repeats a hot
+/// pair at its one fixed constraint (exact-w repeats: any (s,t,w) memo
+/// could serve them); vary_w=1 re-rolls the constraint per draw, so
+/// repeats only hit through the dominance interval.
+const std::vector<BatchQueryInput>& ZipfWorkload(int theta_x100,
+                                                 bool vary_w) {
+  static std::map<std::pair<int, bool>, std::vector<BatchQueryInput>> cache;
+  auto key = std::make_pair(theta_x100, vary_w);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    Dataset d = MakeSocialDataset("EU", 0.25);
+    std::vector<BatchQueryInput> out;
+    for (const WcsdQuery& q : MakeZipfQueryWorkload(
+             d.graph, 8192, /*pool_size=*/2048, theta_x100 / 100.0, vary_w,
+             0xcac4e + static_cast<uint64_t>(theta_x100))) {
+      out.push_back({q.s, q.t, q.w});
+    }
+    it = cache.emplace(key, std::move(out)).first;
+  }
+  return it->second;
+}
+
+// The hit-rate sweep the README quotes: batch throughput over Zipf-skewed
+// repeated-query workloads at several skews, uncached (cache:0) vs through
+// the dominance-aware result cache (cache:1). The cache engine is opened
+// fresh per run so hit_rate / cache_* counters in BENCH_micro_serve.json
+// describe exactly the timed workload.
+void BM_ZipfServeThroughput(benchmark::State& state) {
+  const ServeFixture& f = FixtureForSize(1);
+  const int theta_x100 = static_cast<int>(state.range(0));
+  const bool vary_w = state.range(1) != 0;
+  const bool cached = state.range(2) != 0;
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.cache_bytes = cached ? (8u << 20) : 0;
+  auto opened = QueryEngine::Open(f.snap_path, options);
+  if (!opened.ok()) {
+    state.SkipWithError("engine open failed");
+    return;
+  }
+  QueryEngine engine = std::move(opened).value();
+  const auto& workload = ZipfWorkload(theta_x100, vary_w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Batch(workload));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(workload.size()));
+  QueryEngineStats stats = engine.stats();
+  const double lookups =
+      static_cast<double>(stats.cache_hits + stats.cache_misses);
+  state.counters["hit_rate"] =
+      lookups > 0 ? static_cast<double>(stats.cache_hits) / lookups : 0.0;
+  state.counters["cache_hits"] = static_cast<double>(stats.cache_hits);
+  state.counters["cache_misses"] = static_cast<double>(stats.cache_misses);
+  state.counters["cache_evictions"] =
+      static_cast<double>(stats.cache_evictions);
+}
+BENCHMARK(BM_ZipfServeThroughput)
+    // {theta x100, vary_w, cache}: three skews (0.6 mild, 0.99 the classic
+    // YCSB default, 1.2 hot), exact-w and re-rolled-w repeats, off/on.
+    ->Args({60, 0, 0})->Args({60, 0, 1})
+    ->Args({60, 1, 0})->Args({60, 1, 1})
+    ->Args({99, 0, 0})->Args({99, 0, 1})
+    ->Args({99, 1, 0})->Args({99, 1, 1})
+    ->Args({120, 0, 0})->Args({120, 0, 1})
+    ->Args({120, 1, 0})->Args({120, 1, 1})
+    ->ArgNames({"zipf100", "vary_w", "cache"})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -1,5 +1,8 @@
 #include "bench/workload.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/random.h"
 
 namespace wcsd {
@@ -18,6 +21,50 @@ std::vector<WcsdQuery> MakeQueryWorkload(const QualityGraph& g, size_t count,
     q.w = thresholds.empty()
               ? 1.0f
               : thresholds[rng.NextBounded(thresholds.size())];
+    workload.push_back(q);
+  }
+  return workload;
+}
+
+std::vector<WcsdQuery> MakeZipfQueryWorkload(const QualityGraph& g,
+                                             size_t count, size_t pool_size,
+                                             double theta, bool vary_w,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Quality> thresholds = g.DistinctQualities();
+  const size_t n = g.NumVertices();
+  auto random_w = [&]() -> Quality {
+    return thresholds.empty()
+               ? 1.0f
+               : thresholds[rng.NextBounded(thresholds.size())];
+  };
+
+  pool_size = std::max<size_t>(1, pool_size);
+  std::vector<WcsdQuery> pool;
+  pool.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    pool.push_back({static_cast<Vertex>(rng.NextBounded(n)),
+                    static_cast<Vertex>(rng.NextBounded(n)), random_w()});
+  }
+
+  // Zipf CDF over pool ranks; draws binary-search it. O(log pool) per
+  // query is negligible next to the queries the workload feeds.
+  std::vector<double> cdf(pool_size);
+  double mass = 0.0;
+  for (size_t k = 0; k < pool_size; ++k) {
+    mass += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf[k] = mass;
+  }
+
+  std::vector<WcsdQuery> workload;
+  workload.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    double u = rng.NextDouble() * mass;
+    size_t k = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    if (k >= pool_size) k = pool_size - 1;
+    WcsdQuery q = pool[k];
+    if (vary_w) q.w = random_w();
     workload.push_back(q);
   }
   return workload;

@@ -24,6 +24,20 @@ struct WcsdQuery {
 std::vector<WcsdQuery> MakeQueryWorkload(const QualityGraph& g, size_t count,
                                          uint64_t seed);
 
+/// Generates a hot-set-skewed workload: `count` queries drawn from a pool
+/// of `pool_size` random (s, t) pairs with Zipf(theta) popularity (rank k
+/// drawn with probability proportional to 1/k^theta; theta = 0 degenerates
+/// to uniform, real query logs sit around 0.9-1.2 — see PAPERS.md on
+/// IS-LABEL / Query-by-Sketch). Each pooled pair carries a fixed
+/// constraint; with `vary_w` every draw instead picks a fresh uniform
+/// constraint, so repeats of a hot pair arrive with DIFFERENT w — the
+/// shape that only an interval (dominance-aware) cache can serve from one
+/// entry. Deterministic given the seed.
+std::vector<WcsdQuery> MakeZipfQueryWorkload(const QualityGraph& g,
+                                             size_t count, size_t pool_size,
+                                             double theta, bool vary_w,
+                                             uint64_t seed);
+
 }  // namespace wcsd
 
 #endif  // WCSD_BENCH_WORKLOAD_H_

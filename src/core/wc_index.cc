@@ -386,6 +386,20 @@ Distance WcIndex::Query(Vertex s, Vertex t, Quality w, QueryImpl impl) const {
   return QueryLabels(labels_.For(s), labels_.For(t), w, impl);
 }
 
+IntervalQueryResult WcIndex::QueryWithInterval(Vertex s, Vertex t,
+                                               Quality w) const {
+  if (s >= NumVertices() || t >= NumVertices()) return IntervalQueryResult{};
+  if (s == t) {
+    IntervalQueryResult r;
+    r.dist = 0;
+    return r;  // 0 under every constraint
+  }
+  if (finalized_) {
+    return QueryFlatMergeWithInterval(flat_.View(s), flat_.View(t), w);
+  }
+  return QueryLabelsMergeWithInterval(labels_.For(s), labels_.For(t), w);
+}
+
 HubQueryResult WcIndex::QueryWithHub(Vertex s, Vertex t, Quality w) const {
   if (s >= NumVertices() || t >= NumVertices()) return HubQueryResult{};
   if (s == t) {

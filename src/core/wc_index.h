@@ -130,6 +130,12 @@ class WcIndex {
   /// Query that also reports the witnessing hub (path reconstruction).
   HubQueryResult QueryWithHub(Vertex s, Vertex t, Quality w) const;
 
+  /// Query that also reports the maximal constraint interval over which
+  /// the answer is unchanged (labeling/query.h IntervalQueryResult) — what
+  /// the serve-side result cache stores. Out-of-range and s == t queries
+  /// answer with the everywhere-valid interval.
+  IntervalQueryResult QueryWithInterval(Vertex s, Vertex t, Quality w) const;
+
   /// True if some w-path connects s and t.
   bool Reachable(Vertex s, Vertex t, Quality w) const {
     return Query(s, t, w) != kInfDistance;

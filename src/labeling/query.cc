@@ -1,6 +1,7 @@
 #include "labeling/query.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace wcsd {
 
@@ -312,6 +313,112 @@ HubQueryResult QueryFlatMergeWithHub(const FlatLabelView& ls,
     }
   }
   return result;
+}
+
+namespace {
+
+// Relaxes the two interval breakpoints over one matched hub-group pair
+// [ib, ie) x [jb, je), given the already-known answer d_star:
+//   * hi_q — the largest quality q such that some pair with
+//     dist sum <= d_star has min(quality_s, quality_t) = q. The answer
+//     stays d_star exactly while w <= max-over-groups of hi_q.
+//   * lo_q — the same for pairs with dist sum < d_star: at any w <= lo_q
+//     a strictly better pair becomes usable, so the answer drops.
+// Within a group qualities and distances both strictly ascend (Theorem 3),
+// so for each i the best feasible j is the largest one whose sum fits, and
+// that j only moves left as i advances: two descending pointers, one per
+// threshold, O(group) total. Sums are widened to 64 bits so the kernel
+// never relies on the label distances staying small.
+inline void RelaxGroupBreakpoints(std::span<const LabelEntry> es, size_t ib,
+                                  size_t ie, std::span<const LabelEntry> et,
+                                  size_t jb, size_t je, Distance d_star,
+                                  Quality* lo_q, Quality* hi_q) {
+  if (d_star == kInfDistance) {
+    // Unreachable at w: every pair is a "strictly better" pair, and the
+    // best min-quality over the group is attained by the two last (highest
+    // quality) entries.
+    Quality q = std::min(es[ie - 1].quality, et[je - 1].quality);
+    if (q > *lo_q) *lo_q = q;
+    return;
+  }
+  const uint64_t d = d_star;
+  size_t j_eq = je;  // pairs with sum <= d_star
+  size_t j_lt = je;  // pairs with sum <  d_star
+  for (size_t i = ib; i < ie; ++i) {
+    const uint64_t ds = es[i].dist;
+    while (j_eq > jb && ds + uint64_t{et[j_eq - 1].dist} > d) --j_eq;
+    if (j_eq == jb) break;  // larger i only shrinks feasibility
+    Quality q = std::min(es[i].quality, et[j_eq - 1].quality);
+    if (q > *hi_q) *hi_q = q;
+    while (j_lt > jb && ds + uint64_t{et[j_lt - 1].dist} >= d) --j_lt;
+    if (j_lt > jb) {
+      q = std::min(es[i].quality, et[j_lt - 1].quality);
+      if (q > *lo_q) *lo_q = q;
+    }
+  }
+}
+
+// Converts the breakpoints accumulated across groups into the closed
+// maximal interval. The constant region is (lo_q, hi_q] over the reals;
+// nextafter turns the open lower end into its exact closed float form.
+inline IntervalQueryResult FinishInterval(Distance d_star, Quality lo_q,
+                                          Quality hi_q) {
+  IntervalQueryResult result;
+  result.dist = d_star;
+  result.w_lo =
+      lo_q == -kInfQuality ? -kInfQuality : std::nextafter(lo_q, kInfQuality);
+  result.w_hi = d_star == kInfDistance ? kInfQuality : hi_q;
+  return result;
+}
+
+}  // namespace
+
+IntervalQueryResult QueryLabelsMergeWithInterval(
+    std::span<const LabelEntry> ls, std::span<const LabelEntry> lt,
+    Quality w) {
+  const Distance d_star = QueryLabelsMerge(ls, lt, w);
+  Quality lo_q = -kInfQuality;
+  Quality hi_q = -kInfQuality;
+  size_t i = 0, j = 0;
+  while (i < ls.size() && j < lt.size()) {
+    Rank hi = ls[i].hub, hj = lt[j].hub;
+    if (hi < hj) {
+      i = GroupEnd(ls, i);
+    } else if (hj < hi) {
+      j = GroupEnd(lt, j);
+    } else {
+      size_t ie = GroupEnd(ls, i);
+      size_t je = GroupEnd(lt, j);
+      RelaxGroupBreakpoints(ls, i, ie, lt, j, je, d_star, &lo_q, &hi_q);
+      i = ie;
+      j = je;
+    }
+  }
+  return FinishInterval(d_star, lo_q, hi_q);
+}
+
+IntervalQueryResult QueryFlatMergeWithInterval(const FlatLabelView& ls,
+                                               const FlatLabelView& lt,
+                                               Quality w) {
+  const Distance d_star = QueryFlatMerge(ls, lt, w);
+  Quality lo_q = -kInfQuality;
+  Quality hi_q = -kInfQuality;
+  size_t gs = 0, gt = 0;
+  while (gs < ls.groups.size() && gt < lt.groups.size()) {
+    Rank hs = ls.groups[gs].hub, ht = lt.groups[gt].hub;
+    if (hs < ht) {
+      ++gs;
+    } else if (ht < hs) {
+      ++gt;
+    } else {
+      RelaxGroupBreakpoints(ls.entries, ls.groups[gs].begin, ls.GroupEnd(gs),
+                            lt.entries, lt.groups[gt].begin, lt.GroupEnd(gt),
+                            d_star, &lo_q, &hi_q);
+      ++gs;
+      ++gt;
+    }
+  }
+  return FinishInterval(d_star, lo_q, hi_q);
 }
 
 HubQueryResult QueryLabelsMergeWithHub(std::span<const LabelEntry> ls,

@@ -43,6 +43,30 @@ struct HubQueryResult {
   Distance dist_to_t = kInfDistance;
 };
 
+/// Query answer plus the maximal constraint interval it certifies.
+///
+/// d(s, t, w) is a non-decreasing step function of w whose breakpoints are
+/// entry qualities (Theorem 3: within a hub group qualities and distances
+/// both strictly ascend, so tightening w can only advance each group's
+/// chosen entry to a larger distance). The interval [w_lo, w_hi] — CLOSED
+/// on both ends, so that +inf and exact float breakpoints are
+/// representable — is the maximal interval containing the queried w on
+/// which the step function is constant: every w' with w_lo <= w' <= w_hi
+/// answers `dist`, and querying just below w_lo or just above w_hi yields
+/// a different distance. The defaults describe the everywhere-constant
+/// function (s == t, out of range, or no common hub).
+struct IntervalQueryResult {
+  Distance dist = kInfDistance;
+  Quality w_lo = -kInfQuality;
+  Quality w_hi = kInfQuality;
+
+  /// True when `dist` is certified for constraint w.
+  bool Contains(Quality w) const { return w_lo <= w && w <= w_hi; }
+
+  friend bool operator==(const IntervalQueryResult&,
+                         const IntervalQueryResult&) = default;
+};
+
 /// Algorithm 2: scan of L(s) x L(t). Exploits the sorted-rank invariant to
 /// skip past hub groups absent from the other side, so the worst case is
 /// O(|L(s)| + |L(t)| + matched group areas) rather than the naïve product.
@@ -72,6 +96,14 @@ HubQueryResult QueryLabelsMergeWithHub(std::span<const LabelEntry> ls,
                                        std::span<const LabelEntry> lt,
                                        Quality w);
 
+/// Merge query that also reports the maximal validity interval of its
+/// answer (see IntervalQueryResult) — the dominance fact the serve-side
+/// result cache keys on. Two O(|L(s)| + |L(t)|) merge passes: one for the
+/// distance, one tracking the tightest quality breakpoint on either side.
+IntervalQueryResult QueryLabelsMergeWithInterval(
+    std::span<const LabelEntry> ls, std::span<const LabelEntry> lt,
+    Quality w);
+
 /// Flat-backend query kernels: same four algorithms over FlatLabelView.
 /// Group boundaries come from the hub directory instead of entry scans /
 /// entry-array binary searches, and all entries of one vertex share cache
@@ -93,6 +125,12 @@ Distance QueryFlat(const FlatLabelView& ls, const FlatLabelView& lt, Quality w,
 /// reconstruction on a finalized index).
 HubQueryResult QueryFlatMergeWithHub(const FlatLabelView& ls,
                                      const FlatLabelView& lt, Quality w);
+
+/// Flat merge query reporting the maximal validity interval of its answer
+/// (identical to QueryLabelsMergeWithInterval; tested).
+IntervalQueryResult QueryFlatMergeWithInterval(const FlatLabelView& ls,
+                                               const FlatLabelView& lt,
+                                               Quality w);
 
 /// Within one hub group [begin, end) sorted by ascending quality, returns
 /// the index of the first entry with quality >= w, or `end` if none.

@@ -268,8 +268,11 @@ Result<WireStats> WcClient::Stats() {
   if (bytes.size() != net::StatsReplyBytes(shard_count)) {
     return Status::Corruption("bad stats reply shard section");
   }
-  WireStats stats{payload.num_vertices, payload.queries, payload.reachable,
-                  payload.batches, {}};
+  WireStats stats{payload.num_vertices,  payload.queries,
+                  payload.reachable,     payload.batches,
+                  payload.cache_hits,    payload.cache_misses,
+                  payload.cache_inserts, payload.cache_evictions,
+                  {}};
   stats.shards.resize(shard_count);
   if (shard_count > 0) {
     std::memcpy(stats.shards.data(), bytes.data() + net::StatsReplyBytes(0),

@@ -33,14 +33,19 @@ struct WireFrame {
   std::vector<uint8_t> payload;
 };
 
-/// Server counters as reported over the wire (kStatsReply), plus the
-/// per-shard balance section (empty when the server's engine is not
-/// sharded).
+/// Server counters as reported over the wire (kStatsReply): the engine
+/// counters, the result-cache counters (zero when the server's engine
+/// serves uncached), plus the per-shard balance section (empty when the
+/// server's engine is not sharded).
 struct WireStats {
   uint64_t num_vertices = 0;
   uint64_t queries = 0;
   uint64_t reachable = 0;
   uint64_t batches = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_inserts = 0;
+  uint64_t cache_evictions = 0;
   std::vector<net::ShardBalancePayload> shards;
 };
 

@@ -401,8 +401,14 @@ struct WcServer::Impl {
           return;
         }
         QueryEngineStats stats = service->Stats();
-        net::StatsReplyPayload reply{service->NumVertices(), stats.queries,
-                                     stats.reachable, stats.batches};
+        net::StatsReplyPayload reply{service->NumVertices(),
+                                     stats.queries,
+                                     stats.reachable,
+                                     stats.batches,
+                                     stats.cache_hits,
+                                     stats.cache_misses,
+                                     stats.cache_inserts,
+                                     stats.cache_evictions};
         std::vector<net::ShardBalancePayload> shards;
         for (const ShardBalanceEntry& shard : service->ShardBalance()) {
           shards.push_back(net::ShardBalancePayload{

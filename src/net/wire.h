@@ -19,11 +19,14 @@
 //   kBatchQueryReply (4+4n) u32 count, then count u32 distances,
 //                      positionally aligned with the request
 //   kStats       (0)
-//   kStatsReply  (40+32n) u64 num_vertices, queries, reachable, batches,
-//                      then u32 shard_count, u32 reserved, then shard_count
-//                      per-shard balance records (u64 vertex_begin,
-//                      vertex_end, entry_count, label_bytes) in tiling
-//                      order; shard_count is 0 for unsharded engines
+//   kStatsReply  (72+32n) u64 num_vertices, queries, reachable, batches,
+//                      cache_hits, cache_misses, cache_inserts,
+//                      cache_evictions (result-cache counters; zero when
+//                      the engine serves uncached), then u32 shard_count,
+//                      u32 reserved, then shard_count per-shard balance
+//                      records (u64 vertex_begin, vertex_end, entry_count,
+//                      label_bytes) in tiling order; shard_count is 0 for
+//                      unsharded engines
 //   kHealth      (0)
 //   kHealthReply (8)   u64 num_vertices
 //   kError       (0)   header.status carries the WireError; sent in place
@@ -56,8 +59,9 @@ inline constexpr uint32_t kWireMagic = 0x4e534357;
 
 /// Current protocol version. Bump on any frame-layout change; peers reject
 /// other versions with a clean error frame. v2: kStatsReply grew the
-/// per-shard balance section.
-inline constexpr uint16_t kWireVersion = 2;
+/// per-shard balance section. v3: the kStatsReply fixed prefix grew the
+/// result-cache hit/miss/insert/evict counters.
+inline constexpr uint16_t kWireVersion = 3;
 
 /// Default upper bound on one frame's payload (16 MiB ≈ 1.4M batched
 /// queries). A header announcing more is treated as a framing error before
@@ -126,16 +130,22 @@ struct QueryReplyPayload {
 };
 static_assert(sizeof(QueryReplyPayload) == 4);
 
-/// kStatsReply fixed prefix: the serving engine's aggregate counters. The
-/// wire payload continues with u32 shard_count, u32 reserved, and
-/// shard_count ShardBalancePayload records (empty for unsharded engines).
+/// kStatsReply fixed prefix: the serving engine's aggregate counters,
+/// including the result-cache counters (all zero when the server's engine
+/// runs without a cache). The wire payload continues with u32 shard_count,
+/// u32 reserved, and shard_count ShardBalancePayload records (empty for
+/// unsharded engines).
 struct StatsReplyPayload {
   uint64_t num_vertices;
   uint64_t queries;
   uint64_t reachable;
   uint64_t batches;
+  uint64_t cache_hits;
+  uint64_t cache_misses;
+  uint64_t cache_inserts;
+  uint64_t cache_evictions;
 };
-static_assert(sizeof(StatsReplyPayload) == 32);
+static_assert(sizeof(StatsReplyPayload) == 64);
 
 /// One per-shard balance record in a kStatsReply: the shard's vertex range
 /// and the label mass it serves. Matches serve's ShardBalanceEntry.

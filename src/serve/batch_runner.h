@@ -27,11 +27,17 @@
 
 namespace wcsd {
 
-/// Monotonic serving counters, aggregated across workers on read.
+/// Monotonic serving counters, aggregated across workers on read. The
+/// cache_* counters come from the engine's result cache (serve/
+/// result_cache.h) and stay zero when caching is off.
 struct QueryEngineStats {
   uint64_t queries = 0;
   uint64_t reachable = 0;
   uint64_t batches = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_inserts = 0;
+  uint64_t cache_evictions = 0;
 };
 
 /// 0 = hardware concurrency (min 1).

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "labeling/shard_manifest.h"
+
 namespace wcsd {
 
 QueryEngine::QueryEngine(std::shared_ptr<const WcIndex> index,
@@ -10,6 +12,10 @@ QueryEngine::QueryEngine(std::shared_ptr<const WcIndex> index,
   size_t threads = ResolveServeThreads(options_.num_threads);
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
   stats_ = std::make_unique<ServeStatsBlock>(threads);
+  if (options_.cache_bytes > 0 && index_->finalized()) {
+    cache_ = std::make_unique<ResultCache>(options_.cache_bytes);
+    cache_->Rebind(IndexContentFingerprint(index_->flat_labels()));
+  }
 }
 
 Result<QueryEngine> QueryEngine::Open(const std::string& snapshot_path,
@@ -21,8 +27,19 @@ Result<QueryEngine> QueryEngine::Open(const std::string& snapshot_path,
       std::make_shared<const WcIndex>(std::move(index).value()), options);
 }
 
+Distance QueryEngine::CachedQuery(Vertex s, Vertex t, Quality w) const {
+  // The guards mirror WcIndex::Query so degenerate queries never reach the
+  // cache (their answers are free to recompute).
+  const size_t n = index_->NumVertices();
+  if (s >= n || t >= n) return kInfDistance;
+  if (s == t) return 0;
+  return cache_->GetOrCompute(
+      s, t, w, [&] { return index_->QueryWithInterval(s, t, w); });
+}
+
 Distance QueryEngine::Query(Vertex s, Vertex t, Quality w) const {
-  Distance d = index_->Query(s, t, w, options_.impl);
+  Distance d = cache_ ? CachedQuery(s, t, w)
+                      : index_->Query(s, t, w, options_.impl);
   stats_->RecordSingle(d);
   return d;
 }
@@ -31,10 +48,20 @@ std::vector<Distance> QueryEngine::Batch(
     const std::vector<BatchQueryInput>& queries) const {
   const WcIndex& index = *index_;
   const QueryImpl impl = options_.impl;
+  if (cache_) {
+    return RunServeBatch(pool_.get(), num_threads(), options_.min_chunk,
+                         *stats_, queries, [&](const BatchQueryInput& q) {
+                           return CachedQuery(q.s, q.t, q.w);
+                         });
+  }
   return RunServeBatch(pool_.get(), num_threads(), options_.min_chunk,
                        *stats_, queries, [&](const BatchQueryInput& q) {
                          return index.Query(q.s, q.t, q.w, impl);
                        });
+}
+
+QueryEngineStats QueryEngine::stats() const {
+  return WithCacheStats(stats_->Aggregate(), cache_.get());
 }
 
 }  // namespace wcsd

@@ -25,6 +25,7 @@
 #include "core/wc_index.h"
 #include "labeling/query.h"
 #include "serve/batch_runner.h"
+#include "serve/result_cache.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/types.h"
@@ -41,7 +42,30 @@ struct QueryEngineOptions {
   /// Smallest batch slice handed to one worker; bounds scheduling overhead
   /// on small batches.
   size_t min_chunk = 64;
+  /// Byte budget for the dominance-aware result cache
+  /// (serve/result_cache.h). 0 (the default) disables caching and leaves
+  /// the query path exactly as before. When enabled, misses are answered
+  /// by the interval-returning merge kernel — answers stay bit-identical
+  /// for every `impl` (all four return the same distances) — and the
+  /// engine computes IndexContentFingerprint at construction to bind the
+  /// cache to the snapshot's identity (one full pass over the label
+  /// bytes, which faults an mmap'd snapshot in; only paid when caching).
+  size_t cache_bytes = 0;
 };
+
+/// Folds a result cache's counters into engine-level stats; a null cache
+/// leaves the cache_* fields zero. Shared by both engines.
+inline QueryEngineStats WithCacheStats(QueryEngineStats stats,
+                                       const ResultCache* cache) {
+  if (cache != nullptr) {
+    ResultCacheStats c = cache->stats();
+    stats.cache_hits = c.hits;
+    stats.cache_misses = c.misses;
+    stats.cache_inserts = c.inserts;
+    stats.cache_evictions = c.evictions;
+  }
+  return stats;
+}
 
 class QueryEngine {
  public:
@@ -68,13 +92,20 @@ class QueryEngine {
 
   const WcIndex& index() const { return *index_; }
   size_t num_threads() const { return pool_ ? pool_->size() : 1; }
-  QueryEngineStats stats() const { return stats_->Aggregate(); }
+  QueryEngineStats stats() const;
+
+  /// The result cache, or null when options.cache_bytes == 0 (or the
+  /// index is not finalized — the serving formats all are).
+  const ResultCache* cache() const { return cache_.get(); }
 
  private:
+  Distance CachedQuery(Vertex s, Vertex t, Quality w) const;
+
   std::shared_ptr<const WcIndex> index_;
   QueryEngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
   std::unique_ptr<ServeStatsBlock> stats_;
+  std::unique_ptr<ResultCache> cache_;  // null when caching is off
 };
 
 }  // namespace wcsd

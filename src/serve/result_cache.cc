@@ -1,0 +1,164 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+
+namespace wcsd {
+
+namespace {
+
+constexpr uint64_t kEmptyKey = ~uint64_t{0};  // (2^32-1, 2^32-1): kNullVertex
+
+/// Undirected key: the graph is undirected, so (s, t) and (t, s) share one
+/// entry — normalizing doubles the hit rate on symmetric workloads.
+inline uint64_t KeyOf(Vertex s, Vertex t) {
+  if (s > t) std::swap(s, t);
+  return (uint64_t{s} << 32) | t;
+}
+
+/// splitmix64 finalizer: cheap, and spreads the structured vertex-pair key
+/// across all 64 bits so shard (high bits) and probe base (low bits) both
+/// look random.
+inline uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline size_t FloorPow2(size_t x) {
+  size_t p = 1;
+  while (p * 2 <= x) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(size_t budget_bytes) {
+  const size_t total_slots =
+      std::max(kProbeWindow, budget_bytes / sizeof(Slot));
+  // ~256 slots per shard before adding stripes, capped at 64 shards: small
+  // budgets stay single-stripe, big ones spread writer contention.
+  num_shards_ = std::clamp<size_t>(FloorPow2(total_slots / 256), 1, 64);
+  slots_per_shard_ =
+      std::max(kProbeWindow, FloorPow2(total_slots / num_shards_));
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+  for (size_t i = 0; i < num_shards_; ++i) {
+    shards_[i].slots.assign(slots_per_shard_, Slot{kEmptyKey, 0, 0, {}});
+  }
+}
+
+void ResultCache::Rebind(uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(fingerprint_mu_);
+  if (fingerprint_ == fingerprint) return;
+  fingerprint_ = fingerprint;
+  Clear();
+}
+
+uint64_t ResultCache::fingerprint() const {
+  std::lock_guard<std::mutex> lock(fingerprint_mu_);
+  return fingerprint_;
+}
+
+void ResultCache::Clear() {
+  for (size_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (Slot& slot : shard.slots) {
+      slot.key = kEmptyKey;
+      slot.count = 0;
+      slot.clock = 0;
+    }
+    shard.clock = 0;
+  }
+}
+
+bool ResultCache::Lookup(Vertex s, Vertex t, Quality w, Distance* dist) {
+  const uint64_t key = KeyOf(s, t);
+  const uint64_t hash = Mix(key);
+  Shard& shard = ShardFor(hash);
+  const size_t mask = slots_per_shard_ - 1;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (size_t p = 0; p < kProbeWindow; ++p) {
+    const Slot& slot = shard.slots[(hash + p) & mask];
+    if (slot.key != key) continue;
+    for (uint32_t i = 0; i < slot.count; ++i) {
+      const Interval& iv = slot.iv[i];
+      if (iv.w_lo <= w && w <= iv.w_hi) {
+        *dist = iv.dist;
+        ++shard.hits;
+        return true;
+      }
+    }
+    break;  // keys are unique within the window
+  }
+  ++shard.misses;
+  return false;
+}
+
+void ResultCache::Insert(Vertex s, Vertex t,
+                         const IntervalQueryResult& result) {
+  const uint64_t key = KeyOf(s, t);
+  const uint64_t hash = Mix(key);
+  Shard& shard = ShardFor(hash);
+  const size_t mask = slots_per_shard_ - 1;
+  std::lock_guard<std::mutex> lock(shard.mu);
+
+  Slot* target = nullptr;
+  Slot* empty = nullptr;
+  for (size_t p = 0; p < kProbeWindow; ++p) {
+    Slot& slot = shard.slots[(hash + p) & mask];
+    if (slot.key == key) {
+      target = &slot;
+      break;
+    }
+    if (slot.key == kEmptyKey && empty == nullptr) empty = &slot;
+  }
+  if (target == nullptr) {
+    if (empty != nullptr) {
+      target = empty;
+    } else {
+      // Window full of other keys: displace one, rotating so a hot window
+      // does not always sacrifice the same victim.
+      target = &shard.slots[(hash + (shard.clock++ % kProbeWindow)) & mask];
+      ++shard.evictions;
+    }
+    target->key = key;
+    target->count = 0;
+    target->clock = 0;
+  }
+
+  // Intervals of one key are maximal constant regions of the same step
+  // function: a duplicate is bit-identical, anything else is disjoint.
+  for (uint32_t i = 0; i < target->count; ++i) {
+    const Interval& iv = target->iv[i];
+    if (iv.w_lo == result.w_lo && iv.w_hi == result.w_hi) return;
+  }
+  if (target->count < kIntervalsPerSlot) {
+    target->iv[target->count++] = Interval{result.w_lo, result.w_hi,
+                                           result.dist};
+  } else {
+    target->iv[target->clock++ % kIntervalsPerSlot] =
+        Interval{result.w_lo, result.w_hi, result.dist};
+    ++shard.evictions;
+  }
+  ++shard.inserts;
+}
+
+ResultCacheStats ResultCache::stats() const {
+  ResultCacheStats total;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.inserts += shard.inserts;
+    total.evictions += shard.evictions;
+  }
+  return total;
+}
+
+size_t ResultCache::MemoryBytes() const {
+  return num_shards_ * slots_per_shard_ * sizeof(Slot);
+}
+
+}  // namespace wcsd

@@ -1,0 +1,159 @@
+// Dominance-aware result cache for the serve path.
+//
+// d(s, t, w) is a non-decreasing step function of w (PAPER §IV, Theorem
+// 3), so one query — answered by the interval-returning merge kernel
+// (labeling/query.h) — certifies its distance for a whole constraint
+// interval, not just the w it was asked. The cache exploits that: a hit
+// only needs SOME cached interval for (s, t) to contain w, which turns one
+// miss into a hit for every nearby constraint. Production query logs are
+// heavily skewed toward a small hot set of (s, t) pairs (see PAPERS.md on
+// IS-LABEL / Query-by-Sketch), which is exactly the shape this rewards.
+//
+// Layout: a fixed budget of open-addressed slots, split across mutex-
+// striped shards. One slot holds one undirected (s, t) key — endpoints
+// are normalized, the graph is undirected — and a small set of disjoint
+// (interval, distance) entries. The hot path is allocation-free: a lookup
+// hashes, locks one shard's mutex, probes a handful of slots, and scans
+// at most kIntervalsPerSlot intervals per slot. Capacity pressure is
+// resolved by replacement, never by growth, so the byte budget is a hard
+// bound.
+//
+// Intervals stored for one key are maximal constant regions of the same
+// step function, hence pairwise disjoint — an insert whose interval is
+// already present is a no-op, and no overlap reconciliation is needed.
+//
+// Snapshot identity: a cache is bound to the index content fingerprint
+// (labeling/shard_manifest.h IndexContentFingerprint) it was filled from.
+// Rebind(fingerprint) wholesale-invalidates every entry when the identity
+// changes (snapshot reload, dynamic update), and is a no-op when it does
+// not — engines call it unconditionally at open.
+
+#ifndef WCSD_SERVE_RESULT_CACHE_H_
+#define WCSD_SERVE_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "labeling/query.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+/// Monotonic cache counters. hits + misses = lookups; inserts counts
+/// intervals stored; evictions counts displaced live keys and displaced
+/// intervals within a full slot.
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+
+  friend bool operator==(const ResultCacheStats&,
+                         const ResultCacheStats&) = default;
+};
+
+class ResultCache {
+ public:
+  /// Intervals one slot can hold for its (s, t) key.
+  static constexpr size_t kIntervalsPerSlot = 3;
+  /// Linear-probe window; a full window replaces instead of growing.
+  static constexpr size_t kProbeWindow = 4;
+
+  /// Budgets ~`budget_bytes` of slot storage (rounded down to a power of
+  /// two per shard, floor of one probe window per shard). The budget is
+  /// fixed for the cache's lifetime.
+  explicit ResultCache(size_t budget_bytes);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Binds the cache to an index identity. A changed fingerprint drops
+  /// every cached entry (counters survive); an unchanged one is a no-op.
+  /// An insert racing a Rebind may land after the wipe, so a caller
+  /// sharing one cache across snapshot swaps must Rebind before the new
+  /// snapshot starts serving (engines constructing their own cache do).
+  void Rebind(uint64_t fingerprint);
+
+  /// The identity the current contents are valid for.
+  uint64_t fingerprint() const;
+
+  /// True (and *dist filled) when a cached interval for (s, t) contains w.
+  bool Lookup(Vertex s, Vertex t, Quality w, Distance* dist);
+
+  /// The lookup-miss-insert sequence both engines run: returns the cached
+  /// distance on a hit, otherwise calls `compute()` (which must return the
+  /// IntervalQueryResult for (s, t, w)), stores its interval, and returns
+  /// its distance.
+  template <typename ComputeFn>
+  Distance GetOrCompute(Vertex s, Vertex t, Quality w,
+                        const ComputeFn& compute) {
+    Distance dist;
+    if (Lookup(s, t, w, &dist)) return dist;
+    IntervalQueryResult result = compute();
+    Insert(s, t, result);
+    return result.dist;
+  }
+
+  /// Stores the certified interval for (s, t). Degenerate results (the
+  /// everywhere-valid interval of out-of-range queries) are cacheable like
+  /// any other.
+  void Insert(Vertex s, Vertex t, const IntervalQueryResult& result);
+
+  /// Drops every entry (counters survive).
+  void Clear();
+
+  ResultCacheStats stats() const;
+
+  size_t num_shards() const { return num_shards_; }
+  size_t slots_per_shard() const { return slots_per_shard_; }
+
+  /// Bytes of slot storage actually allocated.
+  size_t MemoryBytes() const;
+
+ private:
+  struct Interval {
+    Quality w_lo;
+    Quality w_hi;
+    Distance dist;
+  };
+
+  struct Slot {
+    uint64_t key;
+    uint32_t count;  // live intervals in iv[0..count)
+    uint32_t clock;  // rotation point for interval replacement
+    Interval iv[kIntervalsPerSlot];
+  };
+
+  /// Cache-line aligned so two shards' mutexes never share a line.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::vector<Slot> slots;
+    uint32_t clock = 0;  // rotation point for slot replacement
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// High hash bits pick the shard, low bits the probe base inside it, so
+  /// the two stay uncorrelated. num_shards_ and slots_per_shard_ are
+  /// powers of two.
+  Shard& ShardFor(uint64_t hash) const {
+    return shards_[(hash >> 48) & (num_shards_ - 1)];
+  }
+
+  /// Heap-held array (mutexes are immovable); size num_shards_.
+  std::unique_ptr<Shard[]> shards_;
+  size_t num_shards_ = 0;
+  size_t slots_per_shard_ = 0;
+
+  mutable std::mutex fingerprint_mu_;
+  uint64_t fingerprint_ = 0;
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_SERVE_RESULT_CACHE_H_

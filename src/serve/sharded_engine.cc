@@ -22,7 +22,7 @@ std::string RangeString(uint64_t begin, uint64_t end) {
 
 Result<ShardedQueryEngine> ShardedQueryEngine::Assemble(
     std::vector<Shard> shards, uint64_t num_vertices,
-    QueryEngineOptions options) {
+    QueryEngineOptions options, std::optional<uint64_t> known_fingerprint) {
   ShardedQueryEngine engine;
   engine.options_ = options;
   engine.num_vertices_ = num_vertices;
@@ -68,7 +68,33 @@ Result<ShardedQueryEngine> ShardedQueryEngine::Assemble(
   size_t threads = ResolveServeThreads(options.num_threads);
   if (threads > 1) engine.pool_ = std::make_unique<ThreadPool>(threads);
   engine.stats_ = std::make_unique<ServeStatsBlock>(threads);
+  if (options.cache_bytes > 0) {
+    engine.cache_ = std::make_unique<ResultCache>(options.cache_bytes);
+    engine.cache_->Rebind(known_fingerprint.has_value()
+                              ? *known_fingerprint
+                              : engine.ContentFingerprint());
+  }
   return engine;
+}
+
+uint64_t ShardedQueryEngine::ContentFingerprint() const {
+  // Chain the per-shard CRCs in tiling order: CRC of a concatenation is
+  // the CRC of its pieces chained, so this equals IndexContentFingerprint
+  // of the unsharded index no matter where the cuts fall (the same
+  // computation OpenManifest verifies against the manifest's fingerprint).
+  const uint64_t n = num_vertices_;
+  const uint32_t seed = Crc32c(&n, sizeof(n));
+  uint32_t entries_crc = seed;
+  uint32_t groups_crc = seed;
+  for (const Shard& shard : shards_) {
+    auto entries = shard.labels.raw_entries();
+    auto groups = shard.labels.raw_groups();
+    entries_crc = Crc32c(entries.data(), entries.size() * sizeof(LabelEntry),
+                         entries_crc);
+    groups_crc =
+        Crc32c(groups.data(), groups.size() * sizeof(HubGroup), groups_crc);
+  }
+  return (uint64_t{groups_crc} << 32) | entries_crc;
 }
 
 Result<ShardedQueryEngine> ShardedQueryEngine::OpenMmap(
@@ -168,7 +194,8 @@ Result<ShardedQueryEngine> ShardedQueryEngine::OpenManifest(
           ": shard contents do not match the recorded index fingerprint");
     }
   }
-  return Assemble(std::move(shards), manifest.num_vertices_total, options);
+  return Assemble(std::move(shards), manifest.num_vertices_total, options,
+                  manifest.fingerprint);
 }
 
 std::vector<ShardBalanceEntry> ShardedQueryEngine::ShardBalance() const {
@@ -195,7 +222,16 @@ Distance ShardedQueryEngine::QueryNoStats(Vertex s, Vertex t,
                                           Quality w) const {
   if (s >= num_vertices_ || t >= num_vertices_) return kInfDistance;
   if (s == t) return 0;
+  if (cache_) {
+    return cache_->GetOrCompute(s, t, w, [&] {
+      return QueryFlatMergeWithInterval(ViewOf(s), ViewOf(t), w);
+    });
+  }
   return QueryFlat(ViewOf(s), ViewOf(t), w, options_.impl);
+}
+
+QueryEngineStats ShardedQueryEngine::stats() const {
+  return WithCacheStats(stats_->Aggregate(), cache_.get());
 }
 
 Distance ShardedQueryEngine::Query(Vertex s, Vertex t, Quality w) const {

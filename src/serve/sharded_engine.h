@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "labeling/snapshot.h"
 #include "serve/batch_runner.h"
 #include "serve/query_engine.h"
+#include "serve/result_cache.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/types.h"
@@ -80,7 +82,10 @@ class ShardedQueryEngine {
   size_t NumVertices() const { return num_vertices_; }
   size_t num_shards() const { return shards_.size(); }
   size_t num_threads() const { return pool_ ? pool_->size() : 1; }
-  QueryEngineStats stats() const { return stats_->Aggregate(); }
+  QueryEngineStats stats() const;
+
+  /// The result cache, or null when options.cache_bytes == 0.
+  const ResultCache* cache() const { return cache_.get(); }
 
   /// Per-shard ranges and label mass, in tiling order. What the wire
   /// Stats frame reports as shard balance.
@@ -98,14 +103,25 @@ class ShardedQueryEngine {
 
   /// Sorts `shards`, validates the tiling (messages name the offending
   /// shard), and finishes construction. `num_vertices` is the logical
-  /// index's total from the shard headers.
-  static Result<ShardedQueryEngine> Assemble(std::vector<Shard> shards,
-                                             uint64_t num_vertices,
-                                             QueryEngineOptions options);
+  /// index's total from the shard headers. `known_fingerprint` spares the
+  /// cache's full-label-pass ContentFingerprint when the caller already
+  /// holds the index identity (the manifest records it; its header CRC
+  /// cross-checks prove the mapped files are the recorded ones).
+  static Result<ShardedQueryEngine> Assemble(
+      std::vector<Shard> shards, uint64_t num_vertices,
+      QueryEngineOptions options,
+      std::optional<uint64_t> known_fingerprint = std::nullopt);
 
   /// Label view of vertex v, routed to its shard.
   FlatLabelView ViewOf(Vertex v) const;
   Distance QueryNoStats(Vertex s, Vertex t, Quality w) const;
+
+  /// The tiling-invariant content fingerprint of the stitched index —
+  /// identical to IndexContentFingerprint of the unsharded flat labels and
+  /// to the shard-set manifest's recorded fingerprint, however the range
+  /// was cut. One pass over every shard's label bytes; only computed when
+  /// the cache needs a snapshot identity to bind to.
+  uint64_t ContentFingerprint() const;
 
   std::vector<Shard> shards_;       // sorted by begin, tiling [0, n)
   std::vector<uint64_t> begins_;    // shards_[i].begin, for binary search
@@ -113,6 +129,7 @@ class ShardedQueryEngine {
   QueryEngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<ServeStatsBlock> stats_;
+  std::unique_ptr<ResultCache> cache_;  // null when caching is off
 };
 
 }  // namespace wcsd

@@ -5,6 +5,9 @@
 //   * the four QueryImpls on the append-oriented LabelSet backend,
 //   * the four QueryImpls on the finalized flat CSR backend,
 //   * a QueryEngine serving the mmap-loaded snapshot of the index,
+//   * the same engine behind a deliberately tiny dominance-aware result
+//     cache (serve/result_cache.h), queried twice per case so both the
+//     miss+insert and the interval-hit paths are differentially checked,
 //   * a ShardedQueryEngine stitching vertex-range shard snapshots,
 //   * a second ShardedQueryEngine over a label-mass-planned shard set
 //     opened through its manifest (labeling/shard_manifest.h),
@@ -104,6 +107,7 @@ struct Stack {
   WcIndex flat;           // finalized flat backend
   WcIndex mm;             // mmap-loaded snapshot
   std::shared_ptr<const QueryEngine> engine;
+  std::shared_ptr<const QueryEngine> cached;  // dominance-aware result cache
   std::unique_ptr<ShardedQueryEngine> sharded;
   std::unique_ptr<ShardedQueryEngine> planned;  // manifest-opened shard set
   std::unique_ptr<WcServer> server;  // serves `engine` over the wire
@@ -128,6 +132,13 @@ Stack BuildStack(const QualityGraph& g, size_t build_threads,
   serve.num_threads = 1;  // concurrency is hammered in test_serve/test_net
   auto engine = std::make_shared<const QueryEngine>(
       std::make_shared<const WcIndex>(mm.value()), serve);
+
+  // The cached path: the same mmap index behind the dominance-aware result
+  // cache, deliberately tiny so replacement churns during the fuzz run.
+  QueryEngineOptions cached_serve = serve;
+  cached_serve.cache_bytes = 8 << 10;
+  auto cached = std::make_shared<const QueryEngine>(
+      std::make_shared<const WcIndex>(mm.value()), cached_serve);
 
   // The networked path: an in-process server over the same mmap engine,
   // queried through a real loopback socket.
@@ -179,6 +190,7 @@ Stack BuildStack(const QualityGraph& g, size_t build_threads,
   for (const std::string& p : shard_paths) std::remove(p.c_str());
   return Stack{std::move(index),  std::move(flat),
                std::move(mm).value(), std::move(engine),
+               std::move(cached),
                std::move(sharded_ptr), std::move(planned_ptr),
                std::move(server), std::move(client)};
 }
@@ -199,6 +211,10 @@ std::string CheckOne(const QualityGraph& g, const Stack& stack, Vertex s,
     expect("mmap impl", stack.mm.Query(s, t, w, impl));
   }
   expect("engine", stack.engine->Query(s, t, w));
+  // Twice: the first call may miss and insert, the second must hit the
+  // cached interval — both answers have to match the ground truth.
+  expect("cached (miss path)", stack.cached->Query(s, t, w));
+  expect("cached (hit path)", stack.cached->Query(s, t, w));
   expect("sharded", stack.sharded->Query(s, t, w));
   expect("planned", stack.planned->Query(s, t, w));
   auto net = stack.client->Query(s, t, w);
@@ -285,6 +301,8 @@ TEST(DifferentialFuzz, AllAnswerPathsAgree) {
       // The batch path over the mmap engine must match, positionally.
       ASSERT_EQ(stack.engine->Batch(batch), expected)
           << "family=" << kFamilies[family] << " seed=" << seed;
+      ASSERT_EQ(stack.cached->Batch(batch), expected)
+          << "cached family=" << kFamilies[family] << " seed=" << seed;
       ASSERT_EQ(stack.sharded->Batch(batch), expected)
           << "family=" << kFamilies[family] << " seed=" << seed;
       ASSERT_EQ(stack.planned->Batch(batch), expected)

@@ -92,6 +92,33 @@ WcClient ConnectTo(const WcServer& server) {
   return std::move(client).value();
 }
 
+// A cache-enabled engine behind the server: answers stay bit-identical,
+// and the kStatsReply cache counters travel the wire.
+TEST(WcServer, ReportsCacheCountersOverTheWire) {
+  NetFixture f = MakeNetFixture(100, 260, 250, 229);
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.cache_bytes = 64 << 10;
+  auto engine = std::make_shared<const QueryEngine>(f.index, options);
+  WcServer server = StartServer(MakeQueryService(engine));
+  WcClient client = ConnectTo(server);
+
+  // Twice: the second pass is mostly interval hits.
+  for (int pass = 0; pass < 2; ++pass) {
+    auto batch = client.Batch(f.workload);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    EXPECT_EQ(batch.value(), f.expected) << "pass=" << pass;
+  }
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats.value().cache_hits, 0u);
+  EXPECT_GT(stats.value().cache_misses, 0u);
+  EXPECT_GT(stats.value().cache_inserts, 0u);
+  EXPECT_EQ(stats.value().cache_hits + stats.value().cache_misses,
+            engine->stats().cache_hits + engine->stats().cache_misses);
+}
+
 // Every QueryImpl, every call shape: the networked answers must equal the
 // in-process index bit-for-bit.
 TEST(WcServer, BitIdenticalToInProcessForEveryImpl) {
@@ -653,6 +680,8 @@ TEST(WireGolden, GoldenRepliesDecodeToPaperAnswers) {
   EXPECT_EQ(shard_count, 0u);  // the golden server is unsharded
   EXPECT_EQ(stats.queries, 4u);   // 1 single + 3 batched
   EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.cache_hits, 0u);  // the golden server serves uncached
+  EXPECT_EQ(stats.cache_misses, 0u);
   EXPECT_EQ(at, golden.size());
 }
 

@@ -1,0 +1,343 @@
+// The dominance-aware result cache (serve/result_cache.h): interval
+// semantics, undirected key normalization, replacement under a fixed
+// budget, fingerprint invalidation, engine wiring (QueryEngine and
+// ShardedQueryEngine answer bit-identically with the cache on), and a
+// concurrent hit/insert/invalidate hammer for the TSan CI job.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/wc_index.h"
+#include "graph/generators.h"
+#include "labeling/shard_manifest.h"
+#include "labeling/snapshot.h"
+#include "serve/query_engine.h"
+#include "serve/result_cache.h"
+#include "serve/sharded_engine.h"
+#include "util/random.h"
+
+namespace wcsd {
+namespace {
+
+IntervalQueryResult MakeInterval(Distance dist, Quality lo, Quality hi) {
+  IntervalQueryResult r;
+  r.dist = dist;
+  r.w_lo = lo;
+  r.w_hi = hi;
+  return r;
+}
+
+TEST(ResultCache, IntervalHitSemantics) {
+  ResultCache cache(1 << 20);
+  cache.Rebind(0xf00d);
+  Distance d = 0;
+
+  EXPECT_FALSE(cache.Lookup(3, 7, 2.0f, &d));
+  cache.Insert(3, 7, MakeInterval(5, 1.0f, 3.0f));
+
+  // Any constraint inside [1, 3] hits — not just the inserted w.
+  EXPECT_TRUE(cache.Lookup(3, 7, 2.0f, &d));
+  EXPECT_EQ(d, 5u);
+  EXPECT_TRUE(cache.Lookup(3, 7, 1.0f, &d));
+  EXPECT_TRUE(cache.Lookup(3, 7, 3.0f, &d));
+  EXPECT_TRUE(cache.Lookup(3, 7, 2.5f, &d));
+
+  // Outside the interval misses; other pairs miss.
+  EXPECT_FALSE(cache.Lookup(3, 7, 0.5f, &d));
+  EXPECT_FALSE(cache.Lookup(3, 7, 3.5f, &d));
+  EXPECT_FALSE(cache.Lookup(3, 8, 2.0f, &d));
+
+  // The graph is undirected: (t, s) shares the entry.
+  EXPECT_TRUE(cache.Lookup(7, 3, 2.0f, &d));
+  EXPECT_EQ(d, 5u);
+
+  // Unbounded intervals (unreachable pairs, s == t) work, including +inf.
+  cache.Insert(1, 2, MakeInterval(kInfDistance, 4.0f, kInfQuality));
+  EXPECT_TRUE(cache.Lookup(1, 2, kInfQuality, &d));
+  EXPECT_EQ(d, kInfDistance);
+  EXPECT_TRUE(cache.Lookup(1, 2, 1e30f, &d));
+  EXPECT_FALSE(cache.Lookup(1, 2, 3.5f, &d));
+
+  ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 7u);
+  EXPECT_EQ(stats.misses, 5u);
+  EXPECT_EQ(stats.inserts, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ResultCache, MultipleDisjointIntervalsPerPair) {
+  ResultCache cache(1 << 20);
+  Distance d = 0;
+  // Three steps of one pair's step function.
+  cache.Insert(10, 20, MakeInterval(4, -kInfQuality, 1.0f));
+  cache.Insert(10, 20, MakeInterval(6, 1.5f, 3.0f));
+  cache.Insert(10, 20, MakeInterval(9, 3.5f, kInfQuality));
+  EXPECT_TRUE(cache.Lookup(10, 20, 0.0f, &d));
+  EXPECT_EQ(d, 4u);
+  EXPECT_TRUE(cache.Lookup(10, 20, 2.0f, &d));
+  EXPECT_EQ(d, 6u);
+  EXPECT_TRUE(cache.Lookup(10, 20, 100.0f, &d));
+  EXPECT_EQ(d, 9u);
+
+  // Re-inserting a present interval is a no-op (still one insert each).
+  cache.Insert(10, 20, MakeInterval(6, 1.5f, 3.0f));
+  EXPECT_EQ(cache.stats().inserts, 3u);
+
+  // A fourth distinct interval displaces one (kIntervalsPerSlot = 3).
+  cache.Insert(10, 20, MakeInterval(7, 3.2f, 3.4f));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.Lookup(10, 20, 3.3f, &d));
+  EXPECT_EQ(d, 7u);
+}
+
+TEST(ResultCache, RebindInvalidatesWholesale) {
+  ResultCache cache(1 << 20);
+  cache.Rebind(1);
+  Distance d = 0;
+  cache.Insert(3, 7, MakeInterval(5, 1.0f, 3.0f));
+  ASSERT_TRUE(cache.Lookup(3, 7, 2.0f, &d));
+
+  cache.Rebind(1);  // same identity: contents survive
+  EXPECT_TRUE(cache.Lookup(3, 7, 2.0f, &d));
+
+  cache.Rebind(2);  // new snapshot identity: wiped
+  EXPECT_EQ(cache.fingerprint(), 2u);
+  EXPECT_FALSE(cache.Lookup(3, 7, 2.0f, &d));
+}
+
+TEST(ResultCache, TinyBudgetReplacesInsteadOfGrowing) {
+  // The smallest cache: one shard, one probe window of slots.
+  ResultCache cache(1);
+  EXPECT_EQ(cache.num_shards(), 1u);
+  EXPECT_EQ(cache.slots_per_shard(), ResultCache::kProbeWindow);
+  EXPECT_LE(cache.MemoryBytes(), 4096u);
+
+  // Insert far more pairs than fit; the cache must stay within budget and
+  // keep answering correctly for whatever it retained.
+  Distance d = 0;
+  for (Vertex i = 0; i < 256; ++i) {
+    cache.Insert(i, i + 1000, MakeInterval(i, 1.0f, 3.0f));
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+  size_t retained = 0;
+  for (Vertex i = 0; i < 256; ++i) {
+    if (cache.Lookup(i, i + 1000, 2.0f, &d)) {
+      EXPECT_EQ(d, Distance{i});
+      ++retained;
+    }
+  }
+  EXPECT_GT(retained, 0u);
+  EXPECT_LE(retained, cache.num_shards() * cache.slots_per_shard());
+}
+
+// ------------------------------------------------------- engine wiring
+
+QualityGraph MakeCacheGraph(uint64_t seed) {
+  QualityModel quality;
+  quality.num_levels = 5;
+  return GenerateBarabasiAlbert(60, 3, quality, seed);
+}
+
+std::vector<BatchQueryInput> MakeCacheWorkload(size_t n, size_t count,
+                                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BatchQueryInput> queries;
+  for (size_t i = 0; i < count; ++i) {
+    queries.push_back({static_cast<Vertex>(rng.NextBounded(n)),
+                       static_cast<Vertex>(rng.NextBounded(n)),
+                       static_cast<Quality>(rng.NextInRange(0, 6)) +
+                           (rng.NextBool(0.3) ? 0.5f : 0.0f)});
+  }
+  return queries;
+}
+
+TEST(ResultCache, CachedQueryEngineAnswersBitIdentically) {
+  QualityGraph g = MakeCacheGraph(99);
+  WcIndex index = WcIndex::Build(g, WcIndexOptions::Plus());
+  index.Finalize();
+  auto shared = std::make_shared<const WcIndex>(std::move(index));
+  const size_t n = shared->NumVertices();
+
+  for (QueryImpl impl : {QueryImpl::kScan, QueryImpl::kHubGrouped,
+                         QueryImpl::kBinary, QueryImpl::kMerge}) {
+    QueryEngineOptions plain_options;
+    plain_options.num_threads = 1;
+    plain_options.impl = impl;
+    QueryEngine plain(shared, plain_options);
+
+    QueryEngineOptions cached_options = plain_options;
+    cached_options.cache_bytes = 64 << 10;
+    QueryEngine cached(shared, cached_options);
+    ASSERT_NE(cached.cache(), nullptr);
+    ASSERT_EQ(cached.cache()->fingerprint(),
+              IndexContentFingerprint(shared->flat_labels()));
+
+    // Two passes over a repeating workload: the second is mostly hits and
+    // must still be bit-identical.
+    auto queries = MakeCacheWorkload(n, 300, 5);
+    const std::vector<BatchQueryInput> repeats(queries.begin(),
+                                               queries.begin() + 150);
+    queries.insert(queries.end(), repeats.begin(), repeats.end());
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const BatchQueryInput& q : queries) {
+        ASSERT_EQ(cached.Query(q.s, q.t, q.w), plain.Query(q.s, q.t, q.w))
+            << "pass=" << pass << " s=" << q.s << " t=" << q.t
+            << " w=" << q.w;
+      }
+      ASSERT_EQ(cached.Batch(queries), plain.Batch(queries)) << "pass="
+                                                             << pass;
+    }
+
+    QueryEngineStats stats = cached.stats();
+    EXPECT_GT(stats.cache_hits, 0u);
+    EXPECT_GT(stats.cache_misses, 0u);
+    EXPECT_GT(stats.cache_inserts, 0u);
+    // Degenerate queries bypass the cache entirely.
+    Distance self = cached.Query(3, 3, 1.0f);
+    Distance oob = cached.Query(0, static_cast<Vertex>(n + 7), 1.0f);
+    EXPECT_EQ(self, 0u);
+    EXPECT_EQ(oob, kInfDistance);
+    EXPECT_EQ(cached.stats().cache_hits + cached.stats().cache_misses,
+              stats.cache_hits + stats.cache_misses);
+    // An uncached engine reports zero cache counters.
+    EXPECT_EQ(plain.stats().cache_hits, 0u);
+    EXPECT_EQ(plain.stats().cache_misses, 0u);
+  }
+}
+
+TEST(ResultCache, CachedShardedEngineAnswersBitIdentically) {
+  QualityGraph g = MakeCacheGraph(123);
+  WcIndex index = WcIndex::Build(g, WcIndexOptions::Plus());
+  index.Finalize();
+  const uint64_t n = index.NumVertices();
+
+  const std::string dir = testing::TempDir();
+  std::vector<std::string> paths;
+  for (int k = 0; k < 3; ++k) {
+    std::string path = dir + "/cache_shard" + std::to_string(k);
+    ASSERT_TRUE(WriteSnapshotShard(path, index.flat_labels(), n * k / 3,
+                                   n * (k + 1) / 3, n)
+                    .ok());
+    paths.push_back(path);
+  }
+
+  QueryEngineOptions plain_options;
+  plain_options.num_threads = 1;
+  auto plain = ShardedQueryEngine::OpenMmap(paths, plain_options);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  QueryEngineOptions cached_options = plain_options;
+  cached_options.cache_bytes = 64 << 10;
+  auto cached = ShardedQueryEngine::OpenMmap(paths, cached_options);
+  ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+  ASSERT_NE(cached.value().cache(), nullptr);
+  // The sharded fingerprint is tiling-invariant: it must equal the
+  // unsharded index's content fingerprint.
+  EXPECT_EQ(cached.value().cache()->fingerprint(),
+            IndexContentFingerprint(index.flat_labels()));
+
+  auto queries = MakeCacheWorkload(n, 400, 17);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const BatchQueryInput& q : queries) {
+      ASSERT_EQ(cached.value().Query(q.s, q.t, q.w),
+                plain.value().Query(q.s, q.t, q.w))
+          << "pass=" << pass << " s=" << q.s << " t=" << q.t << " w=" << q.w;
+    }
+    ASSERT_EQ(cached.value().Batch(queries), plain.value().Batch(queries));
+  }
+  EXPECT_GT(cached.value().stats().cache_hits, 0u);
+
+  for (const std::string& path : paths) std::remove(path.c_str());
+}
+
+// --------------------------------------------------- concurrency hammer
+
+// Raw cache hammered from many threads — lookups, inserts, and periodic
+// wholesale invalidation racing each other. Run under the TSan CI job.
+TEST(ResultCache, ConcurrentHitInsertInvalidateHammer) {
+  ResultCache cache(32 << 10);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> wrong{0};
+
+  auto worker = [&](uint64_t seed) {
+    Rng rng(seed);
+    Distance d = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      Vertex s = static_cast<Vertex>(rng.NextBounded(128));
+      Vertex t = static_cast<Vertex>(rng.NextBounded(128));
+      Quality w = static_cast<Quality>(rng.NextInRange(0, 8));
+      // The "index" the hammer simulates: dist = s ^ t, valid on a fixed
+      // interval — so any hit can be verified against ground truth.
+      if (cache.Lookup(s, t, w, &d)) {
+        if (d != (s ^ t)) wrong.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        cache.Insert(s, t, MakeInterval(s ^ t, -kInfQuality, kInfQuality));
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (uint64_t i = 0; i < 4; ++i) threads.emplace_back(worker, 100 + i);
+  std::thread invalidator([&] {
+    for (int round = 0; round < 50; ++round) {
+      cache.Rebind(static_cast<uint64_t>(round));
+      std::this_thread::yield();
+      (void)cache.stats();  // stats() races the workers too
+    }
+  });
+  invalidator.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(wrong.load(), 0u);
+  ResultCacheStats stats = cache.stats();
+  EXPECT_GT(stats.inserts, 0u);
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+// A cache-enabled engine hammered by concurrent batches from many caller
+// threads: every result must still be bit-identical to the uncached
+// reference. Run under the TSan CI job.
+TEST(ResultCache, ConcurrentCachedBatchesStayCorrect) {
+  QualityGraph g = MakeCacheGraph(7);
+  WcIndex index = WcIndex::Build(g, WcIndexOptions::Plus());
+  index.Finalize();
+  auto shared = std::make_shared<const WcIndex>(std::move(index));
+  const size_t n = shared->NumVertices();
+
+  QueryEngineOptions options;
+  options.num_threads = 3;
+  options.cache_bytes = 64 << 10;
+  QueryEngine cached(shared, options);
+  QueryEngineOptions plain_options;
+  plain_options.num_threads = 1;
+  QueryEngine plain(shared, plain_options);
+
+  auto queries = MakeCacheWorkload(n, 512, 29);
+  const std::vector<Distance> expected = plain.Batch(queries);
+
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 8; ++round) {
+        if (cached.Batch(queries) != expected) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_GT(cached.stats().cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace wcsd

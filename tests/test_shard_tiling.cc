@@ -182,6 +182,29 @@ TEST(ShardTiling, AnyValidTilingAnswersBitIdentically) {
               << "manifest impl=" << impl_i << " seed=" << seed;
         }
       }
+      // A cache-enabled sharded engine over the same planned set must stay
+      // bit-identical too — across the full query list twice, so repeat
+      // queries go through the interval-hit path.
+      {
+        QueryEngineOptions options;
+        options.num_threads = 1;
+        options.cache_bytes = 16 << 10;
+        auto cached = ShardedQueryEngine::OpenManifest(
+            written.value().manifest_path, options);
+        ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+        ASSERT_NE(cached.value().cache(), nullptr);
+        // The cache binds to the tiling-invariant content fingerprint.
+        EXPECT_EQ(cached.value().cache()->fingerprint(),
+                  IndexContentFingerprint(flat));
+        for (int pass = 0; pass < 2; ++pass) {
+          for (const BatchQueryInput& q : queries) {
+            EXPECT_EQ(cached.value().Query(q.s, q.t, q.w),
+                      reference[3]->Query(q.s, q.t, q.w))
+                << "cached pass=" << pass << " seed=" << seed;
+          }
+        }
+        EXPECT_GT(cached.value().stats().cache_hits, 0u);
+      }
       std::remove(written.value().manifest_path.c_str());
       for (const std::string& path : written.value().shard_paths) {
         std::remove(path.c_str());

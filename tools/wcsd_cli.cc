@@ -14,8 +14,9 @@
 //             [--timeout-ms=5000]
 //             answer one query over the wire protocol from a running
 //             `serve --listen` server
-//   query     --manifest=<file> --s=<v> --t=<v> --w=<q>
-//             answer one query from a mapped shard set (see `shard`)
+//   query     --manifest=<file> --s=<v> --t=<v> --w=<q> [--cache-mb=M]
+//             answer one query from a mapped shard set (see `shard`);
+//             --cache-mb enables the dominance-aware result cache
 //   stats     --index=<file>                 label statistics
 //   verify    --graph=<file> --index=<file>  brute-force Theorem 1 checks
 //   generate  --out=<file> --kind=road|social [--n=...] [--levels=...]
@@ -32,7 +33,7 @@
 //             <stem>.manifest shard-set manifest, and print the per-shard
 //             balance plus planned-vs-even byte skew
 //   serve     --snapshot=<file>[,<file>,...] | --manifest=<file>
-//             [--queries=N] [--threads=T]
+//             [--queries=N] [--threads=T] [--cache-mb=M]
 //             [--seed=S] [--levels=L] [--impl=merge|scan|grouped|binary]
 //             [--verify] [--verify-level=offsets|directory|deep]
 //             [--listen=PORT [--host=ADDR] [--max-seconds=S]]
@@ -43,7 +44,9 @@
 //             protocol (net/wire.h) on PORT until SIGINT/SIGTERM or
 //             --max-seconds; --verify checks section checksums and deep
 //             label invariants at load, --verify-level picks the middle
-//             O(hub-groups) tier on its own
+//             O(hub-groups) tier on its own; --cache-mb=M budgets M MiB
+//             for the dominance-aware result cache (serve/result_cache.h;
+//             0 = off) and reports its hit rate after a local run
 //
 // Examples:
 //   wcsd_cli generate --out=g.edges --kind=road --n=10000 --levels=5
@@ -193,10 +196,27 @@ int CmdRemoteQuery(const Flags& flags, const std::string& connect) {
   return 0;
 }
 
+/// Parses --cache-mb into a byte budget; negative values report an error
+/// through the returned flag.
+bool ParseCacheBytes(const Flags& flags, size_t* bytes) {
+  // 1 TiB upper bound: keeps the <<20 from wrapping and turns a fat-finger
+  // budget into an error instead of a bad_alloc abort.
+  constexpr int64_t kMaxCacheMb = int64_t{1} << 20;
+  int64_t cache_mb = flags.GetInt("cache-mb", 0);
+  if (cache_mb < 0 || cache_mb > kMaxCacheMb) {
+    std::fprintf(stderr, "error: --cache-mb must be in [0, %lld]\n",
+                 static_cast<long long>(kMaxCacheMb));
+    return false;
+  }
+  *bytes = static_cast<size_t>(cache_mb) << 20;
+  return true;
+}
+
 /// `query --manifest`: answer one query from a mapped shard set.
 int CmdManifestQuery(const Flags& flags, const std::string& manifest) {
   QueryEngineOptions options;
   options.num_threads = 1;
+  if (!ParseCacheBytes(flags, &options.cache_bytes)) return 1;
   auto engine = ShardedQueryEngine::OpenManifest(manifest, options);
   if (!engine.ok()) {
     std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
@@ -532,6 +552,7 @@ int CmdServe(const Flags& flags) {
     return 1;
   }
   options.num_threads = static_cast<size_t>(threads);
+  if (!ParseCacheBytes(flags, &options.cache_bytes)) return 1;
   std::string impl = flags.GetString("impl", "merge");
   if (impl == "merge") {
     options.impl = QueryImpl::kMerge;
@@ -651,6 +672,20 @@ int CmdServe(const Flags& flags) {
       serve_seconds > 0 ? static_cast<double>(workload.size()) / serve_seconds
                         : 0.0,
       reachable);
+  if (options.cache_bytes > 0) {
+    QueryEngineStats stats = service->Stats();
+    uint64_t lookups = stats.cache_hits + stats.cache_misses;
+    std::printf(
+        "cache: %llu hits / %llu lookups (%.1f%%), %llu inserts, "
+        "%llu evictions\n",
+        static_cast<unsigned long long>(stats.cache_hits),
+        static_cast<unsigned long long>(lookups),
+        lookups > 0 ? 100.0 * static_cast<double>(stats.cache_hits) /
+                          static_cast<double>(lookups)
+                    : 0.0,
+        static_cast<unsigned long long>(stats.cache_inserts),
+        static_cast<unsigned long long>(stats.cache_evictions));
+  }
   return 0;
 }
 
