@@ -6,8 +6,10 @@
 #include <limits>
 
 #include "labeling/snapshot.h"
+#include "util/atomic_file.h"
 #include "util/checksum.h"
 #include "util/endian.h"
+#include "util/failpoint.h"
 
 namespace wcsd {
 
@@ -129,11 +131,20 @@ Status WriteShardManifest(const std::string& path,
   const uint32_t crc = Crc32c(buffer.data(), buffer.size());
   AppendBytes(&buffer, crc);
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
-  if (!out) return Status::IoError("write failed for " + path);
-  return Status::OK();
+  // Temp-file + atomic-rename: the manifest is the artifact that names a
+  // whole shard set, so a torn manifest must be impossible — the path holds
+  // either the previous complete manifest or the new one.
+  {
+    FailpointResult fp = WCSD_FAILPOINT("manifest.write");
+    if (fp.action == FailpointAction::kError) {
+      return Status::IoError("injected fault writing manifest " + path);
+    }
+  }
+  Result<AtomicFileWriter> opened = AtomicFileWriter::Open(path);
+  if (!opened.ok()) return opened.status();
+  AtomicFileWriter writer = std::move(opened).value();
+  WCSD_RETURN_NOT_OK(writer.Write(buffer.data(), buffer.size()));
+  return writer.Commit();
 }
 
 Result<ShardManifest> ReadShardManifest(const std::string& path) {

@@ -7,8 +7,10 @@
 #include <memory>
 #include <utility>
 
+#include "util/atomic_file.h"
 #include "util/checksum.h"
 #include "util/endian.h"
+#include "util/failpoint.h"
 #include "util/mmap_file.h"
 
 namespace wcsd {
@@ -89,22 +91,35 @@ Status WriteSnapshotFile(const std::string& path, SnapshotHeader header,
   header.header_crc =
       Crc32c(&header, offsetof(SnapshotHeader, header_crc));
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  // Crash-safe replacement: everything lands in a temp file, and the
+  // target path only ever changes at Commit's atomic rename — a crash (or
+  // injected fault) at ANY point leaves the old snapshot intact. The
+  // failpoints below let tests pin a fault to a specific write.
+  Result<AtomicFileWriter> opened = AtomicFileWriter::Open(path);
+  if (!opened.ok()) return opened.status();
+  AtomicFileWriter writer = std::move(opened).value();
+  {
+    FailpointResult fp = WCSD_FAILPOINT("snapshot.write.header");
+    if (fp.action == FailpointAction::kError) {
+      return Status::IoError("injected fault writing header of " + path);
+    }
+  }
   char page[kPageSize] = {};
   std::memcpy(page, &header, sizeof(header));
-  out.write(page, static_cast<std::streamsize>(kPageSize));
+  WCSD_RETURN_NOT_OK(writer.Write(page, kPageSize));
   for (size_t s = 0; s < kNumSections; ++s) {
     const SectionDesc& desc = header.sections[s];
     if (desc.byte_length == 0) continue;
-    // seekp past the current end leaves a zero-filled (sparse) gap — the
+    FailpointResult fp = WCSD_FAILPOINT("snapshot.write.section");
+    if (fp.action == FailpointAction::kError) {
+      return Status::IoError("injected fault writing section of " + path);
+    }
+    // Positional writes past EOF leave a zero-filled gap — the
     // inter-section padding.
-    out.seekp(static_cast<std::streamoff>(desc.file_offset));
-    out.write(static_cast<const char*>(sections[s].data),
-              static_cast<std::streamsize>(desc.byte_length));
+    WCSD_RETURN_NOT_OK(writer.WriteAt(desc.file_offset, sections[s].data,
+                                      desc.byte_length));
   }
-  if (!out) return Status::IoError("write failed for " + path);
-  return Status::OK();
+  return writer.Commit();
 }
 
 Result<SnapshotHeader> ParseHeader(const std::byte* data, size_t size,

@@ -8,7 +8,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "net/socket_util.h"
@@ -24,8 +26,35 @@ using net::WireError;
 using net::WireHeader;
 
 Status StatusFromError(WireError error) {
-  return Status::InvalidArgument(std::string("server rejected request: ") +
-                                 net::WireErrorName(error));
+  const std::string msg =
+      std::string("server rejected request: ") + net::WireErrorName(error);
+  switch (error) {
+    case WireError::kOverloaded:
+    case WireError::kShardUnavailable:
+      return Status::Unavailable(msg);
+    case WireError::kDeadlineExceeded:
+      return Status::DeadlineExceeded(msg);
+    default:
+      return Status::InvalidArgument(msg);
+  }
+}
+
+/// Milliseconds on the steady clock, for the end-to-end deadline.
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// xorshift64* step for backoff jitter — no need to drag in a full RNG.
+uint64_t NextJitter(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545F4914F6CDD1DULL;
 }
 
 }  // namespace
@@ -44,7 +73,9 @@ Result<WcClient> WcClient::Connect(const std::string& host, uint16_t port,
   if (fd < 0) return ErrnoStatus("socket");
   if (timeout_ms > 0) {
     // SO_SNDTIMEO also bounds connect(2) on Linux, so one pair of options
-    // covers the whole deadline story.
+    // covers the legacy per-syscall timeout story. (The options overload
+    // narrows these to the remaining end-to-end budget before every
+    // syscall instead.)
     timeval tv;
     tv.tv_sec = timeout_ms / 1000;
     tv.tv_usec = (timeout_ms % 1000) * 1000;
@@ -61,17 +92,150 @@ Result<WcClient> WcClient::Connect(const std::string& host, uint16_t port,
   return WcClient(fd);
 }
 
+Result<WcClient> WcClient::ConnectOnce(const std::string& host,
+                                       uint16_t port,
+                                       uint64_t deadline_at_ms) {
+  WCSD_RETURN_NOT_OK(CheckSerializationByteOrder());
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host address " + host);
+  }
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  if (deadline_at_ms != 0) {
+    const uint64_t now = NowMs();
+    if (now >= deadline_at_ms) {
+      close(fd);
+      return Status::DeadlineExceeded("deadline expired before connect");
+    }
+    // SO_SNDTIMEO bounds connect(2) on Linux; arm it with exactly the
+    // remaining budget.
+    const uint64_t remaining = deadline_at_ms - now;
+    timeval tv;
+    tv.tv_sec = static_cast<time_t>(remaining / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((remaining % 1000) * 1000);
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = (errno == EAGAIN || errno == EWOULDBLOCK ||
+                 errno == EINPROGRESS)
+                    ? Status::DeadlineExceeded(
+                          "deadline expired during connect to " + host +
+                          ":" + std::to_string(port))
+                    : ErrnoStatus("connect " + host + ":" +
+                                  std::to_string(port));
+    close(fd);
+    return st;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return WcClient(fd);
+}
+
+Result<WcClient> WcClient::Connect(const std::string& host, uint16_t port,
+                                   const WcClientOptions& options) {
+  const uint64_t deadline_at =
+      options.deadline_ms != 0 ? NowMs() + options.deadline_ms : 0;
+  uint64_t jitter = options.jitter_seed != 0 ? options.jitter_seed
+                                             : 0x9E3779B97F4A7C15ULL;
+  uint64_t backoff = std::max<uint64_t>(1, options.backoff_base_ms);
+  for (uint32_t attempt = 0;; ++attempt) {
+    Result<WcClient> connected = ConnectOnce(host, port, deadline_at);
+    if (connected.ok()) {
+      WcClient client = std::move(connected).value();
+      client.options_ = options;
+      client.jitter_state_ = jitter;
+      return client;
+    }
+    const StatusCode code = connected.status().code();
+    // Bad addresses never get better, and a spent deadline has no budget
+    // left to sleep on. Everything else (refused, unreachable, reset
+    // mid-handshake) is the transient class connect retries exist for.
+    if (attempt >= options.max_retries ||
+        code == StatusCode::kInvalidArgument ||
+        code == StatusCode::kDeadlineExceeded) {
+      return connected;
+    }
+    uint64_t sleep_ms = backoff / 2 + NextJitter(&jitter) % (backoff / 2 + 1);
+    if (deadline_at != 0) {
+      const uint64_t now = NowMs();
+      if (now + sleep_ms >= deadline_at) return connected;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    backoff = std::min(backoff * 2, std::max<uint64_t>(
+                                        1, options.backoff_max_ms));
+  }
+}
+
 WcClient::WcClient(WcClient&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
-      next_request_id_(other.next_request_id_) {}
+      next_request_id_(other.next_request_id_),
+      options_(other.options_),
+      deadline_at_ms_(other.deadline_at_ms_),
+      last_wire_error_(other.last_wire_error_),
+      jitter_state_(other.jitter_state_) {}
 
 WcClient& WcClient::operator=(WcClient&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) close(fd_);
     fd_ = std::exchange(other.fd_, -1);
     next_request_id_ = other.next_request_id_;
+    options_ = other.options_;
+    deadline_at_ms_ = other.deadline_at_ms_;
+    last_wire_error_ = other.last_wire_error_;
+    jitter_state_ = other.jitter_state_;
   }
   return *this;
+}
+
+void WcClient::BeginRequest() {
+  deadline_at_ms_ =
+      options_.deadline_ms != 0 ? NowMs() + options_.deadline_ms : 0;
+}
+
+Status WcClient::ArmTimeout(int which) {
+  if (deadline_at_ms_ == 0) return Status::OK();
+  const uint64_t now = NowMs();
+  if (now >= deadline_at_ms_) {
+    return Status::DeadlineExceeded("request deadline expired");
+  }
+  const uint64_t remaining = deadline_at_ms_ - now;
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(remaining / 1000);
+  // Round up to a whole tick: a 0/0 timeval means "block forever", the
+  // opposite of an almost-expired deadline.
+  tv.tv_usec = static_cast<suseconds_t>((remaining % 1000) * 1000);
+  if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1000;
+  setsockopt(fd_, SOL_SOCKET, which, &tv, sizeof(tv));
+  return Status::OK();
+}
+
+template <typename T>
+Result<T> WcClient::RetryLoop(const std::function<Result<T>()>& attempt) {
+  uint64_t backoff = std::max<uint64_t>(1, options_.backoff_base_ms);
+  for (uint32_t tries = 0;; ++tries) {
+    last_wire_error_ = WireError::kOk;
+    Result<T> result = attempt();
+    // Only kOverloaded is retry-safe on a live connection: the server
+    // explicitly never executed the request and kept the stream healthy.
+    // IO errors are NOT retried here — after a torn send the request may
+    // have executed, and this transport has no request dedup.
+    if (result.ok() || tries >= options_.max_retries ||
+        last_wire_error_ != WireError::kOverloaded) {
+      return result;
+    }
+    uint64_t sleep_ms =
+        backoff / 2 + NextJitter(&jitter_state_) % (backoff / 2 + 1);
+    if (deadline_at_ms_ != 0 && NowMs() + sleep_ms >= deadline_at_ms_) {
+      return result;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    backoff =
+        std::min(backoff * 2, std::max<uint64_t>(1, options_.backoff_max_ms));
+  }
 }
 
 WcClient::~WcClient() {
@@ -82,11 +246,17 @@ Status WcClient::SendBytes(const void* data, size_t size) {
   const uint8_t* bytes = static_cast<const uint8_t*>(data);
   size_t sent = 0;
   while (sent < size) {
-    ssize_t n = send(fd_, bytes + sent, size - sent, MSG_NOSIGNAL);
+    // Re-armed per syscall so a stalled peer cannot stretch one send past
+    // the whole-request deadline (no-op when no deadline is set).
+    WCSD_RETURN_NOT_OK(ArmTimeout(SO_SNDTIMEO));
+    ssize_t n = net::SendSome(fd_, bytes + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return Status::IoError("send timed out");
+        return deadline_at_ms_ != 0
+                   ? Status::DeadlineExceeded("request deadline expired "
+                                              "during send")
+                   : Status::IoError("send timed out");
       }
       return ErrnoStatus("send");
     }
@@ -99,7 +269,8 @@ Result<WireFrame> WcClient::ReadRawFrame() {
   auto read_exact = [&](uint8_t* into, size_t size) -> Status {
     size_t got = 0;
     while (got < size) {
-      ssize_t n = recv(fd_, into + got, size - got, 0);
+      WCSD_RETURN_NOT_OK(ArmTimeout(SO_RCVTIMEO));
+      ssize_t n = net::RecvSome(fd_, into + got, size - got, 0);
       if (n == 0) {
         return Status::IoError(got == 0 ? "connection closed"
                                         : "connection closed mid-frame");
@@ -107,7 +278,10 @@ Result<WireFrame> WcClient::ReadRawFrame() {
       if (n < 0) {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) {
-          return Status::IoError("timed out waiting for a reply");
+          return deadline_at_ms_ != 0
+                     ? Status::DeadlineExceeded("request deadline expired "
+                                                "waiting for a reply")
+                     : Status::IoError("timed out waiting for a reply");
         }
         return ErrnoStatus("recv");
       }
@@ -147,7 +321,8 @@ Result<WireFrame> WcClient::ReadReply(MsgType expected,
   if (!frame.ok()) return frame;
   const WireHeader& header = frame.value().header;
   if (static_cast<MsgType>(header.type) == MsgType::kError) {
-    return StatusFromError(static_cast<WireError>(header.status));
+    last_wire_error_ = static_cast<WireError>(header.status);
+    return StatusFromError(last_wire_error_);
   }
   if (static_cast<MsgType>(header.type) != expected ||
       header.status != static_cast<uint8_t>(WireError::kOk)) {
@@ -160,18 +335,21 @@ Result<WireFrame> WcClient::ReadReply(MsgType expected,
 }
 
 Result<Distance> WcClient::Query(Vertex s, Vertex t, Quality w) {
-  const uint64_t id = next_request_id_++;
-  std::vector<uint8_t> out;
-  net::AppendQueryRequest(&out, id, s, t, w);
-  WCSD_RETURN_NOT_OK(SendBytes(out.data(), out.size()));
-  Result<WireFrame> reply = ReadReply(MsgType::kQueryReply, id);
-  if (!reply.ok()) return reply.status();
-  if (reply.value().payload.size() != sizeof(net::QueryReplyPayload)) {
-    return Status::Corruption("bad query reply payload");
-  }
-  net::QueryReplyPayload payload;
-  std::memcpy(&payload, reply.value().payload.data(), sizeof(payload));
-  return Distance{payload.dist};
+  BeginRequest();
+  return RetryLoop<Distance>([&]() -> Result<Distance> {
+    const uint64_t id = next_request_id_++;
+    std::vector<uint8_t> out;
+    net::AppendQueryRequest(&out, id, s, t, w);
+    WCSD_RETURN_NOT_OK(SendBytes(out.data(), out.size()));
+    Result<WireFrame> reply = ReadReply(MsgType::kQueryReply, id);
+    if (!reply.ok()) return reply.status();
+    if (reply.value().payload.size() != sizeof(net::QueryReplyPayload)) {
+      return Status::Corruption("bad query reply payload");
+    }
+    net::QueryReplyPayload payload;
+    std::memcpy(&payload, reply.value().payload.data(), sizeof(payload));
+    return Distance{payload.dist};
+  });
 }
 
 Result<std::vector<Distance>> WcClient::Batch(
@@ -184,32 +362,40 @@ Result<std::vector<Distance>> WcClient::Batch(
         " queries exceeds the wire frame limit of " +
         std::to_string(net::kMaxBatchQueries) + "; split it across frames");
   }
-  const uint64_t id = next_request_id_++;
-  std::vector<uint8_t> out;
-  net::AppendBatchRequest(&out, id, queries);
-  WCSD_RETURN_NOT_OK(SendBytes(out.data(), out.size()));
-  Result<WireFrame> reply = ReadReply(MsgType::kBatchQueryReply, id);
-  if (!reply.ok()) return reply.status();
-  const std::vector<uint8_t>& payload = reply.value().payload;
-  uint32_t count = 0;
-  if (payload.size() < sizeof(count)) {
-    return Status::Corruption("bad batch reply payload");
-  }
-  std::memcpy(&count, payload.data(), sizeof(count));
-  if (count != queries.size() ||
-      payload.size() != sizeof(count) + uint64_t{count} * sizeof(uint32_t)) {
-    return Status::Corruption("batch reply count mismatch");
-  }
-  std::vector<Distance> results(count);
-  if (count > 0) {
-    std::memcpy(results.data(), payload.data() + sizeof(count),
-                uint64_t{count} * sizeof(uint32_t));
-  }
-  return results;
+  BeginRequest();
+  return RetryLoop<std::vector<Distance>>(
+      [&]() -> Result<std::vector<Distance>> {
+        const uint64_t id = next_request_id_++;
+        std::vector<uint8_t> out;
+        net::AppendBatchRequest(&out, id, queries);
+        WCSD_RETURN_NOT_OK(SendBytes(out.data(), out.size()));
+        Result<WireFrame> reply = ReadReply(MsgType::kBatchQueryReply, id);
+        if (!reply.ok()) return reply.status();
+        const std::vector<uint8_t>& payload = reply.value().payload;
+        uint32_t count = 0;
+        if (payload.size() < sizeof(count)) {
+          return Status::Corruption("bad batch reply payload");
+        }
+        std::memcpy(&count, payload.data(), sizeof(count));
+        if (count != queries.size() ||
+            payload.size() !=
+                sizeof(count) + uint64_t{count} * sizeof(uint32_t)) {
+          return Status::Corruption("batch reply count mismatch");
+        }
+        std::vector<Distance> results(count);
+        if (count > 0) {
+          std::memcpy(results.data(), payload.data() + sizeof(count),
+                      uint64_t{count} * sizeof(uint32_t));
+        }
+        return results;
+      });
 }
 
 Result<std::vector<Distance>> WcClient::QueryPipelined(
     const std::vector<BatchQueryInput>& queries, size_t window) {
+  // Deadline applies; retry does not — replies already consumed from the
+  // pipeline cannot be safely replayed.
+  BeginRequest();
   if (window == 0) window = 1;
   std::vector<Distance> results(queries.size(), kInfDistance);
   const uint64_t base_id = next_request_id_;
@@ -250,6 +436,7 @@ Result<std::vector<Distance>> WcClient::QueryPipelined(
 }
 
 Result<WireStats> WcClient::Stats() {
+  BeginRequest();
   const uint64_t id = next_request_id_++;
   std::vector<uint8_t> out;
   net::AppendStatsRequest(&out, id);
@@ -268,11 +455,19 @@ Result<WireStats> WcClient::Stats() {
   if (bytes.size() != net::StatsReplyBytes(shard_count)) {
     return Status::Corruption("bad stats reply shard section");
   }
-  WireStats stats{payload.num_vertices,  payload.queries,
-                  payload.reachable,     payload.batches,
-                  payload.cache_hits,    payload.cache_misses,
-                  payload.cache_inserts, payload.cache_evictions,
-                  {}};
+  WireStats stats;
+  stats.num_vertices = payload.num_vertices;
+  stats.queries = payload.queries;
+  stats.reachable = payload.reachable;
+  stats.batches = payload.batches;
+  stats.cache_hits = payload.cache_hits;
+  stats.cache_misses = payload.cache_misses;
+  stats.cache_inserts = payload.cache_inserts;
+  stats.cache_evictions = payload.cache_evictions;
+  stats.overload_rejections = payload.overload_rejections;
+  stats.deadline_rejections = payload.deadline_rejections;
+  stats.shard_unavailable = payload.shard_unavailable;
+  stats.draining = payload.draining != 0;
   stats.shards.resize(shard_count);
   if (shard_count > 0) {
     std::memcpy(stats.shards.data(), bytes.data() + net::StatsReplyBytes(0),
@@ -281,7 +476,8 @@ Result<WireStats> WcClient::Stats() {
   return stats;
 }
 
-Result<uint64_t> WcClient::Health() {
+Result<WireHealth> WcClient::HealthEx() {
+  BeginRequest();
   const uint64_t id = next_request_id_++;
   std::vector<uint8_t> out;
   net::AppendHealthRequest(&out, id);
@@ -293,7 +489,13 @@ Result<uint64_t> WcClient::Health() {
   }
   net::HealthReplyPayload payload;
   std::memcpy(&payload, reply.value().payload.data(), sizeof(payload));
-  return uint64_t{payload.num_vertices};
+  return WireHealth{payload.num_vertices, payload.draining != 0};
+}
+
+Result<uint64_t> WcClient::Health() {
+  Result<WireHealth> health = HealthEx();
+  if (!health.ok()) return health.status();
+  return uint64_t{health.value().num_vertices};
 }
 
 }  // namespace wcsd

@@ -10,6 +10,17 @@
 // A connection is not thread-safe; open one WcClient per caller thread
 // (the server multiplexes any number of connections).
 //
+// Reliability (WcClientOptions): `deadline_ms` is a real end-to-end
+// deadline — one monotonic clock armed at the top of every public call
+// (and across connect) and re-checked before every send and receive, so a
+// call can never outlive its budget no matter how the time is spent.
+// `max_retries` retries with exponential backoff plus jitter, and only
+// where a retry is safe: connect failures (nothing was ever sent) and
+// kOverloaded rejections (the server explicitly promised the request was
+// never executed and the stream stays healthy). kShardUnavailable and
+// kDeadlineExceeded are NOT retried — the former will keep failing until
+// the shard is repaired, the latter means the budget is already spent.
+//
 // The raw escape hatches (SendBytes/ReadRawFrame) exist for protocol tests
 // and tooling that must speak malformed or future frames on purpose.
 
@@ -17,6 +28,7 @@
 #define WCSD_NET_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -46,7 +58,37 @@ struct WireStats {
   uint64_t cache_misses = 0;
   uint64_t cache_inserts = 0;
   uint64_t cache_evictions = 0;
+  uint64_t overload_rejections = 0;
+  uint64_t deadline_rejections = 0;
+  uint64_t shard_unavailable = 0;
+  bool draining = false;
   std::vector<net::ShardBalancePayload> shards;
+};
+
+/// Decoded kHealthReply.
+struct WireHealth {
+  uint64_t num_vertices = 0;
+  bool draining = false;
+};
+
+/// Reliability policy for a connection. Defaults are fully backward
+/// compatible: no deadline, no retries.
+struct WcClientOptions {
+  /// End-to-end budget for every public call (and for Connect itself),
+  /// spanning all sends, receives, and retry backoffs within the call.
+  /// 0 = unbounded.
+  uint64_t deadline_ms = 0;
+  /// Retries after the first attempt, for connect failures and
+  /// kOverloaded rejections only. 0 = fail fast.
+  uint32_t max_retries = 0;
+  /// Exponential backoff: sleep ~backoff_base_ms * 2^attempt between
+  /// retries (halved-then-jittered to decorrelate clients), capped at
+  /// backoff_max_ms.
+  uint64_t backoff_base_ms = 10;
+  uint64_t backoff_max_ms = 1000;
+  /// Seed for backoff jitter; 0 picks a fixed default (tests stay
+  /// deterministic by seeding explicitly).
+  uint64_t jitter_seed = 0;
 };
 
 class WcClient {
@@ -54,9 +96,18 @@ class WcClient {
   /// Connects to host:port. `host` must be a numeric IPv4 address or
   /// "localhost". `timeout_ms` > 0 bounds connect and every subsequent
   /// send/receive (SO_SNDTIMEO/SO_RCVTIMEO); an expired deadline surfaces
-  /// as a clean IoError instead of a hang. 0 = fully blocking.
+  /// as a clean IoError instead of a hang. 0 = fully blocking. (Legacy
+  /// shape: per-syscall timeouts, not an end-to-end deadline — prefer the
+  /// options overload.)
   static Result<WcClient> Connect(const std::string& host, uint16_t port,
                                   int timeout_ms = 0);
+
+  /// Connects with a reliability policy: options.deadline_ms bounds the
+  /// whole connect (all attempts and backoffs), options.max_retries
+  /// retries refused connections with exponential backoff + jitter, and
+  /// the returned client applies the same policy to every call.
+  static Result<WcClient> Connect(const std::string& host, uint16_t port,
+                                  const WcClientOptions& options);
 
   WcClient(WcClient&& other) noexcept;
   WcClient& operator=(WcClient&& other) noexcept;
@@ -80,6 +131,10 @@ class WcClient {
   /// Round-trips a kHealth frame; returns the served vertex count.
   Result<uint64_t> Health();
 
+  /// Round-trips a kHealth frame; returns the full decoded payload
+  /// (vertex count plus the draining flag).
+  Result<WireHealth> HealthEx();
+
   // ---- raw protocol access (tests, tooling) ----
 
   /// Writes bytes verbatim to the socket.
@@ -96,12 +151,36 @@ class WcClient {
  private:
   explicit WcClient(int fd) : fd_(fd) {}
 
+  static Result<WcClient> ConnectOnce(const std::string& host, uint16_t port,
+                                      uint64_t deadline_at_ms);
+
   /// Reads one frame and checks it is `expected` with status kOk and the
-  /// given request id; turns kError frames into a clean Status.
+  /// given request id; turns kError frames into a clean Status (recording
+  /// the wire error so the retry loop can tell kOverloaded apart).
   Result<WireFrame> ReadReply(net::MsgType expected, uint64_t request_id);
+
+  /// Arms the whole-request deadline for one public call: deadline_at_ms_
+  /// = now + options.deadline_ms (0 = unbounded). Every send/receive
+  /// below re-checks the remaining budget.
+  void BeginRequest();
+  /// Checks the remaining budget and narrows the socket timeout to it.
+  /// `which` is SO_SNDTIMEO or SO_RCVTIMEO.
+  Status ArmTimeout(int which);
+  /// Runs `attempt` under the retry policy: retries only kOverloaded
+  /// rejections, with exponential backoff + jitter, never past the
+  /// deadline.
+  template <typename T>
+  Result<T> RetryLoop(const std::function<Result<T>()>& attempt);
 
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
+  WcClientOptions options_;
+  /// Monotonic ms instant the current call must finish by; 0 = none.
+  uint64_t deadline_at_ms_ = 0;
+  /// Wire error of the last kError reply, for the retry-safety decision.
+  net::WireError last_wire_error_ = net::WireError::kOk;
+  /// Backoff jitter state.
+  uint64_t jitter_state_ = 0;
 };
 
 }  // namespace wcsd

@@ -11,10 +11,12 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <thread>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "net/socket_util.h"
 #include "util/endian.h"
@@ -28,6 +30,14 @@ using net::FrameStatus;
 using net::MsgType;
 using net::WireError;
 using net::WireHeader;
+
+/// Milliseconds on the steady clock, for timeouts and deadlines.
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 class EngineService final : public QueryService {
  public:
@@ -67,6 +77,14 @@ class ShardedService final : public QueryService {
   std::vector<ShardBalanceEntry> ShardBalance() const override {
     return engine_->ShardBalance();
   }
+  ServeOutcome QueryEx(Vertex s, Vertex t, Quality w,
+                       Distance* out) const override {
+    return engine_->QueryEx(s, t, w, out);
+  }
+  ServeOutcome BatchEx(const std::vector<BatchQueryInput>& queries,
+                       std::vector<Distance>* out) const override {
+    return engine_->BatchEx(queries, out);
+  }
 
  private:
   std::shared_ptr<const ShardedQueryEngine> engine_;
@@ -95,6 +113,14 @@ struct WcServer::Impl {
     size_t out_sent = 0;
     bool close_after_flush = false;
     bool want_write = false;
+    /// Last time bytes moved in either direction (idle timeout).
+    uint64_t last_activity_ms = 0;
+    /// When an incomplete frame first appeared in `in`; 0 while the buffer
+    /// holds no partial frame (slow-loris timeout).
+    uint64_t partial_since_ms = 0;
+    /// When the read pass that completed the currently-parsed frames ran;
+    /// the per-request deadline measures from here.
+    uint64_t arrival_ms = 0;
   };
 
   std::shared_ptr<const QueryService> service;
@@ -107,12 +133,17 @@ struct WcServer::Impl {
   uint16_t port = 0;
   std::thread loop;
   std::atomic<bool> stopping{false};
+  std::atomic<bool> draining{false};
   std::unordered_map<int, Connection> connections;
 
   std::atomic<uint64_t> connections_accepted{0};
   std::atomic<uint64_t> connections_closed{0};
   std::atomic<uint64_t> frames_served{0};
   std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> overload_rejections{0};
+  std::atomic<uint64_t> deadline_rejections{0};
+  std::atomic<uint64_t> shard_unavailable_rejections{0};
+  std::atomic<uint64_t> timeout_closed{0};
 
   ~Impl() { StopAndJoin(); }
 
@@ -170,6 +201,19 @@ struct WcServer::Impl {
     epoll_ctl(epoll_fd, EPOLL_CTL_MOD, fd, &ev);
   }
 
+  /// Graceful drain: flags the loop, which closes the listen fd and keeps
+  /// serving existing connections until they close or the drain deadline
+  /// passes; then finishes the usual teardown.
+  void DrainAndJoin() {
+    draining.store(true, std::memory_order_release);
+    if (wake_fd >= 0) {
+      uint64_t one = 1;
+      [[maybe_unused]] ssize_t n = write(wake_fd, &one, sizeof(one));
+    }
+    if (loop.joinable()) loop.join();
+    StopAndJoin();
+  }
+
   void StopAndJoin() {
     bool was_stopping = stopping.exchange(true);
     if (!was_stopping && wake_fd >= 0) {
@@ -195,7 +239,25 @@ struct WcServer::Impl {
   void Loop() {
     constexpr int kMaxEvents = 64;
     epoll_event events[kMaxEvents];
+    bool drain_started = false;
+    uint64_t drain_deadline_ms = 0;
     while (!stopping.load(std::memory_order_acquire)) {
+      if (draining.load(std::memory_order_acquire)) {
+        if (!drain_started) {
+          drain_started = true;
+          // Stop accepting: pending and future connections belong to
+          // whoever replaces this server. Existing connections keep being
+          // served below until they close or the drain deadline passes.
+          if (listen_fd >= 0) {
+            epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
+            close(listen_fd);
+            listen_fd = -1;
+          }
+          drain_deadline_ms = NowMs() + options.drain_deadline_ms;
+        }
+        if (connections.empty() || NowMs() >= drain_deadline_ms) break;
+      }
+      // The 500ms tick doubles as the timeout/drain sweep cadence.
       int n = epoll_wait(epoll_fd, events, kMaxEvents, /*timeout_ms=*/500);
       if (n < 0) {
         if (errno == EINTR) continue;
@@ -224,6 +286,38 @@ struct WcServer::Impl {
         if (ev & EPOLLIN) alive = OnReadable(it);
         if (alive && (ev & EPOLLOUT)) FlushConnection(it);
       }
+      SweepTimeouts(NowMs());
+    }
+  }
+
+  /// Closes connections that exceeded the idle or header (slow-loris)
+  /// timeout. Runs every loop tick, so enforcement granularity is the
+  /// epoll timeout (500ms) — fine for timeouts meant in seconds.
+  void SweepTimeouts(uint64_t now) {
+    if (options.idle_timeout_ms == 0 && options.header_timeout_ms == 0) {
+      return;
+    }
+    std::vector<int> doomed;
+    for (const auto& [fd, conn] : connections) {
+      if (options.header_timeout_ms != 0 && conn.partial_since_ms != 0 &&
+          now - conn.partial_since_ms >= options.header_timeout_ms) {
+        doomed.push_back(fd);
+        continue;
+      }
+      // A connection still flushing replies is not idle, however long ago
+      // the peer last wrote.
+      if (options.idle_timeout_ms != 0 &&
+          conn.out_sent == conn.out.size() &&
+          now - conn.last_activity_ms >= options.idle_timeout_ms) {
+        doomed.push_back(fd);
+      }
+    }
+    for (int fd : doomed) {
+      auto it = connections.find(fd);
+      if (it != connections.end()) {
+        timeout_closed.fetch_add(1, std::memory_order_relaxed);
+        CloseConnection(it);
+      }
     }
   }
 
@@ -251,7 +345,9 @@ struct WcServer::Impl {
         close(fd);
         continue;
       }
-      connections.emplace(fd, Connection{});
+      Connection conn;
+      conn.last_activity_ms = NowMs();
+      connections.emplace(fd, std::move(conn));
       connections_accepted.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -278,7 +374,7 @@ struct WcServer::Impl {
     constexpr size_t kMaxReadPerPass = 1u << 20;
     size_t read_this_pass = 0;
     while (read_this_pass < kMaxReadPerPass) {
-      ssize_t got = recv(it->first, chunk, sizeof(chunk), 0);
+      ssize_t got = net::RecvSome(it->first, chunk, sizeof(chunk), 0);
       if (got > 0) {
         conn.in.insert(conn.in.end(), chunk, chunk + got);
         read_this_pass += static_cast<size_t>(got);
@@ -292,6 +388,14 @@ struct WcServer::Impl {
       if (errno == EINTR) continue;
       CloseConnection(it);
       return false;
+    }
+    const uint64_t now = NowMs();
+    if (read_this_pass > 0) {
+      conn.last_activity_ms = now;
+      // Frames completed by this pass measure their deadline from here:
+      // time spent behind earlier frames (a monster batch ahead in the
+      // buffer) counts against them.
+      conn.arrival_ms = now;
     }
 
     while (!conn.close_after_flush) {
@@ -335,6 +439,14 @@ struct WcServer::Impl {
                         static_cast<ptrdiff_t>(conn.in_consumed));
       conn.in_consumed = 0;
     }
+    // Slow-loris tracking: leftover bytes are a partial frame. The clock
+    // starts when the partial first appears and resets whenever the buffer
+    // drains to a frame boundary.
+    if (conn.in.size() > conn.in_consumed) {
+      if (conn.partial_since_ms == 0) conn.partial_since_ms = now;
+    } else {
+      conn.partial_since_ms = 0;
+    }
 
     if (!FlushConnection(it)) return false;
     if (peer_eof) {
@@ -361,7 +473,32 @@ struct WcServer::Impl {
                        nullptr, 0);
       protocol_errors.fetch_add(1, std::memory_order_relaxed);
     };
-    switch (static_cast<MsgType>(header.type)) {
+    // Load shedding sends a clean error frame too, but it is not a
+    // protocol error: the request was well-formed and never executed, and
+    // the stream stays healthy for a backed-off retry.
+    auto shed = [&](WireError error) {
+      net::AppendFrame(&conn.out, MsgType::kError, error, header.request_id,
+                       nullptr, 0);
+    };
+    const MsgType type = static_cast<MsgType>(header.type);
+    if (type == MsgType::kQuery || type == MsgType::kBatchQuery) {
+      // Admission control. Stats/health frames are exempt: they are tiny
+      // and exactly what an operator needs while the server is unhappy.
+      if (options.overload_shed_reply_bytes != 0 &&
+          conn.out.size() - conn.out_sent >
+              options.overload_shed_reply_bytes) {
+        shed(WireError::kOverloaded);
+        overload_rejections.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (options.request_deadline_ms != 0 &&
+          NowMs() - conn.arrival_ms > options.request_deadline_ms) {
+        shed(WireError::kDeadlineExceeded);
+        deadline_rejections.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    switch (type) {
       case MsgType::kQuery: {
         if (header.payload_bytes != sizeof(net::QueryPayload)) {
           reject(WireError::kBadPayload);
@@ -369,7 +506,14 @@ struct WcServer::Impl {
         }
         net::QueryPayload q;
         std::memcpy(&q, payload, sizeof(q));
-        net::QueryReplyPayload reply{service->Query(q.s, q.t, q.w)};
+        net::QueryReplyPayload reply{kInfDistance};
+        if (service->QueryEx(q.s, q.t, q.w, &reply.dist) !=
+            ServeOutcome::kOk) {
+          shed(WireError::kShardUnavailable);
+          shard_unavailable_rejections.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          return;
+        }
         net::AppendFrame(&conn.out, MsgType::kQueryReply, WireError::kOk,
                          header.request_id, &reply, sizeof(reply));
         break;
@@ -386,12 +530,24 @@ struct WcServer::Impl {
           reject(WireError::kBadPayload);
           return;
         }
+        if (options.max_batch_queries != 0 &&
+            count > options.max_batch_queries) {
+          shed(WireError::kOverloaded);
+          overload_rejections.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
         std::vector<BatchQueryInput> queries(count);
         if (count > 0) {
           std::memcpy(queries.data(), payload + sizeof(count),
                       uint64_t{count} * sizeof(net::QueryPayload));
         }
-        std::vector<Distance> results = service->Batch(queries);
+        std::vector<Distance> results;
+        if (service->BatchEx(queries, &results) != ServeOutcome::kOk) {
+          shed(WireError::kShardUnavailable);
+          shard_unavailable_rejections.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          return;
+        }
         net::AppendBatchReply(&conn.out, header.request_id, results);
         break;
       }
@@ -401,19 +557,25 @@ struct WcServer::Impl {
           return;
         }
         QueryEngineStats stats = service->Stats();
-        net::StatsReplyPayload reply{service->NumVertices(),
-                                     stats.queries,
-                                     stats.reachable,
-                                     stats.batches,
-                                     stats.cache_hits,
-                                     stats.cache_misses,
-                                     stats.cache_inserts,
-                                     stats.cache_evictions};
+        net::StatsReplyPayload reply{
+            service->NumVertices(),
+            stats.queries,
+            stats.reachable,
+            stats.batches,
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.cache_inserts,
+            stats.cache_evictions,
+            overload_rejections.load(std::memory_order_relaxed),
+            deadline_rejections.load(std::memory_order_relaxed),
+            stats.shard_unavailable,
+            draining.load(std::memory_order_relaxed) ? 1u : 0u,
+            0};
         std::vector<net::ShardBalancePayload> shards;
         for (const ShardBalanceEntry& shard : service->ShardBalance()) {
           shards.push_back(net::ShardBalancePayload{
               shard.vertex_begin, shard.vertex_end, shard.entry_count,
-              shard.label_bytes});
+              shard.label_bytes, shard.quarantined ? 1u : 0u, 0});
         }
         net::AppendStatsReply(&conn.out, header.request_id, reply, shards);
         break;
@@ -423,7 +585,9 @@ struct WcServer::Impl {
           reject(WireError::kBadPayload);
           return;
         }
-        net::HealthReplyPayload reply{service->NumVertices()};
+        net::HealthReplyPayload reply{
+            service->NumVertices(),
+            draining.load(std::memory_order_relaxed) ? 1u : 0u, 0};
         net::AppendFrame(&conn.out, MsgType::kHealthReply, WireError::kOk,
                          header.request_id, &reply, sizeof(reply));
         break;
@@ -442,10 +606,11 @@ struct WcServer::Impl {
     Connection& conn = it->second;
     while (conn.out_sent < conn.out.size()) {
       ssize_t sent =
-          send(it->first, conn.out.data() + conn.out_sent,
-               conn.out.size() - conn.out_sent, MSG_NOSIGNAL);
+          net::SendSome(it->first, conn.out.data() + conn.out_sent,
+                        conn.out.size() - conn.out_sent, MSG_NOSIGNAL);
       if (sent > 0) {
         conn.out_sent += static_cast<size_t>(sent);
+        conn.last_activity_ms = NowMs();
         continue;
       }
       if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -507,6 +672,10 @@ void WcServer::Stop() {
   if (impl_) impl_->StopAndJoin();
 }
 
+void WcServer::Drain() {
+  if (impl_) impl_->DrainAndJoin();
+}
+
 WcServerStats WcServer::stats() const {
   WcServerStats stats;
   stats.connections_accepted =
@@ -517,6 +686,15 @@ WcServerStats WcServer::stats() const {
       impl_->frames_served.load(std::memory_order_relaxed);
   stats.protocol_errors =
       impl_->protocol_errors.load(std::memory_order_relaxed);
+  stats.overload_rejections =
+      impl_->overload_rejections.load(std::memory_order_relaxed);
+  stats.deadline_rejections =
+      impl_->deadline_rejections.load(std::memory_order_relaxed);
+  stats.shard_unavailable =
+      impl_->shard_unavailable_rejections.load(std::memory_order_relaxed);
+  stats.timeout_closed =
+      impl_->timeout_closed.load(std::memory_order_relaxed);
+  stats.draining = impl_->draining.load(std::memory_order_relaxed);
   return stats;
 }
 

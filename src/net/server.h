@@ -11,12 +11,27 @@
 // across the engine's ThreadPool, so one event-loop thread is enough to
 // saturate the query kernels.
 //
-// Robustness contract (exercised by tests/test_net.cc): malformed input
-// never crashes the server. Framing errors (bad magic/version, oversized
-// length) get one kError frame and a close, because the stream can no
-// longer be trusted; frame-local errors (bad payload size, unknown type)
-// get a kError reply and the connection keeps serving; truncated frames
-// and abrupt disconnects just release the connection.
+// Robustness contract (exercised by tests/test_net.cc and
+// tests/test_net_faults.cc): malformed input never crashes the server.
+// Framing errors (bad magic/version, oversized length) get one kError
+// frame and a close, because the stream can no longer be trusted;
+// frame-local errors (bad payload size, unknown type) get a kError reply
+// and the connection keeps serving; truncated frames and abrupt
+// disconnects just release the connection.
+//
+// Production hardening on top of that:
+//   - Overload control: admission limits (max batch size, buffered-reply
+//     soft cap) shed work with clean kOverloaded error frames instead of
+//     disconnecting — the stream stays healthy and the client can back
+//     off and retry.
+//   - Per-request deadlines: a frame that waited longer than the
+//     configured deadline behind earlier work is failed with
+//     kDeadlineExceeded rather than served late.
+//   - Idle and header (slow-loris) timeouts close connections that hold
+//     fds without making progress.
+//   - Graceful drain (Drain()): stop accepting, keep serving existing
+//     connections until they close or the drain deadline passes, report
+//     `draining` in health/stats frames so load balancers steer away.
 
 #ifndef WCSD_NET_SERVER_H_
 #define WCSD_NET_SERVER_H_
@@ -49,6 +64,21 @@ class QueryService {
   /// Per-shard balance for the wire Stats frame; empty when the engine is
   /// not sharded.
   virtual std::vector<ShardBalanceEntry> ShardBalance() const { return {}; }
+
+  /// Outcome-reporting variants for degraded-mode engines. The defaults
+  /// delegate to Query/Batch and always succeed; a sharded engine serving
+  /// with quarantined shards overrides them to refuse queries whose label
+  /// slices are unavailable (the server surfaces kShardUnavailable).
+  virtual ServeOutcome QueryEx(Vertex s, Vertex t, Quality w,
+                               Distance* out) const {
+    *out = Query(s, t, w);
+    return ServeOutcome::kOk;
+  }
+  virtual ServeOutcome BatchEx(const std::vector<BatchQueryInput>& queries,
+                               std::vector<Distance>* out) const {
+    *out = Batch(queries);
+    return ServeOutcome::kOk;
+  }
 };
 
 /// Adapters for the two engines. The shared_ptr keeps the engine (and its
@@ -75,6 +105,29 @@ struct WcServerOptions {
   /// the backlog flushes — backpressure by disconnect rather than
   /// unbounded server memory.
   size_t max_buffered_reply_bytes = 64u << 20;
+  /// Soft overload threshold, below the hard cap: while a connection's
+  /// unflushed reply backlog exceeds this, new query/batch frames are shed
+  /// with kOverloaded error frames instead of being served. The connection
+  /// stays healthy (stats/health still answered) and the client can back
+  /// off and retry. 0 disables soft shedding.
+  size_t overload_shed_reply_bytes = 32u << 20;
+  /// Largest batch one kBatchQuery frame may carry; bigger batches are
+  /// shed with kOverloaded (the client can split and resend). 0 = no
+  /// limit beyond what the frame size allows.
+  uint32_t max_batch_queries = 0;
+  /// Per-request deadline: a query/batch frame that waited longer than
+  /// this (behind earlier frames on any connection) is failed with
+  /// kDeadlineExceeded instead of served late. 0 disables.
+  uint64_t request_deadline_ms = 0;
+  /// Close a connection with no traffic in either direction for this
+  /// long. 0 disables.
+  uint64_t idle_timeout_ms = 0;
+  /// Slow-loris guard: a connection holding a partial frame must complete
+  /// it within this long or be closed. 0 disables.
+  uint64_t header_timeout_ms = 0;
+  /// Upper bound on graceful drain: Drain() force-closes connections that
+  /// have not finished after this long.
+  uint64_t drain_deadline_ms = 5000;
 };
 
 /// Monotonic server-level counters (engine-level query counters live in
@@ -83,7 +136,12 @@ struct WcServerStats {
   uint64_t connections_accepted = 0;
   uint64_t connections_closed = 0;
   uint64_t frames_served = 0;    // replies to well-formed requests
-  uint64_t protocol_errors = 0;  // error frames sent
+  uint64_t protocol_errors = 0;  // error frames sent for malformed input
+  uint64_t overload_rejections = 0;   // frames shed with kOverloaded
+  uint64_t deadline_rejections = 0;   // frames failed with kDeadlineExceeded
+  uint64_t shard_unavailable = 0;     // frames failed with kShardUnavailable
+  uint64_t timeout_closed = 0;        // idle / slow-loris closes
+  bool draining = false;              // graceful drain in progress
 };
 
 class WcServer {
@@ -103,6 +161,14 @@ class WcServer {
   /// Stops accepting, closes every connection, and joins the event loop.
   /// Idempotent; also run by the destructor.
   void Stop();
+
+  /// Graceful drain: stops accepting new connections, keeps serving the
+  /// existing ones (health/stats report `draining` so balancers steer
+  /// away), and returns once every connection has closed or
+  /// options.drain_deadline_ms has passed — whichever comes first. Any
+  /// connections still open at the deadline are force-closed. Idempotent
+  /// with Stop(); safe to call from a signal-notified thread.
+  void Drain();
 
   WcServerStats stats() const;
 

@@ -1,12 +1,24 @@
 // Shared socket-layer helpers for the net/ module.
+//
+// SendSome/RecvSome are the single chokepoint through which the server and
+// client touch send(2)/recv(2). They exist so deterministic fault injection
+// (util/failpoint.h) can interpose on network IO without a mock transport:
+// activating the `net.send` / `net.recv` failpoints makes the next calls
+// fail with an injected errno (EINTR, ECONNRESET, EPIPE, ...) or return a
+// short count, exactly as a flaky kernel would. With no failpoint active
+// they compile down to the bare syscall.
 
 #ifndef WCSD_NET_SOCKET_UTIL_H_
 #define WCSD_NET_SOCKET_UTIL_H_
+
+#include <sys/socket.h>
+#include <sys/types.h>
 
 #include <cerrno>
 #include <cstring>
 #include <string>
 
+#include "util/failpoint.h"
 #include "util/status.h"
 
 namespace wcsd {
@@ -15,6 +27,45 @@ namespace net {
 /// Formats the current errno as an IoError ("what: strerror").
 inline Status ErrnoStatus(const std::string& what) {
   return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+/// send(2) with the `net.send` failpoint in front. An injected error sets
+/// errno and returns -1 without touching the socket; an injected short
+/// count caps how many bytes this call may move (the kernel is always
+/// allowed to send less — callers already loop).
+inline ssize_t SendSome(int fd, const void* data, size_t size, int flags) {
+  FailpointResult fp = WCSD_FAILPOINT("net.send");
+  if (fp.action == FailpointAction::kError) {
+    errno = fp.error_errno;
+    return -1;
+  }
+  if (fp.action == FailpointAction::kShort && fp.arg < size) {
+    size = static_cast<size_t>(fp.arg);
+    if (size == 0) {
+      errno = EINTR;  // a zero-byte send is not a thing; surface as EINTR
+      return -1;
+    }
+  }
+  return send(fd, data, size, flags);
+}
+
+/// recv(2) with the `net.recv` failpoint in front; same contract as
+/// SendSome. A short count trims the buffer the kernel may fill, which is
+/// indistinguishable from a slow peer.
+inline ssize_t RecvSome(int fd, void* data, size_t size, int flags) {
+  FailpointResult fp = WCSD_FAILPOINT("net.recv");
+  if (fp.action == FailpointAction::kError) {
+    errno = fp.error_errno;
+    return -1;
+  }
+  if (fp.action == FailpointAction::kShort && fp.arg < size) {
+    size = static_cast<size_t>(fp.arg);
+    if (size == 0) {
+      errno = EINTR;
+      return -1;
+    }
+  }
+  return recv(fd, data, size, flags);
 }
 
 }  // namespace net

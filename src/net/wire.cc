@@ -20,6 +20,12 @@ const char* WireErrorName(WireError error) {
       return "bad payload";
     case WireError::kUnknownType:
       return "unknown message type";
+    case WireError::kOverloaded:
+      return "server overloaded";
+    case WireError::kDeadlineExceeded:
+      return "deadline exceeded";
+    case WireError::kShardUnavailable:
+      return "shard unavailable";
   }
   return "unknown error";
 }

@@ -19,19 +19,27 @@
 //   kBatchQueryReply (4+4n) u32 count, then count u32 distances,
 //                      positionally aligned with the request
 //   kStats       (0)
-//   kStatsReply  (72+32n) u64 num_vertices, queries, reachable, batches,
+//   kStatsReply  (104+40n) u64 num_vertices, queries, reachable, batches,
 //                      cache_hits, cache_misses, cache_inserts,
 //                      cache_evictions (result-cache counters; zero when
-//                      the engine serves uncached), then u32 shard_count,
-//                      u32 reserved, then shard_count per-shard balance
+//                      the engine serves uncached), overload_rejections,
+//                      deadline_rejections, shard_unavailable, u32
+//                      draining, u32 reserved2, then u32 shard_count, u32
+//                      reserved, then shard_count per-shard balance
 //                      records (u64 vertex_begin, vertex_end, entry_count,
-//                      label_bytes) in tiling order; shard_count is 0 for
-//                      unsharded engines
+//                      label_bytes, u32 quarantined, u32 reserved) in
+//                      tiling order; shard_count is 0 for unsharded
+//                      engines
 //   kHealth      (0)
-//   kHealthReply (8)   u64 num_vertices
+//   kHealthReply (16)  u64 num_vertices, u32 draining (1 while the server
+//                      is in graceful drain), u32 reserved
 //   kError       (0)   header.status carries the WireError; sent in place
 //                      of a reply when a frame is well-delimited but
-//                      invalid, or before closing on a framing error
+//                      invalid, when the server sheds it under overload
+//                      (kOverloaded), misses its deadline
+//                      (kDeadlineExceeded), or cannot serve it in degraded
+//                      mode (kShardUnavailable), or before closing on a
+//                      framing error
 //
 // Framing errors (bad magic, bad version, oversized length) poison the
 // byte stream — the receiver cannot trust where the next frame starts — so
@@ -60,8 +68,12 @@ inline constexpr uint32_t kWireMagic = 0x4e534357;
 /// Current protocol version. Bump on any frame-layout change; peers reject
 /// other versions with a clean error frame. v2: kStatsReply grew the
 /// per-shard balance section. v3: the kStatsReply fixed prefix grew the
-/// result-cache hit/miss/insert/evict counters.
-inline constexpr uint16_t kWireVersion = 3;
+/// result-cache hit/miss/insert/evict counters. v4: robustness fields —
+/// kStatsReply grew overload/deadline/shard-unavailable rejection counters
+/// and a draining flag, kHealthReply grew the draining flag, per-shard
+/// balance records grew a quarantined flag, and the kOverloaded /
+/// kDeadlineExceeded / kShardUnavailable error codes were added.
+inline constexpr uint16_t kWireVersion = 4;
 
 /// Default upper bound on one frame's payload (16 MiB ≈ 1.4M batched
 /// queries). A header announcing more is treated as a framing error before
@@ -90,6 +102,17 @@ enum class WireError : uint8_t {
   kOversizedFrame = 3,
   kBadPayload = 4,
   kUnknownType = 5,
+  /// The server shed this frame under overload. Frame-local and
+  /// retry-safe: the request was never executed and the stream stays
+  /// healthy — back off and resend.
+  kOverloaded = 6,
+  /// The frame's per-request deadline expired before (or while) serving
+  /// it. Frame-local; whether a retry makes sense is the caller's call.
+  kDeadlineExceeded = 7,
+  /// Degraded mode: the query needs a label slice from a quarantined
+  /// shard. Frame-local; retrying the same server will not help until the
+  /// shard is repaired.
+  kShardUnavailable = 8,
 };
 
 /// Human-readable name of a WireError, for Status messages and logs.
@@ -144,18 +167,27 @@ struct StatsReplyPayload {
   uint64_t cache_misses;
   uint64_t cache_inserts;
   uint64_t cache_evictions;
+  uint64_t overload_rejections;   // frames shed with kOverloaded
+  uint64_t deadline_rejections;   // frames failed with kDeadlineExceeded
+  uint64_t shard_unavailable;     // frames failed with kShardUnavailable
+  uint32_t draining;              // 1 while the server is in graceful drain
+  uint32_t reserved2;             // zero
 };
-static_assert(sizeof(StatsReplyPayload) == 64);
+static_assert(sizeof(StatsReplyPayload) == 96);
 
 /// One per-shard balance record in a kStatsReply: the shard's vertex range
-/// and the label mass it serves. Matches serve's ShardBalanceEntry.
+/// and the label mass it serves. Matches serve's ShardBalanceEntry. A
+/// quarantined shard reports the planned range with zero mass — its labels
+/// never loaded.
 struct ShardBalancePayload {
   uint64_t vertex_begin;
   uint64_t vertex_end;
   uint64_t entry_count;
   uint64_t label_bytes;
+  uint32_t quarantined;  // 1 when the shard failed to load (degraded mode)
+  uint32_t reserved;     // zero
 };
-static_assert(sizeof(ShardBalancePayload) == 32);
+static_assert(sizeof(ShardBalancePayload) == 40);
 
 /// Bytes of a kStatsReply payload carrying `shard_count` balance records.
 inline constexpr size_t StatsReplyBytes(size_t shard_count) {
@@ -164,10 +196,14 @@ inline constexpr size_t StatsReplyBytes(size_t shard_count) {
 }
 
 /// kHealthReply payload: nonzero vertex count doubles as "index mapped".
+/// `draining` flips to 1 the moment graceful drain begins, so load
+/// balancers can steer new traffic away while in-flight work completes.
 struct HealthReplyPayload {
   uint64_t num_vertices;
+  uint32_t draining;
+  uint32_t reserved;
 };
-static_assert(sizeof(HealthReplyPayload) == 8);
+static_assert(sizeof(HealthReplyPayload) == 16);
 
 // ------------------------------------------------------------- encoding
 

@@ -38,6 +38,9 @@ struct QueryEngineStats {
   uint64_t cache_misses = 0;
   uint64_t cache_inserts = 0;
   uint64_t cache_evictions = 0;
+  /// Queries refused because their labels live in a quarantined shard
+  /// (degraded-mode sharded serving); always 0 for healthy engines.
+  uint64_t shard_unavailable = 0;
 };
 
 /// 0 = hardware concurrency (min 1).
@@ -98,6 +101,11 @@ struct ServeStatsBlock {
     }
   }
 
+  /// Records queries refused in degraded mode (quarantined shard).
+  void RecordUnavailable(uint64_t count) {
+    shard_unavailable.fetch_add(count, std::memory_order_relaxed);
+  }
+
   QueryEngineStats Aggregate() const {
     QueryEngineStats total;
     for (const ServeWorkerSlot& slot : slots) {
@@ -105,11 +113,14 @@ struct ServeStatsBlock {
       total.reachable += slot.reachable.load(std::memory_order_relaxed);
     }
     total.batches = batches.load(std::memory_order_relaxed);
+    total.shard_unavailable =
+        shard_unavailable.load(std::memory_order_relaxed);
     return total;
   }
 
   std::vector<ServeWorkerSlot> slots;
   std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> shard_unavailable{0};
 };
 
 /// The batch body shared by both engines: evaluate `fn(query)` for every

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "search/constrained_dijkstra.h"
 #include "util/checksum.h"
 
 namespace wcsd {
@@ -64,6 +65,7 @@ Result<ShardedQueryEngine> ShardedQueryEngine::Assemble(
   engine.begins_.reserve(engine.shards_.size());
   for (const Shard& shard : engine.shards_) {
     engine.begins_.push_back(shard.begin);
+    if (shard.quarantined) ++engine.num_quarantined_;
   }
   size_t threads = ResolveServeThreads(options.num_threads);
   if (threads > 1) engine.pool_ = std::make_unique<ThreadPool>(threads);
@@ -124,7 +126,10 @@ Result<ShardedQueryEngine> ShardedQueryEngine::OpenMmap(
 
 Result<ShardedQueryEngine> ShardedQueryEngine::OpenManifest(
     const std::string& manifest_path, QueryEngineOptions options,
-    const SnapshotLoadOptions& load) {
+    const SnapshotLoadOptions& load, const DegradedOpenOptions& degraded) {
+  // The manifest itself is never quarantined: it is the source of truth
+  // for what the shard set should look like, and without it there is no
+  // way to know which ranges a failed shard was supposed to cover.
   Result<ShardManifest> read = ReadShardManifest(manifest_path);
   if (!read.ok()) return read.status();
   const ShardManifest& manifest = read.value();
@@ -138,41 +143,57 @@ Result<ShardedQueryEngine> ShardedQueryEngine::OpenManifest(
   uint32_t groups_crc = crc_seed;
 
   std::vector<Shard> shards;
+  size_t healthy = 0;
+  // A quarantined shard's bytes are missing from the CRC chain, so the
+  // whole-index fingerprint cross-check is only meaningful when every
+  // shard loaded.
+  bool fingerprint_complete = true;
   for (size_t i = 0; i < manifest.shards.size(); ++i) {
     const ShardManifestEntry& entry = manifest.shards[i];
     const std::string path = ResolveShardPath(manifest_path, entry.path);
     const std::string which =
         "shard " + std::to_string(i) + " (" + path + ")";
+    Status failure = Status::OK();
     Result<MappedSnapshot> snapshot = LoadSnapshotMmap(path, load);
     if (!snapshot.ok()) {
-      return Status(snapshot.status().code(),
-                    "manifest " + manifest_path + ": " + which + ": " +
-                        snapshot.status().message());
+      failure = Status(snapshot.status().code(),
+                       "manifest " + manifest_path + ": " + which + ": " +
+                           snapshot.status().message());
+    } else {
+      const MappedSnapshot& mapped = snapshot.value();
+      if (mapped.info.num_vertices_total != manifest.num_vertices_total ||
+          mapped.info.vertex_begin != entry.vertex_begin ||
+          mapped.info.vertex_end != entry.vertex_end) {
+        failure = Status::InvalidArgument(
+            "manifest " + manifest_path + ": " + which + " covers " +
+            RangeString(mapped.info.vertex_begin, mapped.info.vertex_end) +
+            " of " + std::to_string(mapped.info.num_vertices_total) +
+            " vertices but the manifest records " +
+            RangeString(entry.vertex_begin, entry.vertex_end) + " of " +
+            std::to_string(manifest.num_vertices_total));
+      } else if (mapped.info.header_crc != entry.snapshot_header_crc) {
+        failure = Status::Corruption(
+            "manifest " + manifest_path + ": " + which +
+            " is not the file the manifest was written for (snapshot header "
+            "checksum mismatch)");
+      } else if (mapped.labels.TotalEntries() != entry.entry_count ||
+                 mapped.labels.raw_groups().size() != entry.group_count) {
+        failure = Status::Corruption(
+            "manifest " + manifest_path + ": " + which +
+            " entry/group counts disagree with the manifest");
+      }
+    }
+    if (!failure.ok()) {
+      if (!degraded.quarantine_failed_shards) return failure;
+      // Degraded mode: remember the planned range so routing still works,
+      // but serve nothing from it. The manifest's tiling survives, so
+      // every other shard's queries are untouched.
+      shards.push_back(Shard{entry.vertex_begin, entry.vertex_end,
+                             FlatLabelSet{}, path, /*quarantined=*/true});
+      fingerprint_complete = false;
+      continue;
     }
     MappedSnapshot& mapped = snapshot.value();
-    if (mapped.info.num_vertices_total != manifest.num_vertices_total ||
-        mapped.info.vertex_begin != entry.vertex_begin ||
-        mapped.info.vertex_end != entry.vertex_end) {
-      return Status::InvalidArgument(
-          "manifest " + manifest_path + ": " + which + " covers " +
-          RangeString(mapped.info.vertex_begin, mapped.info.vertex_end) +
-          " of " + std::to_string(mapped.info.num_vertices_total) +
-          " vertices but the manifest records " +
-          RangeString(entry.vertex_begin, entry.vertex_end) + " of " +
-          std::to_string(manifest.num_vertices_total));
-    }
-    if (mapped.info.header_crc != entry.snapshot_header_crc) {
-      return Status::Corruption(
-          "manifest " + manifest_path + ": " + which +
-          " is not the file the manifest was written for (snapshot header "
-          "checksum mismatch)");
-    }
-    if (mapped.labels.TotalEntries() != entry.entry_count ||
-        mapped.labels.raw_groups().size() != entry.group_count) {
-      return Status::Corruption(
-          "manifest " + manifest_path + ": " + which +
-          " entry/group counts disagree with the manifest");
-    }
     if (load.verify_checksums) {
       auto entry_bytes = mapped.labels.raw_entries();
       auto group_bytes = mapped.labels.raw_groups();
@@ -184,8 +205,15 @@ Result<ShardedQueryEngine> ShardedQueryEngine::OpenManifest(
     }
     shards.push_back(Shard{entry.vertex_begin, entry.vertex_end,
                            std::move(mapped.labels), path});
+    ++healthy;
   }
-  if (load.verify_checksums) {
+  if (healthy == 0) {
+    return Status::Unavailable(
+        "manifest " + manifest_path +
+        ": every shard failed to load; refusing to serve an index that can "
+        "answer nothing");
+  }
+  if (load.verify_checksums && fingerprint_complete) {
     const uint64_t fingerprint =
         (uint64_t{groups_crc} << 32) | entries_crc;
     if (fingerprint != manifest.fingerprint) {
@@ -194,8 +222,13 @@ Result<ShardedQueryEngine> ShardedQueryEngine::OpenManifest(
           ": shard contents do not match the recorded index fingerprint");
     }
   }
-  return Assemble(std::move(shards), manifest.num_vertices_total, options,
-                  manifest.fingerprint);
+  Result<ShardedQueryEngine> assembled =
+      Assemble(std::move(shards), manifest.num_vertices_total, options,
+               manifest.fingerprint);
+  if (!assembled.ok()) return assembled.status();
+  ShardedQueryEngine engine = std::move(assembled).value();
+  engine.fallback_graph_ = degraded.fallback_graph;
+  return engine;
 }
 
 std::vector<ShardBalanceEntry> ShardedQueryEngine::ShardBalance() const {
@@ -204,7 +237,8 @@ std::vector<ShardBalanceEntry> ShardedQueryEngine::ShardBalance() const {
   for (const Shard& shard : shards_) {
     balance.push_back(ShardBalanceEntry{shard.begin, shard.end,
                                         shard.labels.TotalEntries(),
-                                        shard.labels.MemoryBytes()});
+                                        shard.labels.MemoryBytes(),
+                                        shard.quarantined});
   }
   return balance;
 }
@@ -216,6 +250,13 @@ FlatLabelView ShardedQueryEngine::ViewOf(Vertex v) const {
       1);
   const Shard& shard = shards_[i];
   return shard.labels.View(static_cast<Vertex>(v - shard.begin));
+}
+
+bool ShardedQueryEngine::Unavailable(Vertex v) const {
+  size_t i = static_cast<size_t>(
+      std::upper_bound(begins_.begin(), begins_.end(), v) - begins_.begin() -
+      1);
+  return shards_[i].quarantined;
 }
 
 Distance ShardedQueryEngine::QueryNoStats(Vertex s, Vertex t,
@@ -230,22 +271,91 @@ Distance ShardedQueryEngine::QueryNoStats(Vertex s, Vertex t,
   return QueryFlat(ViewOf(s), ViewOf(t), w, options_.impl);
 }
 
+ServeOutcome ShardedQueryEngine::QueryExNoStats(Vertex s, Vertex t,
+                                                Quality w,
+                                                Distance* out) const {
+  // Healthy engines never branch into the degraded path: the 2-hop query
+  // stays exactly the pre-quarantine code, bit for bit.
+  if (num_quarantined_ > 0 && s < num_vertices_ && t < num_vertices_ &&
+      s != t && (Unavailable(s) || Unavailable(t))) {
+    if (fallback_graph_ == nullptr) {
+      *out = kInfDistance;
+      return ServeOutcome::kShardUnavailable;
+    }
+    // Exact online fallback at graph-search cost. Not cached: the cache is
+    // bound to the index fingerprint and fallback answers equal the
+    // index's, but keeping the degraded path out of the cache makes its
+    // behavior trivially reasoned about.
+    *out = ConstrainedDijkstraUnit(*fallback_graph_, s, t, w);
+    return ServeOutcome::kOk;
+  }
+  *out = QueryNoStats(s, t, w);
+  return ServeOutcome::kOk;
+}
+
 QueryEngineStats ShardedQueryEngine::stats() const {
   return WithCacheStats(stats_->Aggregate(), cache_.get());
 }
 
 Distance ShardedQueryEngine::Query(Vertex s, Vertex t, Quality w) const {
-  Distance d = QueryNoStats(s, t, w);
-  stats_->RecordSingle(d);
+  Distance d = kInfDistance;
+  QueryEx(s, t, w, &d);
   return d;
+}
+
+ServeOutcome ShardedQueryEngine::QueryEx(Vertex s, Vertex t, Quality w,
+                                         Distance* out) const {
+  ServeOutcome outcome = QueryExNoStats(s, t, w, out);
+  if (outcome == ServeOutcome::kOk) {
+    stats_->RecordSingle(*out);
+  } else {
+    stats_->RecordUnavailable(1);
+  }
+  return outcome;
 }
 
 std::vector<Distance> ShardedQueryEngine::Batch(
     const std::vector<BatchQueryInput>& queries) const {
+  if (num_quarantined_ > 0 && fallback_graph_ == nullptr) {
+    // Degraded without a fallback: route through BatchEx so refusals are
+    // counted; legacy callers see kInfDistance for the refused batch.
+    std::vector<Distance> results;
+    if (BatchEx(queries, &results) != ServeOutcome::kOk) {
+      results.assign(queries.size(), kInfDistance);
+    }
+    return results;
+  }
   return RunServeBatch(pool_.get(), num_threads(), options_.min_chunk,
                        *stats_, queries, [&](const BatchQueryInput& q) {
-                         return QueryNoStats(q.s, q.t, q.w);
+                         Distance d = kInfDistance;
+                         QueryExNoStats(q.s, q.t, q.w, &d);
+                         return d;
                        });
+}
+
+ServeOutcome ShardedQueryEngine::BatchEx(
+    const std::vector<BatchQueryInput>& queries,
+    std::vector<Distance>* out) const {
+  out->clear();
+  if (num_quarantined_ > 0 && fallback_graph_ == nullptr) {
+    // Refuse the whole batch if any query needs a quarantined shard: a
+    // distance vector with silently-wrong entries is worse than a clean
+    // refusal the client can split or reroute.
+    for (const BatchQueryInput& q : queries) {
+      const bool in_range = q.s < num_vertices_ && q.t < num_vertices_;
+      if (in_range && q.s != q.t && (Unavailable(q.s) || Unavailable(q.t))) {
+        stats_->RecordUnavailable(queries.size());
+        return ServeOutcome::kShardUnavailable;
+      }
+    }
+  }
+  *out = RunServeBatch(pool_.get(), num_threads(), options_.min_chunk,
+                       *stats_, queries, [&](const BatchQueryInput& q) {
+                         Distance d = kInfDistance;
+                         QueryExNoStats(q.s, q.t, q.w, &d);
+                         return d;
+                       });
+  return ServeOutcome::kOk;
 }
 
 }  // namespace wcsd

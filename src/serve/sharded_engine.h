@@ -11,6 +11,15 @@
 //
 // Shards must tile [0, num_vertices_total) exactly; OpenMmap validates
 // this and fails with a clean Status otherwise.
+//
+// Degraded mode: OpenManifest can optionally quarantine a shard that is
+// missing or corrupt instead of failing the whole open. The engine then
+// serves every query whose two label slices live in healthy shards
+// bit-identically to the intact index (the 2-hop property again: a query
+// touches exactly its endpoints' shards), while queries touching a
+// quarantined range get a clean kShardUnavailable outcome — or, when a
+// fallback graph is provided, an exact online ConstrainedDijkstraUnit
+// answer at graph-search cost.
 
 #ifndef WCSD_SERVE_SHARDED_ENGINE_H_
 #define WCSD_SERVE_SHARDED_ENGINE_H_
@@ -35,16 +44,43 @@
 
 namespace wcsd {
 
+class QualityGraph;
+
+/// Outcome of serving one request against a possibly-degraded engine.
+enum class ServeOutcome : uint8_t {
+  kOk = 0,
+  /// The request needs a label slice from a quarantined shard; no result
+  /// was produced. Retrying the same engine will not help until the shard
+  /// is repaired.
+  kShardUnavailable = 1,
+};
+
 /// One shard's static contribution to the stitched index, for balance
-/// reporting (wire Stats, CLI, benches).
+/// reporting (wire Stats, CLI, benches). A quarantined shard reports its
+/// planned range with zero mass: its labels never loaded.
 struct ShardBalanceEntry {
   uint64_t vertex_begin = 0;
   uint64_t vertex_end = 0;
   uint64_t entry_count = 0;
   uint64_t label_bytes = 0;  // CSR bytes served from this shard's mapping
+  bool quarantined = false;
 
   friend bool operator==(const ShardBalanceEntry&,
                          const ShardBalanceEntry&) = default;
+};
+
+/// Degraded-mode policy for OpenManifest.
+struct DegradedOpenOptions {
+  /// When true, a shard that fails to load (missing file, corrupt header,
+  /// checksum mismatch, manifest cross-check failure) is quarantined
+  /// instead of failing the open: the engine starts without its labels and
+  /// refuses only the queries that need them. At least one shard must
+  /// load, and the manifest itself must be intact.
+  bool quarantine_failed_shards = false;
+  /// Optional online fallback: when set, queries touching a quarantined
+  /// shard are answered exactly (but slowly) by ConstrainedDijkstraUnit on
+  /// this graph instead of refused. The graph must outlive the engine.
+  const QualityGraph* fallback_graph = nullptr;
 };
 
 class ShardedQueryEngine {
@@ -66,18 +102,39 @@ class ShardedQueryEngine {
   /// offending shard.
   static Result<ShardedQueryEngine> OpenManifest(
       const std::string& manifest_path, QueryEngineOptions options = {},
-      const SnapshotLoadOptions& load = {});
+      const SnapshotLoadOptions& load = {},
+      const DegradedOpenOptions& degraded = {});
 
   ShardedQueryEngine(ShardedQueryEngine&&) = default;
   ShardedQueryEngine& operator=(ShardedQueryEngine&&) = default;
 
-  /// One query against the stitched index. Callable from any thread.
+  /// One query against the stitched index. Callable from any thread. In
+  /// degraded mode, a query refused for a quarantined shard reports
+  /// kInfDistance here — use QueryEx when the distinction matters.
   Distance Query(Vertex s, Vertex t, Quality w) const;
 
   /// Batch evaluation across the engine's pool; results positionally
   /// aligned with the inputs. Callable concurrently from many threads.
+  /// Degraded-mode refusals report kInfDistance; use BatchEx to detect
+  /// them.
   std::vector<Distance> Batch(
       const std::vector<BatchQueryInput>& queries) const;
+
+  /// Outcome-reporting query: like Query, but a degraded-mode refusal is
+  /// reported as kShardUnavailable instead of folded into kInfDistance.
+  ServeOutcome QueryEx(Vertex s, Vertex t, Quality w, Distance* out) const;
+
+  /// Outcome-reporting batch. A batch touching any quarantined range (with
+  /// no fallback configured) is refused whole with kShardUnavailable and
+  /// `out` left empty: distances are plain u32s on the wire with no
+  /// per-query error channel, and a partially-trustworthy batch is worse
+  /// than a clean refusal the client can route around.
+  ServeOutcome BatchEx(const std::vector<BatchQueryInput>& queries,
+                       std::vector<Distance>* out) const;
+
+  /// True when OpenManifest quarantined at least one shard.
+  bool degraded() const { return num_quarantined_ > 0; }
+  size_t num_quarantined() const { return num_quarantined_; }
 
   size_t NumVertices() const { return num_vertices_; }
   size_t num_shards() const { return shards_.size(); }
@@ -95,8 +152,10 @@ class ShardedQueryEngine {
   struct Shard {
     uint64_t begin;
     uint64_t end;
-    FlatLabelSet labels;  // keeps its shard's mapping alive
+    FlatLabelSet labels;  // keeps its shard's mapping alive; empty when
+                          // quarantined
     std::string path;     // where the mapping came from, for diagnostics
+    bool quarantined = false;
   };
 
   ShardedQueryEngine() = default;
@@ -112,9 +171,16 @@ class ShardedQueryEngine {
       QueryEngineOptions options,
       std::optional<uint64_t> known_fingerprint = std::nullopt);
 
-  /// Label view of vertex v, routed to its shard.
+  /// Label view of vertex v, routed to its shard. Must not be called for
+  /// a vertex in a quarantined shard (callers check Unavailable first).
   FlatLabelView ViewOf(Vertex v) const;
+  /// True when v's labels live in a quarantined shard.
+  bool Unavailable(Vertex v) const;
   Distance QueryNoStats(Vertex s, Vertex t, Quality w) const;
+  /// QueryEx without the per-query stats update (the batch path records
+  /// per-chunk).
+  ServeOutcome QueryExNoStats(Vertex s, Vertex t, Quality w,
+                              Distance* out) const;
 
   /// The tiling-invariant content fingerprint of the stitched index —
   /// identical to IndexContentFingerprint of the unsharded flat labels and
@@ -126,6 +192,8 @@ class ShardedQueryEngine {
   std::vector<Shard> shards_;       // sorted by begin, tiling [0, n)
   std::vector<uint64_t> begins_;    // shards_[i].begin, for binary search
   uint64_t num_vertices_ = 0;
+  size_t num_quarantined_ = 0;
+  const QualityGraph* fallback_graph_ = nullptr;  // not owned; may be null
   QueryEngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<ServeStatsBlock> stats_;

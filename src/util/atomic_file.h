@@ -1,0 +1,73 @@
+// Crash-safe file replacement: write-to-temp, fsync, atomic rename.
+//
+// A plain truncating ofstream has a torn-file window the width of the whole
+// write: a crash (or ENOSPC) mid-way leaves the target half-new. Every
+// persistent artifact in this repository (snapshots, shard files, shard-set
+// manifests) is written through AtomicFileWriter instead, which guarantees
+// the target path is, at every instant, either the complete old file or the
+// complete new file:
+//
+//   1. open  <path>.tmp.<pid>  (O_TRUNC — the temp name is private)
+//   2. write the new content (Write / WriteAt; holes read as zeros, same
+//      contract as ofstream::seekp past EOF)
+//   3. Commit(): fsync(tmp), rename(tmp -> path), fsync(parent dir)
+//
+// The rename is the commit point; everything before it is invisible at the
+// target path. An error or destruction before Commit unlinks the temp file.
+//
+// Every step is a named failpoint (util/failpoint.h), so tests can inject
+// ENOSPC at the write, a crash between fsync and rename, a short write,
+// and prove the old file survives:
+//   atomic_file.open, atomic_file.write, atomic_file.sync,
+//   atomic_file.rename, atomic_file.dirsync
+// (crash specs on any of them exit the process AT that step, before the
+// step's own syscall runs).
+
+#ifndef WCSD_UTIL_ATOMIC_FILE_H_
+#define WCSD_UTIL_ATOMIC_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace wcsd {
+
+class AtomicFileWriter {
+ public:
+  /// Creates <path>.tmp.<pid> for writing. The target is untouched.
+  static Result<AtomicFileWriter> Open(const std::string& path);
+
+  AtomicFileWriter(AtomicFileWriter&& other) noexcept;
+  AtomicFileWriter& operator=(AtomicFileWriter&& other) noexcept;
+  /// Discards an uncommitted temp file.
+  ~AtomicFileWriter();
+
+  /// Appends `size` bytes at the current offset.
+  Status Write(const void* data, size_t size);
+
+  /// Writes `size` bytes at an absolute offset (pwrite semantics; does not
+  /// move the append cursor). Offsets past EOF leave a zero-filled gap.
+  Status WriteAt(uint64_t offset, const void* data, size_t size);
+
+  /// fsync + rename onto the target + fsync of the parent directory. After
+  /// OK the new content is durably at the target path; after any error the
+  /// target still holds its previous content and the temp file is gone.
+  Status Commit();
+
+  /// Unlinks the temp file without touching the target (also what the
+  /// destructor does for an uncommitted writer).
+  void Discard();
+
+ private:
+  AtomicFileWriter(int fd, std::string path, std::string tmp_path)
+      : fd_(fd), path_(std::move(path)), tmp_path_(std::move(tmp_path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+  std::string tmp_path_;
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_UTIL_ATOMIC_FILE_H_

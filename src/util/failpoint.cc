@@ -1,0 +1,285 @@
+#include "util/failpoint.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace wcsd {
+namespace failpoints {
+
+namespace {
+
+struct Activation {
+  FailpointAction action = FailpointAction::kOff;
+  int error_errno = 0;
+  uint64_t arg = 0;          // bytes for kShort, millis for kDelay
+  uint64_t skip = 0;         // stay inert for this many evaluations
+  uint64_t count = UINT64_MAX;  // then fire this many times
+  std::atomic<uint64_t> hits{0};
+
+  Activation() = default;
+  Activation(const Activation& other)
+      : action(other.action),
+        error_errno(other.error_errno),
+        arg(other.arg),
+        skip(other.skip),
+        count(other.count),
+        hits(other.hits.load(std::memory_order_relaxed)) {}
+  Activation& operator=(const Activation& other) {
+    action = other.action;
+    error_errno = other.error_errno;
+    arg = other.arg;
+    skip = other.skip;
+    count = other.count;
+    hits.store(other.hits.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    return *this;
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Activation> points;
+};
+
+Registry& TheRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+/// Count of active failpoints; the one word the hot path reads.
+std::atomic<uint64_t> g_active{0};
+
+void InstallFromEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("WCSD_FAILPOINTS");
+    if (env != nullptr && env[0] != '\0') {
+      // A bad env spec should be loud, not silent: fault-injection runs
+      // that silently inject nothing "pass" meaninglessly.
+      Status st = InstallFromEnv(env);
+      if (!st.ok()) {
+        std::fprintf(stderr, "WCSD_FAILPOINTS: %s\n",
+                     st.ToString().c_str());
+        std::abort();
+      }
+    }
+  });
+}
+
+/// Errno names the specs may use; the injection sites only surface errnos
+/// a real syscall at that site could produce.
+int ErrnoByName(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "EIO") return EIO;
+  if (name == "EINTR") return EINTR;
+  if (name == "EAGAIN") return EAGAIN;
+  if (name == "ECONNRESET") return ECONNRESET;
+  if (name == "EPIPE") return EPIPE;
+  if (name == "ENOSPC") return ENOSPC;
+  if (name == "ENOENT") return ENOENT;
+  if (name == "EACCES") return EACCES;
+  if (name == "ETIMEDOUT") return ETIMEDOUT;
+  if (name == "ECONNREFUSED") return ECONNREFUSED;
+  *ok = false;
+  return 0;
+}
+
+bool ParseUint(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    if (value > (UINT64_MAX - 9) / 10) return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+Status ParseSpec(const std::string& spec, Activation* out) {
+  std::string body = spec;
+  // Suffixes first: @SKIP and xCOUNT, in either order after the action.
+  // Find them from the right so "error:EINTR@2x3" parses cleanly.
+  size_t x_at = body.rfind('x');
+  if (x_at != std::string::npos && x_at > 0 &&
+      body.find_first_not_of("0123456789", x_at + 1) == std::string::npos &&
+      x_at + 1 < body.size()) {
+    if (!ParseUint(body.substr(x_at + 1), &out->count)) {
+      return Status::InvalidArgument("bad failpoint count in " + spec);
+    }
+    body = body.substr(0, x_at);
+  }
+  size_t skip_at = body.rfind('@');
+  if (skip_at != std::string::npos) {
+    if (!ParseUint(body.substr(skip_at + 1), &out->skip)) {
+      return Status::InvalidArgument("bad failpoint skip in " + spec);
+    }
+    body = body.substr(0, skip_at);
+  }
+
+  std::string action = body;
+  std::string arg;
+  size_t colon = body.find(':');
+  if (colon != std::string::npos) {
+    action = body.substr(0, colon);
+    arg = body.substr(colon + 1);
+  }
+  if (action == "off") {
+    out->action = FailpointAction::kOff;
+    return Status::OK();
+  }
+  if (action == "error") {
+    out->action = FailpointAction::kError;
+    if (arg.empty()) {
+      out->error_errno = EIO;
+    } else {
+      bool ok = false;
+      out->error_errno = ErrnoByName(arg, &ok);
+      if (!ok) {
+        return Status::InvalidArgument("unknown errno name in " + spec);
+      }
+    }
+    return Status::OK();
+  }
+  if (action == "short") {
+    out->action = FailpointAction::kShort;
+    if (!ParseUint(arg, &out->arg)) {
+      return Status::InvalidArgument("short wants a byte count: " + spec);
+    }
+    return Status::OK();
+  }
+  if (action == "delay") {
+    out->action = FailpointAction::kDelay;
+    if (!ParseUint(arg, &out->arg)) {
+      return Status::InvalidArgument("delay wants milliseconds: " + spec);
+    }
+    return Status::OK();
+  }
+  if (action == "crash") {
+    out->action = FailpointAction::kCrash;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown failpoint action in " + spec);
+}
+
+}  // namespace
+
+Status Set(const std::string& name, const std::string& spec) {
+  Activation activation;
+  WCSD_RETURN_NOT_OK(ParseSpec(spec, &activation));
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  if (activation.action == FailpointAction::kOff) {
+    if (it != registry.points.end()) {
+      registry.points.erase(it);
+      g_active.fetch_sub(1, std::memory_order_release);
+    }
+    return Status::OK();
+  }
+  if (it == registry.points.end()) {
+    registry.points.emplace(name, activation);
+    g_active.fetch_add(1, std::memory_order_release);
+  } else {
+    it->second = activation;
+  }
+  return Status::OK();
+}
+
+void Clear(const std::string& name) {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (registry.points.erase(name) > 0) {
+    g_active.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void ClearAll() {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  g_active.fetch_sub(registry.points.size(), std::memory_order_release);
+  registry.points.clear();
+}
+
+Status InstallFromEnv(const char* env) {
+  if (env == nullptr) return Status::OK();
+  std::string text(env);
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    size_t semi = text.find(';', begin);
+    if (semi == std::string::npos) semi = text.size();
+    if (semi > begin) {
+      std::string entry = text.substr(begin, semi - begin);
+      size_t eq = entry.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return Status::InvalidArgument("bad failpoint entry: " + entry);
+      }
+      WCSD_RETURN_NOT_OK(Set(entry.substr(0, eq), entry.substr(eq + 1)));
+    }
+    begin = semi + 1;
+  }
+  return Status::OK();
+}
+
+bool AnyActive() {
+  InstallFromEnvOnce();
+  return g_active.load(std::memory_order_acquire) > 0;
+}
+
+FailpointResult Eval(const char* name) {
+  FailpointResult result;
+  if (!AnyActive()) return result;
+
+  Registry& registry = TheRegistry();
+  uint64_t delay_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.points.find(name);
+    if (it == registry.points.end()) return result;
+    Activation& activation = it->second;
+    const uint64_t hit =
+        activation.hits.fetch_add(1, std::memory_order_relaxed);
+    if (hit < activation.skip) return result;
+    if (hit - activation.skip >= activation.count) return result;
+
+    result.action = activation.action;
+    result.error_errno = activation.error_errno;
+    result.arg = activation.arg;
+    if (activation.action == FailpointAction::kDelay) {
+      delay_ms = activation.arg;
+    }
+  }
+  // Side effects run outside the registry lock: a sleeping failpoint must
+  // not serialize every other failpoint evaluation in the process.
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  if (result.action == FailpointAction::kCrash) {
+    // The whole point: die with no destructors, no buffered-stream flush,
+    // no atexit — what the disk sees is what a power cut would leave.
+    _exit(42);
+  }
+  return result;
+}
+
+std::vector<std::string> Active() {
+  InstallFromEnvOnce();
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.points.size());
+  for (const auto& [name, activation] : registry.points) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace failpoints
+}  // namespace wcsd

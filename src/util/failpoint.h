@@ -1,0 +1,106 @@
+// Deterministic fault injection: named, registry-activated failpoints.
+//
+// Production code marks the places where the environment can fail — a
+// write that may be short, a send that may hit ECONNRESET, an fsync that
+// may not return, a process that may die between two steps — with a named
+// failpoint. In normal operation evaluating a failpoint is one relaxed
+// atomic load of a global counter (zero active failpoints short-circuits
+// everything), so the marks are free to leave in release builds. Tests and
+// operators activate failpoints by name, turning "a crash mid-rename" or
+// "a partial send after 100 bytes" from a race you hope to hit into a
+// deterministic, repeatable scenario.
+//
+// Activation is programmatic (Failpoints::Set) or environmental
+// (WCSD_FAILPOINTS="name=spec;name=spec", installed once on first registry
+// use — this is how the CLI smoke tests crash a snapshot writer mid-commit
+// without any test harness in the process).
+//
+// Spec grammar (one action per failpoint):
+//   off                      deactivate
+//   error[:ERRNO]            fail with errno (named, e.g. EIO, EINTR,
+//                            ECONNRESET; default EIO)
+//   short:N                  truncate the operation to N bytes/items
+//   delay:MS                 sleep MS milliseconds, then proceed
+//   crash                    _exit(42) immediately — no destructors, no
+//                            stream flush; indistinguishable on disk from
+//                            kill -9 at the marked point
+// optionally suffixed with
+//   @SKIP                    stay inert for the first SKIP evaluations
+//   xCOUNT                   fire COUNT times, then go inert
+// e.g. "error:EINTR@2x3" skips twice, fires EINTR three times, then off.
+//
+// The registry is process-global and thread-safe. Hit counting is atomic,
+// so concurrent evaluations of one failpoint each consume one slot of the
+// skip/count window in some serialized order.
+
+#ifndef WCSD_UTIL_FAILPOINT_H_
+#define WCSD_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace wcsd {
+
+/// What an activated failpoint tells the marked site to do.
+enum class FailpointAction : uint8_t {
+  kOff = 0,    // proceed normally
+  kError,      // fail as if the environment returned `error_errno`
+  kShort,      // perform only `arg` bytes/items of the operation
+  kDelay,      // sleep `arg` milliseconds, then proceed (already slept
+               // by Eval; the site just proceeds)
+  kCrash,      // never returned: Eval calls _exit(42)
+};
+
+/// One evaluation's verdict. kOff/kDelay mean "proceed"; kError carries the
+/// errno to surface; kShort carries the byte/item budget.
+struct FailpointResult {
+  FailpointAction action = FailpointAction::kOff;
+  int error_errno = 0;  // meaningful for kError
+  uint64_t arg = 0;     // bytes for kShort
+
+  bool fired() const { return action != FailpointAction::kOff; }
+};
+
+namespace failpoints {
+
+/// Activates `name` with `spec` (see the grammar above). Replaces any
+/// previous activation of the same name. Fails on an unparseable spec.
+Status Set(const std::string& name, const std::string& spec);
+
+/// Deactivates `name` (no-op if inactive).
+void Clear(const std::string& name);
+
+/// Deactivates everything. Tests call this in teardown.
+void ClearAll();
+
+/// Parses WCSD_FAILPOINTS ("name=spec;name=spec") into activations.
+/// Called automatically on first registry use; exposed for tests.
+Status InstallFromEnv(const char* env);
+
+/// Evaluates the failpoint `name`: consumes one slot of its skip/count
+/// window and returns the verdict. kDelay sleeps before returning; kCrash
+/// does not return. Inactive names (the overwhelmingly common case) cost
+/// one relaxed atomic load.
+FailpointResult Eval(const char* name);
+
+/// Names of currently active failpoints, for diagnostics.
+std::vector<std::string> Active();
+
+/// True if any failpoint is active. The fast-path guard Eval uses; exposed
+/// so batch sites can hoist the check.
+bool AnyActive();
+
+}  // namespace failpoints
+
+/// Evaluate-and-branch helper for IO sites:
+///   FailpointResult fp = WCSD_FAILPOINT("snapshot.write.body");
+///   if (fp.action == FailpointAction::kError) { errno = fp.error_errno; ... }
+#define WCSD_FAILPOINT(name) ::wcsd::failpoints::Eval(name)
+
+}  // namespace wcsd
+
+#endif  // WCSD_UTIL_FAILPOINT_H_

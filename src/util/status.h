@@ -21,6 +21,11 @@ enum class StatusCode {
   kIoError,
   kCorruption,
   kUnimplemented,
+  /// Transient refusal (overload shedding, quarantined shard): the caller
+  /// may retry — possibly elsewhere, possibly after backing off.
+  kUnavailable,
+  /// A whole-request deadline expired before the operation finished.
+  kDeadlineExceeded,
 };
 
 /// Outcome of a fallible operation: either OK or a code plus message.
@@ -48,6 +53,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

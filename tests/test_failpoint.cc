@@ -1,0 +1,154 @@
+// Unit tests for the deterministic fault-injection registry
+// (util/failpoint.h): the spec grammar, the skip/count firing window,
+// environment installation, and the inactive fast path.
+
+#include "util/failpoint.h"
+
+#include <cerrno>
+
+#include "gtest/gtest.h"
+
+namespace wcsd {
+namespace {
+
+using failpoints::AnyActive;
+using failpoints::Clear;
+using failpoints::ClearAll;
+using failpoints::Eval;
+using failpoints::InstallFromEnv;
+using failpoints::Set;
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ClearAll(); }
+  void TearDown() override { ClearAll(); }
+};
+
+TEST_F(FailpointTest, InactiveByDefault) {
+  EXPECT_FALSE(Eval("never.activated").fired());
+}
+
+TEST_F(FailpointTest, ErrorDefaultsToEio) {
+  ASSERT_TRUE(Set("p", "error").ok());
+  FailpointResult fp = Eval("p");
+  EXPECT_EQ(fp.action, FailpointAction::kError);
+  EXPECT_EQ(fp.error_errno, EIO);
+}
+
+TEST_F(FailpointTest, ErrorWithNamedErrno) {
+  ASSERT_TRUE(Set("p", "error:ECONNRESET").ok());
+  FailpointResult fp = Eval("p");
+  EXPECT_EQ(fp.action, FailpointAction::kError);
+  EXPECT_EQ(fp.error_errno, ECONNRESET);
+
+  ASSERT_TRUE(Set("p", "error:EINTR").ok());
+  EXPECT_EQ(Eval("p").error_errno, EINTR);
+  ASSERT_TRUE(Set("p", "error:ENOSPC").ok());
+  EXPECT_EQ(Eval("p").error_errno, ENOSPC);
+}
+
+TEST_F(FailpointTest, UnknownErrnoNameRejected) {
+  EXPECT_FALSE(Set("p", "error:EWHATEVER").ok());
+  EXPECT_FALSE(Eval("p").fired());
+}
+
+TEST_F(FailpointTest, ShortCarriesByteBudget) {
+  ASSERT_TRUE(Set("p", "short:100").ok());
+  FailpointResult fp = Eval("p");
+  EXPECT_EQ(fp.action, FailpointAction::kShort);
+  EXPECT_EQ(fp.arg, 100u);
+}
+
+TEST_F(FailpointTest, ShortWantsAByteCount) {
+  EXPECT_FALSE(Set("p", "short").ok());
+  EXPECT_FALSE(Set("p", "short:abc").ok());
+}
+
+TEST_F(FailpointTest, UnknownActionRejected) {
+  EXPECT_FALSE(Set("p", "explode").ok());
+  EXPECT_FALSE(Set("p", "").ok());
+}
+
+TEST_F(FailpointTest, OffDeactivates) {
+  ASSERT_TRUE(Set("p", "error").ok());
+  EXPECT_TRUE(Eval("p").fired());
+  ASSERT_TRUE(Set("p", "off").ok());
+  EXPECT_FALSE(Eval("p").fired());
+  EXPECT_FALSE(AnyActive());
+}
+
+TEST_F(FailpointTest, SkipStaysInertThenFires) {
+  ASSERT_TRUE(Set("p", "error@2").ok());
+  EXPECT_FALSE(Eval("p").fired());  // skip 1
+  EXPECT_FALSE(Eval("p").fired());  // skip 2
+  EXPECT_TRUE(Eval("p").fired());   // fires from the third evaluation on
+  EXPECT_TRUE(Eval("p").fired());
+}
+
+TEST_F(FailpointTest, CountFiresThenGoesInert) {
+  ASSERT_TRUE(Set("p", "errorx2").ok());
+  EXPECT_TRUE(Eval("p").fired());
+  EXPECT_TRUE(Eval("p").fired());
+  EXPECT_FALSE(Eval("p").fired());
+  EXPECT_FALSE(Eval("p").fired());
+}
+
+TEST_F(FailpointTest, SkipAndCountCompose) {
+  // Inert once, then exactly three EINTRs, then inert forever.
+  ASSERT_TRUE(Set("p", "error:EINTR@1x3").ok());
+  EXPECT_FALSE(Eval("p").fired());
+  for (int i = 0; i < 3; ++i) {
+    FailpointResult fp = Eval("p");
+    EXPECT_EQ(fp.action, FailpointAction::kError);
+    EXPECT_EQ(fp.error_errno, EINTR);
+  }
+  EXPECT_FALSE(Eval("p").fired());
+}
+
+TEST_F(FailpointTest, ReactivationResetsTheWindow) {
+  ASSERT_TRUE(Set("p", "errorx1").ok());
+  EXPECT_TRUE(Eval("p").fired());
+  EXPECT_FALSE(Eval("p").fired());  // window consumed
+  ASSERT_TRUE(Set("p", "errorx1").ok());
+  EXPECT_TRUE(Eval("p").fired());  // fresh window
+}
+
+TEST_F(FailpointTest, InstallFromEnvActivatesSeveral) {
+  ASSERT_TRUE(
+      InstallFromEnv("a=error:EIO;b=short:5;c=delay:0").ok());
+  EXPECT_EQ(Eval("a").action, FailpointAction::kError);
+  EXPECT_EQ(Eval("b").action, FailpointAction::kShort);
+  EXPECT_EQ(Eval("c").action, FailpointAction::kDelay);
+  auto active = failpoints::Active();
+  EXPECT_EQ(active.size(), 3u);
+}
+
+TEST_F(FailpointTest, InstallFromEnvRejectsBadEntries) {
+  EXPECT_FALSE(InstallFromEnv("noequals").ok());
+  EXPECT_FALSE(InstallFromEnv("=error").ok());
+  EXPECT_FALSE(InstallFromEnv("a=unknownaction").ok());
+  EXPECT_TRUE(InstallFromEnv("").ok());
+  EXPECT_TRUE(InstallFromEnv(nullptr).ok());
+}
+
+TEST_F(FailpointTest, ClearRemovesOneName) {
+  ASSERT_TRUE(Set("a", "error").ok());
+  ASSERT_TRUE(Set("b", "error").ok());
+  Clear("a");
+  EXPECT_FALSE(Eval("a").fired());
+  EXPECT_TRUE(Eval("b").fired());
+  ClearAll();
+  EXPECT_FALSE(Eval("b").fired());
+  EXPECT_FALSE(AnyActive());
+}
+
+TEST_F(FailpointTest, DelayProceedsAfterSleeping) {
+  ASSERT_TRUE(Set("p", "delay:1").ok());
+  FailpointResult fp = Eval("p");
+  // kDelay means "Eval already slept; proceed" — the site treats it as
+  // not-fired-for-error purposes but fired() reports the activation.
+  EXPECT_EQ(fp.action, FailpointAction::kDelay);
+}
+
+}  // namespace
+}  // namespace wcsd

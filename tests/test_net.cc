@@ -645,32 +645,39 @@ TEST(WireGolden, GoldenRepliesDecodeToPaperAnswers) {
   std::string golden = ReadFileBytes(GoldenPath("wire_replies.bin"));
   const uint8_t* data = reinterpret_cast<const uint8_t*>(golden.data());
   size_t at = 0;
-  auto next = [&](MsgType expected_type) {
+  auto next = [&](MsgType expected_type) -> const uint8_t* {
     WireHeader header;
     const uint8_t* payload = nullptr;
     EXPECT_EQ(net::ParseFrame(data + at, golden.size() - at,
                               net::kMaxPayloadBytes, &header, &payload),
               net::FrameStatus::kOk);
+    if (payload == nullptr) return nullptr;  // stale golden: stop decoding
     EXPECT_EQ(header.type, static_cast<uint8_t>(expected_type));
     at += sizeof(WireHeader) + header.payload_bytes;
     return payload;
   };
 
+  const uint8_t* health_payload = next(MsgType::kHealthReply);
+  ASSERT_NE(health_payload, nullptr);
   net::HealthReplyPayload health;
-  std::memcpy(&health, next(MsgType::kHealthReply), sizeof(health));
+  std::memcpy(&health, health_payload, sizeof(health));
   QualityGraph g = MakeFigure3Graph();
   EXPECT_EQ(health.num_vertices, g.NumVertices());
 
+  const uint8_t* query_payload = next(MsgType::kQueryReply);
+  ASSERT_NE(query_payload, nullptr);
   net::QueryReplyPayload query;
-  std::memcpy(&query, next(MsgType::kQueryReply), sizeof(query));
+  std::memcpy(&query, query_payload, sizeof(query));
   EXPECT_EQ(query.dist, 2u);  // the paper's dist(2, 5 | w >= 2) spot check
 
   const uint8_t* batch = next(MsgType::kBatchQueryReply);
+  ASSERT_NE(batch, nullptr);
   uint32_t count;
   std::memcpy(&count, batch, sizeof(count));
   EXPECT_EQ(count, 3u);
 
   const uint8_t* stats_payload = next(MsgType::kStatsReply);
+  ASSERT_NE(stats_payload, nullptr);
   net::StatsReplyPayload stats;
   std::memcpy(&stats, stats_payload, sizeof(stats));
   EXPECT_EQ(stats.num_vertices, g.NumVertices());
@@ -682,6 +689,12 @@ TEST(WireGolden, GoldenRepliesDecodeToPaperAnswers) {
   EXPECT_EQ(stats.batches, 1u);
   EXPECT_EQ(stats.cache_hits, 0u);  // the golden server serves uncached
   EXPECT_EQ(stats.cache_misses, 0u);
+  // v4 robustness counters: a healthy, unloaded server reports all-quiet.
+  EXPECT_EQ(stats.overload_rejections, 0u);
+  EXPECT_EQ(stats.deadline_rejections, 0u);
+  EXPECT_EQ(stats.shard_unavailable, 0u);
+  EXPECT_EQ(stats.draining, 0u);
+  EXPECT_EQ(health.draining, 0u);
   EXPECT_EQ(at, golden.size());
 }
 

@@ -11,9 +11,11 @@
 //             answer one query (optionally with the route); --flat serves
 //             it from the finalized CSR label backend
 //   query     --connect=<host:port> --s=<v> --t=<v> --w=<q>
-//             [--timeout-ms=5000]
+//             [--timeout-ms=5000] [--deadline-ms=D] [--retries=R]
 //             answer one query over the wire protocol from a running
-//             `serve --listen` server
+//             `serve --listen` server; --deadline-ms bounds the whole call
+//             end to end and --retries retries connect failures and
+//             kOverloaded rejections with backoff (both via WcClientOptions)
 //   query     --manifest=<file> --s=<v> --t=<v> --w=<q> [--cache-mb=M]
 //             answer one query from a mapped shard set (see `shard`);
 //             --cache-mb enables the dominance-aware result cache
@@ -37,16 +39,26 @@
 //             [--seed=S] [--levels=L] [--impl=merge|scan|grouped|binary]
 //             [--verify] [--verify-level=offsets|directory|deep]
 //             [--listen=PORT [--host=ADDR] [--max-seconds=S]]
+//             [--idle-timeout-ms=MS] [--header-timeout-ms=MS]
+//             [--request-deadline-ms=MS] [--max-batch=N] [--drain-ms=MS]
+//             [--quarantine [--fallback-graph=<file>]]
 //             mmap the snapshot(s) — several files are stitched as
 //             vertex-range shards, and --manifest opens a whole validated
 //             shard set in one step — and either drive a random local batch
 //             workload (default) or, with --listen, serve the wire
-//             protocol (net/wire.h) on PORT until SIGINT/SIGTERM or
-//             --max-seconds; --verify checks section checksums and deep
+//             protocol (net/wire.h) on PORT until SIGINT (immediate stop),
+//             SIGTERM (graceful drain: finish in-flight work, then exit),
+//             or --max-seconds; --verify checks section checksums and deep
 //             label invariants at load, --verify-level picks the middle
 //             O(hub-groups) tier on its own; --cache-mb=M budgets M MiB
 //             for the dominance-aware result cache (serve/result_cache.h;
-//             0 = off) and reports its hit rate after a local run
+//             0 = off) and reports its hit rate after a local run;
+//             --idle/--header-timeout-ms close silent and slow-loris
+//             connections, --request-deadline-ms and --max-batch shed
+//             overload with clean error frames, --drain-ms bounds the
+//             SIGTERM drain, and --quarantine (manifest only) serves a
+//             shard set degraded when some shards are corrupt or missing
+//             (--fallback-graph answers quarantined-range queries online)
 //
 // Examples:
 //   wcsd_cli generate --out=g.edges --kind=road --n=10000 --levels=5
@@ -63,6 +75,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -171,7 +184,21 @@ int CmdRemoteQuery(const Flags& flags, const std::string& connect) {
     return 1;
   }
   int timeout_ms = static_cast<int>(flags.GetInt("timeout-ms", 5000));
-  auto client = WcClient::Connect(host, port, timeout_ms);
+  int64_t deadline_ms = flags.GetInt("deadline-ms", 0);
+  int64_t retries = flags.GetInt("retries", 0);
+  if (deadline_ms < 0 || retries < 0) {
+    std::fprintf(stderr, "error: --deadline-ms/--retries must be >= 0\n");
+    return 1;
+  }
+  Result<WcClient> client = Status::Unavailable("unconnected");
+  if (deadline_ms > 0 || retries > 0) {
+    WcClientOptions options;
+    options.deadline_ms = static_cast<uint64_t>(deadline_ms);
+    options.max_retries = static_cast<uint32_t>(retries);
+    client = WcClient::Connect(host, port, options);
+  } else {
+    client = WcClient::Connect(host, port, timeout_ms);
+  }
   if (!client.ok()) {
     std::fprintf(stderr, "error: %s\n", client.status().ToString().c_str());
     return 1;
@@ -491,12 +518,14 @@ std::vector<std::string> SplitCommaList(const std::string& list) {
   return parts;
 }
 
-volatile std::sig_atomic_t g_stop_requested = 0;
+/// 0 = keep serving, SIGINT = stop now, SIGTERM = drain gracefully.
+volatile std::sig_atomic_t g_signal_received = 0;
 
-void HandleStopSignal(int) { g_stop_requested = 1; }
+void HandleStopSignal(int sig) { g_signal_received = sig; }
 
 /// `serve --listen`: expose the mapped engine over the wire protocol until
-/// SIGINT/SIGTERM (or --max-seconds, for scripted runs).
+/// SIGINT (immediate stop), SIGTERM (graceful drain), or --max-seconds
+/// (scripted runs; drains, so in-flight work still finishes).
 int RunWireServer(std::shared_ptr<const QueryService> service,
                   const Flags& flags, size_t num_vertices,
                   size_t served_threads) {
@@ -508,6 +537,21 @@ int RunWireServer(std::shared_ptr<const QueryService> service,
   WcServerOptions options;
   options.bind_address = flags.GetString("host", "127.0.0.1");
   options.port = static_cast<uint16_t>(port);
+  int64_t idle_ms = flags.GetInt("idle-timeout-ms", 0);
+  int64_t header_ms = flags.GetInt("header-timeout-ms", 0);
+  int64_t deadline_ms = flags.GetInt("request-deadline-ms", 0);
+  int64_t max_batch = flags.GetInt("max-batch", 0);
+  int64_t drain_ms = flags.GetInt("drain-ms", 5000);
+  if (idle_ms < 0 || header_ms < 0 || deadline_ms < 0 || max_batch < 0 ||
+      drain_ms < 0) {
+    std::fprintf(stderr, "error: serve timeouts/limits must be >= 0\n");
+    return 1;
+  }
+  options.idle_timeout_ms = static_cast<uint64_t>(idle_ms);
+  options.header_timeout_ms = static_cast<uint64_t>(header_ms);
+  options.request_deadline_ms = static_cast<uint64_t>(deadline_ms);
+  options.max_batch_queries = static_cast<size_t>(max_batch);
+  options.drain_deadline_ms = static_cast<uint64_t>(drain_ms);
   auto server = WcServer::Start(std::move(service), options);
   if (!server.ok()) {
     std::fprintf(stderr, "error: %s\n", server.status().ToString().c_str());
@@ -522,17 +566,31 @@ int RunWireServer(std::shared_ptr<const QueryService> service,
   std::signal(SIGTERM, HandleStopSignal);
   double max_seconds = flags.GetDouble("max-seconds", 0.0);
   Timer timer;
-  while (g_stop_requested == 0 &&
+  while (g_signal_received == 0 &&
          (max_seconds <= 0.0 || timer.Seconds() < max_seconds)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
-  server.value().Stop();
+  if (g_signal_received == SIGINT) {
+    server.value().Stop();
+  } else {
+    // SIGTERM or --max-seconds: finish what is in flight, within --drain-ms.
+    std::printf("draining (up to %lld ms)...\n",
+                static_cast<long long>(drain_ms));
+    std::fflush(stdout);
+    server.value().Drain();
+  }
   WcServerStats stats = server.value().stats();
   std::printf(
-      "served %llu frames over %llu connections (%llu protocol errors)\n",
+      "served %llu frames over %llu connections (%llu protocol errors, "
+      "%llu overload + %llu deadline rejections, %llu shard-unavailable, "
+      "%llu timeout closes)\n",
       static_cast<unsigned long long>(stats.frames_served),
       static_cast<unsigned long long>(stats.connections_accepted),
-      static_cast<unsigned long long>(stats.protocol_errors));
+      static_cast<unsigned long long>(stats.protocol_errors),
+      static_cast<unsigned long long>(stats.overload_rejections),
+      static_cast<unsigned long long>(stats.deadline_rejections),
+      static_cast<unsigned long long>(stats.shard_unavailable),
+      static_cast<unsigned long long>(stats.timeout_closed));
   return 0;
 }
 
@@ -601,11 +659,36 @@ int CmdServe(const Flags& flags) {
                   info.value().has_order;
   }
 
+  DegradedOpenOptions degraded;
+  degraded.quarantine_failed_shards = flags.GetBool("quarantine", false);
+  // Kept alive for the whole serve: the engine holds a raw pointer to it.
+  std::optional<QualityGraph> fallback_graph;
+  std::string fallback_path = flags.GetString("fallback-graph", "");
+  if (!fallback_path.empty()) {
+    if (!degraded.quarantine_failed_shards) {
+      std::fprintf(stderr,
+                   "error: --fallback-graph requires --quarantine\n");
+      return 1;
+    }
+    auto graph = ReadEdgeListFile(fallback_path);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
+      return 1;
+    }
+    fallback_graph = std::move(graph).value();
+    degraded.fallback_graph = &fallback_graph.value();
+  }
+  if (degraded.quarantine_failed_shards && manifest.empty()) {
+    std::fprintf(stderr, "error: --quarantine requires --manifest\n");
+    return 1;
+  }
+
   Timer load_timer;
   std::shared_ptr<const QueryService> service;
   size_t n = 0;
   size_t served_threads = 1;
   size_t mapped_files = paths.size();
+  size_t quarantined = 0;
   if (single_full) {
     auto engine = QueryEngine::Open(paths[0], options, load);
     if (!engine.ok()) {
@@ -622,7 +705,7 @@ int CmdServe(const Flags& flags) {
     auto engine = manifest.empty()
                       ? ShardedQueryEngine::OpenMmap(paths, options, load)
                       : ShardedQueryEngine::OpenManifest(manifest, options,
-                                                         load);
+                                                         load, degraded);
     if (!engine.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    engine.status().ToString().c_str());
@@ -633,6 +716,7 @@ int CmdServe(const Flags& flags) {
     n = shared->NumVertices();
     served_threads = shared->num_threads();
     mapped_files = shared->num_shards();
+    quarantined = shared->num_quarantined();
     service = MakeQueryService(std::move(shared));
   }
   double load_seconds = load_timer.Seconds();
@@ -643,6 +727,15 @@ int CmdServe(const Flags& flags) {
   std::printf("mapped %zu snapshot%s (%zu vertices) in %.3f ms\n",
               mapped_files, mapped_files == 1 ? "" : "s", n,
               load_seconds * 1e3);
+  if (quarantined > 0) {
+    std::printf(
+        "DEGRADED: %zu of %zu shards quarantined — queries touching their "
+        "ranges are %s\n",
+        quarantined, mapped_files,
+        degraded.fallback_graph != nullptr
+            ? "answered online via the fallback graph"
+            : "refused with kShardUnavailable");
+  }
 
   if (flags.Has("listen")) {
     return RunWireServer(std::move(service), flags, n, served_threads);
