@@ -21,11 +21,16 @@
 #include "bench/datasets.h"
 #include "bench/workload.h"
 #include "core/batch.h"
+#include "core/dynamic_wc_index.h"
 #include "core/wc_index.h"
+#include "labeling/delta.h"
 #include "labeling/shard_manifest.h"
 #include "labeling/shard_plan.h"
 #include "labeling/snapshot.h"
+#include "net/server.h"
+#include "net/swap_service.h"
 #include "serve/query_engine.h"
+#include "serve/result_cache.h"
 #include "serve/sharded_engine.h"
 #include "util/random.h"
 
@@ -396,6 +401,119 @@ BENCHMARK(BM_ZipfServeThroughput)
     ->Args({120, 0, 0})->Args({120, 0, 1})
     ->Args({120, 1, 0})->Args({120, 1, 1})
     ->ArgNames({"zipf100", "vary_w", "cache"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------- live-update benchmarks
+
+// Hot snapshot swap latency: the cost of publishing a new engine
+// generation to a SwappableQueryService while it serves. This is the
+// blocking cost a reload imposes on concurrent queries (one mutex-guarded
+// shared_ptr store; the old generation is destroyed off the measured
+// path only when the last in-flight query drops its pin).
+void BM_HotSwapLatency(benchmark::State& state) {
+  const ServeFixture& f = FixtureForSize(0);
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  auto open_a = QueryEngine::Open(f.snap_path, options);
+  auto open_b = QueryEngine::Open(f.snap_path, options);
+  if (!open_a.ok() || !open_b.ok()) {
+    state.SkipWithError("engine open failed");
+    return;
+  }
+  auto service_a = MakeQueryService(
+      std::make_shared<const QueryEngine>(std::move(open_a).value()));
+  auto service_b = MakeQueryService(
+      std::make_shared<const QueryEngine>(std::move(open_b).value()));
+  SwappableQueryService swappable(service_a);
+  bool to_b = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(swappable.Swap(to_b ? service_b : service_a));
+    to_b = !to_b;
+  }
+  state.counters["generations"] =
+      static_cast<double>(swappable.generation());
+}
+BENCHMARK(BM_HotSwapLatency)->Unit(benchmark::kNanosecond);
+
+// Post-swap cache-hit retention: one shared cache filled by generation A,
+// delta-invalidated scoped to a one-edge upgrade, then replayed through
+// generation B. post_swap_hit_rate is what scoped invalidation preserves;
+// a wholesale Rebind would replay this workload fully cold.
+void BM_PostSwapCacheRetention(benchmark::State& state) {
+  struct RetentionFixture {
+    std::shared_ptr<const WcIndex> index_a;
+    std::shared_ptr<const WcIndex> index_b;
+    DeltaImpact impact;
+    std::vector<BatchQueryInput> workload;
+  };
+  static const RetentionFixture fx = [] {
+    RetentionFixture f;
+    Dataset d = MakeSocialDataset("EU", 0.12);
+    WcIndex a = WcIndex::Build(d.graph, WcIndexOptions::Plus());
+    a.Finalize();
+    f.index_a = std::make_shared<const WcIndex>(std::move(a));
+    const Vertex eu = 0;
+    const Arc arc = d.graph.Neighbors(0)[0];
+    DynamicWcIndex dyn(d.graph);
+    dyn.InsertEdge(eu, arc.to, arc.quality + 1.0f);
+    WcIndex b = WcIndex::Build(dyn.Snapshot(), WcIndexOptions::Plus());
+    b.Finalize();
+    f.index_b = std::make_shared<const WcIndex>(std::move(b));
+    f.impact = {eu, arc.to, arc.quality, arc.quality + 1.0f};
+    for (const WcsdQuery& q :
+         MakeZipfQueryWorkload(d.graph, 8192, /*pool_size=*/2048, 0.99,
+                               /*vary_w=*/true, 0x5a5au)) {
+      f.workload.push_back({q.s, q.t, q.w});
+    }
+    return f;
+  }();
+
+  auto cache = std::make_shared<ResultCache>(8u << 20);
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.shared_cache = cache;
+  QueryEngine engine_a(fx.index_a, options);
+  QueryEngine engine_b(fx.index_b, options);
+  const WcIndex& old_index = *fx.index_a;
+  auto coupled = [&old_index](Vertex s, Vertex t, const DeltaImpact& im,
+                              Quality w_test) {
+    return (old_index.Query(s, im.u, w_test) != kInfDistance &&
+            old_index.Query(im.v, t, w_test) != kInfDistance) ||
+           (old_index.Query(s, im.v, w_test) != kInfDistance &&
+            old_index.Query(im.u, t, w_test) != kInfDistance);
+  };
+
+  double hits = 0.0;
+  double lookups = 0.0;
+  double dropped = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    cache->Rebind(engine_a.cache_fingerprint());
+    benchmark::DoNotOptimize(engine_a.Batch(fx.workload));
+    dropped += static_cast<double>(cache->InvalidateDelta(
+        engine_b.cache_fingerprint(), {&fx.impact, 1}, coupled));
+    ResultCacheStats before = cache->stats();
+    state.ResumeTiming();
+    // The timed section is the post-swap replay through generation B.
+    benchmark::DoNotOptimize(engine_b.Batch(fx.workload));
+    state.PauseTiming();
+    ResultCacheStats after = cache->stats();
+    hits += static_cast<double>(after.hits - before.hits);
+    lookups += static_cast<double>((after.hits - before.hits) +
+                                   (after.misses - before.misses));
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(fx.workload.size()));
+  state.counters["post_swap_hit_rate"] =
+      lookups > 0 ? hits / lookups : 0.0;
+  state.counters["dropped_per_swap"] =
+      state.iterations() > 0
+          ? dropped / static_cast<double>(state.iterations())
+          : 0.0;
+}
+BENCHMARK(BM_PostSwapCacheRetention)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -4,8 +4,10 @@
 #include <cassert>
 #include <limits>
 #include <queue>
+#include <utility>
 
 #include "graph/builder.h"
+#include "labeling/delta.h"
 #include "labeling/query.h"
 
 namespace wcsd {
@@ -24,6 +26,81 @@ DynamicWcIndex::DynamicWcIndex(const QualityGraph& g,
   WcIndex built = WcIndex::Build(g, options_);
   order_ = built.order();
   labels_ = built.labels();
+}
+
+DynamicWcIndex::DynamicWcIndex(const QualityGraph& g, VertexOrder order,
+                               LabelSet labels, const WcIndexOptions& options)
+    : options_(options),
+      order_(std::move(order)),
+      labels_(std::move(labels)),
+      adj_(g.NumVertices()) {
+  assert(labels_.NumVertices() == g.NumVertices());
+  for (Vertex u = 0; u < g.NumVertices(); ++u) {
+    auto nbrs = g.Neighbors(u);
+    adj_[u].assign(nbrs.begin(), nbrs.end());
+  }
+}
+
+bool DynamicWcIndex::Apply(const DeltaLog& log) {
+  if (!log.HasDelete()) {
+    for (const DeltaBatch& batch : log.batches) {
+      std::vector<EdgeUpdate> staged;
+      staged.reserve(batch.records.size());
+      for (const DeltaRecord& record : batch.records) {
+        // kUpgrade rides InsertEdge's parallel-edge max-quality semantics.
+        staged.push_back(EdgeUpdate{record.u, record.v, record.quality});
+      }
+      InsertEdges(staged);
+    }
+    return true;
+  }
+  // A delete invalidates labels in ways incremental repair cannot fix:
+  // stage every op on the adjacency in log order, rebuild once.
+  for (const DeltaBatch& batch : log.batches) {
+    for (const DeltaRecord& record : batch.records) {
+      switch (static_cast<DeltaOp>(record.op)) {
+        case DeltaOp::kInsert:
+        case DeltaOp::kUpgrade: {
+          if (record.u == record.v) break;
+          bool updated = false;
+          for (Arc& a : adj_[record.u]) {
+            if (a.to == record.v) {
+              if (record.quality > a.quality) {
+                a.quality = record.quality;
+                for (Arc& b : adj_[record.v]) {
+                  if (b.to == record.u) b.quality = record.quality;
+                }
+              }
+              updated = true;
+              break;
+            }
+          }
+          if (!updated) {
+            adj_[record.u].push_back(Arc{record.v, record.quality});
+            adj_[record.v].push_back(Arc{record.u, record.quality});
+          }
+          break;
+        }
+        case DeltaOp::kDelete: {
+          auto erase_arc = [this](Vertex from, Vertex to) {
+            auto& arcs = adj_[from];
+            auto it = std::find_if(arcs.begin(), arcs.end(),
+                                   [to](const Arc& a) { return a.to == to; });
+            if (it != arcs.end()) arcs.erase(it);
+          };
+          erase_arc(record.u, record.v);
+          erase_arc(record.v, record.u);
+          break;
+        }
+      }
+    }
+  }
+  Rebuild();
+  return false;
+}
+
+WcIndex DynamicWcIndex::ReleaseIndex() {
+  return WcIndex(std::move(labels_), order_, WcIndexBuildStats{});
 }
 
 QualityGraph DynamicWcIndex::Snapshot() const {

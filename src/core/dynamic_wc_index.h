@@ -26,6 +26,8 @@
 
 namespace wcsd {
 
+struct DeltaLog;
+
 /// WC-INDEX over a mutable graph.
 class DynamicWcIndex {
  public:
@@ -33,6 +35,13 @@ class DynamicWcIndex {
   /// order is chosen once from the initial graph and kept across updates.
   explicit DynamicWcIndex(const QualityGraph& g,
                           const WcIndexOptions& options = {});
+
+  /// Adopts an already-built index (labels + order) for `g` without
+  /// rebuilding — the offline `update` path: load a snapshot, adopt it,
+  /// Apply() a delta log. `labels` and `order` must describe exactly `g`
+  /// (same vertex count, queries correct); this is not re-verified here.
+  DynamicWcIndex(const QualityGraph& g, VertexOrder order, LabelSet labels,
+                 const WcIndexOptions& options = {});
 
   /// Inserts undirected edge {u, v} with quality q and updates the labels
   /// incrementally. Inserting a parallel edge with lower-or-equal quality
@@ -55,6 +64,13 @@ class DynamicWcIndex {
   /// Removes edge {u, v} (no-op if absent) and rebuilds the index.
   void DeleteEdge(Vertex u, Vertex v);
 
+  /// Replays a delta log. Insert/upgrade-only logs repair labels in place
+  /// (per-batch InsertEdges semantics, so a bulk batch still rebuilds
+  /// once); any delete makes incremental repair unsound per the contract
+  /// above, so all ops are staged on the graph and the index is rebuilt
+  /// once. Returns true when the log was applied incrementally.
+  bool Apply(const DeltaLog& log);
+
   /// w-constrained distance between s and t on the current graph.
   Distance Query(Vertex s, Vertex t, Quality w) const;
 
@@ -64,6 +80,11 @@ class DynamicWcIndex {
   const LabelSet& labels() const { return labels_; }
   const VertexOrder& order() const { return order_; }
   size_t MemoryBytes() const { return labels_.MemoryBytes(); }
+
+  /// Releases the maintained labels as a serveable WcIndex (not yet
+  /// finalized; call Finalize() before SaveSnapshot). The dynamic index is
+  /// left empty — discard it afterwards.
+  WcIndex ReleaseIndex();
 
  private:
   // Resumes constrained BFS across new edge (from -> to, quality q) for

@@ -1,0 +1,192 @@
+#include "labeling/delta.h"
+
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <limits>
+
+#include "util/atomic_file.h"
+#include "util/checksum.h"
+#include "util/endian.h"
+
+namespace wcsd {
+
+namespace {
+
+constexpr uint64_t kDeltaMagic = 0x57435344'444c5447ULL;  // "WCSDDLTG"
+
+struct DeltaHeader {
+  uint64_t magic;
+  uint32_t version;
+  uint32_t batch_count;
+  uint64_t base_fingerprint;
+  uint32_t reserved;
+  uint32_t header_crc;  // CRC-32C of the header up to this field
+};
+static_assert(sizeof(DeltaHeader) == 32);
+
+template <typename T>
+void AppendBytes(std::string* out, const T& value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+bool ValidOp(uint8_t op) {
+  return op == static_cast<uint8_t>(DeltaOp::kInsert) ||
+         op == static_cast<uint8_t>(DeltaOp::kDelete) ||
+         op == static_cast<uint8_t>(DeltaOp::kUpgrade);
+}
+
+}  // namespace
+
+bool DeltaLog::HasDelete() const {
+  for (const DeltaBatch& batch : batches) {
+    for (const DeltaRecord& record : batch.records) {
+      if (record.op == static_cast<uint8_t>(DeltaOp::kDelete)) return true;
+    }
+  }
+  return false;
+}
+
+size_t DeltaLog::TotalRecords() const {
+  size_t total = 0;
+  for (const DeltaBatch& batch : batches) total += batch.records.size();
+  return total;
+}
+
+std::vector<DeltaImpact> DeltaImpacts(const DeltaLog& log) {
+  std::vector<DeltaImpact> impacts;
+  impacts.reserve(log.TotalRecords());
+  for (const DeltaBatch& batch : log.batches) {
+    for (const DeltaRecord& record : batch.records) {
+      DeltaImpact impact;
+      impact.u = record.u;
+      impact.v = record.v;
+      switch (static_cast<DeltaOp>(record.op)) {
+        case DeltaOp::kInsert:
+        case DeltaOp::kDelete:
+          impact.q_lo = -kInfQuality;
+          impact.q_hi = record.quality;
+          break;
+        case DeltaOp::kUpgrade:
+          impact.q_lo = record.old_quality;
+          impact.q_hi = record.quality;
+          break;
+        default:
+          impact.q_lo = -kInfQuality;
+          impact.q_hi = kInfQuality;
+          break;
+      }
+      impacts.push_back(impact);
+    }
+  }
+  return impacts;
+}
+
+Status WriteDeltaLog(const std::string& path, const DeltaLog& log) {
+  WCSD_RETURN_NOT_OK(CheckSerializationByteOrder());
+  if (log.batches.size() > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument("too many batches for a delta log");
+  }
+  DeltaHeader header = {};
+  header.magic = kDeltaMagic;
+  header.version = kDeltaLogVersion;
+  header.batch_count = static_cast<uint32_t>(log.batches.size());
+  header.base_fingerprint = log.base_fingerprint;
+  header.header_crc =
+      Crc32c(&header, offsetof(DeltaHeader, header_crc));
+
+  std::string buffer;
+  AppendBytes(&buffer, header);
+  for (const DeltaBatch& batch : log.batches) {
+    if (batch.records.size() > std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument("too many records in a delta batch");
+    }
+    for (const DeltaRecord& record : batch.records) {
+      if (!ValidOp(record.op)) {
+        return Status::InvalidArgument("delta record has an unknown op");
+      }
+    }
+    const uint32_t count = static_cast<uint32_t>(batch.records.size());
+    const uint32_t crc = Crc32c(batch.records.data(),
+                                batch.records.size() * sizeof(DeltaRecord));
+    AppendBytes(&buffer, count);
+    AppendBytes(&buffer, crc);
+    buffer.append(reinterpret_cast<const char*>(batch.records.data()),
+                  batch.records.size() * sizeof(DeltaRecord));
+  }
+
+  Result<AtomicFileWriter> opened = AtomicFileWriter::Open(path);
+  if (!opened.ok()) return opened.status();
+  AtomicFileWriter writer = std::move(opened).value();
+  WCSD_RETURN_NOT_OK(writer.Write(buffer.data(), buffer.size()));
+  return writer.Commit();
+}
+
+Result<DeltaLog> ReadDeltaLog(const std::string& path) {
+  WCSD_RETURN_NOT_OK(CheckSerializationByteOrder());
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open delta log " + path);
+  std::string bytes{std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>()};
+  if (!in.good() && !in.eof()) {
+    return Status::IoError("read failed for delta log " + path);
+  }
+  if (bytes.size() < sizeof(DeltaHeader)) {
+    return Status::Corruption("truncated delta log " + path);
+  }
+  DeltaHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  if (header.magic != kDeltaMagic) {
+    return Status::Corruption("bad delta log magic in " + path);
+  }
+  if (header.version != kDeltaLogVersion) {
+    return Status::Corruption("unsupported delta log version " +
+                              std::to_string(header.version) + " in " + path);
+  }
+  if (Crc32c(bytes.data(), offsetof(DeltaHeader, header_crc)) !=
+      header.header_crc) {
+    return Status::Corruption("delta log header checksum mismatch in " + path);
+  }
+
+  DeltaLog log;
+  log.base_fingerprint = header.base_fingerprint;
+  log.batches.reserve(header.batch_count);
+  uint64_t at = sizeof(DeltaHeader);
+  for (uint32_t b = 0; b < header.batch_count; ++b) {
+    if (bytes.size() - at < 2 * sizeof(uint32_t)) {
+      return Status::Corruption("truncated delta batch header in " + path);
+    }
+    uint32_t count, stored_crc;
+    std::memcpy(&count, bytes.data() + at, sizeof(count));
+    std::memcpy(&stored_crc, bytes.data() + at + sizeof(count),
+                sizeof(stored_crc));
+    at += 2 * sizeof(uint32_t);
+    const uint64_t record_bytes = uint64_t{count} * sizeof(DeltaRecord);
+    if (record_bytes > bytes.size() - at) {
+      return Status::Corruption("truncated delta batch records in " + path);
+    }
+    if (Crc32c(bytes.data() + at, record_bytes) != stored_crc) {
+      return Status::Corruption("delta batch checksum mismatch in " + path);
+    }
+    DeltaBatch batch;
+    batch.records.resize(count);
+    std::memcpy(batch.records.data(), bytes.data() + at, record_bytes);
+    at += record_bytes;
+    for (const DeltaRecord& record : batch.records) {
+      if (!ValidOp(record.op)) {
+        return Status::Corruption("delta record has an unknown op in " + path);
+      }
+      if (record.u == record.v) {
+        return Status::Corruption("delta record is a self-loop in " + path);
+      }
+    }
+    log.batches.push_back(std::move(batch));
+  }
+  if (at != bytes.size()) {
+    return Status::Corruption("delta log has trailing bytes in " + path);
+  }
+  return log;
+}
+
+}  // namespace wcsd

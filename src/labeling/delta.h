@@ -1,0 +1,94 @@
+// Delta log: a durable, versioned, CRC-32C-checksummed record of edge
+// changes to apply on top of an existing snapshot.
+//
+// A delta log is the unit of live maintenance: `wcsd_cli update` replays a
+// log against a snapshot (incrementally when possible) and emits a new
+// snapshot with a new IndexContentFingerprint; `serve --watch` uses the
+// same log to invalidate only the cached results the change can touch
+// (ResultCache::InvalidateDelta).
+//
+// File layout (little-endian, refused on big-endian hosts like every other
+// serialized artifact in this repo):
+//
+//   DeltaHeader { magic, version, base_fingerprint, batch_count, crc }
+//   batch_count × { u32 record_count, u32 records_crc,
+//                   record_count × DeltaRecord (20 bytes) }
+//
+// Writes go through AtomicFileWriter, so a crash mid-write leaves either
+// the previous complete file or no file — never a torn log.
+
+#ifndef WCSD_LABELING_DELTA_H_
+#define WCSD_LABELING_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace wcsd {
+
+inline constexpr uint32_t kDeltaLogVersion = 1;
+
+enum class DeltaOp : uint8_t {
+  kInsert = 1,   // add edge {u, v} with `quality` (or raise a parallel edge)
+  kDelete = 2,   // remove edge {u, v}; `quality` records the removed quality
+  kUpgrade = 3,  // raise edge {u, v} from `old_quality` to `quality`
+};
+
+struct DeltaRecord {
+  uint8_t op = 0;  // DeltaOp
+  uint8_t reserved[3] = {0, 0, 0};
+  Vertex u = 0;
+  Vertex v = 0;
+  // kInsert: the new edge's quality. kDelete: the removed edge's quality
+  // (kInfQuality when the author does not know it — scoping degrades to
+  // "any constraint"). kUpgrade: the new, higher quality.
+  Quality quality = 0.0f;
+  // kUpgrade only: the quality being replaced. Zero otherwise.
+  Quality old_quality = 0.0f;
+};
+static_assert(sizeof(DeltaRecord) == 20, "delta record layout is on disk");
+
+struct DeltaBatch {
+  std::vector<DeltaRecord> records;
+};
+
+struct DeltaLog {
+  // IndexContentFingerprint of the snapshot this log was authored against,
+  // or 0 when unknown. `update` refuses a nonzero mismatch.
+  uint64_t base_fingerprint = 0;
+  std::vector<DeltaBatch> batches;
+
+  bool HasDelete() const;
+  size_t TotalRecords() const;
+};
+
+// The constraint window a single changed edge can affect. Inserting or
+// deleting an edge of quality q can only change answers for w <= q
+// (the edge is admitted exactly when w <= q); upgrading q_old -> q_new can
+// only change answers for q_old < w <= q_new. Closed bounds, so an
+// interval-cached entry [w_lo, w_hi] is touchable iff it intersects
+// [q_lo, q_hi].
+struct DeltaImpact {
+  Vertex u = 0;
+  Vertex v = 0;
+  Quality q_lo = 0.0f;
+  Quality q_hi = 0.0f;
+};
+
+// One impact per record, in log order.
+std::vector<DeltaImpact> DeltaImpacts(const DeltaLog& log);
+
+// Atomic write (tmp file + fsync + rename + dir fsync); inherits the
+// atomic_file.* failpoints.
+Status WriteDeltaLog(const std::string& path, const DeltaLog& log);
+
+// Validates magic, version, and every CRC; corruption comes back as a
+// clean Status, never UB.
+Result<DeltaLog> ReadDeltaLog(const std::string& path);
+
+}  // namespace wcsd
+
+#endif  // WCSD_LABELING_DELTA_H_

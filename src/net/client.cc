@@ -467,6 +467,7 @@ Result<WireStats> WcClient::Stats() {
   stats.overload_rejections = payload.overload_rejections;
   stats.deadline_rejections = payload.deadline_rejections;
   stats.shard_unavailable = payload.shard_unavailable;
+  stats.generation = payload.generation;
   stats.draining = payload.draining != 0;
   stats.shards.resize(shard_count);
   if (shard_count > 0) {

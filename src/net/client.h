@@ -61,6 +61,9 @@ struct WireStats {
   uint64_t overload_rejections = 0;
   uint64_t deadline_rejections = 0;
   uint64_t shard_unavailable = 0;
+  /// Hot-swap generation serving when the stats were read; 0 when the
+  /// server's service is not swappable, monotone per server otherwise.
+  uint64_t generation = 0;
   bool draining = false;
   std::vector<net::ShardBalancePayload> shards;
 };

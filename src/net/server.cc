@@ -569,6 +569,7 @@ struct WcServer::Impl {
             overload_rejections.load(std::memory_order_relaxed),
             deadline_rejections.load(std::memory_order_relaxed),
             stats.shard_unavailable,
+            stats.generation,
             draining.load(std::memory_order_relaxed) ? 1u : 0u,
             0};
         std::vector<net::ShardBalancePayload> shards;

@@ -1,0 +1,72 @@
+#include "net/swap_service.h"
+
+#include <cassert>
+#include <utility>
+
+namespace wcsd {
+
+SwappableQueryService::SwappableQueryService(
+    std::shared_ptr<const QueryService> initial)
+    : current_(std::move(initial)) {
+  assert(current_ != nullptr);
+}
+
+uint64_t SwappableQueryService::Swap(
+    std::shared_ptr<const QueryService> next) {
+  assert(next != nullptr);
+  std::shared_ptr<const QueryService> old;
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    old = std::move(current_);
+    current_ = std::move(next);
+    // Bumped inside the critical section so generation observations are
+    // consistent with which service answers: a request that pinned the new
+    // service never reports the old generation.
+    generation = generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+  // `old` dies here (or when the last in-flight pin releases it) — outside
+  // the lock, so tearing down a whole engine never stalls the swap path.
+  return generation;
+}
+
+std::shared_ptr<const QueryService> SwappableQueryService::Pin() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+Distance SwappableQueryService::Query(Vertex s, Vertex t, Quality w) const {
+  return Pin()->Query(s, t, w);
+}
+
+std::vector<Distance> SwappableQueryService::Batch(
+    const std::vector<BatchQueryInput>& queries) const {
+  return Pin()->Batch(queries);
+}
+
+uint64_t SwappableQueryService::NumVertices() const {
+  return Pin()->NumVertices();
+}
+
+QueryEngineStats SwappableQueryService::Stats() const {
+  QueryEngineStats stats = Pin()->Stats();
+  stats.generation = generation();
+  return stats;
+}
+
+std::vector<ShardBalanceEntry> SwappableQueryService::ShardBalance() const {
+  return Pin()->ShardBalance();
+}
+
+ServeOutcome SwappableQueryService::QueryEx(Vertex s, Vertex t, Quality w,
+                                            Distance* out) const {
+  return Pin()->QueryEx(s, t, w, out);
+}
+
+ServeOutcome SwappableQueryService::BatchEx(
+    const std::vector<BatchQueryInput>& queries,
+    std::vector<Distance>* out) const {
+  return Pin()->BatchEx(queries, out);
+}
+
+}  // namespace wcsd

@@ -1,0 +1,74 @@
+// Hot snapshot swap: epoch/RCU-style generation switching for live serving.
+//
+// A SwappableQueryService fronts the server's QueryService with an
+// indirection the swap coordinator (serve --watch) can retarget while
+// connections are live. Every request pins the current inner service with
+// a shared_ptr copy, so an in-flight query finishes on the generation it
+// started on while new requests land on the new one — Swap() never blocks
+// a query and never drops one. The old generation (engine + mmap'd
+// snapshot) is destroyed when its last in-flight request releases the pin.
+//
+// The generation counter starts at 1 and is bumped by every Swap; Stats()
+// stamps it into QueryEngineStats.generation, which the wire kStatsReply
+// carries (protocol v5), so clients can observe reloads. Non-swappable
+// services report generation 0.
+
+#ifndef WCSD_NET_SWAP_SERVICE_H_
+#define WCSD_NET_SWAP_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/server.h"
+
+namespace wcsd {
+
+class SwappableQueryService : public QueryService {
+ public:
+  explicit SwappableQueryService(
+      std::shared_ptr<const QueryService> initial);
+
+  /// Atomically retargets all future requests to `next` and returns the
+  /// new generation number. In-flight requests finish on the old service.
+  /// Callers sharing a result cache across generations must invalidate it
+  /// (Rebind or InvalidateDelta with the new fingerprint) BEFORE calling
+  /// Swap, so the new generation never reads entries certified only by the
+  /// old index.
+  uint64_t Swap(std::shared_ptr<const QueryService> next);
+
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// The currently serving inner service (a pin: safe to use after a
+  /// concurrent Swap).
+  std::shared_ptr<const QueryService> Current() const { return Pin(); }
+
+  Distance Query(Vertex s, Vertex t, Quality w) const override;
+  std::vector<Distance> Batch(
+      const std::vector<BatchQueryInput>& queries) const override;
+  uint64_t NumVertices() const override;
+  QueryEngineStats Stats() const override;
+  std::vector<ShardBalanceEntry> ShardBalance() const override;
+  ServeOutcome QueryEx(Vertex s, Vertex t, Quality w,
+                       Distance* out) const override;
+  ServeOutcome BatchEx(const std::vector<BatchQueryInput>& queries,
+                       std::vector<Distance>* out) const override;
+
+ private:
+  /// A shared_ptr copy under a short critical section. A plain mutex-
+  /// protected copy (rather than std::atomic<std::shared_ptr>) keeps the
+  /// implementation portable across the toolchains CI builds with; the
+  /// critical section is two refcount ops.
+  std::shared_ptr<const QueryService> Pin() const;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const QueryService> current_;
+  std::atomic<uint64_t> generation_{1};
+};
+
+}  // namespace wcsd
+
+#endif  // WCSD_NET_SWAP_SERVICE_H_

@@ -19,11 +19,13 @@
 //   kBatchQueryReply (4+4n) u32 count, then count u32 distances,
 //                      positionally aligned with the request
 //   kStats       (0)
-//   kStatsReply  (104+40n) u64 num_vertices, queries, reachable, batches,
+//   kStatsReply  (112+40n) u64 num_vertices, queries, reachable, batches,
 //                      cache_hits, cache_misses, cache_inserts,
 //                      cache_evictions (result-cache counters; zero when
 //                      the engine serves uncached), overload_rejections,
-//                      deadline_rejections, shard_unavailable, u32
+//                      deadline_rejections, shard_unavailable, generation
+//                      (hot-swap generation, monotone per server; 0 when
+//                      the service is not swappable), u32
 //                      draining, u32 reserved2, then u32 shard_count, u32
 //                      reserved, then shard_count per-shard balance
 //                      records (u64 vertex_begin, vertex_end, entry_count,
@@ -72,8 +74,9 @@ inline constexpr uint32_t kWireMagic = 0x4e534357;
 /// kStatsReply grew overload/deadline/shard-unavailable rejection counters
 /// and a draining flag, kHealthReply grew the draining flag, per-shard
 /// balance records grew a quarantined flag, and the kOverloaded /
-/// kDeadlineExceeded / kShardUnavailable error codes were added.
-inline constexpr uint16_t kWireVersion = 4;
+/// kDeadlineExceeded / kShardUnavailable error codes were added. v5:
+/// kStatsReply grew the hot-swap generation counter (live-update serving).
+inline constexpr uint16_t kWireVersion = 5;
 
 /// Default upper bound on one frame's payload (16 MiB ≈ 1.4M batched
 /// queries). A header announcing more is treated as a framing error before
@@ -170,10 +173,11 @@ struct StatsReplyPayload {
   uint64_t overload_rejections;   // frames shed with kOverloaded
   uint64_t deadline_rejections;   // frames failed with kDeadlineExceeded
   uint64_t shard_unavailable;     // frames failed with kShardUnavailable
+  uint64_t generation;            // hot-swap generation; 0 = not swappable
   uint32_t draining;              // 1 while the server is in graceful drain
   uint32_t reserved2;             // zero
 };
-static_assert(sizeof(StatsReplyPayload) == 96);
+static_assert(sizeof(StatsReplyPayload) == 104);
 
 /// One per-shard balance record in a kStatsReply: the shard's vertex range
 /// and the label mass it serves. Matches serve's ShardBalanceEntry. A

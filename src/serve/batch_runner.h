@@ -41,6 +41,9 @@ struct QueryEngineStats {
   /// Queries refused because their labels live in a quarantined shard
   /// (degraded-mode sharded serving); always 0 for healthy engines.
   uint64_t shard_unavailable = 0;
+  /// Hot-swap generation currently serving (net/swap_service.h), starting
+  /// at 1 and bumped on every swap; 0 for a non-swappable service.
+  uint64_t generation = 0;
 };
 
 /// 0 = hardware concurrency (min 1).

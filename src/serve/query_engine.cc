@@ -12,9 +12,15 @@ QueryEngine::QueryEngine(std::shared_ptr<const WcIndex> index,
   size_t threads = ResolveServeThreads(options_.num_threads);
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
   stats_ = std::make_unique<ServeStatsBlock>(threads);
-  if (options_.cache_bytes > 0 && index_->finalized()) {
-    cache_ = std::make_unique<ResultCache>(options_.cache_bytes);
-    cache_->Rebind(IndexContentFingerprint(index_->flat_labels()));
+  if ((options_.shared_cache || options_.cache_bytes > 0) &&
+      index_->finalized()) {
+    cache_fingerprint_ = IndexContentFingerprint(index_->flat_labels());
+    if (options_.shared_cache) {
+      cache_ = options_.shared_cache;
+    } else {
+      cache_ = std::make_shared<ResultCache>(options_.cache_bytes);
+      cache_->Rebind(cache_fingerprint_);
+    }
   }
 }
 
@@ -33,8 +39,9 @@ Distance QueryEngine::CachedQuery(Vertex s, Vertex t, Quality w) const {
   const size_t n = index_->NumVertices();
   if (s >= n || t >= n) return kInfDistance;
   if (s == t) return 0;
-  return cache_->GetOrCompute(
-      s, t, w, [&] { return index_->QueryWithInterval(s, t, w); });
+  return cache_->GetOrCompute(s, t, w, cache_fingerprint_, [&] {
+    return index_->QueryWithInterval(s, t, w);
+  });
 }
 
 Distance QueryEngine::Query(Vertex s, Vertex t, Quality w) const {

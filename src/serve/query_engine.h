@@ -51,6 +51,14 @@ struct QueryEngineOptions {
   /// cache to the snapshot's identity (one full pass over the label
   /// bytes, which faults an mmap'd snapshot in; only paid when caching).
   size_t cache_bytes = 0;
+  /// Externally owned cache shared across engine generations (the hot-swap
+  /// serve path). When set (and the index is finalized) the engine uses it
+  /// instead of creating its own, inserts are bound to this engine's
+  /// fingerprint (stale generations cannot poison the shared cache), and
+  /// the engine does NOT Rebind: the swap coordinator owns invalidation
+  /// (Rebind or InvalidateDelta, before the new engine starts serving).
+  /// cache_bytes is ignored when set.
+  std::shared_ptr<ResultCache> shared_cache;
 };
 
 /// Folds a result cache's counters into engine-level stats; a null cache
@@ -98,6 +106,10 @@ class QueryEngine {
   /// index is not finalized — the serving formats all are).
   const ResultCache* cache() const { return cache_.get(); }
 
+  /// IndexContentFingerprint of the served snapshot when caching, 0
+  /// otherwise. The swap coordinator feeds this to Rebind/InvalidateDelta.
+  uint64_t cache_fingerprint() const { return cache_fingerprint_; }
+
  private:
   Distance CachedQuery(Vertex s, Vertex t, Quality w) const;
 
@@ -105,7 +117,8 @@ class QueryEngine {
   QueryEngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
   std::unique_ptr<ServeStatsBlock> stats_;
-  std::unique_ptr<ResultCache> cache_;  // null when caching is off
+  std::shared_ptr<ResultCache> cache_;  // null when caching is off
+  uint64_t cache_fingerprint_ = 0;
 };
 
 }  // namespace wcsd

@@ -49,14 +49,54 @@ ResultCache::ResultCache(size_t budget_bytes) {
 
 void ResultCache::Rebind(uint64_t fingerprint) {
   std::lock_guard<std::mutex> lock(fingerprint_mu_);
-  if (fingerprint_ == fingerprint) return;
-  fingerprint_ = fingerprint;
+  if (fingerprint_.load(std::memory_order_relaxed) == fingerprint) return;
+  // New identity is visible before any entry is dropped, so a stale
+  // InsertBound racing the sweep can never land after it (see InsertBound).
+  fingerprint_.store(fingerprint, std::memory_order_release);
   Clear();
 }
 
-uint64_t ResultCache::fingerprint() const {
+size_t ResultCache::InvalidateDelta(uint64_t new_fingerprint,
+                                    std::span<const DeltaImpact> impacts,
+                                    const CoupledFn& coupled) {
   std::lock_guard<std::mutex> lock(fingerprint_mu_);
-  return fingerprint_;
+  fingerprint_.store(new_fingerprint, std::memory_order_release);
+  size_t dropped = 0;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    for (Slot& slot : shard.slots) {
+      if (slot.key == kEmptyKey) continue;
+      const Vertex s = static_cast<Vertex>(slot.key >> 32);
+      const Vertex t = static_cast<Vertex>(slot.key & 0xffffffffu);
+      uint32_t kept = 0;
+      for (uint32_t j = 0; j < slot.count; ++j) {
+        const Interval& iv = slot.iv[j];
+        bool touched = false;
+        for (const DeltaImpact& impact : impacts) {
+          if (iv.w_hi < impact.q_lo || impact.q_hi < iv.w_lo) continue;
+          const Quality w_test = std::max(iv.w_lo, impact.q_lo);
+          if (!coupled || coupled(s, t, impact, w_test)) {
+            touched = true;
+            break;
+          }
+        }
+        if (touched) {
+          ++dropped;
+        } else {
+          slot.iv[kept++] = slot.iv[j];
+        }
+      }
+      slot.count = kept;
+      slot.clock = 0;
+      if (kept == 0) slot.key = kEmptyKey;
+    }
+  }
+  return dropped;
+}
+
+uint64_t ResultCache::fingerprint() const {
+  return fingerprint_.load(std::memory_order_acquire);
 }
 
 void ResultCache::Clear() {
@@ -97,11 +137,27 @@ bool ResultCache::Lookup(Vertex s, Vertex t, Quality w, Distance* dist) {
 
 void ResultCache::Insert(Vertex s, Vertex t,
                          const IntervalQueryResult& result) {
+  InsertImpl(s, t, result, nullptr);
+}
+
+void ResultCache::InsertBound(Vertex s, Vertex t,
+                              const IntervalQueryResult& result,
+                              uint64_t expected_fingerprint) {
+  InsertImpl(s, t, result, &expected_fingerprint);
+}
+
+void ResultCache::InsertImpl(Vertex s, Vertex t,
+                             const IntervalQueryResult& result,
+                             const uint64_t* expected) {
   const uint64_t key = KeyOf(s, t);
   const uint64_t hash = Mix(key);
   Shard& shard = ShardFor(hash);
   const size_t mask = slots_per_shard_ - 1;
   std::lock_guard<std::mutex> lock(shard.mu);
+  if (expected != nullptr &&
+      fingerprint_.load(std::memory_order_acquire) != *expected) {
+    return;  // the index this result came from is no longer bound
+  }
 
   Slot* target = nullptr;
   Slot* empty = nullptr;

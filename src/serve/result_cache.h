@@ -26,17 +26,24 @@
 // (labeling/shard_manifest.h IndexContentFingerprint) it was filled from.
 // Rebind(fingerprint) wholesale-invalidates every entry when the identity
 // changes (snapshot reload, dynamic update), and is a no-op when it does
-// not — engines call it unconditionally at open.
+// not — engines call it unconditionally at open. For a small delta between
+// two known snapshots, InvalidateDelta() rebinds while dropping only the
+// entries the delta can touch, keeping the hot set warm across live
+// updates (see the soundness note at its declaration).
 
 #ifndef WCSD_SERVE_RESULT_CACHE_H_
 #define WCSD_SERVE_RESULT_CACHE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
+#include "labeling/delta.h"
 #include "labeling/query.h"
 #include "util/types.h"
 
@@ -77,6 +84,28 @@ class ResultCache {
   /// snapshot starts serving (engines constructing their own cache do).
   void Rebind(uint64_t fingerprint);
 
+  /// Decides whether cached pair (s, t) is reachability-coupled to a
+  /// changed edge at the given test constraint (see InvalidateDelta).
+  /// Called with a shard mutex held: must not re-enter the cache.
+  using CoupledFn =
+      std::function<bool(Vertex s, Vertex t, const DeltaImpact& impact,
+                         Quality w_test)>;
+
+  /// Rebinds to `new_fingerprint` while dropping only the entries a delta
+  /// can touch. Soundness: a shortest path changed by edge {u, v} uses
+  /// that edge, so its (s -> u) prefix and (v -> t) suffix already exist in
+  /// the OLD graph — a cached interval [w_lo, w_hi] for (s, t) can only be
+  /// stale if (a) it intersects the impact's constraint window
+  /// [q_lo, q_hi], and (b) the pair is reachability-coupled to {u, v} in
+  /// the old index at w_test = max(w_lo, q_lo) (reachability is monotone
+  /// non-increasing in w, so testing the lowest affected constraint is
+  /// conservative). `coupled` implements (b) from the OLD index; pass an
+  /// empty function to skip it and invalidate on quality overlap alone
+  /// (still sound, just coarser). Returns the number of intervals dropped.
+  size_t InvalidateDelta(uint64_t new_fingerprint,
+                         std::span<const DeltaImpact> impacts,
+                         const CoupledFn& coupled = {});
+
   /// The identity the current contents are valid for.
   uint64_t fingerprint() const;
 
@@ -97,10 +126,33 @@ class ResultCache {
     return result.dist;
   }
 
+  /// Generation-safe variant for a cache shared across engine swaps: the
+  /// insert is dropped unless the cache is still bound to
+  /// `expected_fingerprint` at insert time, so an old-generation engine
+  /// racing a swap can never poison the new generation's entries.
+  template <typename ComputeFn>
+  Distance GetOrCompute(Vertex s, Vertex t, Quality w,
+                        uint64_t expected_fingerprint,
+                        const ComputeFn& compute) {
+    Distance dist;
+    if (Lookup(s, t, w, &dist)) return dist;
+    IntervalQueryResult result = compute();
+    InsertBound(s, t, result, expected_fingerprint);
+    return result.dist;
+  }
+
   /// Stores the certified interval for (s, t). Degenerate results (the
   /// everywhere-valid interval of out-of-range queries) are cacheable like
   /// any other.
   void Insert(Vertex s, Vertex t, const IntervalQueryResult& result);
+
+  /// Insert that checks the bound fingerprint under the shard mutex and
+  /// silently drops on mismatch. Because Rebind/InvalidateDelta store the
+  /// new fingerprint BEFORE sweeping the shards, a stale insert either
+  /// lands before the sweep (and is swept) or observes the new fingerprint
+  /// (and is dropped) — never survives into the new generation.
+  void InsertBound(Vertex s, Vertex t, const IntervalQueryResult& result,
+                   uint64_t expected_fingerprint);
 
   /// Drops every entry (counters survive).
   void Clear();
@@ -138,6 +190,11 @@ class ResultCache {
     uint64_t evictions = 0;
   };
 
+  /// Shared insert path; `expected` non-null adds the fingerprint check
+  /// under the shard mutex (InsertBound).
+  void InsertImpl(Vertex s, Vertex t, const IntervalQueryResult& result,
+                  const uint64_t* expected);
+
   /// High hash bits pick the shard, low bits the probe base inside it, so
   /// the two stay uncorrelated. num_shards_ and slots_per_shard_ are
   /// powers of two.
@@ -150,8 +207,11 @@ class ResultCache {
   size_t num_shards_ = 0;
   size_t slots_per_shard_ = 0;
 
+  /// fingerprint_ is atomic so InsertBound can check it under a shard
+  /// mutex only; fingerprint_mu_ still serializes the writers
+  /// (Rebind/InvalidateDelta) against each other.
   mutable std::mutex fingerprint_mu_;
-  uint64_t fingerprint_ = 0;
+  std::atomic<uint64_t> fingerprint_{0};
 };
 
 }  // namespace wcsd

@@ -70,11 +70,16 @@ Result<ShardedQueryEngine> ShardedQueryEngine::Assemble(
   size_t threads = ResolveServeThreads(options.num_threads);
   if (threads > 1) engine.pool_ = std::make_unique<ThreadPool>(threads);
   engine.stats_ = std::make_unique<ServeStatsBlock>(threads);
-  if (options.cache_bytes > 0) {
-    engine.cache_ = std::make_unique<ResultCache>(options.cache_bytes);
-    engine.cache_->Rebind(known_fingerprint.has_value()
-                              ? *known_fingerprint
-                              : engine.ContentFingerprint());
+  if (options.shared_cache || options.cache_bytes > 0) {
+    engine.cache_fingerprint_ = known_fingerprint.has_value()
+                                    ? *known_fingerprint
+                                    : engine.ContentFingerprint();
+    if (options.shared_cache) {
+      engine.cache_ = options.shared_cache;
+    } else {
+      engine.cache_ = std::make_shared<ResultCache>(options.cache_bytes);
+      engine.cache_->Rebind(engine.cache_fingerprint_);
+    }
   }
   return engine;
 }
@@ -264,7 +269,7 @@ Distance ShardedQueryEngine::QueryNoStats(Vertex s, Vertex t,
   if (s >= num_vertices_ || t >= num_vertices_) return kInfDistance;
   if (s == t) return 0;
   if (cache_) {
-    return cache_->GetOrCompute(s, t, w, [&] {
+    return cache_->GetOrCompute(s, t, w, cache_fingerprint_, [&] {
       return QueryFlatMergeWithInterval(ViewOf(s), ViewOf(t), w);
     });
   }

@@ -144,6 +144,9 @@ class ShardedQueryEngine {
   /// The result cache, or null when options.cache_bytes == 0.
   const ResultCache* cache() const { return cache_.get(); }
 
+  /// The stitched index's content fingerprint when caching, 0 otherwise.
+  uint64_t cache_fingerprint() const { return cache_fingerprint_; }
+
   /// Per-shard ranges and label mass, in tiling order. What the wire
   /// Stats frame reports as shard balance.
   std::vector<ShardBalanceEntry> ShardBalance() const;
@@ -197,7 +200,8 @@ class ShardedQueryEngine {
   QueryEngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<ServeStatsBlock> stats_;
-  std::unique_ptr<ResultCache> cache_;  // null when caching is off
+  std::shared_ptr<ResultCache> cache_;  // null when caching is off
+  uint64_t cache_fingerprint_ = 0;
 };
 
 }  // namespace wcsd

@@ -1,0 +1,129 @@
+// The on-disk delta log (labeling/delta.h): round trip, header and batch
+// CRC validation, and clean Corruption errors on malformed input — the
+// same contract the snapshot and manifest formats pin.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "labeling/delta.h"
+
+namespace wcsd {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+DeltaLog MakeLog() {
+  DeltaLog log;
+  log.base_fingerprint = 0xabcdef0123456789ull;
+  DeltaBatch batch;
+  batch.records.push_back(
+      {static_cast<uint8_t>(DeltaOp::kInsert), {}, 1, 42, 3.0f, 0.0f});
+  batch.records.push_back(
+      {static_cast<uint8_t>(DeltaOp::kUpgrade), {}, 2, 7, 4.0f, 2.0f});
+  log.batches.push_back(batch);
+  DeltaBatch second;
+  second.records.push_back(
+      {static_cast<uint8_t>(DeltaOp::kDelete), {}, 3, 9, 1.0f, 0.0f});
+  log.batches.push_back(second);
+  return log;
+}
+
+std::string ReadBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(DeltaFormat, RoundTripPreservesEverything) {
+  std::string path = TempPath("roundtrip.wcdelta");
+  DeltaLog log = MakeLog();
+  ASSERT_TRUE(WriteDeltaLog(path, log).ok());
+  auto read = ReadDeltaLog(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().base_fingerprint, log.base_fingerprint);
+  ASSERT_EQ(read.value().batches.size(), 2u);
+  EXPECT_EQ(read.value().TotalRecords(), 3u);
+  EXPECT_TRUE(read.value().HasDelete());
+  const DeltaRecord& r = read.value().batches[0].records[1];
+  EXPECT_EQ(r.op, static_cast<uint8_t>(DeltaOp::kUpgrade));
+  EXPECT_EQ(r.u, 2u);
+  EXPECT_EQ(r.v, 7u);
+  EXPECT_EQ(r.quality, 4.0f);
+  EXPECT_EQ(r.old_quality, 2.0f);
+  std::remove(path.c_str());
+}
+
+TEST(DeltaFormat, ImpactsFollowTheWindowRule) {
+  DeltaLog log = MakeLog();
+  std::vector<DeltaImpact> impacts = DeltaImpacts(log);
+  ASSERT_EQ(impacts.size(), 3u);
+  // Insert and delete reach down to -inf; upgrade spans (q_old, q_new].
+  EXPECT_EQ(impacts[0].q_lo, -kInfQuality);
+  EXPECT_EQ(impacts[0].q_hi, 3.0f);
+  EXPECT_EQ(impacts[1].q_lo, 2.0f);
+  EXPECT_EQ(impacts[1].q_hi, 4.0f);
+  EXPECT_EQ(impacts[2].q_lo, -kInfQuality);
+  EXPECT_EQ(impacts[2].q_hi, 1.0f);
+}
+
+TEST(DeltaFormat, RejectsCorruptInput) {
+  std::string path = TempPath("corrupt.wcdelta");
+  ASSERT_TRUE(WriteDeltaLog(path, MakeLog()).ok());
+  const std::string good = ReadBytes(path);
+
+  // Truncated anywhere: header, batch header, or mid-record.
+  for (size_t cut : {size_t{4}, size_t{31}, good.size() - 5}) {
+    WriteBytes(path, good.substr(0, cut));
+    EXPECT_FALSE(ReadDeltaLog(path).ok()) << "cut=" << cut;
+  }
+
+  // Trailing garbage is not silently ignored.
+  WriteBytes(path, good + "xx");
+  EXPECT_FALSE(ReadDeltaLog(path).ok());
+
+  // A flipped payload byte trips the batch CRC.
+  std::string flipped = good;
+  flipped[flipped.size() - 3] ^= 0x40;
+  WriteBytes(path, flipped);
+  EXPECT_FALSE(ReadDeltaLog(path).ok());
+
+  // Bad magic is rejected before anything else is trusted.
+  std::string bad_magic = good;
+  bad_magic[0] ^= 0xff;
+  WriteBytes(path, bad_magic);
+  EXPECT_FALSE(ReadDeltaLog(path).ok());
+
+  std::remove(path.c_str());
+}
+
+TEST(DeltaFormat, RejectsSelfLoopsAndUnknownOps) {
+  std::string path = TempPath("invalid.wcdelta");
+  DeltaLog self_loop;
+  DeltaBatch batch;
+  batch.records.push_back(
+      {static_cast<uint8_t>(DeltaOp::kInsert), {}, 5, 5, 1.0f, 0.0f});
+  self_loop.batches.push_back(batch);
+  EXPECT_FALSE(WriteDeltaLog(path, self_loop).ok() &&
+               ReadDeltaLog(path).ok());
+
+  DeltaLog bad_op;
+  DeltaBatch batch2;
+  batch2.records.push_back({uint8_t{99}, {}, 1, 2, 1.0f, 0.0f});
+  bad_op.batches.push_back(batch2);
+  EXPECT_FALSE(WriteDeltaLog(path, bad_op).ok() &&
+               ReadDeltaLog(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wcsd

@@ -32,8 +32,10 @@
 #include <vector>
 
 #include "core/batch.h"
+#include "core/dynamic_wc_index.h"
 #include "core/wc_index.h"
 #include "graph/builder.h"
+#include "labeling/delta.h"
 #include "graph/generators.h"
 #include "labeling/shard_manifest.h"
 #include "labeling/shard_plan.h"
@@ -320,6 +322,129 @@ TEST(DifferentialFuzz, AllAnswerPathsAgree) {
     }
   }
   EXPECT_GE(cases, 1000u);
+}
+
+// Live-update differential fuzz (ISSUE 7): random insert / delete /
+// upgrade sequences on a DynamicWcIndex must stay bit-identical AT EVERY
+// STEP to a fresh WcIndex built on the materialized graph — across all
+// four QueryImpls and both label backends. The recorded sequence is then
+// round-tripped through the on-disk delta log and replayed onto an
+// adopted copy of the ORIGINAL index (the offline `wcsd_cli update`
+// path), which must land on the same answers as the always-live index.
+TEST(DifferentialFuzz, LiveUpdateMatchesFreshRebuild) {
+  constexpr size_t kN = 30;
+  constexpr int kLevels = 5;
+  constexpr int kSteps = 12;
+  constexpr size_t kTriples = 20;
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    QualityModel quality;
+    quality.num_levels = kLevels;
+    QualityGraph initial = GenerateRandomConnected(kN, 50, quality, seed);
+    WcIndexOptions options = WcIndexOptions::Plus();
+    DynamicWcIndex live(initial, options);
+    DeltaLog log;
+    Rng rng(seed ^ 0xdeadu);
+
+    auto pick_edge = [&](const QualityGraph& g) {
+      for (;;) {
+        Vertex u = static_cast<Vertex>(rng.NextBounded(kN));
+        if (g.Degree(u) == 0) continue;
+        const auto neighbors = g.Neighbors(u);
+        return std::make_pair(
+            u, neighbors[rng.NextBounded(neighbors.size())]);
+      }
+    };
+
+    for (int step = 0; step < kSteps; ++step) {
+      QualityGraph before = live.Snapshot();
+      DeltaBatch batch;
+      const int kind = static_cast<int>(rng.NextBounded(3));
+      if (kind == 0) {  // insert (may upgrade a parallel edge: same path)
+        Vertex u = static_cast<Vertex>(rng.NextBounded(kN));
+        Vertex v = static_cast<Vertex>((u + 1 + rng.NextBounded(kN - 1)) %
+                                       kN);
+        Quality q = static_cast<Quality>(rng.NextInRange(1, kLevels));
+        live.InsertEdge(u, v, q);
+        batch.records.push_back(
+            {static_cast<uint8_t>(DeltaOp::kInsert), {}, u, v, q, 0.0f});
+      } else if (kind == 1) {  // delete an existing edge
+        auto [u, arc] = pick_edge(before);
+        live.DeleteEdge(u, arc.to);
+        batch.records.push_back({static_cast<uint8_t>(DeltaOp::kDelete),
+                                 {},
+                                 u,
+                                 arc.to,
+                                 arc.quality,
+                                 0.0f});
+      } else {  // upgrade an existing upgradable edge (else fall back)
+        bool upgraded = false;
+        for (int tries = 0; tries < 32 && !upgraded; ++tries) {
+          auto [u, arc] = pick_edge(before);
+          if (arc.quality < static_cast<Quality>(kLevels)) {
+            Quality q_new = arc.quality + 1.0f;
+            live.InsertEdge(u, arc.to, q_new);
+            batch.records.push_back(
+                {static_cast<uint8_t>(DeltaOp::kUpgrade),
+                 {},
+                 u,
+                 arc.to,
+                 q_new,
+                 arc.quality});
+            upgraded = true;
+          }
+        }
+        if (!upgraded) continue;
+      }
+      log.batches.push_back(std::move(batch));
+
+      // Bit-identical at this step: fresh build on the materialized
+      // graph, all four impls, both backends.
+      QualityGraph current = live.Snapshot();
+      WcIndex fresh = WcIndex::Build(current, options);
+      WcIndex flat = fresh;
+      flat.Finalize();
+      Rng probe(seed * 1000 + static_cast<uint64_t>(step));
+      for (size_t qi = 0; qi < kTriples; ++qi) {
+        Vertex s = static_cast<Vertex>(probe.NextBounded(kN));
+        Vertex t = static_cast<Vertex>(probe.NextBounded(kN));
+        Quality w = static_cast<Quality>(probe.NextInRange(1, kLevels));
+        const Distance expected = live.Query(s, t, w);
+        ASSERT_EQ(expected, ConstrainedDijkstraUnit(current, s, t, w))
+            << "seed=" << seed << " step=" << step << " " << s << "->" << t
+            << " w=" << w;
+        for (QueryImpl impl : {QueryImpl::kScan, QueryImpl::kHubGrouped,
+                               QueryImpl::kBinary, QueryImpl::kMerge}) {
+          ASSERT_EQ(fresh.Query(s, t, w, impl), expected)
+              << "seed=" << seed << " step=" << step;
+          ASSERT_EQ(flat.Query(s, t, w, impl), expected)
+              << "seed=" << seed << " step=" << step;
+        }
+      }
+    }
+
+    // Offline replay: write the recorded log to disk, read it back, adopt
+    // the original index, Apply — answers must match the live index.
+    std::string delta_path = testing::TempDir() + "/fuzz_live_" +
+                             std::to_string(seed) + ".wcdelta";
+    ASSERT_TRUE(WriteDeltaLog(delta_path, log).ok());
+    auto reread = ReadDeltaLog(delta_path);
+    ASSERT_TRUE(reread.ok()) << reread.status().ToString();
+    std::remove(delta_path.c_str());
+
+    WcIndex base = WcIndex::Build(initial, options);
+    DynamicWcIndex replayed(initial, base.order(), base.labels(), options);
+    replayed.Apply(reread.value());
+    QualityGraph final_graph = live.Snapshot();
+    ASSERT_EQ(replayed.Snapshot(), final_graph) << "seed=" << seed;
+    Rng probe(seed * 7919);
+    for (size_t qi = 0; qi < 2 * kTriples; ++qi) {
+      Vertex s = static_cast<Vertex>(probe.NextBounded(kN));
+      Vertex t = static_cast<Vertex>(probe.NextBounded(kN));
+      Quality w = static_cast<Quality>(probe.NextInRange(1, kLevels));
+      ASSERT_EQ(replayed.Query(s, t, w), live.Query(s, t, w))
+          << "seed=" << seed << " " << s << "->" << t << " w=" << w;
+    }
+  }
 }
 
 }  // namespace

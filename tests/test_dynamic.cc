@@ -153,6 +153,163 @@ TEST(DynamicTest, BatchInsertLargeBatchRebuilds) {
   ExpectMatchesOracle(index, 4, 31);
 }
 
+// ------------------------------------------------------------ metamorphic
+//
+// Properties that must hold for ANY update, checked over the full
+// (s, t, w) grid — no oracle needed, so these catch bugs the differential
+// tests can only catch if the oracle disagrees:
+//   * inserting an edge never lengthens any answer, and answers under a
+//     constraint stricter than the new edge's quality are untouched;
+//   * deleting an edge never shortens any answer, and answers under a
+//     constraint stricter than the deleted quality are untouched;
+//   * upgrading an edge from q_old to q_new only affects constraints in
+//     (q_old, q_new] — and there it can only shorten.
+
+std::vector<Distance> AnswerGrid(const DynamicWcIndex& index, size_t n,
+                                 int levels) {
+  std::vector<Distance> grid;
+  grid.reserve(n * n * static_cast<size_t>(levels));
+  for (Vertex s = 0; s < static_cast<Vertex>(n); ++s) {
+    for (Vertex t = 0; t < static_cast<Vertex>(n); ++t) {
+      for (int w = 1; w <= levels; ++w) {
+        grid.push_back(index.Query(s, t, static_cast<Quality>(w)));
+      }
+    }
+  }
+  return grid;
+}
+
+void CheckInsertNeverLengthens(QualityGraph g, int levels, Vertex u, Vertex v,
+                               Quality q) {
+  const size_t n = g.NumVertices();
+  DynamicWcIndex index(std::move(g));
+  std::vector<Distance> before = AnswerGrid(index, n, levels);
+  index.InsertEdge(u, v, q);
+  std::vector<Distance> after = AnswerGrid(index, n, levels);
+  size_t i = 0;
+  for (Vertex s = 0; s < static_cast<Vertex>(n); ++s) {
+    for (Vertex t = 0; t < static_cast<Vertex>(n); ++t) {
+      for (int w = 1; w <= levels; ++w, ++i) {
+        ASSERT_LE(after[i], before[i])
+            << "insert lengthened " << s << "->" << t << " w=" << w;
+        if (static_cast<Quality>(w) > q) {
+          ASSERT_EQ(after[i], before[i])
+              << "insert of quality " << q << " changed the w=" << w
+              << " answer for " << s << "->" << t;
+        }
+      }
+    }
+  }
+}
+
+void CheckDeleteNeverShortens(QualityGraph g, int levels, Vertex u,
+                              Vertex v) {
+  const size_t n = g.NumVertices();
+  const Quality q_deleted = g.EdgeQuality(u, v);
+  ASSERT_GT(q_deleted, 0.0f) << "fixture must delete an existing edge";
+  DynamicWcIndex index(std::move(g));
+  std::vector<Distance> before = AnswerGrid(index, n, levels);
+  index.DeleteEdge(u, v);
+  std::vector<Distance> after = AnswerGrid(index, n, levels);
+  size_t i = 0;
+  for (Vertex s = 0; s < static_cast<Vertex>(n); ++s) {
+    for (Vertex t = 0; t < static_cast<Vertex>(n); ++t) {
+      for (int w = 1; w <= levels; ++w, ++i) {
+        ASSERT_GE(after[i], before[i])
+            << "delete shortened " << s << "->" << t << " w=" << w;
+        if (static_cast<Quality>(w) > q_deleted) {
+          ASSERT_EQ(after[i], before[i])
+              << "delete of quality " << q_deleted << " changed the w=" << w
+              << " answer for " << s << "->" << t;
+        }
+      }
+    }
+  }
+}
+
+void CheckUpgradeOnlyAffectsWindow(QualityGraph g, int levels, Vertex u,
+                                   Vertex v, Quality q_new) {
+  const size_t n = g.NumVertices();
+  const Quality q_old = g.EdgeQuality(u, v);
+  ASSERT_GT(q_old, 0.0f) << "fixture must upgrade an existing edge";
+  ASSERT_LT(q_old, q_new);
+  DynamicWcIndex index(std::move(g));
+  std::vector<Distance> before = AnswerGrid(index, n, levels);
+  index.InsertEdge(u, v, q_new);  // Parallel-edge max-quality = upgrade.
+  std::vector<Distance> after = AnswerGrid(index, n, levels);
+  size_t i = 0;
+  for (Vertex s = 0; s < static_cast<Vertex>(n); ++s) {
+    for (Vertex t = 0; t < static_cast<Vertex>(n); ++t) {
+      for (int w = 1; w <= levels; ++w, ++i) {
+        const Quality wq = static_cast<Quality>(w);
+        if (wq <= q_old || wq > q_new) {
+          ASSERT_EQ(after[i], before[i])
+              << "upgrade " << q_old << "->" << q_new << " changed the w="
+              << w << " answer for " << s << "->" << t
+              << " outside its impact window";
+        } else {
+          ASSERT_LE(after[i], before[i])
+              << "upgrade lengthened " << s << "->" << t << " w=" << w;
+        }
+      }
+    }
+  }
+}
+
+// Picks a random existing edge of the graph.
+std::pair<Vertex, Vertex> PickEdge(const QualityGraph& g, Rng& rng) {
+  const size_t n = g.NumVertices();
+  for (;;) {
+    Vertex u = static_cast<Vertex>(rng.NextBounded(n));
+    if (g.Degree(u) == 0) continue;
+    const auto neighbors = g.Neighbors(u);
+    Vertex v = neighbors[rng.NextBounded(neighbors.size())].to;
+    return {u, v};
+  }
+}
+
+TEST(DynamicMetamorphic, InsertNeverLengthensFigure3) {
+  CheckInsertNeverLengthens(MakeFigure3Graph(), 6, 0, 5, 4.0f);
+  CheckInsertNeverLengthens(MakeFigure3Graph(), 6, 2, 4, 2.0f);
+}
+
+TEST(DynamicMetamorphic, DeleteNeverShortensFigure3) {
+  CheckDeleteNeverShortens(MakeFigure3Graph(), 6, 3, 4);
+  CheckDeleteNeverShortens(MakeFigure3Graph(), 6, 0, 1);
+}
+
+TEST(DynamicMetamorphic, UpgradeOnlyAffectsWindowFigure3) {
+  CheckUpgradeOnlyAffectsWindow(MakeFigure3Graph(), 6, 0, 3, 5.0f);
+  CheckUpgradeOnlyAffectsWindow(MakeFigure3Graph(), 6, 3, 5, 4.0f);
+}
+
+TEST(DynamicMetamorphic, RandomGraphSweep) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    QualityModel quality;
+    quality.num_levels = 5;
+    QualityGraph g = GenerateRandomConnected(24, 48, quality, seed);
+    Rng rng(seed * 77);
+
+    Vertex u = static_cast<Vertex>(rng.NextBounded(24));
+    Vertex v = static_cast<Vertex>((u + 1 + rng.NextBounded(23)) % 24);
+    CheckInsertNeverLengthens(g, 5, u, v,
+                              static_cast<Quality>(rng.NextInRange(1, 5)));
+
+    auto [du, dv] = PickEdge(g, rng);
+    CheckDeleteNeverShortens(g, 5, du, dv);
+
+    // Find an edge with upgradable quality for the window check.
+    for (int tries = 0; tries < 64; ++tries) {
+      auto [eu, ev] = PickEdge(g, rng);
+      Quality q_old = g.EdgeQuality(eu, ev);
+      if (q_old < 5.0f) {
+        CheckUpgradeOnlyAffectsWindow(g, 5, eu, ev, 5.0f);
+        break;
+      }
+    }
+  }
+}
+
 TEST(DynamicTest, InsertBridgesComponents) {
   GraphBuilder b(6);
   b.AddEdge(0, 1, 3.0f);

@@ -693,6 +693,8 @@ TEST(WireGolden, GoldenRepliesDecodeToPaperAnswers) {
   EXPECT_EQ(stats.overload_rejections, 0u);
   EXPECT_EQ(stats.deadline_rejections, 0u);
   EXPECT_EQ(stats.shard_unavailable, 0u);
+  // v5: the golden server is not swappable, so its generation is 0.
+  EXPECT_EQ(stats.generation, 0u);
   EXPECT_EQ(stats.draining, 0u);
   EXPECT_EQ(health.draining, 0u);
   EXPECT_EQ(at, golden.size());

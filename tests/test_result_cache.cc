@@ -14,8 +14,10 @@
 #include <vector>
 
 #include "core/batch.h"
+#include "core/dynamic_wc_index.h"
 #include "core/wc_index.h"
 #include "graph/generators.h"
+#include "labeling/delta.h"
 #include "labeling/shard_manifest.h"
 #include "labeling/snapshot.h"
 #include "serve/query_engine.h"
@@ -110,6 +112,89 @@ TEST(ResultCache, RebindInvalidatesWholesale) {
   cache.Rebind(2);  // new snapshot identity: wiped
   EXPECT_EQ(cache.fingerprint(), 2u);
   EXPECT_FALSE(cache.Lookup(3, 7, 2.0f, &d));
+}
+
+// ------------------------------------------------- scoped invalidation
+//
+// InvalidateDelta must drop exactly the entries a delta could have
+// changed: intervals whose constraint range overlaps the delta's impact
+// window, optionally narrowed further by the coupled-reachability probe.
+// Entries it keeps must keep HITTING (the counters prove retention).
+
+TEST(ResultCache, InvalidateDeltaQualityScope) {
+  ResultCache cache(1 << 20);
+  cache.Rebind(1);
+  Distance d = 0;
+  // Pair (3, 7): one interval strictly above the impact window, one
+  // overlapping it. Pair (4, 9): entirely above the window.
+  cache.Insert(3, 7, MakeInterval(5, 3.0f, 5.0f));
+  cache.Insert(3, 7, MakeInterval(2, 1.0f, 2.5f));
+  cache.Insert(4, 9, MakeInterval(7, 4.0f, kInfQuality));
+
+  // A delta touching edge {100, 101} with qualities up to 2: only
+  // constraints w <= 2 can change.
+  DeltaImpact impact{100, 101, -kInfQuality, 2.0f};
+  size_t dropped = cache.InvalidateDelta(2, {&impact, 1});
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(cache.fingerprint(), 2u);
+
+  // The overlapping interval is gone; the out-of-window intervals hit.
+  EXPECT_FALSE(cache.Lookup(3, 7, 2.0f, &d));
+  EXPECT_TRUE(cache.Lookup(3, 7, 4.0f, &d));
+  EXPECT_EQ(d, 5u);
+  EXPECT_TRUE(cache.Lookup(4, 9, 10.0f, &d));
+  EXPECT_EQ(d, 7u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+
+  // An upgrade q_old -> q_new only touches (q_old, q_new]: an interval
+  // wholly below the window survives, while the two intervals straddling
+  // it ((3,7)[3,5] and (4,9)[4,inf]) are dropped.
+  cache.Insert(5, 6, MakeInterval(3, 1.0f, 2.0f));
+  DeltaImpact upgrade{100, 101, 3.0f, 4.0f};
+  EXPECT_EQ(cache.InvalidateDelta(3, {&upgrade, 1}), 2u);
+  EXPECT_TRUE(cache.Lookup(5, 6, 1.5f, &d));
+  EXPECT_FALSE(cache.Lookup(3, 7, 4.0f, &d));
+}
+
+TEST(ResultCache, InvalidateDeltaCoupledScope) {
+  ResultCache cache(1 << 20);
+  cache.Rebind(1);
+  Distance d = 0;
+  cache.Insert(3, 7, MakeInterval(5, 1.0f, 3.0f));
+  cache.Insert(4, 9, MakeInterval(6, 1.0f, 3.0f));
+
+  // Both intervals overlap the impact window, but the coupled probe says
+  // only pair (3, 7) can reach the changed edge from both sides. Keys are
+  // normalized s <= t, so the probe sees the normalized pair.
+  DeltaImpact impact{100, 101, -kInfQuality, 5.0f};
+  size_t dropped = cache.InvalidateDelta(
+      2, {&impact, 1},
+      [](Vertex s, Vertex t, const DeltaImpact& im, Quality w_test) {
+        EXPECT_EQ(im.u, 100u);
+        EXPECT_GE(w_test, 1.0f);  // max(iv.w_lo, im.q_lo)
+        return s == 3 && t == 7;
+      });
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_FALSE(cache.Lookup(3, 7, 2.0f, &d));
+  EXPECT_TRUE(cache.Lookup(4, 9, 2.0f, &d));
+  EXPECT_EQ(d, 6u);
+}
+
+TEST(ResultCache, InsertBoundDropsStaleGenerations) {
+  ResultCache cache(1 << 20);
+  cache.Rebind(7);
+  Distance d = 0;
+
+  // An insert bound to a stale fingerprint is dropped silently — this is
+  // the race where an old-generation engine finishes a query after the
+  // cache moved on.
+  cache.InsertBound(3, 7, MakeInterval(5, 1.0f, 3.0f), /*expected=*/6);
+  EXPECT_FALSE(cache.Lookup(3, 7, 2.0f, &d));
+
+  // Bound to the live fingerprint it lands.
+  cache.InsertBound(3, 7, MakeInterval(5, 1.0f, 3.0f), /*expected=*/7);
+  EXPECT_TRUE(cache.Lookup(3, 7, 2.0f, &d));
+  EXPECT_EQ(d, 5u);
 }
 
 TEST(ResultCache, TinyBudgetReplacesInsteadOfGrowing) {
@@ -337,6 +422,75 @@ TEST(ResultCache, ConcurrentCachedBatchesStayCorrect) {
   for (std::thread& t : callers) t.join();
   EXPECT_EQ(mismatches.load(), 0u);
   EXPECT_GT(cached.stats().cache_hits, 0u);
+}
+
+// The full live-update handoff: one shared cache is filled by generation
+// A, delta-invalidated with the coupled probe against A's index, and then
+// serves generation B — bit-identical to an uncached B engine, with
+// surviving entries still hitting (retention is the point of scoped
+// invalidation; wholesale Rebind would start cold).
+TEST(ResultCache, CachedEngineAcrossSwapBitIdentical) {
+  QualityGraph g = MakeCacheGraph(314);
+  WcIndex index_a = WcIndex::Build(g, WcIndexOptions::Plus());
+  index_a.Finalize();
+  auto shared_a = std::make_shared<const WcIndex>(std::move(index_a));
+  const size_t n = shared_a->NumVertices();
+
+  // Generation B: upgrade one existing edge — a tight impact window, so
+  // most cached intervals survive the scoped invalidation.
+  const Vertex eu = 0;
+  const Vertex ev = g.Neighbors(0)[0].to;
+  const Quality q_old = g.EdgeQuality(eu, ev);
+  const Quality q_new = 5.0f;
+  ASSERT_LT(q_old, q_new);
+  DynamicWcIndex dyn(g);
+  dyn.InsertEdge(eu, ev, q_new);
+  WcIndex index_b =
+      WcIndex::Build(dyn.Snapshot(), WcIndexOptions::Plus());
+  index_b.Finalize();
+  auto shared_b = std::make_shared<const WcIndex>(std::move(index_b));
+
+  auto cache = std::make_shared<ResultCache>(1 << 20);
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.shared_cache = cache;
+  QueryEngine engine_a(shared_a, options);
+  QueryEngine engine_b(shared_b, options);
+  ASSERT_NE(engine_a.cache_fingerprint(), engine_b.cache_fingerprint());
+  cache->Rebind(engine_a.cache_fingerprint());
+
+  // Fill the cache through generation A.
+  auto queries = MakeCacheWorkload(n, 400, 777);
+  for (const BatchQueryInput& q : queries) engine_a.Query(q.s, q.t, q.w);
+  ASSERT_GT(cache->stats().inserts, 0u);
+
+  // Scoped invalidation with the coupled probe against A's index — the
+  // exact recipe `wcsd_cli serve --watch` runs before swapping.
+  DeltaImpact impact{eu, ev, q_old, q_new};
+  const WcIndex& old_index = *shared_a;
+  size_t dropped = cache->InvalidateDelta(
+      engine_b.cache_fingerprint(), {&impact, 1},
+      [&old_index](Vertex s, Vertex t, const DeltaImpact& im,
+                   Quality w_test) {
+        return (old_index.Query(s, im.u, w_test) != kInfDistance &&
+                old_index.Query(im.v, t, w_test) != kInfDistance) ||
+               (old_index.Query(s, im.v, w_test) != kInfDistance &&
+                old_index.Query(im.u, t, w_test) != kInfDistance);
+      });
+
+  // Generation B through the retained cache must be bit-identical to an
+  // uncached engine over B.
+  QueryEngineOptions plain_options;
+  plain_options.num_threads = 1;
+  QueryEngine plain_b(shared_b, plain_options);
+  ResultCacheStats before = cache->stats();
+  for (const BatchQueryInput& q : queries) {
+    ASSERT_EQ(engine_b.Query(q.s, q.t, q.w), plain_b.Query(q.s, q.t, q.w))
+        << "s=" << q.s << " t=" << q.t << " w=" << q.w
+        << " (dropped=" << dropped << ")";
+  }
+  // Retention: the replay hit entries that survived the invalidation.
+  EXPECT_GT(cache->stats().hits, before.hits);
 }
 
 }  // namespace

@@ -1,0 +1,275 @@
+// Swap-under-load hammer: N threads query a SwappableQueryService while
+// another thread hot-swaps the serving engine in a tight loop. The contract
+// under test (ISSUE 7 tentpole): zero dropped or failed queries, every
+// answer bit-identical to one of the two engine generations, and the
+// generation counter monotone — in-process and over the wire. These tests
+// are the TSan/ASan targets for the RCU-style swap path and the
+// fingerprint-bound result-cache handoff.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/dynamic_wc_index.h"
+#include "core/wc_index.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "gtest/gtest.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/swap_service.h"
+#include "serve/query_engine.h"
+#include "serve/result_cache.h"
+#include "util/random.h"
+
+namespace wcsd {
+namespace {
+
+// Two index generations over the same vertex set: B is A plus one extra
+// edge, so some (but not all) answers differ between them.
+struct SwapFixture {
+  std::shared_ptr<const WcIndex> index_a;
+  std::shared_ptr<const WcIndex> index_b;
+  std::vector<BatchQueryInput> workload;
+  std::vector<Distance> expected_a;
+  std::vector<Distance> expected_b;
+};
+
+SwapFixture MakeSwapFixture(size_t n, size_t m, size_t num_queries,
+                            uint64_t seed) {
+  SwapFixture f;
+  QualityModel quality;
+  quality.num_levels = 5;
+  QualityGraph g = GenerateRandomConnected(n, m, quality, seed);
+
+  WcIndex built_a = WcIndex::Build(g, WcIndexOptions::Plus());
+  built_a.Finalize();
+  f.index_a = std::make_shared<const WcIndex>(std::move(built_a));
+
+  // Generation B: insert a high-quality shortcut edge between two vertices
+  // the generator left far apart, so plenty of workload answers change.
+  DynamicWcIndex dyn(g, WcIndexOptions::Plus());
+  Vertex u = 0;
+  Vertex v = static_cast<Vertex>(n - 1);
+  dyn.InsertEdge(u, v, static_cast<Quality>(quality.num_levels));
+  WcIndex built_b = WcIndex::Build(dyn.Snapshot(), WcIndexOptions::Plus());
+  built_b.Finalize();
+  f.index_b = std::make_shared<const WcIndex>(std::move(built_b));
+
+  Rng rng(seed ^ 0xabcd);
+  f.workload.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    BatchQueryInput q{static_cast<Vertex>(rng.NextBounded(n)),
+                      static_cast<Vertex>(rng.NextBounded(n)),
+                      static_cast<Quality>(rng.NextInRange(1, 5))};
+    f.workload.push_back(q);
+    f.expected_a.push_back(f.index_a->Query(q.s, q.t, q.w));
+    f.expected_b.push_back(f.index_b->Query(q.s, q.t, q.w));
+  }
+  return f;
+}
+
+std::shared_ptr<const QueryService> ServiceOver(
+    std::shared_ptr<const WcIndex> index, const QueryEngineOptions& options) {
+  return MakeQueryService(
+      std::make_shared<const QueryEngine>(std::move(index), options));
+}
+
+// In-process hammer: every answer must match generation A or generation B,
+// and the generation counter each thread observes must never go backwards.
+TEST(SwapHammer, InProcessAnswersAlwaysFromOneGeneration) {
+  SwapFixture f = MakeSwapFixture(120, 320, 200, 1217);
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  auto service_a = ServiceOver(f.index_a, options);
+  auto service_b = ServiceOver(f.index_b, options);
+
+  auto swappable = std::make_shared<SwappableQueryService>(service_a);
+  EXPECT_EQ(swappable->generation(), 1u);
+
+  constexpr int kQueryThreads = 4;
+  constexpr int kSwaps = 300;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> generation_regressions{0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(kQueryThreads);
+  for (int w = 0; w < kQueryThreads; ++w) {
+    workers.emplace_back([&, w] {
+      Rng rng(0x5eed + static_cast<uint64_t>(w));
+      uint64_t last_generation = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        size_t i = rng.NextBounded(f.workload.size());
+        const BatchQueryInput& q = f.workload[i];
+        Distance d = swappable->Query(q.s, q.t, q.w);
+        if (d != f.expected_a[i] && d != f.expected_b[i]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        uint64_t generation = swappable->Stats().generation;
+        if (generation < last_generation) {
+          generation_regressions.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_generation = generation;
+      }
+    });
+  }
+
+  for (int s = 0; s < kSwaps; ++s) {
+    swappable->Swap((s % 2 == 0) ? service_b : service_a);
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : workers) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(generation_regressions.load(), 0u);
+  EXPECT_EQ(swappable->generation(), 1u + kSwaps);
+}
+
+// Wire hammer: the same contract holds end to end through WcServer —
+// no connection ever drops mid-swap, answers stay within {A, B}, and the
+// kStatsReply generation is monotone per connection.
+TEST(SwapHammer, WireServerSurvivesSwapsWithoutDrops) {
+  SwapFixture f = MakeSwapFixture(80, 200, 120, 4119);
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  auto service_a = ServiceOver(f.index_a, options);
+  auto service_b = ServiceOver(f.index_b, options);
+
+  auto swappable = std::make_shared<SwappableQueryService>(service_a);
+  auto server = WcServer::Start(swappable, WcServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  // Exact wire semantics before the storm: a fresh swappable service
+  // reports generation 1, and one swap bumps it to 2.
+  {
+    auto client = WcClient::Connect("127.0.0.1", server.value().port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    auto stats = client.value().Stats();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats.value().generation, 1u);
+    EXPECT_EQ(swappable->Swap(service_b), 2u);
+    stats = client.value().Stats();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats.value().generation, 2u);
+  }
+
+  constexpr int kClientThreads = 3;
+  constexpr int kSwaps = 150;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> failures{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> generation_regressions{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClientThreads);
+  for (int c = 0; c < kClientThreads; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = WcClient::Connect("127.0.0.1", server.value().port());
+      if (!client.ok()) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      Rng rng(0xc11e + static_cast<uint64_t>(c));
+      uint64_t last_generation = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        size_t i = rng.NextBounded(f.workload.size());
+        const BatchQueryInput& q = f.workload[i];
+        auto d = client.value().Query(q.s, q.t, q.w);
+        if (!d.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        if (d.value() != f.expected_a[i] && d.value() != f.expected_b[i]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        auto stats = client.value().Stats();
+        if (!stats.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        if (stats.value().generation < last_generation) {
+          generation_regressions.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_generation = stats.value().generation;
+      }
+    });
+  }
+
+  for (int s = 0; s < kSwaps; ++s) {
+    swappable->Swap((s % 2 == 0) ? service_a : service_b);
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(generation_regressions.load(), 0u);
+}
+
+// Shared-cache hammer: one ResultCache outlives the generations, engines
+// bind their inserts to their own fingerprint, and the swapper rebinds the
+// cache before each swap. A stale insert racing the rebind must either be
+// swept or dropped — never served to the other generation. Under TSan this
+// exercises the fingerprint-check-after-lock ordering in InsertBound.
+TEST(SwapHammer, SharedCacheStaysCoherentAcrossSwaps) {
+  SwapFixture f = MakeSwapFixture(100, 260, 160, 907);
+  auto cache = std::make_shared<ResultCache>(256 << 10);
+
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.shared_cache = cache;
+  auto engine_a =
+      std::make_shared<const QueryEngine>(f.index_a, options);
+  auto engine_b =
+      std::make_shared<const QueryEngine>(f.index_b, options);
+  ASSERT_NE(engine_a->cache_fingerprint(), engine_b->cache_fingerprint());
+  cache->Rebind(engine_a->cache_fingerprint());
+
+  auto swappable = std::make_shared<SwappableQueryService>(
+      MakeQueryService(engine_a));
+
+  constexpr int kQueryThreads = 4;
+  constexpr int kSwaps = 200;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> mismatches{0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(kQueryThreads);
+  for (int w = 0; w < kQueryThreads; ++w) {
+    workers.emplace_back([&, w] {
+      Rng rng(0xcafe + static_cast<uint64_t>(w));
+      while (!stop.load(std::memory_order_relaxed)) {
+        size_t i = rng.NextBounded(f.workload.size());
+        const BatchQueryInput& q = f.workload[i];
+        Distance d = swappable->Query(q.s, q.t, q.w);
+        if (d != f.expected_a[i] && d != f.expected_b[i]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (int s = 0; s < kSwaps; ++s) {
+    const bool to_b = (s % 2 == 0);
+    // Invalidate first, then swap: the incoming generation must never read
+    // an entry only the outgoing index certified.
+    cache->Rebind(to_b ? engine_b->cache_fingerprint()
+                       : engine_a->cache_fingerprint());
+    swappable->Swap(MakeQueryService(to_b ? engine_b : engine_a));
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : workers) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(swappable->generation(), 1u + kSwaps);
+}
+
+}  // namespace
+}  // namespace wcsd

@@ -34,6 +34,23 @@
 //             <stem>.shard0 .. <stem>.shard{K-1} snapshot files and the
 //             <stem>.manifest shard-set manifest, and print the per-shard
 //             balance plus planned-vs-even byte skew
+//   delta     --out=<file> [--base-snapshot=<snap>]
+//             [--add=u,v,q[;u,v,q...]] [--remove=u,v[,q][;...]]
+//             [--upgrade=u,v,q_old,q_new[;...]]
+//             author a versioned CRC-checksummed delta log
+//             (labeling/delta.h) of edge inserts/deletes/upgrades;
+//             --base-snapshot stamps the log with that snapshot's content
+//             fingerprint so `update` can refuse a mismatched base
+//   update    --snapshot=<in> --graph=<file> --delta=<file> --out=<snap>
+//             [--out-graph=<file>] [--format=edges|dimacs]
+//             [--order=degree|tree|hybrid] [--threads=<n>]
+//             apply a delta log to a snapshot: insert/upgrade-only logs
+//             repair the labels in place (Akiba-style resumed constrained
+//             BFS, core/dynamic_wc_index.h); any delete falls back to one
+//             rebuild. Emits a new snapshot (atomic write; --out may equal
+//             --snapshot) with a new content fingerprint, and --out-graph
+//             writes the updated edge list so graph and snapshot stay
+//             paired for the next update
 //   serve     --snapshot=<file>[,<file>,...] | --manifest=<file>
 //             [--queries=N] [--threads=T] [--cache-mb=M]
 //             [--seed=S] [--levels=L] [--impl=merge|scan|grouped|binary]
@@ -42,6 +59,7 @@
 //             [--idle-timeout-ms=MS] [--header-timeout-ms=MS]
 //             [--request-deadline-ms=MS] [--max-batch=N] [--drain-ms=MS]
 //             [--quarantine [--fallback-graph=<file>]]
+//             [--watch [--delta=<file>]]
 //             mmap the snapshot(s) — several files are stitched as
 //             vertex-range shards, and --manifest opens a whole validated
 //             shard set in one step — and either drive a random local batch
@@ -58,7 +76,16 @@
 //             overload with clean error frames, --drain-ms bounds the
 //             SIGTERM drain, and --quarantine (manifest only) serves a
 //             shard set degraded when some shards are corrupt or missing
-//             (--fallback-graph answers quarantined-range queries online)
+//             (--fallback-graph answers quarantined-range queries online);
+//             --watch (with --listen) hot-reloads the snapshot/manifest on
+//             SIGHUP or file mtime change: in-flight queries finish on the
+//             old index, new requests land on the new one, zero dropped
+//             queries, and the wire Stats generation counter (protocol v5)
+//             bumps on every swap — with --cache-mb one cache is shared
+//             across generations, invalidated scoped-by-delta when --delta
+//             names a log whose base fingerprint matches the outgoing
+//             snapshot (only entries the delta can touch are dropped),
+//             wholesale otherwise
 //
 // Examples:
 //   wcsd_cli generate --out=g.edges --kind=road --n=10000 --levels=5
@@ -68,30 +95,41 @@
 //   wcsd_cli serve --snapshot=g.wcsnap --queries=100000 --threads=4
 //   wcsd_cli shard --index=g.wcx --out=g --shards=4
 //   wcsd_cli serve --manifest=g.manifest --listen=9000
+//   wcsd_cli delta --out=g.delta --base-snapshot=g.wcsnap --add=3,99,4
+//   wcsd_cli update --snapshot=g.wcsnap --graph=g.edges --delta=g.delta \
+//       --out=g.wcsnap --out-graph=g.edges
+//   wcsd_cli serve --snapshot=g.wcsnap --listen=9000 --watch --cache-mb=64
+
+#include <sys/stat.h>
 
 #include <chrono>
 #include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/dynamic_wc_index.h"
 #include "core/path_index.h"
 #include "core/verifier.h"
 #include "core/wc_index.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "labeling/delta.h"
 #include "labeling/label_stats.h"
 #include "labeling/shard_manifest.h"
 #include "labeling/shard_plan.h"
 #include "labeling/snapshot.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "net/swap_service.h"
 #include "serve/query_engine.h"
+#include "serve/result_cache.h"
 #include "serve/sharded_engine.h"
 #include "util/flags.h"
 #include "util/random.h"
@@ -103,7 +141,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: wcsd_cli "
-               "<build|query|stats|verify|generate|snapshot|shard|serve> "
+               "<build|query|stats|verify|generate|snapshot|shard|delta|"
+               "update|serve> "
                "[--flags]\n(see the header of tools/wcsd_cli.cc)\n");
   return 2;
 }
@@ -506,6 +545,230 @@ int CmdShard(const Flags& flags) {
   return 0;
 }
 
+/// Parses a ';'-separated list of ','-separated number tuples, e.g.
+/// "1,2,3.5;4,5,2". Returns false on any malformed field.
+bool ParseTupleList(const std::string& spec,
+                    std::vector<std::vector<double>>* out) {
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t semi = spec.find(';', begin);
+    if (semi == std::string::npos) semi = spec.size();
+    if (semi > begin) {
+      std::vector<double> tuple;
+      size_t field_begin = begin;
+      while (field_begin <= semi) {
+        size_t comma = spec.find(',', field_begin);
+        if (comma == std::string::npos || comma > semi) comma = semi;
+        std::string field = spec.substr(field_begin, comma - field_begin);
+        char* end = nullptr;
+        double value = std::strtod(field.c_str(), &end);
+        if (field.empty() || end == nullptr || *end != '\0') return false;
+        tuple.push_back(value);
+        field_begin = comma + 1;
+        if (comma == semi) break;
+      }
+      out->push_back(std::move(tuple));
+    }
+    begin = semi + 1;
+  }
+  return true;
+}
+
+/// Appends records parsed from one --add/--remove/--upgrade flag value.
+/// `arity_lo`/`arity_hi` bound the accepted tuple sizes.
+bool AppendDeltaRecords(const std::string& spec, DeltaOp op, size_t arity_lo,
+                        size_t arity_hi, const char* flag,
+                        std::vector<DeltaRecord>* records) {
+  std::vector<std::vector<double>> tuples;
+  if (!ParseTupleList(spec, &tuples)) {
+    std::fprintf(stderr, "error: malformed --%s: %s\n", flag, spec.c_str());
+    return false;
+  }
+  for (const auto& tuple : tuples) {
+    if (tuple.size() < arity_lo || tuple.size() > arity_hi ||
+        tuple[0] < 0 || tuple[1] < 0 || tuple[0] != std::floor(tuple[0]) ||
+        tuple[1] != std::floor(tuple[1]) || tuple[0] == tuple[1]) {
+      std::fprintf(stderr, "error: malformed --%s tuple in %s\n", flag,
+                   spec.c_str());
+      return false;
+    }
+    DeltaRecord record;
+    record.op = static_cast<uint8_t>(op);
+    record.u = static_cast<Vertex>(tuple[0]);
+    record.v = static_cast<Vertex>(tuple[1]);
+    switch (op) {
+      case DeltaOp::kInsert:
+        record.quality = static_cast<Quality>(tuple[2]);
+        break;
+      case DeltaOp::kDelete:
+        // Quality optional: without it, scoping degrades to any constraint.
+        record.quality = tuple.size() > 2 ? static_cast<Quality>(tuple[2])
+                                          : kInfQuality;
+        break;
+      case DeltaOp::kUpgrade:
+        record.old_quality = static_cast<Quality>(tuple[2]);
+        record.quality = static_cast<Quality>(tuple[3]);
+        if (record.quality < record.old_quality) {
+          std::fprintf(stderr,
+                       "error: --upgrade wants q_old <= q_new in %s "
+                       "(a downgrade is a delete + insert)\n",
+                       spec.c_str());
+          return false;
+        }
+        break;
+    }
+    records->push_back(record);
+  }
+  return true;
+}
+
+int CmdDelta(const Flags& flags) {
+  std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "error: --out is required\n");
+    return 1;
+  }
+  DeltaLog log;
+  std::string base = flags.GetString("base-snapshot", "");
+  if (!base.empty()) {
+    auto mapped = LoadSnapshotMmap(base);
+    if (!mapped.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   mapped.status().ToString().c_str());
+      return 1;
+    }
+    log.base_fingerprint = IndexContentFingerprint(mapped.value().labels);
+  }
+  DeltaBatch batch;
+  if (!AppendDeltaRecords(flags.GetString("add", ""), DeltaOp::kInsert, 3, 3,
+                          "add", &batch.records) ||
+      !AppendDeltaRecords(flags.GetString("remove", ""), DeltaOp::kDelete, 2,
+                          3, "remove", &batch.records) ||
+      !AppendDeltaRecords(flags.GetString("upgrade", ""), DeltaOp::kUpgrade,
+                          4, 4, "upgrade", &batch.records)) {
+    return 1;
+  }
+  if (batch.records.empty()) {
+    std::fprintf(stderr,
+                 "error: pass at least one --add/--remove/--upgrade\n");
+    return 1;
+  }
+  log.batches.push_back(std::move(batch));
+  Status st = WriteDeltaLog(out, log);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu records%s (base fingerprint %016llx)\n",
+              out.c_str(), log.TotalRecords(),
+              log.HasDelete() ? " (has deletes: update will rebuild)" : "",
+              static_cast<unsigned long long>(log.base_fingerprint));
+  return 0;
+}
+
+int CmdUpdate(const Flags& flags) {
+  std::string snapshot = flags.GetString("snapshot", "");
+  std::string delta_path = flags.GetString("delta", "");
+  std::string out = flags.GetString("out", "");
+  if (snapshot.empty() || delta_path.empty() || out.empty()) {
+    std::fprintf(stderr,
+                 "error: --snapshot, --delta, and --out are required\n");
+    return 1;
+  }
+  auto mapped = LoadSnapshotMmap(snapshot);
+  if (!mapped.ok()) {
+    std::fprintf(stderr, "error: %s\n", mapped.status().ToString().c_str());
+    return 1;
+  }
+  MappedSnapshot& mm = mapped.value();
+  if (!mm.info.IsFullRange() || !mm.info.has_order) {
+    std::fprintf(stderr,
+                 "error: update wants a full snapshot with a stored vertex "
+                 "order (shard files cannot be updated in place)\n");
+    return 1;
+  }
+  auto log = ReadDeltaLog(delta_path);
+  if (!log.ok()) {
+    std::fprintf(stderr, "error: %s\n", log.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t old_fingerprint = IndexContentFingerprint(mm.labels);
+  if (log.value().base_fingerprint != 0 &&
+      log.value().base_fingerprint != old_fingerprint) {
+    std::fprintf(stderr,
+                 "error: delta base fingerprint %016llx does not match "
+                 "snapshot %016llx — wrong snapshot for this log\n",
+                 static_cast<unsigned long long>(
+                     log.value().base_fingerprint),
+                 static_cast<unsigned long long>(old_fingerprint));
+    return 1;
+  }
+  auto graph = LoadGraph(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  if (graph.value().NumVertices() != mm.info.num_vertices_total) {
+    std::fprintf(stderr,
+                 "error: --graph has %zu vertices but the snapshot serves "
+                 "%llu — update wants the exact graph the snapshot was "
+                 "built from\n",
+                 graph.value().NumVertices(),
+                 static_cast<unsigned long long>(
+                     mm.info.num_vertices_total));
+    return 1;
+  }
+  WcIndexOptions options = WcIndexOptions::Plus();
+  std::string order = flags.GetString("order", "hybrid");
+  if (order == "degree") {
+    options.ordering = WcIndexOptions::Ordering::kDegree;
+  } else if (order == "tree") {
+    options.ordering = WcIndexOptions::Ordering::kTreeDecomposition;
+  } else if (order != "hybrid") {
+    std::fprintf(stderr, "error: unknown --order: %s\n", order.c_str());
+    return 1;
+  }
+  int64_t threads = flags.GetInt("threads", 1);
+  if (threads < 0) {
+    std::fprintf(stderr, "error: --threads must be >= 0\n");
+    return 1;
+  }
+  options.num_threads = static_cast<size_t>(threads);
+
+  Timer timer;
+  DynamicWcIndex dyn(graph.value(), VertexOrder(mm.order_by_rank),
+                     mm.labels.ToLabelSet(), options);
+  const bool incremental = dyn.Apply(log.value());
+  std::string out_graph = flags.GetString("out-graph", "");
+  if (!out_graph.empty()) {
+    Status st = WriteEdgeListFile(dyn.Snapshot(), out_graph);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  WcIndex updated = dyn.ReleaseIndex();
+  updated.Finalize();
+  const uint64_t new_fingerprint =
+      IndexContentFingerprint(updated.flat_labels());
+  Status st = updated.SaveSnapshot(out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "applied %zu delta records %s in %.3f s\n"
+      "wrote %s: %zu vertices, %zu entries\n"
+      "fingerprint %016llx -> %016llx\n",
+      log.value().TotalRecords(),
+      incremental ? "incrementally" : "via rebuild (log has deletes)",
+      timer.Seconds(), out.c_str(), updated.NumVertices(),
+      updated.TotalEntries(),
+      static_cast<unsigned long long>(old_fingerprint),
+      static_cast<unsigned long long>(new_fingerprint));
+  return 0;
+}
+
 std::vector<std::string> SplitCommaList(const std::string& list) {
   std::vector<std::string> parts;
   size_t begin = 0;
@@ -523,12 +786,29 @@ volatile std::sig_atomic_t g_signal_received = 0;
 
 void HandleStopSignal(int sig) { g_signal_received = sig; }
 
+/// Set by SIGHUP under `serve --watch`: reload the snapshot and hot-swap.
+volatile std::sig_atomic_t g_reload_requested = 0;
+
+void HandleReloadSignal(int) { g_reload_requested = 1; }
+
+/// Nanosecond mtime of `path`, or -1 when it cannot be stat'ed. A change
+/// (including appearing/disappearing) triggers a --watch reload.
+int64_t FileMtimeNs(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return -1;
+  return static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+         static_cast<int64_t>(st.st_mtim.tv_nsec);
+}
+
 /// `serve --listen`: expose the mapped engine over the wire protocol until
 /// SIGINT (immediate stop), SIGTERM (graceful drain), or --max-seconds
-/// (scripted runs; drains, so in-flight work still finishes).
+/// (scripted runs; drains, so in-flight work still finishes). `on_tick`,
+/// when set, runs every poll interval on this thread — the --watch reload
+/// check hooks in here, off the server's event loop.
 int RunWireServer(std::shared_ptr<const QueryService> service,
                   const Flags& flags, size_t num_vertices,
-                  size_t served_threads) {
+                  size_t served_threads,
+                  const std::function<void()>& on_tick = {}) {
   int64_t port = flags.GetInt("listen", 0);
   if (port < 0 || port > 65535) {
     std::fprintf(stderr, "error: --listen wants a port in [0, 65535]\n");
@@ -569,6 +849,7 @@ int RunWireServer(std::shared_ptr<const QueryService> service,
   while (g_signal_received == 0 &&
          (max_seconds <= 0.0 || timer.Seconds() < max_seconds)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (on_tick) on_tick();
   }
   if (g_signal_received == SIGINT) {
     server.value().Stop();
@@ -592,6 +873,60 @@ int RunWireServer(std::shared_ptr<const QueryService> service,
       static_cast<unsigned long long>(stats.shard_unavailable),
       static_cast<unsigned long long>(stats.timeout_closed));
   return 0;
+}
+
+/// One opened serving generation: the service plus what the serve loop
+/// needs to describe and (under --watch) invalidate-and-swap it.
+struct OpenedService {
+  std::shared_ptr<const QueryService> service;
+  size_t n = 0;
+  size_t served_threads = 1;
+  size_t mapped_files = 0;
+  size_t quarantined = 0;
+  /// Index content fingerprint when caching, 0 otherwise.
+  uint64_t cache_fingerprint = 0;
+  /// Set for single-snapshot engines only: the reachability-coupled cache
+  /// invalidation probes the OLD generation's index through this.
+  std::shared_ptr<const QueryEngine> engine;
+};
+
+/// Opens the serving engine for `serve` (and re-opens it on --watch
+/// reloads): one full snapshot through QueryEngine, anything else through
+/// the sharded engine.
+Result<OpenedService> OpenServeService(const std::vector<std::string>& paths,
+                                       const std::string& manifest,
+                                       bool single_full,
+                                       const QueryEngineOptions& options,
+                                       const SnapshotLoadOptions& load,
+                                       const DegradedOpenOptions& degraded) {
+  OpenedService opened;
+  opened.mapped_files = paths.size();
+  if (single_full) {
+    auto engine = QueryEngine::Open(paths[0], options, load);
+    if (!engine.ok()) return engine.status();
+    auto shared =
+        std::make_shared<const QueryEngine>(std::move(engine).value());
+    opened.n = shared->index().NumVertices();
+    opened.served_threads = shared->num_threads();
+    opened.cache_fingerprint = shared->cache_fingerprint();
+    opened.engine = shared;
+    opened.service = MakeQueryService(std::move(shared));
+  } else {
+    auto engine = manifest.empty()
+                      ? ShardedQueryEngine::OpenMmap(paths, options, load)
+                      : ShardedQueryEngine::OpenManifest(manifest, options,
+                                                         load, degraded);
+    if (!engine.ok()) return engine.status();
+    auto shared = std::make_shared<const ShardedQueryEngine>(
+        std::move(engine).value());
+    opened.n = shared->NumVertices();
+    opened.served_threads = shared->num_threads();
+    opened.mapped_files = shared->num_shards();
+    opened.quarantined = shared->num_quarantined();
+    opened.cache_fingerprint = shared->cache_fingerprint();
+    opened.service = MakeQueryService(std::move(shared));
+  }
+  return opened;
 }
 
 int CmdServe(const Flags& flags) {
@@ -683,62 +1018,129 @@ int CmdServe(const Flags& flags) {
     return 1;
   }
 
-  Timer load_timer;
-  std::shared_ptr<const QueryService> service;
-  size_t n = 0;
-  size_t served_threads = 1;
-  size_t mapped_files = paths.size();
-  size_t quarantined = 0;
-  if (single_full) {
-    auto engine = QueryEngine::Open(paths[0], options, load);
-    if (!engine.ok()) {
-      std::fprintf(stderr, "error: %s\n",
-                   engine.status().ToString().c_str());
-      return 1;
-    }
-    auto shared =
-        std::make_shared<const QueryEngine>(std::move(engine).value());
-    n = shared->index().NumVertices();
-    served_threads = shared->num_threads();
-    service = MakeQueryService(std::move(shared));
-  } else {
-    auto engine = manifest.empty()
-                      ? ShardedQueryEngine::OpenMmap(paths, options, load)
-                      : ShardedQueryEngine::OpenManifest(manifest, options,
-                                                         load, degraded);
-    if (!engine.ok()) {
-      std::fprintf(stderr, "error: %s\n",
-                   engine.status().ToString().c_str());
-      return 1;
-    }
-    auto shared = std::make_shared<const ShardedQueryEngine>(
-        std::move(engine).value());
-    n = shared->NumVertices();
-    served_threads = shared->num_threads();
-    mapped_files = shared->num_shards();
-    quarantined = shared->num_quarantined();
-    service = MakeQueryService(std::move(shared));
+  const bool watch = flags.GetBool("watch", false);
+  if (watch && !flags.Has("listen")) {
+    std::fprintf(stderr, "error: --watch requires --listen\n");
+    return 1;
   }
+  // Under --watch, one cache outlives engine generations so small updates
+  // keep the hot set warm; the engines bind their inserts to their own
+  // fingerprint and the reload path owns invalidation.
+  std::shared_ptr<ResultCache> shared_cache;
+  if (watch && options.cache_bytes > 0) {
+    shared_cache = std::make_shared<ResultCache>(options.cache_bytes);
+    options.shared_cache = shared_cache;
+  }
+
+  Timer load_timer;
+  auto opened =
+      OpenServeService(paths, manifest, single_full, options, load, degraded);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "error: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  OpenedService current = std::move(opened).value();
   double load_seconds = load_timer.Seconds();
-  if (n == 0) {
+  if (current.n == 0) {
     std::fprintf(stderr, "error: empty snapshot\n");
     return 1;
   }
   std::printf("mapped %zu snapshot%s (%zu vertices) in %.3f ms\n",
-              mapped_files, mapped_files == 1 ? "" : "s", n,
-              load_seconds * 1e3);
-  if (quarantined > 0) {
+              current.mapped_files, current.mapped_files == 1 ? "" : "s",
+              current.n, load_seconds * 1e3);
+  if (current.quarantined > 0) {
     std::printf(
         "DEGRADED: %zu of %zu shards quarantined — queries touching their "
         "ranges are %s\n",
-        quarantined, mapped_files,
+        current.quarantined, current.mapped_files,
         degraded.fallback_graph != nullptr
             ? "answered online via the fallback graph"
             : "refused with kShardUnavailable");
   }
 
   if (flags.Has("listen")) {
-    return RunWireServer(std::move(service), flags, n, served_threads);
+    if (!watch) {
+      return RunWireServer(std::move(current.service), flags, current.n,
+                           current.served_threads);
+    }
+    if (shared_cache) shared_cache->Rebind(current.cache_fingerprint);
+    auto swappable =
+        std::make_shared<SwappableQueryService>(current.service);
+    const std::string watch_path = manifest.empty() ? paths[0] : manifest;
+    const std::string delta_path = flags.GetString("delta", "");
+    int64_t last_mtime = FileMtimeNs(watch_path);
+
+    auto reload = [&]() {
+      auto reopened = OpenServeService(paths, manifest, single_full, options,
+                                       load, degraded);
+      if (!reopened.ok()) {
+        // Keep serving the old generation; the operator sees why.
+        std::fprintf(stderr, "reload failed (still serving generation %llu): %s\n",
+                     static_cast<unsigned long long>(swappable->generation()),
+                     reopened.status().ToString().c_str());
+        return;
+      }
+      OpenedService next = std::move(reopened).value();
+      if (shared_cache) {
+        // Invalidate BEFORE the swap so the new generation never reads an
+        // entry only the old index certified. Scoped invalidation needs a
+        // delta log authored against exactly the outgoing snapshot.
+        bool scoped = false;
+        if (!delta_path.empty()) {
+          auto log = ReadDeltaLog(delta_path);
+          if (log.ok() && log.value().base_fingerprint != 0 &&
+              log.value().base_fingerprint == current.cache_fingerprint) {
+            std::vector<DeltaImpact> impacts = DeltaImpacts(log.value());
+            ResultCache::CoupledFn coupled;
+            if (current.engine != nullptr) {
+              // Pair (s, t) can only be affected if it reaches the changed
+              // edge from both sides in the OLD index at the lowest
+              // affected constraint (probed uncached: this runs under the
+              // cache's shard mutexes).
+              auto old_engine = current.engine;
+              coupled = [old_engine](Vertex s, Vertex t,
+                                     const DeltaImpact& impact,
+                                     Quality w_test) {
+                const WcIndex& index = old_engine->index();
+                return (index.Query(s, impact.u, w_test) != kInfDistance &&
+                        index.Query(impact.v, t, w_test) != kInfDistance) ||
+                       (index.Query(s, impact.v, w_test) != kInfDistance &&
+                        index.Query(impact.u, t, w_test) != kInfDistance);
+              };
+            }
+            size_t dropped = shared_cache->InvalidateDelta(
+                next.cache_fingerprint, impacts, coupled);
+            std::printf("cache: delta-scoped invalidation dropped %zu "
+                        "interval%s\n",
+                        dropped, dropped == 1 ? "" : "s");
+            scoped = true;
+          }
+        }
+        if (!scoped) shared_cache->Rebind(next.cache_fingerprint);
+      }
+      uint64_t generation = swappable->Swap(next.service);
+      current = std::move(next);
+      std::printf("reloaded %s: %zu vertices, now serving generation %llu\n",
+                  watch_path.c_str(), current.n,
+                  static_cast<unsigned long long>(generation));
+      std::fflush(stdout);
+    };
+    auto on_tick = [&]() {
+      bool want = false;
+      if (g_reload_requested != 0) {
+        g_reload_requested = 0;
+        want = true;
+      }
+      int64_t mtime = FileMtimeNs(watch_path);
+      if (mtime != last_mtime) {
+        last_mtime = mtime;
+        want = true;
+      }
+      if (want) reload();
+    };
+    std::signal(SIGHUP, HandleReloadSignal);
+    return RunWireServer(swappable, flags, current.n, current.served_threads,
+                         on_tick);
   }
 
   size_t queries = static_cast<size_t>(queries_flag);
@@ -747,26 +1149,27 @@ int CmdServe(const Flags& flags) {
   std::vector<BatchQueryInput> workload;
   workload.reserve(queries);
   for (size_t i = 0; i < queries; ++i) {
-    workload.push_back({static_cast<Vertex>(rng.NextBounded(n)),
-                        static_cast<Vertex>(rng.NextBounded(n)),
+    workload.push_back({static_cast<Vertex>(rng.NextBounded(current.n)),
+                        static_cast<Vertex>(rng.NextBounded(current.n)),
                         static_cast<Quality>(rng.NextInRange(1, levels))});
   }
   Timer batch_timer;
   size_t reachable = 0;
-  for (Distance d : service->Batch(workload)) {
+  for (Distance d : current.service->Batch(workload)) {
     if (d != kInfDistance) ++reachable;
   }
   double serve_seconds = batch_timer.Seconds();
   std::printf(
       "served %zu queries on %zu thread%s in %.3f s (%.0f q/s), "
       "%zu reachable\n",
-      workload.size(), served_threads, served_threads == 1 ? "" : "s",
+      workload.size(), current.served_threads,
+      current.served_threads == 1 ? "" : "s",
       serve_seconds,
       serve_seconds > 0 ? static_cast<double>(workload.size()) / serve_seconds
                         : 0.0,
       reachable);
   if (options.cache_bytes > 0) {
-    QueryEngineStats stats = service->Stats();
+    QueryEngineStats stats = current.service->Stats();
     uint64_t lookups = stats.cache_hits + stats.cache_misses;
     std::printf(
         "cache: %llu hits / %llu lookups (%.1f%%), %llu inserts, "
@@ -798,5 +1201,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(cmd, "snapshot") == 0) return CmdSnapshot(flags);
   if (std::strcmp(cmd, "shard") == 0) return CmdShard(flags);
   if (std::strcmp(cmd, "serve") == 0) return CmdServe(flags);
+  if (std::strcmp(cmd, "delta") == 0) return CmdDelta(flags);
+  if (std::strcmp(cmd, "update") == 0) return CmdUpdate(flags);
   return Usage();
 }
