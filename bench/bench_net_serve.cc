@@ -8,11 +8,20 @@
 // Emits BENCH_net_serve.json next to the console table so the serving
 // throughput trajectory is tracked across PRs like the micro benches.
 //
+// A second sweep varies the server's reactor count (per-core serving:
+// SO_REUSEPORT epoll loops, each owning its connections end-to-end) at a
+// fixed connection count, with a single-threaded engine so queries run
+// inline on the reactor threads — the per-core configuration `serve
+// --reactors N` uses. Per-reactor frame counters land in the JSON so CI
+// can check the kernel actually spread the load.
+//
 // Flags: --conns=1,2,4,8  connection counts to sweep
 //        --rounds=3       passes over the workload per connection
 //        --queries=8192   workload size per connection pass
 //        --threads=0      engine worker threads (0 = hardware)
 //        --scale=0.25     social dataset scale (EU family)
+//        --reactors=1,2,4 reactor counts to sweep
+//        --reactor-conns=8  connections driving the reactor sweep
 
 #include <algorithm>
 #include <cstdio>
@@ -188,6 +197,81 @@ int Run(int argc, char** argv) {
     }
   }
   server.value().Stop();
+
+  // Reactor-scaling sweep: per-core configuration (engine threads = 1, the
+  // reactors are the parallelism), fresh server per reactor count.
+  std::vector<size_t> reactor_counts =
+      ParseConnList(flags.GetString("reactors", "1,2,4"));
+  size_t reactor_conns =
+      static_cast<size_t>(flags.GetInt("reactor-conns", 8));
+  QueryEngineOptions percore_options;
+  percore_options.num_threads = 1;
+  auto percore_engine = QueryEngine::Open(snap, percore_options);
+  if (!percore_engine.ok()) {
+    std::fprintf(stderr, "engine open failed: %s\n",
+                 percore_engine.status().ToString().c_str());
+    return 1;
+  }
+  auto percore = std::make_shared<const QueryEngine>(
+      std::move(percore_engine).value());
+  TablePrinter reactor_table(
+      "reactor scaling (per-core: 1 engine thread per reactor)",
+      {"mode", "reactors", "conns", "q/s", "active"}, {10, 8, 6, 12, 6});
+  for (bool batch_frames : {false, true}) {
+    const char* mode = batch_frames ? "batch" : "pipelined";
+    for (size_t r : reactor_counts) {
+      WcServerOptions server_options;
+      server_options.num_reactors = r;
+      auto rserver =
+          WcServer::Start(MakeQueryService(percore), server_options);
+      if (!rserver.ok()) {
+        std::fprintf(stderr, "server start failed (reactors=%zu): %s\n", r,
+                     rserver.status().ToString().c_str());
+        return 1;
+      }
+      LoadResult result = RunLoad(rserver.value().port(), reactor_conns,
+                                  rounds, workload, batch_frames);
+      if (result.errors > 0 || result.queries == 0) {
+        std::fprintf(stderr, "load run failed (mode=%s reactors=%zu)\n",
+                     mode, r);
+        return 1;
+      }
+      std::vector<WcReactorStats> per_reactor =
+          rserver.value().reactor_stats();
+      rserver.value().Stop();
+      size_t active = 0;
+      for (const WcReactorStats& stats : per_reactor) {
+        if (stats.frames_served > 0) ++active;
+      }
+      double qps = static_cast<double>(result.queries) / result.seconds;
+      char qps_cell[32];
+      std::snprintf(qps_cell, sizeof(qps_cell), "%.0f", qps);
+      reactor_table.Row({mode, std::to_string(r),
+                         std::to_string(reactor_conns), qps_cell,
+                         std::to_string(active)});
+      BenchRecord record;
+      record.name = std::string("BM_NetServeReactors/mode:") + mode +
+                    "/reactors:" + std::to_string(r);
+      record.median_ns =
+          result.seconds * 1e9 / static_cast<double>(result.queries);
+      record.threads = r;
+      record.backend = "flat";
+      record.counters.emplace_back("reactors",
+                                   static_cast<double>(per_reactor.size()));
+      record.counters.emplace_back("active_reactors",
+                                   static_cast<double>(active));
+      for (size_t i = 0; i < per_reactor.size(); ++i) {
+        record.counters.emplace_back(
+            "reactor" + std::to_string(i) + "_frames",
+            static_cast<double>(per_reactor[i].frames_served));
+        record.counters.emplace_back(
+            "reactor" + std::to_string(i) + "_conns",
+            static_cast<double>(per_reactor[i].connections_accepted));
+      }
+      writer.Record(std::move(record));
+    }
+  }
+
   std::remove(snap.c_str());
   std::string path;
   Status st = writer.WriteFile(&path);

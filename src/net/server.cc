@@ -123,521 +123,615 @@ struct WcServer::Impl {
     uint64_t arrival_ms = 0;
   };
 
+  /// One event loop owning its share of the traffic end-to-end: its own
+  /// listen socket (SO_REUSEPORT when there are several reactors — the
+  /// kernel hashes each incoming 4-tuple to one reactor), epoll instance,
+  /// wake eventfd, EMFILE spare fd, connection table, and stats counters.
+  /// A connection is accepted, served, and closed by exactly one reactor
+  /// thread, so none of the per-connection state needs synchronization;
+  /// the only cross-thread traffic is the shared QueryService (thread-safe
+  /// by contract) and the relaxed stats counters aggregated off-path.
+  struct Reactor {
+    Reactor(Impl* server_, size_t index_) : server(server_), index(index_) {}
+    ~Reactor() { CloseAll(); }
+
+    Impl* server;
+    size_t index;
+    int listen_fd = -1;
+    int epoll_fd = -1;
+    int wake_fd = -1;
+    /// Reserved fd sacrificed to shed pending connections under EMFILE.
+    int spare_fd = -1;
+    uint16_t port = 0;
+    std::thread loop;
+    std::unordered_map<int, Connection> connections;
+
+    std::atomic<uint64_t> connections_accepted{0};
+    std::atomic<uint64_t> connections_closed{0};
+    std::atomic<uint64_t> frames_served{0};
+    std::atomic<uint64_t> protocol_errors{0};
+    std::atomic<uint64_t> overload_rejections{0};
+    std::atomic<uint64_t> deadline_rejections{0};
+    std::atomic<uint64_t> shard_unavailable_rejections{0};
+    std::atomic<uint64_t> timeout_closed{0};
+
+    Status Listen(uint16_t bind_port, bool reuse_port) {
+      const WcServerOptions& options = server->options;
+      listen_fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                         0);
+      if (listen_fd < 0) return ErrnoStatus("socket");
+      int one = 1;
+      setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      if (reuse_port &&
+          setsockopt(listen_fd, SOL_SOCKET, SO_REUSEPORT, &one,
+                     sizeof(one)) < 0) {
+        return ErrnoStatus("setsockopt SO_REUSEPORT");
+      }
+      sockaddr_in addr = {};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(bind_port);
+      if (inet_pton(AF_INET, options.bind_address.c_str(),
+                    &addr.sin_addr) != 1) {
+        return Status::InvalidArgument("bad bind address " +
+                                       options.bind_address);
+      }
+      if (bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+        return ErrnoStatus("bind " + options.bind_address + ":" +
+                           std::to_string(bind_port));
+      }
+      if (listen(listen_fd, options.backlog) < 0) {
+        return ErrnoStatus("listen");
+      }
+      socklen_t len = sizeof(addr);
+      if (getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) <
+          0) {
+        return ErrnoStatus("getsockname");
+      }
+      port = ntohs(addr.sin_port);
+
+      spare_fd = open("/dev/null", O_RDONLY | O_CLOEXEC);
+      epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+      if (epoll_fd < 0) return ErrnoStatus("epoll_create1");
+      wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+      if (wake_fd < 0) return ErrnoStatus("eventfd");
+      WCSD_RETURN_NOT_OK(Watch(listen_fd, EPOLLIN));
+      WCSD_RETURN_NOT_OK(Watch(wake_fd, EPOLLIN));
+      return Status::OK();
+    }
+
+    void Wake() {
+      if (wake_fd >= 0) {
+        uint64_t one = 1;
+        [[maybe_unused]] ssize_t n = write(wake_fd, &one, sizeof(one));
+      }
+    }
+
+    /// Post-join cleanup: closes every connection and owned fd. Only safe
+    /// once the loop thread is no longer running.
+    void CloseAll() {
+      for (auto& [fd, conn] : connections) {
+        close(fd);
+        connections_closed.fetch_add(1, std::memory_order_relaxed);
+      }
+      connections.clear();
+      auto close_fd = [](int* fd) {
+        if (*fd >= 0) close(*fd);
+        *fd = -1;
+      };
+      close_fd(&listen_fd);
+      close_fd(&wake_fd);
+      close_fd(&epoll_fd);
+      close_fd(&spare_fd);
+    }
+
+    Status Watch(int fd, uint32_t events) {
+      epoll_event ev = {};
+      ev.events = events;
+      ev.data.fd = fd;
+      if (epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+        return ErrnoStatus("epoll_ctl add");
+      }
+      return Status::OK();
+    }
+
+    void Rearm(int fd, uint32_t events) {
+      epoll_event ev = {};
+      ev.events = events;
+      ev.data.fd = fd;
+      epoll_ctl(epoll_fd, EPOLL_CTL_MOD, fd, &ev);
+    }
+
+    void Loop() {
+      constexpr int kMaxEvents = 64;
+      epoll_event events[kMaxEvents];
+      bool drain_started = false;
+      uint64_t drain_deadline_ms = 0;
+      while (!server->stopping.load(std::memory_order_acquire)) {
+        if (server->draining.load(std::memory_order_acquire)) {
+          if (!drain_started) {
+            drain_started = true;
+            // Stop accepting: pending and future connections belong to
+            // whoever replaces this server. Existing connections keep
+            // being served below until they close or the deadline passes.
+            if (listen_fd >= 0) {
+              epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
+              close(listen_fd);
+              listen_fd = -1;
+            }
+            drain_deadline_ms = NowMs() + server->options.drain_deadline_ms;
+          }
+          if (connections.empty() || NowMs() >= drain_deadline_ms) break;
+        }
+        // The 500ms tick doubles as the timeout/drain sweep cadence.
+        int n = epoll_wait(epoll_fd, events, kMaxEvents, /*timeout_ms=*/500);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          break;
+        }
+        for (int i = 0; i < n; ++i) {
+          int fd = events[i].data.fd;
+          uint32_t ev = events[i].events;
+          if (fd == wake_fd) {
+            uint64_t drained;
+            [[maybe_unused]] ssize_t r = read(wake_fd, &drained,
+                                              sizeof(drained));
+            continue;
+          }
+          if (fd == listen_fd) {
+            Accept();
+            continue;
+          }
+          auto it = connections.find(fd);
+          if (it == connections.end()) continue;
+          if (ev & (EPOLLHUP | EPOLLERR)) {
+            CloseConnection(it);
+            continue;
+          }
+          bool alive = true;
+          if (ev & EPOLLIN) alive = OnReadable(it);
+          if (alive && (ev & EPOLLOUT)) FlushConnection(it);
+        }
+        SweepTimeouts(NowMs());
+      }
+    }
+
+    /// Closes connections that exceeded the idle or header (slow-loris)
+    /// timeout. Runs every loop tick, so enforcement granularity is the
+    /// epoll timeout (500ms) — fine for timeouts meant in seconds.
+    void SweepTimeouts(uint64_t now) {
+      const WcServerOptions& options = server->options;
+      if (options.idle_timeout_ms == 0 && options.header_timeout_ms == 0) {
+        return;
+      }
+      std::vector<int> doomed;
+      for (const auto& [fd, conn] : connections) {
+        if (options.header_timeout_ms != 0 && conn.partial_since_ms != 0 &&
+            now - conn.partial_since_ms >= options.header_timeout_ms) {
+          doomed.push_back(fd);
+          continue;
+        }
+        // A connection still flushing replies is not idle, however long
+        // ago the peer last wrote.
+        if (options.idle_timeout_ms != 0 &&
+            conn.out_sent == conn.out.size() &&
+            now - conn.last_activity_ms >= options.idle_timeout_ms) {
+          doomed.push_back(fd);
+        }
+      }
+      for (int fd : doomed) {
+        auto it = connections.find(fd);
+        if (it != connections.end()) {
+          timeout_closed.fetch_add(1, std::memory_order_relaxed);
+          CloseConnection(it);
+        }
+      }
+    }
+
+    void Accept() {
+      for (;;) {
+        int fd = accept4(listen_fd, nullptr, nullptr,
+                         SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+          // Out of file descriptors: the pending connection would keep the
+          // level-triggered listen fd hot forever (a busy-spin). Shed it
+          // via the reserved spare fd, then re-reserve.
+          if ((errno == EMFILE || errno == ENFILE) && spare_fd >= 0) {
+            close(spare_fd);
+            spare_fd = -1;
+            int shed = accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+            if (shed >= 0) close(shed);
+            spare_fd = open("/dev/null", O_RDONLY | O_CLOEXEC);
+            if (shed >= 0) continue;
+          }
+          return;  // EAGAIN or transient error; epoll re-reports
+        }
+        int one = 1;
+        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        if (!Watch(fd, EPOLLIN).ok()) {
+          close(fd);
+          continue;
+        }
+        Connection conn;
+        conn.last_activity_ms = NowMs();
+        connections.emplace(fd, std::move(conn));
+        connections_accepted.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    void CloseConnection(std::unordered_map<int, Connection>::iterator it) {
+      epoll_ctl(epoll_fd, EPOLL_CTL_DEL, it->first, nullptr);
+      close(it->first);
+      connections.erase(it);
+      connections_closed.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /// Reads everything the socket has, cuts and serves complete frames,
+    /// then flushes replies. Returns false if the connection was closed.
+    bool OnReadable(std::unordered_map<int, Connection>::iterator it) {
+      const WcServerOptions& options = server->options;
+      Connection& conn = it->second;
+      // A draining connection reads nothing more: new bytes would pile up
+      // unparsed (the frame loop is closed) and unbounded.
+      if (conn.close_after_flush) return FlushConnection(it);
+      uint8_t chunk[65536];
+      bool peer_eof = false;
+      // Bounded read pass: one connection streaming faster than the loop
+      // must not starve the others — leftover bytes keep the level-
+      // triggered fd hot, so the next epoll_wait resumes it.
+      constexpr size_t kMaxReadPerPass = 1u << 20;
+      size_t read_this_pass = 0;
+      while (read_this_pass < kMaxReadPerPass) {
+        ssize_t got = net::RecvSome(it->first, chunk, sizeof(chunk), 0);
+        if (got > 0) {
+          conn.in.insert(conn.in.end(), chunk, chunk + got);
+          read_this_pass += static_cast<size_t>(got);
+          continue;
+        }
+        if (got == 0) {
+          peer_eof = true;
+          break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        CloseConnection(it);
+        return false;
+      }
+      const uint64_t now = NowMs();
+      if (read_this_pass > 0) {
+        conn.last_activity_ms = now;
+        // Frames completed by this pass measure their deadline from here:
+        // time spent behind earlier frames (a monster batch ahead in the
+        // buffer) counts against them.
+        conn.arrival_ms = now;
+      }
+
+      while (!conn.close_after_flush) {
+        if (conn.out.size() - conn.out_sent >
+            options.max_buffered_reply_bytes) {
+          // The client pipelines faster than it reads replies; cap the
+          // buffered output and drop the connection once it drains.
+          conn.close_after_flush = true;
+          break;
+        }
+        WireHeader header;
+        const uint8_t* payload = nullptr;
+        FrameStatus st = net::ParseFrame(
+            conn.in.data() + conn.in_consumed,
+            conn.in.size() - conn.in_consumed, options.max_payload_bytes,
+            &header, &payload);
+        if (st == FrameStatus::kNeedMore) break;
+        if (st != FrameStatus::kOk) {
+          // Framing error: the stream is poisoned. Reply once and close.
+          // The oversized case has a trustworthy header, so echo its id.
+          WireError error = st == FrameStatus::kBadMagic
+                                ? WireError::kBadMagic
+                            : st == FrameStatus::kBadVersion
+                                ? WireError::kBadVersion
+                                : WireError::kOversizedFrame;
+          uint64_t id =
+              st == FrameStatus::kOversized ? header.request_id : 0;
+          net::AppendFrame(&conn.out, MsgType::kError, error, id, nullptr,
+                           0);
+          protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          conn.close_after_flush = true;
+          break;
+        }
+        HandleFrame(conn, header, payload);
+        conn.in_consumed += sizeof(WireHeader) + header.payload_bytes;
+      }
+      if (conn.in_consumed == conn.in.size()) {
+        conn.in.clear();
+        conn.in_consumed = 0;
+      } else if (conn.in_consumed > (64u << 10)) {
+        conn.in.erase(conn.in.begin(),
+                      conn.in.begin() +
+                          static_cast<ptrdiff_t>(conn.in_consumed));
+        conn.in_consumed = 0;
+      }
+      // Slow-loris tracking: leftover bytes are a partial frame. The clock
+      // starts when the partial first appears and resets whenever the
+      // buffer drains to a frame boundary.
+      if (conn.in.size() > conn.in_consumed) {
+        if (conn.partial_since_ms == 0) conn.partial_since_ms = now;
+      } else {
+        conn.partial_since_ms = 0;
+      }
+
+      if (!FlushConnection(it)) return false;
+      if (peer_eof) {
+        // Orderly shutdown: the peer sent everything it will (half-close).
+        // Replies it has not yet read may still be in the write buffer —
+        // drain them before closing, watching only writability (EOF keeps
+        // the fd read-hot forever otherwise).
+        if (conn.out_sent < conn.out.size()) {
+          conn.close_after_flush = true;
+          conn.want_write = true;
+          Rearm(it->first, EPOLLOUT);
+          return true;
+        }
+        CloseConnection(it);
+        return false;
+      }
+      return true;
+    }
+
+    void HandleFrame(Connection& conn, const WireHeader& header,
+                     const uint8_t* payload) {
+      const WcServerOptions& options = server->options;
+      const QueryService& service = *server->service;
+      auto reject = [&](WireError error) {
+        net::AppendFrame(&conn.out, MsgType::kError, error,
+                         header.request_id, nullptr, 0);
+        protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      };
+      // Load shedding sends a clean error frame too, but it is not a
+      // protocol error: the request was well-formed and never executed,
+      // and the stream stays healthy for a backed-off retry.
+      auto shed = [&](WireError error) {
+        net::AppendFrame(&conn.out, MsgType::kError, error,
+                         header.request_id, nullptr, 0);
+      };
+      const MsgType type = static_cast<MsgType>(header.type);
+      if (type == MsgType::kQuery || type == MsgType::kBatchQuery) {
+        // Admission control. Stats/health frames are exempt: they are tiny
+        // and exactly what an operator needs while the server is unhappy.
+        if (options.overload_shed_reply_bytes != 0 &&
+            conn.out.size() - conn.out_sent >
+                options.overload_shed_reply_bytes) {
+          shed(WireError::kOverloaded);
+          overload_rejections.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        if (options.request_deadline_ms != 0 &&
+            NowMs() - conn.arrival_ms > options.request_deadline_ms) {
+          shed(WireError::kDeadlineExceeded);
+          deadline_rejections.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+      switch (type) {
+        case MsgType::kQuery: {
+          if (header.payload_bytes != sizeof(net::QueryPayload)) {
+            reject(WireError::kBadPayload);
+            return;
+          }
+          net::QueryPayload q;
+          std::memcpy(&q, payload, sizeof(q));
+          net::QueryReplyPayload reply{kInfDistance};
+          if (service.QueryEx(q.s, q.t, q.w, &reply.dist) !=
+              ServeOutcome::kOk) {
+            shed(WireError::kShardUnavailable);
+            shard_unavailable_rejections.fetch_add(
+                1, std::memory_order_relaxed);
+            return;
+          }
+          net::AppendFrame(&conn.out, MsgType::kQueryReply, WireError::kOk,
+                           header.request_id, &reply, sizeof(reply));
+          break;
+        }
+        case MsgType::kBatchQuery: {
+          uint32_t count = 0;
+          if (header.payload_bytes < sizeof(count)) {
+            reject(WireError::kBadPayload);
+            return;
+          }
+          std::memcpy(&count, payload, sizeof(count));
+          if (header.payload_bytes !=
+              sizeof(count) + uint64_t{count} * sizeof(net::QueryPayload)) {
+            reject(WireError::kBadPayload);
+            return;
+          }
+          if (options.max_batch_queries != 0 &&
+              count > options.max_batch_queries) {
+            shed(WireError::kOverloaded);
+            overload_rejections.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          std::vector<BatchQueryInput> queries(count);
+          if (count > 0) {
+            std::memcpy(queries.data(), payload + sizeof(count),
+                        uint64_t{count} * sizeof(net::QueryPayload));
+          }
+          std::vector<Distance> results;
+          if (service.BatchEx(queries, &results) != ServeOutcome::kOk) {
+            shed(WireError::kShardUnavailable);
+            shard_unavailable_rejections.fetch_add(
+                1, std::memory_order_relaxed);
+            return;
+          }
+          net::AppendBatchReply(&conn.out, header.request_id, results);
+          break;
+        }
+        case MsgType::kStats: {
+          if (header.payload_bytes != 0) {
+            reject(WireError::kBadPayload);
+            return;
+          }
+          QueryEngineStats stats = service.Stats();
+          const WcServerStats server_stats = server->Aggregate();
+          net::StatsReplyPayload reply{
+              service.NumVertices(),
+              stats.queries,
+              stats.reachable,
+              stats.batches,
+              stats.cache_hits,
+              stats.cache_misses,
+              stats.cache_inserts,
+              stats.cache_evictions,
+              server_stats.overload_rejections,
+              server_stats.deadline_rejections,
+              stats.shard_unavailable,
+              stats.generation,
+              server->draining.load(std::memory_order_relaxed) ? 1u : 0u,
+              0};
+          std::vector<net::ShardBalancePayload> shards;
+          for (const ShardBalanceEntry& shard : service.ShardBalance()) {
+            shards.push_back(net::ShardBalancePayload{
+                shard.vertex_begin, shard.vertex_end, shard.entry_count,
+                shard.label_bytes, shard.quarantined ? 1u : 0u, 0});
+          }
+          net::AppendStatsReply(&conn.out, header.request_id, reply, shards);
+          break;
+        }
+        case MsgType::kHealth: {
+          if (header.payload_bytes != 0) {
+            reject(WireError::kBadPayload);
+            return;
+          }
+          net::HealthReplyPayload reply{
+              service.NumVertices(),
+              server->draining.load(std::memory_order_relaxed) ? 1u : 0u,
+              0};
+          net::AppendFrame(&conn.out, MsgType::kHealthReply, WireError::kOk,
+                           header.request_id, &reply, sizeof(reply));
+          break;
+        }
+        default:
+          reject(WireError::kUnknownType);
+          return;
+      }
+      frames_served.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /// Writes as much buffered output as the socket accepts; keeps
+    /// EPOLLOUT armed while a backlog remains. Returns false if the
+    /// connection was closed (write error, or close_after_flush with a
+    /// drained buffer).
+    bool FlushConnection(std::unordered_map<int, Connection>::iterator it) {
+      Connection& conn = it->second;
+      while (conn.out_sent < conn.out.size()) {
+        ssize_t sent =
+            net::SendSome(it->first, conn.out.data() + conn.out_sent,
+                          conn.out.size() - conn.out_sent, MSG_NOSIGNAL);
+        if (sent > 0) {
+          conn.out_sent += static_cast<size_t>(sent);
+          conn.last_activity_ms = NowMs();
+          continue;
+        }
+        if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (sent < 0 && errno == EINTR) continue;
+        CloseConnection(it);
+        return false;
+      }
+      if (conn.out_sent == conn.out.size()) {
+        conn.out.clear();
+        conn.out_sent = 0;
+        if (conn.close_after_flush) {
+          CloseConnection(it);
+          return false;
+        }
+        if (conn.want_write) {
+          conn.want_write = false;
+          Rearm(it->first, EPOLLIN);
+        }
+      } else {
+        // Backlog remains. A draining connection watches writability only
+        // (readable bytes we will never parse would wake the loop
+        // forever).
+        conn.want_write = true;
+        Rearm(it->first,
+              conn.close_after_flush ? EPOLLOUT : EPOLLIN | EPOLLOUT);
+      }
+      return true;
+    }
+  };
+
   std::shared_ptr<const QueryService> service;
   WcServerOptions options;
-  int listen_fd = -1;
-  int epoll_fd = -1;
-  int wake_fd = -1;
-  /// Reserved fd sacrificed to shed pending connections under EMFILE.
-  int spare_fd = -1;
   uint16_t port = 0;
-  std::thread loop;
   std::atomic<bool> stopping{false};
   std::atomic<bool> draining{false};
-  std::unordered_map<int, Connection> connections;
-
-  std::atomic<uint64_t> connections_accepted{0};
-  std::atomic<uint64_t> connections_closed{0};
-  std::atomic<uint64_t> frames_served{0};
-  std::atomic<uint64_t> protocol_errors{0};
-  std::atomic<uint64_t> overload_rejections{0};
-  std::atomic<uint64_t> deadline_rejections{0};
-  std::atomic<uint64_t> shard_unavailable_rejections{0};
-  std::atomic<uint64_t> timeout_closed{0};
+  std::vector<std::unique_ptr<Reactor>> reactors;
 
   ~Impl() { StopAndJoin(); }
 
+  /// Binds and wires every reactor. With several reactors all listen
+  /// sockets join one SO_REUSEPORT group; the first bind resolves a
+  /// kernel-assigned port 0 so the rest can join it.
   Status Listen() {
-    listen_fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
-                       0);
-    if (listen_fd < 0) return ErrnoStatus("socket");
-    int one = 1;
-    setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr = {};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(options.port);
-    if (inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
-        1) {
-      return Status::InvalidArgument("bad bind address " +
-                                     options.bind_address);
-    }
-    if (bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-        0) {
-      return ErrnoStatus("bind " + options.bind_address + ":" +
-                   std::to_string(options.port));
-    }
-    if (listen(listen_fd, options.backlog) < 0) return ErrnoStatus("listen");
-    socklen_t len = sizeof(addr);
-    if (getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) <
-        0) {
-      return ErrnoStatus("getsockname");
-    }
-    port = ntohs(addr.sin_port);
-
-    spare_fd = open("/dev/null", O_RDONLY | O_CLOEXEC);
-    epoll_fd = epoll_create1(EPOLL_CLOEXEC);
-    if (epoll_fd < 0) return ErrnoStatus("epoll_create1");
-    wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-    if (wake_fd < 0) return ErrnoStatus("eventfd");
-    WCSD_RETURN_NOT_OK(Watch(listen_fd, EPOLLIN));
-    WCSD_RETURN_NOT_OK(Watch(wake_fd, EPOLLIN));
-    return Status::OK();
-  }
-
-  Status Watch(int fd, uint32_t events) {
-    epoll_event ev = {};
-    ev.events = events;
-    ev.data.fd = fd;
-    if (epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
-      return ErrnoStatus("epoll_ctl add");
+    const size_t n = std::max<size_t>(1, options.num_reactors);
+    const bool reuse_port = n > 1;
+    reactors.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      reactors.push_back(std::make_unique<Reactor>(this, i));
+      const uint16_t bind_port = i == 0 ? options.port : port;
+      WCSD_RETURN_NOT_OK(reactors[i]->Listen(bind_port, reuse_port));
+      if (i == 0) port = reactors[0]->port;
     }
     return Status::OK();
   }
 
-  void Rearm(int fd, uint32_t events) {
-    epoll_event ev = {};
-    ev.events = events;
-    ev.data.fd = fd;
-    epoll_ctl(epoll_fd, EPOLL_CTL_MOD, fd, &ev);
+  void WakeAll() {
+    for (auto& reactor : reactors) reactor->Wake();
   }
 
-  /// Graceful drain: flags the loop, which closes the listen fd and keeps
-  /// serving existing connections until they close or the drain deadline
-  /// passes; then finishes the usual teardown.
+  void JoinAll() {
+    for (auto& reactor : reactors) {
+      if (reactor->loop.joinable()) reactor->loop.join();
+    }
+  }
+
+  /// Graceful drain: flags every loop, which closes its listen fd and
+  /// keeps serving existing connections until they close or the drain
+  /// deadline passes; then finishes the usual teardown.
   void DrainAndJoin() {
     draining.store(true, std::memory_order_release);
-    if (wake_fd >= 0) {
-      uint64_t one = 1;
-      [[maybe_unused]] ssize_t n = write(wake_fd, &one, sizeof(one));
-    }
-    if (loop.joinable()) loop.join();
+    WakeAll();
+    JoinAll();
     StopAndJoin();
   }
 
   void StopAndJoin() {
     bool was_stopping = stopping.exchange(true);
-    if (!was_stopping && wake_fd >= 0) {
-      uint64_t one = 1;
-      [[maybe_unused]] ssize_t n = write(wake_fd, &one, sizeof(one));
-    }
-    if (loop.joinable()) loop.join();
-    for (auto& [fd, conn] : connections) {
-      close(fd);
-      connections_closed.fetch_add(1, std::memory_order_relaxed);
-    }
-    connections.clear();
-    auto close_fd = [](int* fd) {
-      if (*fd >= 0) close(*fd);
-      *fd = -1;
-    };
-    close_fd(&listen_fd);
-    close_fd(&wake_fd);
-    close_fd(&epoll_fd);
-    close_fd(&spare_fd);
+    if (!was_stopping) WakeAll();
+    JoinAll();
+    for (auto& reactor : reactors) reactor->CloseAll();
   }
 
-  void Loop() {
-    constexpr int kMaxEvents = 64;
-    epoll_event events[kMaxEvents];
-    bool drain_started = false;
-    uint64_t drain_deadline_ms = 0;
-    while (!stopping.load(std::memory_order_acquire)) {
-      if (draining.load(std::memory_order_acquire)) {
-        if (!drain_started) {
-          drain_started = true;
-          // Stop accepting: pending and future connections belong to
-          // whoever replaces this server. Existing connections keep being
-          // served below until they close or the drain deadline passes.
-          if (listen_fd >= 0) {
-            epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
-            close(listen_fd);
-            listen_fd = -1;
-          }
-          drain_deadline_ms = NowMs() + options.drain_deadline_ms;
-        }
-        if (connections.empty() || NowMs() >= drain_deadline_ms) break;
-      }
-      // The 500ms tick doubles as the timeout/drain sweep cadence.
-      int n = epoll_wait(epoll_fd, events, kMaxEvents, /*timeout_ms=*/500);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        break;
-      }
-      for (int i = 0; i < n; ++i) {
-        int fd = events[i].data.fd;
-        uint32_t ev = events[i].events;
-        if (fd == wake_fd) {
-          uint64_t drained;
-          [[maybe_unused]] ssize_t r = read(wake_fd, &drained,
-                                            sizeof(drained));
-          continue;
-        }
-        if (fd == listen_fd) {
-          Accept();
-          continue;
-        }
-        auto it = connections.find(fd);
-        if (it == connections.end()) continue;
-        if (ev & (EPOLLHUP | EPOLLERR)) {
-          CloseConnection(it);
-          continue;
-        }
-        bool alive = true;
-        if (ev & EPOLLIN) alive = OnReadable(it);
-        if (alive && (ev & EPOLLOUT)) FlushConnection(it);
-      }
-      SweepTimeouts(NowMs());
+  WcServerStats Aggregate() const {
+    WcServerStats stats;
+    for (const auto& reactor : reactors) {
+      stats.connections_accepted +=
+          reactor->connections_accepted.load(std::memory_order_relaxed);
+      stats.connections_closed +=
+          reactor->connections_closed.load(std::memory_order_relaxed);
+      stats.frames_served +=
+          reactor->frames_served.load(std::memory_order_relaxed);
+      stats.protocol_errors +=
+          reactor->protocol_errors.load(std::memory_order_relaxed);
+      stats.overload_rejections +=
+          reactor->overload_rejections.load(std::memory_order_relaxed);
+      stats.deadline_rejections +=
+          reactor->deadline_rejections.load(std::memory_order_relaxed);
+      stats.shard_unavailable +=
+          reactor->shard_unavailable_rejections.load(
+              std::memory_order_relaxed);
+      stats.timeout_closed +=
+          reactor->timeout_closed.load(std::memory_order_relaxed);
     }
-  }
-
-  /// Closes connections that exceeded the idle or header (slow-loris)
-  /// timeout. Runs every loop tick, so enforcement granularity is the
-  /// epoll timeout (500ms) — fine for timeouts meant in seconds.
-  void SweepTimeouts(uint64_t now) {
-    if (options.idle_timeout_ms == 0 && options.header_timeout_ms == 0) {
-      return;
-    }
-    std::vector<int> doomed;
-    for (const auto& [fd, conn] : connections) {
-      if (options.header_timeout_ms != 0 && conn.partial_since_ms != 0 &&
-          now - conn.partial_since_ms >= options.header_timeout_ms) {
-        doomed.push_back(fd);
-        continue;
-      }
-      // A connection still flushing replies is not idle, however long ago
-      // the peer last wrote.
-      if (options.idle_timeout_ms != 0 &&
-          conn.out_sent == conn.out.size() &&
-          now - conn.last_activity_ms >= options.idle_timeout_ms) {
-        doomed.push_back(fd);
-      }
-    }
-    for (int fd : doomed) {
-      auto it = connections.find(fd);
-      if (it != connections.end()) {
-        timeout_closed.fetch_add(1, std::memory_order_relaxed);
-        CloseConnection(it);
-      }
-    }
-  }
-
-  void Accept() {
-    for (;;) {
-      int fd = accept4(listen_fd, nullptr, nullptr,
-                       SOCK_NONBLOCK | SOCK_CLOEXEC);
-      if (fd < 0) {
-        // Out of file descriptors: the pending connection would keep the
-        // level-triggered listen fd hot forever (a busy-spin). Shed it via
-        // the reserved spare fd, then re-reserve.
-        if ((errno == EMFILE || errno == ENFILE) && spare_fd >= 0) {
-          close(spare_fd);
-          spare_fd = -1;
-          int shed = accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
-          if (shed >= 0) close(shed);
-          spare_fd = open("/dev/null", O_RDONLY | O_CLOEXEC);
-          if (shed >= 0) continue;
-        }
-        return;  // EAGAIN or transient error; epoll re-reports
-      }
-      int one = 1;
-      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      if (!Watch(fd, EPOLLIN).ok()) {
-        close(fd);
-        continue;
-      }
-      Connection conn;
-      conn.last_activity_ms = NowMs();
-      connections.emplace(fd, std::move(conn));
-      connections_accepted.fetch_add(1, std::memory_order_relaxed);
-    }
-  }
-
-  void CloseConnection(std::unordered_map<int, Connection>::iterator it) {
-    epoll_ctl(epoll_fd, EPOLL_CTL_DEL, it->first, nullptr);
-    close(it->first);
-    connections.erase(it);
-    connections_closed.fetch_add(1, std::memory_order_relaxed);
-  }
-
-  /// Reads everything the socket has, cuts and serves complete frames,
-  /// then flushes replies. Returns false if the connection was closed.
-  bool OnReadable(std::unordered_map<int, Connection>::iterator it) {
-    Connection& conn = it->second;
-    // A draining connection reads nothing more: new bytes would pile up
-    // unparsed (the frame loop is closed) and unbounded.
-    if (conn.close_after_flush) return FlushConnection(it);
-    uint8_t chunk[65536];
-    bool peer_eof = false;
-    // Bounded read pass: one connection streaming faster than the loop
-    // must not starve the others — leftover bytes keep the level-triggered
-    // fd hot, so the next epoll_wait resumes it.
-    constexpr size_t kMaxReadPerPass = 1u << 20;
-    size_t read_this_pass = 0;
-    while (read_this_pass < kMaxReadPerPass) {
-      ssize_t got = net::RecvSome(it->first, chunk, sizeof(chunk), 0);
-      if (got > 0) {
-        conn.in.insert(conn.in.end(), chunk, chunk + got);
-        read_this_pass += static_cast<size_t>(got);
-        continue;
-      }
-      if (got == 0) {
-        peer_eof = true;
-        break;
-      }
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      if (errno == EINTR) continue;
-      CloseConnection(it);
-      return false;
-    }
-    const uint64_t now = NowMs();
-    if (read_this_pass > 0) {
-      conn.last_activity_ms = now;
-      // Frames completed by this pass measure their deadline from here:
-      // time spent behind earlier frames (a monster batch ahead in the
-      // buffer) counts against them.
-      conn.arrival_ms = now;
-    }
-
-    while (!conn.close_after_flush) {
-      if (conn.out.size() - conn.out_sent > options.max_buffered_reply_bytes) {
-        // The client pipelines faster than it reads replies; cap the
-        // buffered output and drop the connection once it drains.
-        conn.close_after_flush = true;
-        break;
-      }
-      WireHeader header;
-      const uint8_t* payload = nullptr;
-      FrameStatus st = net::ParseFrame(
-          conn.in.data() + conn.in_consumed,
-          conn.in.size() - conn.in_consumed, options.max_payload_bytes,
-          &header, &payload);
-      if (st == FrameStatus::kNeedMore) break;
-      if (st != FrameStatus::kOk) {
-        // Framing error: the stream is poisoned. Reply once and close.
-        // The oversized case has a trustworthy header, so echo its id.
-        WireError error = st == FrameStatus::kBadMagic
-                              ? WireError::kBadMagic
-                          : st == FrameStatus::kBadVersion
-                              ? WireError::kBadVersion
-                              : WireError::kOversizedFrame;
-        uint64_t id =
-            st == FrameStatus::kOversized ? header.request_id : 0;
-        net::AppendFrame(&conn.out, MsgType::kError, error, id, nullptr, 0);
-        protocol_errors.fetch_add(1, std::memory_order_relaxed);
-        conn.close_after_flush = true;
-        break;
-      }
-      HandleFrame(conn, header, payload);
-      conn.in_consumed += sizeof(WireHeader) + header.payload_bytes;
-    }
-    if (conn.in_consumed == conn.in.size()) {
-      conn.in.clear();
-      conn.in_consumed = 0;
-    } else if (conn.in_consumed > (64u << 10)) {
-      conn.in.erase(conn.in.begin(),
-                    conn.in.begin() +
-                        static_cast<ptrdiff_t>(conn.in_consumed));
-      conn.in_consumed = 0;
-    }
-    // Slow-loris tracking: leftover bytes are a partial frame. The clock
-    // starts when the partial first appears and resets whenever the buffer
-    // drains to a frame boundary.
-    if (conn.in.size() > conn.in_consumed) {
-      if (conn.partial_since_ms == 0) conn.partial_since_ms = now;
-    } else {
-      conn.partial_since_ms = 0;
-    }
-
-    if (!FlushConnection(it)) return false;
-    if (peer_eof) {
-      // Orderly shutdown: the peer sent everything it will (half-close).
-      // Replies it has not yet read may still be in the write buffer —
-      // drain them before closing, watching only writability (EOF keeps
-      // the fd read-hot forever otherwise).
-      if (conn.out_sent < conn.out.size()) {
-        conn.close_after_flush = true;
-        conn.want_write = true;
-        Rearm(it->first, EPOLLOUT);
-        return true;
-      }
-      CloseConnection(it);
-      return false;
-    }
-    return true;
-  }
-
-  void HandleFrame(Connection& conn, const WireHeader& header,
-                   const uint8_t* payload) {
-    auto reject = [&](WireError error) {
-      net::AppendFrame(&conn.out, MsgType::kError, error, header.request_id,
-                       nullptr, 0);
-      protocol_errors.fetch_add(1, std::memory_order_relaxed);
-    };
-    // Load shedding sends a clean error frame too, but it is not a
-    // protocol error: the request was well-formed and never executed, and
-    // the stream stays healthy for a backed-off retry.
-    auto shed = [&](WireError error) {
-      net::AppendFrame(&conn.out, MsgType::kError, error, header.request_id,
-                       nullptr, 0);
-    };
-    const MsgType type = static_cast<MsgType>(header.type);
-    if (type == MsgType::kQuery || type == MsgType::kBatchQuery) {
-      // Admission control. Stats/health frames are exempt: they are tiny
-      // and exactly what an operator needs while the server is unhappy.
-      if (options.overload_shed_reply_bytes != 0 &&
-          conn.out.size() - conn.out_sent >
-              options.overload_shed_reply_bytes) {
-        shed(WireError::kOverloaded);
-        overload_rejections.fetch_add(1, std::memory_order_relaxed);
-        return;
-      }
-      if (options.request_deadline_ms != 0 &&
-          NowMs() - conn.arrival_ms > options.request_deadline_ms) {
-        shed(WireError::kDeadlineExceeded);
-        deadline_rejections.fetch_add(1, std::memory_order_relaxed);
-        return;
-      }
-    }
-    switch (type) {
-      case MsgType::kQuery: {
-        if (header.payload_bytes != sizeof(net::QueryPayload)) {
-          reject(WireError::kBadPayload);
-          return;
-        }
-        net::QueryPayload q;
-        std::memcpy(&q, payload, sizeof(q));
-        net::QueryReplyPayload reply{kInfDistance};
-        if (service->QueryEx(q.s, q.t, q.w, &reply.dist) !=
-            ServeOutcome::kOk) {
-          shed(WireError::kShardUnavailable);
-          shard_unavailable_rejections.fetch_add(1,
-                                                 std::memory_order_relaxed);
-          return;
-        }
-        net::AppendFrame(&conn.out, MsgType::kQueryReply, WireError::kOk,
-                         header.request_id, &reply, sizeof(reply));
-        break;
-      }
-      case MsgType::kBatchQuery: {
-        uint32_t count = 0;
-        if (header.payload_bytes < sizeof(count)) {
-          reject(WireError::kBadPayload);
-          return;
-        }
-        std::memcpy(&count, payload, sizeof(count));
-        if (header.payload_bytes !=
-            sizeof(count) + uint64_t{count} * sizeof(net::QueryPayload)) {
-          reject(WireError::kBadPayload);
-          return;
-        }
-        if (options.max_batch_queries != 0 &&
-            count > options.max_batch_queries) {
-          shed(WireError::kOverloaded);
-          overload_rejections.fetch_add(1, std::memory_order_relaxed);
-          return;
-        }
-        std::vector<BatchQueryInput> queries(count);
-        if (count > 0) {
-          std::memcpy(queries.data(), payload + sizeof(count),
-                      uint64_t{count} * sizeof(net::QueryPayload));
-        }
-        std::vector<Distance> results;
-        if (service->BatchEx(queries, &results) != ServeOutcome::kOk) {
-          shed(WireError::kShardUnavailable);
-          shard_unavailable_rejections.fetch_add(1,
-                                                 std::memory_order_relaxed);
-          return;
-        }
-        net::AppendBatchReply(&conn.out, header.request_id, results);
-        break;
-      }
-      case MsgType::kStats: {
-        if (header.payload_bytes != 0) {
-          reject(WireError::kBadPayload);
-          return;
-        }
-        QueryEngineStats stats = service->Stats();
-        net::StatsReplyPayload reply{
-            service->NumVertices(),
-            stats.queries,
-            stats.reachable,
-            stats.batches,
-            stats.cache_hits,
-            stats.cache_misses,
-            stats.cache_inserts,
-            stats.cache_evictions,
-            overload_rejections.load(std::memory_order_relaxed),
-            deadline_rejections.load(std::memory_order_relaxed),
-            stats.shard_unavailable,
-            stats.generation,
-            draining.load(std::memory_order_relaxed) ? 1u : 0u,
-            0};
-        std::vector<net::ShardBalancePayload> shards;
-        for (const ShardBalanceEntry& shard : service->ShardBalance()) {
-          shards.push_back(net::ShardBalancePayload{
-              shard.vertex_begin, shard.vertex_end, shard.entry_count,
-              shard.label_bytes, shard.quarantined ? 1u : 0u, 0});
-        }
-        net::AppendStatsReply(&conn.out, header.request_id, reply, shards);
-        break;
-      }
-      case MsgType::kHealth: {
-        if (header.payload_bytes != 0) {
-          reject(WireError::kBadPayload);
-          return;
-        }
-        net::HealthReplyPayload reply{
-            service->NumVertices(),
-            draining.load(std::memory_order_relaxed) ? 1u : 0u, 0};
-        net::AppendFrame(&conn.out, MsgType::kHealthReply, WireError::kOk,
-                         header.request_id, &reply, sizeof(reply));
-        break;
-      }
-      default:
-        reject(WireError::kUnknownType);
-        return;
-    }
-    frames_served.fetch_add(1, std::memory_order_relaxed);
-  }
-
-  /// Writes as much buffered output as the socket accepts; keeps EPOLLOUT
-  /// armed while a backlog remains. Returns false if the connection was
-  /// closed (write error, or close_after_flush with a drained buffer).
-  bool FlushConnection(std::unordered_map<int, Connection>::iterator it) {
-    Connection& conn = it->second;
-    while (conn.out_sent < conn.out.size()) {
-      ssize_t sent =
-          net::SendSome(it->first, conn.out.data() + conn.out_sent,
-                        conn.out.size() - conn.out_sent, MSG_NOSIGNAL);
-      if (sent > 0) {
-        conn.out_sent += static_cast<size_t>(sent);
-        conn.last_activity_ms = NowMs();
-        continue;
-      }
-      if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-      if (sent < 0 && errno == EINTR) continue;
-      CloseConnection(it);
-      return false;
-    }
-    if (conn.out_sent == conn.out.size()) {
-      conn.out.clear();
-      conn.out_sent = 0;
-      if (conn.close_after_flush) {
-        CloseConnection(it);
-        return false;
-      }
-      if (conn.want_write) {
-        conn.want_write = false;
-        Rearm(it->first, EPOLLIN);
-      }
-    } else {
-      // Backlog remains. A draining connection watches writability only
-      // (readable bytes we will never parse would wake the loop forever).
-      conn.want_write = true;
-      Rearm(it->first,
-            conn.close_after_flush ? EPOLLOUT : EPOLLIN | EPOLLOUT);
-    }
-    return true;
+    stats.draining = draining.load(std::memory_order_relaxed);
+    return stats;
   }
 };
 
@@ -662,12 +756,16 @@ Result<WcServer> WcServer::Start(
   impl->options = options;
   Status st = impl->Listen();
   if (!st.ok()) return st;
-  Impl* raw = impl.get();
-  impl->loop = std::thread([raw] { raw->Loop(); });
+  for (auto& reactor : impl->reactors) {
+    Impl::Reactor* raw = reactor.get();
+    raw->loop = std::thread([raw] { raw->Loop(); });
+  }
   return WcServer(std::move(impl));
 }
 
 uint16_t WcServer::port() const { return impl_->port; }
+
+size_t WcServer::num_reactors() const { return impl_->reactors.size(); }
 
 void WcServer::Stop() {
   if (impl_) impl_->StopAndJoin();
@@ -677,26 +775,24 @@ void WcServer::Drain() {
   if (impl_) impl_->DrainAndJoin();
 }
 
-WcServerStats WcServer::stats() const {
-  WcServerStats stats;
-  stats.connections_accepted =
-      impl_->connections_accepted.load(std::memory_order_relaxed);
-  stats.connections_closed =
-      impl_->connections_closed.load(std::memory_order_relaxed);
-  stats.frames_served =
-      impl_->frames_served.load(std::memory_order_relaxed);
-  stats.protocol_errors =
-      impl_->protocol_errors.load(std::memory_order_relaxed);
-  stats.overload_rejections =
-      impl_->overload_rejections.load(std::memory_order_relaxed);
-  stats.deadline_rejections =
-      impl_->deadline_rejections.load(std::memory_order_relaxed);
-  stats.shard_unavailable =
-      impl_->shard_unavailable_rejections.load(std::memory_order_relaxed);
-  stats.timeout_closed =
-      impl_->timeout_closed.load(std::memory_order_relaxed);
-  stats.draining = impl_->draining.load(std::memory_order_relaxed);
-  return stats;
+WcServerStats WcServer::stats() const { return impl_->Aggregate(); }
+
+std::vector<WcReactorStats> WcServer::reactor_stats() const {
+  std::vector<WcReactorStats> all;
+  all.reserve(impl_->reactors.size());
+  for (const auto& reactor : impl_->reactors) {
+    WcReactorStats stats;
+    stats.connections_accepted =
+        reactor->connections_accepted.load(std::memory_order_relaxed);
+    stats.connections_closed =
+        reactor->connections_closed.load(std::memory_order_relaxed);
+    stats.frames_served =
+        reactor->frames_served.load(std::memory_order_relaxed);
+    stats.protocol_errors =
+        reactor->protocol_errors.load(std::memory_order_relaxed);
+    all.push_back(stats);
+  }
+  return all;
 }
 
 }  // namespace wcsd

@@ -2,14 +2,24 @@
 //
 // The engine layer (serve/query_engine.h) turned the index into a
 // thread-safe in-process service; WcServer turns that service into a
-// network one. One event-loop thread multiplexes every connection with
-// epoll: per-connection read buffers accumulate bytes until complete
-// frames (net/wire.h) can be cut, each frame is routed through the
-// immutable QueryService, and replies accumulate in per-connection write
-// buffers flushed as the socket drains. Clients may pipeline — any number
-// of requests in flight per connection — and a kBatchQuery frame fans out
-// across the engine's ThreadPool, so one event-loop thread is enough to
-// saturate the query kernels.
+// network one. N reactor threads (options.num_reactors, default 1) each
+// run their own epoll loop over their own SO_REUSEPORT listen socket —
+// the kernel hashes each incoming 4-tuple to one reactor, and that
+// reactor owns the connection end-to-end: accept, read, parse, serve,
+// flush, close all happen on one thread, so per-connection state needs no
+// synchronization and per-reactor stats counters are aggregated only
+// off-path (stats()/reactor_stats()). Per-connection read buffers
+// accumulate bytes until complete frames (net/wire.h) can be cut, each
+// frame is routed through the immutable QueryService (thread-safe by
+// contract — the only state reactors share), and replies accumulate in
+// per-connection write buffers flushed as the socket drains. Clients may
+// pipeline — any number of requests in flight per connection — and a
+// kBatchQuery frame fans out across the engine's ThreadPool. For per-core
+// serving, pair N reactors with single-threaded engines (queries run
+// inline on the reactor thread — `serve --reactors N` does this) so each
+// core runs one reactor end-to-end with no cross-core handoff; answers
+// are bit-identical at any N because reactors share one immutable
+// service.
 //
 // Robustness contract (exercised by tests/test_net.cc and
 // tests/test_net_faults.cc): malformed input never crashes the server.
@@ -96,6 +106,13 @@ struct WcServerOptions {
   uint16_t port = 0;
   /// listen(2) backlog.
   int backlog = 128;
+  /// Event-loop (reactor) threads. 1 keeps the classic single-loop server.
+  /// More than 1 creates that many epoll loops, each with its own
+  /// SO_REUSEPORT listen socket; the kernel spreads connections across
+  /// them by 4-tuple hash. Values above 1 only pay off with real cores
+  /// and an engine that does not itself fan out (see the header comment).
+  /// 0 is treated as 1.
+  size_t num_reactors = 1;
   /// Frames announcing a larger payload are rejected before allocation
   /// with WireError::kOversizedFrame. Tests shrink this to probe the path.
   uint32_t max_payload_bytes = net::kMaxPayloadBytes;
@@ -144,6 +161,16 @@ struct WcServerStats {
   bool draining = false;              // graceful drain in progress
 };
 
+/// One reactor's share of the traffic (stats() aggregates these). Each
+/// counter is owned by exactly one reactor thread and read off-path, so
+/// per-reactor accounting adds no hot-path synchronization.
+struct WcReactorStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_served = 0;
+  uint64_t protocol_errors = 0;
+};
+
 class WcServer {
  public:
   /// Binds, listens, and starts the event-loop thread. On success the
@@ -155,8 +182,12 @@ class WcServer {
   WcServer& operator=(WcServer&&) noexcept;
   ~WcServer();
 
-  /// The bound port (resolves option port 0 to the kernel's choice).
+  /// The bound port (resolves option port 0 to the kernel's choice). All
+  /// reactors share it via SO_REUSEPORT.
   uint16_t port() const;
+
+  /// Number of reactor event loops actually running.
+  size_t num_reactors() const;
 
   /// Stops accepting, closes every connection, and joins the event loop.
   /// Idempotent; also run by the destructor.
@@ -171,6 +202,9 @@ class WcServer {
   void Drain();
 
   WcServerStats stats() const;
+
+  /// Per-reactor traffic breakdown, index-aligned with the reactors.
+  std::vector<WcReactorStats> reactor_stats() const;
 
  private:
   struct Impl;

@@ -49,8 +49,20 @@ uint64_t SwappableQueryService::NumVertices() const {
 }
 
 QueryEngineStats SwappableQueryService::Stats() const {
-  QueryEngineStats stats = Pin()->Stats();
-  stats.generation = generation();
+  // Service and generation must be captured under ONE critical section:
+  // pinning first and reading generation() after would let a concurrent
+  // Swap land in between and label the old service's counters with the new
+  // generation. The inner Stats() call runs outside the lock so a slow
+  // stats aggregation never stalls the swap path.
+  std::shared_ptr<const QueryService> pinned;
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pinned = current_;
+    generation = generation_.load(std::memory_order_acquire);
+  }
+  QueryEngineStats stats = pinned->Stats();
+  stats.generation = generation;
   return stats;
 }
 

@@ -14,13 +14,23 @@ QueryEngine::QueryEngine(std::shared_ptr<const WcIndex> index,
   stats_ = std::make_unique<ServeStatsBlock>(threads);
   if ((options_.shared_cache || options_.cache_bytes > 0) &&
       index_->finalized()) {
-    cache_fingerprint_ = IndexContentFingerprint(index_->flat_labels());
-    if (options_.shared_cache) {
-      cache_ = options_.shared_cache;
-    } else {
-      cache_ = std::make_shared<ResultCache>(options_.cache_bytes);
-      cache_->Rebind(cache_fingerprint_);
+    cache_fingerprint_ =
+        options_.known_fingerprint != 0
+            ? options_.known_fingerprint
+            : IndexContentFingerprint(index_->flat_labels());
+    cache_ = options_.shared_cache
+                 ? options_.shared_cache
+                 : std::make_shared<ResultCache>(options_.cache_bytes);
+    if (options_.pre_bind_invalidate) {
+      options_.pre_bind_invalidate(cache_fingerprint_);
     }
+    // Unconditional, shared cache or not (the result_cache.h contract): a
+    // no-op when the cache is already bound to this snapshot — in
+    // particular after a swap coordinator's Rebind/InvalidateDelta — and a
+    // wholesale wipe when it is bound to a different one, so a shared
+    // cache attached without external invalidation can never serve stale
+    // distances.
+    cache_->Rebind(cache_fingerprint_);
   }
 }
 

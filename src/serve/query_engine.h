@@ -17,6 +17,7 @@
 #ifndef WCSD_SERVE_QUERY_ENGINE_H_
 #define WCSD_SERVE_QUERY_ENGINE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -53,12 +54,28 @@ struct QueryEngineOptions {
   size_t cache_bytes = 0;
   /// Externally owned cache shared across engine generations (the hot-swap
   /// serve path). When set (and the index is finalized) the engine uses it
-  /// instead of creating its own, inserts are bound to this engine's
-  /// fingerprint (stale generations cannot poison the shared cache), and
-  /// the engine does NOT Rebind: the swap coordinator owns invalidation
-  /// (Rebind or InvalidateDelta, before the new engine starts serving).
-  /// cache_bytes is ignored when set.
+  /// instead of creating its own; lookups and inserts are bound to this
+  /// engine's fingerprint (stale generations can neither read nor poison
+  /// the shared cache), and the engine Rebinds unconditionally at open —
+  /// a no-op when a swap coordinator already invalidated (Rebind or
+  /// InvalidateDelta with this engine's fingerprint, before construction),
+  /// a wholesale wipe when the cache is still bound to a different
+  /// snapshot. cache_bytes is ignored when set.
   std::shared_ptr<ResultCache> shared_cache;
+  /// Pre-computed IndexContentFingerprint of the snapshot this engine will
+  /// serve. When nonzero and caching is on, the construction-time label
+  /// pass is skipped and this value is used verbatim — the swap path
+  /// computes it once for InvalidateDelta and must not pay it twice. The
+  /// caller owns its correctness; a wrong value breaks cache binding.
+  uint64_t known_fingerprint = 0;
+  /// Swap-coordinator hook: called with the engine's computed cache
+  /// fingerprint after the cache is attached but BEFORE the engine's
+  /// unconditional Rebind, while no queries flow through this engine yet.
+  /// A scoped InvalidateDelta(fingerprint, ...) here rebinds the shared
+  /// cache itself, making the engine's Rebind a no-op — surviving entries
+  /// stay warm across the swap instead of being wholesale-wiped. Without
+  /// the hook (or if it does not rebind), the Rebind wipes as usual.
+  std::function<void(uint64_t fingerprint)> pre_bind_invalidate;
 };
 
 /// Folds a result cache's counters into engine-level stats; a null cache

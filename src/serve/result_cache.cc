@@ -33,7 +33,32 @@ inline size_t FloorPow2(size_t x) {
 
 }  // namespace
 
-ResultCache::ResultCache(size_t budget_bytes) {
+/// RAII seqlock write section: entry flips the slot version odd, exit flips
+/// it back even. All field stores between the two must be relaxed atomics —
+/// the release fence on entry orders the odd-version store before them, and
+/// the release store on exit orders them before the even version any reader
+/// validates against. Callers hold the shard mutex, so write sections never
+/// nest or overlap on one slot.
+class SlotWriteSection {
+ public:
+  explicit SlotWriteSection(ResultCache::Slot& slot) : slot_(slot) {
+    const uint32_t v = slot_.version.load(std::memory_order_relaxed);
+    slot_.version.store(v + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+  ~SlotWriteSection() {
+    const uint32_t v = slot_.version.load(std::memory_order_relaxed);
+    slot_.version.store(v + 1, std::memory_order_release);
+  }
+  SlotWriteSection(const SlotWriteSection&) = delete;
+  SlotWriteSection& operator=(const SlotWriteSection&) = delete;
+
+ private:
+  ResultCache::Slot& slot_;
+};
+
+ResultCache::ResultCache(size_t budget_bytes, bool second_chance_admission)
+    : admission_(second_chance_admission) {
   const size_t total_slots =
       std::max(kProbeWindow, budget_bytes / sizeof(Slot));
   // ~256 slots per shard before adding stripes, capped at 64 shards: small
@@ -43,7 +68,12 @@ ResultCache::ResultCache(size_t budget_bytes) {
       std::max(kProbeWindow, FloorPow2(total_slots / num_shards_));
   shards_ = std::make_unique<Shard[]>(num_shards_);
   for (size_t i = 0; i < num_shards_; ++i) {
-    shards_[i].slots.assign(slots_per_shard_, Slot{kEmptyKey, 0, 0, {}});
+    shards_[i].slots = std::make_unique<Slot[]>(slots_per_shard_);
+    for (size_t j = 0; j < slots_per_shard_; ++j) {
+      shards_[i].slots[j].key.store(kEmptyKey, std::memory_order_relaxed);
+    }
+    shards_[i].admit_once = std::make_unique<uint64_t[]>(kAdmissionTags);
+    std::fill_n(shards_[i].admit_once.get(), kAdmissionTags, kEmptyKey);
   }
 }
 
@@ -65,13 +95,20 @@ size_t ResultCache::InvalidateDelta(uint64_t new_fingerprint,
   for (size_t i = 0; i < num_shards_; ++i) {
     Shard& shard = shards_[i];
     std::lock_guard<std::mutex> shard_lock(shard.mu);
-    for (Slot& slot : shard.slots) {
-      if (slot.key == kEmptyKey) continue;
-      const Vertex s = static_cast<Vertex>(slot.key >> 32);
-      const Vertex t = static_cast<Vertex>(slot.key & 0xffffffffu);
-      uint32_t kept = 0;
-      for (uint32_t j = 0; j < slot.count; ++j) {
-        const Interval& iv = slot.iv[j];
+    for (size_t si = 0; si < slots_per_shard_; ++si) {
+      Slot& slot = shard.slots[si];
+      // Writer-side reads: stable under the shard mutex.
+      const uint64_t slot_key = slot.key.load(std::memory_order_relaxed);
+      if (slot_key == kEmptyKey) continue;
+      const Vertex s = static_cast<Vertex>(slot_key >> 32);
+      const Vertex t = static_cast<Vertex>(slot_key & 0xffffffffu);
+      const uint32_t count = slot.count.load(std::memory_order_relaxed);
+      Interval kept[kIntervalsPerSlot];
+      uint32_t num_kept = 0;
+      for (uint32_t j = 0; j < count; ++j) {
+        const Interval iv{slot.iv[j].w_lo.load(std::memory_order_relaxed),
+                          slot.iv[j].w_hi.load(std::memory_order_relaxed),
+                          slot.iv[j].dist.load(std::memory_order_relaxed)};
         bool touched = false;
         for (const DeltaImpact& impact : impacts) {
           if (iv.w_hi < impact.q_lo || impact.q_hi < iv.w_lo) continue;
@@ -84,12 +121,24 @@ size_t ResultCache::InvalidateDelta(uint64_t new_fingerprint,
         if (touched) {
           ++dropped;
         } else {
-          slot.iv[kept++] = slot.iv[j];
+          kept[num_kept++] = iv;
         }
       }
-      slot.count = kept;
+      SlotWriteSection write(slot);
+      for (uint32_t j = 0; j < num_kept; ++j) {
+        slot.iv[j].w_lo.store(kept[j].w_lo, std::memory_order_relaxed);
+        slot.iv[j].w_hi.store(kept[j].w_hi, std::memory_order_relaxed);
+        slot.iv[j].dist.store(kept[j].dist, std::memory_order_relaxed);
+      }
+      slot.count.store(num_kept, std::memory_order_relaxed);
       slot.clock = 0;
-      if (kept == 0) slot.key = kEmptyKey;
+      if (num_kept == 0) {
+        slot.key.store(kEmptyKey, std::memory_order_relaxed);
+      } else {
+        // Survivors are certified for the new index by the delta soundness
+        // argument: re-stamp them so LookupBound(new_fingerprint) hits.
+        slot.fingerprint.store(new_fingerprint, std::memory_order_relaxed);
+      }
     }
   }
   return dropped;
@@ -103,35 +152,74 @@ void ResultCache::Clear() {
   for (size_t i = 0; i < num_shards_; ++i) {
     Shard& shard = shards_[i];
     std::lock_guard<std::mutex> lock(shard.mu);
-    for (Slot& slot : shard.slots) {
-      slot.key = kEmptyKey;
-      slot.count = 0;
+    for (size_t si = 0; si < slots_per_shard_; ++si) {
+      Slot& slot = shard.slots[si];
+      SlotWriteSection write(slot);
+      slot.key.store(kEmptyKey, std::memory_order_relaxed);
+      slot.count.store(0, std::memory_order_relaxed);
       slot.clock = 0;
     }
     shard.clock = 0;
+    std::fill_n(shard.admit_once.get(), kAdmissionTags, kEmptyKey);
   }
 }
 
+bool ResultCache::ReadSlot(const Slot& slot, SlotSnapshot* out) {
+  for (int attempt = 0; attempt < kSeqlockRetries; ++attempt) {
+    const uint32_t v1 = slot.version.load(std::memory_order_acquire);
+    if (v1 & 1u) continue;  // writer mid-update; retry
+    out->key = slot.key.load(std::memory_order_relaxed);
+    out->fingerprint = slot.fingerprint.load(std::memory_order_relaxed);
+    uint32_t count = slot.count.load(std::memory_order_relaxed);
+    count = std::min<uint32_t>(count, kIntervalsPerSlot);
+    out->count = count;
+    for (uint32_t i = 0; i < count; ++i) {
+      out->iv[i].w_lo = slot.iv[i].w_lo.load(std::memory_order_relaxed);
+      out->iv[i].w_hi = slot.iv[i].w_hi.load(std::memory_order_relaxed);
+      out->iv[i].dist = slot.iv[i].dist.load(std::memory_order_relaxed);
+    }
+    // Orders the field loads above before the version re-check: if the
+    // version is still v1, no write section overlapped the reads.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.version.load(std::memory_order_relaxed) == v1) return true;
+  }
+  return false;  // persistent writer contention; caller treats as a miss
+}
+
 bool ResultCache::Lookup(Vertex s, Vertex t, Quality w, Distance* dist) {
+  return LookupImpl(s, t, w, dist, nullptr);
+}
+
+bool ResultCache::LookupBound(Vertex s, Vertex t, Quality w,
+                              uint64_t expected_fingerprint,
+                              Distance* dist) {
+  return LookupImpl(s, t, w, dist, &expected_fingerprint);
+}
+
+bool ResultCache::LookupImpl(Vertex s, Vertex t, Quality w, Distance* dist,
+                             const uint64_t* expected) {
   const uint64_t key = KeyOf(s, t);
   const uint64_t hash = Mix(key);
   Shard& shard = ShardFor(hash);
   const size_t mask = slots_per_shard_ - 1;
-  std::lock_guard<std::mutex> lock(shard.mu);
   for (size_t p = 0; p < kProbeWindow; ++p) {
     const Slot& slot = shard.slots[(hash + p) & mask];
-    if (slot.key != key) continue;
-    for (uint32_t i = 0; i < slot.count; ++i) {
-      const Interval& iv = slot.iv[i];
-      if (iv.w_lo <= w && w <= iv.w_hi) {
-        *dist = iv.dist;
-        ++shard.hits;
+    SlotSnapshot snap;
+    if (!ReadSlot(slot, &snap)) continue;  // unreadable ≠ ours; keep probing
+    if (snap.key != key) continue;
+    // The fingerprint was read under the same version validation as the
+    // intervals, so a hit here is certified by exactly this generation.
+    if (expected != nullptr && snap.fingerprint != *expected) break;
+    for (uint32_t i = 0; i < snap.count; ++i) {
+      if (snap.iv[i].w_lo <= w && w <= snap.iv[i].w_hi) {
+        *dist = snap.iv[i].dist;
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
     }
     break;  // keys are unique within the window
   }
-  ++shard.misses;
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
   return false;
 }
 
@@ -158,45 +246,88 @@ void ResultCache::InsertImpl(Vertex s, Vertex t,
       fingerprint_.load(std::memory_order_acquire) != *expected) {
     return;  // the index this result came from is no longer bound
   }
+  // The generation this insert certifies for: the caller's expected
+  // fingerprint (validated above), else whatever is currently bound.
+  const uint64_t stamp =
+      expected != nullptr ? *expected
+                          : fingerprint_.load(std::memory_order_acquire);
 
   Slot* target = nullptr;
   Slot* empty = nullptr;
   for (size_t p = 0; p < kProbeWindow; ++p) {
     Slot& slot = shard.slots[(hash + p) & mask];
-    if (slot.key == key) {
+    if (slot.key.load(std::memory_order_relaxed) == key) {
       target = &slot;
       break;
     }
-    if (slot.key == kEmptyKey && empty == nullptr) empty = &slot;
+    if (slot.key.load(std::memory_order_relaxed) == kEmptyKey &&
+        empty == nullptr) {
+      empty = &slot;
+    }
   }
+  bool fresh = false;
   if (target == nullptr) {
     if (empty != nullptr) {
       target = empty;
     } else {
-      // Window full of other keys: displace one, rotating so a hot window
-      // does not always sacrifice the same victim.
+      // Window full of other keys: displacing a resident entry needs
+      // admission. Second chance: the first touch of a key only plants a
+      // tag; the insert is admitted when the key comes back while its tag
+      // survives. One-off pairs die in the tag table instead of evicting
+      // the hot set.
+      if (admission_) {
+        uint64_t& tag =
+            shard.admit_once[(hash >> 32) & (kAdmissionTags - 1)];
+        if (tag != key) {
+          tag = key;
+          ++shard.admission_rejects;
+          return;
+        }
+        tag = kEmptyKey;  // second touch: consume the tag and admit
+      }
       target = &shard.slots[(hash + (shard.clock++ % kProbeWindow)) & mask];
       ++shard.evictions;
     }
-    target->key = key;
-    target->count = 0;
-    target->clock = 0;
+    fresh = true;
+  } else if (target->fingerprint.load(std::memory_order_relaxed) != stamp) {
+    // Resident key certified by another generation (possible only inside
+    // an InvalidateDelta sweep window): its intervals are not ours to
+    // extend — reset the slot to this generation.
+    fresh = true;
   }
 
-  // Intervals of one key are maximal constant regions of the same step
-  // function: a duplicate is bit-identical, anything else is disjoint.
-  for (uint32_t i = 0; i < target->count; ++i) {
-    const Interval& iv = target->iv[i];
-    if (iv.w_lo == result.w_lo && iv.w_hi == result.w_hi) return;
+  if (!fresh) {
+    // Intervals of one key are maximal constant regions of the same step
+    // function: a duplicate is bit-identical, anything else is disjoint.
+    // Writer-side reads, stable under the shard mutex.
+    const uint32_t count = target->count.load(std::memory_order_relaxed);
+    for (uint32_t i = 0; i < count; ++i) {
+      if (target->iv[i].w_lo.load(std::memory_order_relaxed) == result.w_lo &&
+          target->iv[i].w_hi.load(std::memory_order_relaxed) == result.w_hi) {
+        return;
+      }
+    }
   }
-  if (target->count < kIntervalsPerSlot) {
-    target->iv[target->count++] = Interval{result.w_lo, result.w_hi,
-                                           result.dist};
+
+  SlotWriteSection write(*target);
+  if (fresh) {
+    target->key.store(key, std::memory_order_relaxed);
+    target->fingerprint.store(stamp, std::memory_order_relaxed);
+    target->count.store(0, std::memory_order_relaxed);
+    target->clock = 0;
+  }
+  const uint32_t count = target->count.load(std::memory_order_relaxed);
+  uint32_t at;
+  if (count < kIntervalsPerSlot) {
+    at = count;
+    target->count.store(count + 1, std::memory_order_relaxed);
   } else {
-    target->iv[target->clock++ % kIntervalsPerSlot] =
-        Interval{result.w_lo, result.w_hi, result.dist};
+    at = target->clock++ % kIntervalsPerSlot;
     ++shard.evictions;
   }
+  target->iv[at].w_lo.store(result.w_lo, std::memory_order_relaxed);
+  target->iv[at].w_hi.store(result.w_hi, std::memory_order_relaxed);
+  target->iv[at].dist.store(result.dist, std::memory_order_relaxed);
   ++shard.inserts;
 }
 
@@ -204,11 +335,12 @@ ResultCacheStats ResultCache::stats() const {
   ResultCacheStats total;
   for (size_t i = 0; i < num_shards_; ++i) {
     Shard& shard = shards_[i];
+    total.hits += shard.hits.load(std::memory_order_relaxed);
+    total.misses += shard.misses.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(shard.mu);
-    total.hits += shard.hits;
-    total.misses += shard.misses;
     total.inserts += shard.inserts;
     total.evictions += shard.evictions;
+    total.admission_rejects += shard.admission_rejects;
   }
   return total;
 }

@@ -71,15 +71,21 @@ Result<ShardedQueryEngine> ShardedQueryEngine::Assemble(
   if (threads > 1) engine.pool_ = std::make_unique<ThreadPool>(threads);
   engine.stats_ = std::make_unique<ServeStatsBlock>(threads);
   if (options.shared_cache || options.cache_bytes > 0) {
-    engine.cache_fingerprint_ = known_fingerprint.has_value()
-                                    ? *known_fingerprint
-                                    : engine.ContentFingerprint();
-    if (options.shared_cache) {
-      engine.cache_ = options.shared_cache;
-    } else {
-      engine.cache_ = std::make_shared<ResultCache>(options.cache_bytes);
-      engine.cache_->Rebind(engine.cache_fingerprint_);
+    engine.cache_fingerprint_ =
+        known_fingerprint.has_value() ? *known_fingerprint
+        : options.known_fingerprint != 0
+            ? options.known_fingerprint
+            : engine.ContentFingerprint();
+    engine.cache_ = options.shared_cache
+                        ? options.shared_cache
+                        : std::make_shared<ResultCache>(options.cache_bytes);
+    if (options.pre_bind_invalidate) {
+      options.pre_bind_invalidate(engine.cache_fingerprint_);
     }
+    // Unconditional (result_cache.h contract): no-op when the swap path
+    // already invalidated for this fingerprint, a wholesale wipe when the
+    // shared cache is still bound to a different snapshot.
+    engine.cache_->Rebind(engine.cache_fingerprint_);
   }
   return engine;
 }

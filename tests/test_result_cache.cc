@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -198,8 +199,10 @@ TEST(ResultCache, InsertBoundDropsStaleGenerations) {
 }
 
 TEST(ResultCache, TinyBudgetReplacesInsteadOfGrowing) {
-  // The smallest cache: one shard, one probe window of slots.
-  ResultCache cache(1);
+  // The smallest cache: one shard, one probe window of slots. Admission is
+  // off so every displacing insert evicts immediately (the policy under
+  // test here is replacement, not admission).
+  ResultCache cache(1, /*second_chance_admission=*/false);
   EXPECT_EQ(cache.num_shards(), 1u);
   EXPECT_EQ(cache.slots_per_shard(), ResultCache::kProbeWindow);
   EXPECT_LE(cache.MemoryBytes(), 4096u);
@@ -220,6 +223,99 @@ TEST(ResultCache, TinyBudgetReplacesInsteadOfGrowing) {
   }
   EXPECT_GT(retained, 0u);
   EXPECT_LE(retained, cache.num_shards() * cache.slots_per_shard());
+}
+
+TEST(ResultCache, SecondChanceAdmissionProtectsResidents) {
+  // One shard, four slots, window four: every key probes every slot, so a
+  // fifth pair can only land by displacing a resident.
+  ResultCache cache(1);
+  ASSERT_EQ(cache.num_shards(), 1u);
+  ASSERT_EQ(cache.slots_per_shard(), ResultCache::kProbeWindow);
+  Distance d = 0;
+  for (Vertex i = 0; i < 4; ++i) {
+    cache.Insert(i, i + 1000, MakeInterval(i, 1.0f, 3.0f));
+  }
+  for (Vertex i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cache.Lookup(i, i + 1000, 2.0f, &d));
+  }
+
+  // First touch of a displacing key: refused, residents untouched.
+  cache.Insert(50, 1050, MakeInterval(99, 1.0f, 3.0f));
+  EXPECT_EQ(cache.stats().admission_rejects, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_FALSE(cache.Lookup(50, 1050, 2.0f, &d));
+  for (Vertex i = 0; i < 4; ++i) {
+    EXPECT_TRUE(cache.Lookup(i, i + 1000, 2.0f, &d));
+  }
+
+  // Second touch: the key proved it recurs; admitted by displacement.
+  cache.Insert(50, 1050, MakeInterval(99, 1.0f, 3.0f));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.Lookup(50, 1050, 2.0f, &d));
+  EXPECT_EQ(d, 99u);
+
+  // Re-inserting a resident key never needs admission (new interval for a
+  // cached pair), and an empty-slot insert is always admitted.
+  ResultCache roomy(1 << 20);
+  roomy.Insert(1, 2, MakeInterval(5, 1.0f, 2.0f));
+  roomy.Insert(1, 2, MakeInterval(7, 3.0f, 4.0f));
+  EXPECT_EQ(roomy.stats().admission_rejects, 0u);
+  EXPECT_TRUE(roomy.Lookup(1, 2, 3.5f, &d));
+  EXPECT_EQ(d, 7u);
+}
+
+// --------------------------------------------- generation-bound lookups
+//
+// Regression for the cross-generation readback bug: Lookup was not
+// fingerprint-bound, so after InvalidateDelta an old-generation engine
+// sharing the cache could read an entry the NEW generation inserted for a
+// delta-touched pair — answering from the wrong index. LookupBound checks
+// the slot's certified fingerprint under the same slot-version protocol.
+
+TEST(ResultCache, LookupBoundRefusesOtherGenerations) {
+  ResultCache cache(1 << 20);
+  cache.Rebind(1);
+  Distance d = 0;
+  cache.Insert(3, 7, MakeInterval(5, 1.0f, 3.0f));
+
+  EXPECT_TRUE(cache.LookupBound(3, 7, 2.0f, /*expected=*/1, &d));
+  EXPECT_EQ(d, 5u);
+  // Same entry, wrong generation: refused (the unbound Lookup still hits).
+  EXPECT_FALSE(cache.LookupBound(3, 7, 2.0f, /*expected=*/2, &d));
+  EXPECT_TRUE(cache.Lookup(3, 7, 2.0f, &d));
+}
+
+TEST(ResultCache, CrossGenerationReadbackAfterInvalidateDelta) {
+  ResultCache cache(1 << 20);
+  cache.Rebind(1);
+  Distance d = 0;
+  // Old generation caches two pairs; the delta touches only (3, 7).
+  cache.InsertBound(3, 7, MakeInterval(5, 1.0f, 3.0f), /*expected=*/1);
+  cache.InsertBound(4, 9, MakeInterval(6, 1.0f, 3.0f), /*expected=*/1);
+
+  DeltaImpact impact{100, 101, -kInfQuality, kInfQuality};
+  size_t dropped = cache.InvalidateDelta(
+      2, {&impact, 1},
+      [](Vertex s, Vertex t, const DeltaImpact&, Quality) {
+        return s == 3 && t == 7;
+      });
+  EXPECT_EQ(dropped, 1u);
+
+  // The new generation recomputes the delta-touched pair — the delta
+  // changed its answer from 5 to 42 — and caches it.
+  cache.InsertBound(3, 7, MakeInterval(42, 1.0f, 3.0f), /*expected=*/2);
+
+  // The OLD generation must not read the new generation's entry for the
+  // delta-touched pair (it would serve distance 42 from an index where the
+  // answer is 5), nor the survivor (re-certified for generation 2 only).
+  EXPECT_FALSE(cache.LookupBound(3, 7, 2.0f, /*expected=*/1, &d));
+  EXPECT_FALSE(cache.LookupBound(4, 9, 2.0f, /*expected=*/1, &d));
+
+  // The new generation reads both: the fresh entry and the survivor.
+  EXPECT_TRUE(cache.LookupBound(3, 7, 2.0f, /*expected=*/2, &d));
+  EXPECT_EQ(d, 42u);
+  EXPECT_TRUE(cache.LookupBound(4, 9, 2.0f, /*expected=*/2, &d));
+  EXPECT_EQ(d, 6u);
 }
 
 // ------------------------------------------------------- engine wiring
@@ -385,6 +481,65 @@ TEST(ResultCache, ConcurrentHitInsertInvalidateHammer) {
   ResultCacheStats stats = cache.stats();
   EXPECT_GT(stats.inserts, 0u);
   EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+// Seqlock torn-read hammer: the lock-free read path must never observe a
+// half-written slot. Writers keep overwriting the SAME few slots with
+// self-consistent (interval, distance) tuples — interval [v, v] paired
+// with distance v — while lock-free readers assert that any hit returns
+// the distance matching the constraint it asked. A torn read would stitch
+// w_lo/w_hi from one write to dist from another and trip the assertion;
+// the all-atomic slot fields plus the version protocol are what TSan
+// checks here (run under the TSan CI job).
+TEST(ResultCache, SeqlockReaderTornReadHammer) {
+  ResultCache cache(1 << 20);
+  cache.Rebind(1);
+  constexpr Vertex kPairs = 8;
+  constexpr uint32_t kValues = 64;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+
+  auto writer = [&](uint64_t seed) {
+    Rng rng(seed);
+    while (!stop.load(std::memory_order_relaxed)) {
+      Vertex s = static_cast<Vertex>(rng.NextBounded(kPairs));
+      uint32_t v = static_cast<uint32_t>(rng.NextBounded(kValues));
+      // Same slot, ever-changing payload: interval [v, v] certifies
+      // distance v. Writers rotate through a slot's three intervals, so
+      // the same interval index is overwritten constantly.
+      cache.Insert(s, s + 100,
+                   MakeInterval(v, static_cast<Quality>(v),
+                                static_cast<Quality>(v)));
+    }
+  };
+  auto reader = [&](uint64_t seed) {
+    Rng rng(seed);
+    Distance d = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      Vertex s = static_cast<Vertex>(rng.NextBounded(kPairs));
+      uint32_t v = static_cast<uint32_t>(rng.NextBounded(kValues));
+      Quality w = static_cast<Quality>(v);
+      // Both read paths are lock-free; exercise both.
+      if (cache.Lookup(s, s + 100, w, &d) && d != Distance{v}) {
+        torn.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (cache.LookupBound(s, s + 100, w, 1, &d) && d != Distance{v}) {
+        torn.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (uint64_t i = 0; i < 2; ++i) threads.emplace_back(writer, 200 + i);
+  for (uint64_t i = 0; i < 4; ++i) threads.emplace_back(reader, 300 + i);
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  ResultCacheStats stats = cache.stats();
+  EXPECT_GT(stats.inserts, 0u);
+  EXPECT_GT(stats.hits, 0u);
 }
 
 // A cache-enabled engine hammered by concurrent batches from many caller

@@ -7,6 +7,7 @@
 // fingerprint-bound result-cache handoff.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <thread>
@@ -268,6 +269,167 @@ TEST(SwapHammer, SharedCacheStaysCoherentAcrossSwaps) {
   for (std::thread& t : workers) t.join();
 
   EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(swappable->generation(), 1u + kSwaps);
+}
+
+// Cross-generation delta readback (regression for the unbound-Lookup bug):
+// two engine generations serve CONCURRENTLY from one shared cache — the
+// pinned old generation keeps answering during and after a swap — while an
+// invalidator runs scoped InvalidateDelta back and forth between the two
+// fingerprints. The strong assertion: an engine bound to generation X
+// answers exactly generation X's value for every query, including the
+// delta-touched pairs whose answers differ between generations. With an
+// unbound Lookup, an old-generation engine could hit an entry the new
+// generation inserted for a differing pair mid-sweep (slot certified by
+// the new fingerprint while the sweep is still running) and answer from
+// the wrong index; LookupBound's per-slot fingerprint check makes that
+// impossible.
+TEST(SwapHammer, CrossGenerationDeltaReadbackStaysBound) {
+  SwapFixture f = MakeSwapFixture(100, 260, 200, 3391);
+  auto cache = std::make_shared<ResultCache>(256 << 10);
+
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.shared_cache = cache;
+  auto engine_a = std::make_shared<const QueryEngine>(f.index_a, options);
+  auto engine_b = std::make_shared<const QueryEngine>(f.index_b, options);
+  const uint64_t fp_a = engine_a->cache_fingerprint();
+  const uint64_t fp_b = engine_b->cache_fingerprint();
+  ASSERT_NE(fp_a, fp_b);
+
+  // The pairs whose answers differ anywhere in the sampled workload: the
+  // "delta-touched" set the scoped invalidation must always drop. Keys are
+  // normalized (s <= t) like the cache's own.
+  std::vector<uint64_t> differing;
+  for (size_t i = 0; i < f.workload.size(); ++i) {
+    if (f.expected_a[i] != f.expected_b[i]) {
+      Vertex s = f.workload[i].s, t = f.workload[i].t;
+      if (s > t) std::swap(s, t);
+      differing.push_back((uint64_t{s} << 32) | t);
+    }
+  }
+  ASSERT_FALSE(differing.empty()) << "fixture must have differing answers";
+  auto is_differing = [&differing](Vertex s, Vertex t) {
+    const uint64_t key = (uint64_t{s} << 32) | t;
+    for (uint64_t k : differing) {
+      if (k == key) return true;
+    }
+    return false;
+  };
+
+  constexpr int kThreadsPerGen = 2;
+  constexpr int kRounds = 120;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> wrong_generation_answers{0};
+
+  auto worker = [&](const QueryEngine* engine,
+                    const std::vector<Distance>* expected, uint64_t seed) {
+    Rng rng(seed);
+    while (!stop.load(std::memory_order_relaxed)) {
+      size_t i = rng.NextBounded(f.workload.size());
+      const BatchQueryInput& q = f.workload[i];
+      // Exact-generation assertion: "either generation's answer" is NOT
+      // good enough here — that is what the unbound bug would produce.
+      if (engine->Query(q.s, q.t, q.w) != (*expected)[i]) {
+        wrong_generation_answers.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreadsPerGen; ++w) {
+    workers.emplace_back(worker, engine_a.get(), &f.expected_a,
+                         0xaaa0 + static_cast<uint64_t>(w));
+    workers.emplace_back(worker, engine_b.get(), &f.expected_b,
+                         0xbbb0 + static_cast<uint64_t>(w));
+  }
+
+  // The invalidator alternates which generation the cache is bound to,
+  // always dropping the differing pairs (the delta-touched set) and
+  // re-certifying only pairs both generations agree on — the scoped-
+  // invalidation soundness contract, exercised while both generations
+  // read and insert concurrently.
+  DeltaImpact impact{0, 0, -kInfQuality, kInfQuality};
+  for (int round = 0; round < kRounds; ++round) {
+    const uint64_t next_fp = (round % 2 == 0) ? fp_b : fp_a;
+    cache->InvalidateDelta(
+        next_fp, {&impact, 1},
+        [&is_differing](Vertex s, Vertex t, const DeltaImpact&, Quality) {
+          return is_differing(s, t);
+        });
+    // Let each binding serve for a moment so both generations get real
+    // cache traffic (hits + inserts) between rebinds.
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : workers) t.join();
+
+  EXPECT_EQ(wrong_generation_answers.load(), 0u);
+  // The cache was actually in play (hits happened).
+  EXPECT_GT(cache->stats().hits, 0u);
+}
+
+// Marker service for the Stats()/generation consistency check: Stats()
+// reports a constant marker in `queries`, so a reader can tell WHICH
+// service produced the counters it got.
+class MarkerService final : public QueryService {
+ public:
+  explicit MarkerService(uint64_t marker) : marker_(marker) {}
+  Distance Query(Vertex, Vertex, Quality) const override { return 0; }
+  std::vector<Distance> Batch(
+      const std::vector<BatchQueryInput>& queries) const override {
+    return std::vector<Distance>(queries.size(), 0);
+  }
+  uint64_t NumVertices() const override { return 1; }
+  QueryEngineStats Stats() const override {
+    QueryEngineStats stats;
+    stats.queries = marker_;
+    return stats;
+  }
+
+ private:
+  uint64_t marker_;
+};
+
+// Regression for the Stats()/generation race: the service pointer and the
+// generation counter must be captured under one critical section. The
+// swapper maintains the invariant that the service installed at generation
+// g carries marker g % 2; any Stats() result whose marker disagrees with
+// its generation's parity means the counters of one generation were
+// labeled with another generation's number — exactly what reading
+// generation() after Pin() allowed.
+TEST(SwapHammer, StatsGenerationStaysConsistentAcrossSwaps) {
+  auto even = std::make_shared<MarkerService>(0);
+  auto odd = std::make_shared<MarkerService>(1);
+
+  // Initial generation is 1: install the odd marker.
+  auto swappable = std::make_shared<SwappableQueryService>(odd);
+
+  constexpr int kReaderThreads = 4;
+  constexpr int kSwaps = 4000;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> mislabeled{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaderThreads; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        QueryEngineStats stats = swappable->Stats();
+        if (stats.queries != stats.generation % 2) {
+          mislabeled.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (int s = 1; s <= kSwaps; ++s) {
+    // This swap bumps the generation to 1 + s; install the matching
+    // parity's marker service.
+    swappable->Swap((1 + s) % 2 == 0 ? even : odd);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(mislabeled.load(), 0u);
   EXPECT_EQ(swappable->generation(), 1u + kSwaps);
 }
 

@@ -55,7 +55,8 @@
 //             [--queries=N] [--threads=T] [--cache-mb=M]
 //             [--seed=S] [--levels=L] [--impl=merge|scan|grouped|binary]
 //             [--verify] [--verify-level=offsets|directory|deep]
-//             [--listen=PORT [--host=ADDR] [--max-seconds=S]]
+//             [--listen=PORT [--host=ADDR] [--max-seconds=S]
+//              [--reactors=R]]
 //             [--idle-timeout-ms=MS] [--header-timeout-ms=MS]
 //             [--request-deadline-ms=MS] [--max-batch=N] [--drain-ms=MS]
 //             [--quarantine [--fallback-graph=<file>]]
@@ -66,7 +67,12 @@
 //             workload (default) or, with --listen, serve the wire
 //             protocol (net/wire.h) on PORT until SIGINT (immediate stop),
 //             SIGTERM (graceful drain: finish in-flight work, then exit),
-//             or --max-seconds; --verify checks section checksums and deep
+//             or --max-seconds; --reactors=R runs R per-core epoll event
+//             loops sharing the port via SO_REUSEPORT (answers are
+//             bit-identical at any R; with R>1 and no explicit --threads
+//             each engine runs single-threaded so queries execute inline
+//             on the owning reactor's core); --verify checks section
+//             checksums and deep
 //             label invariants at load, --verify-level picks the middle
 //             O(hub-groups) tier on its own; --cache-mb=M budgets M MiB
 //             for the dominance-aware result cache (serve/result_cache.h;
@@ -832,14 +838,22 @@ int RunWireServer(std::shared_ptr<const QueryService> service,
   options.request_deadline_ms = static_cast<uint64_t>(deadline_ms);
   options.max_batch_queries = static_cast<size_t>(max_batch);
   options.drain_deadline_ms = static_cast<uint64_t>(drain_ms);
+  int64_t reactors = flags.GetInt("reactors", 1);
+  if (reactors < 1 || reactors > 1024) {
+    std::fprintf(stderr, "error: --reactors wants a count in [1, 1024]\n");
+    return 1;
+  }
+  options.num_reactors = static_cast<size_t>(reactors);
   auto server = WcServer::Start(std::move(service), options);
   if (!server.ok()) {
     std::fprintf(stderr, "error: %s\n", server.status().ToString().c_str());
     return 1;
   }
-  std::printf("serving %zu vertices on %s:%u (%zu worker thread%s)\n",
+  std::printf("serving %zu vertices on %s:%u (%zu reactor%s, %zu worker "
+              "thread%s)\n",
               num_vertices, options.bind_address.c_str(),
-              server.value().port(), served_threads,
+              server.value().port(), server.value().num_reactors(),
+              server.value().num_reactors() == 1 ? "" : "s", served_threads,
               served_threads == 1 ? "" : "s");
   std::fflush(stdout);
   std::signal(SIGINT, HandleStopSignal);
@@ -945,6 +959,14 @@ int CmdServe(const Flags& flags) {
     return 1;
   }
   options.num_threads = static_cast<size_t>(threads);
+  // Per-core serving: with several reactors and no explicit --threads, run
+  // each engine single-threaded so queries execute inline on the reactor
+  // thread that owns the connection — one core runs one reactor end-to-end
+  // with no cross-core handoff (the reactors themselves are the
+  // parallelism). An explicit --threads overrides.
+  if (!flags.Has("threads") && flags.GetInt("reactors", 1) > 1) {
+    options.num_threads = 1;
+  }
   if (!ParseCacheBytes(flags, &options.cache_bytes)) return 1;
   std::string impl = flags.GetString("impl", "merge");
   if (impl == "merge") {
@@ -1063,7 +1085,8 @@ int CmdServe(const Flags& flags) {
       return RunWireServer(std::move(current.service), flags, current.n,
                            current.served_threads);
     }
-    if (shared_cache) shared_cache->Rebind(current.cache_fingerprint);
+    // No explicit Rebind here: the engine already bound the shared cache
+    // to its fingerprint at open (the unconditional-Rebind contract).
     auto swappable =
         std::make_shared<SwappableQueryService>(current.service);
     const std::string watch_path = manifest.empty() ? paths[0] : manifest;
@@ -1071,8 +1094,56 @@ int CmdServe(const Flags& flags) {
     int64_t last_mtime = FileMtimeNs(watch_path);
 
     auto reload = [&]() {
-      auto reopened = OpenServeService(paths, manifest, single_full, options,
-                                       load, degraded);
+      // Cache invalidation runs through the engine's pre-bind hook: it
+      // fires after the new fingerprint is computed but BEFORE the new
+      // engine's unconditional Rebind, while no queries flow through the
+      // new generation yet. A scoped InvalidateDelta there rebinds the
+      // cache itself, turning the engine's Rebind into a no-op — the
+      // surviving hot set is preserved instead of wholesale-wiped. When
+      // the hook does nothing (no usable delta log), the engine's own
+      // Rebind wipes, which is the correct wholesale ordering: new
+      // identity stored before the sweep, swept before the swap.
+      QueryEngineOptions next_options = options;
+      if (shared_cache) {
+        next_options.pre_bind_invalidate = [&](uint64_t next_fingerprint) {
+          // Scoped invalidation needs a delta log authored against exactly
+          // the outgoing snapshot.
+          if (delta_path.empty() ||
+              next_fingerprint == current.cache_fingerprint) {
+            return;
+          }
+          auto log = ReadDeltaLog(delta_path);
+          if (!log.ok() || log.value().base_fingerprint == 0 ||
+              log.value().base_fingerprint != current.cache_fingerprint) {
+            return;
+          }
+          std::vector<DeltaImpact> impacts = DeltaImpacts(log.value());
+          ResultCache::CoupledFn coupled;
+          if (current.engine != nullptr) {
+            // Pair (s, t) can only be affected if it reaches the changed
+            // edge from both sides in the OLD index at the lowest
+            // affected constraint (probed uncached: this runs under the
+            // cache's shard mutexes).
+            auto old_engine = current.engine;
+            coupled = [old_engine](Vertex s, Vertex t,
+                                   const DeltaImpact& impact,
+                                   Quality w_test) {
+              const WcIndex& index = old_engine->index();
+              return (index.Query(s, impact.u, w_test) != kInfDistance &&
+                      index.Query(impact.v, t, w_test) != kInfDistance) ||
+                     (index.Query(s, impact.v, w_test) != kInfDistance &&
+                      index.Query(impact.u, t, w_test) != kInfDistance);
+            };
+          }
+          size_t dropped = shared_cache->InvalidateDelta(next_fingerprint,
+                                                         impacts, coupled);
+          std::printf("cache: delta-scoped invalidation dropped %zu "
+                      "interval%s\n",
+                      dropped, dropped == 1 ? "" : "s");
+        };
+      }
+      auto reopened = OpenServeService(paths, manifest, single_full,
+                                       next_options, load, degraded);
       if (!reopened.ok()) {
         // Keep serving the old generation; the operator sees why.
         std::fprintf(stderr, "reload failed (still serving generation %llu): %s\n",
@@ -1081,43 +1152,6 @@ int CmdServe(const Flags& flags) {
         return;
       }
       OpenedService next = std::move(reopened).value();
-      if (shared_cache) {
-        // Invalidate BEFORE the swap so the new generation never reads an
-        // entry only the old index certified. Scoped invalidation needs a
-        // delta log authored against exactly the outgoing snapshot.
-        bool scoped = false;
-        if (!delta_path.empty()) {
-          auto log = ReadDeltaLog(delta_path);
-          if (log.ok() && log.value().base_fingerprint != 0 &&
-              log.value().base_fingerprint == current.cache_fingerprint) {
-            std::vector<DeltaImpact> impacts = DeltaImpacts(log.value());
-            ResultCache::CoupledFn coupled;
-            if (current.engine != nullptr) {
-              // Pair (s, t) can only be affected if it reaches the changed
-              // edge from both sides in the OLD index at the lowest
-              // affected constraint (probed uncached: this runs under the
-              // cache's shard mutexes).
-              auto old_engine = current.engine;
-              coupled = [old_engine](Vertex s, Vertex t,
-                                     const DeltaImpact& impact,
-                                     Quality w_test) {
-                const WcIndex& index = old_engine->index();
-                return (index.Query(s, impact.u, w_test) != kInfDistance &&
-                        index.Query(impact.v, t, w_test) != kInfDistance) ||
-                       (index.Query(s, impact.v, w_test) != kInfDistance &&
-                        index.Query(impact.u, t, w_test) != kInfDistance);
-              };
-            }
-            size_t dropped = shared_cache->InvalidateDelta(
-                next.cache_fingerprint, impacts, coupled);
-            std::printf("cache: delta-scoped invalidation dropped %zu "
-                        "interval%s\n",
-                        dropped, dropped == 1 ? "" : "s");
-            scoped = true;
-          }
-        }
-        if (!scoped) shared_cache->Rebind(next.cache_fingerprint);
-      }
       uint64_t generation = swappable->Swap(next.service);
       current = std::move(next);
       std::printf("reloaded %s: %zu vertices, now serving generation %llu\n",
