@@ -22,6 +22,7 @@
 #include "bench/workload.h"
 #include "core/batch.h"
 #include "core/dynamic_wc_index.h"
+#include "core/path_index.h"
 #include "core/wc_index.h"
 #include "labeling/delta.h"
 #include "labeling/shard_manifest.h"
@@ -330,6 +331,136 @@ BENCHMARK(BM_ShardLocalThroughput)
     ->ArgNames({"shard"})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------- query-family benchmarks
+
+// Top-k closest through the engine serving the mmap snapshot. The hoisted
+// source-side scan is paid once per request, so cost scales with the
+// candidate count, not k; the sweep shows both axes.
+void BM_ServeTopKClosest(benchmark::State& state) {
+  const ServeFixture& f = FixtureForSize(1);
+  const size_t k = static_cast<size_t>(state.range(0));
+  const size_t num_candidates = static_cast<size_t>(state.range(1));
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  static std::unique_ptr<QueryEngine> engine;
+  if (!engine) {
+    auto opened = QueryEngine::Open(f.snap_path, options);
+    if (!opened.ok()) {
+      state.SkipWithError("engine open failed");
+      return;
+    }
+    engine = std::make_unique<QueryEngine>(std::move(opened).value());
+  }
+  Rng rng(0x70b7u);
+  const size_t n = f.num_vertices;
+  std::vector<Vertex> candidates;
+  for (size_t i = 0; i < num_candidates; ++i) {
+    candidates.push_back(static_cast<Vertex>(rng.NextBounded(n)));
+  }
+  std::vector<Vertex> sources;
+  for (size_t i = 0; i < 64; ++i) {
+    sources.push_back(static_cast<Vertex>(rng.NextBounded(n)));
+  }
+  size_t si = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine->TopK(sources[si++ % sources.size()], candidates, 3.0f, k));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(num_candidates));
+}
+BENCHMARK(BM_ServeTopKClosest)
+    ->Args({8, 64})->Args({8, 512})->Args({64, 512})
+    ->ArgNames({"k", "candidates"})
+    ->Unit(benchmark::kMicrosecond);
+
+// Quality profile via the interval kernel: a dense threshold sweep costs
+// one label merge per DISTINCT certified interval, so 64 thresholds
+// should not cost ~10x what 6 do. merges_per_query lands as a counter.
+void BM_QualityProfile(benchmark::State& state) {
+  const ServeFixture& f = FixtureForSize(1);
+  const size_t num_thresholds = static_cast<size_t>(state.range(0));
+  static std::unique_ptr<WcIndex> index;
+  if (!index) {
+    auto loaded = WcIndex::LoadMmap(f.snap_path);
+    if (!loaded.ok()) {
+      state.SkipWithError("mmap load failed");
+      return;
+    }
+    index = std::make_unique<WcIndex>(std::move(loaded).value());
+  }
+  std::vector<Quality> thresholds;
+  for (size_t j = 0; j < num_thresholds; ++j) {
+    thresholds.push_back(1.0f + 5.0f * static_cast<float>(j) /
+                                    static_cast<float>(num_thresholds));
+  }
+  Rng rng(0x9f0f11eu);
+  const size_t n = f.num_vertices;
+  size_t merges = 0;
+  size_t calls = 0;
+  for (auto _ : state) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+    size_t call_merges = 0;
+    benchmark::DoNotOptimize(
+        QualityProfile(*index, s, t, thresholds, &call_merges));
+    merges += call_merges;
+    ++calls;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(num_thresholds));
+  state.counters["merges_per_query"] =
+      calls > 0 ? static_cast<double>(merges) / static_cast<double>(calls)
+                : 0.0;
+}
+BENCHMARK(BM_QualityProfile)
+    ->Arg(6)->Arg(64)
+    ->ArgNames({"thresholds"})
+    ->Unit(benchmark::kMicrosecond);
+
+// Constrained path reconstruction, with and without §V parent quads. The
+// parent unwind is one table probe per hop; the fallback re-queries
+// neighbors at every step. parent_steps / fallback_steps land as
+// counters so the split is visible in BENCH_micro_serve.json.
+void BM_ConstrainedPath(benchmark::State& state) {
+  const bool with_parents = state.range(0) != 0;
+  struct PathFixture {
+    QualityGraph graph;
+    WcIndex index;
+  };
+  static std::array<std::unique_ptr<PathFixture>, 2> fixtures;
+  auto& fx = fixtures[with_parents ? 1 : 0];
+  if (!fx) {
+    Dataset d = MakeSocialDataset("EU", 0.12);
+    WcIndexOptions options = WcIndexOptions::Plus();
+    options.record_parents = with_parents;
+    WcIndex built = WcIndex::Build(d.graph, options);
+    built.Finalize();
+    fx = std::make_unique<PathFixture>(
+        PathFixture{std::move(d.graph), std::move(built)});
+  }
+  Rng rng(0xa7b5u);
+  const size_t n = fx->graph.NumVertices();
+  PathQueryStats stats;
+  int64_t hops = 0;
+  for (auto _ : state) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+    auto path = QueryConstrainedPath(fx->index, fx->graph, s, t, 3.0f,
+                                     &stats);
+    hops += static_cast<int64_t>(path.empty() ? 0 : path.size() - 1);
+    benchmark::DoNotOptimize(path);
+  }
+  state.SetItemsProcessed(hops);
+  state.counters["parent_steps"] = static_cast<double>(stats.parent_steps);
+  state.counters["fallback_steps"] =
+      static_cast<double>(stats.fallback_steps);
+}
+BENCHMARK(BM_ConstrainedPath)
+    ->Arg(0)->Arg(1)
+    ->ArgNames({"parents"})
+    ->Unit(benchmark::kMicrosecond);
 
 // ---------------------------------------------- result-cache benchmarks
 

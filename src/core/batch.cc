@@ -39,30 +39,19 @@ std::vector<Distance> BatchQuery(const WcIndex& index,
 std::vector<RankedCandidate> TopKClosest(const WcIndex& index, Vertex source,
                                          const std::vector<Vertex>& candidates,
                                          Quality w, size_t k) {
-  std::vector<RankedCandidate> ranked;
-  ranked.reserve(candidates.size());
-  for (Vertex c : candidates) {
-    Distance d = index.Query(source, c, w);
-    if (d != kInfDistance) ranked.push_back({c, d});
-  }
-  std::sort(ranked.begin(), ranked.end(),
-            [](const RankedCandidate& a, const RankedCandidate& b) {
-              if (a.dist != b.dist) return a.dist < b.dist;
-              return a.vertex < b.vertex;
-            });
-  if (ranked.size() > k) ranked.resize(k);
-  return ranked;
+  return TopKClosestOverLabels(
+      index.NumVertices(), source, candidates, w, k,
+      [&index](Vertex v) { return index.EntriesFor(v); });
 }
 
-std::vector<ProfilePoint> QualityProfile(
-    const WcIndex& index, Vertex s, Vertex t,
-    const std::vector<Quality>& thresholds) {
-  std::vector<ProfilePoint> profile;
-  profile.reserve(thresholds.size());
-  for (Quality w : thresholds) {
-    profile.push_back({w, index.Query(s, t, w)});
-  }
-  return profile;
+std::vector<ProfilePoint> QualityProfile(const WcIndex& index, Vertex s,
+                                         Vertex t,
+                                         const std::vector<Quality>& thresholds,
+                                         size_t* label_merges) {
+  return QualityProfileOverIntervals(
+      thresholds,
+      [&](Quality w) { return index.QueryWithInterval(s, t, w); },
+      label_merges);
 }
 
 }  // namespace wcsd

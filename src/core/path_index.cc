@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
 
 #include "labeling/query.h"
 
@@ -12,8 +13,7 @@ namespace {
 // Finds the entry index in L(u) for hub `hub` whose quality is the first
 // >= w (Theorem 3: minimal distance for that hub under w). Returns SIZE_MAX
 // if absent.
-size_t FindHubEntry(const WcIndex& index, Vertex u, Rank hub, Quality w) {
-  auto lu = index.labels().For(u);
+size_t FindHubEntry(std::span<const LabelEntry> lu, Rank hub, Quality w) {
   auto it = std::lower_bound(
       lu.begin(), lu.end(), hub,
       [](const LabelEntry& e, Rank h) { return e.hub < h; });
@@ -33,7 +33,7 @@ size_t FindHubEntry(const WcIndex& index, Vertex u, Rank hub, Quality w) {
 // Query(hub_vertex, x, w) == remaining - 1).
 bool UnwindToHub(const WcIndex& index, const QualityGraph& g, Vertex u,
                  Rank hub, Distance dist, Quality w,
-                 std::vector<Vertex>* out) {
+                 std::vector<Vertex>* out, PathQueryStats* stats) {
   const Vertex hub_vertex = index.order().VertexAt(hub);
   Vertex cur = u;
   Distance remaining = dist;
@@ -41,10 +41,11 @@ bool UnwindToHub(const WcIndex& index, const QualityGraph& g, Vertex u,
   while (remaining > 0) {
     Vertex next = kNullVertex;
     if (index.has_parents()) {
-      size_t i = FindHubEntry(index, cur, hub, w);
-      if (i != SIZE_MAX &&
-          index.labels().For(cur)[i].dist == remaining) {
+      std::span<const LabelEntry> lcur = index.EntriesFor(cur);
+      size_t i = FindHubEntry(lcur, hub, w);
+      if (i != SIZE_MAX && lcur[i].dist == remaining) {
         next = index.Parents(cur)[i];
+        if (next != kNullVertex && stats != nullptr) ++stats->parent_steps;
       }
     }
     if (next == kNullVertex) {
@@ -57,6 +58,7 @@ bool UnwindToHub(const WcIndex& index, const QualityGraph& g, Vertex u,
           break;
         }
       }
+      if (next != kNullVertex && stats != nullptr) ++stats->fallback_steps;
     }
     if (next == kNullVertex) return false;  // Index inconsistent with graph.
     out->push_back(next);
@@ -70,19 +72,22 @@ bool UnwindToHub(const WcIndex& index, const QualityGraph& g, Vertex u,
 
 std::vector<Vertex> QueryConstrainedPath(const WcIndex& index,
                                          const QualityGraph& g, Vertex s,
-                                         Vertex t, Quality w) {
+                                         Vertex t, Quality w,
+                                         PathQueryStats* stats) {
   if (s == t) return {s};
   HubQueryResult r = index.QueryWithHub(s, t, w);
   if (r.dist == kInfDistance) return {};
 
   // s-side: s ... hub (in travel order s -> hub).
   std::vector<Vertex> s_side;
-  if (!UnwindToHub(index, g, s, r.via_hub, r.dist_from_s, w, &s_side)) {
+  if (!UnwindToHub(index, g, s, r.via_hub, r.dist_from_s, w, &s_side,
+                   stats)) {
     return {};
   }
   // t-side: t ... hub; reversed it continues the route hub -> t.
   std::vector<Vertex> t_side;
-  if (!UnwindToHub(index, g, t, r.via_hub, r.dist_to_t, w, &t_side)) {
+  if (!UnwindToHub(index, g, t, r.via_hub, r.dist_to_t, w, &t_side,
+                   stats)) {
     return {};
   }
   std::vector<Vertex> path = std::move(s_side);

@@ -19,13 +19,27 @@
 
 namespace wcsd {
 
+/// Per-call reconstruction counters: how many unwind steps were resolved
+/// by the recorded quad parents vs. the index-guided neighbor fallback.
+/// A parent-less index (built without record_parents, or mmap-loaded from
+/// a v1 snapshot that dropped the quads) resolves every step through the
+/// fallback — correct, but one Query per neighbor per step. Serving
+/// engines aggregate fallback_steps so the degraded mode is observable.
+struct PathQueryStats {
+  size_t parent_steps = 0;
+  size_t fallback_steps = 0;
+};
+
 /// Reconstructs a shortest w-path from s to t. Returns the vertex sequence
 /// s ... t (inclusive), or an empty vector if t is unreachable under w.
-/// Requires an index built with record_parents = true (falls back to pure
-/// index-guided search otherwise — still correct, more queries).
+/// Works on both label backends (append-oriented and finalized/mmap flat).
+/// Fastest with parent quads (record_parents at build, or a v2 snapshot);
+/// falls back to pure index-guided search otherwise — still correct, more
+/// queries (reported through `stats` when non-null).
 std::vector<Vertex> QueryConstrainedPath(const WcIndex& index,
                                          const QualityGraph& g, Vertex s,
-                                         Vertex t, Quality w);
+                                         Vertex t, Quality w,
+                                         PathQueryStats* stats = nullptr);
 
 /// Validates that `path` is a w-path in `g` from its front to its back
 /// (every consecutive pair is an edge with quality >= w). Used by tests and

@@ -512,6 +512,25 @@ Status WcIndex::SaveSnapshot(const std::string& path) const {
     return Status::InvalidArgument(
         "SaveSnapshot requires a finalized index (call Finalize first)");
   }
+  if (!parents_.empty()) {
+    // Flatten the per-vertex parent vectors in vertex order — the same
+    // order Finalize packs entries — so parents align index-for-index with
+    // the flat entry array the snapshot carries.
+    std::vector<Vertex> flat_parents;
+    flat_parents.reserve(flat_.TotalEntries());
+    for (const std::vector<Vertex>& pv : parents_) {
+      flat_parents.insert(flat_parents.end(), pv.begin(), pv.end());
+    }
+    if (flat_parents.size() != flat_.raw_entries().size()) {
+      return Status::InvalidArgument(
+          "parent quads out of sync with the flat labels; refusing to "
+          "snapshot misaligned parents");
+    }
+    return WriteSnapshot(path, flat_, &order_, flat_parents);
+  }
+  if (!flat_parents_.empty()) {
+    return WriteSnapshot(path, flat_, &order_, flat_parents_);
+  }
   return WriteSnapshot(path, flat_, &order_);
 }
 
@@ -530,6 +549,7 @@ Result<WcIndex> WcIndex::LoadMmap(const std::string& path,
     return Status::Corruption("order is not a permutation in " + path);
   }
   index.flat_ = std::move(mapped.labels);
+  index.flat_parents_ = mapped.parents;  // kept alive by flat_'s mapping
   index.finalized_ = true;
   return index;
 }

@@ -74,7 +74,8 @@ struct WcIndexOptions {
 
   /// Record BFS parents per label entry (the paper's §V quad labels
   /// (u, d_u, w_u, p_uv)), enabling path reconstruction. Adds one Vertex of
-  /// storage per entry. Parents are not serialized.
+  /// storage per entry. SaveSnapshot serializes them as the optional v2
+  /// parents section, so mmap-loaded snapshots keep the fast unwind.
   bool record_parents = false;
 
   /// Preset matching the paper's WC-INDEX: the basic construction query
@@ -156,17 +157,42 @@ class WcIndex {
   /// The flat backend; only meaningful when finalized().
   const FlatLabelSet& flat_labels() const { return flat_; }
 
-  /// True if §V quad labels (BFS parents) were recorded at build time.
-  bool has_parents() const { return !parents_.empty(); }
-
-  /// Parents aligned with labels().For(v): parents(v)[i] is the predecessor
-  /// of v on the minimal path witnessing entry i (kNullVertex for self
-  /// entries). Empty unless built with record_parents.
-  std::span<const Vertex> Parents(Vertex v) const {
-    static const std::vector<Vertex> kEmpty;
-    const auto& pv = parents_.empty() ? kEmpty : parents_[v];
-    return {pv.data(), pv.size()};
+  /// Entries of L(v) from whichever backend queries route through — the
+  /// flat CSR once finalized (mmap-loaded indexes have empty
+  /// append-oriented labels), the heap vectors before that.
+  std::span<const LabelEntry> EntriesFor(Vertex v) const {
+    return finalized_ ? flat_.For(v) : labels_.For(v);
   }
+
+  /// True if §V quad labels (BFS parents) are available — recorded at
+  /// build time, or loaded from a v2 snapshot's parents section.
+  bool has_parents() const {
+    return !parents_.empty() || !flat_parents_.empty();
+  }
+
+  /// Parents aligned index-for-index with the vertex's label entries
+  /// (labels().For(v) and the flat backend pack entries in the same
+  /// per-vertex order): Parents(v)[i] is the predecessor of v on the
+  /// minimal path witnessing entry i (kNullVertex for self entries).
+  /// Empty unless has_parents().
+  std::span<const Vertex> Parents(Vertex v) const {
+    if (!parents_.empty()) {
+      const auto& pv = parents_[v];
+      return {pv.data(), pv.size()};
+    }
+    if (!flat_parents_.empty()) {
+      auto offsets = flat_.raw_offsets();
+      return flat_parents_.subspan(
+          offsets[v], offsets[v + 1] - offsets[v]);
+    }
+    return {};
+  }
+
+  /// The whole per-entry parent array in flat-entry order; empty unless
+  /// the index was mmap-loaded from a snapshot with a parents section.
+  /// (Heap-built indexes keep parents per vertex; SaveSnapshot flattens
+  /// them on write.)
+  std::span<const Vertex> flat_parents() const { return flat_parents_; }
 
   /// Number of vertices indexed. Routed through the flat backend once
   /// finalized so mmap-loaded indexes (whose append-oriented labels() are
@@ -193,7 +219,9 @@ class WcIndex {
 
   /// Writes the finalized flat backend plus the vertex order as a
   /// page-aligned, checksummed snapshot (labeling/snapshot.h). Requires
-  /// finalized().
+  /// finalized(). Parent quads, when present, are flattened and written
+  /// as the v2 parents section so LoadMmap keeps path reconstruction on
+  /// the fast unwind.
   Status SaveSnapshot(const std::string& path) const;
 
   /// Maps a snapshot written by SaveSnapshot and serves queries directly
@@ -222,6 +250,10 @@ class WcIndex {
   VertexOrder order_;
   WcIndexBuildStats stats_;
   std::vector<std::vector<Vertex>> parents_;
+  /// Per-entry parents in flat-entry order, pointing into an mmap'd
+  /// snapshot (kept alive by flat_'s mapping). Mutually exclusive with
+  /// parents_ in practice: set only by LoadMmap.
+  std::span<const Vertex> flat_parents_;
 };
 
 /// Resolves an Ordering scheme to a concrete vertex order for `g`.

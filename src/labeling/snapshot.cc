@@ -26,6 +26,7 @@ static_assert(sizeof(HubGroup) == 8);
 constexpr uint64_t kSnapshotMagic = 0x57435344'534e4150ULL;  // "WCSDSNAP"
 constexpr uint64_t kPageSize = 4096;
 constexpr uint32_t kFlagHasOrder = 1u << 0;
+constexpr uint32_t kFlagHasParents = 1u << 1;  // v2 only
 
 enum SectionId : size_t {
   kSectionOrder = 0,
@@ -33,12 +34,14 @@ enum SectionId : size_t {
   kSectionEntries = 2,
   kSectionGroupOffsets = 3,
   kSectionGroups = 4,
-  kNumSections = 5,
+  kSectionParents = 5,  // v2 only; absent from the v1 section table
+  kNumSections = 6,
 };
+constexpr size_t kNumSectionsV1 = 5;
 
 constexpr uint64_t kSectionElemSize[kNumSections] = {
     sizeof(Vertex), sizeof(uint64_t), sizeof(LabelEntry), sizeof(uint64_t),
-    sizeof(HubGroup)};
+    sizeof(HubGroup), sizeof(Vertex)};
 
 struct SectionDesc {
   uint64_t file_offset;
@@ -49,7 +52,12 @@ struct SectionDesc {
 };
 static_assert(sizeof(SectionDesc) == 32);
 
-struct SnapshotHeader {
+// The two on-disk header layouts share every field; they differ only in
+// the section-table length (and therefore where header_crc sits). v1
+// files — everything written before the parents section existed, and
+// every parent-less file written since — use the 5-entry table.
+template <size_t N>
+struct SnapshotHeaderT {
   uint64_t magic;
   uint32_t version;
   uint32_t flags;
@@ -57,10 +65,15 @@ struct SnapshotHeader {
   uint64_t vertex_begin;
   uint64_t vertex_end;
   uint64_t section_count;
-  SectionDesc sections[kNumSections];
+  SectionDesc sections[N];
   uint32_t header_crc;  // CRC-32C of the bytes preceding this field
 };
-static_assert(offsetof(SnapshotHeader, header_crc) == 208);
+using SnapshotHeaderV1 = SnapshotHeaderT<kNumSectionsV1>;
+// The in-memory canonical form is the v2 layout; v1 files are widened on
+// parse (parents section zeroed).
+using SnapshotHeader = SnapshotHeaderT<kNumSections>;
+static_assert(offsetof(SnapshotHeaderV1, header_crc) == 208);
+static_assert(offsetof(SnapshotHeader, header_crc) == 240);
 static_assert(sizeof(SnapshotHeader) <= kPageSize);
 
 uint64_t AlignUp(uint64_t x) { return (x + kPageSize - 1) & ~(kPageSize - 1); }
@@ -71,12 +84,15 @@ struct SectionData {
 };
 
 // Lays out the sections page-aligned after the header, fills the section
-// table (offsets, lengths, checksums), and writes the file.
-Status WriteSnapshotFile(const std::string& path, SnapshotHeader header,
-                         const SectionData (&sections)[kNumSections]) {
+// table (offsets, lengths, checksums), and writes the file with the given
+// header layout (v1 or v2).
+template <size_t N>
+Status WriteSnapshotFileT(const std::string& path, uint32_t version,
+                          SnapshotHeaderT<N> header,
+                          const SectionData (&sections)[kNumSections]) {
   WCSD_RETURN_NOT_OK(CheckSerializationByteOrder());
   uint64_t cursor = kPageSize;
-  for (size_t s = 0; s < kNumSections; ++s) {
+  for (size_t s = 0; s < N; ++s) {
     SectionDesc& desc = header.sections[s];
     desc.element_count = sections[s].element_count;
     desc.byte_length = sections[s].element_count * kSectionElemSize[s];
@@ -86,10 +102,10 @@ Status WriteSnapshotFile(const std::string& path, SnapshotHeader header,
     cursor += AlignUp(desc.byte_length);
   }
   header.magic = kSnapshotMagic;
-  header.version = kSnapshotVersion;
-  header.section_count = kNumSections;
+  header.version = version;
+  header.section_count = N;
   header.header_crc =
-      Crc32c(&header, offsetof(SnapshotHeader, header_crc));
+      Crc32c(&header, offsetof(SnapshotHeaderT<N>, header_crc));
 
   // Crash-safe replacement: everything lands in a temp file, and the
   // target path only ever changes at Commit's atomic rename — a crash (or
@@ -107,7 +123,7 @@ Status WriteSnapshotFile(const std::string& path, SnapshotHeader header,
   char page[kPageSize] = {};
   std::memcpy(page, &header, sizeof(header));
   WCSD_RETURN_NOT_OK(writer.Write(page, kPageSize));
-  for (size_t s = 0; s < kNumSections; ++s) {
+  for (size_t s = 0; s < N; ++s) {
     const SectionDesc& desc = header.sections[s];
     if (desc.byte_length == 0) continue;
     FailpointResult fp = WCSD_FAILPOINT("snapshot.write.section");
@@ -122,37 +138,97 @@ Status WriteSnapshotFile(const std::string& path, SnapshotHeader header,
   return writer.Commit();
 }
 
+// Picks the smallest header layout that can carry the payload: v1 (no
+// parents table slot) when the parents section is empty, v2 otherwise.
+// Keeps parent-less snapshots byte-identical to the v1 format.
+Status WriteSnapshotFile(const std::string& path, const SnapshotHeader& header,
+                         const SectionData (&sections)[kNumSections]) {
+  if (sections[kSectionParents].element_count == 0) {
+    SnapshotHeaderV1 v1 = {};
+    v1.flags = header.flags & ~kFlagHasParents;
+    v1.num_vertices_total = header.num_vertices_total;
+    v1.vertex_begin = header.vertex_begin;
+    v1.vertex_end = header.vertex_end;
+    return WriteSnapshotFileT(path, /*version=*/1, v1, sections);
+  }
+  SnapshotHeader v2 = header;
+  v2.flags |= kFlagHasParents;
+  return WriteSnapshotFileT(path, /*version=*/kSnapshotVersion, v2, sections);
+}
+
 Result<SnapshotHeader> ParseHeader(const std::byte* data, size_t size,
                                    const std::string& path) {
   if (size < kPageSize) {
     return Status::Corruption("truncated snapshot header in " + path);
   }
-  SnapshotHeader header;
-  std::memcpy(&header, data, sizeof(header));
-  if (header.magic != kSnapshotMagic) {
+  // The magic/version prefix is layout-invariant; everything after it
+  // depends on the version's section-table length.
+  uint64_t magic;
+  uint32_t version;
+  std::memcpy(&magic, data, sizeof(magic));
+  std::memcpy(&version, data + sizeof(magic), sizeof(version));
+  if (magic != kSnapshotMagic) {
     return Status::Corruption("bad snapshot magic in " + path);
   }
-  if (header.version != kSnapshotVersion) {
+  if (version != 1 && version != kSnapshotVersion) {
     return Status::Corruption("unsupported snapshot version " +
-                              std::to_string(header.version) + " in " + path);
+                              std::to_string(version) + " in " + path);
   }
-  uint32_t expected = Crc32c(data, offsetof(SnapshotHeader, header_crc));
-  if (header.header_crc != expected) {
-    return Status::Corruption("snapshot header checksum mismatch in " + path);
+  SnapshotHeader header = {};
+  if (version == 1) {
+    SnapshotHeaderV1 v1;
+    std::memcpy(&v1, data, sizeof(v1));
+    uint32_t expected = Crc32c(data, offsetof(SnapshotHeaderV1, header_crc));
+    if (v1.header_crc != expected) {
+      return Status::Corruption("snapshot header checksum mismatch in " +
+                                path);
+    }
+    // v1 predates the parents section; the flag cannot be honored there.
+    if (v1.section_count != kNumSectionsV1 ||
+        (v1.flags & kFlagHasParents) != 0) {
+      return Status::Corruption("inconsistent snapshot header in " + path);
+    }
+    // Widen to the canonical layout; the parents section stays zeroed
+    // (element_count 0 == absent).
+    header.magic = v1.magic;
+    header.version = v1.version;
+    header.flags = v1.flags;
+    header.num_vertices_total = v1.num_vertices_total;
+    header.vertex_begin = v1.vertex_begin;
+    header.vertex_end = v1.vertex_end;
+    header.section_count = kNumSections;
+    std::memcpy(header.sections, v1.sections, sizeof(v1.sections));
+    header.header_crc = v1.header_crc;
+  } else {
+    std::memcpy(&header, data, sizeof(header));
+    uint32_t expected = Crc32c(data, offsetof(SnapshotHeader, header_crc));
+    if (header.header_crc != expected) {
+      return Status::Corruption("snapshot header checksum mismatch in " +
+                                path);
+    }
+    if (header.section_count != kNumSections) {
+      return Status::Corruption("inconsistent snapshot header in " + path);
+    }
   }
   // Vertex ids are 32-bit (types.h reserves the max value as kNullVertex),
   // which also keeps every count arithmetic below overflow-safe.
-  if (header.section_count != kNumSections ||
-      header.vertex_begin > header.vertex_end ||
+  if (header.vertex_begin > header.vertex_end ||
       header.vertex_end > header.num_vertices_total ||
       header.num_vertices_total >= kNullVertex) {
     return Status::Corruption("inconsistent snapshot header in " + path);
   }
   const uint64_t n_range = header.vertex_end - header.vertex_begin;
   const bool has_order = (header.flags & kFlagHasOrder) != 0;
+  const bool has_parents = (header.flags & kFlagHasParents) != 0;
+  // Parents are quads for the entries: when present, the two sections must
+  // align index-for-index.
   const uint64_t expected_counts[kNumSections] = {
-      has_order ? header.num_vertices_total : 0, n_range + 1, 0, n_range + 1,
-      0};
+      has_order ? header.num_vertices_total : 0,
+      n_range + 1,
+      0,
+      n_range + 1,
+      0,
+      has_parents ? header.sections[kSectionEntries].element_count : 0};
   for (size_t s = 0; s < kNumSections; ++s) {
     const SectionDesc& desc = header.sections[s];
     // Reject element counts whose byte size would wrap uint64 before the
@@ -183,6 +259,7 @@ SnapshotInfo InfoFromHeader(const SnapshotHeader& header) {
   info.vertex_begin = header.vertex_begin;
   info.vertex_end = header.vertex_end;
   info.has_order = (header.flags & kFlagHasOrder) != 0;
+  info.has_parents = (header.flags & kFlagHasParents) != 0;
   info.header_crc = header.header_crc;
   return info;
 }
@@ -200,10 +277,15 @@ std::span<const T> SectionSpan(const std::byte* base,
 }  // namespace
 
 Status WriteSnapshot(const std::string& path, const FlatLabelSet& flat,
-                     const VertexOrder* order) {
+                     const VertexOrder* order,
+                     std::span<const Vertex> parents) {
   if (order != nullptr && order->size() != flat.NumVertices()) {
     return Status::InvalidArgument(
         "order size does not match the label set");
+  }
+  if (!parents.empty() && parents.size() != flat.raw_entries().size()) {
+    return Status::InvalidArgument(
+        "parents size does not match the entry count");
   }
   SnapshotHeader header = {};
   header.flags = order != nullptr ? kFlagHasOrder : 0;
@@ -217,16 +299,22 @@ Status WriteSnapshot(const std::string& path, const FlatLabelSet& flat,
       {flat.raw_entries().data(), flat.raw_entries().size()},
       {flat.raw_group_offsets().data(), flat.raw_group_offsets().size()},
       {flat.raw_groups().data(), flat.raw_groups().size()},
+      {parents.data(), parents.size()},
   };
   return WriteSnapshotFile(path, header, sections);
 }
 
 Status WriteSnapshotShard(const std::string& path, const FlatLabelSet& flat,
                           uint64_t begin, uint64_t end,
-                          uint64_t num_vertices_total) {
+                          uint64_t num_vertices_total,
+                          std::span<const Vertex> parents) {
   if (begin > end || end > flat.NumVertices() ||
       num_vertices_total != flat.NumVertices()) {
     return Status::InvalidArgument("invalid shard vertex range");
+  }
+  if (!parents.empty() && parents.size() != flat.raw_entries().size()) {
+    return Status::InvalidArgument(
+        "parents size does not match the entry count");
   }
   auto offsets = flat.raw_offsets();
   auto group_offsets = flat.raw_group_offsets();
@@ -243,6 +331,11 @@ Status WriteSnapshotShard(const std::string& path, const FlatLabelSet& flat,
       flat.raw_entries().subspan(offsets[begin], offsets[end] - offsets[begin]);
   auto groups = flat.raw_groups().subspan(
       group_offsets[begin], group_offsets[end] - group_offsets[begin]);
+  // The parents slice tracks the entry slice index-for-index.
+  std::span<const Vertex> shard_parents =
+      parents.empty() ? parents
+                      : parents.subspan(offsets[begin],
+                                        offsets[end] - offsets[begin]);
 
   SnapshotHeader header = {};
   header.flags = 0;
@@ -255,6 +348,7 @@ Status WriteSnapshotShard(const std::string& path, const FlatLabelSet& flat,
       {entries.data(), entries.size()},
       {local_group_offsets.data(), local_group_offsets.size()},
       {groups.data(), groups.size()},
+      {shard_parents.data(), shard_parents.size()},
   };
   return WriteSnapshotFile(path, header, sections);
 }
@@ -274,6 +368,9 @@ Result<MappedSnapshot> LoadSnapshotMmap(const std::string& path,
   if (options.verify_checksums) {
     for (size_t s = 0; s < kNumSections; ++s) {
       const SectionDesc& desc = header.sections[s];
+      // Absent sections (v1 files widen to a zeroed parents entry) have no
+      // bytes to sum and no recorded CRC.
+      if (desc.byte_length == 0) continue;
       uint32_t crc = Crc32c(base + desc.file_offset, desc.byte_length);
       if (crc != desc.crc32c) {
         return Status::Corruption("snapshot section checksum mismatch in " +
@@ -303,6 +400,10 @@ Result<MappedSnapshot> LoadSnapshotMmap(const std::string& path,
   if (snapshot.info.has_order) {
     auto order = SectionSpan<Vertex>(base, header.sections[kSectionOrder]);
     snapshot.order_by_rank.assign(order.begin(), order.end());
+  }
+  if (snapshot.info.has_parents) {
+    snapshot.parents =
+        SectionSpan<Vertex>(base, header.sections[kSectionParents]);
   }
   return snapshot;
 }

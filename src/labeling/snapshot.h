@@ -20,14 +20,25 @@
 //                  order (u32 Vertex per rank; full snapshots only)
 //                  offsets (u64, n_range+1)   entries (12-byte LabelEntry)
 //                  group_offsets (u64)        groups (8-byte HubGroup)
+//                  parents (u32 Vertex, one per entry; version 2 only)
 // The header carries a CRC-32C of itself and one per section. The header
 // CRC is always verified on load; section CRCs only under
 // `verify_checksums` (a full-file read would defeat lazy paging).
+//
+// Version history: v1 has a five-section table (no parents). v2 appends an
+// optional parents section — the §V path-reconstruction quads, aligned
+// index-for-index with the entries section — and sets kFlagHasParents.
+// Writers emit the smallest version that can carry the payload (v1 when no
+// parents are given), so parent-less files stay byte-identical to v1 and
+// v1 readers of them keep working. Readers accept both versions; loading a
+// parent-less file surfaces has_parents = false so callers can report the
+// degraded path mode instead of silently losing the quads.
 
 #ifndef WCSD_LABELING_SNAPSHOT_H_
 #define WCSD_LABELING_SNAPSHOT_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -38,9 +49,11 @@
 
 namespace wcsd {
 
-/// Current snapshot format version. Bump on any layout change; readers
-/// reject other versions with a clean Status.
-inline constexpr uint32_t kSnapshotVersion = 1;
+/// Newest snapshot format version. Bump on any layout change; readers
+/// reject versions they do not know with a clean Status. Writers emit the
+/// smallest version that can represent the payload (v1 without parents),
+/// so old fixtures stay byte-stable.
+inline constexpr uint32_t kSnapshotVersion = 2;
 
 /// Snapshot header metadata surfaced to callers.
 struct SnapshotInfo {
@@ -52,6 +65,11 @@ struct SnapshotInfo {
   uint64_t vertex_begin = 0;
   uint64_t vertex_end = 0;
   bool has_order = false;
+  /// True when the file carries the per-entry parent quads (v2 section).
+  /// False on v1 files and parent-less v2 writes: path reconstruction
+  /// against such a snapshot runs the slow index-guided fallback, and
+  /// servers surface that degraded mode through their stats.
+  bool has_parents = false;
   /// The header's self-CRC — a cheap identity for the whole file (the
   /// header embeds every section's CRC). Shard manifests record it to
   /// detect a swapped or regenerated shard file without reading payloads.
@@ -69,6 +87,10 @@ struct MappedSnapshot {
   FlatLabelSet labels;
   /// rank -> vertex permutation; empty unless info.has_order.
   std::vector<Vertex> order_by_rank;
+  /// Per-entry parent quads, aligned index-for-index with the flat entry
+  /// array; empty unless info.has_parents. Points into the mapping (kept
+  /// alive by `labels`).
+  std::span<const Vertex> parents;
 };
 
 /// Structural-validation depth for snapshot loads. Mirrors
@@ -112,15 +134,21 @@ struct SnapshotLoadOptions {
 /// Writes a full-range snapshot of `flat`. Pass the index's order so
 /// WcIndex::LoadMmap can restore rank lookups; pass nullptr for a
 /// label-only snapshot (servable through ShardedQueryEngine or raw views).
+/// `parents`, when non-empty, must hold exactly one parent vertex per flat
+/// entry (same order) and is written as the v2 parents section.
 Status WriteSnapshot(const std::string& path, const FlatLabelSet& flat,
-                     const VertexOrder* order);
+                     const VertexOrder* order,
+                     std::span<const Vertex> parents = {});
 
 /// Writes the shard of `flat` covering local vertices [begin, end) of a
 /// logical index with `num_vertices_total` vertices. Offset arrays are
 /// rebased so the shard file stands alone. Shards carry no order section.
+/// `parents`, when non-empty, is the FULL index's per-entry parent array;
+/// the shard's slice is written alongside its entries.
 Status WriteSnapshotShard(const std::string& path, const FlatLabelSet& flat,
                           uint64_t begin, uint64_t end,
-                          uint64_t num_vertices_total);
+                          uint64_t num_vertices_total,
+                          std::span<const Vertex> parents = {});
 
 /// Maps `path` and returns zero-copy label views into it. Fails with a
 /// clean Status on IO errors, bad magic, unsupported version, header

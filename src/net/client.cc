@@ -34,6 +34,8 @@ Status StatusFromError(WireError error) {
       return Status::Unavailable(msg);
     case WireError::kDeadlineExceeded:
       return Status::DeadlineExceeded(msg);
+    case WireError::kNotSupported:
+      return Status::Unimplemented(msg);
     default:
       return Status::InvalidArgument(msg);
   }
@@ -391,6 +393,115 @@ Result<std::vector<Distance>> WcClient::Batch(
       });
 }
 
+Result<std::vector<RankedCandidate>> WcClient::TopK(
+    Vertex source, const std::vector<Vertex>& candidates, Quality w,
+    uint32_t k) {
+  if (candidates.size() > net::kMaxTopKCandidates) {
+    return Status::InvalidArgument(
+        "candidate set of " + std::to_string(candidates.size()) +
+        " exceeds the wire frame limit of " +
+        std::to_string(net::kMaxTopKCandidates) + "; split it across frames");
+  }
+  BeginRequest();
+  return RetryLoop<std::vector<RankedCandidate>>(
+      [&]() -> Result<std::vector<RankedCandidate>> {
+        const uint64_t id = next_request_id_++;
+        std::vector<uint8_t> out;
+        net::AppendTopKRequest(&out, id, source, candidates, w, k);
+        WCSD_RETURN_NOT_OK(SendBytes(out.data(), out.size()));
+        Result<WireFrame> reply = ReadReply(MsgType::kTopKReply, id);
+        if (!reply.ok()) return reply.status();
+        const std::vector<uint8_t>& payload = reply.value().payload;
+        uint32_t count = 0;
+        if (payload.size() < sizeof(count)) {
+          return Status::Corruption("bad top-k reply payload");
+        }
+        std::memcpy(&count, payload.data(), sizeof(count));
+        if (count > candidates.size() || count > k ||
+            payload.size() !=
+                sizeof(count) +
+                    uint64_t{count} * sizeof(net::RankedCandidatePayload)) {
+          return Status::Corruption("top-k reply count mismatch");
+        }
+        std::vector<RankedCandidate> ranked(count);
+        if (count > 0) {
+          std::memcpy(ranked.data(), payload.data() + sizeof(count),
+                      uint64_t{count} * sizeof(net::RankedCandidatePayload));
+        }
+        return ranked;
+      });
+}
+
+Result<std::vector<ProfilePoint>> WcClient::Profile(
+    Vertex s, Vertex t, const std::vector<Quality>& thresholds) {
+  if (thresholds.size() > net::kMaxProfileThresholds) {
+    return Status::InvalidArgument(
+        "threshold list of " + std::to_string(thresholds.size()) +
+        " exceeds the wire frame limit of " +
+        std::to_string(net::kMaxProfileThresholds) +
+        "; split it across frames");
+  }
+  BeginRequest();
+  return RetryLoop<std::vector<ProfilePoint>>(
+      [&]() -> Result<std::vector<ProfilePoint>> {
+        const uint64_t id = next_request_id_++;
+        std::vector<uint8_t> out;
+        net::AppendProfileRequest(&out, id, s, t, thresholds);
+        WCSD_RETURN_NOT_OK(SendBytes(out.data(), out.size()));
+        Result<WireFrame> reply = ReadReply(MsgType::kProfileReply, id);
+        if (!reply.ok()) return reply.status();
+        const std::vector<uint8_t>& payload = reply.value().payload;
+        uint32_t count = 0;
+        if (payload.size() < sizeof(count)) {
+          return Status::Corruption("bad profile reply payload");
+        }
+        std::memcpy(&count, payload.data(), sizeof(count));
+        // Positional alignment is the contract; a count mismatch means the
+        // reply cannot be trusted at all.
+        if (count != thresholds.size() ||
+            payload.size() !=
+                sizeof(count) +
+                    uint64_t{count} * sizeof(net::ProfilePointPayload)) {
+          return Status::Corruption("profile reply count mismatch");
+        }
+        std::vector<ProfilePoint> profile(count);
+        if (count > 0) {
+          std::memcpy(profile.data(), payload.data() + sizeof(count),
+                      uint64_t{count} * sizeof(net::ProfilePointPayload));
+        }
+        return profile;
+      });
+}
+
+Result<std::vector<Vertex>> WcClient::Path(Vertex s, Vertex t, Quality w) {
+  BeginRequest();
+  return RetryLoop<std::vector<Vertex>>(
+      [&]() -> Result<std::vector<Vertex>> {
+        const uint64_t id = next_request_id_++;
+        std::vector<uint8_t> out;
+        net::AppendPathRequest(&out, id, s, t, w);
+        WCSD_RETURN_NOT_OK(SendBytes(out.data(), out.size()));
+        Result<WireFrame> reply = ReadReply(MsgType::kPathReply, id);
+        if (!reply.ok()) return reply.status();
+        const std::vector<uint8_t>& payload = reply.value().payload;
+        uint32_t count = 0;
+        if (payload.size() < sizeof(count)) {
+          return Status::Corruption("bad path reply payload");
+        }
+        std::memcpy(&count, payload.data(), sizeof(count));
+        if (payload.size() !=
+            sizeof(count) + uint64_t{count} * sizeof(uint32_t)) {
+          return Status::Corruption("path reply count mismatch");
+        }
+        std::vector<Vertex> path(count);
+        if (count > 0) {
+          std::memcpy(path.data(), payload.data() + sizeof(count),
+                      uint64_t{count} * sizeof(uint32_t));
+        }
+        return path;
+      });
+}
+
 Result<std::vector<Distance>> WcClient::QueryPipelined(
     const std::vector<BatchQueryInput>& queries, size_t window) {
   // Deadline applies; retry does not — replies already consumed from the
@@ -469,6 +580,8 @@ Result<WireStats> WcClient::Stats() {
   stats.shard_unavailable = payload.shard_unavailable;
   stats.generation = payload.generation;
   stats.draining = payload.draining != 0;
+  stats.has_parents = payload.has_parents != 0;
+  stats.path_fallbacks = payload.path_fallbacks;
   stats.shards.resize(shard_count);
   if (shard_count > 0) {
     std::memcpy(stats.shards.data(), bytes.data() + net::StatsReplyBytes(0),

@@ -65,6 +65,11 @@ struct WireStats {
   /// server's service is not swappable, monotone per server otherwise.
   uint64_t generation = 0;
   bool draining = false;
+  /// True when the served index carries §V parent quads; false is the
+  /// explicit degraded parent-less mode (e.g. a v1 snapshot).
+  bool has_parents = false;
+  /// Path unwind steps the server resolved through the graph fallback.
+  uint64_t path_fallbacks = 0;
   std::vector<net::ShardBalancePayload> shards;
 };
 
@@ -128,6 +133,23 @@ class WcClient {
   /// for streams of independent queries.
   Result<std::vector<Distance>> QueryPipelined(
       const std::vector<BatchQueryInput>& queries, size_t window = 64);
+
+  /// One kTopK frame: up to k candidates closest to `source` under w,
+  /// ascending by distance (ties by vertex id), unreachable candidates
+  /// omitted — core/batch.h TopKClosest semantics, served remotely.
+  Result<std::vector<RankedCandidate>> TopK(
+      Vertex source, const std::vector<Vertex>& candidates, Quality w,
+      uint32_t k);
+
+  /// One kProfile frame: the (w, d) trade-off curve for (s, t) at the
+  /// given thresholds, positionally aligned with the input.
+  Result<std::vector<ProfilePoint>> Profile(
+      Vertex s, Vertex t, const std::vector<Quality>& thresholds);
+
+  /// One kPath frame: a shortest w-path s ... t inclusive; empty =
+  /// unreachable. Servers without a graph refuse with kNotSupported
+  /// (surfaced as an Unimplemented Status).
+  Result<std::vector<Vertex>> Path(Vertex s, Vertex t, Quality w);
 
   Result<WireStats> Stats();
 

@@ -55,6 +55,26 @@ class EngineService final : public QueryService {
     return engine_->index().NumVertices();
   }
   QueryEngineStats Stats() const override { return engine_->stats(); }
+  ServeOutcome TopKEx(Vertex source, std::span<const Vertex> candidates,
+                      Quality w, size_t k,
+                      std::vector<RankedCandidate>* out) const override {
+    *out = engine_->TopK(source, candidates, w, k);
+    return ServeOutcome::kOk;
+  }
+  ServeOutcome ProfileEx(Vertex s, Vertex t,
+                         std::span<const Quality> thresholds,
+                         std::vector<ProfilePoint>* out) const override {
+    *out = engine_->Profile(s, t, thresholds);
+    return ServeOutcome::kOk;
+  }
+  ServeOutcome PathEx(Vertex s, Vertex t, Quality w,
+                      std::vector<Vertex>* out) const override {
+    if (!engine_->has_graph()) return ServeOutcome::kNotSupported;
+    Result<std::vector<Vertex>> path = engine_->Path(s, t, w);
+    if (!path.ok()) return ServeOutcome::kNotSupported;
+    *out = std::move(path).value();
+    return ServeOutcome::kOk;
+  }
 
  private:
   std::shared_ptr<const QueryEngine> engine_;
@@ -84,6 +104,20 @@ class ShardedService final : public QueryService {
   ServeOutcome BatchEx(const std::vector<BatchQueryInput>& queries,
                        std::vector<Distance>* out) const override {
     return engine_->BatchEx(queries, out);
+  }
+  ServeOutcome TopKEx(Vertex source, std::span<const Vertex> candidates,
+                      Quality w, size_t k,
+                      std::vector<RankedCandidate>* out) const override {
+    return engine_->TopKEx(source, candidates, w, k, out);
+  }
+  ServeOutcome ProfileEx(Vertex s, Vertex t,
+                         std::span<const Quality> thresholds,
+                         std::vector<ProfilePoint>* out) const override {
+    return engine_->ProfileEx(s, t, thresholds, out);
+  }
+  ServeOutcome PathEx(Vertex s, Vertex t, Quality w,
+                      std::vector<Vertex>* out) const override {
+    return engine_->PathEx(s, t, w, out);
   }
 
  private:
@@ -493,7 +527,11 @@ struct WcServer::Impl {
                          header.request_id, nullptr, 0);
       };
       const MsgType type = static_cast<MsgType>(header.type);
-      if (type == MsgType::kQuery || type == MsgType::kBatchQuery) {
+      const bool is_query_frame =
+          type == MsgType::kQuery || type == MsgType::kBatchQuery ||
+          type == MsgType::kTopK || type == MsgType::kProfile ||
+          type == MsgType::kPath;
+      if (is_query_frame) {
         // Admission control. Stats/health frames are exempt: they are tiny
         // and exactly what an operator needs while the server is unhappy.
         if (options.overload_shed_reply_bytes != 0 &&
@@ -563,6 +601,108 @@ struct WcServer::Impl {
           net::AppendBatchReply(&conn.out, header.request_id, results);
           break;
         }
+        case MsgType::kTopK: {
+          net::TopKRequestPayload prefix;
+          if (header.payload_bytes < sizeof(prefix)) {
+            reject(WireError::kBadPayload);
+            return;
+          }
+          std::memcpy(&prefix, payload, sizeof(prefix));
+          if (header.payload_bytes !=
+              sizeof(prefix) + uint64_t{prefix.count} * sizeof(uint32_t)) {
+            reject(WireError::kBadPayload);
+            return;
+          }
+          // One candidate is one query's worth of work; the batch
+          // admission knob governs it too.
+          if (options.max_batch_queries != 0 &&
+              prefix.count > options.max_batch_queries) {
+            shed(WireError::kOverloaded);
+            overload_rejections.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          std::vector<Vertex> candidates(prefix.count);
+          if (prefix.count > 0) {
+            std::memcpy(candidates.data(), payload + sizeof(prefix),
+                        uint64_t{prefix.count} * sizeof(uint32_t));
+          }
+          std::vector<RankedCandidate> ranked;
+          const ServeOutcome outcome = service.TopKEx(
+              prefix.source, candidates, prefix.w, prefix.k, &ranked);
+          if (outcome != ServeOutcome::kOk) {
+            if (outcome == ServeOutcome::kNotSupported) {
+              shed(WireError::kNotSupported);
+            } else {
+              shed(WireError::kShardUnavailable);
+              shard_unavailable_rejections.fetch_add(
+                  1, std::memory_order_relaxed);
+            }
+            return;
+          }
+          net::AppendTopKReply(&conn.out, header.request_id, ranked);
+          break;
+        }
+        case MsgType::kProfile: {
+          net::ProfileRequestPayload prefix;
+          if (header.payload_bytes < sizeof(prefix)) {
+            reject(WireError::kBadPayload);
+            return;
+          }
+          std::memcpy(&prefix, payload, sizeof(prefix));
+          if (header.payload_bytes !=
+              sizeof(prefix) + uint64_t{prefix.count} * sizeof(float)) {
+            reject(WireError::kBadPayload);
+            return;
+          }
+          if (options.max_batch_queries != 0 &&
+              prefix.count > options.max_batch_queries) {
+            shed(WireError::kOverloaded);
+            overload_rejections.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          std::vector<Quality> thresholds(prefix.count);
+          if (prefix.count > 0) {
+            std::memcpy(thresholds.data(), payload + sizeof(prefix),
+                        uint64_t{prefix.count} * sizeof(float));
+          }
+          std::vector<ProfilePoint> profile;
+          const ServeOutcome outcome =
+              service.ProfileEx(prefix.s, prefix.t, thresholds, &profile);
+          if (outcome != ServeOutcome::kOk) {
+            if (outcome == ServeOutcome::kNotSupported) {
+              shed(WireError::kNotSupported);
+            } else {
+              shed(WireError::kShardUnavailable);
+              shard_unavailable_rejections.fetch_add(
+                  1, std::memory_order_relaxed);
+            }
+            return;
+          }
+          net::AppendProfileReply(&conn.out, header.request_id, profile);
+          break;
+        }
+        case MsgType::kPath: {
+          if (header.payload_bytes != sizeof(net::QueryPayload)) {
+            reject(WireError::kBadPayload);
+            return;
+          }
+          net::QueryPayload q;
+          std::memcpy(&q, payload, sizeof(q));
+          std::vector<Vertex> path;
+          const ServeOutcome outcome = service.PathEx(q.s, q.t, q.w, &path);
+          if (outcome != ServeOutcome::kOk) {
+            if (outcome == ServeOutcome::kNotSupported) {
+              shed(WireError::kNotSupported);
+            } else {
+              shed(WireError::kShardUnavailable);
+              shard_unavailable_rejections.fetch_add(
+                  1, std::memory_order_relaxed);
+            }
+            return;
+          }
+          net::AppendPathReply(&conn.out, header.request_id, path);
+          break;
+        }
         case MsgType::kStats: {
           if (header.payload_bytes != 0) {
             reject(WireError::kBadPayload);
@@ -584,7 +724,9 @@ struct WcServer::Impl {
               stats.shard_unavailable,
               stats.generation,
               server->draining.load(std::memory_order_relaxed) ? 1u : 0u,
-              0};
+              0,
+              stats.has_parents,
+              stats.path_fallbacks};
           std::vector<net::ShardBalancePayload> shards;
           for (const ShardBalanceEntry& shard : service.ShardBalance()) {
             shards.push_back(net::ShardBalancePayload{

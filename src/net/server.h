@@ -89,6 +89,30 @@ class QueryService {
     *out = Batch(queries);
     return ServeOutcome::kOk;
   }
+
+  /// The v6 query families. Defaults report kNotSupported so a minimal
+  /// service implementation keeps working: the server answers the frames
+  /// with a clean kNotSupported error instead of wrong data. Both engine
+  /// adapters override all three (path only serves when the engine was
+  /// configured with a graph).
+  virtual ServeOutcome TopKEx(Vertex source,
+                              std::span<const Vertex> candidates, Quality w,
+                              size_t k,
+                              std::vector<RankedCandidate>* out) const {
+    (void)source, (void)candidates, (void)w, (void)k, (void)out;
+    return ServeOutcome::kNotSupported;
+  }
+  virtual ServeOutcome ProfileEx(Vertex s, Vertex t,
+                                 std::span<const Quality> thresholds,
+                                 std::vector<ProfilePoint>* out) const {
+    (void)s, (void)t, (void)thresholds, (void)out;
+    return ServeOutcome::kNotSupported;
+  }
+  virtual ServeOutcome PathEx(Vertex s, Vertex t, Quality w,
+                              std::vector<Vertex>* out) const {
+    (void)s, (void)t, (void)w, (void)out;
+    return ServeOutcome::kNotSupported;
+  }
 };
 
 /// Adapters for the two engines. The shared_ptr keeps the engine (and its

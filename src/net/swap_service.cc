@@ -81,4 +81,21 @@ ServeOutcome SwappableQueryService::BatchEx(
   return Pin()->BatchEx(queries, out);
 }
 
+ServeOutcome SwappableQueryService::TopKEx(
+    Vertex source, std::span<const Vertex> candidates, Quality w, size_t k,
+    std::vector<RankedCandidate>* out) const {
+  return Pin()->TopKEx(source, candidates, w, k, out);
+}
+
+ServeOutcome SwappableQueryService::ProfileEx(
+    Vertex s, Vertex t, std::span<const Quality> thresholds,
+    std::vector<ProfilePoint>* out) const {
+  return Pin()->ProfileEx(s, t, thresholds, out);
+}
+
+ServeOutcome SwappableQueryService::PathEx(Vertex s, Vertex t, Quality w,
+                                           std::vector<Vertex>* out) const {
+  return Pin()->PathEx(s, t, w, out);
+}
+
 }  // namespace wcsd

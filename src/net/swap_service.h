@@ -56,6 +56,14 @@ class SwappableQueryService : public QueryService {
                        Distance* out) const override;
   ServeOutcome BatchEx(const std::vector<BatchQueryInput>& queries,
                        std::vector<Distance>* out) const override;
+  ServeOutcome TopKEx(Vertex source, std::span<const Vertex> candidates,
+                      Quality w, size_t k,
+                      std::vector<RankedCandidate>* out) const override;
+  ServeOutcome ProfileEx(Vertex s, Vertex t,
+                         std::span<const Quality> thresholds,
+                         std::vector<ProfilePoint>* out) const override;
+  ServeOutcome PathEx(Vertex s, Vertex t, Quality w,
+                      std::vector<Vertex>* out) const override;
 
  private:
   /// A shared_ptr copy under a short critical section. A plain mutex-

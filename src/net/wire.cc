@@ -26,6 +26,8 @@ const char* WireErrorName(WireError error) {
       return "deadline exceeded";
     case WireError::kShardUnavailable:
       return "shard unavailable";
+    case WireError::kNotSupported:
+      return "not supported";
   }
   return "unknown error";
 }
@@ -117,6 +119,82 @@ void AppendStatsReply(std::vector<uint8_t>* out, uint64_t request_id,
   if (!shards.empty()) {
     std::memcpy(out->data() + at, shards.data(),
                 shards.size() * sizeof(ShardBalancePayload));
+  }
+}
+
+void AppendTopKRequest(std::vector<uint8_t>* out, uint64_t request_id,
+                       Vertex source, std::span<const Vertex> candidates,
+                       Quality w, uint32_t k) {
+  TopKRequestPayload prefix{source, w, k,
+                            static_cast<uint32_t>(candidates.size())};
+  size_t at = AppendHeader(out, MsgType::kTopK, WireError::kOk, request_id,
+                           sizeof(prefix) +
+                               candidates.size() * sizeof(uint32_t));
+  std::memcpy(out->data() + at, &prefix, sizeof(prefix));
+  if (!candidates.empty()) {
+    std::memcpy(out->data() + at + sizeof(prefix), candidates.data(),
+                candidates.size() * sizeof(uint32_t));
+  }
+}
+
+void AppendProfileRequest(std::vector<uint8_t>* out, uint64_t request_id,
+                          Vertex s, Vertex t,
+                          std::span<const Quality> thresholds) {
+  ProfileRequestPayload prefix{s, t,
+                               static_cast<uint32_t>(thresholds.size())};
+  size_t at = AppendHeader(out, MsgType::kProfile, WireError::kOk,
+                           request_id,
+                           sizeof(prefix) + thresholds.size() * sizeof(float));
+  std::memcpy(out->data() + at, &prefix, sizeof(prefix));
+  if (!thresholds.empty()) {
+    std::memcpy(out->data() + at + sizeof(prefix), thresholds.data(),
+                thresholds.size() * sizeof(float));
+  }
+}
+
+void AppendPathRequest(std::vector<uint8_t>* out, uint64_t request_id,
+                       Vertex s, Vertex t, Quality w) {
+  QueryPayload payload{s, t, w};
+  AppendFrame(out, MsgType::kPath, WireError::kOk, request_id, &payload,
+              sizeof(payload));
+}
+
+void AppendTopKReply(std::vector<uint8_t>* out, uint64_t request_id,
+                     std::span<const RankedCandidate> ranked) {
+  const uint32_t count = static_cast<uint32_t>(ranked.size());
+  size_t at =
+      AppendHeader(out, MsgType::kTopKReply, WireError::kOk, request_id,
+                   sizeof(count) + ranked.size() * sizeof(RankedCandidate));
+  std::memcpy(out->data() + at, &count, sizeof(count));
+  if (!ranked.empty()) {
+    std::memcpy(out->data() + at + sizeof(count), ranked.data(),
+                ranked.size() * sizeof(RankedCandidate));
+  }
+}
+
+void AppendProfileReply(std::vector<uint8_t>* out, uint64_t request_id,
+                        std::span<const ProfilePoint> profile) {
+  const uint32_t count = static_cast<uint32_t>(profile.size());
+  size_t at =
+      AppendHeader(out, MsgType::kProfileReply, WireError::kOk, request_id,
+                   sizeof(count) + profile.size() * sizeof(ProfilePoint));
+  std::memcpy(out->data() + at, &count, sizeof(count));
+  if (!profile.empty()) {
+    std::memcpy(out->data() + at + sizeof(count), profile.data(),
+                profile.size() * sizeof(ProfilePoint));
+  }
+}
+
+void AppendPathReply(std::vector<uint8_t>* out, uint64_t request_id,
+                     std::span<const Vertex> path) {
+  const uint32_t count = static_cast<uint32_t>(path.size());
+  size_t at =
+      AppendHeader(out, MsgType::kPathReply, WireError::kOk, request_id,
+                   sizeof(count) + path.size() * sizeof(uint32_t));
+  std::memcpy(out->data() + at, &count, sizeof(count));
+  if (!path.empty()) {
+    std::memcpy(out->data() + at + sizeof(count), path.data(),
+                path.size() * sizeof(uint32_t));
   }
 }
 

@@ -18,20 +18,37 @@
 //   kBatchQuery  (4+12n) u32 count, then count (s, t, w) triples
 //   kBatchQueryReply (4+4n) u32 count, then count u32 distances,
 //                      positionally aligned with the request
+//   kTopK        (16+4n) u32 source, f32 w, u32 k, u32 count, then count
+//                      u32 candidate vertices
+//   kTopKReply   (4+8n) u32 count (<= min(k, candidates)), then count
+//                      (u32 vertex, u32 dist) records ascending by
+//                      distance, ties by vertex id; unreachable candidates
+//                      are omitted
+//   kProfile     (12+4n) u32 s, u32 t, u32 count, then count f32
+//                      thresholds (any order)
+//   kProfileReply (4+8n) u32 count, then count (f32 w, u32 dist) records,
+//                      positionally aligned with the request's thresholds
+//   kPath        (12)  u32 s, u32 t, f32 w (same shape as kQuery)
+//   kPathReply   (4+4n) u32 count, then count u32 vertices: the path
+//                      s ... t inclusive; count 0 = unreachable
 //   kStats       (0)
-//   kStatsReply  (112+40n) u64 num_vertices, queries, reachable, batches,
+//   kStatsReply  (128+40n) u64 num_vertices, queries, reachable, batches,
 //                      cache_hits, cache_misses, cache_inserts,
 //                      cache_evictions (result-cache counters; zero when
 //                      the engine serves uncached), overload_rejections,
 //                      deadline_rejections, shard_unavailable, generation
 //                      (hot-swap generation, monotone per server; 0 when
 //                      the service is not swappable), u32
-//                      draining, u32 reserved2, then u32 shard_count, u32
+//                      draining, u32 reserved2, u64 has_parents (1 when
+//                      the index carries §V parent quads), u64
+//                      path_fallbacks (path unwind steps served through
+//                      the graph fallback), then u32 shard_count, u32
 //                      reserved, then shard_count per-shard balance
 //                      records (u64 vertex_begin, vertex_end, entry_count,
 //                      label_bytes, u32 quarantined, u32 reserved) in
 //                      tiling order; shard_count is 0 for unsharded
-//                      engines
+//                      engines. The first 104 bytes are the v5 layout,
+//                      unchanged (static_asserted below).
 //   kHealth      (0)
 //   kHealthReply (16)  u64 num_vertices, u32 draining (1 while the server
 //                      is in graceful drain), u32 reserved
@@ -39,8 +56,10 @@
 //                      of a reply when a frame is well-delimited but
 //                      invalid, when the server sheds it under overload
 //                      (kOverloaded), misses its deadline
-//                      (kDeadlineExceeded), or cannot serve it in degraded
-//                      mode (kShardUnavailable), or before closing on a
+//                      (kDeadlineExceeded), cannot serve it in degraded
+//                      mode (kShardUnavailable), does not serve that query
+//                      family at all (kNotSupported — e.g. kPath on a
+//                      server without a graph), or before closing on a
 //                      framing error
 //
 // Framing errors (bad magic, bad version, oversized length) poison the
@@ -76,7 +95,10 @@ inline constexpr uint32_t kWireMagic = 0x4e534357;
 /// balance records grew a quarantined flag, and the kOverloaded /
 /// kDeadlineExceeded / kShardUnavailable error codes were added. v5:
 /// kStatsReply grew the hot-swap generation counter (live-update serving).
-inline constexpr uint16_t kWireVersion = 5;
+/// v6: the kTopK / kProfile / kPath query families, the kNotSupported
+/// error code, and the kStatsReply has_parents / path_fallbacks counters
+/// (appended after the v5 prefix, whose layout is unchanged).
+inline constexpr uint16_t kWireVersion = 6;
 
 /// Default upper bound on one frame's payload (16 MiB ≈ 1.4M batched
 /// queries). A header announcing more is treated as a framing error before
@@ -88,10 +110,16 @@ enum class MsgType : uint8_t {
   kBatchQuery = 2,
   kStats = 3,
   kHealth = 4,
+  kTopK = 5,
+  kProfile = 6,
+  kPath = 7,
   kQueryReply = 65,
   kBatchQueryReply = 66,
   kStatsReply = 67,
   kHealthReply = 68,
+  kTopKReply = 69,
+  kProfileReply = 70,
+  kPathReply = 71,
   kError = 255,
 };
 
@@ -116,6 +144,9 @@ enum class WireError : uint8_t {
   /// shard. Frame-local; retrying the same server will not help until the
   /// shard is repaired.
   kShardUnavailable = 8,
+  /// The server does not serve this query family at all (e.g. kPath on a
+  /// server started without a graph). Frame-local; retrying never helps.
+  kNotSupported = 9,
 };
 
 /// Human-readable name of a WireError, for Status messages and logs.
@@ -156,6 +187,48 @@ struct QueryReplyPayload {
 };
 static_assert(sizeof(QueryReplyPayload) == 4);
 
+/// kTopK request fixed prefix; `count` candidate vertex ids follow.
+struct TopKRequestPayload {
+  uint32_t source;
+  float w;
+  uint32_t k;
+  uint32_t count;
+};
+static_assert(sizeof(TopKRequestPayload) == 16);
+
+/// One kTopKReply record. Matches core/batch.h RankedCandidate so replies
+/// can be encoded and decoded with bulk copies.
+struct RankedCandidatePayload {
+  uint32_t vertex;
+  uint32_t dist;
+};
+static_assert(sizeof(RankedCandidatePayload) == 8);
+static_assert(sizeof(RankedCandidate) == sizeof(RankedCandidatePayload));
+
+/// kProfile request fixed prefix; `count` f32 thresholds follow.
+struct ProfileRequestPayload {
+  uint32_t s;
+  uint32_t t;
+  uint32_t count;
+};
+static_assert(sizeof(ProfileRequestPayload) == 12);
+
+/// One kProfileReply record, positionally aligned with the request's
+/// thresholds. Matches core/batch.h ProfilePoint for bulk copies.
+struct ProfilePointPayload {
+  float w;
+  uint32_t dist;
+};
+static_assert(sizeof(ProfilePointPayload) == 8);
+static_assert(sizeof(ProfilePoint) == sizeof(ProfilePointPayload));
+
+/// Most candidates / thresholds one kTopK / kProfile frame can carry.
+/// Deliberately the same cap as kMaxBatchQueries (the batch cap is the
+/// tighter of the two per-element limits), so one knob governs "how much
+/// work may one frame request".
+inline constexpr size_t kMaxTopKCandidates = kMaxBatchQueries;
+inline constexpr size_t kMaxProfileThresholds = kMaxBatchQueries;
+
 /// kStatsReply fixed prefix: the serving engine's aggregate counters,
 /// including the result-cache counters (all zero when the server's engine
 /// runs without a cache). The wire payload continues with u32 shard_count,
@@ -176,8 +249,13 @@ struct StatsReplyPayload {
   uint64_t generation;            // hot-swap generation; 0 = not swappable
   uint32_t draining;              // 1 while the server is in graceful drain
   uint32_t reserved2;             // zero
+  uint64_t has_parents;           // v6: 1 when the index carries §V quads
+  uint64_t path_fallbacks;        // v6: path steps served via graph fallback
 };
-static_assert(sizeof(StatsReplyPayload) == 104);
+static_assert(sizeof(StatsReplyPayload) == 120);
+// The v5 prefix must never move: v6 only appends. A v5 decoder reading the
+// first 104 bytes of a v6 stats payload sees exactly its own layout.
+static_assert(offsetof(StatsReplyPayload, has_parents) == 104);
 
 /// One per-shard balance record in a kStatsReply: the shard's vertex range
 /// and the label mass it serves. Matches serve's ShardBalanceEntry. A
@@ -224,11 +302,28 @@ void AppendBatchRequest(std::vector<uint8_t>* out, uint64_t request_id,
                         std::span<const BatchQueryInput> queries);
 void AppendStatsRequest(std::vector<uint8_t>* out, uint64_t request_id);
 void AppendHealthRequest(std::vector<uint8_t>* out, uint64_t request_id);
+void AppendTopKRequest(std::vector<uint8_t>* out, uint64_t request_id,
+                       Vertex source, std::span<const Vertex> candidates,
+                       Quality w, uint32_t k);
+void AppendProfileRequest(std::vector<uint8_t>* out, uint64_t request_id,
+                          Vertex s, Vertex t,
+                          std::span<const Quality> thresholds);
+void AppendPathRequest(std::vector<uint8_t>* out, uint64_t request_id,
+                       Vertex s, Vertex t, Quality w);
 
 /// Appends a kBatchQueryReply frame, writing the count and distances
 /// straight into `out` (batch payloads are the big ones; no staging copy).
 void AppendBatchReply(std::vector<uint8_t>* out, uint64_t request_id,
                       std::span<const Distance> results);
+
+/// Appends a kTopKReply / kProfileReply / kPathReply frame (u32 count +
+/// bulk-copied records, like AppendBatchReply).
+void AppendTopKReply(std::vector<uint8_t>* out, uint64_t request_id,
+                     std::span<const RankedCandidate> ranked);
+void AppendProfileReply(std::vector<uint8_t>* out, uint64_t request_id,
+                        std::span<const ProfilePoint> profile);
+void AppendPathReply(std::vector<uint8_t>* out, uint64_t request_id,
+                     std::span<const Vertex> path);
 
 /// Appends a kStatsReply frame: the fixed counter prefix plus the
 /// per-shard balance section.

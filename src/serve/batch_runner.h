@@ -44,6 +44,17 @@ struct QueryEngineStats {
   /// Hot-swap generation currently serving (net/swap_service.h), starting
   /// at 1 and bumped on every swap; 0 for a non-swappable service.
   uint64_t generation = 0;
+  /// 1 when the served index carries §V parent quads (path reconstruction
+  /// runs on the fast unwind), 0 otherwise — e.g. an index built without
+  /// record_parents or mmap-loaded from a v1 snapshot that predates the
+  /// parents section. Surfaced on the wire so the degraded parent-less
+  /// mode is explicit, not silent.
+  uint64_t has_parents = 0;
+  /// Path-reconstruction unwind steps resolved through the index-guided
+  /// neighbor fallback instead of a recorded parent quad. A steadily
+  /// climbing value on a parent-less index is the degraded mode's
+  /// signature (each fallback step costs one index query per neighbor).
+  uint64_t path_fallbacks = 0;
 };
 
 /// 0 = hardware concurrency (min 1).
@@ -109,6 +120,21 @@ struct ServeStatsBlock {
     shard_unavailable.fetch_add(count, std::memory_order_relaxed);
   }
 
+  /// Records `count` evaluated sub-queries of which `reachable_count`
+  /// answered finite (the top-k / profile endpoints evaluate many
+  /// per-frame).
+  void RecordMany(uint64_t count, uint64_t reachable_count) {
+    slots[0].queries.fetch_add(count, std::memory_order_relaxed);
+    slots[0].reachable.fetch_add(reachable_count, std::memory_order_relaxed);
+  }
+
+  /// Records path-unwind steps served through the graph fallback.
+  void RecordPathFallbacks(uint64_t count) {
+    if (count != 0) {
+      path_fallbacks.fetch_add(count, std::memory_order_relaxed);
+    }
+  }
+
   QueryEngineStats Aggregate() const {
     QueryEngineStats total;
     for (const ServeWorkerSlot& slot : slots) {
@@ -118,12 +144,14 @@ struct ServeStatsBlock {
     total.batches = batches.load(std::memory_order_relaxed);
     total.shard_unavailable =
         shard_unavailable.load(std::memory_order_relaxed);
+    total.path_fallbacks = path_fallbacks.load(std::memory_order_relaxed);
     return total;
   }
 
   std::vector<ServeWorkerSlot> slots;
   std::atomic<uint64_t> batches{0};
   std::atomic<uint64_t> shard_unavailable{0};
+  std::atomic<uint64_t> path_fallbacks{0};
 };
 
 /// The batch body shared by both engines: evaluate `fn(query)` for every

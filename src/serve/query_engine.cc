@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/path_index.h"
 #include "labeling/shard_manifest.h"
 
 namespace wcsd {
@@ -77,8 +78,55 @@ std::vector<Distance> QueryEngine::Batch(
                        });
 }
 
+std::vector<RankedCandidate> QueryEngine::TopK(
+    Vertex source, std::span<const Vertex> candidates, Quality w,
+    size_t k) const {
+  const WcIndex& index = *index_;
+  std::vector<RankedCandidate> ranked = TopKClosestOverLabels(
+      index.NumVertices(), source, candidates, w, k,
+      [&index](Vertex v) { return index.EntriesFor(v); });
+  stats_->RecordMany(candidates.size(), ranked.size());
+  return ranked;
+}
+
+std::vector<ProfilePoint> QueryEngine::Profile(
+    Vertex s, Vertex t, std::span<const Quality> thresholds) const {
+  std::vector<ProfilePoint> profile = QualityProfileOverIntervals(
+      thresholds,
+      [&](Quality w) { return index_->QueryWithInterval(s, t, w); });
+  uint64_t reachable = 0;
+  for (const ProfilePoint& p : profile) {
+    if (p.dist != kInfDistance) ++reachable;
+  }
+  stats_->RecordMany(thresholds.size(), reachable);
+  return profile;
+}
+
+Result<std::vector<Vertex>> QueryEngine::Path(Vertex s, Vertex t,
+                                              Quality w) const {
+  if (options_.graph == nullptr) {
+    return Status::Unimplemented(
+        "path reconstruction needs the graph (QueryEngineOptions::graph); "
+        "this engine serves distances only");
+  }
+  const size_t n = index_->NumVertices();
+  if (s >= n || t >= n) {
+    stats_->RecordSingle(kInfDistance);
+    return std::vector<Vertex>{};
+  }
+  PathQueryStats path_stats;
+  std::vector<Vertex> path =
+      QueryConstrainedPath(*index_, *options_.graph, s, t, w, &path_stats);
+  stats_->RecordSingle(path.empty() ? kInfDistance : 0);
+  stats_->RecordPathFallbacks(path_stats.fallback_steps);
+  return path;
+}
+
 QueryEngineStats QueryEngine::stats() const {
-  return WithCacheStats(stats_->Aggregate(), cache_.get());
+  QueryEngineStats stats =
+      WithCacheStats(stats_->Aggregate(), cache_.get());
+  stats.has_parents = index_->has_parents() ? 1 : 0;
+  return stats;
 }
 
 }  // namespace wcsd

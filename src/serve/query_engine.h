@@ -76,6 +76,13 @@ struct QueryEngineOptions {
   /// stay warm across the swap instead of being wholesale-wiped. Without
   /// the hook (or if it does not rebind), the Rebind wipes as usual.
   std::function<void(uint64_t fingerprint)> pre_bind_invalidate;
+  /// Graph backing constrained-path reconstruction (§V). Path endpoints
+  /// need the graph even when the index carries parent quads: a mid-chain
+  /// entry pruned during construction forces an index-guided neighbor
+  /// step, which reads adjacency. Null (the default) leaves the distance
+  /// endpoints untouched and makes Path report kNotSupported /
+  /// Unimplemented. Must describe the graph the index was built from.
+  std::shared_ptr<const QualityGraph> graph;
 };
 
 /// Folds a result cache's counters into engine-level stats; a null cache
@@ -114,6 +121,28 @@ class QueryEngine {
   /// thread, including concurrently with other Batch calls on this engine.
   std::vector<Distance> Batch(
       const std::vector<BatchQueryInput>& queries) const;
+
+  /// One-to-many top-k closest (core/batch.h TopKClosest semantics): the
+  /// source's labels are scanned once, then each candidate costs one pass
+  /// over its own labels. Counts candidates.size() queries in stats().
+  std::vector<RankedCandidate> TopK(Vertex source,
+                                    std::span<const Vertex> candidates,
+                                    Quality w, size_t k) const;
+
+  /// Quality profile for (s, t) at the given thresholds (core/batch.h
+  /// QualityProfile semantics): one interval merge per distinct certified
+  /// interval, not one per threshold. Positionally aligned with the input.
+  std::vector<ProfilePoint> Profile(Vertex s, Vertex t,
+                                    std::span<const Quality> thresholds) const;
+
+  /// Constrained shortest path s -> t (core/path_index.h). Empty vector =
+  /// unreachable (or an endpoint out of range). Requires options.graph;
+  /// Unimplemented without it. Fallback unwind steps are aggregated into
+  /// stats().path_fallbacks.
+  Result<std::vector<Vertex>> Path(Vertex s, Vertex t, Quality w) const;
+
+  /// True when options.graph was configured (Path can serve).
+  bool has_graph() const { return options_.graph != nullptr; }
 
   const WcIndex& index() const { return *index_; }
   size_t num_threads() const { return pool_ ? pool_->size() : 1; }

@@ -369,4 +369,119 @@ ServeOutcome ShardedQueryEngine::BatchEx(
   return ServeOutcome::kOk;
 }
 
+ServeOutcome ShardedQueryEngine::TopKEx(
+    Vertex source, std::span<const Vertex> candidates, Quality w, size_t k,
+    std::vector<RankedCandidate>* out) const {
+  out->clear();
+  if (num_quarantined_ > 0) {
+    // Whole-request refusal, mirroring BatchEx: the reply has no per-
+    // candidate error channel, and a ranking silently missing candidates
+    // is worse than a clean refusal the client can route around.
+    bool touched = source < num_vertices_ && Unavailable(source);
+    for (size_t i = 0; !touched && i < candidates.size(); ++i) {
+      const Vertex c = candidates[i];
+      touched = c < num_vertices_ && c != source && Unavailable(c);
+    }
+    if (touched) {
+      stats_->RecordUnavailable(candidates.size());
+      return ServeOutcome::kShardUnavailable;
+    }
+  }
+  *out = TopKClosestOverLabels(
+      num_vertices_, source, candidates, w, k,
+      [this](Vertex v) { return ViewOf(v).entries; });
+  stats_->RecordMany(candidates.size(), out->size());
+  return ServeOutcome::kOk;
+}
+
+ServeOutcome ShardedQueryEngine::ProfileEx(
+    Vertex s, Vertex t, std::span<const Quality> thresholds,
+    std::vector<ProfilePoint>* out) const {
+  out->clear();
+  const bool in_range = s < num_vertices_ && t < num_vertices_;
+  if (num_quarantined_ > 0 && in_range && s != t &&
+      (Unavailable(s) || Unavailable(t))) {
+    stats_->RecordUnavailable(thresholds.size());
+    return ServeOutcome::kShardUnavailable;
+  }
+  *out = QualityProfileOverIntervals(
+      thresholds, [&](Quality w) -> IntervalQueryResult {
+        // Degenerate pairs answer with the everywhere-constant interval,
+        // the same guards WcIndex::QueryWithInterval applies.
+        if (!in_range) return IntervalQueryResult{};
+        if (s == t) return IntervalQueryResult{0, -kInfQuality, kInfQuality};
+        return QueryFlatMergeWithInterval(ViewOf(s), ViewOf(t), w);
+      });
+  uint64_t reachable = 0;
+  for (const ProfilePoint& p : *out) {
+    if (p.dist != kInfDistance) ++reachable;
+  }
+  stats_->RecordMany(thresholds.size(), reachable);
+  return ServeOutcome::kOk;
+}
+
+ServeOutcome ShardedQueryEngine::PathEx(Vertex s, Vertex t, Quality w,
+                                        std::vector<Vertex>* out) const {
+  out->clear();
+  if (options_.graph == nullptr) return ServeOutcome::kNotSupported;
+  const QualityGraph& g = *options_.graph;
+  if (s >= num_vertices_ || t >= num_vertices_) {
+    stats_->RecordSingle(kInfDistance);
+    return ServeOutcome::kOk;
+  }
+  if (num_quarantined_ > 0 && (Unavailable(s) || Unavailable(t))) {
+    stats_->RecordUnavailable(1);
+    return ServeOutcome::kShardUnavailable;
+  }
+  if (s == t) {
+    out->push_back(s);
+    stats_->RecordSingle(0);
+    return ServeOutcome::kOk;
+  }
+  const Distance total = QueryNoStats(s, t, w);
+  stats_->RecordSingle(total);
+  if (total == kInfDistance) return ServeOutcome::kOk;
+  // Greedy index-guided stepping: at each vertex take any constraint-
+  // satisfying neighbor exactly one step closer to t. Every step is a
+  // fallback step — shard slices carry no parent quads.
+  out->push_back(s);
+  Vertex cur = s;
+  Distance remaining = total;
+  size_t steps = 0;
+  while (remaining > 0) {
+    Vertex next = kNullVertex;
+    bool skipped_quarantined = false;
+    for (const Arc& a : g.Neighbors(cur)) {
+      if (a.quality < w) continue;
+      if (a.to >= num_vertices_) continue;
+      if (num_quarantined_ > 0 && Unavailable(a.to)) {
+        skipped_quarantined = true;
+        continue;
+      }
+      if (QueryNoStats(a.to, t, w) == remaining - 1) {
+        next = a.to;
+        break;
+      }
+    }
+    ++steps;
+    if (next == kNullVertex) {
+      out->clear();
+      stats_->RecordPathFallbacks(steps);
+      if (skipped_quarantined) {
+        // The only viable next hops were quarantined; the graph may still
+        // have a path through them.
+        stats_->RecordUnavailable(1);
+        return ServeOutcome::kShardUnavailable;
+      }
+      // Index inconsistent with the graph; treat as unreachable.
+      return ServeOutcome::kOk;
+    }
+    out->push_back(next);
+    cur = next;
+    --remaining;
+  }
+  stats_->RecordPathFallbacks(steps);
+  return ServeOutcome::kOk;
+}
+
 }  // namespace wcsd

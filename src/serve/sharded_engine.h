@@ -53,6 +53,9 @@ enum class ServeOutcome : uint8_t {
   /// was produced. Retrying the same engine will not help until the shard
   /// is repaired.
   kShardUnavailable = 1,
+  /// The service cannot serve this request family at all (path
+  /// reconstruction without a configured graph); retrying never helps.
+  kNotSupported = 2,
 };
 
 /// One shard's static contribution to the stitched index, for balance
@@ -131,6 +134,38 @@ class ShardedQueryEngine {
   /// than a clean refusal the client can route around.
   ServeOutcome BatchEx(const std::vector<BatchQueryInput>& queries,
                        std::vector<Distance>* out) const;
+
+  /// One-to-many top-k closest against the stitched index (core/batch.h
+  /// TopKClosest semantics; the source scan and per-candidate passes read
+  /// each vertex's shard slice). Refused whole with kShardUnavailable when
+  /// the source or ANY candidate lives in a quarantined shard — a ranking
+  /// silently missing candidates is worse than a clean refusal — and the
+  /// online Dijkstra fallback does not apply (it covers the distance
+  /// endpoints only).
+  ServeOutcome TopKEx(Vertex source, std::span<const Vertex> candidates,
+                      Quality w, size_t k,
+                      std::vector<RankedCandidate>* out) const;
+
+  /// Quality profile for (s, t) (core/batch.h QualityProfile semantics):
+  /// one interval merge per distinct certified interval. Refused with
+  /// kShardUnavailable when either endpoint is quarantined (the interval
+  /// kernel reads label slices; the Dijkstra fallback does not apply).
+  ServeOutcome ProfileEx(Vertex s, Vertex t,
+                         std::span<const Quality> thresholds,
+                         std::vector<ProfilePoint>* out) const;
+
+  /// Constrained shortest path via index-guided greedy stepping: shard
+  /// slices carry no parent quads, so every step probes the neighbors of
+  /// the current vertex for one whose remaining distance shrinks by one.
+  /// Requires a graph (QueryEngineOptions::graph; kNotSupported without).
+  /// Refused with kShardUnavailable when an endpoint — or every viable
+  /// next hop of some step — is quarantined. Empty `out` with kOk =
+  /// unreachable.
+  ServeOutcome PathEx(Vertex s, Vertex t, Quality w,
+                      std::vector<Vertex>* out) const;
+
+  /// True when a path graph was configured (PathEx can serve).
+  bool has_graph() const { return options_.graph != nullptr; }
 
   /// True when OpenManifest quarantined at least one shard.
   bool degraded() const { return num_quarantined_ > 0; }

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/batch.h"
 #include "core/wc_index.h"
 #include "graph/generators.h"
@@ -119,6 +121,91 @@ TEST(QualityProfileTest, Figure3PairV0V4) {
   EXPECT_EQ(profile[2].dist, 4u);
   EXPECT_EQ(profile[3].dist, kInfDistance);
   EXPECT_EQ(profile[4].dist, kInfDistance);
+}
+
+// The profile must cost one label merge per DISTINCT certified interval
+// the thresholds land in — never one per threshold. Probing the same
+// breakpoint structure with 100 thresholds must not merge more than
+// probing it with the distinct qualities does (plus at most one for an
+// above-the-top threshold), and duplicated thresholds must be free.
+TEST(QualityProfileTest, MergeCountBoundedByIntervalsNotThresholds) {
+  QualityModel quality;
+  quality.num_levels = 5;
+  QualityGraph g = GenerateRandomConnected(120, 300, quality, 13);
+  WcIndex index = WcIndex::Build(g);
+  Rng rng(15);
+  for (int i = 0; i < 50; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(120));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(120));
+
+    // Dense sweep: 100 thresholds spread over [1, 6].
+    std::vector<Quality> dense;
+    for (int j = 0; j < 100; ++j) {
+      dense.push_back(1.0f + 0.05f * static_cast<float>(j));
+    }
+    size_t dense_merges = 0;
+    auto profile = QualityProfile(index, s, t, dense, &dense_merges);
+    ASSERT_EQ(profile.size(), dense.size());
+    // d(s,t,w) over 5 quality levels has at most 5 finite steps plus the
+    // unreachable tail: at most 6 distinct intervals to certify.
+    EXPECT_LE(dense_merges, 6u) << "s=" << s << " t=" << t;
+    EXPECT_GE(dense_merges, 1u);
+
+    // Re-asking the same threshold 100 times costs exactly one merge.
+    std::vector<Quality> repeated(100, 2.0f);
+    size_t repeated_merges = 0;
+    QualityProfile(index, s, t, repeated, &repeated_merges);
+    EXPECT_EQ(repeated_merges, 1u) << "s=" << s << " t=" << t;
+  }
+}
+
+// The hoisted source-side scan must be bit-identical to ranking plain
+// per-candidate Query calls: same survivors, same order, same distances —
+// across random graphs, sources, constraints, and duplicate candidates.
+TEST(TopKClosestTest, BitIdenticalToNaivePerCandidateRanking) {
+  Rng rng(21);
+  for (uint64_t seed : {101u, 202u, 303u}) {
+    QualityModel quality;
+    quality.num_levels = 5;
+    const size_t n = 80 + 20 * (seed % 3);
+    QualityGraph g = GenerateRandomConnected(n, 3 * n, quality, seed);
+    WcIndex index = WcIndex::Build(g);
+    for (int round = 0; round < 30; ++round) {
+      Vertex source = static_cast<Vertex>(rng.NextBounded(n));
+      Quality w = static_cast<Quality>(rng.NextInRange(1, 5));
+      size_t k = 1 + static_cast<size_t>(rng.NextBounded(10));
+      std::vector<Vertex> candidates;
+      const size_t count = 1 + static_cast<size_t>(rng.NextBounded(20));
+      for (size_t i = 0; i < count; ++i) {
+        // Includes the source itself and out-of-range ids on purpose.
+        candidates.push_back(static_cast<Vertex>(rng.NextBounded(n + 2)));
+      }
+
+      auto fast = TopKClosest(index, source, candidates, w, k);
+
+      // The naive oracle: one two-sided Query per candidate, then the same
+      // (dist, vertex) sort and truncation.
+      std::vector<RankedCandidate> naive;
+      for (Vertex c : candidates) {
+        Distance d = c == source ? 0 : index.Query(source, c, w);
+        if (d != kInfDistance) naive.push_back({c, d});
+      }
+      std::stable_sort(naive.begin(), naive.end(),
+                       [](const RankedCandidate& a,
+                          const RankedCandidate& b) {
+                         if (a.dist != b.dist) return a.dist < b.dist;
+                         return a.vertex < b.vertex;
+                       });
+      if (naive.size() > k) naive.resize(k);
+
+      ASSERT_EQ(fast.size(), naive.size())
+          << "seed=" << seed << " source=" << source << " w=" << w;
+      for (size_t i = 0; i < naive.size(); ++i) {
+        ASSERT_EQ(fast[i].vertex, naive[i].vertex) << "rank " << i;
+        ASSERT_EQ(fast[i].dist, naive[i].dist) << "rank " << i;
+      }
+    }
+  }
 }
 
 }  // namespace

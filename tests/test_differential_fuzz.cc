@@ -24,7 +24,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -33,6 +35,7 @@
 
 #include "core/batch.h"
 #include "core/dynamic_wc_index.h"
+#include "core/path_index.h"
 #include "core/wc_index.h"
 #include "graph/builder.h"
 #include "labeling/delta.h"
@@ -42,6 +45,7 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "search/constrained_dijkstra.h"
+#include "search/pareto_enumerator.h"
 #include "serve/query_engine.h"
 #include "serve/sharded_engine.h"
 #include "util/random.h"
@@ -117,9 +121,13 @@ struct Stack {
 };
 
 Stack BuildStack(const QualityGraph& g, size_t build_threads,
-                 const std::string& tag) {
+                 const std::string& tag, bool record_parents = false) {
   WcIndexOptions options = WcIndexOptions::Plus();
   options.num_threads = build_threads;
+  // Alternating parents also fuzzes the v2 snapshot section end to end:
+  // with quads the mmap stack serves paths off the fast unwind, without
+  // them every layer runs the explicit degraded fallback.
+  options.record_parents = record_parents;
   WcIndex index = WcIndex::Build(g, options);
   WcIndex flat = index;
   flat.Finalize();
@@ -132,6 +140,9 @@ Stack BuildStack(const QualityGraph& g, size_t build_threads,
 
   QueryEngineOptions serve;
   serve.num_threads = 1;  // concurrency is hammered in test_serve/test_net
+  // Every serving layer gets the graph, so the kPath family is checked
+  // through the engines and over the wire too.
+  serve.graph = std::make_shared<const QualityGraph>(g);
   auto engine = std::make_shared<const QueryEngine>(
       std::make_shared<const WcIndex>(mm.value()), serve);
 
@@ -228,6 +239,200 @@ std::string CheckOne(const QualityGraph& g, const Stack& stack, Vertex s,
   return out.str();
 }
 
+// The three richer query families, checked across the same spread of
+// layers: top-k against a per-candidate Dijkstra oracle, profiles
+// against a per-threshold Dijkstra oracle cross-checked with the Pareto
+// frontier enumerator, and paths validated as w-paths of exactly the
+// true distance. Routes may legitimately differ between the parent
+// unwind, the engine's index-guided fallback, and the sharded greedy
+// stepping — validity plus optimal length is the contract, not the
+// exact vertex sequence.
+std::string CheckFamilies(const QualityGraph& g, const Stack& stack,
+                          Vertex s, Vertex t, Quality w, Rng& rng) {
+  std::ostringstream out;
+  const size_t n = g.NumVertices();
+
+  // kTopK: a random candidate set; duplicates and the source included.
+  std::vector<Vertex> candidates;
+  const size_t count = 1 + rng.NextBounded(8);
+  for (size_t i = 0; i < count; ++i) {
+    candidates.push_back(static_cast<Vertex>(rng.NextBounded(n)));
+  }
+  const size_t k = 1 + rng.NextBounded(5);
+  std::vector<RankedCandidate> oracle;
+  for (Vertex c : candidates) {
+    const Distance d = c == s ? 0 : ConstrainedDijkstraUnit(g, s, c, w);
+    if (d != kInfDistance) oracle.push_back({c, d});
+  }
+  std::sort(oracle.begin(), oracle.end(),
+            [](const RankedCandidate& a, const RankedCandidate& b) {
+              if (a.dist != b.dist) return a.dist < b.dist;
+              return a.vertex < b.vertex;
+            });
+  if (oracle.size() > k) oracle.resize(k);
+  auto expect_topk = [&](const char* what,
+                         const std::vector<RankedCandidate>& got) {
+    if (out.tellp() != 0) return;
+    bool same = got.size() == oracle.size();
+    for (size_t i = 0; same && i < got.size(); ++i) {
+      same = got[i].vertex == oracle[i].vertex &&
+             got[i].dist == oracle[i].dist;
+    }
+    if (!same) {
+      out << what << " topk disagrees with dijkstra (s=" << s << " w=" << w
+          << " k=" << k << ")";
+    }
+  };
+  expect_topk("labels", TopKClosest(stack.index, s, candidates, w, k));
+  expect_topk("flat", TopKClosest(stack.flat, s, candidates, w, k));
+  expect_topk("mmap", TopKClosest(stack.mm, s, candidates, w, k));
+  expect_topk("engine", stack.engine->TopK(s, candidates, w, k));
+  std::vector<RankedCandidate> ranked;
+  if (stack.sharded->TopKEx(s, candidates, w, k, &ranked) !=
+      ServeOutcome::kOk) {
+    if (out.tellp() == 0) out << "sharded topk refused a healthy request";
+  } else {
+    expect_topk("sharded", ranked);
+  }
+  ranked.clear();
+  if (stack.planned->TopKEx(s, candidates, w, k, &ranked) !=
+      ServeOutcome::kOk) {
+    if (out.tellp() == 0) out << "planned topk refused a healthy request";
+  } else {
+    expect_topk("planned", ranked);
+  }
+  auto net_topk =
+      stack.client->TopK(s, candidates, w, static_cast<uint32_t>(k));
+  if (!net_topk.ok()) {
+    if (out.tellp() == 0) {
+      out << "net topk error: " << net_topk.status().ToString();
+    }
+  } else {
+    expect_topk("net", net_topk.value());
+  }
+
+  // kProfile: thresholds straddling every integer level, both extremes
+  // included (0.5 certifies everything, 6.5 nothing).
+  std::vector<Quality> thresholds;
+  for (int j = 0; j <= 12; ++j) {
+    thresholds.push_back(0.5f + 0.5f * static_cast<float>(j));
+  }
+  std::vector<Distance> truth_profile;
+  truth_profile.reserve(thresholds.size());
+  for (Quality wt : thresholds) {
+    truth_profile.push_back(ConstrainedDijkstraUnit(g, s, t, wt));
+  }
+  // Cross-check the oracle itself: the profile at wt must equal the
+  // smallest Pareto-frontier distance whose quality certifies wt. The
+  // trivial s == t case is skipped — its distance is 0 at EVERY
+  // threshold, which no finite-quality frontier point can certify.
+  const auto frontier = s == t ? std::vector<FrontierPoint>{}
+                               : ParetoFrontier(g, s, t);
+  for (size_t j = 0; s != t && out.tellp() == 0 && j < thresholds.size();
+       ++j) {
+    Distance from_frontier = kInfDistance;
+    for (const FrontierPoint& p : frontier) {
+      if (p.quality >= thresholds[j]) {
+        from_frontier = p.distance;  // ascending distance: first wins
+        break;
+      }
+    }
+    if (from_frontier != truth_profile[j]) {
+      out << "pareto frontier disagrees with dijkstra at w=" << thresholds[j]
+          << " (" << from_frontier << " vs " << truth_profile[j] << ")";
+    }
+  }
+  auto expect_profile = [&](const char* what,
+                            const std::vector<ProfilePoint>& got) {
+    if (out.tellp() != 0) return;
+    bool same = got.size() == truth_profile.size();
+    for (size_t j = 0; same && j < got.size(); ++j) {
+      same = got[j].quality == thresholds[j] &&
+             got[j].dist == truth_profile[j];
+    }
+    if (!same) {
+      out << what << " profile disagrees with dijkstra (s=" << s
+          << " t=" << t << ")";
+    }
+  };
+  expect_profile("labels", QualityProfile(stack.index, s, t, thresholds));
+  expect_profile("flat", QualityProfile(stack.flat, s, t, thresholds));
+  expect_profile("mmap", QualityProfile(stack.mm, s, t, thresholds));
+  expect_profile("engine", stack.engine->Profile(s, t, thresholds));
+  std::vector<ProfilePoint> profile;
+  if (stack.sharded->ProfileEx(s, t, thresholds, &profile) !=
+      ServeOutcome::kOk) {
+    if (out.tellp() == 0) out << "sharded profile refused a healthy request";
+  } else {
+    expect_profile("sharded", profile);
+  }
+  profile.clear();
+  if (stack.planned->ProfileEx(s, t, thresholds, &profile) !=
+      ServeOutcome::kOk) {
+    if (out.tellp() == 0) out << "planned profile refused a healthy request";
+  } else {
+    expect_profile("planned", profile);
+  }
+  auto net_profile = stack.client->Profile(s, t, thresholds);
+  if (!net_profile.ok()) {
+    if (out.tellp() == 0) {
+      out << "net profile error: " << net_profile.status().ToString();
+    }
+  } else {
+    expect_profile("net", net_profile.value());
+  }
+
+  // kPath: every layer must produce a valid w-path of exactly the true
+  // distance (or nothing when unreachable).
+  const Distance truth = ConstrainedDijkstraUnit(g, s, t, w);
+  auto expect_path = [&](const char* what, const std::vector<Vertex>& path) {
+    if (out.tellp() != 0) return;
+    if (truth == kInfDistance) {
+      if (!path.empty()) {
+        out << what << " found a path where dijkstra sees none (s=" << s
+            << " t=" << t << " w=" << w << ")";
+      }
+      return;
+    }
+    if (path.size() != static_cast<size_t>(truth) + 1 || path.front() != s ||
+        path.back() != t || !IsValidWPath(g, path, w)) {
+      out << what << " path is not a shortest valid w-path (s=" << s
+          << " t=" << t << " w=" << w << ")";
+    }
+  };
+  expect_path("labels", QueryConstrainedPath(stack.index, g, s, t, w));
+  expect_path("mmap", QueryConstrainedPath(stack.mm, g, s, t, w));
+  auto engine_path = stack.engine->Path(s, t, w);
+  if (!engine_path.ok()) {
+    if (out.tellp() == 0) {
+      out << "engine path error: " << engine_path.status().ToString();
+    }
+  } else {
+    expect_path("engine", engine_path.value());
+  }
+  std::vector<Vertex> route;
+  if (stack.sharded->PathEx(s, t, w, &route) != ServeOutcome::kOk) {
+    if (out.tellp() == 0) out << "sharded path refused a healthy request";
+  } else {
+    expect_path("sharded", route);
+  }
+  route.clear();
+  if (stack.planned->PathEx(s, t, w, &route) != ServeOutcome::kOk) {
+    if (out.tellp() == 0) out << "planned path refused a healthy request";
+  } else {
+    expect_path("planned", route);
+  }
+  auto net_path = stack.client->Path(s, t, w);
+  if (!net_path.ok()) {
+    if (out.tellp() == 0) {
+      out << "net path error: " << net_path.status().ToString();
+    }
+  } else {
+    expect_path("net", net_path.value());
+  }
+  return out.str();
+}
+
 // Greedy edge-removal minimization: keep dropping edges while the
 // disagreement persists, bounded by a rebuild budget.
 std::string MinimizeAndReport(size_t family, uint64_t seed, size_t n,
@@ -274,11 +479,15 @@ TEST(DifferentialFuzz, AllAnswerPathsAgree) {
       const QualityGraph g = MakeFuzzGraph(family, seed);
       const size_t n = g.NumVertices();
       ASSERT_GT(n, 0u);
-      // Alternate sequential and parallel construction.
+      // Alternate sequential and parallel construction, and (on a
+      // decorrelated cadence) §V parent quads, so all four combinations
+      // of {build pipeline} x {v1/v2 snapshot} get fuzzed.
       const size_t build_threads = gi % 2 == 0 ? 1 : 3;
+      const bool record_parents = gi % 4 >= 2;
       Stack stack = BuildStack(g, build_threads,
                                std::to_string(family) + "_" +
-                                   std::to_string(gi));
+                                   std::to_string(gi),
+                               record_parents);
 
       Rng rng(seed ^ 0xf022u);
       std::vector<BatchQueryInput> batch;
@@ -296,6 +505,19 @@ TEST(DifferentialFuzz, AllAnswerPathsAgree) {
           FAIL() << mismatch << "\n"
                  << MinimizeAndReport(family, seed, n, EdgesOf(g), s, t, w,
                                       build_threads);
+        }
+        // Every third triple additionally runs the three query families
+        // through every layer (oracle recomputation per candidate and
+        // threshold keeps this the expensive part of the suite).
+        if (qi % 3 == 0) {
+          std::string families_mismatch = CheckFamilies(g, stack, s, t, w,
+                                                        rng);
+          if (!families_mismatch.empty()) {
+            FAIL() << families_mismatch << "\n  family="
+                   << kFamilies[family] << " seed=" << seed
+                   << " build_threads=" << build_threads
+                   << " record_parents=" << record_parents << " n=" << n;
+          }
         }
         batch.push_back({s, t, w});
         expected.push_back(ConstrainedDijkstraUnit(g, s, t, w));
@@ -322,6 +544,157 @@ TEST(DifferentialFuzz, AllAnswerPathsAgree) {
     }
   }
   EXPECT_GE(cases, 1000u);
+}
+
+// Degraded (--quarantine) refusal semantics for the three families: with
+// one shard quarantined, any top-k / profile / path request touching the
+// quarantined range must be refused whole with kShardUnavailable (an
+// Unavailable status over the wire) — the online Dijkstra fallback covers
+// the plain distance family only — while requests confined to healthy
+// shards keep answering bit-identically to the intact index.
+TEST(DifferentialFuzz, QuarantinedShardsRefuseFamiliesCleanly) {
+  QualityModel quality;
+  quality.num_levels = 5;
+  const size_t n = 90;
+  QualityGraph g = GenerateRandomConnected(n, 230, quality, 47);
+  WcIndexOptions options = WcIndexOptions::Plus();
+  WcIndex flat = WcIndex::Build(g, options);
+  flat.Finalize();
+
+  ShardPlanOptions plan_options;
+  plan_options.num_shards = 3;
+  auto plan = PlanShards(flat.flat_labels(), plan_options);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan.value().shards.size(), 3u);
+  auto written = WriteShardSet(testing::TempDir() + "/fuzz_degraded",
+                               flat.flat_labels(), plan.value());
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+
+  // Corrupt the middle shard's header so the verified open quarantines it.
+  {
+    std::fstream file(written.value().shard_paths[1],
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekp(24);
+    file.write("XXXXXXXX", 8);
+  }
+  const Vertex q_begin = static_cast<Vertex>(plan.value().shards[1].begin);
+  const Vertex q_end = static_cast<Vertex>(plan.value().shards[1].end);
+  ASSERT_LT(q_begin, q_end);
+  ASSERT_GT(q_begin, 0u);   // shard 0 holds healthy vertices
+  ASSERT_LT(q_end, n);      // shard 2 too
+
+  QueryEngineOptions serve;
+  serve.num_threads = 1;
+  serve.graph = std::make_shared<const QualityGraph>(g);
+  SnapshotLoadOptions verify;
+  verify.verify_checksums = true;
+  DegradedOpenOptions degraded;
+  degraded.quarantine_failed_shards = true;
+  degraded.fallback_graph = serve.graph.get();
+  auto opened = ShardedQueryEngine::OpenManifest(
+      written.value().manifest_path, serve, verify, degraded);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto engine = std::make_shared<const ShardedQueryEngine>(
+      std::move(opened).value());
+
+  auto started = WcServer::Start(MakeQueryService(engine));
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  WcServer server = std::move(started).value();
+  auto connected = WcClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  WcClient client = std::move(connected).value();
+
+  const Vertex healthy_a = 0;
+  const Vertex healthy_b = static_cast<Vertex>(n - 1);
+  const Vertex quarantined = q_begin;
+  const Quality w = 2.0f;
+
+  // The distance family still answers quarantined touches exactly,
+  // through the configured Dijkstra fallback.
+  Distance d = kInfDistance;
+  EXPECT_EQ(engine->QueryEx(healthy_a, quarantined, w, &d),
+            ServeOutcome::kOk);
+  EXPECT_EQ(d, ConstrainedDijkstraUnit(g, healthy_a, quarantined, w));
+
+  // kTopK: one quarantined candidate poisons the whole ranking.
+  std::vector<RankedCandidate> ranked;
+  const std::vector<Vertex> mixed_candidates = {healthy_b, quarantined};
+  const std::vector<Vertex> healthy_pair = {healthy_a, healthy_b};
+  EXPECT_EQ(engine->TopKEx(healthy_a, mixed_candidates, w, 2, &ranked),
+            ServeOutcome::kShardUnavailable);
+  EXPECT_EQ(engine->TopKEx(quarantined, healthy_pair, w, 2, &ranked),
+            ServeOutcome::kShardUnavailable);
+  std::vector<Vertex> healthy_candidates;
+  for (Vertex v = 0; v < q_begin; ++v) {
+    if (v != healthy_a) healthy_candidates.push_back(v);
+  }
+  ASSERT_EQ(engine->TopKEx(healthy_a, healthy_candidates, w, 5, &ranked),
+            ServeOutcome::kOk);
+  auto intact_ranked = TopKClosest(flat, healthy_a, healthy_candidates, w, 5);
+  ASSERT_EQ(ranked.size(), intact_ranked.size());
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    EXPECT_EQ(ranked[i].vertex, intact_ranked[i].vertex);
+    EXPECT_EQ(ranked[i].dist, intact_ranked[i].dist);
+  }
+
+  // kProfile: a quarantined endpoint is refused; healthy pairs match the
+  // intact index positionally.
+  const std::vector<Quality> thresholds = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f};
+  std::vector<ProfilePoint> profile;
+  EXPECT_EQ(engine->ProfileEx(healthy_a, quarantined, thresholds, &profile),
+            ServeOutcome::kShardUnavailable);
+  ASSERT_EQ(engine->ProfileEx(healthy_a, healthy_b, thresholds, &profile),
+            ServeOutcome::kOk);
+  auto intact_profile = QualityProfile(flat, healthy_a, healthy_b,
+                                       thresholds);
+  ASSERT_EQ(profile.size(), intact_profile.size());
+  for (size_t i = 0; i < profile.size(); ++i) {
+    EXPECT_EQ(profile[i].quality, intact_profile[i].quality);
+    EXPECT_EQ(profile[i].dist, intact_profile[i].dist);
+  }
+
+  // kPath: quarantined endpoints are refused; a healthy pair either routes
+  // around the quarantined range (and must then be a shortest valid
+  // w-path) or is refused cleanly when every route needs it.
+  std::vector<Vertex> route;
+  EXPECT_EQ(engine->PathEx(quarantined, healthy_b, w, &route),
+            ServeOutcome::kShardUnavailable);
+  const ServeOutcome path_outcome =
+      engine->PathEx(healthy_a, healthy_b, w, &route);
+  ASSERT_NE(path_outcome, ServeOutcome::kNotSupported);
+  if (path_outcome == ServeOutcome::kOk && !route.empty()) {
+    const Distance truth = ConstrainedDijkstraUnit(g, healthy_a, healthy_b,
+                                                   w);
+    EXPECT_EQ(route.size(), static_cast<size_t>(truth) + 1);
+    EXPECT_EQ(route.front(), healthy_a);
+    EXPECT_EQ(route.back(), healthy_b);
+    EXPECT_TRUE(IsValidWPath(g, route, w));
+  }
+
+  // Over the wire the refusals surface as Unavailable, and the connection
+  // stays healthy for follow-up requests.
+  auto net_topk = client.TopK(healthy_a, {healthy_b, quarantined}, w, 2);
+  ASSERT_FALSE(net_topk.ok());
+  EXPECT_EQ(net_topk.status().code(), StatusCode::kUnavailable);
+  auto net_profile = client.Profile(quarantined, healthy_b, thresholds);
+  ASSERT_FALSE(net_profile.ok());
+  EXPECT_EQ(net_profile.status().code(), StatusCode::kUnavailable);
+  auto net_path = client.Path(healthy_a, quarantined, w);
+  ASSERT_FALSE(net_path.ok());
+  EXPECT_EQ(net_path.status().code(), StatusCode::kUnavailable);
+  auto net_ok = client.TopK(healthy_a, healthy_candidates, w, 5);
+  ASSERT_TRUE(net_ok.ok()) << net_ok.status().ToString();
+  ASSERT_EQ(net_ok.value().size(), intact_ranked.size());
+  for (size_t i = 0; i < net_ok.value().size(); ++i) {
+    EXPECT_EQ(net_ok.value()[i].vertex, intact_ranked[i].vertex);
+    EXPECT_EQ(net_ok.value()[i].dist, intact_ranked[i].dist);
+  }
+
+  std::remove(written.value().manifest_path.c_str());
+  for (const std::string& p : written.value().shard_paths) {
+    std::remove(p.c_str());
+  }
 }
 
 // Live-update differential fuzz (ISSUE 7): random insert / delete /

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/batch.h"
+#include "core/path_index.h"
 #include "core/wc_index.h"
 #include "graph/generators.h"
 #include "net/client.h"
@@ -305,6 +306,92 @@ TEST(WcServer, SoakManyConcurrentPipelinedConnections) {
   EXPECT_EQ(stats.protocol_errors, 0u);
 }
 
+// The three v6 query families served over the wire must be bit-identical
+// to their in-process core counterparts, and the path replies must be real
+// routes: valid under the constraint, with exactly d(s,t,w) hops.
+TEST(WcServer, ServesQueryFamiliesBitIdentically) {
+  const size_t n = 100;
+  QualityModel quality;
+  quality.num_levels = 5;
+  QualityGraph g = GenerateRandomConnected(n, 260, quality, 263);
+  WcIndex built = WcIndex::Build(g, WcIndexOptions::Plus());
+  built.Finalize();
+  auto index = std::make_shared<const WcIndex>(std::move(built));
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.graph = std::make_shared<const QualityGraph>(g);
+  auto engine = std::make_shared<const QueryEngine>(index, options);
+  WcServer server = StartServer(MakeQueryService(engine));
+  WcClient client = ConnectTo(server);
+
+  Rng rng(771);
+  const std::vector<Quality> thresholds = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f};
+  for (int round = 0; round < 20; ++round) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(n));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(n));
+    Quality w = static_cast<Quality>(rng.NextInRange(1, 5));
+    std::vector<Vertex> candidates;
+    for (int i = 0; i < 12; ++i) {
+      candidates.push_back(static_cast<Vertex>(rng.NextBounded(n)));
+    }
+
+    auto remote_topk = client.TopK(s, candidates, w, 5);
+    ASSERT_TRUE(remote_topk.ok()) << remote_topk.status().ToString();
+    auto local_topk = TopKClosest(*index, s, candidates, w, 5);
+    ASSERT_EQ(remote_topk.value().size(), local_topk.size());
+    for (size_t i = 0; i < local_topk.size(); ++i) {
+      EXPECT_EQ(remote_topk.value()[i].vertex, local_topk[i].vertex);
+      EXPECT_EQ(remote_topk.value()[i].dist, local_topk[i].dist);
+    }
+
+    auto remote_profile = client.Profile(s, t, thresholds);
+    ASSERT_TRUE(remote_profile.ok()) << remote_profile.status().ToString();
+    auto local_profile = QualityProfile(*index, s, t, thresholds);
+    ASSERT_EQ(remote_profile.value().size(), local_profile.size());
+    for (size_t i = 0; i < local_profile.size(); ++i) {
+      EXPECT_EQ(remote_profile.value()[i].quality, local_profile[i].quality);
+      EXPECT_EQ(remote_profile.value()[i].dist, local_profile[i].dist);
+    }
+
+    auto remote_path = client.Path(s, t, w);
+    ASSERT_TRUE(remote_path.ok()) << remote_path.status().ToString();
+    const Distance d = index->Query(s, t, w);
+    if (d == kInfDistance) {
+      EXPECT_TRUE(remote_path.value().empty());
+    } else {
+      ASSERT_EQ(remote_path.value().size(), static_cast<size_t>(d) + 1);
+      EXPECT_EQ(remote_path.value().front(), s);
+      EXPECT_EQ(remote_path.value().back(), t);
+      EXPECT_TRUE(IsValidWPath(g, remote_path.value(), w));
+    }
+  }
+}
+
+// A server started without the graph cannot reconstruct routes: kPath is
+// refused with kNotSupported (an Unimplemented status client-side), the
+// connection keeps serving, and the label-only families still work.
+TEST(WcServer, PathWithoutGraphIsUnimplemented) {
+  NetFixture f = MakeNetFixture(60, 150, 5, 269);
+  auto engine = std::make_shared<const QueryEngine>(f.index);
+  WcServer server = StartServer(MakeQueryService(engine));
+  WcClient client = ConnectTo(server);
+
+  auto path = client.Path(0, 1, 1.0f);
+  EXPECT_FALSE(path.ok());
+  EXPECT_EQ(path.status().code(), StatusCode::kUnimplemented);
+
+  auto topk = client.TopK(0, {1, 2, 3}, 1.0f, 2);
+  EXPECT_TRUE(topk.ok()) << topk.status().ToString();
+  auto profile = client.Profile(0, 1, {1.0f, 2.0f});
+  EXPECT_TRUE(profile.ok()) << profile.status().ToString();
+  const BatchQueryInput& q = f.workload[0];
+  auto d = client.Query(q.s, q.t, q.w);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), f.expected[0]);
+  // kNotSupported is a clean refusal, not a protocol error.
+  EXPECT_EQ(server.stats().protocol_errors, 0u);
+}
+
 // A batch bigger than one frame can carry must fail the CALL, not the
 // connection (server-side it would be a stream-poisoning framing error).
 TEST(WcClient, OversizedBatchRejectedClientSide) {
@@ -557,8 +644,9 @@ TEST(WcServerMalformed, RandomGarbageNeverCrashesTheServer) {
 // --------------------------------------------------------- wire goldens
 
 /// The fixed request script the goldens pin: health, one Figure 3 query,
-/// a three-query batch, then stats. Ids are deliberately explicit — they
-/// are part of the pinned bytes.
+/// a three-query batch, stats, then the v6 families — top-k closest,
+/// quality profile, and path reconstruction. Ids are deliberately explicit
+/// — they are part of the pinned bytes.
 std::vector<uint8_t> GoldenRequestBytes() {
   std::vector<uint8_t> out;
   net::AppendHealthRequest(&out, 1);
@@ -567,6 +655,11 @@ std::vector<uint8_t> GoldenRequestBytes() {
       {0, 6, 1.0f}, {2, 5, 2.0f}, {1, 4, 3.0f}};
   net::AppendBatchRequest(&out, 3, batch);
   net::AppendStatsRequest(&out, 4);
+  const std::vector<Vertex> candidates = {1, 2, 3, 4, 5};
+  net::AppendTopKRequest(&out, 5, 0, candidates, 1.0f, 3);
+  const std::vector<Quality> thresholds = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f};
+  net::AppendProfileRequest(&out, 6, 0, 4, thresholds);
+  net::AppendPathRequest(&out, 7, 2, 5, 2.0f);
   return out;
 }
 
@@ -578,6 +671,10 @@ std::vector<uint8_t> GoldenReplyBytesFromLiveServer() {
   EXPECT_TRUE(index.ok()) << index.status().ToString();
   QueryEngineOptions options;
   options.num_threads = 1;  // deterministic stats aggregation
+  // The Figure 3 edges let the golden server answer the kPath frame; the
+  // snapshot itself is a v1 file with no parent quads, so the pinned stats
+  // reply also locks the degraded has_parents=0 flag.
+  options.graph = std::make_shared<const QualityGraph>(MakeFigure3Graph());
   auto engine = std::make_shared<const QueryEngine>(
       std::make_shared<const WcIndex>(std::move(index).value()), options);
   WcServer server = StartServer(MakeQueryService(engine));
@@ -586,7 +683,7 @@ std::vector<uint8_t> GoldenReplyBytesFromLiveServer() {
   std::vector<uint8_t> requests = GoldenRequestBytes();
   EXPECT_TRUE(client.SendBytes(requests.data(), requests.size()).ok());
   std::vector<uint8_t> replies;
-  for (int i = 0; i < 4; ++i) {
+  for (int i = 0; i < 7; ++i) {
     auto frame = client.ReadRawFrame();
     EXPECT_TRUE(frame.ok()) << frame.status().ToString();
     if (!frame.ok()) break;
@@ -697,7 +794,98 @@ TEST(WireGolden, GoldenRepliesDecodeToPaperAnswers) {
   EXPECT_EQ(stats.generation, 0u);
   EXPECT_EQ(stats.draining, 0u);
   EXPECT_EQ(health.draining, 0u);
+  // v6: fig3_golden.wcsnap is a v1 snapshot without parent quads, so the
+  // server must report the degraded parent-less mode explicitly. The stats
+  // frame precedes the kPath frame in the script, so fallbacks are 0 here.
+  EXPECT_EQ(stats.has_parents, 0u);
+  EXPECT_EQ(stats.path_fallbacks, 0u);
+
+  // v6 top-k: distances from v0 at w=1 are v1:1, v3:1, v2:2 (ties break by
+  // vertex id).
+  const uint8_t* topk_payload = next(MsgType::kTopKReply);
+  ASSERT_NE(topk_payload, nullptr);
+  std::memcpy(&count, topk_payload, sizeof(count));
+  ASSERT_EQ(count, 3u);
+  const uint32_t expected_topk[3][2] = {{1, 1}, {3, 1}, {2, 2}};
+  for (size_t i = 0; i < 3; ++i) {
+    net::RankedCandidatePayload ranked;
+    std::memcpy(&ranked,
+                topk_payload + sizeof(count) + i * sizeof(ranked),
+                sizeof(ranked));
+    EXPECT_EQ(ranked.vertex, expected_topk[i][0]) << "rank " << i;
+    EXPECT_EQ(ranked.dist, expected_topk[i][1]) << "rank " << i;
+  }
+
+  // v6 profile: the paper's (v0, v4) trade-off curve — d = 2/3/4 at
+  // w = 1/2/3, unreachable past w = 3.
+  const uint8_t* profile_payload = next(MsgType::kProfileReply);
+  ASSERT_NE(profile_payload, nullptr);
+  std::memcpy(&count, profile_payload, sizeof(count));
+  ASSERT_EQ(count, 5u);
+  const uint32_t expected_profile[5] = {2, 3, 4, kInfDistance,
+                                        kInfDistance};
+  for (size_t i = 0; i < 5; ++i) {
+    net::ProfilePointPayload point;
+    std::memcpy(&point,
+                profile_payload + sizeof(count) + i * sizeof(point),
+                sizeof(point));
+    EXPECT_EQ(point.w, static_cast<float>(i + 1)) << "threshold " << i;
+    EXPECT_EQ(point.dist, expected_profile[i]) << "threshold " << i;
+  }
+
+  // v6 path: a valid w>=2 route for the paper's dist(2, 5 | w >= 2) = 2
+  // spot check — exactly dist+1 vertices, endpoints included.
+  const uint8_t* path_payload = next(MsgType::kPathReply);
+  ASSERT_NE(path_payload, nullptr);
+  std::memcpy(&count, path_payload, sizeof(count));
+  ASSERT_EQ(count, 3u);
+  std::vector<Vertex> path(count);
+  std::memcpy(path.data(), path_payload + sizeof(count),
+              count * sizeof(Vertex));
+  EXPECT_EQ(path.front(), 2u);
+  EXPECT_EQ(path.back(), 5u);
+  EXPECT_TRUE(IsValidWPath(g, path, 2.0f));
+
   EXPECT_EQ(at, golden.size());
+}
+
+// A v5 reader's view of the kStatsReply payload must survive the v6
+// extension: the new fields are appended strictly after the old layout, so
+// decoding only the first 104 bytes with the v5 field offsets yields the
+// same counters. (wire.h pins this with a static_assert; this test proves
+// it against the actual pinned bytes.)
+TEST(WireGolden, StatsReplyKeepsV5PrefixLayout) {
+  static_assert(offsetof(net::StatsReplyPayload, has_parents) == 104,
+                "v6 stats fields must append after the v5 layout");
+  static_assert(sizeof(net::StatsReplyPayload) == 120,
+                "v6 stats payload is the 104-byte v5 layout + 2 u64");
+  std::string golden = ReadFileBytes(GoldenPath("wire_replies.bin"));
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(golden.data());
+  // Walk to the kStatsReply frame (4th in the golden script).
+  size_t at = 0;
+  const uint8_t* stats_payload = nullptr;
+  for (int i = 0; i < 4; ++i) {
+    WireHeader header;
+    const uint8_t* payload = nullptr;
+    ASSERT_EQ(net::ParseFrame(data + at, golden.size() - at,
+                              net::kMaxPayloadBytes, &header, &payload),
+              net::FrameStatus::kOk);
+    stats_payload = payload;
+    at += sizeof(WireHeader) + header.payload_bytes;
+  }
+  ASSERT_NE(stats_payload, nullptr);
+  // Decode with hand-written v5 offsets, no struct: what a v5-era reader
+  // that ignores trailing bytes would compute.
+  auto u64_at = [&](size_t offset) {
+    uint64_t v;
+    std::memcpy(&v, stats_payload + offset, sizeof(v));
+    return v;
+  };
+  EXPECT_EQ(u64_at(0), MakeFigure3Graph().NumVertices());  // num_vertices
+  EXPECT_EQ(u64_at(8), 4u);                                // queries
+  EXPECT_EQ(u64_at(24), 1u);                               // batches
+  EXPECT_EQ(u64_at(88), 0u);                               // generation
+  EXPECT_EQ(u64_at(96), 0u);                               // draining
 }
 
 }  // namespace

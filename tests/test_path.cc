@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "core/path_index.h"
 #include "core/wc_index.h"
 #include "graph/generators.h"
@@ -113,6 +116,44 @@ INSTANTIATE_TEST_SUITE_P(
                     std::make_tuple(80, 200, 6, 2, false),
                     std::make_tuple(150, 450, 3, 3, true),
                     std::make_tuple(150, 450, 10, 4, true)));
+
+// An mmap-loaded snapshot with the v2 parents section must reconstruct
+// paths as well as the heap index it came from — and actually USE the
+// quads: the parent fast path should carry most unwind steps, with the
+// graph fallback only covering pruned mid-chain entries. A parent-less
+// load of the same labels must still answer correctly, purely through
+// fallback stepping, and report the difference through PathQueryStats.
+TEST(PathTest, MmapSnapshotKeepsParentFastPath) {
+  QualityModel quality;
+  quality.num_levels = 5;
+  QualityGraph g = GenerateRandomConnected(100, 260, quality, 31);
+  WcIndexOptions options = WcIndexOptions::Plus();
+  options.record_parents = true;
+  WcIndex built = WcIndex::Build(g, options);
+  built.Finalize();
+  std::string path = testing::TempDir() + "/path_parents.wcsnap";
+  ASSERT_TRUE(built.SaveSnapshot(path).ok());
+  auto mm = WcIndex::LoadMmap(path);
+  ASSERT_TRUE(mm.ok()) << mm.status().ToString();
+  ASSERT_TRUE(mm.value().has_parents());
+
+  Rng rng(33);
+  PathQueryStats stats;
+  for (int i = 0; i < 150; ++i) {
+    Vertex s = static_cast<Vertex>(rng.NextBounded(100));
+    Vertex t = static_cast<Vertex>(rng.NextBounded(100));
+    Quality w = static_cast<Quality>(rng.NextInRange(1, 5));
+    CheckPath(g, mm.value(), s, t, w);
+    std::vector<Vertex> route =
+        QueryConstrainedPath(mm.value(), g, s, t, w, &stats);
+    std::vector<Vertex> heap_route =
+        QueryConstrainedPath(built, g, s, t, w);
+    EXPECT_EQ(route, heap_route) << s << "->" << t << " w=" << w;
+  }
+  EXPECT_GT(stats.parent_steps, 0u)
+      << "the mmap'd quads never drove a single unwind step";
+  std::remove(path.c_str());
+}
 
 TEST(PathTest, RoadNetworkRoutes) {
   RoadOptions options;

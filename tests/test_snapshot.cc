@@ -340,7 +340,10 @@ TEST(Snapshot, ReadInfoReportsHeaderFields) {
   ASSERT_TRUE(index.SaveSnapshot(path).ok());
   auto info = ReadSnapshotInfo(path);
   ASSERT_TRUE(info.ok()) << info.status().ToString();
-  EXPECT_EQ(info.value().version, kSnapshotVersion);
+  // Writers emit the smallest version that can carry the payload: a
+  // parent-less index stays on v1 so pre-v6 readers keep loading it.
+  EXPECT_EQ(info.value().version, 1u);
+  EXPECT_FALSE(info.value().has_parents);
   EXPECT_EQ(info.value().num_vertices_total, index.NumVertices());
   EXPECT_TRUE(info.value().IsFullRange());
   EXPECT_TRUE(info.value().has_order);
@@ -383,6 +386,106 @@ TEST(Snapshot, ShardWriterRejectsBadRanges) {
       WriteSnapshotShard(path, index.flat_labels(), 0, n + 1, n).ok());
   EXPECT_FALSE(
       WriteSnapshotShard(path, index.flat_labels(), 0, n, n + 7).ok());
+}
+
+// ------------------------------------------ v2 parents section (§V quads)
+
+WcIndex BuildFinalizedIndexWithParents() {
+  QualityModel quality;
+  quality.num_levels = 5;
+  QualityGraph g = GenerateRandomConnected(120, 320, quality, 17);
+  WcIndexOptions options = WcIndexOptions::Plus();
+  options.record_parents = true;
+  WcIndex index = WcIndex::Build(g, options);
+  index.Finalize();
+  return index;
+}
+
+// The §V parent quads used to be silently dropped by SaveSnapshot; they
+// must now survive the round trip entry-for-entry, as a CRC'd v2 section.
+TEST(Snapshot, ParentsRoundTripThroughSnapshot) {
+  WcIndex index = BuildFinalizedIndexWithParents();
+  ASSERT_TRUE(index.has_parents());
+  std::string path = TempPath("parents.wcsnap");
+  ASSERT_TRUE(index.SaveSnapshot(path).ok());
+
+  auto info = ReadSnapshotInfo(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.value().version, 2u);
+  EXPECT_TRUE(info.value().has_parents);
+
+  SnapshotLoadOptions verify;
+  verify.verify_checksums = true;
+  verify.deep_validate = true;
+  auto loaded = WcIndex::LoadMmap(path, verify);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const WcIndex& mm = loaded.value();
+  ASSERT_TRUE(mm.has_parents());
+  for (Vertex v = 0; v < index.NumVertices(); ++v) {
+    std::span<const Vertex> a = index.Parents(v);
+    std::span<const Vertex> b = mm.Parents(v);
+    ASSERT_EQ(a.size(), b.size()) << "vertex " << v;
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << "vertex " << v << " entry " << i;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// A parent-less index writes a v1 file (smallest-version rule: old readers
+// and checked-in goldens stay byte-compatible), and loading one reports
+// the degraded parent-less mode explicitly instead of pretending.
+TEST(Snapshot, ParentLessSnapshotIsV1AndReportsDegradedMode) {
+  WcIndex index = BuildFinalizedIndex();  // record_parents off
+  ASSERT_FALSE(index.has_parents());
+  std::string path = TempPath("no_parents.wcsnap");
+  ASSERT_TRUE(index.SaveSnapshot(path).ok());
+  auto info = ReadSnapshotInfo(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.value().version, 1u);
+  EXPECT_FALSE(info.value().has_parents);
+  auto loaded = WcIndex::LoadMmap(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded.value().has_parents());
+  EXPECT_TRUE(loaded.value().Parents(0).empty());
+  std::remove(path.c_str());
+}
+
+// Negative test against a real pre-v2 artifact: the checked-in Figure 3
+// golden predates the parents section, and must load as explicit degraded
+// mode — never an error, never phantom quads.
+TEST(Snapshot, OldGoldenSnapshotLoadsWithoutParents) {
+  std::string path =
+      std::string(WCSD_TEST_DATA_DIR) + "/fig3_golden.wcsnap";
+  auto info = ReadSnapshotInfo(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.value().version, 1u);
+  EXPECT_FALSE(info.value().has_parents);
+  SnapshotLoadOptions verify;
+  verify.verify_checksums = true;
+  auto loaded = WcIndex::LoadMmap(path, verify);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded.value().has_parents());
+}
+
+// The parents section is checksummed like every other section: bit rot in
+// the quads must fail a verify_checksums load, not corrupt routes.
+TEST(Snapshot, ParentsCorruptionCaughtUnderVerify) {
+  WcIndex index = BuildFinalizedIndexWithParents();
+  std::string path = TempPath("parents_corrupt.wcsnap");
+  ASSERT_TRUE(index.SaveSnapshot(path).ok());
+  std::string bytes = ReadFileBytes(path);
+  // The parents section is written last in a v2 file, so the final bytes
+  // are the last entries' parent vertices.
+  bytes[bytes.size() - 2] ^= 0x01;
+  WriteFileBytes(path, bytes);
+
+  SnapshotLoadOptions verify;
+  verify.verify_checksums = true;
+  auto checked = WcIndex::LoadMmap(path, verify);
+  EXPECT_FALSE(checked.ok());
+  EXPECT_EQ(checked.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -8,15 +8,30 @@
 //             overrides the auto batch schedule
 //   query     --index=<file> --s=<v> --t=<v> --w=<q> [--flat]
 //             [--path --graph=<file>]
+//             [--topk=K [--candidates=v1,v2,...]]
+//             [--profile --thresholds=w1,w2,...]
 //             answer one query (optionally with the route); --flat serves
-//             it from the finalized CSR label backend
+//             it from the finalized CSR label backend. --topk ranks the
+//             candidates (default: every vertex) by constrained distance
+//             from --s and keeps the K closest; --profile sweeps the
+//             (w, d) trade-off curve for (--s, --t) at the given
+//             thresholds via the interval kernel (one label merge per
+//             distinct certified interval, not per threshold)
 //   query     --connect=<host:port> --s=<v> --t=<v> --w=<q>
 //             [--timeout-ms=5000] [--deadline-ms=D] [--retries=R]
+//             [--topk=K [--candidates=...]]
+//             [--profile --thresholds=...] [--path]
 //             answer one query over the wire protocol from a running
 //             `serve --listen` server; --deadline-ms bounds the whole call
 //             end to end and --retries retries connect failures and
-//             kOverloaded rejections with backoff (both via WcClientOptions)
+//             kOverloaded rejections with backoff (both via
+//             WcClientOptions). --topk/--profile/--path speak the v6
+//             kTopK/kProfile/kPath frames (--path needs the server started
+//             with `serve --graph`; servers without one refuse with
+//             kNotSupported, surfaced as an Unimplemented status)
 //   query     --manifest=<file> --s=<v> --t=<v> --w=<q> [--cache-mb=M]
+//             [--topk=K [--candidates=...]]
+//             [--profile --thresholds=...] [--path --graph=<file>]
 //             answer one query from a mapped shard set (see `shard`);
 //             --cache-mb enables the dominance-aware result cache
 //   stats     --index=<file>                 label statistics
@@ -52,6 +67,7 @@
 //             writes the updated edge list so graph and snapshot stay
 //             paired for the next update
 //   serve     --snapshot=<file>[,<file>,...] | --manifest=<file>
+//             [--graph=<file>]
 //             [--queries=N] [--threads=T] [--cache-mb=M]
 //             [--seed=S] [--levels=L] [--impl=merge|scan|grouped|binary]
 //             [--verify] [--verify-level=offsets|directory|deep]
@@ -82,7 +98,11 @@
 //             overload with clean error frames, --drain-ms bounds the
 //             SIGTERM drain, and --quarantine (manifest only) serves a
 //             shard set degraded when some shards are corrupt or missing
-//             (--fallback-graph answers quarantined-range queries online);
+//             (--fallback-graph answers quarantined-range queries online;
+//             the kTopK/kProfile/kPath families refuse on any quarantined
+//             touch regardless — the fallback covers distances only);
+//             --graph loads the edge list so the server can answer kPath
+//             path-reconstruction frames (omitted = kNotSupported);
 //             --watch (with --listen) hot-reloads the snapshot/manifest on
 //             SIGHUP or file mtime change: in-flight queries finish on the
 //             old index, new requests land on the new one, zero dropped
@@ -120,6 +140,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/batch.h"
 #include "core/dynamic_wc_index.h"
 #include "core/path_index.h"
 #include "core/verifier.h"
@@ -220,6 +241,114 @@ bool ParseHostPort(const std::string& spec, std::string* host,
   return !host->empty();
 }
 
+/// Parses a comma-separated list of vertex ids ("3,5,9").
+bool ParseVertexList(const std::string& spec, std::vector<Vertex>* out) {
+  size_t begin = 0;
+  while (begin < spec.size()) {
+    size_t comma = spec.find(',', begin);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string field = spec.substr(begin, comma - begin);
+    char* end = nullptr;
+    long v = std::strtol(field.c_str(), &end, 10);
+    if (field.empty() || end == nullptr || *end != '\0' || v < 0) {
+      return false;
+    }
+    out->push_back(static_cast<Vertex>(v));
+    begin = comma + 1;
+  }
+  return true;
+}
+
+/// Parses a comma-separated list of quality thresholds ("1,2.5,4").
+bool ParseQualityList(const std::string& spec, std::vector<Quality>* out) {
+  size_t begin = 0;
+  while (begin < spec.size()) {
+    size_t comma = spec.find(',', begin);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string field = spec.substr(begin, comma - begin);
+    char* end = nullptr;
+    double w = std::strtod(field.c_str(), &end);
+    if (field.empty() || end == nullptr || *end != '\0') return false;
+    out->push_back(static_cast<Quality>(w));
+    begin = comma + 1;
+  }
+  return true;
+}
+
+/// Resolves --candidates for `query --topk`; an omitted flag means every
+/// vertex except the source (the classic "k closest anywhere" shape).
+bool ResolveCandidates(const Flags& flags, Vertex source, size_t n,
+                       std::vector<Vertex>* out) {
+  std::string spec = flags.GetString("candidates", "");
+  if (!spec.empty()) {
+    if (!ParseVertexList(spec, out)) {
+      std::fprintf(stderr, "error: malformed --candidates: %s\n",
+                   spec.c_str());
+      return false;
+    }
+    return true;
+  }
+  out->reserve(n);
+  for (size_t v = 0; v < n; ++v) {
+    if (static_cast<Vertex>(v) != source) {
+      out->push_back(static_cast<Vertex>(v));
+    }
+  }
+  return true;
+}
+
+/// Parses --thresholds for `query --profile`.
+bool ResolveThresholds(const Flags& flags, std::vector<Quality>* out) {
+  std::string spec = flags.GetString("thresholds", "");
+  if (spec.empty() || !ParseQualityList(spec, out) || out->empty()) {
+    std::fprintf(stderr,
+                 "error: --profile wants --thresholds=w1,w2,... (got %s)\n",
+                 spec.empty() ? "nothing" : spec.c_str());
+    return false;
+  }
+  return true;
+}
+
+void PrintTopK(Vertex source, Quality w, size_t k,
+               const std::vector<RankedCandidate>& ranked, double micros,
+               const std::string& via) {
+  std::printf("top-%zu closest to %u (w >= %g)   (%.1f us%s%s)\n", k, source,
+              w, micros, via.empty() ? "" : " via ", via.c_str());
+  if (ranked.empty()) std::printf("  (no candidate reachable)\n");
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    std::printf("  #%zu  vertex %u  dist %u\n", i + 1, ranked[i].vertex,
+                ranked[i].dist);
+  }
+}
+
+void PrintProfile(Vertex s, Vertex t,
+                  const std::vector<ProfilePoint>& profile, double micros,
+                  const std::string& via) {
+  std::printf("profile(%u, %u)   (%.1f us%s%s)\n", s, t, micros,
+              via.empty() ? "" : " via ", via.c_str());
+  for (const ProfilePoint& p : profile) {
+    if (p.dist == kInfDistance) {
+      std::printf("  w >= %g: INF\n", p.quality);
+    } else {
+      std::printf("  w >= %g: %u\n", p.quality, p.dist);
+    }
+  }
+}
+
+void PrintPath(Vertex s, Vertex t, Quality w,
+               const std::vector<Vertex>& path, double micros,
+               const std::string& via) {
+  if (path.empty()) {
+    std::printf("path(%u, %u | w >= %g) = unreachable   (%.1f us%s%s)\n", s,
+                t, w, micros, via.empty() ? "" : " via ", via.c_str());
+    return;
+  }
+  std::printf("path(%u, %u | w >= %g), %zu hops:", s, t, w, path.size() - 1);
+  for (Vertex v : path) std::printf(" %u", v);
+  std::printf("   (%.1f us%s%s)\n", micros, via.empty() ? "" : " via ",
+              via.c_str());
+}
+
 int CmdRemoteQuery(const Flags& flags, const std::string& connect) {
   std::string host;
   uint16_t port = 0;
@@ -251,6 +380,68 @@ int CmdRemoteQuery(const Flags& flags, const std::string& connect) {
   Vertex s = static_cast<Vertex>(flags.GetInt("s", 0));
   Vertex t = static_cast<Vertex>(flags.GetInt("t", 0));
   Quality w = static_cast<Quality>(flags.GetDouble("w", 1.0));
+  int64_t topk = flags.GetInt("topk", 0);
+  if (topk < 0) {
+    std::fprintf(stderr, "error: --topk must be >= 1\n");
+    return 1;
+  }
+  if (topk > 0) {
+    // Without --candidates, ask the server how many vertices it serves and
+    // rank all of them.
+    std::vector<Vertex> candidates;
+    std::string spec = flags.GetString("candidates", "");
+    if (!spec.empty()) {
+      if (!ParseVertexList(spec, &candidates)) {
+        std::fprintf(stderr, "error: malformed --candidates: %s\n",
+                     spec.c_str());
+        return 1;
+      }
+    } else {
+      auto n = client.value().Health();
+      if (!n.ok()) {
+        std::fprintf(stderr, "error: %s\n", n.status().ToString().c_str());
+        return 1;
+      }
+      if (!ResolveCandidates(flags, s, static_cast<size_t>(n.value()),
+                             &candidates)) {
+        return 1;
+      }
+    }
+    Timer timer;
+    auto ranked =
+        client.value().TopK(s, candidates, w, static_cast<uint32_t>(topk));
+    if (!ranked.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   ranked.status().ToString().c_str());
+      return 1;
+    }
+    PrintTopK(s, w, static_cast<size_t>(topk), ranked.value(),
+              timer.Micros(), connect);
+    return 0;
+  }
+  if (flags.GetBool("profile", false)) {
+    std::vector<Quality> thresholds;
+    if (!ResolveThresholds(flags, &thresholds)) return 1;
+    Timer timer;
+    auto profile = client.value().Profile(s, t, thresholds);
+    if (!profile.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   profile.status().ToString().c_str());
+      return 1;
+    }
+    PrintProfile(s, t, profile.value(), timer.Micros(), connect);
+    return 0;
+  }
+  if (flags.GetBool("path", false)) {
+    Timer timer;
+    auto path = client.value().Path(s, t, w);
+    if (!path.ok()) {
+      std::fprintf(stderr, "error: %s\n", path.status().ToString().c_str());
+      return 1;
+    }
+    PrintPath(s, t, w, path.value(), timer.Micros(), connect);
+    return 0;
+  }
   Timer timer;
   auto d = client.value().Query(s, t, w);
   double micros = timer.Micros();
@@ -289,6 +480,18 @@ int CmdManifestQuery(const Flags& flags, const std::string& manifest) {
   QueryEngineOptions options;
   options.num_threads = 1;
   if (!ParseCacheBytes(flags, &options.cache_bytes)) return 1;
+  // --path over a shard set steps greedily through the graph, so the graph
+  // is required (shard mappings carry labels only, never parent quads).
+  if (flags.GetBool("path", false)) {
+    auto graph = LoadGraph(flags);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "error (need --graph for --path): %s\n",
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    options.graph =
+        std::make_shared<const QualityGraph>(std::move(graph).value());
+  }
   auto engine = ShardedQueryEngine::OpenManifest(manifest, options);
   if (!engine.ok()) {
     std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
@@ -302,6 +505,56 @@ int CmdManifestQuery(const Flags& flags, const std::string& manifest) {
     std::fprintf(stderr, "error: vertex out of range (n=%zu)\n",
                  engine.value().NumVertices());
     return 1;
+  }
+  int64_t topk = flags.GetInt("topk", 0);
+  if (topk > 0) {
+    std::vector<Vertex> candidates;
+    if (!ResolveCandidates(flags, s, engine.value().NumVertices(),
+                           &candidates)) {
+      return 1;
+    }
+    std::vector<RankedCandidate> ranked;
+    Timer timer;
+    ServeOutcome outcome = engine.value().TopKEx(
+        s, candidates, w, static_cast<size_t>(topk), &ranked);
+    if (outcome != ServeOutcome::kOk) {
+      std::fprintf(stderr, "error: %s\n",
+                   outcome == ServeOutcome::kNotSupported
+                       ? "not supported by this shard set"
+                       : "shard unavailable");
+      return 1;
+    }
+    PrintTopK(s, w, static_cast<size_t>(topk), ranked, timer.Micros(),
+              manifest);
+    return 0;
+  }
+  if (flags.GetBool("profile", false)) {
+    std::vector<Quality> thresholds;
+    if (!ResolveThresholds(flags, &thresholds)) return 1;
+    std::vector<ProfilePoint> profile;
+    Timer timer;
+    ServeOutcome outcome = engine.value().ProfileEx(s, t, thresholds,
+                                                    &profile);
+    if (outcome != ServeOutcome::kOk) {
+      std::fprintf(stderr, "error: shard unavailable\n");
+      return 1;
+    }
+    PrintProfile(s, t, profile, timer.Micros(), manifest);
+    return 0;
+  }
+  if (flags.GetBool("path", false)) {
+    std::vector<Vertex> path;
+    Timer timer;
+    ServeOutcome outcome = engine.value().PathEx(s, t, w, &path);
+    if (outcome != ServeOutcome::kOk) {
+      std::fprintf(stderr, "error: %s\n",
+                   outcome == ServeOutcome::kNotSupported
+                       ? "path needs --graph"
+                       : "shard unavailable");
+      return 1;
+    }
+    PrintPath(s, t, w, path, timer.Micros(), manifest);
+    return 0;
   }
   Timer timer;
   Distance d = engine.value().Query(s, t, w);
@@ -335,6 +588,30 @@ int CmdQuery(const Flags& flags) {
     std::fprintf(stderr, "error: vertex out of range (n=%zu)\n",
                  index.NumVertices());
     return 1;
+  }
+  int64_t topk = flags.GetInt("topk", 0);
+  if (topk > 0) {
+    std::vector<Vertex> candidates;
+    if (!ResolveCandidates(flags, s, index.NumVertices(), &candidates)) {
+      return 1;
+    }
+    Timer timer;
+    std::vector<RankedCandidate> ranked =
+        TopKClosest(index, s, candidates, w, static_cast<size_t>(topk));
+    PrintTopK(s, w, static_cast<size_t>(topk), ranked, timer.Micros(), "");
+    return 0;
+  }
+  if (flags.GetBool("profile", false)) {
+    std::vector<Quality> thresholds;
+    if (!ResolveThresholds(flags, &thresholds)) return 1;
+    size_t merges = 0;
+    Timer timer;
+    std::vector<ProfilePoint> profile =
+        QualityProfile(index, s, t, thresholds, &merges);
+    PrintProfile(s, t, profile, timer.Micros(), "");
+    std::printf("  (%zu label merge%s for %zu thresholds)\n", merges,
+                merges == 1 ? "" : "s", thresholds.size());
+    return 0;
   }
   Timer timer;
   Distance d = index.Query(s, t, w);
@@ -968,6 +1245,19 @@ int CmdServe(const Flags& flags) {
     options.num_threads = 1;
   }
   if (!ParseCacheBytes(flags, &options.cache_bytes)) return 1;
+  // --graph enables the kPath endpoint: reconstruction walks the edges, so
+  // the graph is needed even when the snapshot carries §V parent quads.
+  // Servers without it refuse kPath with kNotSupported.
+  std::string serve_graph = flags.GetString("graph", "");
+  if (!serve_graph.empty()) {
+    auto graph = ReadEdgeListFile(serve_graph);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
+      return 1;
+    }
+    options.graph =
+        std::make_shared<const QualityGraph>(std::move(graph).value());
+  }
   std::string impl = flags.GetString("impl", "merge");
   if (impl == "merge") {
     options.impl = QueryImpl::kMerge;
