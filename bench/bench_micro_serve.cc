@@ -3,8 +3,9 @@
 // to show mmap load time is independent of label count — plus QueryEngine
 // batch throughput at 1/2/4/8 threads, the sharded engine over even and
 // label-mass-planned shard sets (with the planned-vs-even byte skew as
-// counters), and per-shard query throughput over the planned set. Emits
-// BENCH_micro_serve.json for cross-PR tracking.
+// counters), per-shard query throughput over the planned set, and the
+// compressed-backend latency-penalty sweep across decode-cache budgets.
+// Emits BENCH_micro_serve.json for cross-PR tracking.
 
 #include <benchmark/benchmark.h>
 
@@ -45,6 +46,7 @@ constexpr int kBenchShards = 4;
 struct ServeFixture {
   std::string wcx_path;
   std::string snap_path;
+  std::string csnap_path;  // same labels, v3 compressed sections
   std::vector<std::string> shard_paths;  // even vertex-range shards
   std::string manifest_path;             // label-mass-planned shard set
   ShardPlan plan;                        // the planned tiling
@@ -68,8 +70,12 @@ const ServeFixture& FixtureForSize(int size) {
       std::string stem = "/tmp/bench_serve_" + std::to_string(i);
       f.wcx_path = stem + ".wcx";
       f.snap_path = stem + ".wcsnap";
+      f.csnap_path = stem + "_c.wcsnap";
+      SnapshotWriteOptions compress_options;
+      compress_options.compress = true;
       if (!index.Save(f.wcx_path).ok() ||
-          !index.SaveSnapshot(f.snap_path).ok()) {
+          !index.SaveSnapshot(f.snap_path).ok() ||
+          !index.SaveSnapshot(f.csnap_path, compress_options).ok()) {
         std::fprintf(stderr, "bench fixture write failed\n");
         std::abort();
       }
@@ -329,6 +335,60 @@ void BM_ShardLocalThroughput(benchmark::State& state) {
 BENCHMARK(BM_ShardLocalThroughput)
     ->DenseRange(0, kBenchShards - 1)
     ->ArgNames({"shard"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------- compressed-backend benchmarks
+
+// The latency penalty of serving delta/varint-compressed labels, swept
+// across decode-cache budgets. compressed:0 is the flat-backend baseline;
+// compressed:1 cache_mb:0 decodes every touched hub group per query (the
+// worst case); growing budgets keep hot groups decoded and claw the
+// penalty back. The engine is opened fresh per run so the
+// compression_ratio / decode_cache_hit_rate / cold_pageins counters in
+// BENCH_micro_serve.json describe exactly the timed workload (the tier-1
+// bench-smoke asserts their presence and sanity).
+void BM_CompressedServeThroughput(benchmark::State& state) {
+  const ServeFixture& f = FixtureForSize(1);
+  const bool compressed = state.range(0) != 0;
+  const int cache_mb = static_cast<int>(state.range(1));
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.decode_cache_bytes = static_cast<size_t>(cache_mb) << 20;
+  auto opened =
+      QueryEngine::Open(compressed ? f.csnap_path : f.snap_path, options);
+  if (!opened.ok()) {
+    state.SkipWithError("engine open failed");
+    return;
+  }
+  QueryEngine engine = std::move(opened).value();
+  const auto& workload = ServeWorkload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Batch(workload));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(workload.size()));
+  QueryEngineStats stats = engine.stats();
+  state.counters["compression_ratio"] =
+      stats.label_bytes > 0
+          ? static_cast<double>(stats.uncompressed_label_bytes) /
+                static_cast<double>(stats.label_bytes)
+          : 1.0;
+  const double decode_lookups =
+      static_cast<double>(stats.decode_hits + stats.decode_misses);
+  state.counters["decode_cache_hit_rate"] =
+      decode_lookups > 0
+          ? static_cast<double>(stats.decode_hits) / decode_lookups
+          : 0.0;
+  state.counters["cold_pageins"] = static_cast<double>(stats.cold_pageins);
+}
+BENCHMARK(BM_CompressedServeThroughput)
+    // {compressed, decode cache MiB}: flat baseline, then the compressed
+    // penalty sweep from uncached decode to a budget that holds the whole
+    // working set.
+    ->Args({0, 0})
+    ->Args({1, 0})->Args({1, 1})->Args({1, 8})->Args({1, 64})
+    ->ArgNames({"compressed", "cache_mb"})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

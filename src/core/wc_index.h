@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "labeling/compressed_flat.h"
 #include "labeling/flat_label_set.h"
 #include "labeling/label_set.h"
 #include "labeling/snapshot.h"
@@ -154,13 +155,34 @@ class WcIndex {
   /// True once Finalize() has run.
   bool finalized() const { return finalized_; }
 
-  /// The flat backend; only meaningful when finalized().
+  /// The flat backend; only meaningful when finalized() and not
+  /// compressed() (a compressed-snapshot load leaves it empty).
   const FlatLabelSet& flat_labels() const { return flat_; }
+
+  /// True when queries route through the compressed backend — the index
+  /// was mmap-loaded from a v3 compressed snapshot. The flat backend is
+  /// empty; labels decode per vertex on demand.
+  bool compressed() const { return compressed_backend_; }
+
+  /// The compressed backend; only meaningful when compressed().
+  const CompressedFlatLabelSet& compressed_labels() const {
+    return compressed_;
+  }
+
+  /// Content fingerprint of the served labels, identical across storage
+  /// backends (IndexContentFingerprint of the flat arrays; the compressed
+  /// backend reproduces it through a decode pass). Requires finalized().
+  uint64_t ContentFingerprint() const;
 
   /// Entries of L(v) from whichever backend queries route through — the
   /// flat CSR once finalized (mmap-loaded indexes have empty
-  /// append-oriented labels), the heap vectors before that.
+  /// append-oriented labels), the heap vectors before that. On the
+  /// compressed backend the label is decoded into thread-local scratch:
+  /// the span stays valid until the SAME thread's second-next EntriesFor
+  /// call (two scratch slots rotate, so holding s's and t's entries at
+  /// once — the query-kernel shape — is safe).
   std::span<const LabelEntry> EntriesFor(Vertex v) const {
+    if (compressed_backend_) return DecodedView(v).entries;
     return finalized_ ? flat_.For(v) : labels_.For(v);
   }
 
@@ -194,21 +216,25 @@ class WcIndex {
   /// them on write.)
   std::span<const Vertex> flat_parents() const { return flat_parents_; }
 
-  /// Number of vertices indexed. Routed through the flat backend once
+  /// Number of vertices indexed. Routed through the serving backend once
   /// finalized so mmap-loaded indexes (whose append-oriented labels() are
   /// empty) report correctly.
   size_t NumVertices() const {
+    if (compressed_backend_) return compressed_.NumVertices();
     return finalized_ ? flat_.NumVertices() : labels_.NumVertices();
   }
 
   /// Index size in bytes (Figures 6/9/11 report this). A finalized index
-  /// reports the flat backend, which is what it serves queries from.
+  /// reports the backend it serves queries from — the compressed bytes
+  /// for a compressed-snapshot load.
   size_t MemoryBytes() const {
+    if (compressed_backend_) return compressed_.MemoryBytes();
     return finalized_ ? flat_.MemoryBytes() : labels_.MemoryBytes();
   }
 
   /// Total number of label entries.
   size_t TotalEntries() const {
+    if (compressed_backend_) return compressed_.TotalEntries();
     return finalized_ ? flat_.TotalEntries() : labels_.TotalEntries();
   }
 
@@ -221,8 +247,12 @@ class WcIndex {
   /// page-aligned, checksummed snapshot (labeling/snapshot.h). Requires
   /// finalized(). Parent quads, when present, are flattened and written
   /// as the v2 parents section so LoadMmap keeps path reconstruction on
-  /// the fast unwind.
-  Status SaveSnapshot(const std::string& path) const;
+  /// the fast unwind. `write_options.compress` stores the labels in the
+  /// v3 compressed sections (refused when the index carries parents); a
+  /// compressed-backend index re-materializes its flat arrays first, so
+  /// this is also the compress/decompress migration path.
+  Status SaveSnapshot(const std::string& path,
+                      const SnapshotWriteOptions& write_options = {}) const;
 
   /// Maps a snapshot written by SaveSnapshot and serves queries directly
   /// out of the mapping: no per-entry deserialization, load time
@@ -230,7 +260,9 @@ class WcIndex {
   /// append-oriented labels() are empty, so dynamic updates and
   /// construction-side reuse need Load instead. Only full-range snapshots
   /// with an order section qualify — shard files go through
-  /// ShardedQueryEngine.
+  /// ShardedQueryEngine. A v3 compressed snapshot loads into the
+  /// compressed backend (see compressed()): label bytes stay on disk and
+  /// page in on first decode.
   static Result<WcIndex> LoadMmap(const std::string& path,
                                   const SnapshotLoadOptions& options = {});
 
@@ -244,8 +276,16 @@ class WcIndex {
         order_(std::move(order)),
         stats_(stats) {}
 
+  /// Decodes L(v) of the compressed backend into thread-local scratch and
+  /// returns a view over it. Two scratch slots rotate per thread, so at
+  /// most two returned views are simultaneously valid — exactly the shape
+  /// every query kernel needs (s and t).
+  FlatLabelView DecodedView(Vertex v) const;
+
   LabelSet labels_;
   FlatLabelSet flat_;
+  CompressedFlatLabelSet compressed_;
+  bool compressed_backend_ = false;
   bool finalized_ = false;
   VertexOrder order_;
   WcIndexBuildStats stats_;

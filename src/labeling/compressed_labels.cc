@@ -20,16 +20,20 @@ void PutVarint(std::vector<uint8_t>* out, uint64_t value) {
   out->push_back(static_cast<uint8_t>(value));
 }
 
-uint64_t GetVarint(const uint8_t* bytes, size_t* pos) {
-  uint64_t value = 0;
+/// Bounds-checked varint read: never advances *pos past `end`. False on
+/// truncation (the loader validates offsets_, but the byte payload itself
+/// is untrusted — a corrupt stream must not read out of range).
+bool GetVarint(const uint8_t* bytes, size_t* pos, size_t end,
+               uint64_t* value) {
+  *value = 0;
   int shift = 0;
-  while (true) {
+  while (*pos < end && shift < 64) {
     uint8_t b = bytes[(*pos)++];
-    value |= static_cast<uint64_t>(b & 0x7F) << shift;
-    if ((b & 0x80) == 0) break;
+    *value |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return true;
     shift += 7;
   }
-  return value;
+  return false;
 }
 
 }  // namespace
@@ -81,18 +85,32 @@ CompressedLabelSet CompressedLabelSet::Compress(const LabelSet& labels) {
 
 std::vector<LabelEntry> CompressedLabelSet::DecodeVertex(Vertex v) const {
   std::vector<LabelEntry> entries;
-  size_t pos = offsets_[v];
-  size_t count = GetVarint(bytes_.data(), &pos);
-  entries.reserve(count);
+  if (v >= NumVertices()) return entries;
+  // Clamp the slice to the payload: Load validates offsets_, but decode
+  // must stay in bounds even against a corrupt (or hand-built) set.
+  size_t pos = std::min<size_t>(offsets_[v], bytes_.size());
+  const size_t end = std::min<size_t>(offsets_[v + 1], bytes_.size());
+  uint64_t count = 0;
+  if (!GetVarint(bytes_.data(), &pos, end, &count)) return entries;
+  // A count larger than the slice could even hold is corrupt; don't let
+  // it drive a huge reserve. Three varints per entry, one byte minimum.
+  if (count > (end - pos) / 3 + 1) return entries;
+  entries.reserve(static_cast<size_t>(count));
   Rank hub = 0;
-  for (size_t i = 0; i < count; ++i) {
-    hub += static_cast<Rank>(GetVarint(bytes_.data(), &pos));
-    Distance dist = static_cast<Distance>(GetVarint(bytes_.data(), &pos));
-    uint64_t qcode = GetVarint(bytes_.data(), &pos);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t delta = 0, dist = 0, qcode = 0;
+    if (!GetVarint(bytes_.data(), &pos, end, &delta) ||
+        !GetVarint(bytes_.data(), &pos, end, &dist) ||
+        !GetVarint(bytes_.data(), &pos, end, &qcode) ||
+        qcode > dictionary_.size()) {
+      entries.clear();
+      return entries;
+    }
+    hub += static_cast<Rank>(delta);
     Quality quality = qcode == 0
                           ? kInfQuality
                           : dictionary_[static_cast<size_t>(qcode - 1)];
-    entries.push_back(LabelEntry{hub, dist, quality});
+    entries.push_back(LabelEntry{hub, static_cast<Distance>(dist), quality});
   }
   return entries;
 }
@@ -106,6 +124,7 @@ LabelSet CompressedLabelSet::Decompress() const {
 }
 
 Distance CompressedLabelSet::Query(Vertex s, Vertex t, Quality w) const {
+  if (s >= NumVertices() || t >= NumVertices()) return kInfDistance;
   if (s == t) return 0;
   std::vector<LabelEntry> ls = DecodeVertex(s);
   std::vector<LabelEntry> lt = DecodeVertex(t);
@@ -162,6 +181,20 @@ Result<CompressedLabelSet> CompressedLabelSet::Load(const std::string& path) {
   if (!in) return Status::Corruption("truncated body in " + path);
   if (set.offsets_.front() != 0 || set.offsets_.back() != payload) {
     return Status::Corruption("inconsistent offsets in " + path);
+  }
+  // Every per-vertex byte range must stay inside the payload and ascend:
+  // decode paths index bytes_ through these, so a corrupt table must fail
+  // the load, not fan out into the decoders.
+  for (size_t v = 0; v + 1 < set.offsets_.size(); ++v) {
+    if (set.offsets_[v] > set.offsets_[v + 1] ||
+        set.offsets_[v + 1] > payload) {
+      return Status::Corruption("non-monotone offsets in " + path);
+    }
+  }
+  for (size_t i = 0; i + 1 < set.dictionary_.size(); ++i) {
+    if (!(set.dictionary_[i] < set.dictionary_[i + 1])) {
+      return Status::Corruption("unsorted quality dictionary in " + path);
+    }
   }
   return set;
 }

@@ -34,11 +34,14 @@ class CompressedLabelSet {
   /// Exact inverse of Compress.
   LabelSet Decompress() const;
 
-  /// Decodes only L(v) (for spot queries).
+  /// Decodes only L(v) (for spot queries). Bounds-checked: an
+  /// out-of-range vertex or a stream that truncates / indexes outside the
+  /// dictionary yields an empty label instead of reading out of range.
   std::vector<LabelEntry> DecodeVertex(Vertex v) const;
 
   /// w-constrained 2-hop query evaluated directly on the compressed form
-  /// (linear decode of both labels; no materialization).
+  /// (linear decode of both labels; no materialization). Out-of-range
+  /// vertices answer kInfDistance.
   Distance Query(Vertex s, Vertex t, Quality w) const;
 
   size_t NumVertices() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }

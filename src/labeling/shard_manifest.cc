@@ -231,7 +231,8 @@ std::string ResolveShardPath(const std::string& manifest_path,
 
 Result<WrittenShardSet> WriteShardSet(const std::string& stem,
                                       const FlatLabelSet& flat,
-                                      const ShardPlan& plan) {
+                                      const ShardPlan& plan,
+                                      const SnapshotWriteOptions& write_options) {
   if (plan.num_vertices != flat.NumVertices()) {
     return Status::InvalidArgument(
         "shard plan was computed for a different label set");
@@ -252,7 +253,8 @@ Result<WrittenShardSet> WriteShardSet(const std::string& stem,
     const std::string relative = basename + ".shard" + std::to_string(k);
     const std::string path = stem + ".shard" + std::to_string(k);
     WCSD_RETURN_NOT_OK(WriteSnapshotShard(path, flat, planned.begin,
-                                          planned.end, flat.NumVertices()));
+                                          planned.end, flat.NumVertices(),
+                                          /*parents=*/{}, write_options));
     Result<SnapshotInfo> info = ReadSnapshotInfo(path);
     if (!info.ok()) return info.status();
 

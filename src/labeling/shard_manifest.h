@@ -29,6 +29,7 @@
 
 #include "labeling/flat_label_set.h"
 #include "labeling/shard_plan.h"
+#include "labeling/snapshot.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -110,10 +111,14 @@ struct WrittenShardSet {
 
 /// Materializes `plan` over `flat`: writes <stem>.shard<k> snapshot files
 /// (WriteSnapshotShard) and <stem>.manifest referencing them by relative
-/// path. The plan must tile flat's vertex range.
-Result<WrittenShardSet> WriteShardSet(const std::string& stem,
-                                      const FlatLabelSet& flat,
-                                      const ShardPlan& plan);
+/// path. The plan must tile flat's vertex range. Under
+/// `write_options.compress` every shard file stores its labels in the
+/// compressed v3 sections; the manifest's counts and fingerprint stay
+/// LOGICAL (identical to the uncompressed set's manifest), so a shard set
+/// keeps one identity across storage backends.
+Result<WrittenShardSet> WriteShardSet(
+    const std::string& stem, const FlatLabelSet& flat, const ShardPlan& plan,
+    const SnapshotWriteOptions& write_options = {});
 
 }  // namespace wcsd
 

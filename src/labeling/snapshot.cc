@@ -22,11 +22,13 @@ namespace {
 static_assert(sizeof(Vertex) == 4);
 static_assert(sizeof(LabelEntry) == 12);
 static_assert(sizeof(HubGroup) == 8);
+static_assert(sizeof(Quality) == 4);
 
 constexpr uint64_t kSnapshotMagic = 0x57435344'534e4150ULL;  // "WCSDSNAP"
 constexpr uint64_t kPageSize = 4096;
 constexpr uint32_t kFlagHasOrder = 1u << 0;
-constexpr uint32_t kFlagHasParents = 1u << 1;  // v2 only
+constexpr uint32_t kFlagHasParents = 1u << 1;   // v2 and later
+constexpr uint32_t kFlagCompressed = 1u << 2;   // v3 and later
 
 enum SectionId : size_t {
   kSectionOrder = 0,
@@ -34,14 +36,19 @@ enum SectionId : size_t {
   kSectionEntries = 2,
   kSectionGroupOffsets = 3,
   kSectionGroups = 4,
-  kSectionParents = 5,  // v2 only; absent from the v1 section table
-  kNumSections = 6,
+  kSectionParents = 5,      // v2+; absent from the v1 section table
+  kSectionCompOffsets = 6,  // v3+; per-vertex byte offsets into the blob
+  kSectionBlob = 7,         // v3+; delta/varint label streams
+  kSectionDict = 8,         // v3+; sorted distinct finite qualities
+  kNumSections = 9,
 };
 constexpr size_t kNumSectionsV1 = 5;
+constexpr size_t kNumSectionsV2 = 6;
 
 constexpr uint64_t kSectionElemSize[kNumSections] = {
-    sizeof(Vertex), sizeof(uint64_t), sizeof(LabelEntry), sizeof(uint64_t),
-    sizeof(HubGroup), sizeof(Vertex)};
+    sizeof(Vertex),   sizeof(uint64_t), sizeof(LabelEntry),
+    sizeof(uint64_t), sizeof(HubGroup), sizeof(Vertex),
+    sizeof(uint64_t), sizeof(uint8_t),  sizeof(Quality)};
 
 struct SectionDesc {
   uint64_t file_offset;
@@ -52,10 +59,11 @@ struct SectionDesc {
 };
 static_assert(sizeof(SectionDesc) == 32);
 
-// The two on-disk header layouts share every field; they differ only in
-// the section-table length (and therefore where header_crc sits). v1
-// files — everything written before the parents section existed, and
-// every parent-less file written since — use the 5-entry table.
+// The on-disk header layouts share every field; they differ only in the
+// section-table length (and therefore where header_crc sits). v1 files —
+// everything written before the parents section existed, and every
+// parent-less uncompressed file written since — use the 5-entry table;
+// v2 adds the parents slot, v3 the three compressed-label slots.
 template <size_t N>
 struct SnapshotHeaderT {
   uint64_t magic;
@@ -69,11 +77,13 @@ struct SnapshotHeaderT {
   uint32_t header_crc;  // CRC-32C of the bytes preceding this field
 };
 using SnapshotHeaderV1 = SnapshotHeaderT<kNumSectionsV1>;
-// The in-memory canonical form is the v2 layout; v1 files are widened on
-// parse (parents section zeroed).
+using SnapshotHeaderV2 = SnapshotHeaderT<kNumSectionsV2>;
+// The in-memory canonical form is the v3 layout; older files are widened
+// on parse (absent sections zeroed).
 using SnapshotHeader = SnapshotHeaderT<kNumSections>;
 static_assert(offsetof(SnapshotHeaderV1, header_crc) == 208);
-static_assert(offsetof(SnapshotHeader, header_crc) == 240);
+static_assert(offsetof(SnapshotHeaderV2, header_crc) == 240);
+static_assert(offsetof(SnapshotHeader, header_crc) == 336);
 static_assert(sizeof(SnapshotHeader) <= kPageSize);
 
 uint64_t AlignUp(uint64_t x) { return (x + kPageSize - 1) & ~(kPageSize - 1); }
@@ -138,11 +148,18 @@ Status WriteSnapshotFileT(const std::string& path, uint32_t version,
   return writer.Commit();
 }
 
-// Picks the smallest header layout that can carry the payload: v1 (no
-// parents table slot) when the parents section is empty, v2 otherwise.
-// Keeps parent-less snapshots byte-identical to the v1 format.
+// Picks the smallest header layout that can carry the payload: v1 when
+// neither parents nor compressed sections are present, v2 with parents
+// only, v3 for compressed files. Keeps every older payload byte-identical
+// to the format it has always been written in.
 Status WriteSnapshotFile(const std::string& path, const SnapshotHeader& header,
                          const SectionData (&sections)[kNumSections]) {
+  if (sections[kSectionCompOffsets].element_count != 0) {
+    SnapshotHeader v3 = header;
+    v3.flags |= kFlagCompressed;
+    return WriteSnapshotFileT(path, /*version=*/kSnapshotVersion, v3,
+                              sections);
+  }
   if (sections[kSectionParents].element_count == 0) {
     SnapshotHeaderV1 v1 = {};
     v1.flags = header.flags & ~kFlagHasParents;
@@ -151,9 +168,12 @@ Status WriteSnapshotFile(const std::string& path, const SnapshotHeader& header,
     v1.vertex_end = header.vertex_end;
     return WriteSnapshotFileT(path, /*version=*/1, v1, sections);
   }
-  SnapshotHeader v2 = header;
-  v2.flags |= kFlagHasParents;
-  return WriteSnapshotFileT(path, /*version=*/kSnapshotVersion, v2, sections);
+  SnapshotHeaderV2 v2 = {};
+  v2.flags = header.flags | kFlagHasParents;
+  v2.num_vertices_total = header.num_vertices_total;
+  v2.vertex_begin = header.vertex_begin;
+  v2.vertex_end = header.vertex_end;
+  return WriteSnapshotFileT(path, /*version=*/2, v2, sections);
 }
 
 Result<SnapshotHeader> ParseHeader(const std::byte* data, size_t size,
@@ -170,45 +190,49 @@ Result<SnapshotHeader> ParseHeader(const std::byte* data, size_t size,
   if (magic != kSnapshotMagic) {
     return Status::Corruption("bad snapshot magic in " + path);
   }
-  if (version != 1 && version != kSnapshotVersion) {
+  if (version != 1 && version != 2 && version != kSnapshotVersion) {
     return Status::Corruption("unsupported snapshot version " +
                               std::to_string(version) + " in " + path);
   }
+  // Widens an older header to the canonical layout (absent sections stay
+  // zeroed: element_count 0 == absent) after verifying its own CRC and
+  // section-table length, and rejecting flags the version cannot carry.
   SnapshotHeader header = {};
-  if (version == 1) {
-    SnapshotHeaderV1 v1;
-    std::memcpy(&v1, data, sizeof(v1));
-    uint32_t expected = Crc32c(data, offsetof(SnapshotHeaderV1, header_crc));
-    if (v1.header_crc != expected) {
+  auto widen = [&](auto narrow, size_t expect_sections,
+                   uint32_t allowed_flags) -> Status {
+    std::memcpy(&narrow, data, sizeof(narrow));
+    uint32_t expected =
+        Crc32c(data, offsetof(decltype(narrow), header_crc));
+    if (narrow.header_crc != expected) {
       return Status::Corruption("snapshot header checksum mismatch in " +
                                 path);
     }
-    // v1 predates the parents section; the flag cannot be honored there.
-    if (v1.section_count != kNumSectionsV1 ||
-        (v1.flags & kFlagHasParents) != 0) {
+    if (narrow.section_count != expect_sections ||
+        (narrow.flags & ~allowed_flags) != 0) {
       return Status::Corruption("inconsistent snapshot header in " + path);
     }
-    // Widen to the canonical layout; the parents section stays zeroed
-    // (element_count 0 == absent).
-    header.magic = v1.magic;
-    header.version = v1.version;
-    header.flags = v1.flags;
-    header.num_vertices_total = v1.num_vertices_total;
-    header.vertex_begin = v1.vertex_begin;
-    header.vertex_end = v1.vertex_end;
+    header.magic = narrow.magic;
+    header.version = narrow.version;
+    header.flags = narrow.flags;
+    header.num_vertices_total = narrow.num_vertices_total;
+    header.vertex_begin = narrow.vertex_begin;
+    header.vertex_end = narrow.vertex_end;
     header.section_count = kNumSections;
-    std::memcpy(header.sections, v1.sections, sizeof(v1.sections));
-    header.header_crc = v1.header_crc;
+    std::memcpy(header.sections, narrow.sections, sizeof(narrow.sections));
+    header.header_crc = narrow.header_crc;
+    return Status::OK();
+  };
+  if (version == 1) {
+    // v1 predates the parents section; the flag cannot be honored there.
+    WCSD_RETURN_NOT_OK(widen(SnapshotHeaderV1{}, kNumSectionsV1,
+                             kFlagHasOrder));
+  } else if (version == 2) {
+    WCSD_RETURN_NOT_OK(widen(SnapshotHeaderV2{}, kNumSectionsV2,
+                             kFlagHasOrder | kFlagHasParents));
   } else {
-    std::memcpy(&header, data, sizeof(header));
-    uint32_t expected = Crc32c(data, offsetof(SnapshotHeader, header_crc));
-    if (header.header_crc != expected) {
-      return Status::Corruption("snapshot header checksum mismatch in " +
-                                path);
-    }
-    if (header.section_count != kNumSections) {
-      return Status::Corruption("inconsistent snapshot header in " + path);
-    }
+    WCSD_RETURN_NOT_OK(widen(SnapshotHeader{}, kNumSections,
+                             kFlagHasOrder | kFlagHasParents |
+                                 kFlagCompressed));
   }
   // Vertex ids are 32-bit (types.h reserves the max value as kNullVertex),
   // which also keeps every count arithmetic below overflow-safe.
@@ -220,15 +244,35 @@ Result<SnapshotHeader> ParseHeader(const std::byte* data, size_t size,
   const uint64_t n_range = header.vertex_end - header.vertex_begin;
   const bool has_order = (header.flags & kFlagHasOrder) != 0;
   const bool has_parents = (header.flags & kFlagHasParents) != 0;
+  const bool compressed = (header.flags & kFlagCompressed) != 0;
+  // Parent quads align index-for-index with the flat entry array, which a
+  // compressed file does not carry — the combination is unrepresentable.
+  if (compressed && has_parents) {
+    return Status::Corruption(
+        "compressed snapshot claims a parents section in " + path);
+  }
+  // A compressed file stores its labels in the blob: the flat entry and
+  // group sections must be empty (and vice versa, uncompressed files must
+  // not smuggle in compressed sections).
+  if (compressed && (header.sections[kSectionEntries].element_count != 0 ||
+                     header.sections[kSectionGroups].element_count != 0)) {
+    return Status::Corruption(
+        "compressed snapshot carries flat label sections in " + path);
+  }
   // Parents are quads for the entries: when present, the two sections must
-  // align index-for-index.
+  // align index-for-index. Entries, groups and (for compressed files) the
+  // blob and dictionary have data-dependent counts — checked structurally
+  // by the label-set Validate at load, not here.
   const uint64_t expected_counts[kNumSections] = {
       has_order ? header.num_vertices_total : 0,
       n_range + 1,
       0,
       n_range + 1,
       0,
-      has_parents ? header.sections[kSectionEntries].element_count : 0};
+      has_parents ? header.sections[kSectionEntries].element_count : 0,
+      compressed ? n_range + 1 : 0,
+      0,
+      0};
   for (size_t s = 0; s < kNumSections; ++s) {
     const SectionDesc& desc = header.sections[s];
     // Reject element counts whose byte size would wrap uint64 before the
@@ -244,8 +288,10 @@ Result<SnapshotHeader> ParseHeader(const std::byte* data, size_t size,
           size - desc.file_offset < desc.byte_length))) {
       return Status::Corruption("bad snapshot section table in " + path);
     }
-    if ((s != kSectionEntries && s != kSectionGroups) &&
-        desc.element_count != expected_counts[s]) {
+    const bool data_dependent =
+        s == kSectionEntries || s == kSectionGroups ||
+        (compressed && (s == kSectionBlob || s == kSectionDict));
+    if (!data_dependent && desc.element_count != expected_counts[s]) {
       return Status::Corruption("snapshot section count mismatch in " + path);
     }
   }
@@ -260,6 +306,7 @@ SnapshotInfo InfoFromHeader(const SnapshotHeader& header) {
   info.vertex_end = header.vertex_end;
   info.has_order = (header.flags & kFlagHasOrder) != 0;
   info.has_parents = (header.flags & kFlagHasParents) != 0;
+  info.compressed = (header.flags & kFlagCompressed) != 0;
   info.header_crc = header.header_crc;
   return info;
 }
@@ -278,7 +325,8 @@ std::span<const T> SectionSpan(const std::byte* base,
 
 Status WriteSnapshot(const std::string& path, const FlatLabelSet& flat,
                      const VertexOrder* order,
-                     std::span<const Vertex> parents) {
+                     std::span<const Vertex> parents,
+                     const SnapshotWriteOptions& write_options) {
   if (order != nullptr && order->size() != flat.NumVertices()) {
     return Status::InvalidArgument(
         "order size does not match the label set");
@@ -287,11 +335,31 @@ Status WriteSnapshot(const std::string& path, const FlatLabelSet& flat,
     return Status::InvalidArgument(
         "parents size does not match the entry count");
   }
+  if (write_options.compress && !parents.empty()) {
+    return Status::InvalidArgument(
+        "compressed snapshots cannot carry parent quads");
+  }
   SnapshotHeader header = {};
   header.flags = order != nullptr ? kFlagHasOrder : 0;
   header.num_vertices_total = flat.NumVertices();
   header.vertex_begin = 0;
   header.vertex_end = flat.NumVertices();
+  if (write_options.compress) {
+    const CompressedFlatLabelSet comp = CompressedFlatLabelSet::FromFlat(flat);
+    const SectionData sections[kNumSections] = {
+        {order != nullptr ? order->by_rank().data() : nullptr,
+         order != nullptr ? order->size() : 0},
+        {comp.raw_offsets().data(), comp.raw_offsets().size()},
+        {nullptr, 0},
+        {comp.raw_group_offsets().data(), comp.raw_group_offsets().size()},
+        {nullptr, 0},
+        {nullptr, 0},
+        {comp.raw_comp_offsets().data(), comp.raw_comp_offsets().size()},
+        {comp.raw_blob().data(), comp.raw_blob().size()},
+        {comp.raw_dictionary().data(), comp.raw_dictionary().size()},
+    };
+    return WriteSnapshotFile(path, header, sections);
+  }
   const SectionData sections[kNumSections] = {
       {order != nullptr ? order->by_rank().data() : nullptr,
        order != nullptr ? order->size() : 0},
@@ -300,6 +368,9 @@ Status WriteSnapshot(const std::string& path, const FlatLabelSet& flat,
       {flat.raw_group_offsets().data(), flat.raw_group_offsets().size()},
       {flat.raw_groups().data(), flat.raw_groups().size()},
       {parents.data(), parents.size()},
+      {nullptr, 0},
+      {nullptr, 0},
+      {nullptr, 0},
   };
   return WriteSnapshotFile(path, header, sections);
 }
@@ -307,7 +378,8 @@ Status WriteSnapshot(const std::string& path, const FlatLabelSet& flat,
 Status WriteSnapshotShard(const std::string& path, const FlatLabelSet& flat,
                           uint64_t begin, uint64_t end,
                           uint64_t num_vertices_total,
-                          std::span<const Vertex> parents) {
+                          std::span<const Vertex> parents,
+                          const SnapshotWriteOptions& write_options) {
   if (begin > end || end > flat.NumVertices() ||
       num_vertices_total != flat.NumVertices()) {
     return Status::InvalidArgument("invalid shard vertex range");
@@ -315,6 +387,10 @@ Status WriteSnapshotShard(const std::string& path, const FlatLabelSet& flat,
   if (!parents.empty() && parents.size() != flat.raw_entries().size()) {
     return Status::InvalidArgument(
         "parents size does not match the entry count");
+  }
+  if (write_options.compress && !parents.empty()) {
+    return Status::InvalidArgument(
+        "compressed snapshots cannot carry parent quads");
   }
   auto offsets = flat.raw_offsets();
   auto group_offsets = flat.raw_group_offsets();
@@ -342,6 +418,27 @@ Status WriteSnapshotShard(const std::string& path, const FlatLabelSet& flat,
   header.num_vertices_total = num_vertices_total;
   header.vertex_begin = begin;
   header.vertex_end = end;
+  if (write_options.compress) {
+    // Compress the shard's slice as a self-contained label set (its own
+    // dictionary): a temporary FlatLabelSet over the rebased arrays. The
+    // spans only live for this function — FromFlat copies what it keeps.
+    const FlatLabelSet slice = FlatLabelSet::FromExternal(
+        local_offsets, entries, local_group_offsets, groups, nullptr);
+    const CompressedFlatLabelSet comp =
+        CompressedFlatLabelSet::FromFlat(slice);
+    const SectionData sections[kNumSections] = {
+        {nullptr, 0},
+        {comp.raw_offsets().data(), comp.raw_offsets().size()},
+        {nullptr, 0},
+        {comp.raw_group_offsets().data(), comp.raw_group_offsets().size()},
+        {nullptr, 0},
+        {nullptr, 0},
+        {comp.raw_comp_offsets().data(), comp.raw_comp_offsets().size()},
+        {comp.raw_blob().data(), comp.raw_blob().size()},
+        {comp.raw_dictionary().data(), comp.raw_dictionary().size()},
+    };
+    return WriteSnapshotFile(path, header, sections);
+  }
   const SectionData sections[kNumSections] = {
       {nullptr, 0},
       {local_offsets.data(), local_offsets.size()},
@@ -349,6 +446,9 @@ Status WriteSnapshotShard(const std::string& path, const FlatLabelSet& flat,
       {local_group_offsets.data(), local_group_offsets.size()},
       {groups.data(), groups.size()},
       {shard_parents.data(), shard_parents.size()},
+      {nullptr, 0},
+      {nullptr, 0},
+      {nullptr, 0},
   };
   return WriteSnapshotFile(path, header, sections);
 }
@@ -381,11 +481,6 @@ Result<MappedSnapshot> LoadSnapshotMmap(const std::string& path,
 
   MappedSnapshot snapshot;
   snapshot.info = InfoFromHeader(header);
-  snapshot.labels = FlatLabelSet::FromExternal(
-      SectionSpan<uint64_t>(base, header.sections[kSectionOffsets]),
-      SectionSpan<LabelEntry>(base, header.sections[kSectionEntries]),
-      SectionSpan<uint64_t>(base, header.sections[kSectionGroupOffsets]),
-      SectionSpan<HubGroup>(base, header.sections[kSectionGroups]), mapping);
   const SnapshotVerifyLevel level =
       options.deep_validate ? SnapshotVerifyLevel::kDeep
                             : options.verify_level;
@@ -393,9 +488,28 @@ Result<MappedSnapshot> LoadSnapshotMmap(const std::string& path,
       level == SnapshotVerifyLevel::kDeep        ? ValidateLevel::kDeep
       : level == SnapshotVerifyLevel::kDirectory ? ValidateLevel::kDirectory
                                                  : ValidateLevel::kShape;
-  Status valid = snapshot.labels.Validate(validate);
-  if (!valid.ok()) {
-    return Status::Corruption(valid.message() + " in " + path);
+  if (snapshot.info.compressed) {
+    snapshot.compressed = CompressedFlatLabelSet::FromExternal(
+        SectionSpan<uint64_t>(base, header.sections[kSectionOffsets]),
+        SectionSpan<uint64_t>(base, header.sections[kSectionGroupOffsets]),
+        SectionSpan<uint64_t>(base, header.sections[kSectionCompOffsets]),
+        SectionSpan<uint8_t>(base, header.sections[kSectionBlob]),
+        SectionSpan<Quality>(base, header.sections[kSectionDict]), mapping);
+    Status valid = snapshot.compressed.Validate(validate);
+    if (!valid.ok()) {
+      return Status::Corruption(valid.message() + " in " + path);
+    }
+  } else {
+    snapshot.labels = FlatLabelSet::FromExternal(
+        SectionSpan<uint64_t>(base, header.sections[kSectionOffsets]),
+        SectionSpan<LabelEntry>(base, header.sections[kSectionEntries]),
+        SectionSpan<uint64_t>(base, header.sections[kSectionGroupOffsets]),
+        SectionSpan<HubGroup>(base, header.sections[kSectionGroups]),
+        mapping);
+    Status valid = snapshot.labels.Validate(validate);
+    if (!valid.ok()) {
+      return Status::Corruption(valid.message() + " in " + path);
+    }
   }
   if (snapshot.info.has_order) {
     auto order = SectionSpan<Vertex>(base, header.sections[kSectionOrder]);

@@ -28,11 +28,17 @@
 // Version history: v1 has a five-section table (no parents). v2 appends an
 // optional parents section — the §V path-reconstruction quads, aligned
 // index-for-index with the entries section — and sets kFlagHasParents.
-// Writers emit the smallest version that can carry the payload (v1 when no
-// parents are given), so parent-less files stay byte-identical to v1 and
-// v1 readers of them keep working. Readers accept both versions; loading a
-// parent-less file surfaces has_parents = false so callers can report the
-// degraded path mode instead of silently losing the quads.
+// v3 appends three sections for the COMPRESSED label backend
+// (labeling/compressed_flat.h) and sets kFlagCompressed: per-vertex byte
+// offsets (u64, n_range+1), the delta/varint blob (u8), and the quality
+// dictionary (f32). A compressed snapshot keeps the logical offsets and
+// group_offsets sections populated (per-vertex counts without a decode)
+// but writes EMPTY entries and groups sections — the blob replaces them.
+// Writers emit the smallest version that can carry the payload (v1 with
+// neither parents nor compression, v2 with parents only), so old files
+// stay byte-identical and old readers of them keep working. Readers accept
+// all three versions; loading surfaces has_parents / compressed so callers
+// can report the serving mode instead of silently degrading.
 
 #ifndef WCSD_LABELING_SNAPSHOT_H_
 #define WCSD_LABELING_SNAPSHOT_H_
@@ -42,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "labeling/compressed_flat.h"
 #include "labeling/flat_label_set.h"
 #include "order/vertex_order.h"
 #include "util/status.h"
@@ -51,9 +58,9 @@ namespace wcsd {
 
 /// Newest snapshot format version. Bump on any layout change; readers
 /// reject versions they do not know with a clean Status. Writers emit the
-/// smallest version that can represent the payload (v1 without parents),
-/// so old fixtures stay byte-stable.
-inline constexpr uint32_t kSnapshotVersion = 2;
+/// smallest version that can represent the payload (v1 without parents or
+/// compression, v2 with parents only), so old fixtures stay byte-stable.
+inline constexpr uint32_t kSnapshotVersion = 3;
 
 /// Snapshot header metadata surfaced to callers.
 struct SnapshotInfo {
@@ -70,6 +77,10 @@ struct SnapshotInfo {
   /// against such a snapshot runs the slow index-guided fallback, and
   /// servers surface that degraded mode through their stats.
   bool has_parents = false;
+  /// True when the file stores labels in the compressed v3 sections
+  /// (labeling/compressed_flat.h). Such a file maps into
+  /// MappedSnapshot::compressed; `labels` stays empty.
+  bool compressed = false;
   /// The header's self-CRC — a cheap identity for the whole file (the
   /// header embeds every section's CRC). Shard manifests record it to
   /// detect a swapped or regenerated shard file without reading payloads.
@@ -84,7 +95,12 @@ struct SnapshotInfo {
 /// (copied, O(n)) vertex order. The FlatLabelSet keeps the mapping alive.
 struct MappedSnapshot {
   SnapshotInfo info;
+  /// Uncompressed files only; empty when info.compressed.
   FlatLabelSet labels;
+  /// Compressed (v3) files only; empty otherwise. Keeps the mapping alive
+  /// the same way `labels` does for uncompressed files — the cold tier:
+  /// label bytes stay on disk and page in on first decode.
+  CompressedFlatLabelSet compressed;
   /// rank -> vertex permutation; empty unless info.has_order.
   std::vector<Vertex> order_by_rank;
   /// Per-entry parent quads, aligned index-for-index with the flat entry
@@ -131,6 +147,14 @@ struct SnapshotLoadOptions {
 // verify_level = kDeep (CLI --verify), which makes every corruption class
 // a clean Status.
 
+struct SnapshotWriteOptions {
+  /// Store the labels delta/varint-compressed (v3 sections, ~3-4x
+  /// smaller; see labeling/compressed_flat.h). Incompatible with a
+  /// parents payload: the parent quads align with the flat entry array,
+  /// which a compressed file does not carry.
+  bool compress = false;
+};
+
 /// Writes a full-range snapshot of `flat`. Pass the index's order so
 /// WcIndex::LoadMmap can restore rank lookups; pass nullptr for a
 /// label-only snapshot (servable through ShardedQueryEngine or raw views).
@@ -138,17 +162,21 @@ struct SnapshotLoadOptions {
 /// entry (same order) and is written as the v2 parents section.
 Status WriteSnapshot(const std::string& path, const FlatLabelSet& flat,
                      const VertexOrder* order,
-                     std::span<const Vertex> parents = {});
+                     std::span<const Vertex> parents = {},
+                     const SnapshotWriteOptions& write_options = {});
 
 /// Writes the shard of `flat` covering local vertices [begin, end) of a
 /// logical index with `num_vertices_total` vertices. Offset arrays are
 /// rebased so the shard file stands alone. Shards carry no order section.
 /// `parents`, when non-empty, is the FULL index's per-entry parent array;
-/// the shard's slice is written alongside its entries.
+/// the shard's slice is written alongside its entries. Under
+/// `write_options.compress` each shard is compressed independently (its
+/// own dictionary), so shard files remain self-contained.
 Status WriteSnapshotShard(const std::string& path, const FlatLabelSet& flat,
                           uint64_t begin, uint64_t end,
                           uint64_t num_vertices_total,
-                          std::span<const Vertex> parents = {});
+                          std::span<const Vertex> parents = {},
+                          const SnapshotWriteOptions& write_options = {});
 
 /// Maps `path` and returns zero-copy label views into it. Fails with a
 /// clean Status on IO errors, bad magic, unsupported version, header

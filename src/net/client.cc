@@ -582,6 +582,12 @@ Result<WireStats> WcClient::Stats() {
   stats.draining = payload.draining != 0;
   stats.has_parents = payload.has_parents != 0;
   stats.path_fallbacks = payload.path_fallbacks;
+  stats.compressed = payload.compressed != 0;
+  stats.decode_hits = payload.decode_hits;
+  stats.decode_misses = payload.decode_misses;
+  stats.cold_pageins = payload.cold_pageins;
+  stats.label_bytes = payload.label_bytes;
+  stats.uncompressed_label_bytes = payload.uncompressed_label_bytes;
   stats.shards.resize(shard_count);
   if (shard_count > 0) {
     std::memcpy(stats.shards.data(), bytes.data() + net::StatsReplyBytes(0),

@@ -70,6 +70,18 @@ struct WireStats {
   bool has_parents = false;
   /// Path unwind steps the server resolved through the graph fallback.
   uint64_t path_fallbacks = 0;
+  /// True when the engine serves the compressed label backend (a v3
+  /// compressed snapshot, or any compressed shard).
+  bool compressed = false;
+  /// Decoded-label cache counters (zero without a decode cache);
+  /// cold_pageins counts decode misses that walked mmap-backed bytes.
+  uint64_t decode_hits = 0;
+  uint64_t decode_misses = 0;
+  uint64_t cold_pageins = 0;
+  /// Label mass actually served vs. the same labels' flat-backend mass;
+  /// the ratio is the compression ratio (equal on the flat backend).
+  uint64_t label_bytes = 0;
+  uint64_t uncompressed_label_bytes = 0;
   std::vector<net::ShardBalancePayload> shards;
 };
 

@@ -726,7 +726,13 @@ struct WcServer::Impl {
               server->draining.load(std::memory_order_relaxed) ? 1u : 0u,
               0,
               stats.has_parents,
-              stats.path_fallbacks};
+              stats.path_fallbacks,
+              stats.compressed,
+              stats.decode_hits,
+              stats.decode_misses,
+              stats.cold_pageins,
+              stats.label_bytes,
+              stats.uncompressed_label_bytes};
           std::vector<net::ShardBalancePayload> shards;
           for (const ShardBalanceEntry& shard : service.ShardBalance()) {
             shards.push_back(net::ShardBalancePayload{

@@ -32,7 +32,7 @@
 //   kPathReply   (4+4n) u32 count, then count u32 vertices: the path
 //                      s ... t inclusive; count 0 = unreachable
 //   kStats       (0)
-//   kStatsReply  (128+40n) u64 num_vertices, queries, reachable, batches,
+//   kStatsReply  (176+40n) u64 num_vertices, queries, reachable, batches,
 //                      cache_hits, cache_misses, cache_inserts,
 //                      cache_evictions (result-cache counters; zero when
 //                      the engine serves uncached), overload_rejections,
@@ -42,13 +42,20 @@
 //                      draining, u32 reserved2, u64 has_parents (1 when
 //                      the index carries §V parent quads), u64
 //                      path_fallbacks (path unwind steps served through
-//                      the graph fallback), then u32 shard_count, u32
-//                      reserved, then shard_count per-shard balance
-//                      records (u64 vertex_begin, vertex_end, entry_count,
-//                      label_bytes, u32 quarantined, u32 reserved) in
-//                      tiling order; shard_count is 0 for unsharded
-//                      engines. The first 104 bytes are the v5 layout,
-//                      unchanged (static_asserted below).
+//                      the graph fallback), u64 compressed (1 when the
+//                      engine serves the compressed label backend), u64
+//                      decode_hits, decode_misses, cold_pageins
+//                      (decoded-label cache counters; zero without a
+//                      decode cache), u64 label_bytes,
+//                      uncompressed_label_bytes (served vs. flat label
+//                      mass; their ratio is the compression ratio), then
+//                      u32 shard_count, u32 reserved, then shard_count
+//                      per-shard balance records (u64 vertex_begin,
+//                      vertex_end, entry_count, label_bytes, u32
+//                      quarantined, u32 reserved) in tiling order;
+//                      shard_count is 0 for unsharded engines. The first
+//                      120 bytes are the v6 layout, unchanged
+//                      (static_asserted below).
 //   kHealth      (0)
 //   kHealthReply (16)  u64 num_vertices, u32 draining (1 while the server
 //                      is in graceful drain), u32 reserved
@@ -97,8 +104,11 @@ inline constexpr uint32_t kWireMagic = 0x4e534357;
 /// kStatsReply grew the hot-swap generation counter (live-update serving).
 /// v6: the kTopK / kProfile / kPath query families, the kNotSupported
 /// error code, and the kStatsReply has_parents / path_fallbacks counters
-/// (appended after the v5 prefix, whose layout is unchanged).
-inline constexpr uint16_t kWireVersion = 6;
+/// (appended after the v5 prefix, whose layout is unchanged). v7: the
+/// kStatsReply compressed-backend / decoded-label-cache counters and the
+/// label-mass fields (appended after the v6 prefix, whose layout is
+/// unchanged).
+inline constexpr uint16_t kWireVersion = 7;
 
 /// Default upper bound on one frame's payload (16 MiB ≈ 1.4M batched
 /// queries). A header announcing more is treated as a framing error before
@@ -251,11 +261,19 @@ struct StatsReplyPayload {
   uint32_t reserved2;             // zero
   uint64_t has_parents;           // v6: 1 when the index carries §V quads
   uint64_t path_fallbacks;        // v6: path steps served via graph fallback
+  uint64_t compressed;            // v7: 1 = compressed label backend
+  uint64_t decode_hits;           // v7: decoded-label cache hits
+  uint64_t decode_misses;         // v7: decoded-label cache misses
+  uint64_t cold_pageins;          // v7: decode misses over mmap'd bytes
+  uint64_t label_bytes;           // v7: label mass actually served
+  uint64_t uncompressed_label_bytes;  // v7: the same labels' flat mass
 };
-static_assert(sizeof(StatsReplyPayload) == 120);
-// The v5 prefix must never move: v6 only appends. A v5 decoder reading the
-// first 104 bytes of a v6 stats payload sees exactly its own layout.
+static_assert(sizeof(StatsReplyPayload) == 168);
+// Earlier prefixes must never move: each version only appends. A v5 / v6
+// decoder reading the first 104 / 120 bytes of a v7 stats payload sees
+// exactly its own layout.
 static_assert(offsetof(StatsReplyPayload, has_parents) == 104);
+static_assert(offsetof(StatsReplyPayload, compressed) == 120);
 
 /// One per-shard balance record in a kStatsReply: the shard's vertex range
 /// and the label mass it serves. Matches serve's ShardBalanceEntry. A

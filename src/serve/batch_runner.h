@@ -55,6 +55,23 @@ struct QueryEngineStats {
   /// climbing value on a parent-less index is the degraded mode's
   /// signature (each fallback step costs one index query per neighbor).
   uint64_t path_fallbacks = 0;
+  /// 1 when the engine serves the compressed label backend (a v3
+  /// compressed snapshot, or any compressed shard in a sharded set), 0 on
+  /// the flat backend.
+  uint64_t compressed = 0;
+  /// Decoded-label cache counters (serve/decode_cache.h); zero when no
+  /// decode cache is configured. cold_pageins counts cache misses whose
+  /// decode walked mmap-backed label bytes — the reads that can fault
+  /// cold-tier pages in from disk.
+  uint64_t decode_hits = 0;
+  uint64_t decode_misses = 0;
+  uint64_t cold_pageins = 0;
+  /// Bytes of the label backend actually resident/served (compressed
+  /// bytes on the compressed backend) vs. what the same labels cost flat.
+  /// uncompressed_label_bytes / label_bytes is the compression ratio; the
+  /// two are equal on the flat backend.
+  uint64_t label_bytes = 0;
+  uint64_t uncompressed_label_bytes = 0;
 };
 
 /// 0 = hardware concurrency (min 1).

@@ -1,0 +1,134 @@
+#include "serve/decode_cache.h"
+
+#include <algorithm>
+
+namespace wcsd {
+
+namespace {
+
+// splitmix64: the keys are small dense vertex ids, so they need real
+// mixing before the high bits pick a stripe.
+uint64_t MixKey(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+DecodedLabelCache::DecodedLabelCache(size_t budget_bytes)
+    : stripes_(std::make_unique<Stripe[]>(kStripes)),
+      budget_bytes_(budget_bytes),
+      stripe_budget_(std::max<size_t>(1, budget_bytes / kStripes)) {}
+
+size_t DecodedLabelCache::EntryBytes(const DecodedLabel& label) {
+  // Decoded payload plus a flat charge for the map node and Entry
+  // bookkeeping, so budgets stay honest on tiny labels.
+  return label.entries.size() * sizeof(LabelEntry) +
+         label.groups.size() * sizeof(HubGroup) + 96;
+}
+
+DecodedLabelCache::Stripe& DecodedLabelCache::StripeFor(uint64_t key) const {
+  return stripes_[(MixKey(key) >> 48) & (kStripes - 1)];
+}
+
+bool DecodedLabelCache::GetOrDecode(const CompressedFlatLabelSet& labels,
+                                    Vertex local, uint64_t key,
+                                    DecodedLabel* out) {
+  Stripe& stripe = StripeFor(key);
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.entries.find(key);
+    if (it != stripe.entries.end()) {
+      it->second.referenced = true;
+      // Copy-out under the lock: assignment reuses the caller's scratch
+      // capacity, so a steady-state hit allocates nothing.
+      out->entries = it->second.label.entries;
+      out->groups = it->second.label.groups;
+      ++stripe.hits;
+      return true;
+    }
+    ++stripe.misses;
+    if (labels.external()) ++stripe.cold_pageins;
+  }
+
+  // Decode outside the lock — it may fault mmap'd pages in from disk, and
+  // a page-in under a stripe mutex would serialize every cold vertex that
+  // hashes alongside it.
+  if (!labels.DecodeVertex(local, out).ok()) {
+    out->Clear();
+    return false;
+  }
+
+  const size_t cost = EntryBytes(*out);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  if (stripe.entries.find(key) != stripe.entries.end()) {
+    return true;  // racing decode of the same vertex already landed
+  }
+  if (cost > stripe_budget_) return true;  // larger than the whole stripe
+  if (stripe.bytes + cost > stripe_budget_) {
+    // Displacement required: second-chance admission. First touch parks
+    // the key in its tag slot and is refused; a comeback while the tag
+    // survives is admitted.
+    uint64_t& tag = stripe.admit_once[MixKey(key) & (kAdmissionTags - 1)];
+    if (tag != key) {
+      tag = key;
+      ++stripe.admission_rejects;
+      return true;
+    }
+    tag = 0;
+    // CLOCK sweep: clear reference bits until enough unreferenced entries
+    // have been evicted. Two passes bound the sweep (after one full pass
+    // every bit is clear).
+    for (int pass = 0; pass < 2 && stripe.bytes + cost > stripe_budget_;
+         ++pass) {
+      for (auto it = stripe.entries.begin();
+           it != stripe.entries.end() && stripe.bytes + cost > stripe_budget_;) {
+        if (it->second.referenced) {
+          it->second.referenced = false;
+          ++it;
+          continue;
+        }
+        stripe.bytes -= EntryBytes(it->second.label);
+        it = stripe.entries.erase(it);
+        ++stripe.evictions;
+      }
+    }
+    if (stripe.bytes + cost > stripe_budget_) return true;
+  }
+  Entry& entry = stripe.entries[key];
+  entry.label.entries = out->entries;
+  entry.label.groups = out->groups;
+  entry.referenced = false;
+  stripe.bytes += cost;
+  ++stripe.inserts;
+  return true;
+}
+
+DecodeCacheStats DecodedLabelCache::stats() const {
+  DecodeCacheStats total;
+  for (size_t i = 0; i < kStripes; ++i) {
+    const Stripe& stripe = stripes_[i];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    total.hits += stripe.hits;
+    total.misses += stripe.misses;
+    total.inserts += stripe.inserts;
+    total.evictions += stripe.evictions;
+    total.admission_rejects += stripe.admission_rejects;
+    total.cold_pageins += stripe.cold_pageins;
+  }
+  return total;
+}
+
+size_t DecodedLabelCache::MemoryBytes() const {
+  size_t total = 0;
+  for (size_t i = 0; i < kStripes; ++i) {
+    const Stripe& stripe = stripes_[i];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    total += stripe.bytes;
+  }
+  return total;
+}
+
+}  // namespace wcsd

@@ -13,12 +13,15 @@ QueryEngine::QueryEngine(std::shared_ptr<const WcIndex> index,
   size_t threads = ResolveServeThreads(options_.num_threads);
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
   stats_ = std::make_unique<ServeStatsBlock>(threads);
+  if (options_.decode_cache_bytes > 0 && index_->compressed()) {
+    decode_cache_ =
+        std::make_shared<DecodedLabelCache>(options_.decode_cache_bytes);
+  }
   if ((options_.shared_cache || options_.cache_bytes > 0) &&
       index_->finalized()) {
-    cache_fingerprint_ =
-        options_.known_fingerprint != 0
-            ? options_.known_fingerprint
-            : IndexContentFingerprint(index_->flat_labels());
+    cache_fingerprint_ = options_.known_fingerprint != 0
+                             ? options_.known_fingerprint
+                             : index_->ContentFingerprint();
     cache_ = options_.shared_cache
                  ? options_.shared_cache
                  : std::make_shared<ResultCache>(options_.cache_bytes);
@@ -44,6 +47,34 @@ Result<QueryEngine> QueryEngine::Open(const std::string& snapshot_path,
       std::make_shared<const WcIndex>(std::move(index).value()), options);
 }
 
+FlatLabelView QueryEngine::CachedView(Vertex v, DecodedLabel* scratch) const {
+  if (!decode_cache_->GetOrDecode(index_->compressed_labels(), v, v,
+                                  scratch)) {
+    scratch->Clear();
+  }
+  return scratch->View();
+}
+
+Distance QueryEngine::DirectQuery(Vertex s, Vertex t, Quality w) const {
+  if (!decode_cache_) return index_->Query(s, t, w, options_.impl);
+  const size_t n = index_->NumVertices();
+  if (s >= n || t >= n) return kInfDistance;
+  if (s == t) return 0;
+  thread_local DecodedLabel ls, lt;
+  return QueryFlat(CachedView(s, &ls), CachedView(t, &lt), w, options_.impl);
+}
+
+IntervalQueryResult QueryEngine::DirectInterval(Vertex s, Vertex t,
+                                                Quality w) const {
+  if (!decode_cache_) return index_->QueryWithInterval(s, t, w);
+  const size_t n = index_->NumVertices();
+  if (s >= n || t >= n) return IntervalQueryResult{};
+  if (s == t) return IntervalQueryResult{0, -kInfQuality, kInfQuality};
+  thread_local DecodedLabel ls, lt;
+  return QueryFlatMergeWithInterval(CachedView(s, &ls), CachedView(t, &lt),
+                                    w);
+}
+
 Distance QueryEngine::CachedQuery(Vertex s, Vertex t, Quality w) const {
   // The guards mirror WcIndex::Query so degenerate queries never reach the
   // cache (their answers are free to recompute).
@@ -51,21 +82,18 @@ Distance QueryEngine::CachedQuery(Vertex s, Vertex t, Quality w) const {
   if (s >= n || t >= n) return kInfDistance;
   if (s == t) return 0;
   return cache_->GetOrCompute(s, t, w, cache_fingerprint_, [&] {
-    return index_->QueryWithInterval(s, t, w);
+    return DirectInterval(s, t, w);
   });
 }
 
 Distance QueryEngine::Query(Vertex s, Vertex t, Quality w) const {
-  Distance d = cache_ ? CachedQuery(s, t, w)
-                      : index_->Query(s, t, w, options_.impl);
+  Distance d = cache_ ? CachedQuery(s, t, w) : DirectQuery(s, t, w);
   stats_->RecordSingle(d);
   return d;
 }
 
 std::vector<Distance> QueryEngine::Batch(
     const std::vector<BatchQueryInput>& queries) const {
-  const WcIndex& index = *index_;
-  const QueryImpl impl = options_.impl;
   if (cache_) {
     return RunServeBatch(pool_.get(), num_threads(), options_.min_chunk,
                          *stats_, queries, [&](const BatchQueryInput& q) {
@@ -74,7 +102,7 @@ std::vector<Distance> QueryEngine::Batch(
   }
   return RunServeBatch(pool_.get(), num_threads(), options_.min_chunk,
                        *stats_, queries, [&](const BatchQueryInput& q) {
-                         return index.Query(q.s, q.t, q.w, impl);
+                         return DirectQuery(q.s, q.t, q.w);
                        });
 }
 
@@ -82,9 +110,22 @@ std::vector<RankedCandidate> QueryEngine::TopK(
     Vertex source, std::span<const Vertex> candidates, Quality w,
     size_t k) const {
   const WcIndex& index = *index_;
-  std::vector<RankedCandidate> ranked = TopKClosestOverLabels(
-      index.NumVertices(), source, candidates, w, k,
-      [&index](Vertex v) { return index.EntriesFor(v); });
+  std::vector<RankedCandidate> ranked;
+  if (decode_cache_) {
+    // Ring of two scratch labels, mirroring WcIndex::DecodedView: the
+    // top-k kernel holds at most one candidate's span alongside the
+    // source scan.
+    thread_local DecodedLabel ring[2];
+    thread_local unsigned next = 0;
+    ranked = TopKClosestOverLabels(
+        index.NumVertices(), source, candidates, w, k, [&](Vertex v) {
+          return CachedView(v, &ring[next++ & 1]).entries;
+        });
+  } else {
+    ranked = TopKClosestOverLabels(
+        index.NumVertices(), source, candidates, w, k,
+        [&index](Vertex v) { return index.EntriesFor(v); });
+  }
   stats_->RecordMany(candidates.size(), ranked.size());
   return ranked;
 }
@@ -93,7 +134,7 @@ std::vector<ProfilePoint> QueryEngine::Profile(
     Vertex s, Vertex t, std::span<const Quality> thresholds) const {
   std::vector<ProfilePoint> profile = QualityProfileOverIntervals(
       thresholds,
-      [&](Quality w) { return index_->QueryWithInterval(s, t, w); });
+      [&](Quality w) { return DirectInterval(s, t, w); });
   uint64_t reachable = 0;
   for (const ProfilePoint& p : profile) {
     if (p.dist != kInfDistance) ++reachable;
@@ -124,8 +165,14 @@ Result<std::vector<Vertex>> QueryEngine::Path(Vertex s, Vertex t,
 
 QueryEngineStats QueryEngine::stats() const {
   QueryEngineStats stats =
-      WithCacheStats(stats_->Aggregate(), cache_.get());
+      WithDecodeStats(WithCacheStats(stats_->Aggregate(), cache_.get()),
+                      decode_cache_.get());
   stats.has_parents = index_->has_parents() ? 1 : 0;
+  stats.compressed = index_->compressed() ? 1 : 0;
+  stats.label_bytes = index_->MemoryBytes();
+  stats.uncompressed_label_bytes =
+      index_->compressed() ? index_->compressed_labels().UncompressedBytes()
+                           : stats.label_bytes;
   return stats;
 }
 

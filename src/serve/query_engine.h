@@ -26,6 +26,7 @@
 #include "core/wc_index.h"
 #include "labeling/query.h"
 #include "serve/batch_runner.h"
+#include "serve/decode_cache.h"
 #include "serve/result_cache.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -76,6 +77,13 @@ struct QueryEngineOptions {
   /// stay warm across the swap instead of being wholesale-wiped. Without
   /// the hook (or if it does not rebind), the Rebind wipes as usual.
   std::function<void(uint64_t fingerprint)> pre_bind_invalidate;
+  /// Byte budget for the decoded-label cache (serve/decode_cache.h),
+  /// used only when the index serves the compressed backend
+  /// (WcIndex::compressed()): hot vertices' decoded labels stay resident
+  /// so repeat queries skip the varint walk (and the cold-tier page-in).
+  /// 0 (the default) decodes per query into thread-local scratch.
+  /// Ignored on the flat backend.
+  size_t decode_cache_bytes = 0;
   /// Graph backing constrained-path reconstruction (§V). Path endpoints
   /// need the graph even when the index carries parent quads: a mid-chain
   /// entry pruned during construction forces an index-guided neighbor
@@ -95,6 +103,18 @@ inline QueryEngineStats WithCacheStats(QueryEngineStats stats,
     stats.cache_misses = c.misses;
     stats.cache_inserts = c.inserts;
     stats.cache_evictions = c.evictions;
+  }
+  return stats;
+}
+
+/// Same for the decoded-label cache's counters; shared by both engines.
+inline QueryEngineStats WithDecodeStats(QueryEngineStats stats,
+                                        const DecodedLabelCache* cache) {
+  if (cache != nullptr) {
+    DecodeCacheStats d = cache->stats();
+    stats.decode_hits = d.hits;
+    stats.decode_misses = d.misses;
+    stats.cold_pageins = d.cold_pageins;
   }
   return stats;
 }
@@ -152,18 +172,29 @@ class QueryEngine {
   /// index is not finalized — the serving formats all are).
   const ResultCache* cache() const { return cache_.get(); }
 
+  /// The decoded-label cache, or null unless the index serves the
+  /// compressed backend with options.decode_cache_bytes > 0.
+  const DecodedLabelCache* decode_cache() const { return decode_cache_.get(); }
+
   /// IndexContentFingerprint of the served snapshot when caching, 0
   /// otherwise. The swap coordinator feeds this to Rebind/InvalidateDelta.
   uint64_t cache_fingerprint() const { return cache_fingerprint_; }
 
  private:
   Distance CachedQuery(Vertex s, Vertex t, Quality w) const;
+  /// The uncached query path: the index's own routing, or — with a decode
+  /// cache — the flat kernels over cache-resident decodes.
+  Distance DirectQuery(Vertex s, Vertex t, Quality w) const;
+  IntervalQueryResult DirectInterval(Vertex s, Vertex t, Quality w) const;
+  /// Decode-cache-backed view of L(v); only callable when decode_cache_.
+  FlatLabelView CachedView(Vertex v, DecodedLabel* scratch) const;
 
   std::shared_ptr<const WcIndex> index_;
   QueryEngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
   std::unique_ptr<ServeStatsBlock> stats_;
   std::shared_ptr<ResultCache> cache_;  // null when caching is off
+  std::shared_ptr<DecodedLabelCache> decode_cache_;  // null unless cold tier
   uint64_t cache_fingerprint_ = 0;
 };
 

@@ -66,10 +66,15 @@ Result<ShardedQueryEngine> ShardedQueryEngine::Assemble(
   for (const Shard& shard : engine.shards_) {
     engine.begins_.push_back(shard.begin);
     if (shard.quarantined) ++engine.num_quarantined_;
+    if (shard.is_compressed) ++engine.num_compressed_;
   }
   size_t threads = ResolveServeThreads(options.num_threads);
   if (threads > 1) engine.pool_ = std::make_unique<ThreadPool>(threads);
   engine.stats_ = std::make_unique<ServeStatsBlock>(threads);
+  if (options.decode_cache_bytes > 0 && engine.num_compressed_ > 0) {
+    engine.decode_cache_ =
+        std::make_shared<DecodedLabelCache>(options.decode_cache_bytes);
+  }
   if (options.shared_cache || options.cache_bytes > 0) {
     engine.cache_fingerprint_ =
         known_fingerprint.has_value() ? *known_fingerprint
@@ -100,6 +105,15 @@ uint64_t ShardedQueryEngine::ContentFingerprint() const {
   uint32_t entries_crc = seed;
   uint32_t groups_crc = seed;
   for (const Shard& shard : shards_) {
+    if (shard.is_compressed) {
+      // Same chain through a per-vertex decode: HubGroup.begin is
+      // vertex-relative, so the decoded slices concatenate to the raw
+      // arrays byte for byte.
+      if (!shard.compressed.ChainContentCrcs(&entries_crc, &groups_crc)) {
+        return 0;
+      }
+      continue;
+    }
     auto entries = shard.labels.raw_entries();
     auto groups = shard.labels.raw_groups();
     entries_crc = Crc32c(entries.data(), entries.size() * sizeof(LabelEntry),
@@ -129,8 +143,17 @@ Result<ShardedQueryEngine> ShardedQueryEngine::OpenMmap(
           "shard " + path + " belongs to a different index (vertex totals "
           "disagree)");
     }
-    shards.push_back(Shard{mapped.info.vertex_begin, mapped.info.vertex_end,
-                           std::move(mapped.labels), path});
+    Shard shard;
+    shard.begin = mapped.info.vertex_begin;
+    shard.end = mapped.info.vertex_end;
+    shard.path = path;
+    if (mapped.info.compressed) {
+      shard.compressed = std::move(mapped.compressed);
+      shard.is_compressed = true;
+    } else {
+      shard.labels = std::move(mapped.labels);
+    }
+    shards.push_back(std::move(shard));
   }
   return Assemble(std::move(shards), num_vertices, options);
 }
@@ -187,11 +210,21 @@ Result<ShardedQueryEngine> ShardedQueryEngine::OpenManifest(
             "manifest " + manifest_path + ": " + which +
             " is not the file the manifest was written for (snapshot header "
             "checksum mismatch)");
-      } else if (mapped.labels.TotalEntries() != entry.entry_count ||
-                 mapped.labels.raw_groups().size() != entry.group_count) {
-        failure = Status::Corruption(
-            "manifest " + manifest_path + ": " + which +
-            " entry/group counts disagree with the manifest");
+      } else {
+        // Logical totals work for both backends: a compressed shard keeps
+        // the logical offset arrays populated exactly so that counts
+        // cross-check without a decode.
+        const uint64_t entries = mapped.info.compressed
+                                     ? mapped.compressed.TotalEntries()
+                                     : mapped.labels.TotalEntries();
+        const uint64_t groups = mapped.info.compressed
+                                    ? mapped.compressed.TotalGroups()
+                                    : mapped.labels.raw_groups().size();
+        if (entries != entry.entry_count || groups != entry.group_count) {
+          failure = Status::Corruption(
+              "manifest " + manifest_path + ": " + which +
+              " entry/group counts disagree with the manifest");
+        }
       }
     }
     if (!failure.ok()) {
@@ -199,23 +232,44 @@ Result<ShardedQueryEngine> ShardedQueryEngine::OpenManifest(
       // Degraded mode: remember the planned range so routing still works,
       // but serve nothing from it. The manifest's tiling survives, so
       // every other shard's queries are untouched.
-      shards.push_back(Shard{entry.vertex_begin, entry.vertex_end,
-                             FlatLabelSet{}, path, /*quarantined=*/true});
+      Shard quarantined;
+      quarantined.begin = entry.vertex_begin;
+      quarantined.end = entry.vertex_end;
+      quarantined.path = path;
+      quarantined.quarantined = true;
+      shards.push_back(std::move(quarantined));
       fingerprint_complete = false;
       continue;
     }
     MappedSnapshot& mapped = snapshot.value();
     if (load.verify_checksums) {
-      auto entry_bytes = mapped.labels.raw_entries();
-      auto group_bytes = mapped.labels.raw_groups();
-      entries_crc = Crc32c(entry_bytes.data(),
-                           entry_bytes.size() * sizeof(LabelEntry),
-                           entries_crc);
-      groups_crc = Crc32c(group_bytes.data(),
-                          group_bytes.size() * sizeof(HubGroup), groups_crc);
+      if (mapped.info.compressed) {
+        if (!mapped.compressed.ChainContentCrcs(&entries_crc, &groups_crc)) {
+          return Status::Corruption(
+              "manifest " + manifest_path + ": " + which +
+              " compressed labels fail to decode for fingerprinting");
+        }
+      } else {
+        auto entry_bytes = mapped.labels.raw_entries();
+        auto group_bytes = mapped.labels.raw_groups();
+        entries_crc = Crc32c(entry_bytes.data(),
+                             entry_bytes.size() * sizeof(LabelEntry),
+                             entries_crc);
+        groups_crc = Crc32c(group_bytes.data(),
+                            group_bytes.size() * sizeof(HubGroup), groups_crc);
+      }
     }
-    shards.push_back(Shard{entry.vertex_begin, entry.vertex_end,
-                           std::move(mapped.labels), path});
+    Shard shard;
+    shard.begin = entry.vertex_begin;
+    shard.end = entry.vertex_end;
+    shard.path = path;
+    if (mapped.info.compressed) {
+      shard.compressed = std::move(mapped.compressed);
+      shard.is_compressed = true;
+    } else {
+      shard.labels = std::move(mapped.labels);
+    }
+    shards.push_back(std::move(shard));
     ++healthy;
   }
   if (healthy == 0) {
@@ -246,21 +300,35 @@ std::vector<ShardBalanceEntry> ShardedQueryEngine::ShardBalance() const {
   std::vector<ShardBalanceEntry> balance;
   balance.reserve(shards_.size());
   for (const Shard& shard : shards_) {
-    balance.push_back(ShardBalanceEntry{shard.begin, shard.end,
-                                        shard.labels.TotalEntries(),
-                                        shard.labels.MemoryBytes(),
-                                        shard.quarantined});
+    balance.push_back(ShardBalanceEntry{
+        shard.begin, shard.end,
+        shard.is_compressed ? shard.compressed.TotalEntries()
+                            : shard.labels.TotalEntries(),
+        shard.is_compressed ? shard.compressed.MemoryBytes()
+                            : shard.labels.MemoryBytes(),
+        shard.quarantined});
   }
   return balance;
 }
 
-FlatLabelView ShardedQueryEngine::ViewOf(Vertex v) const {
+FlatLabelView ShardedQueryEngine::ViewOf(Vertex v,
+                                         DecodedLabel* scratch) const {
   // Last shard whose begin <= v; ranges tile [0, n), so this shard holds v.
   size_t i = static_cast<size_t>(
       std::upper_bound(begins_.begin(), begins_.end(), v) - begins_.begin() -
       1);
   const Shard& shard = shards_[i];
-  return shard.labels.View(static_cast<Vertex>(v - shard.begin));
+  const Vertex local = static_cast<Vertex>(v - shard.begin);
+  if (!shard.is_compressed) return shard.labels.View(local);
+  if (decode_cache_ != nullptr) {
+    // Keyed by GLOBAL vertex id, so one cache serves every shard.
+    if (!decode_cache_->GetOrDecode(shard.compressed, local, v, scratch)) {
+      scratch->Clear();
+    }
+  } else if (!shard.compressed.DecodeVertex(local, scratch).ok()) {
+    scratch->Clear();
+  }
+  return scratch->View();
 }
 
 bool ShardedQueryEngine::Unavailable(Vertex v) const {
@@ -274,12 +342,15 @@ Distance ShardedQueryEngine::QueryNoStats(Vertex s, Vertex t,
                                           Quality w) const {
   if (s >= num_vertices_ || t >= num_vertices_) return kInfDistance;
   if (s == t) return 0;
+  // Two scratch labels per thread: each endpoint's view must survive the
+  // other's decode (flat shards never touch them).
+  thread_local DecodedLabel ls, lt;
   if (cache_) {
     return cache_->GetOrCompute(s, t, w, cache_fingerprint_, [&] {
-      return QueryFlatMergeWithInterval(ViewOf(s), ViewOf(t), w);
+      return QueryFlatMergeWithInterval(ViewOf(s, &ls), ViewOf(t, &lt), w);
     });
   }
-  return QueryFlat(ViewOf(s), ViewOf(t), w, options_.impl);
+  return QueryFlat(ViewOf(s, &ls), ViewOf(t, &lt), w, options_.impl);
 }
 
 ServeOutcome ShardedQueryEngine::QueryExNoStats(Vertex s, Vertex t,
@@ -305,7 +376,22 @@ ServeOutcome ShardedQueryEngine::QueryExNoStats(Vertex s, Vertex t,
 }
 
 QueryEngineStats ShardedQueryEngine::stats() const {
-  return WithCacheStats(stats_->Aggregate(), cache_.get());
+  QueryEngineStats stats =
+      WithDecodeStats(WithCacheStats(stats_->Aggregate(), cache_.get()),
+                      decode_cache_.get());
+  stats.compressed = num_compressed_ > 0 ? 1 : 0;
+  for (const Shard& shard : shards_) {
+    if (shard.quarantined) continue;
+    if (shard.is_compressed) {
+      stats.label_bytes += shard.compressed.MemoryBytes();
+      stats.uncompressed_label_bytes += shard.compressed.UncompressedBytes();
+    } else {
+      const size_t bytes = shard.labels.MemoryBytes();
+      stats.label_bytes += bytes;
+      stats.uncompressed_label_bytes += bytes;
+    }
+  }
+  return stats;
 }
 
 Distance ShardedQueryEngine::Query(Vertex s, Vertex t, Quality w) const {
@@ -387,9 +473,14 @@ ServeOutcome ShardedQueryEngine::TopKEx(
       return ServeOutcome::kShardUnavailable;
     }
   }
+  // Ring of two scratch labels: the top-k kernel holds at most one
+  // candidate's span alongside the source scan.
+  thread_local DecodedLabel ring[2];
+  thread_local unsigned next = 0;
   *out = TopKClosestOverLabels(
-      num_vertices_, source, candidates, w, k,
-      [this](Vertex v) { return ViewOf(v).entries; });
+      num_vertices_, source, candidates, w, k, [&](Vertex v) {
+        return ViewOf(v, &ring[next++ & 1]).entries;
+      });
   stats_->RecordMany(candidates.size(), out->size());
   return ServeOutcome::kOk;
 }
@@ -404,13 +495,14 @@ ServeOutcome ShardedQueryEngine::ProfileEx(
     stats_->RecordUnavailable(thresholds.size());
     return ServeOutcome::kShardUnavailable;
   }
+  thread_local DecodedLabel ls, lt;
   *out = QualityProfileOverIntervals(
       thresholds, [&](Quality w) -> IntervalQueryResult {
         // Degenerate pairs answer with the everywhere-constant interval,
         // the same guards WcIndex::QueryWithInterval applies.
         if (!in_range) return IntervalQueryResult{};
         if (s == t) return IntervalQueryResult{0, -kInfQuality, kInfQuality};
-        return QueryFlatMergeWithInterval(ViewOf(s), ViewOf(t), w);
+        return QueryFlatMergeWithInterval(ViewOf(s, &ls), ViewOf(t, &lt), w);
       });
   uint64_t reachable = 0;
   for (const ProfilePoint& p : *out) {

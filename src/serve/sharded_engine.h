@@ -31,11 +31,13 @@
 #include <vector>
 
 #include "core/batch.h"
+#include "labeling/compressed_flat.h"
 #include "labeling/flat_label_set.h"
 #include "labeling/query.h"
 #include "labeling/shard_manifest.h"
 #include "labeling/snapshot.h"
 #include "serve/batch_runner.h"
+#include "serve/decode_cache.h"
 #include "serve/query_engine.h"
 #include "serve/result_cache.h"
 #include "util/status.h"
@@ -176,8 +178,18 @@ class ShardedQueryEngine {
   size_t num_threads() const { return pool_ ? pool_->size() : 1; }
   QueryEngineStats stats() const;
 
+  /// True when any shard serves the compressed label backend (shard files
+  /// written under SnapshotWriteOptions::compress; mixed sets are fine —
+  /// each shard serves from whatever backend its file carries).
+  bool compressed() const { return num_compressed_ > 0; }
+
   /// The result cache, or null when options.cache_bytes == 0.
   const ResultCache* cache() const { return cache_.get(); }
+
+  /// The decoded-label cache, or null unless a compressed shard is being
+  /// served with options.decode_cache_bytes > 0. Shared across shards,
+  /// keyed by global vertex id.
+  const DecodedLabelCache* decode_cache() const { return decode_cache_.get(); }
 
   /// The stitched index's content fingerprint when caching, 0 otherwise.
   uint64_t cache_fingerprint() const { return cache_fingerprint_; }
@@ -188,12 +200,16 @@ class ShardedQueryEngine {
 
  private:
   struct Shard {
-    uint64_t begin;
-    uint64_t end;
+    uint64_t begin = 0;
+    uint64_t end = 0;
     FlatLabelSet labels;  // keeps its shard's mapping alive; empty when
-                          // quarantined
+                          // quarantined or compressed
     std::string path;     // where the mapping came from, for diagnostics
     bool quarantined = false;
+    /// Compressed (v3) shard files serve from here instead of `labels`;
+    /// the set keeps the mapping alive the same way.
+    CompressedFlatLabelSet compressed;
+    bool is_compressed = false;
   };
 
   ShardedQueryEngine() = default;
@@ -211,7 +227,13 @@ class ShardedQueryEngine {
 
   /// Label view of vertex v, routed to its shard. Must not be called for
   /// a vertex in a quarantined shard (callers check Unavailable first).
-  FlatLabelView ViewOf(Vertex v) const;
+  /// A flat shard returns a view straight into its mapping (`scratch`
+  /// untouched); a compressed shard decodes into `scratch` — through the
+  /// decode cache when configured — and returns a view over it, so the
+  /// view lives as long as the caller's scratch. A failed decode (corrupt
+  /// bytes below the deep-validation tiers) yields an empty view, which
+  /// answers like an unreachable vertex.
+  FlatLabelView ViewOf(Vertex v, DecodedLabel* scratch) const;
   /// True when v's labels live in a quarantined shard.
   bool Unavailable(Vertex v) const;
   Distance QueryNoStats(Vertex s, Vertex t, Quality w) const;
@@ -231,11 +253,13 @@ class ShardedQueryEngine {
   std::vector<uint64_t> begins_;    // shards_[i].begin, for binary search
   uint64_t num_vertices_ = 0;
   size_t num_quarantined_ = 0;
+  size_t num_compressed_ = 0;
   const QualityGraph* fallback_graph_ = nullptr;  // not owned; may be null
   QueryEngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<ServeStatsBlock> stats_;
   std::shared_ptr<ResultCache> cache_;  // null when caching is off
+  std::shared_ptr<DecodedLabelCache> decode_cache_;  // null unless cold tier
   uint64_t cache_fingerprint_ = 0;
 };
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "core/wc_index.h"
@@ -116,6 +117,96 @@ TEST(CompressedLabelsTest, EmptySet) {
   CompressedLabelSet compressed = CompressedLabelSet::Compress(LabelSet(0));
   EXPECT_EQ(compressed.NumVertices(), 0u);
   EXPECT_EQ(compressed.Decompress(), LabelSet(0));
+}
+
+// Out-of-range vertices must answer cleanly, not index past offsets_.
+TEST(CompressedLabelsTest, OutOfRangeVertexAnswersClean) {
+  QualityGraph g = MakeFigure3Graph();
+  WcIndex index = WcIndex::Build(g);
+  CompressedLabelSet compressed =
+      CompressedLabelSet::Compress(index.labels());
+  Vertex n = static_cast<Vertex>(compressed.NumVertices());
+  EXPECT_TRUE(compressed.DecodeVertex(n).empty());
+  EXPECT_TRUE(compressed.DecodeVertex(n + 100).empty());
+  EXPECT_EQ(compressed.Query(n, 0, 1.0f), kInfDistance);
+  EXPECT_EQ(compressed.Query(0, n + 7, 1.0f), kInfDistance);
+  // Both out of range, and the s == t short-circuit must not fire first.
+  EXPECT_EQ(compressed.Query(n + 3, n + 3, 1.0f), kInfDistance);
+}
+
+// A corrupted offsets table (non-monotone, or pointing past the payload)
+// must be rejected at Load: decode paths index the payload through it.
+TEST(CompressedLabelsTest, CorruptOffsetsRejectedAtLoad) {
+  QualityGraph g = MakeFigure3Graph();
+  WcIndex index = WcIndex::Build(g);
+  CompressedLabelSet compressed =
+      CompressedLabelSet::Compress(index.labels());
+  std::string path = TempPath("corrupt_offsets.bin");
+  ASSERT_TRUE(compressed.Save(path).ok());
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  // Layout: magic + n + dict + payload (u64 each), dictionary (f32 each),
+  // offsets (u64, n+1), payload bytes. Overwrite offsets[1] with a value
+  // past the payload; the prefix/suffix invariants still hold.
+  uint64_t n = 0, dict = 0;
+  std::memcpy(&n, bytes.data() + 8, sizeof(n));
+  std::memcpy(&dict, bytes.data() + 16, sizeof(dict));
+  ASSERT_GE(n, 2u);
+  size_t offsets_at = 32 + dict * sizeof(Quality);
+  uint64_t huge = ~uint64_t{0} / 2;
+  std::memcpy(bytes.data() + offsets_at + sizeof(uint64_t), &huge,
+              sizeof(huge));
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto loaded = CompressedLabelSet::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+// Payload-level corruption passes the offsets checks, so decode must be
+// bounds-checked: a truncating stream or an out-of-dictionary quality code
+// yields an empty label, never an out-of-range read. Setting every payload
+// byte to 0xFF makes each vertex's slice one endless truncated varint.
+TEST(CompressedLabelsTest, CorruptPayloadDecodesToEmptyNotOutOfBounds) {
+  QualityGraph g = MakeFigure3Graph();
+  WcIndex index = WcIndex::Build(g);
+  CompressedLabelSet compressed =
+      CompressedLabelSet::Compress(index.labels());
+  std::string path = TempPath("corrupt_payload.bin");
+  ASSERT_TRUE(compressed.Save(path).ok());
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  uint64_t n = 0, dict = 0;
+  std::memcpy(&n, bytes.data() + 8, sizeof(n));
+  std::memcpy(&dict, bytes.data() + 16, sizeof(dict));
+  size_t payload_at = 32 + dict * sizeof(Quality) + (n + 1) * sizeof(uint64_t);
+  for (size_t i = payload_at; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<char>(0xFF);
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto loaded = CompressedLabelSet::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (Vertex v = 0; v < n; ++v) {
+    EXPECT_TRUE(loaded.value().DecodeVertex(v).empty()) << "vertex " << v;
+  }
+  EXPECT_EQ(loaded.value().Query(0, 1, 1.0f), kInfDistance);
+  std::remove(path.c_str());
 }
 
 }  // namespace

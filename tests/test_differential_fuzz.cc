@@ -8,11 +8,20 @@
 //   * the same engine behind a deliberately tiny dominance-aware result
 //     cache (serve/result_cache.h), queried twice per case so both the
 //     miss+insert and the interval-hit paths are differentially checked,
+//   * the four QueryImpls on the COMPRESSED backend (a v3 snapshot,
+//     labeling/compressed_flat.h — kMerge streams the varint bytes, the
+//     rest decode then run the flat kernel),
+//   * a cold-tier QueryEngine: the compressed mmap behind a tiny
+//     decoded-label cache, queried twice per case so decode-miss and
+//     decode-hit both get checked,
 //   * a ShardedQueryEngine stitching vertex-range shard snapshots,
 //   * a second ShardedQueryEngine over a label-mass-planned shard set
 //     opened through its manifest (labeling/shard_manifest.h),
+//   * a third, mixed-backend ShardedQueryEngine: one compressed shard
+//     stitched next to one flat shard,
 //   * a WcServer + WcClient round trip over the wire protocol (the
 //     networked path serves the same mmap engine through a real socket),
+//     and a second round trip over the cold-tier engine,
 //   * the ConstrainedDijkstra ground truth on the raw graph.
 // Builds alternate between the sequential and the rank-batched parallel
 // pipeline, so construction is fuzzed too (and races surface under the
@@ -112,12 +121,20 @@ struct Stack {
   WcIndex index;          // not finalized: vector-of-vectors backend
   WcIndex flat;           // finalized flat backend
   WcIndex mm;             // mmap-loaded snapshot
+  WcIndex cmm;            // mmap-loaded COMPRESSED (v3) snapshot
   std::shared_ptr<const QueryEngine> engine;
   std::shared_ptr<const QueryEngine> cached;  // dominance-aware result cache
+  /// Cold tier: the compressed mmap behind a deliberately tiny
+  /// decoded-label cache, so admission and eviction churn during the run.
+  std::shared_ptr<const QueryEngine> cold;
   std::unique_ptr<ShardedQueryEngine> sharded;
   std::unique_ptr<ShardedQueryEngine> planned;  // manifest-opened shard set
+  /// Mixed-backend shard set: one compressed shard, one flat.
+  std::unique_ptr<ShardedQueryEngine> csharded;
   std::unique_ptr<WcServer> server;  // serves `engine` over the wire
   std::unique_ptr<WcClient> client;
+  std::unique_ptr<WcServer> cold_server;  // serves `cold` over the wire
+  std::unique_ptr<WcClient> cold_client;
 };
 
 Stack BuildStack(const QualityGraph& g, size_t build_threads,
@@ -138,6 +155,19 @@ Stack BuildStack(const QualityGraph& g, size_t build_threads,
   auto mm = WcIndex::LoadMmap(full);
   EXPECT_TRUE(mm.ok()) << mm.status().ToString();
 
+  // The compressed backend: the same labels delta/varint-encoded in a v3
+  // snapshot, mmap-served. Compressed files never carry parent quads, so
+  // on this layer the path family always runs the index-guided fallback.
+  std::string cfull = dir + "/fuzz_" + tag + "_c.wcsnap";
+  SnapshotWriteOptions compress_opts;
+  compress_opts.compress = true;
+  EXPECT_TRUE(WriteSnapshot(cfull, flat.flat_labels(), &flat.order(), {},
+                            compress_opts)
+                  .ok());
+  auto cmm = WcIndex::LoadMmap(cfull);
+  EXPECT_TRUE(cmm.ok()) << cmm.status().ToString();
+  EXPECT_TRUE(cmm.value().compressed());
+
   QueryEngineOptions serve;
   serve.num_threads = 1;  // concurrency is hammered in test_serve/test_net
   // Every serving layer gets the graph, so the kPath family is checked
@@ -153,6 +183,12 @@ Stack BuildStack(const QualityGraph& g, size_t build_threads,
   auto cached = std::make_shared<const QueryEngine>(
       std::make_shared<const WcIndex>(mm.value()), cached_serve);
 
+  // The cold tier: compressed mmap behind a tiny decoded-label cache.
+  QueryEngineOptions cold_serve = serve;
+  cold_serve.decode_cache_bytes = 32 << 10;
+  auto cold = std::make_shared<const QueryEngine>(
+      std::make_shared<const WcIndex>(cmm.value()), cold_serve);
+
   // The networked path: an in-process server over the same mmap engine,
   // queried through a real loopback socket.
   auto started = WcServer::Start(MakeQueryService(engine));
@@ -161,6 +197,17 @@ Stack BuildStack(const QualityGraph& g, size_t build_threads,
   auto connected = WcClient::Connect("127.0.0.1", server->port());
   EXPECT_TRUE(connected.ok()) << connected.status().ToString();
   auto client = std::make_unique<WcClient>(std::move(connected).value());
+
+  // A second loopback server over the cold-tier engine: the compressed
+  // backend checked end to end over the wire too.
+  auto cold_started = WcServer::Start(MakeQueryService(cold));
+  EXPECT_TRUE(cold_started.ok()) << cold_started.status().ToString();
+  auto cold_server =
+      std::make_unique<WcServer>(std::move(cold_started).value());
+  auto cold_connected = WcClient::Connect("127.0.0.1", cold_server->port());
+  EXPECT_TRUE(cold_connected.ok()) << cold_connected.status().ToString();
+  auto cold_client =
+      std::make_unique<WcClient>(std::move(cold_connected).value());
 
   const uint64_t n = flat.NumVertices();
   std::vector<std::string> shard_paths;
@@ -175,6 +222,25 @@ Stack BuildStack(const QualityGraph& g, size_t build_threads,
   EXPECT_TRUE(sharded.ok()) << sharded.status().ToString();
   auto sharded_ptr = std::make_unique<ShardedQueryEngine>(
       std::move(sharded).value());
+
+  // Mixed-backend shard set: the low range compressed, the high range
+  // flat, stitched by one engine with the decode cache in front of the
+  // compressed half.
+  std::vector<std::string> cshard_paths;
+  for (int k = 0; k < 2; ++k) {
+    std::string path = dir + "/fuzz_" + tag + "_c.shard" + std::to_string(k);
+    SnapshotWriteOptions shard_opts;
+    shard_opts.compress = k == 0;
+    EXPECT_TRUE(WriteSnapshotShard(path, flat.flat_labels(), n * k / 2,
+                                   n * (k + 1) / 2, n, {}, shard_opts)
+                    .ok());
+    cshard_paths.push_back(path);
+  }
+  auto csharded = ShardedQueryEngine::OpenMmap(cshard_paths, cold_serve);
+  EXPECT_TRUE(csharded.ok()) << csharded.status().ToString();
+  EXPECT_TRUE(csharded.value().compressed());
+  auto csharded_ptr =
+      std::make_unique<ShardedQueryEngine>(std::move(csharded).value());
 
   // The planned path: a label-mass-balanced shard set round-tripped
   // through its manifest, fingerprint verification included.
@@ -200,12 +266,16 @@ Stack BuildStack(const QualityGraph& g, size_t build_threads,
   }
 
   std::remove(full.c_str());
+  std::remove(cfull.c_str());
   for (const std::string& p : shard_paths) std::remove(p.c_str());
-  return Stack{std::move(index),  std::move(flat),
-               std::move(mm).value(), std::move(engine),
-               std::move(cached),
-               std::move(sharded_ptr), std::move(planned_ptr),
-               std::move(server), std::move(client)};
+  for (const std::string& p : cshard_paths) std::remove(p.c_str());
+  return Stack{std::move(index),       std::move(flat),
+               std::move(mm).value(),  std::move(cmm).value(),
+               std::move(engine),      std::move(cached),
+               std::move(cold),        std::move(sharded_ptr),
+               std::move(planned_ptr), std::move(csharded_ptr),
+               std::move(server),      std::move(client),
+               std::move(cold_server), std::move(cold_client)};
 }
 
 std::string CheckOne(const QualityGraph& g, const Stack& stack, Vertex s,
@@ -222,19 +292,34 @@ std::string CheckOne(const QualityGraph& g, const Stack& stack, Vertex s,
     expect("labels impl", stack.index.Query(s, t, w, impl));
     expect("flat impl", stack.flat.Query(s, t, w, impl));
     expect("mmap impl", stack.mm.Query(s, t, w, impl));
+    // Every impl on the compressed backend too: kMerge streams the varint
+    // bytes directly, the rest decode then run the flat kernel.
+    expect("compressed impl", stack.cmm.Query(s, t, w, impl));
   }
   expect("engine", stack.engine->Query(s, t, w));
   // Twice: the first call may miss and insert, the second must hit the
   // cached interval — both answers have to match the ground truth.
   expect("cached (miss path)", stack.cached->Query(s, t, w));
   expect("cached (hit path)", stack.cached->Query(s, t, w));
+  // Same for the decoded-label cache: decode-miss, then decode-hit.
+  expect("cold (decode miss)", stack.cold->Query(s, t, w));
+  expect("cold (decode hit)", stack.cold->Query(s, t, w));
   expect("sharded", stack.sharded->Query(s, t, w));
   expect("planned", stack.planned->Query(s, t, w));
+  expect("csharded", stack.csharded->Query(s, t, w));
   auto net = stack.client->Query(s, t, w);
   if (!net.ok()) {
     if (out.tellp() == 0) out << "net error: " << net.status().ToString();
   } else {
     expect("net", net.value());
+  }
+  auto cold_net = stack.cold_client->Query(s, t, w);
+  if (!cold_net.ok()) {
+    if (out.tellp() == 0) {
+      out << "cold net error: " << cold_net.status().ToString();
+    }
+  } else {
+    expect("cold net", cold_net.value());
   }
   return out.str();
 }
@@ -286,7 +371,9 @@ std::string CheckFamilies(const QualityGraph& g, const Stack& stack,
   expect_topk("labels", TopKClosest(stack.index, s, candidates, w, k));
   expect_topk("flat", TopKClosest(stack.flat, s, candidates, w, k));
   expect_topk("mmap", TopKClosest(stack.mm, s, candidates, w, k));
+  expect_topk("compressed", TopKClosest(stack.cmm, s, candidates, w, k));
   expect_topk("engine", stack.engine->TopK(s, candidates, w, k));
+  expect_topk("cold", stack.cold->TopK(s, candidates, w, k));
   std::vector<RankedCandidate> ranked;
   if (stack.sharded->TopKEx(s, candidates, w, k, &ranked) !=
       ServeOutcome::kOk) {
@@ -300,6 +387,13 @@ std::string CheckFamilies(const QualityGraph& g, const Stack& stack,
     if (out.tellp() == 0) out << "planned topk refused a healthy request";
   } else {
     expect_topk("planned", ranked);
+  }
+  ranked.clear();
+  if (stack.csharded->TopKEx(s, candidates, w, k, &ranked) !=
+      ServeOutcome::kOk) {
+    if (out.tellp() == 0) out << "csharded topk refused a healthy request";
+  } else {
+    expect_topk("csharded", ranked);
   }
   auto net_topk =
       stack.client->TopK(s, candidates, w, static_cast<uint32_t>(k));
@@ -358,7 +452,9 @@ std::string CheckFamilies(const QualityGraph& g, const Stack& stack,
   expect_profile("labels", QualityProfile(stack.index, s, t, thresholds));
   expect_profile("flat", QualityProfile(stack.flat, s, t, thresholds));
   expect_profile("mmap", QualityProfile(stack.mm, s, t, thresholds));
+  expect_profile("compressed", QualityProfile(stack.cmm, s, t, thresholds));
   expect_profile("engine", stack.engine->Profile(s, t, thresholds));
+  expect_profile("cold", stack.cold->Profile(s, t, thresholds));
   std::vector<ProfilePoint> profile;
   if (stack.sharded->ProfileEx(s, t, thresholds, &profile) !=
       ServeOutcome::kOk) {
@@ -372,6 +468,13 @@ std::string CheckFamilies(const QualityGraph& g, const Stack& stack,
     if (out.tellp() == 0) out << "planned profile refused a healthy request";
   } else {
     expect_profile("planned", profile);
+  }
+  profile.clear();
+  if (stack.csharded->ProfileEx(s, t, thresholds, &profile) !=
+      ServeOutcome::kOk) {
+    if (out.tellp() == 0) out << "csharded profile refused a healthy request";
+  } else {
+    expect_profile("csharded", profile);
   }
   auto net_profile = stack.client->Profile(s, t, thresholds);
   if (!net_profile.ok()) {
@@ -402,6 +505,9 @@ std::string CheckFamilies(const QualityGraph& g, const Stack& stack,
   };
   expect_path("labels", QueryConstrainedPath(stack.index, g, s, t, w));
   expect_path("mmap", QueryConstrainedPath(stack.mm, g, s, t, w));
+  // Compressed snapshots carry no parent quads: this layer always runs
+  // the index-guided fallback, which must still produce optimal w-paths.
+  expect_path("compressed", QueryConstrainedPath(stack.cmm, g, s, t, w));
   auto engine_path = stack.engine->Path(s, t, w);
   if (!engine_path.ok()) {
     if (out.tellp() == 0) {
@@ -409,6 +515,14 @@ std::string CheckFamilies(const QualityGraph& g, const Stack& stack,
     }
   } else {
     expect_path("engine", engine_path.value());
+  }
+  auto cold_path = stack.cold->Path(s, t, w);
+  if (!cold_path.ok()) {
+    if (out.tellp() == 0) {
+      out << "cold path error: " << cold_path.status().ToString();
+    }
+  } else {
+    expect_path("cold", cold_path.value());
   }
   std::vector<Vertex> route;
   if (stack.sharded->PathEx(s, t, w, &route) != ServeOutcome::kOk) {
@@ -421,6 +535,12 @@ std::string CheckFamilies(const QualityGraph& g, const Stack& stack,
     if (out.tellp() == 0) out << "planned path refused a healthy request";
   } else {
     expect_path("planned", route);
+  }
+  route.clear();
+  if (stack.csharded->PathEx(s, t, w, &route) != ServeOutcome::kOk) {
+    if (out.tellp() == 0) out << "csharded path refused a healthy request";
+  } else {
+    expect_path("csharded", route);
   }
   auto net_path = stack.client->Path(s, t, w);
   if (!net_path.ok()) {
@@ -527,10 +647,14 @@ TEST(DifferentialFuzz, AllAnswerPathsAgree) {
           << "family=" << kFamilies[family] << " seed=" << seed;
       ASSERT_EQ(stack.cached->Batch(batch), expected)
           << "cached family=" << kFamilies[family] << " seed=" << seed;
+      ASSERT_EQ(stack.cold->Batch(batch), expected)
+          << "cold family=" << kFamilies[family] << " seed=" << seed;
       ASSERT_EQ(stack.sharded->Batch(batch), expected)
           << "family=" << kFamilies[family] << " seed=" << seed;
       ASSERT_EQ(stack.planned->Batch(batch), expected)
           << "family=" << kFamilies[family] << " seed=" << seed;
+      ASSERT_EQ(stack.csharded->Batch(batch), expected)
+          << "csharded family=" << kFamilies[family] << " seed=" << seed;
       // And both networked batch shapes: one kBatchQuery frame, and the
       // pipelined stream of kQuery frames.
       auto net_batch = stack.client->Batch(batch);

@@ -849,16 +849,18 @@ TEST(WireGolden, GoldenRepliesDecodeToPaperAnswers) {
   EXPECT_EQ(at, golden.size());
 }
 
-// A v5 reader's view of the kStatsReply payload must survive the v6
-// extension: the new fields are appended strictly after the old layout, so
-// decoding only the first 104 bytes with the v5 field offsets yields the
-// same counters. (wire.h pins this with a static_assert; this test proves
-// it against the actual pinned bytes.)
+// An old reader's view of the kStatsReply payload must survive every
+// extension: new fields append strictly after the old layout, so decoding
+// only the first 104 (v5) or 120 (v6) bytes with the old field offsets
+// yields the same counters. (wire.h pins this with static_asserts; this
+// test proves it against the actual pinned bytes.)
 TEST(WireGolden, StatsReplyKeepsV5PrefixLayout) {
   static_assert(offsetof(net::StatsReplyPayload, has_parents) == 104,
                 "v6 stats fields must append after the v5 layout");
-  static_assert(sizeof(net::StatsReplyPayload) == 120,
-                "v6 stats payload is the 104-byte v5 layout + 2 u64");
+  static_assert(offsetof(net::StatsReplyPayload, compressed) == 120,
+                "v7 stats fields must append after the v6 layout");
+  static_assert(sizeof(net::StatsReplyPayload) == 168,
+                "v7 stats payload is the 120-byte v6 layout + 6 u64");
   std::string golden = ReadFileBytes(GoldenPath("wire_replies.bin"));
   const uint8_t* data = reinterpret_cast<const uint8_t*>(golden.data());
   // Walk to the kStatsReply frame (4th in the golden script).

@@ -38,12 +38,15 @@
 //   verify    --graph=<file> --index=<file>  brute-force Theorem 1 checks
 //   generate  --out=<file> --kind=road|social [--n=...] [--levels=...]
 //             [--seed=...]                   write a synthetic dataset
-//   snapshot  --index=<file> --out=<file> [--shards=N]
+//   snapshot  --index=<file> --out=<file> [--shards=N] [--compress]
 //             convert a saved index into the page-aligned, checksummed,
 //             mmap'able snapshot format; --shards=N writes N vertex-range
-//             shard files <out>.shard0 .. <out>.shard{N-1} instead
+//             shard files <out>.shard0 .. <out>.shard{N-1} instead;
+//             --compress stores the labels delta/varint-encoded (v3
+//             sections, labeling/compressed_flat.h) — served straight off
+//             the blob, bit-identical answers, ~3x smaller at rest
 //   shard     --index=<file> --out=<stem> (--shards=N | --max-bytes=B)
-//             [--even]
+//             [--even] [--compress]
 //             plan label-mass-balanced shard boundaries (greedy prefix-sum
 //             split; --even cuts even vertex ranges instead), write
 //             <stem>.shard0 .. <stem>.shard{K-1} snapshot files and the
@@ -77,6 +80,7 @@
 //             [--request-deadline-ms=MS] [--max-batch=N] [--drain-ms=MS]
 //             [--quarantine [--fallback-graph=<file>]]
 //             [--watch [--delta=<file>]]
+//             [--cold-tier] [--decode-cache-mb=M]
 //             mmap the snapshot(s) — several files are stitched as
 //             vertex-range shards, and --manifest opens a whole validated
 //             shard set in one step — and either drive a random local batch
@@ -111,7 +115,12 @@
 //             across generations, invalidated scoped-by-delta when --delta
 //             names a log whose base fingerprint matches the outgoing
 //             snapshot (only entries the delta can touch are dropped),
-//             wholesale otherwise
+//             wholesale otherwise; --cold-tier serves a compressed
+//             snapshot straight off its mapping — the blob pages in from
+//             disk on demand — with a decoded-label cache in front of the
+//             varint decode (--decode-cache-mb=M budgets it, default 64;
+//             M > 0 on its own enables the cache without requiring the
+//             cold tier)
 //
 // Examples:
 //   wcsd_cli generate --out=g.edges --kind=road --n=10000 --levels=5
@@ -158,6 +167,7 @@
 #include "serve/query_engine.h"
 #include "serve/result_cache.h"
 #include "serve/sharded_engine.h"
+#include "util/checksum.h"
 #include "util/flags.h"
 #include "util/random.h"
 #include "util/timer.h"
@@ -728,13 +738,15 @@ int CmdSnapshot(const Flags& flags) {
   }
   WcIndex& index = loaded.value();
   index.Finalize();
+  SnapshotWriteOptions write_options;
+  write_options.compress = flags.GetBool("compress", false);
   int64_t shards = flags.GetInt("shards", 0);
   if (shards < 0) {
     std::fprintf(stderr, "error: --shards must be >= 0\n");
     return 1;
   }
   if (shards <= 1) {
-    Status st = index.SaveSnapshot(out);
+    Status st = index.SaveSnapshot(out, write_options);
     if (!st.ok()) {
       std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
       return 1;
@@ -750,7 +762,8 @@ int CmdSnapshot(const Flags& flags) {
     uint64_t end = n * static_cast<uint64_t>(k + 1) /
                    static_cast<uint64_t>(shards);
     std::string path = out + ".shard" + std::to_string(k);
-    Status st = WriteSnapshotShard(path, index.flat_labels(), begin, end, n);
+    Status st = WriteSnapshotShard(path, index.flat_labels(), begin, end, n,
+                                   /*parents=*/{}, write_options);
     if (!st.ok()) {
       std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
       return 1;
@@ -794,7 +807,9 @@ int CmdShard(const Flags& flags) {
     std::fprintf(stderr, "error: %s\n", plan.status().ToString().c_str());
     return 1;
   }
-  auto written = WriteShardSet(out, flat, plan.value());
+  SnapshotWriteOptions write_options;
+  write_options.compress = flags.GetBool("compress", false);
+  auto written = WriteShardSet(out, flat, plan.value(), write_options);
   if (!written.ok()) {
     std::fprintf(stderr, "error: %s\n", written.status().ToString().c_str());
     return 1;
@@ -1174,6 +1189,8 @@ struct OpenedService {
   size_t served_threads = 1;
   size_t mapped_files = 0;
   size_t quarantined = 0;
+  /// True when the opened engine serves the compressed label backend.
+  bool compressed = false;
   /// Index content fingerprint when caching, 0 otherwise.
   uint64_t cache_fingerprint = 0;
   /// Set for single-snapshot engines only: the reachability-coupled cache
@@ -1199,6 +1216,7 @@ Result<OpenedService> OpenServeService(const std::vector<std::string>& paths,
         std::make_shared<const QueryEngine>(std::move(engine).value());
     opened.n = shared->index().NumVertices();
     opened.served_threads = shared->num_threads();
+    opened.compressed = shared->index().compressed();
     opened.cache_fingerprint = shared->cache_fingerprint();
     opened.engine = shared;
     opened.service = MakeQueryService(std::move(shared));
@@ -1214,6 +1232,7 @@ Result<OpenedService> OpenServeService(const std::vector<std::string>& paths,
     opened.served_threads = shared->num_threads();
     opened.mapped_files = shared->num_shards();
     opened.quarantined = shared->num_quarantined();
+    opened.compressed = shared->compressed();
     opened.cache_fingerprint = shared->cache_fingerprint();
     opened.service = MakeQueryService(std::move(shared));
   }
@@ -1245,6 +1264,24 @@ int CmdServe(const Flags& flags) {
     options.num_threads = 1;
   }
   if (!ParseCacheBytes(flags, &options.cache_bytes)) return 1;
+  // Cold tier: serve a compressed snapshot straight off its mapping, with
+  // a bounded decoded-label cache in front of the varint decode. --cold-tier
+  // alone budgets a 64 MiB default; --decode-cache-mb picks the budget
+  // explicitly (and implies cold tier on a compressed index).
+  const bool cold_tier = flags.GetBool("cold-tier", false);
+  int64_t decode_mb = flags.GetInt("decode-cache-mb", cold_tier ? 64 : 0);
+  if (decode_mb < 0 || decode_mb > (int64_t{1} << 20)) {
+    std::fprintf(stderr, "error: --decode-cache-mb must be in [0, %lld]\n",
+                 static_cast<long long>(int64_t{1} << 20));
+    return 1;
+  }
+  if (cold_tier && decode_mb == 0) {
+    std::fprintf(stderr,
+                 "error: --cold-tier wants --decode-cache-mb > 0\n");
+    return 1;
+  }
+  options.decode_cache_bytes =
+      static_cast<size_t>(decode_mb) * 1024 * 1024;
   // --graph enables the kPath endpoint: reconstruction walks the edges, so
   // the graph is needed even when the snapshot carries §V parent quads.
   // Servers without it refuse kPath with kNotSupported.
@@ -1360,6 +1397,17 @@ int CmdServe(const Flags& flags) {
   std::printf("mapped %zu snapshot%s (%zu vertices) in %.3f ms\n",
               current.mapped_files, current.mapped_files == 1 ? "" : "s",
               current.n, load_seconds * 1e3);
+  if (cold_tier && !current.compressed) {
+    std::fprintf(stderr,
+                 "error: --cold-tier wants a compressed snapshot (write one "
+                 "with `snapshot --compress`)\n");
+    return 1;
+  }
+  if (current.compressed) {
+    std::printf("compressed labels%s, decode cache %lld MiB\n",
+                cold_tier ? " (cold tier: blob stays on disk)" : "",
+                static_cast<long long>(decode_mb));
+  }
   if (current.quarantined > 0) {
     std::printf(
         "DEGRADED: %zu of %zu shards quarantined — queries touching their "
@@ -1479,19 +1527,25 @@ int CmdServe(const Flags& flags) {
   }
   Timer batch_timer;
   size_t reachable = 0;
-  for (Distance d : current.service->Batch(workload)) {
+  std::vector<Distance> answers = current.service->Batch(workload);
+  double serve_seconds = batch_timer.Seconds();
+  for (Distance d : answers) {
     if (d != kInfDistance) ++reachable;
   }
-  double serve_seconds = batch_timer.Seconds();
+  // The answers CRC is the backend-equivalence witness: the same --seed
+  // yields the same workload, so flat, compressed, cold-tier, and sharded
+  // serving of the same index must all print the same value.
+  uint32_t answers_crc =
+      Crc32c(answers.data(), answers.size() * sizeof(Distance));
   std::printf(
       "served %zu queries on %zu thread%s in %.3f s (%.0f q/s), "
-      "%zu reachable\n",
+      "%zu reachable, answers crc32c=%08x\n",
       workload.size(), current.served_threads,
       current.served_threads == 1 ? "" : "s",
       serve_seconds,
       serve_seconds > 0 ? static_cast<double>(workload.size()) / serve_seconds
                         : 0.0,
-      reachable);
+      reachable, answers_crc);
   if (options.cache_bytes > 0) {
     QueryEngineStats stats = current.service->Stats();
     uint64_t lookups = stats.cache_hits + stats.cache_misses;
@@ -1505,6 +1559,26 @@ int CmdServe(const Flags& flags) {
                     : 0.0,
         static_cast<unsigned long long>(stats.cache_inserts),
         static_cast<unsigned long long>(stats.cache_evictions));
+  }
+  if (options.decode_cache_bytes > 0 && current.compressed) {
+    QueryEngineStats stats = current.service->Stats();
+    uint64_t decodes = stats.decode_hits + stats.decode_misses;
+    std::printf(
+        "decode cache: %llu hits / %llu lookups (%.1f%%), %llu cold "
+        "page-ins; labels %.2f MiB vs %.2f MiB flat (%.2fx)\n",
+        static_cast<unsigned long long>(stats.decode_hits),
+        static_cast<unsigned long long>(decodes),
+        decodes > 0 ? 100.0 * static_cast<double>(stats.decode_hits) /
+                          static_cast<double>(decodes)
+                    : 0.0,
+        static_cast<unsigned long long>(stats.cold_pageins),
+        static_cast<double>(stats.label_bytes) / (1024.0 * 1024.0),
+        static_cast<double>(stats.uncompressed_label_bytes) /
+            (1024.0 * 1024.0),
+        stats.label_bytes > 0
+            ? static_cast<double>(stats.uncompressed_label_bytes) /
+                  static_cast<double>(stats.label_bytes)
+            : 0.0);
   }
   return 0;
 }
